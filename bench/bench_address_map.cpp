@@ -1,0 +1,75 @@
+// Ablation A2: address map interleave order.
+//
+// §III.B: the spec's default map modes place the vault bits in the least
+// significant positions, then the bank bits, "in order to avoid bank
+// conflicts" on sequential traffic.  This bench quantifies that claim by
+// running random AND sequential workloads under the low-interleave,
+// bank-first and linear maps.
+//
+// Env knobs: HMCSIM_AMAP_REQUESTS (default 2^16).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+namespace {
+
+const char* mode_name(AddrMapMode m) {
+  switch (m) {
+    case AddrMapMode::LowInterleave: return "low-interleave";
+    case AddrMapMode::BankFirst: return "bank-first";
+    case AddrMapMode::Linear: return "linear";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_AMAP_REQUESTS", u64{1} << 16);
+  std::printf("=== Ablation A2: address map modes (4-link/8-bank, "
+              "%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("%-16s %-10s %10s %14s %12s\n", "map", "workload", "cycles",
+              "conflicts", "lat_mean");
+
+  for (const auto mode : {AddrMapMode::LowInterleave, AddrMapMode::BankFirst,
+                          AddrMapMode::Linear}) {
+    for (const bool sequential : {false, true}) {
+      DeviceConfig dc = table1_config_4link_8bank();
+      dc.capacity_bytes = 0;
+      dc.map_mode = mode;
+      Simulator sim = make_sim_or_die(dc);
+
+      GeneratorConfig gc;
+      gc.capacity_bytes = dc.derived_capacity();
+      gc.request_bytes = 64;
+      DriverConfig dcfg;
+      dcfg.total_requests = requests;
+      dcfg.max_cycles = 200u * 1000 * 1000;
+      DriverResult r;
+      if (sequential) {
+        StreamGenerator gen(gc);
+        r = HostDriver(sim, gen, dcfg).run();
+      } else {
+        RandomAccessGenerator gen(gc);
+        r = HostDriver(sim, gen, dcfg).run();
+      }
+      std::printf("%-16s %-10s %10llu %14llu %12.1f\n", mode_name(mode),
+                  sequential ? "stream" : "random",
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(
+                      sim.total_stats().bank_conflicts),
+                  r.latency.mean());
+    }
+  }
+
+  std::printf("\nexpected shape: the maps are equivalent under uniform "
+              "random traffic, but on\nsequential streams the default "
+              "low-interleave map spreads consecutive blocks across\nvaults "
+              "then banks and wins decisively; the linear map serializes "
+              "through one bank.\n");
+  return 0;
+}

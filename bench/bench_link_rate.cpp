@@ -1,0 +1,59 @@
+// Ablation A7: link serialization rate.
+//
+// The spec permits 4-link devices to run their 16-lane SERDES links at 10,
+// 12.5 or 15 Gbps and 8-link devices at 10 Gbps (§III.A).  In the device
+// clock domain those rates are 1.0 / 1.25 / 1.5 FLITs per cycle per
+// direction per link; the paper's crossbar model additionally has internal
+// arbitration bandwidth above the SERDES rate.  This sweep varies the
+// per-link crossbar FLIT budget from below the physical rates up to the
+// unconstrained regime, showing where the device flips from link-bound to
+// bank-bound, and reports measured per-link utilization.
+//
+// Env knobs: HMCSIM_LINKRATE_REQUESTS (default 2^16).
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_LINKRATE_REQUESTS", u64{1} << 16);
+  std::printf("=== Ablation A7: link FLIT budget sweep (4-link/8-bank, "
+              "%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("physical reference: 16 lanes @ 10/12.5/15 Gbps = "
+              "%.2f/%.2f/%.2f FLITs/cycle\n\n",
+              link_flits_per_cycle(16, 10.0), link_flits_per_cycle(16, 12.5),
+              link_flits_per_cycle(16, 15.0));
+  std::printf("%12s %10s %12s %12s %12s\n", "flits/cycle", "cycles",
+              "rqst_util", "rsp_util", "lat_mean");
+
+  for (const u32 budget : {1u, 2u, 3u, 5u, 10u, 20u, 40u}) {
+    DeviceConfig dc = table1_config_4link_8bank();
+    dc.capacity_bytes = 0;
+    dc.xbar_flits_per_cycle = budget;
+    Simulator sim = make_sim_or_die(dc);
+    const DriverResult r = run_random_access(sim, requests);
+
+    const auto utils = link_utilization(sim);
+    double rqst_util = 0.0, rsp_util = 0.0;
+    for (const auto& u : utils) {
+      rqst_util += u.rqst_util;
+      rsp_util += u.rsp_util;
+    }
+    rqst_util /= static_cast<double>(utils.size());
+    rsp_util /= static_cast<double>(utils.size());
+
+    std::printf("%12u %10llu %11.1f%% %11.1f%% %12.1f\n", budget,
+                static_cast<unsigned long long>(r.cycles), rqst_util * 100,
+                rsp_util * 100, r.latency.mean());
+  }
+
+  std::printf("\nexpected shape: at 1-2 FLITs/cycle (the physical SERDES "
+              "rates) the links are the\nbottleneck and run near 100%% "
+              "utilization; past ~5 the 8-bank vaults take over as\nthe "
+              "limiter and extra link bandwidth buys nothing.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A3: host-side link routing policy.
+//
+// §VI.B's corollary: "locality-aware host devices have the potential to
+// reduce memory latency and reduce internal memory device contention in
+// order to make most efficient use of the available bandwidth."  This bench
+// compares the paper's naive round-robin injection against a quad-local
+// policy that injects each request on the link closest to its destination
+// vault.
+//
+// Env knobs: HMCSIM_ROUTING_REQUESTS (default 2^17).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_ROUTING_REQUESTS", u64{1} << 17);
+  std::printf("=== Ablation A3: link injection policy (%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("%-22s %-15s %10s %16s %12s %10s\n", "config", "policy",
+              "cycles", "latency_events", "lat_mean", "lat_max");
+
+  for (const auto& nc : table1_configs()) {
+    for (const auto policy :
+         {InjectionPolicy::RoundRobin, InjectionPolicy::LocalityAware}) {
+      Simulator sim = make_sim_or_die(nc.config);
+      const DriverResult r = run_random_access(sim, requests, 0.5, policy);
+      std::printf("%-22s %-15s %10llu %16llu %12.1f %10llu\n",
+                  nc.label.c_str(),
+                  policy == InjectionPolicy::RoundRobin ? "round-robin"
+                                                        : "locality-aware",
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(
+                      sim.total_stats().latency_penalties),
+                  r.latency.mean(),
+                  static_cast<unsigned long long>(r.latency.max));
+    }
+  }
+
+  std::printf("\nexpected shape: locality-aware injection slashes the "
+              "routed-latency penalty count\n(round-robin mis-places ~3/4 "
+              "of requests) and trims mean latency, confirming the\npaper's "
+              "corollary.\n");
+  return 0;
+}

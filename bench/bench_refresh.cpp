@@ -1,0 +1,67 @@
+// Ablation A9: DRAM refresh overhead.
+//
+// The paper's model omits refresh; real stacked DRAM pays tRFC every tREFI
+// per vault.  This sweep dials the refresh duty cycle from zero to
+// unrealistically heavy and reports the throughput tax, with the realistic
+// point (7.8 us tREFI / 350 ns tRFC at 1.25 GHz) highlighted.
+//
+// Env knobs: HMCSIM_REFRESH_REQUESTS (default 2^17).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_REFRESH_REQUESTS", u64{1} << 17);
+  std::printf("=== Ablation A9: DRAM refresh overhead (4-link/8-bank, "
+              "%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("%10s %8s %8s %10s %10s %12s\n", "interval", "busy", "duty",
+              "cycles", "refreshes", "slowdown");
+
+  Cycle baseline = 0;
+  struct Point {
+    u32 interval;
+    u32 busy;
+    const char* note;
+  };
+  const Point points[] = {
+      {0, 0, ""},            // off (the paper's model)
+      {9750, 440, " <- realistic tREFI/tRFC @1.25GHz"},
+      {2000, 440, ""},
+      {1000, 440, ""},
+      {500, 250, ""},
+  };
+  for (const Point& p : points) {
+    DeviceConfig dc = table1_config_4link_8bank();
+    dc.capacity_bytes = 0;
+    dc.refresh_interval_cycles = p.interval;
+    dc.refresh_busy_cycles = p.busy;
+    Simulator sim = make_sim_or_die(dc);
+    const DriverResult r = run_random_access(sim, requests);
+    if (p.interval == 0) baseline = r.cycles;
+    const double duty =
+        p.interval == 0
+            ? 0.0
+            : static_cast<double>(p.busy) / static_cast<double>(p.interval);
+    std::printf("%10u %8u %7.1f%% %10llu %10llu %11.3fx%s\n", p.interval,
+                p.busy, duty * 100,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(
+                    sim.total_stats().refreshes),
+                baseline == 0
+                    ? 1.0
+                    : static_cast<double>(r.cycles) /
+                          static_cast<double>(baseline),
+                p.note);
+  }
+
+  std::printf("\nexpected shape: the realistic refresh point costs only a "
+              "few percent (tRFC/tREFI ~4.5%%\nper vault, hidden further "
+              "by bank-level parallelism and staggering); the tax grows\n"
+              "with duty cycle and explains why the paper could omit "
+              "refresh without changing its\nconclusions.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A10: bank row-buffer policy.
+//
+// The paper's flat bank-busy model is a closed-page abstraction.  Real
+// stacked DRAM keeps rows open; whether that helps depends entirely on the
+// access pattern.  This bench runs sequential and random traffic under
+// closed-page (flat tRC = 16), and open-page with a 6-cycle hit / 22-cycle
+// miss split, and reports cycles plus the measured row hit rate.
+//
+// Env knobs: HMCSIM_ROWPOL_REQUESTS (default 2^16).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_ROWPOL_REQUESTS", u64{1} << 16);
+  std::printf("=== Ablation A10: row-buffer policy (4-link/8-bank, "
+              "%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("%-12s %-10s %10s %10s %12s\n", "policy", "workload", "cycles",
+              "hit_rate", "lat_mean");
+
+  for (const auto policy : {RowPolicy::ClosedPage, RowPolicy::OpenPage}) {
+    for (const bool sequential : {true, false}) {
+      DeviceConfig dc = table1_config_4link_8bank();
+      dc.capacity_bytes = 0;
+      dc.row_policy = policy;
+      Simulator sim = make_sim_or_die(dc);
+
+      GeneratorConfig gc;
+      gc.capacity_bytes = dc.derived_capacity();
+      gc.request_bytes = 64;
+      DriverConfig dcfg;
+      dcfg.total_requests = requests;
+      dcfg.max_cycles = 200u * 1000 * 1000;
+      DriverResult r;
+      if (sequential) {
+        StreamGenerator gen(gc);
+        r = HostDriver(sim, gen, dcfg).run();
+      } else {
+        RandomAccessGenerator gen(gc);
+        r = HostDriver(sim, gen, dcfg).run();
+      }
+      const DeviceStats s = sim.total_stats();
+      const u64 row_events = s.row_hits + s.row_misses;
+      std::printf("%-12s %-10s %10llu %9.1f%% %12.1f\n",
+                  policy == RowPolicy::ClosedPage ? "closed-page"
+                                                  : "open-page",
+                  sequential ? "stream" : "random",
+                  static_cast<unsigned long long>(r.cycles),
+                  row_events == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(s.row_hits) /
+                            static_cast<double>(row_events),
+                  r.latency.mean());
+    }
+  }
+
+  std::printf("\nexpected shape: open-page rewards streams (high hit rate, "
+              "~2-3x fewer cycles than\nclosed-page) and punishes uniform "
+              "random traffic (near-zero hits, every access pays\nthe "
+              "precharge+activate miss path) — the classic row-buffer "
+              "locality trade-off the\npaper's flat model abstracts away.\n");
+  return 0;
+}

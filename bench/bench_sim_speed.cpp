@@ -1,0 +1,124 @@
+// Simulator performance microbenchmarks (google-benchmark): how fast the
+// six-stage engine itself runs on the host.
+//
+// The paper notes its full-verbosity runs produced 16-40 GB traces and
+// multi-million-cycle simulations; host-side throughput decides whether
+// full-scale experiments are practical.  These benchmarks measure the
+// engine under the Table I workload at steady state, with and without
+// tracing, plus the idle-cycle floor.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "trace/series.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+/// Steady-state simulated-request throughput: requests retired per second
+/// of host time, under saturating random traffic.
+void BM_SimulatedRequests(benchmark::State& state) {
+  DeviceConfig dc = state.range(0) == 8 ? table1_config_8link_16bank()
+                                        : table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  dc.model_data = false;
+  Simulator sim;
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+
+  u64 retired = 0;
+  for (auto _ : state) {
+    DriverConfig dcfg;
+    dcfg.total_requests = 1 << 14;
+    HostDriver driver(sim, gen, dcfg);
+    const DriverResult r = driver.run();
+    retired += r.completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(retired));
+}
+BENCHMARK(BM_SimulatedRequests)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The same with Events-level tracing into the Figure-5 aggregator.
+void BM_SimulatedRequestsTraced(benchmark::State& state) {
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  dc.model_data = false;
+  Simulator sim;
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  sim.tracer().set_level(TraceLevel::Events);
+  sim.tracer().add_sink(
+      std::make_shared<VaultSeriesSink>(dc.num_vaults(), 256));
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+
+  u64 retired = 0;
+  for (auto _ : state) {
+    DriverConfig dcfg;
+    dcfg.total_requests = 1 << 14;
+    HostDriver driver(sim, gen, dcfg);
+    retired += driver.run().completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(retired));
+}
+BENCHMARK(BM_SimulatedRequestsTraced)->Unit(benchmark::kMillisecond);
+
+/// Idle-cycle floor: clock() on an empty device.
+void BM_IdleCycle(benchmark::State& state) {
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  Simulator sim;
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  for (auto _ : state) {
+    sim.clock();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdleCycle);
+
+/// Checkpoint save throughput at a loaded state.
+void BM_CheckpointSave(benchmark::State& state) {
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  dc.model_data = false;
+  Simulator sim;
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 1 << 14;
+  HostDriver driver(sim, gen, dcfg);
+  (void)driver.run();
+
+  usize bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    benchmark::DoNotOptimize(sim.save_checkpoint(os));
+    bytes += os.str().size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CheckpointSave);
+
+}  // namespace
+}  // namespace hmcsim
+
+BENCHMARK_MAIN();

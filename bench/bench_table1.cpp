@@ -1,0 +1,69 @@
+// Table I reproduction: "Simulation Runtime in Clock Cycles".
+//
+// Paper setup (§VI.A): 33,554,432 64-byte requests, 50/50 read/write mix,
+// glibc LCG randomness, round-robin link injection, 128 crossbar queue
+// slots, 64 vault queue slots, against four device configurations.
+//
+// We default to 2^20 requests so a single-core CI box finishes in seconds;
+// set HMCSIM_TABLE1_REQUESTS=33554432 for the paper's full scale.  The
+// paper's reported result is the *relative* shape — the speedup from extra
+// banks (avg 1.7x) and extra links (avg 2.319x) — which is invariant to
+// the request count once queues saturate.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_TABLE1_REQUESTS", u64{1} << 20);
+
+  std::printf("=== Table I: Simulation Runtime in Clock Cycles ===\n");
+  std::printf("workload: %llu x 64B random access, 50/50 R/W, "
+              "round-robin links\n\n",
+              static_cast<unsigned long long>(requests));
+
+  std::vector<Table1Row> rows;
+  for (const auto& nc : table1_configs()) {
+    Simulator sim = make_sim_or_die(nc.config);
+    const DriverResult r = run_random_access(sim, requests);
+    if (r.completed != requests) {
+      std::fprintf(stderr, "%s: run incomplete (%llu/%llu)\n",
+                   nc.label.c_str(),
+                   static_cast<unsigned long long>(r.completed),
+                   static_cast<unsigned long long>(requests));
+      return 1;
+    }
+    rows.push_back({nc.label, r.cycles, requests, sim.total_stats()});
+  }
+
+  std::printf("%s\n", format_table1(rows).c_str());
+
+  // The derived speedups the paper calls out in the text.
+  const double banks_4link =
+      static_cast<double>(rows[0].cycles) / static_cast<double>(rows[1].cycles);
+  const double banks_8link =
+      static_cast<double>(rows[2].cycles) / static_cast<double>(rows[3].cycles);
+  const double links_8bank =
+      static_cast<double>(rows[0].cycles) / static_cast<double>(rows[2].cycles);
+  const double links_16bank =
+      static_cast<double>(rows[1].cycles) / static_cast<double>(rows[3].cycles);
+
+  std::printf("speedup from 8->16 banks @4 links : %.3fx\n", banks_4link);
+  std::printf("speedup from 8->16 banks @8 links : %.3fx\n", banks_8link);
+  std::printf("  mean bank speedup               : %.3fx   (paper: 1.700x)\n",
+              (banks_4link + banks_8link) / 2);
+  std::printf("speedup from 4->8 links @8 banks  : %.3fx\n", links_8bank);
+  std::printf("speedup from 4->8 links @16 banks : %.3fx\n", links_16bank);
+  std::printf("  mean link speedup               : %.3fx   (paper: 2.319x)\n",
+              (links_8bank + links_16bank) / 2);
+
+  std::printf("\npaper reference (2^25 requests on the authors' host):\n");
+  std::printf("  4-Link; 8-Bank; 2GB   3,404,553 cycles\n");
+  std::printf("  4-Link; 16-Bank; 4GB  2,327,858 cycles\n");
+  std::printf("  8-Link; 8-Bank; 4GB   1,708,918 cycles\n");
+  std::printf("  8-Link; 16-Bank; 8GB    879,183 cycles\n");
+  return 0;
+}

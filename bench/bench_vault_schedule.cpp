@@ -1,0 +1,54 @@
+// Ablation A6: vault controller scheduling.
+//
+// The spec's weak ordering explicitly lets vaults reorder queued packets
+// "in order to make most efficient use of bandwidth to and from the
+// respective vault banks" (§III.C).  This bench quantifies that freedom:
+// the default bank-ready scheduler retires any queued request whose bank is
+// idle, while the StrictFifo ablation serves arrival order only, so one
+// busy bank blocks the whole vault.
+//
+// Env knobs: HMCSIM_VSCHED_REQUESTS (default 2^17).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int main() {
+  const u64 requests = env_u64("HMCSIM_VSCHED_REQUESTS", u64{1} << 17);
+  std::printf("=== Ablation A6: vault scheduling (%llu requests) ===\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("%-22s %-12s %10s %14s %12s\n", "config", "schedule", "cycles",
+              "conflicts", "lat_mean");
+
+  for (const auto& nc : table1_configs()) {
+    Cycle bank_ready_cycles = 0;
+    for (const auto schedule :
+         {VaultSchedule::BankReady, VaultSchedule::StrictFifo}) {
+      DeviceConfig dc = nc.config;
+      dc.vault_schedule = schedule;
+      Simulator sim = make_sim_or_die(dc);
+      const DriverResult r = run_random_access(sim, requests);
+      if (schedule == VaultSchedule::BankReady) bank_ready_cycles = r.cycles;
+      std::printf("%-22s %-12s %10llu %14llu %12.1f\n", nc.label.c_str(),
+                  schedule == VaultSchedule::BankReady ? "bank-ready"
+                                                       : "strict-fifo",
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(
+                      sim.total_stats().bank_conflicts),
+                  r.latency.mean());
+      if (schedule == VaultSchedule::StrictFifo && bank_ready_cycles != 0) {
+        std::printf("%-22s %-12s %9.2fx reordering speedup\n", "", "",
+                    static_cast<double>(r.cycles) /
+                        static_cast<double>(bank_ready_cycles));
+      }
+    }
+  }
+
+  std::printf("\nexpected shape: with random bank targets, strict FIFO "
+              "stalls every vault on its\nhead-of-line bank and loses "
+              "several-fold throughput; the gap widens with more\nbanks "
+              "per vault (more reordering opportunity).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Near-memory compute demo using Custom Memory Cube (CMC) commands.
+//
+// The HMC's coupled logic/memory package invites pushing simple
+// read-modify-write operations into the cube instead of shuttling data to
+// the host — the processing-in-memory direction the paper's Goblin-Core64
+// context pursues.  This example builds a histogram over a random data
+// stream two ways and compares cycles and link traffic:
+//
+//   host-side : RD16 bucket, increment on the host, WR16 it back
+//               (two packets + a round trip per update, plus a data hazard
+//                on every bucket collision), vs.
+//   CMC       : one posted FETCH_ADD-style custom command per update.
+//
+// Usage: ./examples/near_memory_compute [updates]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+constexpr u8 kPostedAdd64 = 0x04;  // reserved encoding for our CMC add
+constexpr u64 kBuckets = 512;
+constexpr u64 kHistBase = 0x40000;
+
+u64 bucket_addr(u64 bucket) { return kHistBase + bucket * 16; }
+
+u64 run_host_side(u64 updates) {
+  Simulator sim;
+  DeviceConfig dc;
+  if (!ok(sim.init_simple(dc))) return 0;
+
+  SplitMix64 rng(7);
+  const Cycle start = sim.now();
+  PacketBuffer pkt, rsp;
+  for (u64 i = 0; i < updates; ++i) {
+    const u64 addr = bucket_addr(rng.next_below(kBuckets));
+    // Read the bucket...
+    (void)build_memrequest(0, addr, 1, Command::Rd16, 0, {}, pkt);
+    while (sim.send(0, 0, pkt) == Status::Stalled) sim.clock();
+    while (!ok(sim.recv(0, 0, rsp))) sim.clock();
+    u64 value[2] = {rsp.payload()[0] + 1, 0};  // ...increment on the host...
+    // ...write it back (must complete before the next update to the same
+    // bucket may read, so we wait for the response).
+    (void)build_memrequest(0, addr, 2, Command::Wr16, 0, value, pkt);
+    while (sim.send(0, 0, pkt) == Status::Stalled) sim.clock();
+    while (!ok(sim.recv(0, 0, rsp))) sim.clock();
+  }
+  return sim.now() - start;
+}
+
+u64 run_cmc(u64 updates, Simulator& sim) {
+  DeviceConfig dc;
+  if (!ok(sim.init_simple(dc))) return 0;
+
+  CustomCommandDef add;
+  add.name = "P_ADD64_CMC";
+  add.request_flits = 2;   // 16B operand
+  add.response_flits = 0;  // posted: fire-and-forget
+  add.access_bytes = 16;
+  add.handler = [](std::span<u64> memory, std::span<const u64> operand,
+                   std::span<u64>) { memory[0] += operand[0]; };
+  if (!ok(sim.register_custom_command(kPostedAdd64, add))) return 0;
+
+  SplitMix64 rng(7);
+  const Cycle start = sim.now();
+  PacketBuffer pkt;
+  const u64 operand[2] = {1, 0};
+  for (u64 i = 0; i < updates; ++i) {
+    const u64 addr = bucket_addr(rng.next_below(kBuckets));
+    (void)build_custom_request(sim.custom_commands(), kPostedAdd64, 0, addr,
+                               0, static_cast<u32>(i % 4), operand, pkt);
+    while (sim.send(0, static_cast<u32>(i % 4), pkt) == Status::Stalled) {
+      sim.clock();
+    }
+  }
+  // Let the posted updates drain through the vaults.
+  while (!sim.quiescent()) sim.clock();
+  return sim.now() - start;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 updates =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 4096;
+
+  std::printf("histogram of %llu updates over %llu buckets\n\n",
+              static_cast<unsigned long long>(updates),
+              static_cast<unsigned long long>(kBuckets));
+
+  const u64 host_cycles = run_host_side(updates);
+  std::printf("host-side RMW : %10llu cycles (%.2f cycles/update)\n",
+              static_cast<unsigned long long>(host_cycles),
+              static_cast<double>(host_cycles) /
+                  static_cast<double>(updates));
+
+  Simulator cmc_sim;
+  const u64 cmc_cycles = run_cmc(updates, cmc_sim);
+  std::printf("CMC in-memory : %10llu cycles (%.2f cycles/update)\n",
+              static_cast<unsigned long long>(cmc_cycles),
+              static_cast<double>(cmc_cycles) /
+                  static_cast<double>(updates));
+  std::printf("\nspeedup: %.1fx — one posted 2-FLIT packet per update "
+              "instead of a serialized\nread/modify/write round trip, and "
+              "the bucket-collision hazard moves into the\nvault where bank "
+              "ordering already enforces it.\n",
+              static_cast<double>(host_cycles) /
+                  static_cast<double>(cmc_cycles ? cmc_cycles : 1));
+
+  // Cross-check: the histogram total must equal the update count.
+  u64 total = 0;
+  for (u64 b = 0; b < kBuckets; ++b) {
+    u64 word = 0;
+    (void)cmc_sim.device(0).store.read_words(bucket_addr(b), {&word, 1});
+    total += word;
+  }
+  std::printf("\nhistogram checksum: %llu/%llu %s\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(updates),
+              total == updates ? "(exact)" : "(MISMATCH!)");
+  return total == updates ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Register access demo: the two paths the HMC specification provides for
+// reading/writing device configuration registers.
+//
+//  1. In-band MODE_READ / MODE_WRITE packets — route to the target cube
+//     like any memory request, work across chains, but consume memory link
+//     bandwidth.
+//  2. Side-band JTAG / I2C — free of memory-bandwidth cost and outside the
+//     clock domains entirely.
+//
+// Usage: ./examples/register_access
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+void dump_register_table() {
+  std::printf("architected register map (physical index -> class):\n");
+  for (const auto& def : register_table()) {
+    const char* cls = def.cls == RegClass::RW    ? "RW "
+                      : def.cls == RegClass::RO  ? "RO "
+                                                 : "RWS";
+    std::printf("  0x%06x  %-6s %s\n", def.phys,
+                std::string(def.name).c_str(), cls);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  std::string diag;
+  DeviceConfig dc;  // default 4-link device
+  if (!ok(sim.init_simple(dc, &diag))) {
+    std::fprintf(stderr, "init failed: %s\n", diag.c_str());
+    return 1;
+  }
+
+  dump_register_table();
+
+  // --- side-band path: instantaneous, no clocks consumed -----------------
+  u64 rvid = 0;
+  (void)sim.jtag_reg_read(0, phys_from_reg(Reg::Rvid), rvid);
+  std::printf("\nJTAG read RVID            = 0x%016" PRIx64
+              " (clock still %" PRIu64 ")\n",
+              rvid, sim.now());
+
+  (void)sim.jtag_reg_write(0, phys_from_reg(Reg::Gc), 0x00C0FFEE);
+  u64 gc = 0;
+  (void)sim.jtag_reg_read(0, phys_from_reg(Reg::Gc), gc);
+  std::printf("JTAG write/read GC        = 0x%016" PRIx64 "\n", gc);
+
+  // --- RWS self-clear behavior -------------------------------------------
+  (void)sim.jtag_reg_write(0, phys_from_reg(Reg::Edr0), 0xDEAD);
+  u64 edr = 0;
+  (void)sim.jtag_reg_read(0, phys_from_reg(Reg::Edr0), edr);
+  std::printf("EDR0 just after RWS write = 0x%" PRIx64 "\n", edr);
+  sim.clock();
+  (void)sim.jtag_reg_read(0, phys_from_reg(Reg::Edr0), edr);
+  std::printf("EDR0 after one clock edge = 0x%" PRIx64
+              " (self-cleared)\n", edr);
+
+  // --- in-band path: costs link bandwidth and real cycles -----------------
+  PacketBuffer pkt;
+  (void)build_moderequest(/*cub=*/0, phys_from_reg(Reg::Gc), /*tag=*/1,
+                          /*write=*/false, 0, /*link=*/0, pkt);
+  (void)sim.send(0, 0, pkt);
+  const Cycle sent_at = sim.now();
+  PacketBuffer rsp;
+  while (!ok(sim.recv(0, 0, rsp))) sim.clock();
+  ResponseFields f;
+  (void)decode_response(rsp, f);
+  std::printf("\nMODE_READ GC via link 0   = 0x%016" PRIx64
+              " (%s, took %" PRIu64 " cycles of link time)\n",
+              rsp.payload()[0], std::string(to_string(f.cmd)).c_str(),
+              sim.now() - sent_at);
+
+  std::printf("\nThe in-band path matches the JTAG value but consumed "
+              "packet slots and cycles —\nexactly the bandwidth trade-off "
+              "the specification (and paper §V.D) warns about.\n");
+  return 0;
+}

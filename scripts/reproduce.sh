@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, run every experiment harness, and
+# collect the outputs EXPERIMENTS.md references.
+#
+# Usage:
+#   scripts/reproduce.sh            # default (CI-friendly) scale
+#   FULL=1 scripts/reproduce.sh     # the paper's 2^25-request Table I
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure & build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo
+echo "== test suite =="
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt | tail -3
+
+echo
+echo "== experiment harnesses =="
+if [[ "${FULL:-0}" == "1" ]]; then
+  export HMCSIM_TABLE1_REQUESTS=33554432
+  echo "(full paper scale: HMCSIM_TABLE1_REQUESTS=$HMCSIM_TABLE1_REQUESTS)"
+fi
+for b in build/bench/*; do
+  echo "### $b"
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt | grep -E '^###|passed|Speedup|speedup' || true
+
+echo
+echo "done: see test_output.txt and bench_output.txt"

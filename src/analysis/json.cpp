@@ -1,0 +1,227 @@
+#include "analysis/json.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "analysis/report.hpp"
+
+namespace hmcsim {
+
+void JsonWriter::separator() {
+  if (need_comma_) *os_ << ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::escape(std::string_view text) {
+  *os_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': *os_ << "\\\""; break;
+      case '\\': *os_ << "\\\\"; break;
+      case '\n': *os_ << "\\n"; break;
+      case '\t': *os_ << "\\t"; break;
+      case '\r': *os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *os_ << buf;
+        } else {
+          *os_ << c;
+        }
+    }
+  }
+  *os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  *os_ << '{';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  *os_ << '}';
+  --depth_;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  *os_ << '[';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  *os_ << ']';
+  --depth_;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separator();
+  escape(name);
+  *os_ << ':';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  separator();
+  *os_ << v;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  separator();
+  *os_ << v;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    *os_ << buf;
+  } else {
+    *os_ << "null";  // JSON has no NaN/Inf
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  *os_ << (v ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  escape(v);
+  need_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+void write_device_stats(JsonWriter& json, const DeviceStats& s) {
+  json.begin_object();
+  json.kv("reads", s.reads);
+  json.kv("writes", s.writes);
+  json.kv("atomics", s.atomics);
+  json.kv("mode_ops", s.mode_ops);
+  json.kv("custom_ops", s.custom_ops);
+  json.kv("bytes_read", s.bytes_read);
+  json.kv("bytes_written", s.bytes_written);
+  json.kv("responses", s.responses);
+  json.kv("error_responses", s.error_responses);
+  json.kv("bank_conflicts", s.bank_conflicts);
+  json.kv("xbar_rqst_stalls", s.xbar_rqst_stalls);
+  json.kv("xbar_rsp_stalls", s.xbar_rsp_stalls);
+  json.kv("vault_rsp_stalls", s.vault_rsp_stalls);
+  json.kv("latency_penalties", s.latency_penalties);
+  json.kv("route_hops", s.route_hops);
+  json.kv("misroutes", s.misroutes);
+  json.kv("link_errors", s.link_errors);
+  json.kv("link_retries", s.link_retries);
+  json.kv("refreshes", s.refreshes);
+  json.kv("row_hits", s.row_hits);
+  json.kv("row_misses", s.row_misses);
+  json.kv("sends", s.sends);
+  json.kv("send_stalls", s.send_stalls);
+  json.kv("recvs", s.recvs);
+  json.kv("flow_packets", s.flow_packets);
+  json.end_object();
+}
+
+std::string_view map_mode_name(AddrMapMode mode) {
+  switch (mode) {
+    case AddrMapMode::LowInterleave: return "low_interleave";
+    case AddrMapMode::BankFirst: return "bank_first";
+    case AddrMapMode::Linear: return "linear";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const Simulator& sim,
+                      const PowerConfig& power) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.kv("simulator", "hmcsim++");
+  json.kv("cycle", sim.now());
+
+  if (sim.initialized()) {
+    const DeviceConfig& dc = sim.config().device;
+    json.key("config").begin_object();
+    json.kv("num_devices", u64{sim.num_devices()});
+    json.kv("num_links", u64{dc.num_links});
+    json.kv("num_vaults", u64{dc.num_vaults()});
+    json.kv("banks_per_vault", u64{dc.banks_per_vault});
+    json.kv("capacity_bytes", dc.derived_capacity());
+    json.kv("xbar_depth", u64{dc.xbar_depth});
+    json.kv("vault_depth", u64{dc.vault_depth});
+    json.kv("max_block_bytes", dc.max_block_bytes);
+    json.kv("map_mode", map_mode_name(dc.map_mode));
+    json.kv("bank_busy_cycles", u64{dc.bank_busy_cycles});
+    json.kv("xbar_flits_per_cycle", u64{dc.xbar_flits_per_cycle});
+    json.kv("vault_schedule",
+            dc.vault_schedule == VaultSchedule::BankReady ? "bank_ready"
+                                                          : "strict_fifo");
+    json.kv("link_error_rate_ppm", u64{dc.link_error_rate_ppm});
+    json.kv("model_data", dc.model_data);
+    json.end_object();
+
+    json.key("totals");
+    write_device_stats(json, sim.total_stats());
+
+    json.key("devices").begin_array();
+    for (u32 d = 0; d < sim.num_devices(); ++d) {
+      write_device_stats(json, sim.stats(d));
+    }
+    json.end_array();
+
+    json.key("links").begin_array();
+    for (const LinkUtilization& u : link_utilization(sim)) {
+      json.begin_object();
+      json.kv("dev", u64{u.dev});
+      json.kv("link", u64{u.link});
+      json.kv("rqst_flits", u.rqst_flits);
+      json.kv("rsp_flits", u.rsp_flits);
+      json.kv("rqst_util", u.rqst_util);
+      json.kv("rsp_util", u.rsp_util);
+      json.end_object();
+    }
+    json.end_array();
+
+    const PowerReport p = estimate_power(sim, power);
+    json.key("power").begin_object();
+    json.kv("dram_nj", p.dram_nj);
+    json.kv("logic_nj", p.logic_nj);
+    json.kv("link_nj", p.link_nj);
+    json.kv("routing_nj", p.routing_nj);
+    json.kv("static_nj", p.static_nj);
+    json.kv("total_nj", p.total_nj);
+    json.kv("average_w", p.average_w);
+    json.kv("pj_per_byte", p.pj_per_byte);
+    json.kv("elapsed_ns", p.elapsed_ns);
+    json.end_object();
+  }
+
+  json.end_object();
+  os << '\n';
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,82 @@
+#include "analysis/occupancy.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hmcsim {
+
+void OccupancyProbe::sample(const Simulator& sim) {
+  if (calls_++ % interval_ != 0) return;
+  if (!sim.initialized()) return;
+
+  Sample s;
+  s.cycle = sim.now();
+  usize link_queues = 0, vault_queues = 0;
+  double xbar_rqst = 0, xbar_rsp = 0, vault_rqst = 0, vault_rsp = 0;
+  for (u32 d = 0; d < sim.num_devices(); ++d) {
+    const Device& dev = sim.device(d);
+    for (const LinkState& link : dev.links) {
+      xbar_rqst += static_cast<double>(link.rqst.size()) /
+                   static_cast<double>(link.rqst.capacity());
+      xbar_rsp += static_cast<double>(link.rsp.size()) /
+                  static_cast<double>(link.rsp.capacity());
+      ++link_queues;
+    }
+    for (const VaultState& vault : dev.vaults) {
+      vault_rqst += static_cast<double>(vault.rqst.size()) /
+                    static_cast<double>(vault.rqst.capacity());
+      vault_rsp += static_cast<double>(vault.rsp.size()) /
+                   static_cast<double>(vault.rsp.capacity());
+      ++vault_queues;
+    }
+  }
+  if (link_queues > 0) {
+    s.xbar_rqst_fill = xbar_rqst / static_cast<double>(link_queues);
+    s.xbar_rsp_fill = xbar_rsp / static_cast<double>(link_queues);
+  }
+  if (vault_queues > 0) {
+    s.vault_rqst_fill = vault_rqst / static_cast<double>(vault_queues);
+    s.vault_rsp_fill = vault_rsp / static_cast<double>(vault_queues);
+  }
+  samples_.push_back(s);
+}
+
+OccupancyProbe::Sample OccupancyProbe::mean() const {
+  Sample m;
+  if (samples_.empty()) return m;
+  for (const Sample& s : samples_) {
+    m.xbar_rqst_fill += s.xbar_rqst_fill;
+    m.xbar_rsp_fill += s.xbar_rsp_fill;
+    m.vault_rqst_fill += s.vault_rqst_fill;
+    m.vault_rsp_fill += s.vault_rsp_fill;
+  }
+  const double n = static_cast<double>(samples_.size());
+  m.cycle = samples_.back().cycle;
+  m.xbar_rqst_fill /= n;
+  m.xbar_rsp_fill /= n;
+  m.vault_rqst_fill /= n;
+  m.vault_rsp_fill /= n;
+  return m;
+}
+
+OccupancyProbe::Sample OccupancyProbe::peak() const {
+  Sample p;
+  for (const Sample& s : samples_) {
+    p.xbar_rqst_fill = std::max(p.xbar_rqst_fill, s.xbar_rqst_fill);
+    p.xbar_rsp_fill = std::max(p.xbar_rsp_fill, s.xbar_rsp_fill);
+    p.vault_rqst_fill = std::max(p.vault_rqst_fill, s.vault_rqst_fill);
+    p.vault_rsp_fill = std::max(p.vault_rsp_fill, s.vault_rsp_fill);
+    p.cycle = std::max(p.cycle, s.cycle);
+  }
+  return p;
+}
+
+void OccupancyProbe::write_csv(std::ostream& os) const {
+  os << "cycle,xbar_rqst,xbar_rsp,vault_rqst,vault_rsp\n";
+  for (const Sample& s : samples_) {
+    os << s.cycle << ',' << s.xbar_rqst_fill << ',' << s.xbar_rsp_fill << ','
+       << s.vault_rqst_fill << ',' << s.vault_rsp_fill << '\n';
+  }
+}
+
+}  // namespace hmcsim

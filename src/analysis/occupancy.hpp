@@ -1,0 +1,56 @@
+// Queue occupancy probe.
+//
+// The paper sizes its experiments around queue depths (128 crossbar / 64
+// vault slots) and reads contention off stall events.  The probe gives the
+// complementary view: a time series of how full each queue class actually
+// runs, which is what you need to pick depths for a new workload
+// ("transaction efficiency" analysis, §IV.E).
+//
+// Usage: call sample(sim) once per cycle (or at any coarser cadence you
+// like); each due sample snapshots the mean fill fraction of the four
+// queue classes across every device.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace hmcsim {
+
+class OccupancyProbe {
+ public:
+  struct Sample {
+    Cycle cycle{0};
+    double xbar_rqst_fill{0.0};   ///< mean fill of link request queues
+    double xbar_rsp_fill{0.0};    ///< mean fill of link response queues
+    double vault_rqst_fill{0.0};  ///< mean fill of vault request queues
+    double vault_rsp_fill{0.0};   ///< mean fill of vault response queues
+  };
+
+  /// Record one sample every `interval` calls to sample().
+  explicit OccupancyProbe(Cycle interval = 1)
+      : interval_(interval == 0 ? 1 : interval) {}
+
+  /// Snapshot the simulator if a sample is due at its current cycle.
+  void sample(const Simulator& sim);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// Column-wise arithmetic means over all samples.
+  [[nodiscard]] Sample mean() const;
+  /// Column-wise maxima over all samples.
+  [[nodiscard]] Sample peak() const;
+
+  /// CSV: cycle,xbar_rqst,xbar_rsp,vault_rqst,vault_rsp
+  void write_csv(std::ostream& os) const;
+
+ private:
+  Cycle interval_;
+  Cycle calls_{0};
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hmcsim

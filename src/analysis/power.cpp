@@ -1,0 +1,48 @@
+#include "analysis/power.hpp"
+
+namespace hmcsim {
+
+PowerReport estimate_power(const Simulator& sim, const PowerConfig& config) {
+  PowerReport report;
+  if (!sim.initialized()) return report;
+
+  u64 bank_bytes = 0;
+  u64 link_flits = 0;
+  u64 extra_hops = 0;
+  for (u32 d = 0; d < sim.num_devices(); ++d) {
+    const Device& dev = sim.device(d);
+    bank_bytes += dev.stats.bytes_read + dev.stats.bytes_written;
+    extra_hops += dev.stats.latency_penalties + dev.stats.route_hops;
+    for (const LinkState& link : dev.links) {
+      link_flits += link.rqst_flits_forwarded + link.rsp_flits_forwarded;
+    }
+  }
+
+  report.dram_nj =
+      static_cast<double>(bank_bytes) * config.dram_pj_per_byte * 1e-3;
+  report.logic_nj =
+      static_cast<double>(bank_bytes) * config.logic_pj_per_byte * 1e-3;
+  report.link_nj =
+      static_cast<double>(link_flits) * config.link_pj_per_flit * 1e-3;
+  report.routing_nj =
+      static_cast<double>(extra_hops) * config.xbar_hop_pj * 1e-3;
+
+  report.elapsed_ns =
+      static_cast<double>(sim.now()) / config.clock_ghz;  // cycles / GHz
+  report.static_nj = config.static_w_per_device *
+                     static_cast<double>(sim.num_devices()) *
+                     report.elapsed_ns;  // W * ns = nJ
+
+  report.total_nj = report.dram_nj + report.logic_nj + report.link_nj +
+                    report.routing_nj + report.static_nj;
+  if (report.elapsed_ns > 0.0) {
+    report.average_w = report.total_nj / report.elapsed_ns;  // nJ/ns = W
+  }
+  if (bank_bytes > 0) {
+    report.pj_per_byte =
+        report.total_nj * 1e3 / static_cast<double>(bank_bytes);
+  }
+  return report;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,57 @@
+// Activity-based energy/power estimation.
+//
+// The 2014 paper leaves power as future work (HMC-Sim's successor grew a
+// power model); we provide one in the same activity-counting tradition:
+// every retired operation, forwarded FLIT and elapsed cycle contributes
+// energy from a configurable coefficient table.  Default coefficients
+// follow the published HMC energy story — ~3.7 pJ/bit of DRAM access
+// energy inside a ~10.5 pJ/bit total device budget, with the SERDES links
+// the dominant non-DRAM consumer.
+//
+// This is an estimation layer over the always-on statistics, not a circuit
+// model; use it for relative comparisons between configurations and
+// workloads (which is how the ablation bench applies it).
+#pragma once
+
+#include "core/simulator.hpp"
+
+namespace hmcsim {
+
+struct PowerConfig {
+  /// DRAM array access energy per byte moved to/from a bank (3.7 pJ/bit).
+  double dram_pj_per_byte{29.6};
+  /// Crossbar + vault-controller logic energy per byte of bank traffic
+  /// (the remainder of the ~10.5 pJ/bit device budget less the SERDES).
+  double logic_pj_per_byte{24.0};
+  /// SERDES energy per 16-byte FLIT crossing a link (~2 pJ/bit).
+  double link_pj_per_flit{256.0};
+  /// Extra crossbar traversal energy for non-co-located routing: charged
+  /// once per routed-latency penalty event and per chained route hop.
+  double xbar_hop_pj{128.0};
+  /// Static (leakage + PLL + refresh) power per device, in watts.
+  double static_w_per_device{0.85};
+  /// Device clock for converting cycles to time.
+  double clock_ghz{1.25};
+};
+
+struct PowerReport {
+  double dram_nj{0.0};
+  double logic_nj{0.0};
+  double link_nj{0.0};
+  double routing_nj{0.0};
+  double static_nj{0.0};
+  double total_nj{0.0};
+  /// Mean power over the simulated interval, in watts.
+  double average_w{0.0};
+  /// Energy efficiency of the run: total pJ per byte of bank traffic
+  /// (infinite when no data moved; reported as 0 in that case).
+  double pj_per_byte{0.0};
+  /// Simulated wall time in nanoseconds.
+  double elapsed_ns{0.0};
+};
+
+/// Estimate energy for everything the simulator has executed so far.
+[[nodiscard]] PowerReport estimate_power(const Simulator& sim,
+                                         const PowerConfig& config = {});
+
+}  // namespace hmcsim

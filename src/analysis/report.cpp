@@ -1,0 +1,120 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hmcsim {
+
+Fig5Summary summarize_series(const VaultSeriesSink& series) {
+  Fig5Summary s;
+  const auto& buckets = series.buckets();
+  if (buckets.empty()) return s;
+  s.cycles = static_cast<Cycle>(buckets.size()) * series.bucket_width();
+  s.total_conflicts = series.total_conflicts();
+  s.total_reads = series.total_reads();
+  s.total_writes = series.total_writes();
+  s.total_xbar_stalls = series.total_xbar_stalls();
+  s.total_latency_penalties = series.total_latency_penalties();
+  const double cycles = static_cast<double>(s.cycles);
+  s.mean_conflicts_per_cycle = static_cast<double>(s.total_conflicts) / cycles;
+  s.mean_reads_per_cycle = static_cast<double>(s.total_reads) / cycles;
+  s.mean_writes_per_cycle = static_cast<double>(s.total_writes) / cycles;
+
+  const double width = static_cast<double>(series.bucket_width());
+  for (const auto& b : buckets) {
+    u64 conflicts = 0;
+    for (const u32 v : b.conflicts) conflicts += v;
+    s.peak_conflicts_per_cycle = std::max(
+        s.peak_conflicts_per_cycle, static_cast<double>(conflicts) / width);
+  }
+  return s;
+}
+
+void write_fig5_csv(std::ostream& os, const VaultSeriesSink& series) {
+  os << "cycle,xbar_stalls,latency_penalties,conflicts,reads,writes";
+  for (u32 v = 0; v < series.vaults(); ++v) os << ",conflicts_v" << v;
+  for (u32 v = 0; v < series.vaults(); ++v) os << ",reads_v" << v;
+  for (u32 v = 0; v < series.vaults(); ++v) os << ",writes_v" << v;
+  os << '\n';
+  for (const auto& b : series.buckets()) {
+    u64 conflicts = 0, reads = 0, writes = 0;
+    for (const u32 x : b.conflicts) conflicts += x;
+    for (const u32 x : b.reads) reads += x;
+    for (const u32 x : b.writes) writes += x;
+    os << b.first_cycle << ',' << b.xbar_stalls << ',' << b.latency_penalties
+       << ',' << conflicts << ',' << reads << ',' << writes;
+    for (const u32 x : b.conflicts) os << ',' << x;
+    for (const u32 x : b.reads) os << ',' << x;
+    for (const u32 x : b.writes) os << ',' << x;
+    os << '\n';
+  }
+}
+
+std::string format_table1(const std::vector<Table1Row>& rows) {
+  std::ostringstream os;
+  os << "Simulation Runtime in Clock Cycles\n";
+  os << std::left << std::setw(28) << "Device Configuration" << std::right
+     << std::setw(16) << "Cycles" << std::setw(12) << "Speedup" << '\n';
+  const double base =
+      rows.empty() ? 1.0 : static_cast<double>(rows.front().cycles);
+  for (const auto& row : rows) {
+    os << std::left << std::setw(28) << row.label << std::right
+       << std::setw(16) << row.cycles << std::setw(11) << std::fixed
+       << std::setprecision(3)
+       << (row.cycles == 0 ? 0.0 : base / static_cast<double>(row.cycles))
+       << "x\n";
+  }
+  return os.str();
+}
+
+double effective_bandwidth_gbs(u64 bytes, Cycle cycles, double clock_ghz) {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(cycles) * clock_ghz;
+}
+
+double link_flits_per_cycle(u32 lanes, double gbps, double clock_ghz) {
+  // lanes * gbps Gbit/s  /  (clock_ghz GHz * 128 bit/FLIT)
+  return static_cast<double>(lanes) * gbps / (clock_ghz * 128.0);
+}
+
+double vault_load_fairness(const Simulator& sim) {
+  if (!sim.initialized()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  usize n = 0;
+  for (u32 d = 0; d < sim.num_devices(); ++d) {
+    for (const VaultState& vault : sim.device(d).vaults) {
+      const double load = static_cast<double>(vault.rqst.stats().total_pops);
+      sum += load;
+      sum_sq += load * load;
+      ++n;
+    }
+  }
+  if (sum == 0.0 || n == 0) return 0.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+std::vector<LinkUtilization> link_utilization(const Simulator& sim) {
+  std::vector<LinkUtilization> result;
+  if (!sim.initialized() || sim.now() == 0) return result;
+  const double budget =
+      static_cast<double>(sim.config().device.xbar_flits_per_cycle) *
+      static_cast<double>(sim.now());
+  for (u32 d = 0; d < sim.num_devices(); ++d) {
+    const Device& dev = sim.device(d);
+    for (u32 l = 0; l < sim.config().device.num_links; ++l) {
+      LinkUtilization u;
+      u.dev = d;
+      u.link = l;
+      u.rqst_flits = dev.links[l].rqst_flits_forwarded;
+      u.rsp_flits = dev.links[l].rsp_flits_forwarded;
+      u.rqst_util = static_cast<double>(u.rqst_flits) / budget;
+      u.rsp_util = static_cast<double>(u.rsp_flits) / budget;
+      result.push_back(u);
+    }
+  }
+  return result;
+}
+
+}  // namespace hmcsim

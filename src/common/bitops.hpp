@@ -1,0 +1,54 @@
+// Bit-field extraction/insertion helpers used by the packet codec, the
+// address maps and the register file.
+//
+// All HMC wire formats are little-endian bit fields inside 64-bit words; the
+// helpers below take (word, low-bit, width) triples so call sites read like
+// the specification tables they implement.
+#pragma once
+
+#include <cassert>
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+/// Mask with the low `width` bits set.  width == 64 yields all-ones.
+[[nodiscard]] constexpr u64 mask(unsigned width) {
+  assert(width <= 64);
+  return width >= 64 ? ~u64{0} : ((u64{1} << width) - 1);
+}
+
+/// Extract `width` bits starting at bit `lo` of `word`.
+[[nodiscard]] constexpr u64 extract(u64 word, unsigned lo, unsigned width) {
+  assert(lo < 64 && lo + width <= 64);
+  return (word >> lo) & mask(width);
+}
+
+/// Return `word` with `width` bits starting at `lo` replaced by the low bits
+/// of `value`.  Bits of `value` above `width` are discarded.
+[[nodiscard]] constexpr u64 deposit(u64 word, unsigned lo, unsigned width,
+                                    u64 value) {
+  assert(lo < 64 && lo + width <= 64);
+  const u64 m = mask(width) << lo;
+  return (word & ~m) | ((value << lo) & m);
+}
+
+/// True when `v` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(u64 v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(u64 v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Ceiling division for unsigned integers.
+[[nodiscard]] constexpr u64 ceil_div(u64 a, u64 b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace hmcsim

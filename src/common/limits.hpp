@@ -1,0 +1,61 @@
+// Architectural constants from the Hybrid Memory Cube Specification 1.0 and
+// the HMC-Sim paper.  Everything here is a hard property of the wire format
+// or of the simulator's structural model; run-time configuration lives in
+// core/config.hpp.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hmcsim::spec {
+
+/// One flow unit (FLIT) is 16 bytes == two 64-bit words.
+inline constexpr usize kFlitBytes = 16;
+inline constexpr usize kFlitWords = 2;
+
+/// Packets span 1..9 FLITs; 9 FLITs == 144 bytes == header + 128B payload +
+/// tail.
+inline constexpr usize kMinPacketFlits = 1;
+inline constexpr usize kMaxPacketFlits = 9;
+inline constexpr usize kMaxPacketWords = kMaxPacketFlits * kFlitWords;  // 18
+inline constexpr usize kMaxPayloadBytes = 128;
+
+/// The physical address field is 34 bits wide.  Four-link devices use the
+/// lower 32 bits, eight-link devices the lower 33 bits.
+inline constexpr unsigned kAddrBits = 34;
+inline constexpr u64 kAddrMask = (u64{1} << kAddrBits) - 1;
+
+/// The in-band cube id (CUB) field is 3 bits.
+inline constexpr unsigned kCubBits = 3;
+inline constexpr u32 kMaxDevices = 7;  // id kMaxDevices.. reserved for hosts
+
+/// The transaction tag is 9 bits.
+inline constexpr unsigned kTagBits = 9;
+inline constexpr u16 kMaxTag = (1u << kTagBits) - 1;
+
+/// Valid link counts, and the fixed quad fan-out of four vaults per quad.
+inline constexpr u32 kLinks4 = 4;
+inline constexpr u32 kLinks8 = 8;
+inline constexpr u32 kVaultsPerQuad = 4;
+
+/// Valid banks-per-vault counts (== stacked DRAM die layers).
+inline constexpr u32 kBanks8 = 8;
+inline constexpr u32 kBanks16 = 16;
+
+/// The vault controller addresses DRAM as 1Mi blocks of 16 bytes each, so a
+/// bank holds 16 MiB regardless of configuration (capacity scales with the
+/// vault and bank counts).
+inline constexpr u64 kBankBytes = u64{16} * 1024 * 1024;
+inline constexpr u64 kBlockBytes = 16;
+
+/// Column accesses always move 32 bytes per fetch (spec §III.A).
+inline constexpr u64 kColumnFetchBytes = 32;
+
+/// Link serialization rates (Gbps per lane) permitted by the spec; used by
+/// the bandwidth model and validated at configuration time.
+inline constexpr double kLinkRates4[] = {10.0, 12.5, 15.0};
+inline constexpr double kLinkRates8[] = {10.0};
+
+/// Aggregate bandwidth ceiling the spec advertises per device.
+inline constexpr double kMaxDeviceBandwidthGBs = 320.0;
+
+}  // namespace hmcsim::spec

@@ -1,0 +1,38 @@
+#include "common/random.hpp"
+
+#include <cstdint>
+
+namespace hmcsim {
+
+GlibcRandom::GlibcRandom(u32 seed) {
+  // glibc __srandom_r for TYPE_3 (degree 31, separation 3).
+  if (seed == 0) seed = 1;
+  // r[i] = 16807 * r[i-1] mod 2^31-1, computed via Schrage's method exactly
+  // as glibc does (with signed 32-bit words promoted to 64-bit).
+  ring_[0] = seed;
+  for (int i = 1; i < 31; ++i) {
+    const std::int64_t prev =
+        static_cast<std::int64_t>(static_cast<std::int32_t>(ring_[i - 1]));
+    const std::int64_t hi = prev / 127773;
+    const std::int64_t lo = prev % 127773;
+    std::int64_t word = 16807 * lo - 2836 * hi;
+    if (word < 0) word += 2147483647;
+    ring_[static_cast<usize>(i)] = static_cast<u32>(word);
+  }
+
+  // glibc starts the front pointer `separation` (3) words ahead of the tap
+  // pointer, then discards 10 * degree (310) outputs as warm-up.
+  f_ = 3;
+  t_ = 0;
+  for (int i = 0; i < 310; ++i) (void)next();
+}
+
+u32 GlibcRandom::next() {
+  ring_[static_cast<usize>(f_)] += ring_[static_cast<usize>(t_)];
+  const u32 result = (ring_[static_cast<usize>(f_)] >> 1) & 0x7fffffffu;
+  if (++f_ >= 31) f_ = 0;
+  if (++t_ >= 31) t_ = 0;
+  return result;
+}
+
+}  // namespace hmcsim

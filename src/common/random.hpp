@@ -1,0 +1,97 @@
+// Deterministic random number generators.
+//
+// The paper drives its random-access harness "via a simple linear
+// congruential method provided by the GNU libc library".  To keep results
+// reproducible on every platform we re-implement both glibc generators:
+//
+//  * `Lcg31`        — the classic TYPE_0 linear congruential generator
+//                     (x' = x*1103515245 + 12345 mod 2^31), the "simple
+//                     linear congruential method" the paper names.
+//  * `GlibcRandom`  — glibc's default TYPE_3 additive-feedback generator
+//                     (what `rand()` actually runs when seeded via
+//                     `srand`), provided for bit-exact comparison runs.
+//  * `SplitMix64`   — a fast 64-bit mixer for internal simulator needs
+//                     (workload shuffles, property-test case generation).
+//
+// All generators are value types: copyable, comparable, no global state.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+/// glibc TYPE_0 LCG.  Matches `rand()` after `initstate(seed, buf, 8)`, and
+/// the traditional K&R-style rand implementations.
+class Lcg31 {
+ public:
+  constexpr explicit Lcg31(u32 seed = 1) : state_(seed) {}
+
+  /// Next value in [0, 2^31).
+  constexpr u32 next() {
+    state_ = state_ * 1103515245u + 12345u;
+    return state_ & 0x7fffffffu;
+  }
+
+  /// Next value folded into [0, bound).  Uses 64-bit multiply-shift to avoid
+  /// the low-bit correlation of modulo on an LCG.
+  constexpr u32 next_below(u32 bound) {
+    return static_cast<u32>((static_cast<u64>(next()) * bound) >> 31);
+  }
+
+  constexpr bool operator==(const Lcg31&) const = default;
+
+ private:
+  u32 state_;
+};
+
+/// glibc TYPE_3 additive-feedback generator: r[i] = r[i-3] + r[i-31],
+/// output (r[i] >> 1) & 0x7fffffff.  Bit-exact with glibc's rand()/random()
+/// after srand(seed), including the 310-value warm-up discard.
+class GlibcRandom {
+ public:
+  explicit GlibcRandom(u32 seed = 1);
+
+  /// Next value in [0, 2^31), identical to glibc rand().
+  u32 next();
+
+  bool operator==(const GlibcRandom&) const = default;
+
+ private:
+  std::array<u32, 31> ring_{};  // additive-feedback state ring
+  int f_{0};                    // front pointer
+  int t_{0};                    // tap pointer
+};
+
+/// SplitMix64: tiny, statistically strong, used wherever the simulator needs
+/// randomness that is not part of the paper's reproduction contract.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(u64 seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr u64 next_below(u64 bound) {
+    // 128-bit multiply-shift rejection-free bound (bias < 2^-64 * bound).
+    return static_cast<u64>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  constexpr double next_double() {  // [0,1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  constexpr bool operator==(const SplitMix64&) const = default;
+
+ private:
+  u64 state_;
+};
+
+}  // namespace hmcsim

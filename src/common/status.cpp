@@ -1,0 +1,44 @@
+#include "common/status.hpp"
+
+namespace hmcsim {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "Ok";
+    case Status::Stalled:
+      return "Stalled";
+    case Status::NoResponse:
+      return "NoResponse";
+    case Status::InvalidArgument:
+      return "InvalidArgument";
+    case Status::InvalidConfig:
+      return "InvalidConfig";
+    case Status::MalformedPacket:
+      return "MalformedPacket";
+    case Status::Unroutable:
+      return "Unroutable";
+    case Status::NoSuchRegister:
+      return "NoSuchRegister";
+    case Status::ReadOnlyRegister:
+      return "ReadOnlyRegister";
+    case Status::Internal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+int to_c_return(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return 0;
+    case Status::Stalled:
+      return 2;  // HMC_STALL in the original C API.
+    case Status::NoResponse:
+      return 1;  // no packet available; distinct from a hard error.
+    default:
+      return -1;
+  }
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,50 @@
+// Status codes returned across the HMC-Sim++ public API.
+//
+// The original HMC-Sim is ANSI C and signals errors through negative int
+// returns plus a handful of sentinel values (notably HMC_STALL).  We keep the
+// same taxonomy but as a scoped enumeration, and provide helpers for the C
+// shim to translate back to the classic integer protocol.
+#pragma once
+
+#include <string_view>
+
+namespace hmcsim {
+
+enum class Status : int {
+  Ok = 0,
+  /// A send could not be accepted because the target crossbar arbitration
+  /// queue is full.  This is the normal backpressure signal, not an error:
+  /// clock the simulation and retry.
+  Stalled,
+  /// A receive found no pending response packet on the polled link.
+  NoResponse,
+  /// A structurally invalid argument (bad index, null span, wrong length).
+  InvalidArgument,
+  /// Device/topology configuration violates a hard simulator constraint
+  /// (loopback link, heterogeneous devices, no host link, too many cubes).
+  InvalidConfig,
+  /// Packet failed validation: unknown command, length mismatch, bad CRC.
+  MalformedPacket,
+  /// The destination cube id is not reachable from the ingress point.  The
+  /// simulator still accepts such packets at configuration time (deliberate
+  /// misconfiguration is supported, per the paper) and returns in-band error
+  /// responses at simulation time; this code is for immediate API misuse.
+  Unroutable,
+  /// Register access to an index that does not exist on the device.
+  NoSuchRegister,
+  /// Write attempted on a read-only register.
+  ReadOnlyRegister,
+  /// Internal invariant violation; indicates a simulator bug.
+  Internal,
+};
+
+[[nodiscard]] constexpr bool ok(Status s) { return s == Status::Ok; }
+
+/// Human-readable name for diagnostics and trace output.
+[[nodiscard]] std::string_view to_string(Status s);
+
+/// Translation to the classic C-return protocol: Ok => 0, Stalled => +2
+/// (HMC_STALL in the original), everything else => -1.
+[[nodiscard]] int to_c_return(Status s);
+
+}  // namespace hmcsim

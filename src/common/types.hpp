@@ -1,0 +1,75 @@
+// Fundamental type aliases and strong identifier types shared by every
+// HMC-Sim++ subsystem.
+//
+// The HMC specification addresses structures by small dense indices (cube
+// id, link id, quad id, vault id, bank id, ...).  We wrap each in a distinct
+// enum-backed strong type so that a vault index can never be passed where a
+// bank index is expected; the cost is zero after inlining.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <cstddef>
+
+namespace hmcsim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulated clock value.  The paper mandates an unsigned 64-bit counter
+/// updated by sub-cycle stage 6.
+using Cycle = std::uint64_t;
+
+namespace detail {
+
+/// CRTP-free strong index: a thin wrapper over an integral value with a tag
+/// type to prevent accidental cross-assignment between index spaces.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongIndex {
+  Rep value{0};
+
+  constexpr StrongIndex() = default;
+  constexpr explicit StrongIndex(Rep v) : value(v) {}
+
+  [[nodiscard]] constexpr Rep get() const { return value; }
+  constexpr auto operator<=>(const StrongIndex&) const = default;
+
+  constexpr StrongIndex& operator++() {
+    ++value;
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+/// Identifies one HMC device (a "cube") inside a simulator object.
+/// The in-band CUB field is 3 bits wide, so cube ids range over [0,7];
+/// ids strictly greater than the device count denote host endpoints.
+using CubeId = detail::StrongIndex<struct CubeTag, std::uint32_t>;
+
+/// Identifies a physical link (0..3 or 0..7) on one device.
+using LinkId = detail::StrongIndex<struct LinkTag, std::uint32_t>;
+
+/// Identifies a quadrant (locality domain of four vaults).
+using QuadId = detail::StrongIndex<struct QuadTag, std::uint32_t>;
+
+/// Identifies a vault within a device (0..15 or 0..31).
+using VaultId = detail::StrongIndex<struct VaultTag, std::uint32_t>;
+
+/// Identifies a bank within a vault (0..7 or 0..15).
+using BankId = detail::StrongIndex<struct BankTag, std::uint32_t>;
+
+/// Identifies a DRAM within a bank.
+using DramId = detail::StrongIndex<struct DramTag, std::uint32_t>;
+
+/// In-band transaction tag.  9 bits on the wire (0..511).
+using Tag = std::uint16_t;
+
+/// A 34-bit HMC physical address, stored in the low bits of a u64.
+using PhysAddr = std::uint64_t;
+
+}  // namespace hmcsim

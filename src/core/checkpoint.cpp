@@ -1,0 +1,461 @@
+// Checkpoint serialization for Simulator (see simulator.hpp for the API
+// contract).  Versioned little-endian binary format:
+//
+//   magic "HMCSIMCK" | version u32
+//   SimConfig fields
+//   topology: devices u32, links u32, endpoints[devices*links]
+//   clock u64
+//   per device:
+//     stats (fixed u64 array)
+//     register snapshot (values + self-clear flags)
+//     memory pages: count u64, then (index u64, 4096 raw bytes)*
+//     link queues, vault queues (+ bank timing), mode staging queue
+//
+// Queue entries serialize the raw packet plus routing metadata; decoded
+// request fields are re-derived on load so the packet remains the single
+// source of truth.
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace hmcsim {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
+constexpr u32 kVersion = 1;
+
+// ---- primitive writers/readers --------------------------------------------
+
+void put_bytes(std::ostream& os, const void* data, usize size) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+}
+
+bool get_bytes(std::istream& is, void* data, usize size) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  return static_cast<bool>(is);
+}
+
+void put_u64(std::ostream& os, u64 v) {
+  u8 bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<u8>(v >> (8 * i));
+  put_bytes(os, bytes, 8);
+}
+
+bool get_u64(std::istream& is, u64& v) {
+  u8 bytes[8];
+  if (!get_bytes(is, bytes, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes[i]) << (8 * i);
+  return true;
+}
+
+void put_u32(std::ostream& os, u32 v) { put_u64(os, v); }
+
+bool get_u32(std::istream& is, u32& v) {
+  u64 wide = 0;
+  if (!get_u64(is, wide) || wide > 0xffffffffull) return false;
+  v = static_cast<u32>(wide);
+  return true;
+}
+
+void put_u8(std::ostream& os, u8 v) { put_u64(os, v); }
+
+bool get_u8(std::istream& is, u8& v) {
+  u64 wide = 0;
+  if (!get_u64(is, wide) || wide > 0xffull) return false;
+  v = static_cast<u8>(wide);
+  return true;
+}
+
+// ---- aggregate writers/readers --------------------------------------------
+
+void put_packet(std::ostream& os, const PacketBuffer& pkt) {
+  put_u32(os, pkt.flits);
+  for (usize i = 0; i < pkt.word_count(); ++i) put_u64(os, pkt.words[i]);
+}
+
+bool get_packet(std::istream& is, PacketBuffer& pkt) {
+  u32 flits = 0;
+  if (!get_u32(is, flits) || flits < spec::kMinPacketFlits ||
+      flits > spec::kMaxPacketFlits) {
+    return false;
+  }
+  pkt = PacketBuffer{};
+  pkt.flits = flits;
+  for (usize i = 0; i < pkt.word_count(); ++i) {
+    if (!get_u64(is, pkt.words[i])) return false;
+  }
+  return true;
+}
+
+void put_queue_stats(std::ostream& os, const QueueStats& s) {
+  put_u64(os, s.total_pushes);
+  put_u64(os, s.total_pops);
+  put_u64(os, s.rejected_full);
+  put_u64(os, s.high_water);
+}
+
+bool get_queue_stats(std::istream& is, QueueStats& s) {
+  u64 high_water = 0;
+  if (!get_u64(is, s.total_pushes) || !get_u64(is, s.total_pops) ||
+      !get_u64(is, s.rejected_full) || !get_u64(is, high_water)) {
+    return false;
+  }
+  s.high_water = static_cast<usize>(high_water);
+  return true;
+}
+
+void put_request_queue(std::ostream& os,
+                       const BoundedQueue<RequestEntry>& q) {
+  put_u64(os, q.size());
+  for (const RequestEntry& e : q) {
+    put_packet(os, e.pkt);
+    put_u64(os, e.ready_cycle);
+    put_u32(os, e.home_dev);
+    put_u32(os, e.home_link);
+    put_u32(os, e.ingress_link);
+    put_u8(os, e.penalty_applied ? 1 : 0);
+    put_u8(os, e.retries);
+  }
+  put_queue_stats(os, q.stats());
+}
+
+bool get_request_queue(std::istream& is, BoundedQueue<RequestEntry>& q,
+                       const CustomCommandSet& custom) {
+  u64 count = 0;
+  if (!get_u64(is, count) || count > q.capacity()) return false;
+  q.clear();
+  for (u64 i = 0; i < count; ++i) {
+    RequestEntry e;
+    u8 penalty = 0;
+    if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
+        !get_u32(is, e.home_dev) || !get_u32(is, e.home_link) ||
+        !get_u32(is, e.ingress_link) || !get_u8(is, penalty) ||
+        !get_u8(is, e.retries)) {
+      return false;
+    }
+    e.penalty_applied = penalty != 0;
+    const u8 raw_cmd = static_cast<u8>(extract(e.pkt.header(), 0, 6));
+    if (const CustomCommandDef* def = custom.find(raw_cmd)) {
+      if (!ok(decode_custom_request(e.pkt, *def, e.req))) return false;
+      e.custom = def;
+    } else if (!ok(decode_request(e.pkt, e.req))) {
+      return false;
+    }
+    if (!q.push(std::move(e))) return false;
+  }
+  QueueStats stats;
+  if (!get_queue_stats(is, stats)) return false;
+  q.restore_stats(stats);
+  return true;
+}
+
+void put_response_queue(std::ostream& os,
+                        const BoundedQueue<ResponseEntry>& q) {
+  put_u64(os, q.size());
+  for (const ResponseEntry& e : q) {
+    put_packet(os, e.pkt);
+    put_u64(os, e.ready_cycle);
+    put_u32(os, e.home_dev);
+    put_u32(os, e.home_link);
+  }
+  put_queue_stats(os, q.stats());
+}
+
+bool get_response_queue(std::istream& is, BoundedQueue<ResponseEntry>& q) {
+  u64 count = 0;
+  if (!get_u64(is, count) || count > q.capacity()) return false;
+  q.clear();
+  for (u64 i = 0; i < count; ++i) {
+    ResponseEntry e;
+    if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
+        !get_u32(is, e.home_dev) || !get_u32(is, e.home_link)) {
+      return false;
+    }
+    ResponseFields f;
+    if (!ok(decode_response(e.pkt, f))) return false;
+    e.tag = f.tag;
+    e.cmd = f.cmd;
+    if (!q.push(std::move(e))) return false;
+  }
+  QueueStats stats;
+  if (!get_queue_stats(is, stats)) return false;
+  q.restore_stats(stats);
+  return true;
+}
+
+void put_stats(std::ostream& os, const DeviceStats& s) {
+  const u64 fields[] = {s.reads, s.writes, s.atomics, s.mode_ops,
+                        s.custom_ops, s.bytes_read, s.bytes_written,
+                        s.responses, s.error_responses, s.bank_conflicts,
+                        s.xbar_rqst_stalls, s.xbar_rsp_stalls,
+                        s.vault_rsp_stalls, s.latency_penalties,
+                        s.route_hops, s.misroutes, s.link_errors, s.link_retries, s.refreshes, s.row_hits, s.row_misses, s.sends,
+                        s.send_stalls,
+                        s.recvs, s.flow_packets};
+  for (const u64 f : fields) put_u64(os, f);
+}
+
+bool get_stats(std::istream& is, DeviceStats& s) {
+  u64* fields[] = {&s.reads, &s.writes, &s.atomics, &s.mode_ops,
+                   &s.custom_ops, &s.bytes_read, &s.bytes_written,
+                   &s.responses, &s.error_responses, &s.bank_conflicts,
+                   &s.xbar_rqst_stalls, &s.xbar_rsp_stalls,
+                   &s.vault_rsp_stalls, &s.latency_penalties, &s.route_hops,
+                   &s.misroutes, &s.link_errors, &s.link_retries, &s.refreshes, &s.row_hits,
+                   &s.row_misses, &s.sends,
+                   &s.send_stalls,
+                   &s.recvs, &s.flow_packets};
+  for (u64* f : fields) {
+    if (!get_u64(is, *f)) return false;
+  }
+  return true;
+}
+
+void put_device_config(std::ostream& os, const DeviceConfig& c) {
+  put_u32(os, c.num_links);
+  put_u32(os, c.banks_per_vault);
+  put_u32(os, c.drams_per_bank);
+  put_u64(os, c.xbar_depth);
+  put_u64(os, c.vault_depth);
+  put_u64(os, c.capacity_bytes);
+  put_u8(os, static_cast<u8>(c.map_mode));
+  put_u64(os, c.max_block_bytes);
+  put_u32(os, c.bank_busy_cycles);
+  put_u32(os, c.xbar_flits_per_cycle);
+  put_u32(os, c.vault_drain_limit);
+  put_u32(os, c.nonlocal_penalty_cycles);
+  put_u32(os, c.conflict_window);
+  put_u8(os, static_cast<u8>(c.vault_schedule));
+  put_u32(os, c.link_error_rate_ppm);
+  put_u64(os, c.fault_seed);
+  put_u32(os, c.link_retry_limit);
+  put_u32(os, c.refresh_interval_cycles);
+  put_u32(os, c.refresh_busy_cycles);
+  put_u8(os, static_cast<u8>(c.row_policy));
+  put_u32(os, c.row_hit_cycles);
+  put_u32(os, c.row_miss_cycles);
+  put_u8(os, c.model_data ? 1 : 0);
+}
+
+bool get_device_config(std::istream& is, DeviceConfig& c) {
+  u64 xbar = 0, vault = 0;
+  u8 map_mode = 0, schedule = 0, model_data = 0, row_policy = 0;
+  if (!get_u32(is, c.num_links) || !get_u32(is, c.banks_per_vault) ||
+      !get_u32(is, c.drams_per_bank) || !get_u64(is, xbar) ||
+      !get_u64(is, vault) || !get_u64(is, c.capacity_bytes) ||
+      !get_u8(is, map_mode) || !get_u64(is, c.max_block_bytes) ||
+      !get_u32(is, c.bank_busy_cycles) ||
+      !get_u32(is, c.xbar_flits_per_cycle) ||
+      !get_u32(is, c.vault_drain_limit) ||
+      !get_u32(is, c.nonlocal_penalty_cycles) ||
+      !get_u32(is, c.conflict_window) || !get_u8(is, schedule) ||
+      !get_u32(is, c.link_error_rate_ppm) || !get_u64(is, c.fault_seed) ||
+      !get_u32(is, c.link_retry_limit) ||
+      !get_u32(is, c.refresh_interval_cycles) ||
+      !get_u32(is, c.refresh_busy_cycles) || !get_u8(is, row_policy) ||
+      !get_u32(is, c.row_hit_cycles) || !get_u32(is, c.row_miss_cycles) ||
+      !get_u8(is, model_data)) {
+    return false;
+  }
+  c.xbar_depth = static_cast<usize>(xbar);
+  c.vault_depth = static_cast<usize>(vault);
+  c.map_mode = static_cast<AddrMapMode>(map_mode);
+  c.vault_schedule = static_cast<VaultSchedule>(schedule);
+  c.row_policy = static_cast<RowPolicy>(row_policy);
+  c.model_data = model_data != 0;
+  return true;
+}
+
+}  // namespace
+
+Status Simulator::save_checkpoint(std::ostream& os) const {
+  if (!initialized()) return Status::InvalidArgument;
+  put_bytes(os, kMagic, sizeof kMagic);
+  put_u32(os, kVersion);
+
+  put_u32(os, config_.num_devices);
+  put_device_config(os, config_.device);
+
+  // Topology endpoints.
+  put_u32(os, topo_.num_devices());
+  put_u32(os, topo_.links_per_device());
+  for (u32 d = 0; d < topo_.num_devices(); ++d) {
+    for (u32 l = 0; l < topo_.links_per_device(); ++l) {
+      const LinkEndpoint& e = topo_.endpoint(CubeId{d}, LinkId{l});
+      put_u8(os, static_cast<u8>(e.kind));
+      put_u32(os, e.peer_dev);
+      put_u32(os, e.peer_link);
+    }
+  }
+
+  put_u64(os, cycle_);
+
+  for (const auto& dev_ptr : devices_) {
+    const Device& dev = *dev_ptr;
+    put_stats(os, dev.stats);
+
+    const RegisterFile::Snapshot regs = dev.regs.snapshot();
+    for (const u64 v : regs.values) put_u64(os, v);
+    for (const bool b : regs.pending_self_clear) put_u8(os, b ? 1 : 0);
+
+    // Pages are emitted in ascending index order so that checkpoints are
+    // deterministic (byte-identical for identical state) regardless of the
+    // hash map's insertion history.
+    std::vector<u64> page_indices;
+    page_indices.reserve(dev.store.resident_pages());
+    dev.store.for_each_page([&](u64 index, std::span<const u8>) {
+      page_indices.push_back(index);
+    });
+    std::sort(page_indices.begin(), page_indices.end());
+    put_u64(os, page_indices.size());
+    std::vector<u8> page_bytes(SparseStore::kPageBytes);
+    for (const u64 index : page_indices) {
+      put_u64(os, index);
+      (void)dev.store.read(index * SparseStore::kPageBytes, page_bytes);
+      put_bytes(os, page_bytes.data(), page_bytes.size());
+    }
+
+    for (const LinkState& link : dev.links) {
+      put_request_queue(os, link.rqst);
+      put_response_queue(os, link.rsp);
+      put_u64(os, link.rqst_flits_forwarded);
+      put_u64(os, link.rsp_flits_forwarded);
+      put_u64(os, static_cast<u64>(link.rqst_budget));
+      put_u64(os, static_cast<u64>(link.rsp_budget));
+    }
+    for (const VaultState& vault : dev.vaults) {
+      put_request_queue(os, vault.rqst);
+      put_response_queue(os, vault.rsp);
+      for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
+      for (const u64 row : vault.open_row) put_u64(os, row);
+    }
+    put_response_queue(os, dev.mode_rsp);
+  }
+
+  os.flush();
+  return os ? Status::Ok : Status::Internal;
+}
+
+Status Simulator::restore_checkpoint(std::istream& is) {
+  char magic[8];
+  u32 version = 0;
+  if (!get_bytes(is, magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0 ||
+      !get_u32(is, version) || version != kVersion) {
+    return Status::MalformedPacket;
+  }
+
+  SimConfig config;
+  if (!get_u32(is, config.num_devices) ||
+      !get_device_config(is, config.device)) {
+    return Status::MalformedPacket;
+  }
+
+  u32 topo_devices = 0, topo_links = 0;
+  if (!get_u32(is, topo_devices) || !get_u32(is, topo_links) ||
+      topo_devices != config.num_devices ||
+      topo_links != config.device.num_links) {
+    return Status::InvalidConfig;
+  }
+  Topology topo(topo_devices, topo_links);
+  for (u32 d = 0; d < topo_devices; ++d) {
+    for (u32 l = 0; l < topo_links; ++l) {
+      u8 kind = 0;
+      u32 peer_dev = 0, peer_link = 0;
+      if (!get_u8(is, kind) || !get_u32(is, peer_dev) ||
+          !get_u32(is, peer_link)) {
+        return Status::MalformedPacket;
+      }
+      switch (static_cast<EndpointKind>(kind)) {
+        case EndpointKind::Unconnected:
+          break;
+        case EndpointKind::Host:
+          if (!ok(topo.connect_host(CubeId{d}, LinkId{l}))) {
+            return Status::InvalidConfig;
+          }
+          break;
+        case EndpointKind::Device:
+          // connect() wires both directions; only apply the "forward" edge.
+          if (d < peer_dev || (d == peer_dev && l < peer_link)) {
+            if (!ok(topo.connect(CubeId{d}, LinkId{l}, CubeId{peer_dev},
+                                 LinkId{peer_link}))) {
+              return Status::InvalidConfig;
+            }
+          }
+          break;
+        default:
+          return Status::MalformedPacket;
+      }
+    }
+  }
+
+  const Status init_status = init(config, std::move(topo));
+  if (!ok(init_status)) return init_status;
+
+  if (!get_u64(is, cycle_)) return Status::MalformedPacket;
+
+  for (auto& dev_ptr : devices_) {
+    Device& dev = *dev_ptr;
+    if (!get_stats(is, dev.stats)) return Status::MalformedPacket;
+
+    RegisterFile::Snapshot regs;
+    for (u64& v : regs.values) {
+      if (!get_u64(is, v)) return Status::MalformedPacket;
+    }
+    for (bool& b : regs.pending_self_clear) {
+      u8 flag = 0;
+      if (!get_u8(is, flag)) return Status::MalformedPacket;
+      b = flag != 0;
+    }
+    dev.regs.restore(regs);
+
+    u64 pages = 0;
+    if (!get_u64(is, pages)) return Status::MalformedPacket;
+    std::vector<u8> page(SparseStore::kPageBytes);
+    for (u64 p = 0; p < pages; ++p) {
+      u64 index = 0;
+      if (!get_u64(is, index) || !get_bytes(is, page.data(), page.size()) ||
+          !dev.store.restore_page(index, page)) {
+        return Status::MalformedPacket;
+      }
+    }
+
+    for (LinkState& link : dev.links) {
+      if (!get_request_queue(is, link.rqst, custom_) ||
+          !get_response_queue(is, link.rsp)) {
+        return Status::MalformedPacket;
+      }
+      u64 rqst_budget = 0, rsp_budget = 0;
+      if (!get_u64(is, link.rqst_flits_forwarded) ||
+          !get_u64(is, link.rsp_flits_forwarded) ||
+          !get_u64(is, rqst_budget) || !get_u64(is, rsp_budget)) {
+        return Status::MalformedPacket;
+      }
+      link.rqst_budget = static_cast<i64>(rqst_budget);
+      link.rsp_budget = static_cast<i64>(rsp_budget);
+    }
+    for (VaultState& vault : dev.vaults) {
+      if (!get_request_queue(is, vault.rqst, custom_) ||
+          !get_response_queue(is, vault.rsp)) {
+        return Status::MalformedPacket;
+      }
+      for (Cycle& busy : vault.bank_busy_until) {
+        if (!get_u64(is, busy)) return Status::MalformedPacket;
+      }
+      for (u64& row : vault.open_row) {
+        if (!get_u64(is, row)) return Status::MalformedPacket;
+      }
+    }
+    if (!get_response_queue(is, dev.mode_rsp)) return Status::MalformedPacket;
+  }
+
+  return Status::Ok;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,118 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "common/bitops.hpp"
+
+namespace hmcsim {
+
+AddressMap DeviceConfig::make_address_map() const {
+  switch (map_mode) {
+    case AddrMapMode::LowInterleave:
+      return AddressMap::low_interleave(geometry(), max_block_bytes);
+    case AddrMapMode::BankFirst:
+      return AddressMap::bank_first(geometry(), max_block_bytes);
+    case AddrMapMode::Linear:
+      return AddressMap::linear(geometry(), max_block_bytes);
+  }
+  return AddressMap{};
+}
+
+Status DeviceConfig::validate(std::string* diagnostic) const {
+  std::ostringstream os;
+  const auto fail = [&](Status s) {
+    if (diagnostic) *diagnostic = os.str();
+    return s;
+  };
+
+  if (num_links != spec::kLinks4 && num_links != spec::kLinks8) {
+    os << "num_links must be 4 or 8, got " << num_links;
+    return fail(Status::InvalidConfig);
+  }
+  if (banks_per_vault != spec::kBanks8 && banks_per_vault != spec::kBanks16) {
+    os << "banks_per_vault must be 8 or 16, got " << banks_per_vault;
+    return fail(Status::InvalidConfig);
+  }
+  if (!is_pow2(drams_per_bank) || drams_per_bank > 32) {
+    os << "drams_per_bank must be a power of two <= 32, got "
+       << drams_per_bank;
+    return fail(Status::InvalidConfig);
+  }
+  if (xbar_depth == 0 || vault_depth == 0) {
+    os << "queue depths must be at least one slot";
+    return fail(Status::InvalidConfig);
+  }
+  if (max_block_bytes != 32 && max_block_bytes != 64 &&
+      max_block_bytes != 128 && max_block_bytes != 256) {
+    os << "max_block_bytes must be 32/64/128/256, got " << max_block_bytes;
+    return fail(Status::InvalidConfig);
+  }
+  if (capacity_bytes != 0 && capacity_bytes != derived_capacity()) {
+    os << "capacity " << capacity_bytes << " does not match geometry ("
+       << num_vaults() << " vaults x " << banks_per_vault << " banks x "
+       << spec::kBankBytes << " B = " << derived_capacity() << " B)";
+    return fail(Status::InvalidConfig);
+  }
+  if (xbar_flits_per_cycle == 0) {
+    os << "xbar_flits_per_cycle must be nonzero";
+    return fail(Status::InvalidConfig);
+  }
+  if (bank_busy_cycles == 0) {
+    os << "bank_busy_cycles must be nonzero";
+    return fail(Status::InvalidConfig);
+  }
+  const AddressMap map = make_address_map();
+  if (!map.valid()) {
+    os << "address map construction failed: " << map.error();
+    return fail(Status::InvalidConfig);
+  }
+  return Status::Ok;
+}
+
+Status SimConfig::validate(std::string* diagnostic) const {
+  if (num_devices == 0 || num_devices > spec::kMaxDevices) {
+    if (diagnostic) {
+      std::ostringstream os;
+      os << "num_devices must be in [1," << spec::kMaxDevices
+         << "] (the 3-bit CUB field must leave room for host ids), got "
+         << num_devices;
+      *diagnostic = os.str();
+    }
+    return Status::InvalidConfig;
+  }
+  return device.validate(diagnostic);
+}
+
+DeviceConfig table1_config_4link_8bank() {
+  DeviceConfig c;
+  c.num_links = 4;
+  c.banks_per_vault = 8;
+  c.xbar_depth = 128;
+  c.vault_depth = 64;
+  c.capacity_bytes = u64{2} * 1024 * 1024 * 1024;
+  return c;
+}
+
+DeviceConfig table1_config_4link_16bank() {
+  DeviceConfig c = table1_config_4link_8bank();
+  c.banks_per_vault = 16;
+  c.capacity_bytes = u64{4} * 1024 * 1024 * 1024;
+  return c;
+}
+
+DeviceConfig table1_config_8link_8bank() {
+  DeviceConfig c = table1_config_4link_8bank();
+  c.num_links = 8;
+  c.capacity_bytes = u64{4} * 1024 * 1024 * 1024;
+  return c;
+}
+
+DeviceConfig table1_config_8link_16bank() {
+  DeviceConfig c = table1_config_4link_8bank();
+  c.num_links = 8;
+  c.banks_per_vault = 16;
+  c.capacity_bytes = u64{8} * 1024 * 1024 * 1024;
+  return c;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,156 @@
+// Run-time configuration of HMC-Sim devices and simulator objects.
+//
+// Mirrors the paper's master initialization call:
+//
+//   hmcsim_init(&hmc, num_devs, num_links, num_vaults, queue_depth,
+//               num_banks, num_drams, capacity, xbar_depth)
+//
+// plus the timing/behavior knobs our clock model exposes.  All devices
+// within a single simulator object must be physically homogeneous (paper
+// §V.A) — hence one DeviceConfig shared by every cube.
+#pragma once
+
+#include <string>
+
+#include "common/limits.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+
+namespace hmcsim {
+
+/// Which default address map mode the device uses (paper §III.B).
+enum class AddrMapMode : u8 {
+  LowInterleave,  ///< spec default: vault bits lowest, then bank bits
+  BankFirst,      ///< bank bits lowest (ablation A2)
+  Linear,         ///< vault/bank bits highest (ablation A2, worst case)
+};
+
+/// Bank row-buffer management policy.
+/// ClosedPage (the paper's implicit model): every access costs the full
+/// bank cycle.  OpenPage: each bank keeps its last row open; a row hit
+/// costs `row_hit_cycles`, a miss (precharge + activate) costs
+/// `row_miss_cycles`.
+enum class RowPolicy : u8 {
+  ClosedPage,
+  OpenPage,
+};
+
+/// How the vault controller picks requests to retire each cycle.
+/// The spec's weak ordering model allows vaults to "reorder queued packets
+/// in order to make most efficient use of bandwidth to and from the
+/// respective vault banks" (§III.C) while preserving per-(link, bank)
+/// stream order; StrictFifo disables that freedom (ablation A6).
+enum class VaultSchedule : u8 {
+  BankReady,   ///< retire any queued request whose bank is free (default)
+  StrictFifo,  ///< retire in strict arrival order only
+};
+
+struct DeviceConfig {
+  // ---- structural (the paper's init parameters) ------------------------
+  u32 num_links{4};        ///< 4 or 8
+  u32 banks_per_vault{8};  ///< 8 or 16 (stacked die layers)
+  u32 drams_per_bank{8};
+  usize xbar_depth{128};   ///< crossbar arbitration queue slots per link
+  usize vault_depth{64};   ///< vault request/response queue slots
+  /// Expected device capacity in bytes; 0 derives it from the geometry.
+  /// A nonzero value is validated against vaults * banks * 16 MiB, catching
+  /// configuration mistakes early (the paper's init takes capacity
+  /// explicitly).
+  u64 capacity_bytes{0};
+
+  // ---- addressing -------------------------------------------------------
+  AddrMapMode map_mode{AddrMapMode::LowInterleave};
+  u64 max_block_bytes{128};  ///< 32/64/128/256; sets the offset field width
+
+  // ---- timing model -----------------------------------------------------
+  /// Cycles a bank stays busy after serving one request (row cycle time in
+  /// device clocks).
+  u32 bank_busy_cycles{16};
+  /// FLITs one crossbar link arbiter may forward toward vaults / peer
+  /// devices per clock (link serialization bandwidth in the device domain).
+  u32 xbar_flits_per_cycle{10};
+  /// Maximum requests one vault controller retires per clock; 0 = bounded
+  /// only by bank availability.
+  u32 vault_drain_limit{0};
+  /// Extra cycles a request pays when it enters on a link whose quadrant is
+  /// not the destination vault's quadrant (paper: routed latency penalty).
+  u32 nonlocal_penalty_cycles{1};
+  /// Spatial window (in queue slots) stage 3 scans for bank conflicts.
+  u32 conflict_window{16};
+  /// DRAM refresh: every `refresh_interval_cycles` device clocks each vault
+  /// controller takes all of its banks offline for `refresh_busy_cycles`
+  /// (tREFI / tRFC).  Vault refreshes are staggered across the interval so
+  /// the device never refreshes everywhere at once.  0 disables refresh
+  /// (the paper's model).  Realistic values at 1.25 GHz: interval ~9750
+  /// (7.8 us), busy ~440 (350 ns).
+  u32 refresh_interval_cycles{0};
+  u32 refresh_busy_cycles{440};
+  /// Row-buffer policy (see RowPolicy).  Under OpenPage the bank busy time
+  /// is row_hit_cycles on a row-buffer hit and row_miss_cycles on a miss;
+  /// bank_busy_cycles is ignored.  Refresh closes every open row.
+  RowPolicy row_policy{RowPolicy::ClosedPage};
+  u32 row_hit_cycles{6};
+  u32 row_miss_cycles{22};
+  /// Vault retirement order (see VaultSchedule).
+  VaultSchedule vault_schedule{VaultSchedule::BankReady};
+
+  // ---- fault injection ---------------------------------------------------
+  /// Probability, in parts per million, that a request packet crossing a
+  /// crossbar link suffers an unrecoverable link error (CRC failure after
+  /// retry exhaustion).  The packet dies and an ERROR response with
+  /// ERRSTAT=CRC_FAILURE returns to the host.  Deterministic per seed.
+  u32 link_error_rate_ppm{0};
+  /// Seed for the per-device fault-injection generator.
+  u64 fault_seed{0x5eed};
+  /// Link-level retry budget (spec: IRTRY/retry-pointer protocol).  A
+  /// packet hit by an injected link error is retransmitted from the retry
+  /// buffer up to this many times before it is dropped and an ERROR
+  /// response returns; each retransmission costs one cycle of link time.
+  /// 0 disables retry (every injected error is fatal).
+  u32 link_retry_limit{0};
+
+  // ---- data model ---------------------------------------------------------
+  /// When false, memory payloads are not stored/fetched (reads return
+  /// zeros).  Benches disable data to keep multi-GB random-access runs
+  /// resident-set friendly; functional users keep it on.
+  bool model_data{true};
+
+  // ---- derived ------------------------------------------------------------
+  [[nodiscard]] u32 num_quads() const { return num_links; }
+  [[nodiscard]] u32 num_vaults() const {
+    return num_links * spec::kVaultsPerQuad;
+  }
+  [[nodiscard]] u64 derived_capacity() const {
+    return u64{num_vaults()} * banks_per_vault * spec::kBankBytes;
+  }
+  [[nodiscard]] Geometry geometry() const {
+    return Geometry{num_vaults(), banks_per_vault, drams_per_bank,
+                    spec::kBankBytes};
+  }
+
+  /// Build the configured address map.
+  [[nodiscard]] AddressMap make_address_map() const;
+
+  /// Check every structural constraint; returns a diagnostic on failure.
+  [[nodiscard]] Status validate(std::string* diagnostic = nullptr) const;
+};
+
+struct SimConfig {
+  u32 num_devices{1};
+  DeviceConfig device{};
+
+  [[nodiscard]] Status validate(std::string* diagnostic = nullptr) const;
+
+  /// The cube id the paper assigns to host endpoints: one greater than the
+  /// number of devices.
+  [[nodiscard]] u32 host_cub() const { return num_devices; }
+};
+
+/// Convenience constructors for the paper's four Table I configurations.
+[[nodiscard]] DeviceConfig table1_config_4link_8bank();   // 2 GB
+[[nodiscard]] DeviceConfig table1_config_4link_16bank();  // 4 GB
+[[nodiscard]] DeviceConfig table1_config_8link_8bank();   // 4 GB
+[[nodiscard]] DeviceConfig table1_config_8link_16bank();  // 8 GB
+
+}  // namespace hmcsim

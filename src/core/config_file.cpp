@@ -1,0 +1,225 @@
+#include "core/config_file.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hmcsim {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool parse_number(const std::string& text, u64& out) {
+  const std::string t = trim(text);
+  if (t.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(t.data(), t.data() + t.size(), out, 10);
+  return ec == std::errc{} && ptr == t.data() + t.size();
+}
+
+ConfigParseResult fail(usize line, const std::string& message) {
+  ConfigParseResult r;
+  r.error = std::to_string(line) + ": " + message;
+  return r;
+}
+
+}  // namespace
+
+ConfigParseResult parse_config(std::istream& in) {
+  SimConfig config;
+  std::string raw;
+  usize line_no = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail(line_no, "expected key = value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return fail(line_no, "empty key or value");
+    }
+
+    DeviceConfig& dc = config.device;
+    u64 number = 0;
+    const bool is_number = parse_number(value, number);
+
+    if (key == "num_devices") {
+      if (!is_number) return fail(line_no, "num_devices needs a number");
+      config.num_devices = static_cast<u32>(number);
+    } else if (key == "num_links") {
+      if (!is_number) return fail(line_no, "num_links needs a number");
+      dc.num_links = static_cast<u32>(number);
+    } else if (key == "banks_per_vault") {
+      if (!is_number) return fail(line_no, "banks_per_vault needs a number");
+      dc.banks_per_vault = static_cast<u32>(number);
+    } else if (key == "drams_per_bank") {
+      if (!is_number) return fail(line_no, "drams_per_bank needs a number");
+      dc.drams_per_bank = static_cast<u32>(number);
+    } else if (key == "xbar_depth") {
+      if (!is_number) return fail(line_no, "xbar_depth needs a number");
+      dc.xbar_depth = static_cast<usize>(number);
+    } else if (key == "vault_depth") {
+      if (!is_number) return fail(line_no, "vault_depth needs a number");
+      dc.vault_depth = static_cast<usize>(number);
+    } else if (key == "capacity_gb") {
+      if (!is_number) return fail(line_no, "capacity_gb needs a number");
+      dc.capacity_bytes = number << 30;
+    } else if (key == "max_block_bytes") {
+      if (!is_number) return fail(line_no, "max_block_bytes needs a number");
+      dc.max_block_bytes = number;
+    } else if (key == "bank_busy_cycles") {
+      if (!is_number) return fail(line_no, "bank_busy_cycles needs a number");
+      dc.bank_busy_cycles = static_cast<u32>(number);
+    } else if (key == "xbar_flits_per_cycle") {
+      if (!is_number) {
+        return fail(line_no, "xbar_flits_per_cycle needs a number");
+      }
+      dc.xbar_flits_per_cycle = static_cast<u32>(number);
+    } else if (key == "vault_drain_limit") {
+      if (!is_number) return fail(line_no, "vault_drain_limit needs a number");
+      dc.vault_drain_limit = static_cast<u32>(number);
+    } else if (key == "nonlocal_penalty_cycles") {
+      if (!is_number) {
+        return fail(line_no, "nonlocal_penalty_cycles needs a number");
+      }
+      dc.nonlocal_penalty_cycles = static_cast<u32>(number);
+    } else if (key == "conflict_window") {
+      if (!is_number) return fail(line_no, "conflict_window needs a number");
+      dc.conflict_window = static_cast<u32>(number);
+    } else if (key == "link_error_rate_ppm") {
+      if (!is_number) {
+        return fail(line_no, "link_error_rate_ppm needs a number");
+      }
+      dc.link_error_rate_ppm = static_cast<u32>(number);
+    } else if (key == "fault_seed") {
+      if (!is_number) return fail(line_no, "fault_seed needs a number");
+      dc.fault_seed = number;
+    } else if (key == "link_retry_limit") {
+      if (!is_number) return fail(line_no, "link_retry_limit needs a number");
+      dc.link_retry_limit = static_cast<u32>(number);
+    } else if (key == "refresh_interval_cycles") {
+      if (!is_number) {
+        return fail(line_no, "refresh_interval_cycles needs a number");
+      }
+      dc.refresh_interval_cycles = static_cast<u32>(number);
+    } else if (key == "refresh_busy_cycles") {
+      if (!is_number) {
+        return fail(line_no, "refresh_busy_cycles needs a number");
+      }
+      dc.refresh_busy_cycles = static_cast<u32>(number);
+    } else if (key == "row_policy") {
+      if (value == "closed_page") {
+        dc.row_policy = RowPolicy::ClosedPage;
+      } else if (value == "open_page") {
+        dc.row_policy = RowPolicy::OpenPage;
+      } else {
+        return fail(line_no, "row_policy must be closed_page/open_page");
+      }
+    } else if (key == "row_hit_cycles") {
+      if (!is_number) return fail(line_no, "row_hit_cycles needs a number");
+      dc.row_hit_cycles = static_cast<u32>(number);
+    } else if (key == "row_miss_cycles") {
+      if (!is_number) return fail(line_no, "row_miss_cycles needs a number");
+      dc.row_miss_cycles = static_cast<u32>(number);
+    } else if (key == "model_data") {
+      if (value == "true" || value == "1") {
+        dc.model_data = true;
+      } else if (value == "false" || value == "0") {
+        dc.model_data = false;
+      } else {
+        return fail(line_no, "model_data must be true/false");
+      }
+    } else if (key == "map_mode") {
+      if (value == "low_interleave") {
+        dc.map_mode = AddrMapMode::LowInterleave;
+      } else if (value == "bank_first") {
+        dc.map_mode = AddrMapMode::BankFirst;
+      } else if (value == "linear") {
+        dc.map_mode = AddrMapMode::Linear;
+      } else {
+        return fail(line_no,
+                    "map_mode must be low_interleave/bank_first/linear");
+      }
+    } else if (key == "vault_schedule") {
+      if (value == "bank_ready") {
+        dc.vault_schedule = VaultSchedule::BankReady;
+      } else if (value == "strict_fifo") {
+        dc.vault_schedule = VaultSchedule::StrictFifo;
+      } else {
+        return fail(line_no,
+                    "vault_schedule must be bank_ready/strict_fifo");
+      }
+    } else {
+      return fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  std::string diag;
+  if (!ok(config.validate(&diag))) {
+    return fail(line_no, "invalid configuration: " + diag);
+  }
+  ConfigParseResult r;
+  r.ok = true;
+  r.config = config;
+  return r;
+}
+
+ConfigParseResult parse_config_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_config(in);
+}
+
+void write_config(std::ostream& os, const SimConfig& config) {
+  const DeviceConfig& dc = config.device;
+  os << "# hmcsim device configuration\n";
+  os << "num_devices = " << config.num_devices << '\n';
+  os << "num_links = " << dc.num_links << '\n';
+  os << "banks_per_vault = " << dc.banks_per_vault << '\n';
+  os << "drams_per_bank = " << dc.drams_per_bank << '\n';
+  os << "xbar_depth = " << dc.xbar_depth << '\n';
+  os << "vault_depth = " << dc.vault_depth << '\n';
+  os << "capacity_gb = " << (dc.derived_capacity() >> 30) << '\n';
+  os << "max_block_bytes = " << dc.max_block_bytes << '\n';
+  os << "map_mode = "
+     << (dc.map_mode == AddrMapMode::LowInterleave ? "low_interleave"
+         : dc.map_mode == AddrMapMode::BankFirst   ? "bank_first"
+                                                   : "linear")
+     << '\n';
+  os << "bank_busy_cycles = " << dc.bank_busy_cycles << '\n';
+  os << "xbar_flits_per_cycle = " << dc.xbar_flits_per_cycle << '\n';
+  os << "vault_drain_limit = " << dc.vault_drain_limit << '\n';
+  os << "nonlocal_penalty_cycles = " << dc.nonlocal_penalty_cycles << '\n';
+  os << "conflict_window = " << dc.conflict_window << '\n';
+  os << "vault_schedule = "
+     << (dc.vault_schedule == VaultSchedule::BankReady ? "bank_ready"
+                                                       : "strict_fifo")
+     << '\n';
+  os << "link_error_rate_ppm = " << dc.link_error_rate_ppm << '\n';
+  os << "fault_seed = " << dc.fault_seed << '\n';
+  os << "link_retry_limit = " << dc.link_retry_limit << '\n';
+  os << "refresh_interval_cycles = " << dc.refresh_interval_cycles << '\n';
+  os << "refresh_busy_cycles = " << dc.refresh_busy_cycles << '\n';
+  os << "row_policy = "
+     << (dc.row_policy == RowPolicy::OpenPage ? "open_page" : "closed_page")
+     << '\n';
+  os << "row_hit_cycles = " << dc.row_hit_cycles << '\n';
+  os << "row_miss_cycles = " << dc.row_miss_cycles << '\n';
+  os << "model_data = " << (dc.model_data ? "true" : "false") << '\n';
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,72 @@
+#include "core/custom_command.hpp"
+
+namespace hmcsim {
+
+bool is_reserved_command(u8 raw) {
+  if (raw >= 64) return false;
+  return !is_valid_command(raw);
+}
+
+Status CustomCommandSet::define(u8 raw_cmd, CustomCommandDef def) {
+  if (!is_reserved_command(raw_cmd)) return Status::InvalidArgument;
+  if (!def.handler) return Status::InvalidArgument;
+  if (def.request_flits < spec::kMinPacketFlits ||
+      def.request_flits > spec::kMaxPacketFlits ||
+      def.response_flits > spec::kMaxPacketFlits) {
+    return Status::InvalidArgument;
+  }
+  if (def.access_bytes < spec::kBlockBytes ||
+      def.access_bytes > spec::kMaxPayloadBytes ||
+      def.access_bytes % spec::kBlockBytes != 0) {
+    return Status::InvalidArgument;
+  }
+  if (defs_[raw_cmd].handler) return Status::InvalidConfig;
+  defs_[raw_cmd] = std::move(def);
+  ++count_;
+  return Status::Ok;
+}
+
+Status build_custom_request(const CustomCommandSet& set, u8 raw_cmd, u32 cub,
+                            PhysAddr addr, Tag tag, u32 link,
+                            std::span<const u64> payload, PacketBuffer& out) {
+  const CustomCommandDef* def = set.find(raw_cmd);
+  if (def == nullptr) return Status::InvalidArgument;
+  if (addr > spec::kAddrMask || tag > spec::kMaxTag) {
+    return Status::InvalidArgument;
+  }
+  const usize payload_words = usize{def->request_flits} * 2 - 2;
+  if (payload.size() != payload_words) return Status::InvalidArgument;
+
+  out.flits = def->request_flits;
+  out.words[0] = field::make_request_header(static_cast<Command>(raw_cmd),
+                                            def->request_flits, tag, addr,
+                                            cub);
+  std::copy(payload.begin(), payload.end(), out.words.begin() + 1);
+  out.words[out.word_count() - 1] =
+      field::make_request_tail(link, 0, 0, false, 0, 0);
+  seal_crc(out);
+  return Status::Ok;
+}
+
+Status decode_custom_request(const PacketBuffer& in,
+                             const CustomCommandDef& def,
+                             RequestFields& out) {
+  if (in.flits != def.request_flits) return Status::MalformedPacket;
+  const u64 header = in.header();
+  const u32 lng = field::lng_of(header);
+  if (lng != in.flits || lng != field::dln_of(header)) {
+    return Status::MalformedPacket;
+  }
+  if (!check_crc(in)) return Status::MalformedPacket;
+  const u64 tail = in.tail();
+  out = RequestFields{};
+  out.cmd = field::cmd_of(header);
+  out.lng = lng;
+  out.tag = field::tag_of(header);
+  out.addr = field::adrs_of(header);
+  out.cub = field::cub_of(header);
+  out.slid = field::request_slid_of(tail);
+  return Status::Ok;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,95 @@
+// Custom Memory Cube commands (CMC).
+//
+// The HMC command space leaves a number of 6-bit encodings reserved; real
+// devices (and HMC-Sim's successor) expose them as vendor-defined commands
+// — typically near-memory atomics that the host's processor-in-memory
+// runtime needs (the paper's Goblin-Core64 context).  This extension lets
+// an application register handlers for reserved encodings; registered
+// commands flow through the full packet/crossbar/vault pipeline like
+// built-ins:
+//
+//   * the request carries `request_flits` FLITs (operand payload),
+//   * the vault performs a read-modify-write of `access_bytes` at the
+//     target address under the usual bank timing and ordering rules,
+//   * a response of `response_flits` FLITs returns (0 = posted), encoded
+//     as WR_RS (1 FLIT) or RD_RS (with payload) so hosts decode it with
+//     the standard machinery.
+//
+// Handlers are user code and are NOT serialized by checkpoints; re-register
+// them before restore_checkpoint() when custom traffic may be in flight.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "common/limits.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace hmcsim {
+
+struct CustomCommandDef {
+  std::string name;
+  /// Total request packet length in FLITs (1..9); operand payload is
+  /// (request_flits - 1) * 16 bytes.
+  u32 request_flits{1};
+  /// Total response length in FLITs; 0 makes the command posted.
+  u32 response_flits{1};
+  /// Memory footprint at the target address (16..128, multiple of 16).
+  usize access_bytes{16};
+
+  /// The memory operation.  `memory` holds access_bytes/8 words (read from
+  /// the backing store; zeros when data modelling is off) and is written
+  /// back after the call.  `operand` is the request payload.  `response`
+  /// has (response_flits - 1) * 2 words to fill for RD_RS-style replies.
+  using Handler = std::function<void(std::span<u64> memory,
+                                     std::span<const u64> operand,
+                                     std::span<u64> response)>;
+  Handler handler;
+};
+
+/// True when `raw` is one of the encodings the HMC 1.0 command tables leave
+/// reserved (usable for CMC registration).
+[[nodiscard]] bool is_reserved_command(u8 raw);
+
+/// The set of registered custom commands for one simulator object (devices
+/// are homogeneous, so the set is shared by every cube).
+class CustomCommandSet {
+ public:
+  /// Register `def` under the reserved encoding `raw_cmd`.  Fails with
+  /// InvalidArgument for non-reserved encodings or inconsistent FLIT/size
+  /// parameters, and InvalidConfig when the encoding is already taken.
+  Status define(u8 raw_cmd, CustomCommandDef def);
+
+  /// Lookup; nullptr when not registered.
+  [[nodiscard]] const CustomCommandDef* find(u8 raw_cmd) const {
+    return (raw_cmd < defs_.size() && defs_[raw_cmd].handler)
+               ? &defs_[raw_cmd]
+               : nullptr;
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] usize size() const { return count_; }
+
+ private:
+  std::array<CustomCommandDef, 64> defs_{};
+  usize count_{0};
+};
+
+/// Build a CRC-sealed custom-command request packet.  The payload must hold
+/// (request_flits - 1) * 2 words as declared at registration.
+[[nodiscard]] Status build_custom_request(const CustomCommandSet& set,
+                                          u8 raw_cmd, u32 cub, PhysAddr addr,
+                                          Tag tag, u32 link,
+                                          std::span<const u64> payload,
+                                          PacketBuffer& out);
+
+/// Decode/validate a custom-command request against its registered
+/// definition (length consistency + CRC).
+[[nodiscard]] Status decode_custom_request(const PacketBuffer& in,
+                                           const CustomCommandDef& def,
+                                           RequestFields& out);
+
+}  // namespace hmcsim

@@ -1,0 +1,57 @@
+#include "core/device.hpp"
+
+namespace hmcsim {
+
+Device::Device(u32 cube_id, const DeviceConfig& config)
+    : regs(config.num_links),
+      store(config.derived_capacity()),
+      id_(cube_id),
+      config_(config),
+      map_(config.make_address_map()) {
+  links.reserve(config.num_links);
+  for (u32 l = 0; l < config.num_links; ++l) {
+    LinkState link;
+    link.rqst = BoundedQueue<RequestEntry>(config.xbar_depth);
+    link.rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
+    links.push_back(std::move(link));
+  }
+  vaults.reserve(config.num_vaults());
+  for (u32 v = 0; v < config.num_vaults(); ++v) {
+    VaultState vault;
+    vault.rqst = BoundedQueue<RequestEntry>(config.vault_depth);
+    vault.rsp = BoundedQueue<ResponseEntry>(config.vault_depth);
+    vault.bank_busy_until.assign(config.banks_per_vault, 0);
+    vault.open_row.assign(config.banks_per_vault, kNoOpenRow);
+    vaults.push_back(std::move(vault));
+  }
+  mode_rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
+  fault_rng = SplitMix64(config.fault_seed + cube_id * 0x9e3779b97f4a7c15ull);
+}
+
+void Device::reset(bool clear_memory) {
+  for (auto& link : links) {
+    link.rqst.clear();
+    link.rsp.clear();
+    link.rqst.reset_stats();
+    link.rsp.reset_stats();
+    link.rqst_flits_forwarded = 0;
+    link.rsp_flits_forwarded = 0;
+    link.rqst_budget = 0;
+    link.rsp_budget = 0;
+  }
+  for (auto& vault : vaults) {
+    vault.rqst.clear();
+    vault.rsp.clear();
+    vault.rqst.reset_stats();
+    vault.rsp.reset_stats();
+    std::fill(vault.bank_busy_until.begin(), vault.bank_busy_until.end(), 0);
+    std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
+  }
+  mode_rsp.clear();
+  regs.reset();
+  if (clear_memory) store.clear();
+  stats = DeviceStats{};
+  fault_rng = SplitMix64(config_.fault_seed + id_ * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,136 @@
+// The internal software representation of one HMC device (paper §IV.A).
+//
+// The structure hierarchy deliberately mirrors the physical package:
+//
+//   Device
+//     ├── links[]     (external SERDES links; each with crossbar queues)
+//     ├── quads[]     (locality domains; quad i is closest to link i)
+//     │     └── vaults[4]
+//     │           ├── request / response queues (the vault controller)
+//     │           └── banks[] -> DRAMs (bank state + backing storage)
+//     ├── register file (RW / RO / RWS configuration & status registers)
+//     └── sparse backing store for DRAM contents
+//
+// `Device` is a data holder owned and driven by `Simulator`; the sub-cycle
+// stage logic lives there because stages 1, 2 and 5 move packets *between*
+// devices.  Members are public by design — this is the C struct hierarchy
+// of the original simulator, kept intact for traceability to the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "mem/address_map.hpp"
+#include "mem/storage.hpp"
+#include "packet/packet.hpp"
+#include "queue/queue.hpp"
+#include "reg/registers.hpp"
+
+namespace hmcsim {
+
+struct CustomCommandDef;
+
+/// A request packet in flight, decoded once at ingress.
+struct RequestEntry {
+  PacketBuffer pkt;
+  RequestFields req;
+  /// Non-null when req.cmd is a registered custom (CMC) command; points at
+  /// the simulator's registration (resolved at ingress and after
+  /// checkpoint restore).
+  const CustomCommandDef* custom{nullptr};
+  /// Earliest cycle any stage may act on this entry; every queue hop sets
+  /// it to now+1 so a packet advances at most one stage per clock
+  /// (paper §IV.C / Figure 3).
+  Cycle ready_cycle{0};
+  /// Host injection point, used to route the response back.
+  u32 home_dev{0};
+  u32 home_link{0};
+  /// Link the packet entered the *current* device on.
+  u32 ingress_link{0};
+  /// The routed-latency penalty is paid (and traced) at most once.
+  bool penalty_applied{false};
+  /// Link-retry transmissions consumed by this packet (IRTRY protocol).
+  u8 retries{0};
+};
+
+/// A response packet in flight.
+struct ResponseEntry {
+  PacketBuffer pkt;
+  Cycle ready_cycle{0};
+  u32 home_dev{0};
+  u32 home_link{0};
+  // Decoded essentials retained for tracing.
+  Tag tag{0};
+  Command cmd{Command::Null};
+};
+
+/// One external link and its crossbar arbitration queues.
+struct LinkState {
+  BoundedQueue<RequestEntry> rqst;  ///< host/peer -> vaults direction
+  BoundedQueue<ResponseEntry> rsp;  ///< vaults -> host/peer direction
+  /// FLITs the crossbar arbiter moved out of each queue (utilization
+  /// accounting against the xbar_flits_per_cycle budget).
+  u64 rqst_flits_forwarded{0};
+  u64 rsp_flits_forwarded{0};
+  /// Serialization budget accumulators: refilled by xbar_flits_per_cycle
+  /// each clock (unused bandwidth does not bank beyond one cycle) and
+  /// drawn down by forwarded packets.  A large packet may overdraw and
+  /// then blocks the link until the debt is repaid — multi-cycle
+  /// serialization of 2..9-FLIT packets.
+  i64 rqst_budget{0};
+  i64 rsp_budget{0};
+};
+
+/// Sentinel for "no row open" in VaultState::open_row.
+inline constexpr u64 kNoOpenRow = ~u64{0};
+
+/// One vault: controller queues plus per-bank timing state.
+struct VaultState {
+  BoundedQueue<RequestEntry> rqst;
+  BoundedQueue<ResponseEntry> rsp;
+  /// busy_until[bank] is the first cycle the bank is free again.
+  std::vector<Cycle> bank_busy_until;
+  /// Per-bank open row under RowPolicy::OpenPage (kNoOpenRow when closed).
+  std::vector<u64> open_row;
+};
+
+class Device {
+ public:
+  Device(u32 cube_id, const DeviceConfig& config);
+
+  /// Reset queues, banks, registers and (optionally) memory contents to the
+  /// power-on state.
+  void reset(bool clear_memory = true);
+
+  [[nodiscard]] u32 id() const { return id_; }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] const AddressMap& address_map() const { return map_; }
+
+  [[nodiscard]] u32 quad_of_vault(u32 vault) const {
+    return vault / spec::kVaultsPerQuad;
+  }
+  /// Link i is physically closest to quad i (paper §III.A / §IV.A).
+  [[nodiscard]] u32 quad_of_link(u32 link) const { return link; }
+
+  // Structure hierarchy (public: see file comment).
+  std::vector<LinkState> links;
+  std::vector<VaultState> vaults;
+  /// Staging queue for MODE_READ/MODE_WRITE responses generated at the
+  /// crossbar (register accesses never traverse a vault).
+  BoundedQueue<ResponseEntry> mode_rsp;
+  RegisterFile regs;
+  SparseStore store;
+  DeviceStats stats;
+  /// Deterministic fault-injection source (link error model).
+  SplitMix64 fault_rng{0};
+
+ private:
+  u32 id_;
+  DeviceConfig config_;
+  AddressMap map_;
+};
+
+}  // namespace hmcsim

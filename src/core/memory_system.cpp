@@ -1,0 +1,252 @@
+#include "core/memory_system.hpp"
+
+#include <algorithm>
+
+#include "common/limits.hpp"
+
+namespace hmcsim {
+
+MemorySystem::MemorySystem(const DeviceConfig& device, Options options)
+    : owned_sim_(std::make_unique<Simulator>()),
+      sim_(owned_sim_.get()),
+      options_(options) {
+  std::string diag;
+  const Status s = owned_sim_->init_simple(device, &diag);
+  if (!ok(s)) {
+    // A facade cannot report construction errors through the C++ type
+    // system without exceptions; fail loudly.
+    std::fprintf(stderr, "MemorySystem: init failed: %s\n", diag.c_str());
+    std::abort();
+  }
+  attach_ports();
+}
+
+MemorySystem::MemorySystem(Simulator& sim, Options options)
+    : sim_(&sim), options_(options) {
+  attach_ports();
+}
+
+void MemorySystem::attach_ports() {
+  const u32 cap = std::min<u32>(options_.max_outstanding_per_port, 512);
+  for (const auto& hp : sim_->topology().host_ports()) {
+    Port port;
+    port.dev = hp.dev;
+    port.link = hp.link;
+    for (u32 t = 0; t < cap; ++t) {
+      port.free_tags.push_back(static_cast<u16>(t));
+    }
+    ports_.push_back(std::move(port));
+  }
+}
+
+u64 MemorySystem::read(PhysAddr addr, usize bytes, Callback cb) {
+  return submit(addr, bytes, /*is_write=*/false, {}, std::move(cb));
+}
+
+u64 MemorySystem::write(PhysAddr addr, usize bytes,
+                        std::span<const u64> data, Callback cb) {
+  if (data.size() != bytes / 8) return 0;
+  return submit(addr, bytes, /*is_write=*/true, data, std::move(cb));
+}
+
+u64 MemorySystem::atomic(PhysAddr addr, Command op,
+                         std::span<const u64, 2> operand, Callback cb) {
+  if (!is_atomic(op)) return 0;
+  if (addr % spec::kBlockBytes != 0 || addr + 16 > spec::kAddrMask + 1) {
+    return 0;
+  }
+  const u64 id = next_id_++;
+  Txn txn;
+  txn.result.id = id;
+  txn.result.addr = addr;
+  txn.result.bytes = 16;
+  txn.result.is_write = true;
+  txn.result.issued_at = sim_->now();
+  txn.cb = std::move(cb);
+  txn.fragments_total = 1;
+
+  Fragment frag;
+  frag.txn = id;
+  frag.addr = addr;
+  frag.cmd = op;
+  frag.payload.assign(operand.begin(), operand.end());
+  pending_.push_back(std::move(frag));
+
+  if (is_posted(op)) {
+    // Fire-and-forget: the transaction completes at injection; callbacks
+    // for posted atomics fire with completed_at == issue-drain time.
+    txn.fragments_done = 0;
+  }
+  txns_.emplace(id, std::move(txn));
+  ++live_count_;
+  return id;
+}
+
+u64 MemorySystem::submit(PhysAddr addr, usize bytes, bool is_write,
+                         std::span<const u64> data, Callback cb) {
+  if (bytes == 0 || bytes % spec::kBlockBytes != 0 ||
+      addr % spec::kBlockBytes != 0 || addr + bytes > spec::kAddrMask + 1) {
+    return 0;
+  }
+
+  const u64 id = next_id_++;
+  Txn txn;
+  txn.result.id = id;
+  txn.result.addr = addr;
+  txn.result.bytes = bytes;
+  txn.result.is_write = is_write;
+  txn.result.issued_at = sim_->now();
+  if (!is_write) txn.result.data.assign(bytes / 8, 0);
+  txn.cb = std::move(cb);
+
+  // Split into maximal HMC requests (up to 128 bytes each).
+  usize offset = 0;
+  while (offset < bytes) {
+    const usize chunk = std::min<usize>(spec::kMaxPayloadBytes,
+                                        bytes - offset);
+    Fragment frag;
+    frag.txn = id;
+    frag.addr = addr + offset;
+    const u32 chunk32 = static_cast<u32>(chunk);
+    frag.cmd = is_write ? write_command_for(chunk32)
+                        : read_command_for(chunk32);
+    if (is_write) {
+      frag.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset / 8),
+                          data.begin() +
+                              static_cast<std::ptrdiff_t>((offset + chunk) / 8));
+    }
+    pending_.push_back(std::move(frag));
+    ++txn.fragments_total;
+    offset += chunk;
+  }
+
+  txns_.emplace(id, std::move(txn));
+  ++live_count_;
+  return id;
+}
+
+MemorySystem::Port* MemorySystem::pick_port(PhysAddr addr) {
+  if (ports_.empty()) return nullptr;
+  if (options_.policy == InjectionPolicy::LocalityAware) {
+    const u32 cub = std::min(options_.target_cub, sim_->num_devices() - 1);
+    const Device& dev = sim_->device(cub);
+    if (dev.address_map().in_range(addr)) {
+      const u32 quad =
+          dev.address_map().vault_of(addr) / spec::kVaultsPerQuad;
+      for (auto& port : ports_) {
+        if (port.link == quad && !port.free_tags.empty()) return &port;
+      }
+    }
+  }
+  for (usize n = 0; n < ports_.size(); ++n) {
+    const usize i = (rr_next_ + n) % ports_.size();
+    if (!ports_[i].free_tags.empty()) {
+      rr_next_ = (i + 1) % ports_.size();
+      return &ports_[i];
+    }
+  }
+  return nullptr;
+}
+
+void MemorySystem::complete_fragment(u64 txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  if (++txn.fragments_done < txn.fragments_total) return;
+  txn.result.completed_at = sim_->now();
+  MemTransaction result = std::move(txn.result);
+  Callback cb = std::move(txn.cb);
+  txns_.erase(it);
+  --live_count_;
+  if (cb) cb(result);
+}
+
+void MemorySystem::inject_pending() {
+  usize i = 0;
+  while (i < pending_.size()) {
+    Fragment& frag = pending_[i];
+    Port* port = pick_port(frag.addr);
+    if (port == nullptr) return;  // no tags anywhere; try next tick
+
+    // Posted fragments never respond, so they must not consume a tag; any
+    // tag value rides the wire.
+    const bool posted = is_posted(frag.cmd);
+    const u16 tag = port->free_tags.back();
+    PacketBuffer pkt;
+    const Status bs = build_memrequest(options_.target_cub, frag.addr, tag,
+                                       frag.cmd, port->link, frag.payload,
+                                       pkt);
+    if (!ok(bs)) {
+      // Structurally impossible by construction; drop defensively.
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const Status ss = sim_->send(port->dev, port->link, pkt);
+    if (ss == Status::Stalled) {
+      ++i;  // port full this cycle; leave the fragment queued
+      continue;
+    }
+    if (!ok(ss)) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const u64 txn_id = frag.txn;
+    if (!posted) {
+      port->free_tags.pop_back();
+      port->txn_of[tag] = txn_id;
+      port->addr_of[tag] = frag.addr;
+    }
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (posted) complete_fragment(txn_id);
+  }
+}
+
+void MemorySystem::drain_responses() {
+  PacketBuffer pkt;
+  for (auto& port : ports_) {
+    while (ok(sim_->recv(port.dev, port.link, pkt))) {
+      ResponseFields f;
+      if (!ok(decode_response(pkt, f))) continue;
+      const u64 id = port.txn_of[f.tag];
+      const PhysAddr frag_addr = port.addr_of[f.tag];
+      port.free_tags.push_back(f.tag);
+
+      const auto it = txns_.find(id);
+      if (it == txns_.end()) continue;
+      Txn& txn = it->second;
+      if (f.cmd == Command::Error) {
+        txn.result.failed = true;
+      } else if (f.cmd == Command::ReadResponse) {
+        const usize word_offset =
+            static_cast<usize>((frag_addr - txn.result.addr) / 8);
+        const auto payload = pkt.payload();
+        for (usize w = 0;
+             w < payload.size() && word_offset + w < txn.result.data.size();
+             ++w) {
+          txn.result.data[word_offset + w] = payload[w];
+        }
+      }
+      complete_fragment(id);
+    }
+  }
+}
+
+void MemorySystem::tick() {
+  drain_responses();
+  inject_pending();
+  sim_->clock();
+}
+
+bool MemorySystem::drain(Cycle max_cycles) {
+  const Cycle deadline = sim_->now() + max_cycles;
+  // Posted traffic completes at injection but is still in flight inside
+  // the device, so drain until the simulator itself is quiescent too.
+  while ((live_count_ > 0 || !pending_.empty() || !sim_->quiescent()) &&
+         sim_->now() < deadline) {
+    tick();
+  }
+  drain_responses();  // collect anything registered on the last cycle
+  return live_count_ == 0 && pending_.empty() && sim_->quiescent();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,142 @@
+// MemorySystem: a gem5-style front end over the simulator.
+//
+// HMC-Sim is designed to slot into existing architectural simulation
+// infrastructures "without modification" (paper §V) — a CPU model wants a
+// memory system it can hand transactions to and tick, not packets, tags
+// and link arbitration.  This facade owns all of that plumbing:
+//
+//   * transactions of any size (split into <=128-byte HMC requests),
+//   * tag allocation and response correlation,
+//   * injection-port selection (locality-aware by default),
+//   * completion callbacks fired from tick() when the last fragment's
+//     response arrives.
+//
+// The underlying Simulator remains fully accessible for tracing, register
+// access, and statistics.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/simulator.hpp"
+
+namespace hmcsim {
+
+/// Completion record handed to the callback.
+struct MemTransaction {
+  u64 id{0};            ///< token returned by read()/write()
+  PhysAddr addr{0};
+  usize bytes{0};
+  bool is_write{false};
+  bool failed{false};   ///< true when any fragment returned an error
+  Cycle issued_at{0};
+  Cycle completed_at{0};
+  /// Read data, valid for successful reads (bytes/8 words).
+  std::vector<u64> data;
+};
+
+class MemorySystem {
+ public:
+  using Callback = std::function<void(const MemTransaction&)>;
+
+  struct Options {
+    InjectionPolicy policy{InjectionPolicy::LocalityAware};
+    u32 target_cub{0};
+    /// Per-port in-flight cap (tag space bound).
+    u32 max_outstanding_per_port{512};
+  };
+
+  /// Single-device system, all links host-attached.
+  explicit MemorySystem(const DeviceConfig& device)
+      : MemorySystem(device, Options{}) {}
+  MemorySystem(const DeviceConfig& device, Options options);
+
+  /// Wrap an externally configured simulator (multi-device topologies).
+  /// The simulator must already be initialized and must outlive this
+  /// object.
+  MemorySystem(Simulator& sim, Options options);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Queue a read of `bytes` at `addr`.  Returns the transaction id, or 0
+  /// when the transaction is structurally invalid (misaligned / zero / out
+  /// of the 34-bit address space).  Fragments are injected as ports free
+  /// up, so issue never fails on backpressure.
+  u64 read(PhysAddr addr, usize bytes, Callback cb);
+
+  /// Queue a write; `data` must hold bytes/8 words (little-endian).
+  u64 write(PhysAddr addr, usize bytes, std::span<const u64> data,
+            Callback cb);
+
+  /// Queue a 16-byte in-memory atomic.  `op` selects the HMC atomic
+  /// command (TwoAdd8 / Add16 / BitWrite, or their posted variants);
+  /// `operand` holds the two payload words.  Non-posted atomics complete
+  /// through the callback like writes.
+  u64 atomic(PhysAddr addr, Command op, std::span<const u64, 2> operand,
+             Callback cb);
+
+  /// Advance one device clock: inject pending fragments, drain responses,
+  /// fire callbacks for completed transactions.
+  void tick();
+
+  /// Convenience: tick until every queued transaction has completed or
+  /// `max_cycles` pass.  Returns true when fully drained.
+  bool drain(Cycle max_cycles = 1'000'000);
+
+  [[nodiscard]] usize pending_transactions() const { return live_count_; }
+  [[nodiscard]] Cycle now() const { return sim_->now(); }
+  [[nodiscard]] Simulator& simulator() { return *sim_; }
+  [[nodiscard]] const Simulator& simulator() const { return *sim_; }
+
+ private:
+  struct Fragment {
+    u64 txn{0};          ///< owning transaction id
+    PhysAddr addr{0};
+    Command cmd{Command::Null};
+    std::vector<u64> payload;  ///< write data; empty for reads
+  };
+
+  struct Txn {
+    MemTransaction result;
+    Callback cb;
+    u32 fragments_total{0};
+    u32 fragments_done{0};
+  };
+
+  struct Port {
+    u32 dev;
+    u32 link;
+    std::vector<u16> free_tags;
+    // tag -> (transaction id, fragment addr offset) for data placement.
+    std::array<u64, 512> txn_of{};
+    std::array<PhysAddr, 512> addr_of{};
+  };
+
+  void attach_ports();
+  /// Mark one fragment of `txn_id` done; fires the callback and retires
+  /// the transaction when it was the last.
+  void complete_fragment(u64 txn_id);
+  u64 submit(PhysAddr addr, usize bytes, bool is_write,
+             std::span<const u64> data, Callback cb);
+  void inject_pending();
+  void drain_responses();
+  Port* pick_port(PhysAddr addr);
+
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator* sim_;
+  Options options_;
+  std::vector<Port> ports_;
+  usize rr_next_{0};
+
+  u64 next_id_{1};
+  std::unordered_map<u64, Txn> txns_;
+  usize live_count_{0};
+  std::vector<Fragment> pending_;  ///< fragments not yet accepted by a port
+};
+
+}  // namespace hmcsim

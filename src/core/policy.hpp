@@ -1,0 +1,15 @@
+// Host-side policies shared by the workload drivers and the MemorySystem
+// facade.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+/// Which host link a request is injected on.
+enum class InjectionPolicy : u8 {
+  RoundRobin,     ///< the paper's naive balancing (§VI.A)
+  LocalityAware,  ///< inject on the link co-located with the target quad
+};
+
+}  // namespace hmcsim

@@ -1,0 +1,963 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+namespace hmcsim {
+
+// ---------------------------------------------------------------------------
+// Packet builders (paper Figure 4).
+// ---------------------------------------------------------------------------
+
+Status build_memrequest(u32 cub, PhysAddr addr, Tag tag, Command cmd,
+                        u32 link, std::span<const u64> payload,
+                        PacketBuffer& out) {
+  RequestFields f;
+  f.cmd = cmd;
+  f.addr = addr;
+  f.tag = tag;
+  f.cub = cub;
+  f.slid = link;
+  return encode_request(f, payload, out);
+}
+
+Status build_moderequest(u32 cub, u32 phys_reg_index, Tag tag, bool write,
+                         u64 value, u32 link, PacketBuffer& out) {
+  RequestFields f;
+  f.cmd = write ? Command::ModeWrite : Command::ModeRead;
+  f.addr = phys_reg_index;  // the register index rides in ADRS
+  f.tag = tag;
+  f.cub = cub;
+  f.slid = link;
+  if (write) {
+    const u64 payload[2] = {value, 0};
+    return encode_request(f, payload, out);
+  }
+  return encode_request(f, {}, out);
+}
+
+// ---------------------------------------------------------------------------
+// Initialization.
+// ---------------------------------------------------------------------------
+
+Status Simulator::init(const SimConfig& config, Topology topo,
+                       std::string* diagnostic) {
+  Status s = config.validate(diagnostic);
+  if (!ok(s)) return s;
+
+  if (topo.num_devices() != config.num_devices ||
+      topo.links_per_device() != config.device.num_links) {
+    if (diagnostic) {
+      *diagnostic = "topology device/link counts do not match the config";
+    }
+    return Status::InvalidConfig;
+  }
+  s = topo.validate(diagnostic);
+  if (!ok(s)) return s;
+  if (!topo.finalized()) {
+    s = topo.finalize();
+    if (!ok(s)) return s;
+  }
+
+  config_ = config;
+  topo_ = std::move(topo);
+  cycle_ = 0;
+  devices_.clear();
+  root_devices_.clear();
+  child_devices_.clear();
+  for (u32 d = 0; d < config.num_devices; ++d) {
+    devices_.push_back(std::make_unique<Device>(d, config.device));
+    if (topo_.is_root(CubeId{d})) {
+      root_devices_.push_back(d);
+    } else {
+      child_devices_.push_back(d);
+    }
+  }
+  return Status::Ok;
+}
+
+Status Simulator::init_simple(const DeviceConfig& device,
+                              std::string* diagnostic) {
+  SimConfig config;
+  config.num_devices = 1;
+  config.device = device;
+  Topology topo = make_simple(device.num_links, diagnostic);
+  if (topo.num_devices() == 0) return Status::InvalidConfig;
+  return init(config, std::move(topo), diagnostic);
+}
+
+void Simulator::reset(bool clear_memory) {
+  for (auto& dev : devices_) dev->reset(clear_memory);
+  cycle_ = 0;
+}
+
+DeviceStats Simulator::total_stats() const {
+  DeviceStats total;
+  for (const auto& dev : devices_) total += dev->stats;
+  return total;
+}
+
+bool Simulator::quiescent() const {
+  for (const auto& dev : devices_) {
+    if (!dev->mode_rsp.empty()) return false;
+    for (const auto& link : dev->links) {
+      if (!link.rqst.empty() || !link.rsp.empty()) return false;
+    }
+    for (const auto& vault : dev->vaults) {
+      if (!vault.rqst.empty() || !vault.rsp.empty()) return false;
+    }
+  }
+  return true;
+}
+
+void Simulator::trace(TraceEvent event, u8 stage, u32 dev, u32 link, u32 quad,
+                      u32 vault, u32 bank, PhysAddr addr, Tag tag,
+                      Command cmd) {
+  if (!tracer_.enabled(event)) return;
+  TraceRecord rec;
+  rec.event = event;
+  rec.stage = stage;
+  rec.cycle = cycle_;
+  rec.dev = dev;
+  rec.link = link;
+  rec.quad = quad;
+  rec.vault = vault;
+  rec.bank = bank;
+  rec.addr = addr;
+  rec.tag = tag;
+  rec.cmd = cmd;
+  tracer_.emit(rec);
+}
+
+// ---------------------------------------------------------------------------
+// Host-edge interface.
+// ---------------------------------------------------------------------------
+
+Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
+  if (!initialized() || dev >= devices_.size() ||
+      link >= config_.device.num_links) {
+    return Status::InvalidArgument;
+  }
+  if (topo_.endpoint(CubeId{dev}, LinkId{link}).kind != EndpointKind::Host) {
+    return Status::InvalidArgument;
+  }
+
+  Device& d = *devices_[dev];
+  RequestEntry entry;
+  entry.pkt = packet;
+  const u8 raw_cmd = static_cast<u8>(extract(packet.header(), 0, 6));
+  if (const CustomCommandDef* custom = custom_.find(raw_cmd)) {
+    const Status ds = decode_custom_request(packet, *custom, entry.req);
+    if (!ok(ds)) return ds;
+    entry.custom = custom;
+  } else {
+    const Status v = validate_packet(packet);
+    if (!ok(v)) return v;
+    const Status ds = decode_request(packet, entry.req);
+    if (!ok(ds)) return ds;
+  }
+
+  if (is_flow(entry.req.cmd)) {
+    // Link-layer flow control terminates at the link interface.
+    ++d.stats.flow_packets;
+    return Status::Ok;
+  }
+
+  entry.ready_cycle = cycle_ + 1;
+  entry.home_dev = dev;
+  entry.home_link = link;
+  entry.ingress_link = link;
+  const PhysAddr addr = entry.req.addr;
+  const Tag tag = entry.req.tag;
+  const Command cmd = entry.req.cmd;
+  if (!d.links[link].rqst.push(std::move(entry))) {
+    ++d.stats.send_stalls;
+    return Status::Stalled;
+  }
+  ++d.stats.sends;
+  trace(TraceEvent::PacketSend, 0, dev, link, kNoCoord, kNoCoord, kNoCoord,
+        addr, tag, cmd);
+  return Status::Ok;
+}
+
+Status Simulator::recv(u32 dev, u32 link, PacketBuffer& out) {
+  if (!initialized() || dev >= devices_.size() ||
+      link >= config_.device.num_links) {
+    return Status::InvalidArgument;
+  }
+  if (topo_.endpoint(CubeId{dev}, LinkId{link}).kind != EndpointKind::Host) {
+    return Status::InvalidArgument;
+  }
+  Device& d = *devices_[dev];
+  BoundedQueue<ResponseEntry>& queue = d.links[link].rsp;
+  if (queue.empty() || queue.front().ready_cycle > cycle_) {
+    return Status::NoResponse;
+  }
+  ResponseEntry entry = queue.pop_front();
+  out = entry.pkt;
+  ++d.stats.recvs;
+  trace(TraceEvent::PacketRecv, 0, dev, link, kNoCoord, kNoCoord, kNoCoord, 0,
+        entry.tag, entry.cmd);
+  return Status::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Side-band register access (outside the clock domains).
+// ---------------------------------------------------------------------------
+
+Status Simulator::register_custom_command(u8 raw_cmd, CustomCommandDef def) {
+  if (!initialized()) return Status::InvalidArgument;
+  // Registration while packets are in flight could leave entries with a
+  // stale decode; require quiescence (the natural time to configure).
+  if (!quiescent()) return Status::InvalidConfig;
+  return custom_.define(raw_cmd, std::move(def));
+}
+
+Status Simulator::read_register_live(const Device& dev, u32 phys_index,
+                                     u64& value) const {
+  const auto reg = reg_from_phys(phys_index);
+  if (reg && dev.regs.present(*reg)) {
+    switch (*reg) {
+      case Reg::Feat: {
+        // Geometry word: capacity-GB[7:0] | links[11:8] | banks[19:12] |
+        // vaults[27:20].
+        const DeviceConfig& cfg = dev.config();
+        value = (cfg.derived_capacity() >> 30) |
+                (u64{cfg.num_links} << 8) |
+                (u64{cfg.banks_per_vault} << 12) |
+                (u64{cfg.num_vaults()} << 20);
+        return Status::Ok;
+      }
+      case Reg::Err:
+        // Cumulative error responses; injected link errors in the high
+        // word so hosts can split protocol faults from link faults.
+        value = dev.stats.error_responses |
+                (dev.stats.link_errors << 32);
+        return Status::Ok;
+      case Reg::Ibtc0: case Reg::Ibtc1: case Reg::Ibtc2: case Reg::Ibtc3:
+      case Reg::Ibtc4: case Reg::Ibtc5: case Reg::Ibtc6: case Reg::Ibtc7: {
+        // Live input-buffer token count: free request-queue slots.
+        const usize link = static_cast<usize>(*reg) -
+                           static_cast<usize>(Reg::Ibtc0);
+        value = dev.links[link].rqst.free_slots();
+        return Status::Ok;
+      }
+      default:
+        break;
+    }
+  }
+  return dev.regs.read_phys(phys_index, value);
+}
+
+Status Simulator::jtag_reg_read(u32 dev, u32 phys_index, u64& value) const {
+  if (!initialized() || dev >= devices_.size()) return Status::InvalidArgument;
+  return read_register_live(*devices_[dev], phys_index, value);
+}
+
+Status Simulator::jtag_reg_write(u32 dev, u32 phys_index, u64 value) {
+  if (!initialized() || dev >= devices_.size()) return Status::InvalidArgument;
+  return devices_[dev]->regs.write_phys(phys_index, value);
+}
+
+// ---------------------------------------------------------------------------
+// Clock engine.
+// ---------------------------------------------------------------------------
+
+void Simulator::clock() {
+  stage1_child_xbar();
+  stage2_root_xbar();
+  stage3_bank_conflicts();
+  stage4_vault_requests();
+  stage5_responses();
+  stage6_clock_update();
+}
+
+void Simulator::stage1_child_xbar() {
+  for (const u32 d : child_devices_) process_xbar(*devices_[d], 1);
+}
+
+void Simulator::stage2_root_xbar() {
+  for (const u32 d : root_devices_) process_xbar(*devices_[d], 2);
+}
+
+void Simulator::process_xbar(Device& dev, u8 stage) {
+  const DeviceConfig& cfg = dev.config();
+  for (u32 link = 0; link < cfg.num_links; ++link) {
+    LinkState& link_state = dev.links[link];
+    BoundedQueue<RequestEntry>& queue = link_state.rqst;
+    // Refill the serialization budget; unused bandwidth does not bank
+    // beyond one cycle.
+    link_state.rqst_budget =
+        std::min<i64>(link_state.rqst_budget, 0) + cfg.xbar_flits_per_cycle;
+    if (queue.empty()) continue;
+    u64 blocked_vaults = 0;   // local vaults that must not be passed
+    u32 blocked_links = 0;    // peer-forwarding links that are full
+    bool mode_blocked = false;
+
+    usize i = 0;
+    while (i < queue.size() && link_state.rqst_budget > 0) {
+      RequestEntry& entry = queue.at(i);
+      const u32 cub = entry.req.cub;
+
+      // ---- packets for other cubes: forward one hop ---------------------
+      if (cub != dev.id()) {
+        const auto hops = cub >= devices_.size()
+                              ? std::vector<LinkId>{}
+                              : topo_.next_hops(CubeId{dev.id()}, CubeId{cub});
+        if (hops.empty()) {
+          // Nonexistent or unreachable cube: deliberate misconfiguration.
+          // Count the misroute only when the error response actually lands
+          // (a full staging queue retries next cycle).
+          if (emit_error_response(dev, entry, ErrStat::Unroutable, stage)) {
+            ++dev.stats.misroutes;
+            trace(TraceEvent::Misroute, stage, dev.id(), link, kNoCoord,
+                  kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+                  entry.req.cmd);
+            link_state.rqst_budget -= entry.pkt.flits;
+            queue.remove(i);
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        // Equal-cost multipath: the trunk link is chosen by a deterministic
+        // hash of (ingress link, destination bank), so each link-to-bank
+        // stream always rides one trunk and stays ordered while aggregate
+        // traffic spreads across every parallel link.
+        const u32 bank_hash = dev.address_map().in_range(entry.req.addr)
+                                  ? dev.address_map().bank_of(entry.req.addr)
+                                  : static_cast<u32>(entry.req.addr);
+        const u32 out_link =
+            hops[(entry.ingress_link * 7 + bank_hash) % hops.size()].get();
+        if (entry.ready_cycle > cycle_ || (blocked_links & (1u << out_link))) {
+          blocked_links |= 1u << out_link;
+          ++i;
+          continue;
+        }
+        // Injected link error: the transmission is corrupted.  With retry
+        // budget remaining, the link replays the packet from its retry
+        // buffer (costing the transmission's link time); once the budget
+        // is exhausted the packet dies and an ERROR response with
+        // CRC_FAILURE returns to the host.
+        if (cfg.link_error_rate_ppm != 0 &&
+            dev.fault_rng.next_below(1'000'000) < cfg.link_error_rate_ppm) {
+          if (entry.retries < cfg.link_retry_limit) {
+            ++entry.retries;
+            ++dev.stats.link_retries;
+            link_state.rqst_budget -= entry.pkt.flits;  // wasted link time
+            blocked_links |= 1u << out_link;  // nothing may pass the replay
+            ++i;
+            continue;
+          }
+          if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage)) {
+            ++dev.stats.link_errors;
+            link_state.rqst_budget -= entry.pkt.flits;
+            queue.remove(i);
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        const LinkEndpoint& e =
+            topo_.endpoint(CubeId{dev.id()}, LinkId{out_link});
+        Device& peer = *devices_[e.peer_dev];
+        RequestEntry forwarded = entry;  // copy; remove() below invalidates
+        forwarded.ready_cycle = cycle_ + 1;
+        forwarded.ingress_link = e.peer_link;
+        forwarded.penalty_applied = false;  // penalty is per-device locality
+        if (!peer.links[e.peer_link].rqst.push(std::move(forwarded))) {
+          ++dev.stats.xbar_rqst_stalls;
+          trace(TraceEvent::XbarRqstStall, stage, dev.id(), link, kNoCoord,
+                kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+                entry.req.cmd);
+          blocked_links |= 1u << out_link;
+          ++i;
+          continue;
+        }
+        ++dev.stats.route_hops;
+        trace(TraceEvent::RouteHop, stage, dev.id(), out_link, kNoCoord,
+              kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+              entry.req.cmd);
+        link_state.rqst_flits_forwarded += entry.pkt.flits;
+        link_state.rqst_budget -= entry.pkt.flits;
+        queue.remove(i);
+        continue;
+      }
+
+      // ---- register access requests terminate at the crossbar ------------
+      if (is_mode(entry.req.cmd)) {
+        // The staging-space check precedes the register access: a full
+        // queue must not re-execute the (side-effecting) operation when
+        // the entry retries next cycle.
+        if (entry.ready_cycle > cycle_ || mode_blocked ||
+            dev.mode_rsp.full()) {
+          mode_blocked = true;
+          ++i;
+          continue;
+        }
+        const u32 phys_index = static_cast<u32>(entry.req.addr);
+        ResponseFields rf;
+        rf.tag = entry.req.tag;
+        rf.cub = dev.id();
+        rf.slid = entry.req.slid;
+        ResponseEntry rsp;
+        rsp.home_dev = entry.home_dev;
+        rsp.home_link = entry.home_link;
+        rsp.tag = entry.req.tag;
+        Status rs;
+        if (entry.req.cmd == Command::ModeRead) {
+          u64 value = 0;
+          rs = read_register_live(dev, phys_index, value);
+          if (ok(rs)) {
+            rf.cmd = Command::ModeReadResponse;
+            const u64 payload[2] = {value, 0};
+            (void)encode_response(rf, payload, rsp.pkt);
+          }
+        } else {
+          rs = dev.regs.write_phys(phys_index,
+                                   entry.pkt.payload().empty()
+                                       ? 0
+                                       : entry.pkt.payload()[0]);
+          if (ok(rs)) {
+            rf.cmd = Command::ModeWriteResponse;
+            (void)encode_response(rf, {}, rsp.pkt);
+          }
+        }
+        if (!ok(rs)) {
+          rf.cmd = Command::Error;
+          rf.errstat = ErrStat::RegisterFault;
+          (void)encode_response(rf, {}, rsp.pkt);
+          ++dev.stats.error_responses;
+          trace(TraceEvent::ErrorResponse, stage, dev.id(), link, kNoCoord,
+                kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+                entry.req.cmd);
+        }
+        rsp.cmd = field::cmd_of(rsp.pkt.header());
+        rsp.ready_cycle = cycle_ + 1;
+        // Space was reserved above; this push cannot fail.
+        (void)dev.mode_rsp.push(std::move(rsp));
+        ++dev.stats.mode_ops;
+        trace(TraceEvent::ModeRequest, stage, dev.id(), link, kNoCoord,
+              kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+              entry.req.cmd);
+        link_state.rqst_flits_forwarded += entry.pkt.flits;
+        link_state.rqst_budget -= entry.pkt.flits;
+        queue.remove(i);
+        continue;
+      }
+
+      // ---- local memory requests: route to the destination vault ---------
+      if (!dev.address_map().in_range(entry.req.addr)) {
+        if (emit_error_response(dev, entry, ErrStat::InvalidAddress, stage)) {
+          link_state.rqst_budget -= entry.pkt.flits;
+          queue.remove(i);
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      const u32 vault = dev.address_map().vault_of(entry.req.addr);
+
+      // Routed-latency penalty: the packet entered on a link that is not
+      // co-located with the destination quadrant.  Pay it once per device.
+      if (!entry.penalty_applied &&
+          dev.quad_of_link(entry.ingress_link) != dev.quad_of_vault(vault)) {
+        entry.penalty_applied = true;
+        entry.ready_cycle =
+            std::max(entry.ready_cycle, cycle_ + cfg.nonlocal_penalty_cycles);
+        ++dev.stats.latency_penalties;
+        trace(TraceEvent::LatencyPenalty, stage, dev.id(), link,
+              dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+              entry.req.tag, entry.req.cmd);
+      }
+
+      if (entry.ready_cycle > cycle_ || (blocked_vaults & (u64{1} << vault))) {
+        blocked_vaults |= u64{1} << vault;
+        ++i;
+        continue;
+      }
+
+      // Injected link error on the internal hop (see above).
+      if (cfg.link_error_rate_ppm != 0 &&
+          dev.fault_rng.next_below(1'000'000) < cfg.link_error_rate_ppm) {
+        if (entry.retries < cfg.link_retry_limit) {
+          ++entry.retries;
+          ++dev.stats.link_retries;
+          link_state.rqst_budget -= entry.pkt.flits;
+          blocked_vaults |= u64{1} << vault;  // preserve stream order
+          ++i;
+          continue;
+        }
+        if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage)) {
+          ++dev.stats.link_errors;
+          link_state.rqst_budget -= entry.pkt.flits;
+          queue.remove(i);
+          continue;
+        }
+        ++i;
+        continue;
+      }
+
+      RequestEntry moved = entry;
+      moved.ready_cycle = cycle_ + 1;
+      if (!dev.vaults[vault].rqst.push(std::move(moved))) {
+        ++dev.stats.xbar_rqst_stalls;
+        trace(TraceEvent::XbarRqstStall, stage, dev.id(), link,
+              dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+              entry.req.tag, entry.req.cmd);
+        blocked_vaults |= u64{1} << vault;
+        ++i;
+        continue;
+      }
+      link_state.rqst_flits_forwarded += entry.pkt.flits;
+      link_state.rqst_budget -= entry.pkt.flits;
+      queue.remove(i);
+    }
+  }
+}
+
+void Simulator::stage3_bank_conflicts() {
+  for (auto& dev_ptr : devices_) {
+    Device& dev = *dev_ptr;
+    const DeviceConfig& cfg = dev.config();
+    const u32 window = cfg.conflict_window == 0
+                           ? static_cast<u32>(cfg.vault_depth)
+                           : cfg.conflict_window;
+    for (u32 v = 0; v < cfg.num_vaults(); ++v) {
+      VaultState& vault = dev.vaults[v];
+      if (vault.rqst.empty()) continue;
+      u32 seen_banks = 0;
+      const usize limit = std::min<usize>(window, vault.rqst.size());
+      for (usize i = 0; i < limit; ++i) {
+        const RequestEntry& entry = vault.rqst.at(i);
+        if (entry.ready_cycle > cycle_) continue;
+        const u32 bank = dev.address_map().bank_of(entry.req.addr);
+        const bool busy = vault.bank_busy_until[bank] > cycle_;
+        const bool duplicated = (seen_banks & (1u << bank)) != 0;
+        seen_banks |= 1u << bank;
+        if (busy || duplicated) {
+          ++dev.stats.bank_conflicts;
+          trace(TraceEvent::BankConflict, 3, dev.id(), kNoCoord,
+                dev.quad_of_vault(v), v, bank, entry.req.addr, entry.req.tag,
+                entry.req.cmd);
+        }
+      }
+    }
+  }
+}
+
+void Simulator::stage4_vault_requests() {
+  for (auto& dev_ptr : devices_) {
+    Device& dev = *dev_ptr;
+    for (u32 v = 0; v < dev.config().num_vaults(); ++v) {
+      process_vault(dev, v);
+    }
+  }
+}
+
+void Simulator::process_vault(Device& dev, u32 vault_index) {
+  const DeviceConfig& cfg = dev.config();
+  VaultState& vault = dev.vaults[vault_index];
+
+  // DRAM refresh: when this vault's (staggered) refresh slot comes due,
+  // every bank goes busy for the refresh window and nothing retires.
+  if (cfg.refresh_interval_cycles != 0) {
+    const Cycle offset = Cycle{vault_index} * cfg.refresh_interval_cycles /
+                         cfg.num_vaults();
+    if ((cycle_ + offset) % cfg.refresh_interval_cycles == 0) {
+      const Cycle until = cycle_ + cfg.refresh_busy_cycles;
+      for (Cycle& busy : vault.bank_busy_until) {
+        busy = std::max(busy, until);
+      }
+      // Refresh precharges every bank: open rows close.
+      std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
+      ++dev.stats.refreshes;
+    }
+  }
+
+  if (vault.rqst.empty()) return;
+
+  const bool strict = cfg.vault_schedule == VaultSchedule::StrictFifo;
+  u32 retired = 0;
+  u32 used_banks = 0;     // banks that already served a request this cycle
+  u32 blocked_banks = 0;  // banks with an earlier, still-queued request
+  bool rsp_stalled_logged = false;
+
+  usize i = 0;
+  while (i < vault.rqst.size()) {
+    if (cfg.vault_drain_limit != 0 && retired >= cfg.vault_drain_limit) break;
+    RequestEntry& entry = vault.rqst.at(i);
+    if (entry.ready_cycle > cycle_) {
+      if (strict) break;  // strict FIFO: nothing may pass the head
+      // Not yet visible to this stage; it still holds its bank's order slot.
+      blocked_banks |= 1u << dev.address_map().bank_of(entry.req.addr);
+      ++i;
+      continue;
+    }
+    const u32 bank = dev.address_map().bank_of(entry.req.addr);
+    const u32 bit = 1u << bank;
+    if ((blocked_banks & bit) || (used_banks & bit) ||
+        vault.bank_busy_until[bank] > cycle_) {
+      if (strict) break;
+      blocked_banks |= bit;
+      ++i;
+      continue;
+    }
+    // Non-posted requests need response queue space before they may retire.
+    const bool entry_posted = entry.custom != nullptr
+                                  ? entry.custom->response_flits == 0
+                                  : is_posted(entry.req.cmd);
+    if (!entry_posted && vault.rsp.full()) {
+      ++dev.stats.vault_rsp_stalls;
+      if (!rsp_stalled_logged) {
+        trace(TraceEvent::VaultRspStall, 4, dev.id(), kNoCoord,
+              dev.quad_of_vault(vault_index), vault_index, bank,
+              entry.req.addr, entry.req.tag, entry.req.cmd);
+        rsp_stalled_logged = true;
+      }
+      if (strict) break;
+      blocked_banks |= bit;
+      ++i;
+      continue;
+    }
+    if (!retire_request(dev, vault_index, entry)) {
+      if (strict) break;
+      blocked_banks |= bit;
+      ++i;
+      continue;
+    }
+    used_banks |= bit;
+    if (cfg.row_policy == RowPolicy::OpenPage) {
+      // Row-buffer timing: hits reuse the open row, misses pay
+      // precharge + activate and leave the new row open.
+      const u64 row = dev.address_map().row_of(entry.req.addr);
+      if (vault.open_row[bank] == row) {
+        vault.bank_busy_until[bank] = cycle_ + cfg.row_hit_cycles;
+        ++dev.stats.row_hits;
+      } else {
+        vault.bank_busy_until[bank] = cycle_ + cfg.row_miss_cycles;
+        vault.open_row[bank] = row;
+        ++dev.stats.row_misses;
+      }
+    } else {
+      vault.bank_busy_until[bank] = cycle_ + cfg.bank_busy_cycles;
+    }
+    vault.rqst.remove(i);
+    ++retired;
+  }
+}
+
+bool Simulator::retire_request(Device& dev, u32 vault_index,
+                               RequestEntry& entry) {
+  const Command cmd = entry.req.cmd;
+  const PhysAddr addr = entry.req.addr;
+  const bool posted = entry.custom != nullptr
+                          ? entry.custom->response_flits == 0
+                          : is_posted(cmd);
+  const usize bytes =
+      entry.custom != nullptr ? entry.custom->access_bytes : access_bytes(cmd);
+  VaultState& vault = dev.vaults[vault_index];
+  const u32 bank = dev.address_map().bank_of(addr);
+
+  // Range check against capacity for the full access footprint.
+  if (addr + bytes > dev.store.capacity()) {
+    ResponseFields rf;
+    rf.cmd = Command::Error;
+    rf.tag = entry.req.tag;
+    rf.cub = dev.id();
+    rf.slid = entry.req.slid;
+    rf.errstat = ErrStat::InvalidAddress;
+    ResponseEntry rsp;
+    (void)encode_response(rf, {}, rsp.pkt);
+    rsp.cmd = Command::Error;
+    rsp.tag = entry.req.tag;
+    rsp.home_dev = entry.home_dev;
+    rsp.home_link = entry.home_link;
+    rsp.ready_cycle = cycle_ + 1;
+    if (!posted && !vault.rsp.push(std::move(rsp))) return false;
+    ++dev.stats.error_responses;
+    trace(TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+    return true;
+  }
+
+  u64 data[spec::kMaxPayloadBytes / 8] = {};
+  const bool model_data = dev.config().model_data;
+
+  // Registered custom (CMC) commands: read-modify-write of access_bytes
+  // under the same bank timing, with a user-defined operation.
+  if (entry.custom != nullptr) {
+    const CustomCommandDef& def = *entry.custom;
+    if (model_data) (void)dev.store.read_words(addr, {data, bytes / 8});
+    u64 rsp_payload[spec::kMaxPacketWords] = {};
+    const usize rsp_words =
+        def.response_flits > 0 ? (usize{def.response_flits} - 1) * 2 : 0;
+    def.handler({data, bytes / 8}, entry.pkt.payload(),
+                {rsp_payload, rsp_words});
+    if (model_data) (void)dev.store.write_words(addr, {data, bytes / 8});
+    ++dev.stats.custom_ops;
+    dev.stats.bytes_read += bytes;
+    dev.stats.bytes_written += bytes;
+    trace(TraceEvent::CustomRequest, 4, dev.id(), entry.home_link,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+    if (posted) return true;
+
+    ResponseFields rf;
+    rf.cmd = def.response_flits > 1 ? Command::ReadResponse
+                                    : Command::WriteResponse;
+    rf.tag = entry.req.tag;
+    rf.cub = dev.id();
+    rf.slid = entry.req.slid;
+    ResponseEntry rsp;
+    (void)encode_response(rf, {rsp_payload, rsp_words}, rsp.pkt);
+    rsp.cmd = rf.cmd;
+    rsp.tag = rf.tag;
+    rsp.home_dev = entry.home_dev;
+    rsp.home_link = entry.home_link;
+    rsp.ready_cycle = cycle_ + 1;
+    const bool pushed = vault.rsp.push(std::move(rsp));
+    if (pushed) ++dev.stats.responses;
+    return pushed;
+  }
+
+  if (is_read(cmd)) {
+    if (model_data) {
+      (void)dev.store.read_words(addr, {data, bytes / 8});
+    }
+    ++dev.stats.reads;
+    dev.stats.bytes_read += bytes;
+    trace(TraceEvent::ReadRequest, 4, dev.id(), entry.home_link,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+  } else if (is_write(cmd)) {
+    if (model_data) {
+      (void)dev.store.write_words(addr, entry.pkt.payload());
+    }
+    ++dev.stats.writes;
+    dev.stats.bytes_written += bytes;
+    trace(TraceEvent::WriteRequest, 4, dev.id(), entry.home_link,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+  } else if (is_atomic(cmd)) {
+    // All atomics are 16-byte read-modify-write operations.
+    u64 current[2] = {0, 0};
+    if (model_data) (void)dev.store.read_words(addr, current);
+    const std::span<const u64> operand = entry.pkt.payload();
+    u64 updated[2] = {current[0], current[1]};
+    switch (cmd) {
+      case Command::TwoAdd8:
+      case Command::PostedTwoAdd8:
+        updated[0] = current[0] + operand[0];
+        updated[1] = current[1] + operand[1];
+        break;
+      case Command::Add16:
+      case Command::PostedAdd16: {
+        // 128-bit add with carry propagation.
+        updated[0] = current[0] + operand[0];
+        const u64 carry = (updated[0] < current[0]) ? 1 : 0;
+        updated[1] = current[1] + operand[1] + carry;
+        break;
+      }
+      case Command::BitWrite:
+      case Command::PostedBitWrite:
+        // 8 bytes of data + 8 bytes of mask: only masked bits change.
+        updated[0] = (current[0] & ~operand[1]) | (operand[0] & operand[1]);
+        break;
+      default:
+        break;
+    }
+    if (model_data) (void)dev.store.write_words(addr, updated);
+    ++dev.stats.atomics;
+    dev.stats.bytes_read += bytes;
+    dev.stats.bytes_written += bytes;
+    trace(TraceEvent::AtomicRequest, 4, dev.id(), entry.home_link,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+  } else {
+    // Unsupported at a vault (flow/mode should never get here).
+    ResponseFields rf;
+    rf.cmd = Command::Error;
+    rf.tag = entry.req.tag;
+    rf.cub = dev.id();
+    rf.slid = entry.req.slid;
+    rf.errstat = ErrStat::InvalidCommand;
+    ResponseEntry rsp;
+    (void)encode_response(rf, {}, rsp.pkt);
+    rsp.cmd = Command::Error;
+    rsp.tag = entry.req.tag;
+    rsp.home_dev = entry.home_dev;
+    rsp.home_link = entry.home_link;
+    rsp.ready_cycle = cycle_ + 1;
+    if (!vault.rsp.push(std::move(rsp))) return false;
+    ++dev.stats.error_responses;
+    return true;
+  }
+
+  if (posted) return true;
+
+  ResponseFields rf;
+  rf.cmd = response_command(cmd);
+  rf.tag = entry.req.tag;
+  rf.cub = dev.id();
+  rf.slid = entry.req.slid;
+  ResponseEntry rsp;
+  if (rf.cmd == Command::ReadResponse) {
+    (void)encode_response(rf, {data, bytes / 8}, rsp.pkt);
+  } else {
+    (void)encode_response(rf, {}, rsp.pkt);
+  }
+  rsp.cmd = rf.cmd;
+  rsp.tag = rf.tag;
+  rsp.home_dev = entry.home_dev;
+  rsp.home_link = entry.home_link;
+  rsp.ready_cycle = cycle_ + 1;
+  const bool pushed = vault.rsp.push(std::move(rsp));
+  // Callers checked for space before retiring; a failure here is a bug.
+  if (pushed) ++dev.stats.responses;
+  return pushed;
+}
+
+bool Simulator::emit_error_response(Device& dev, const RequestEntry& entry,
+                                    ErrStat errstat, u8 stage) {
+  if (dev.mode_rsp.full()) return false;
+  ResponseFields rf;
+  rf.cmd = Command::Error;
+  rf.tag = entry.req.tag;
+  rf.cub = dev.id();
+  rf.slid = entry.req.slid;
+  rf.errstat = errstat;
+  ResponseEntry rsp;
+  (void)encode_response(rf, {}, rsp.pkt);
+  rsp.cmd = Command::Error;
+  rsp.tag = entry.req.tag;
+  rsp.home_dev = entry.home_dev;
+  rsp.home_link = entry.home_link;
+  rsp.ready_cycle = cycle_ + 1;
+  const bool pushed = dev.mode_rsp.push(std::move(rsp));
+  if (pushed) {
+    ++dev.stats.error_responses;
+    trace(TraceEvent::ErrorResponse, stage, dev.id(), kNoCoord, kNoCoord,
+          kNoCoord, kNoCoord, entry.req.addr, entry.req.tag, entry.req.cmd);
+  }
+  return pushed;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5: response registration, root devices first (paper §IV.C: child
+// responses must not see falsely congested root queues).
+// ---------------------------------------------------------------------------
+
+u32 Simulator::response_exit_link(const Device& dev,
+                                  const ResponseEntry& e) const {
+  if (dev.id() == e.home_dev) return e.home_link;
+  // Responses may arrive out of order (§V.C), so equal-cost trunk links are
+  // balanced by occupancy rather than by stream hashing.
+  const auto hops = topo_.next_hops(CubeId{dev.id()}, CubeId{e.home_dev});
+  if (hops.empty()) return kNoCoord;
+  u32 best = hops.front().get();
+  usize best_size = dev.links[best].rsp.size();
+  for (usize i = 1; i < hops.size(); ++i) {
+    const u32 candidate = hops[i].get();
+    const usize size = dev.links[candidate].rsp.size();
+    if (size < best_size) {
+      best = candidate;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+void Simulator::drain_response_queue(Device& dev,
+                                     BoundedQueue<ResponseEntry>& queue,
+                                     u32 vault_for_trace) {
+  while (!queue.empty()) {
+    ResponseEntry& head = queue.front();
+    if (head.ready_cycle > cycle_) break;
+    const u32 exit = response_exit_link(dev, head);
+    if (exit == kNoCoord) {
+      // The injection port is unreachable (topology was rewired mid-flight
+      // or deliberately misconfigured): the response dies here.
+      ++dev.stats.misroutes;
+      trace(TraceEvent::Misroute, 5, dev.id(), kNoCoord, kNoCoord,
+            vault_for_trace, kNoCoord, 0, head.tag, head.cmd);
+      (void)queue.pop_front();
+      continue;
+    }
+    ResponseEntry moved = head;
+    moved.ready_cycle = cycle_ + 1;
+    if (!dev.links[exit].rsp.push(std::move(moved))) {
+      ++dev.stats.xbar_rsp_stalls;
+      trace(TraceEvent::XbarRspStall, 5, dev.id(), exit, kNoCoord,
+            vault_for_trace, kNoCoord, 0, head.tag, head.cmd);
+      break;  // FIFO: later responses must not pass
+    }
+    trace(TraceEvent::ResponseRegistered, 5, dev.id(), exit, kNoCoord,
+          vault_for_trace, kNoCoord, 0, head.tag, head.cmd);
+    dev.links[exit].rsp_flits_forwarded += head.pkt.flits;
+    (void)queue.pop_front();
+  }
+}
+
+void Simulator::transfer_link_responses(Device& dev) {
+  const DeviceConfig& cfg = dev.config();
+  for (u32 link = 0; link < cfg.num_links; ++link) {
+    const LinkEndpoint& ep = topo_.endpoint(CubeId{dev.id()}, LinkId{link});
+    if (ep.kind != EndpointKind::Device) continue;  // host links drain by recv
+    LinkState& link_state = dev.links[link];
+    BoundedQueue<ResponseEntry>& queue = link_state.rsp;
+    link_state.rsp_budget =
+        std::min<i64>(link_state.rsp_budget, 0) + cfg.xbar_flits_per_cycle;
+    while (!queue.empty() && link_state.rsp_budget > 0) {
+      ResponseEntry& head = queue.front();
+      if (head.ready_cycle > cycle_) break;
+      Device& peer = *devices_[ep.peer_dev];
+      const u32 peer_exit = response_exit_link(peer, head);
+      if (peer_exit == kNoCoord) {
+        ++dev.stats.misroutes;
+        (void)queue.pop_front();
+        continue;
+      }
+      ResponseEntry moved = head;
+      moved.ready_cycle = cycle_ + 1;
+      if (!peer.links[peer_exit].rsp.push(std::move(moved))) {
+        ++dev.stats.xbar_rsp_stalls;
+        trace(TraceEvent::XbarRspStall, 5, dev.id(), link, kNoCoord, kNoCoord,
+              kNoCoord, 0, head.tag, head.cmd);
+        break;
+      }
+      link_state.rsp_flits_forwarded += head.pkt.flits;
+      link_state.rsp_budget -= head.pkt.flits;
+      trace(TraceEvent::RouteHop, 5, dev.id(), link, kNoCoord, kNoCoord,
+            kNoCoord, 0, head.tag, head.cmd);
+      (void)queue.pop_front();
+    }
+  }
+}
+
+void Simulator::stage5_responses() {
+  // Root devices first, then children.
+  for (const u32 d : root_devices_) {
+    Device& dev = *devices_[d];
+    drain_response_queue(dev, dev.mode_rsp, kNoCoord);
+    for (u32 v = 0; v < dev.config().num_vaults(); ++v) {
+      drain_response_queue(dev, dev.vaults[v].rsp, v);
+    }
+    transfer_link_responses(dev);
+  }
+  for (const u32 d : child_devices_) {
+    Device& dev = *devices_[d];
+    drain_response_queue(dev, dev.mode_rsp, kNoCoord);
+    for (u32 v = 0; v < dev.config().num_vaults(); ++v) {
+      drain_response_queue(dev, dev.vaults[v].rsp, v);
+    }
+    transfer_link_responses(dev);
+  }
+}
+
+void Simulator::stage6_clock_update() {
+  for (auto& dev : devices_) dev->regs.clock_edge();
+  ++cycle_;
+}
+
+}  // namespace hmcsim

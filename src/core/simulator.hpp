@@ -1,0 +1,206 @@
+// The HMC-Sim simulator object: one or more homogeneous HMC devices, a link
+// topology, and the six-stage sub-cycle clock engine (paper §IV.C).
+//
+// External memory operations (host-visible API):
+//   * send()  — inject a request packet on a host link (stalls when the
+//               crossbar arbitration queue is full);
+//   * recv()  — drain a response packet from a host link;
+//   * jtag_*  — side-band register access outside the clock domains.
+//
+// Internal memory operations advance only on clock():
+//   stage 1: process child-device link crossbar transactions
+//   stage 2: process root-device link crossbar request transactions
+//   stage 3: recognize bank conflicts on vault request queues
+//   stage 4: process vault queue memory request transactions
+//   stage 5: register response packets with crossbar response queues
+//            (root devices first, then children)
+//   stage 6: update the internal 64-bit clock value
+//
+// A packet progresses by at most one internal stage per clock — it cannot
+// move from the crossbar interface to a memory bank in a single cycle.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/custom_command.hpp"
+#include "core/device.hpp"
+#include "topo/topology.hpp"
+#include "trace/tracer.hpp"
+
+namespace hmcsim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Master initialization (paper §V.A): configure `config.num_devices`
+  /// homogeneous devices wired by `topo`, and reset them to an identical
+  /// power-on state.  The topology's device/link counts must match the
+  /// config.  Must be called before any other member.
+  Status init(const SimConfig& config, Topology topo,
+              std::string* diagnostic = nullptr);
+
+  /// Convenience initialization for the single-device, all-links-to-host
+  /// configuration (Figure 1 "Simple").
+  Status init_simple(const DeviceConfig& device,
+                     std::string* diagnostic = nullptr);
+
+  [[nodiscard]] bool initialized() const { return !devices_.empty(); }
+
+  // ---- host-edge packet interface -----------------------------------------
+
+  /// Inject a fully formed, CRC-sealed request packet on host link `link`
+  /// of root device `dev`.  Returns:
+  ///   Stalled          — crossbar arbitration queue full; clock and retry.
+  ///   InvalidArgument  — bad device/link, or the link is not host-wired.
+  ///   MalformedPacket  — packet fails structural validation.
+  Status send(u32 dev, u32 link, const PacketBuffer& packet);
+
+  /// Drain the next response packet pending on host link `link`; returns
+  /// NoResponse when none is ready.  Responses may arrive out of order;
+  /// hosts correlate via the 9-bit TAG.
+  Status recv(u32 dev, u32 link, PacketBuffer& out);
+
+  /// Progress every internal device operation by one clock cycle (one full
+  /// pass of sub-cycle stages 1..6).
+  void clock();
+
+  [[nodiscard]] Cycle now() const { return cycle_; }
+
+  // ---- side-band register interface (JTAG / I2C; paper §V.D) ---------------
+
+  /// Read/write a device register by its architected physical index.  These
+  /// bypass the packet path and the clock domains entirely.
+  ///
+  /// Status registers are LIVE: FEAT reports the device geometry
+  /// (capacity-GB[7:0] | links[11:8] | banks[19:12] | vaults[27:20]),
+  /// IBTCn reports the current free input-buffer token count of link n
+  /// (its request-queue free slots), and ERR reports the cumulative error
+  /// response count (injected link errors in the high word).
+  Status jtag_reg_read(u32 dev, u32 phys_index, u64& value) const;
+  Status jtag_reg_write(u32 dev, u32 phys_index, u64 value);
+
+  // ---- tracing ---------------------------------------------------------------
+
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  // ---- observability -----------------------------------------------------------
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] u32 num_devices() const {
+    return static_cast<u32>(devices_.size());
+  }
+  [[nodiscard]] const Device& device(u32 dev) const { return *devices_[dev]; }
+  [[nodiscard]] Device& device(u32 dev) { return *devices_[dev]; }
+  [[nodiscard]] const DeviceStats& stats(u32 dev) const {
+    return devices_[dev]->stats;
+  }
+  [[nodiscard]] DeviceStats total_stats() const;
+
+  /// True when every queue in every device is empty (all in-flight traffic
+  /// has drained to the host or died as an error response).
+  [[nodiscard]] bool quiescent() const;
+
+  /// Reset devices and the clock to the power-on state (topology intact).
+  void reset(bool clear_memory = true);
+
+  // ---- custom memory cube commands (CMC) -----------------------------------
+
+  /// Register a user-defined command under a reserved 6-bit encoding.
+  /// Registered commands flow through the full pipeline (crossbar routing,
+  /// bank timing, ordering, responses) on every device of this object.
+  /// Registration is only permitted while the devices are quiescent.
+  Status register_custom_command(u8 raw_cmd, CustomCommandDef def);
+
+  [[nodiscard]] const CustomCommandSet& custom_commands() const {
+    return custom_;
+  }
+
+  // ---- checkpointing (implemented in core/checkpoint.cpp) ------------------
+
+  /// Serialize the complete simulator state — configuration, topology,
+  /// clock, every queue entry and in-flight packet, registers, bank timing
+  /// and memory contents — to a versioned binary stream.  A restored
+  /// simulator continues cycle-for-cycle identically.  Host-side state
+  /// (outstanding-tag bookkeeping in drivers) is the caller's to save.
+  Status save_checkpoint(std::ostream& os) const;
+
+  /// Rebuild this simulator from a checkpoint stream.  Any existing state
+  /// is discarded.  Fails with MalformedPacket on magic/version mismatch
+  /// and InvalidConfig on inconsistent content.
+  Status restore_checkpoint(std::istream& is);
+
+ private:
+  // Sub-cycle stages.
+  void stage1_child_xbar();
+  void stage2_root_xbar();
+  void stage3_bank_conflicts();
+  void stage4_vault_requests();
+  void stage5_responses();
+  void stage6_clock_update();
+
+  /// Shared crossbar logic for stages 1 and 2.
+  void process_xbar(Device& dev, u8 stage);
+
+  /// Stage 4 helpers.
+  void process_vault(Device& dev, u32 vault_index);
+  /// Retire one request at a bank: perform the memory/register operation
+  /// and enqueue the response (when non-posted).  Returns false when the
+  /// vault response queue is full (the entry must stay queued).
+  bool retire_request(Device& dev, u32 vault_index, RequestEntry& entry);
+
+  /// Build an error response for a failed request and route it home.
+  /// Returns false when the destination staging queue is full.
+  bool emit_error_response(Device& dev, const RequestEntry& entry,
+                           ErrStat errstat, u8 stage);
+
+  /// Stage 5 helpers.
+  void drain_response_queue(Device& dev, BoundedQueue<ResponseEntry>& queue,
+                            u32 vault_for_trace);
+  void transfer_link_responses(Device& dev);
+
+  /// Exit link a response should take from `dev` toward its home port, or
+  /// kNoCoord when unreachable.
+  [[nodiscard]] u32 response_exit_link(const Device& dev,
+                                       const ResponseEntry& e) const;
+
+  void trace(TraceEvent event, u8 stage, u32 dev, u32 link, u32 quad,
+             u32 vault, u32 bank, PhysAddr addr, Tag tag, Command cmd);
+
+  /// Register read with live status-register interception (FEAT geometry,
+  /// IBTC token counts, ERR error totals); shared by the JTAG and
+  /// MODE_READ paths.
+  [[nodiscard]] Status read_register_live(const Device& dev, u32 phys_index,
+                                          u64& value) const;
+
+  SimConfig config_{};
+  Topology topo_{};
+  CustomCommandSet custom_{};
+  std::vector<std::unique_ptr<Device>> devices_;
+  Cycle cycle_{0};
+  Tracer tracer_{};
+  /// Device processing order caches for stages 1/2/5.
+  std::vector<u32> root_devices_;
+  std::vector<u32> child_devices_;
+};
+
+/// Build a compliant, CRC-sealed memory request packet (paper Figure 4's
+/// hmcsim_build_memrequest).  `link` lands in the SLID field so the device
+/// can route the response back to the injection link.
+[[nodiscard]] Status build_memrequest(u32 cub, PhysAddr addr, Tag tag,
+                                      Command cmd, u32 link,
+                                      std::span<const u64> payload,
+                                      PacketBuffer& out);
+
+/// Build a MODE_READ / MODE_WRITE register access request.  The register's
+/// architected physical index rides in the ADRS field.
+[[nodiscard]] Status build_moderequest(u32 cub, u32 phys_reg_index, Tag tag,
+                                       bool write, u64 value, u32 link,
+                                       PacketBuffer& out);
+
+}  // namespace hmcsim

@@ -1,0 +1,89 @@
+// Always-on per-device counters.
+//
+// Unlike trace records (which are gated by verbosity and fan out to sinks),
+// these counters are maintained unconditionally — they are cheap, and the
+// Table I bench reads them without paying for tracing.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+struct DeviceStats {
+  // Retired memory operations (sub-cycle stage 4).
+  u64 reads{0};
+  u64 writes{0};
+  u64 atomics{0};
+  u64 mode_ops{0};
+  u64 custom_ops{0};  ///< registered CMC commands retired
+  u64 bytes_read{0};     ///< data bytes fetched from banks
+  u64 bytes_written{0};  ///< data bytes stored to banks
+
+  // Response generation (stages 4-5).
+  u64 responses{0};
+  u64 error_responses{0};
+
+  // Contention events.
+  u64 bank_conflicts{0};     ///< stage 3 recognitions (per queued packet-cycle)
+  u64 xbar_rqst_stalls{0};   ///< crossbar -> vault/peer forwarding refusals
+  u64 xbar_rsp_stalls{0};    ///< response registration refusals (stage 5)
+  u64 vault_rsp_stalls{0};   ///< vault response queue full during stage 4
+  u64 latency_penalties{0};  ///< non-co-located link/quad ingress events
+
+  // Chaining.
+  u64 route_hops{0};
+  u64 misroutes{0};
+
+  // Fault injection.
+  u64 link_errors{0};   ///< packets killed by the injected link error model
+  u64 link_retries{0};  ///< retransmissions absorbed by the retry protocol
+
+  // DRAM maintenance.
+  u64 refreshes{0};  ///< vault refresh windows issued (tREFI events)
+
+  // Row-buffer behavior (OpenPage policy only).
+  u64 row_hits{0};
+  u64 row_misses{0};
+
+  // Host-edge traffic.
+  u64 sends{0};
+  u64 send_stalls{0};
+  u64 recvs{0};
+  u64 flow_packets{0};
+
+  DeviceStats& operator+=(const DeviceStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    atomics += o.atomics;
+    mode_ops += o.mode_ops;
+    custom_ops += o.custom_ops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    responses += o.responses;
+    error_responses += o.error_responses;
+    bank_conflicts += o.bank_conflicts;
+    xbar_rqst_stalls += o.xbar_rqst_stalls;
+    xbar_rsp_stalls += o.xbar_rsp_stalls;
+    vault_rsp_stalls += o.vault_rsp_stalls;
+    latency_penalties += o.latency_penalties;
+    route_hops += o.route_hops;
+    misroutes += o.misroutes;
+    link_errors += o.link_errors;
+    link_retries += o.link_retries;
+    refreshes += o.refreshes;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    sends += o.sends;
+    send_stalls += o.send_stalls;
+    recvs += o.recvs;
+    flow_packets += o.flow_packets;
+    return *this;
+  }
+
+  /// Total retired memory requests (the unit Table I counts).
+  [[nodiscard]] u64 retired() const {
+    return reads + writes + atomics + custom_ops;
+  }
+};
+
+}  // namespace hmcsim

@@ -1,0 +1,217 @@
+#include "mem/address_map.hpp"
+
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/limits.hpp"
+
+namespace hmcsim {
+
+unsigned Geometry::addr_bits() const {
+  const u64 cap = capacity_bytes();
+  return is_pow2(cap) ? log2_exact(cap) : 0;
+}
+
+namespace {
+
+/// Width of the field that must address `count` units.
+unsigned width_for(u64 count) {
+  return is_pow2(count) ? log2_exact(count) : ~0u;
+}
+
+}  // namespace
+
+AddressMap::AddressMap(Geometry geometry, std::vector<AddrFieldSpec> fields)
+    : geometry_(geometry), fields_(std::move(fields)) {
+  std::ostringstream diag;
+
+  if (!is_pow2(geometry_.vaults) || !is_pow2(geometry_.banks) ||
+      !is_pow2(geometry_.drams) || !is_pow2(geometry_.bank_bytes)) {
+    error_ = "geometry dimensions must be powers of two";
+    return;
+  }
+
+  unsigned total = 0;
+  unsigned vault_width = 0, bank_width = 0, dram_width = 0;
+  unsigned vault_fields = 0, bank_fields = 0, row_fields = 0;
+  unsigned row_width = 0;
+  for (const auto& f : fields_) {
+    switch (f.kind) {
+      case AddrField::Offset:
+        offset_width_ += f.width;
+        break;
+      case AddrField::Vault:
+        if (++vault_fields == 1) vault_shift_ = total;
+        vault_width += f.width;
+        break;
+      case AddrField::Bank:
+        if (++bank_fields == 1) bank_shift_ = total;
+        bank_width += f.width;
+        break;
+      case AddrField::Dram:
+        dram_width += f.width;
+        break;
+      case AddrField::Row:
+        if (++row_fields == 1) row_shift_ = total;
+        row_width += f.width;
+        break;
+    }
+    total += f.width;
+  }
+
+  if (vault_width != width_for(geometry_.vaults)) {
+    diag << "vault field width " << vault_width << " does not address "
+         << geometry_.vaults << " vaults";
+    error_ = diag.str();
+    return;
+  }
+  if (bank_width != width_for(geometry_.banks)) {
+    diag << "bank field width " << bank_width << " does not address "
+         << geometry_.banks << " banks";
+    error_ = diag.str();
+    return;
+  }
+  if (dram_width != width_for(geometry_.drams)) {
+    diag << "dram field width " << dram_width << " does not address "
+         << geometry_.drams << " drams";
+    error_ = diag.str();
+    return;
+  }
+  if (total != geometry_.addr_bits()) {
+    diag << "field widths total " << total << " bits but the geometry needs "
+         << geometry_.addr_bits();
+    error_ = diag.str();
+    return;
+  }
+  if (total > spec::kAddrBits) {
+    diag << "map spans " << total << " bits; the HMC address field is only "
+         << spec::kAddrBits;
+    error_ = diag.str();
+    return;
+  }
+
+  vault_mask_ = (vault_fields == 1) ? mask(vault_width) : 0;
+  bank_mask_ = (bank_fields == 1) ? mask(bank_width) : 0;
+  row_mask_ = (row_fields == 1) ? mask(row_width) : 0;
+  valid_ = true;
+  error_.clear();
+}
+
+AddressMap AddressMap::low_interleave(const Geometry& g, u64 max_block_bytes) {
+  const unsigned off = is_pow2(max_block_bytes) ? log2_exact(max_block_bytes)
+                                                : 5;
+  const unsigned vaults = width_for(g.vaults);
+  const unsigned banks = width_for(g.banks);
+  const unsigned drams = width_for(g.drams);
+  const unsigned row = g.addr_bits() - off - vaults - banks - drams;
+  return AddressMap(g, {{AddrField::Offset, off},
+                        {AddrField::Vault, vaults},
+                        {AddrField::Bank, banks},
+                        {AddrField::Dram, drams},
+                        {AddrField::Row, row}});
+}
+
+AddressMap AddressMap::bank_first(const Geometry& g, u64 max_block_bytes) {
+  const unsigned off = is_pow2(max_block_bytes) ? log2_exact(max_block_bytes)
+                                                : 5;
+  const unsigned vaults = width_for(g.vaults);
+  const unsigned banks = width_for(g.banks);
+  const unsigned drams = width_for(g.drams);
+  const unsigned row = g.addr_bits() - off - vaults - banks - drams;
+  return AddressMap(g, {{AddrField::Offset, off},
+                        {AddrField::Bank, banks},
+                        {AddrField::Vault, vaults},
+                        {AddrField::Dram, drams},
+                        {AddrField::Row, row}});
+}
+
+AddressMap AddressMap::linear(const Geometry& g, u64 max_block_bytes) {
+  const unsigned off = is_pow2(max_block_bytes) ? log2_exact(max_block_bytes)
+                                                : 5;
+  const unsigned vaults = width_for(g.vaults);
+  const unsigned banks = width_for(g.banks);
+  const unsigned drams = width_for(g.drams);
+  const unsigned row = g.addr_bits() - off - vaults - banks - drams;
+  return AddressMap(g, {{AddrField::Offset, off},
+                        {AddrField::Dram, drams},
+                        {AddrField::Row, row},
+                        {AddrField::Bank, banks},
+                        {AddrField::Vault, vaults}});
+}
+
+Status AddressMap::decode(PhysAddr addr, DecodedAddr& out) const {
+  if (!valid_) return Status::InvalidConfig;
+  if (!in_range(addr)) return Status::InvalidArgument;
+
+  out = DecodedAddr{};
+  unsigned lo = 0;
+  for (const auto& f : fields_) {
+    const u64 v = extract(addr, lo, f.width);
+    switch (f.kind) {
+      case AddrField::Offset:
+        out.offset = (out.offset) | (v << 0);  // offsets are always lowest
+        break;
+      case AddrField::Vault:
+        out.vault = VaultId{static_cast<u32>((out.vault.get() << f.width) | v)};
+        break;
+      case AddrField::Bank:
+        out.bank = BankId{static_cast<u32>((out.bank.get() << f.width) | v)};
+        break;
+      case AddrField::Dram:
+        out.dram = DramId{static_cast<u32>((out.dram.get() << f.width) | v)};
+        break;
+      case AddrField::Row:
+        out.row = (out.row << f.width) | v;
+        break;
+    }
+    lo += f.width;
+  }
+  return Status::Ok;
+}
+
+Status AddressMap::encode(const DecodedAddr& in, PhysAddr& out) const {
+  if (!valid_) return Status::InvalidConfig;
+  if (in.vault.get() >= geometry_.vaults || in.bank.get() >= geometry_.banks ||
+      in.dram.get() >= geometry_.drams) {
+    return Status::InvalidArgument;
+  }
+
+  // Walk fields from the MSB down so multi-field (split) coordinates are
+  // consumed most-significant-chunk first, mirroring decode's accumulation.
+  u64 addr = 0;
+  u64 vault = in.vault.get(), bank = in.bank.get(), dram = in.dram.get();
+  u64 row = in.row, offset = in.offset;
+  unsigned lo = geometry_.addr_bits();
+  for (auto it = fields_.rbegin(); it != fields_.rend(); ++it) {
+    lo -= it->width;
+    u64 v = 0;
+    switch (it->kind) {
+      case AddrField::Offset:
+        v = offset & mask(it->width);
+        offset >>= it->width;
+        break;
+      case AddrField::Vault:
+        v = vault & mask(it->width);
+        vault >>= it->width;
+        break;
+      case AddrField::Bank:
+        v = bank & mask(it->width);
+        bank >>= it->width;
+        break;
+      case AddrField::Dram:
+        v = dram & mask(it->width);
+        dram >>= it->width;
+        break;
+      case AddrField::Row:
+        v = row & mask(it->width);
+        row >>= it->width;
+        break;
+    }
+    addr = deposit(addr, lo, it->width, v);
+  }
+  if (row != 0 || offset != 0) return Status::InvalidArgument;
+  out = addr;
+  return Status::Ok;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,138 @@
+// Physical address interpretation for HMC devices.
+//
+// HMC physical addresses are 34-bit fields carrying vault, bank and DRAM
+// address bits (paper §III.B).  The specification deliberately does NOT fix
+// one layout: it offers *default map modes* that marry the vault/bank
+// structure to the desired maximum block size, and allows implementers to
+// define their own.  The default modes implement a *low interleave* order —
+// less-significant bits select the vault, then the bank — so that sequential
+// addresses first spread across vaults, then across banks within a vault,
+// avoiding bank conflicts.
+//
+// `AddressMap` reproduces that flexibility: it is an ordered list of bit
+// fields (offset / vault / bank / dram / row) assembled from the LSB up.
+// Factory functions build the spec's default modes plus two deliberately
+// worse layouts used by the ablation benches.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+/// Physical geometry of one device, as the address map sees it.
+struct Geometry {
+  u32 vaults{16};       ///< 16 (4-link) or 32 (8-link)
+  u32 banks{8};         ///< banks per vault: 8 or 16
+  u32 drams{8};         ///< DRAMs per bank (data-lane slices)
+  u64 bank_bytes{u64{16} * 1024 * 1024};
+
+  [[nodiscard]] u64 capacity_bytes() const {
+    return u64{vaults} * banks * bank_bytes;
+  }
+  /// Number of significant physical address bits for this capacity.
+  [[nodiscard]] unsigned addr_bits() const;
+
+  bool operator==(const Geometry&) const = default;
+};
+
+/// A physical address decomposed into its structural coordinates.
+struct DecodedAddr {
+  VaultId vault{};
+  BankId bank{};
+  DramId dram{};
+  u64 row{0};     ///< block row within (vault, bank, dram)
+  u64 offset{0};  ///< byte offset within the maximum request block
+
+  bool operator==(const DecodedAddr&) const = default;
+};
+
+/// Kinds of bit fields an address map may contain, LSB upward.
+enum class AddrField : u8 { Offset, Vault, Bank, Dram, Row };
+
+/// One contiguous bit field of an address map.
+struct AddrFieldSpec {
+  AddrField kind;
+  unsigned width;
+
+  bool operator==(const AddrFieldSpec&) const = default;
+};
+
+class AddressMap {
+ public:
+  /// Build a map from an explicit field list.  The widths of the vault,
+  /// bank and dram fields must exactly cover the geometry; the total width
+  /// must equal geometry.addr_bits().  Returns an invalid map (see valid())
+  /// on inconsistency, with a diagnostic in error().
+  AddressMap(Geometry geometry, std::vector<AddrFieldSpec> fields);
+
+  AddressMap() = default;
+
+  /// Spec default mode: [offset][vault][bank][dram][row], low interleave.
+  /// `max_block_bytes` is the maximum request size (32/64/128/256) and sets
+  /// the offset width.
+  static AddressMap low_interleave(const Geometry& g, u64 max_block_bytes);
+
+  /// Bank bits below vault bits: sequential addresses hit the same vault's
+  /// banks first.  Used by the A2 ablation.
+  static AddressMap bank_first(const Geometry& g, u64 max_block_bytes);
+
+  /// Vault/bank bits at the top: large contiguous regions land in a single
+  /// bank.  The worst case for parallelism; used by the A2 ablation.
+  static AddressMap linear(const Geometry& g, u64 max_block_bytes);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+  [[nodiscard]] const std::vector<AddrFieldSpec>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] u64 max_block_bytes() const { return u64{1} << offset_width_; }
+
+  /// Decompose a physical address.  Addresses beyond capacity yield
+  /// Status::InvalidArgument (the vault pipeline turns that into an
+  /// InvalidAddress error response).
+  [[nodiscard]] Status decode(PhysAddr addr, DecodedAddr& out) const;
+
+  /// Recompose coordinates into a physical address (inverse of decode).
+  [[nodiscard]] Status encode(const DecodedAddr& in, PhysAddr& out) const;
+
+  /// Fast path used by the simulator's hot loop: vault and bank only,
+  /// no bounds diagnostics (caller has validated the address).
+  [[nodiscard]] u32 vault_of(PhysAddr addr) const {
+    return static_cast<u32>((addr >> vault_shift_) & vault_mask_);
+  }
+  [[nodiscard]] u32 bank_of(PhysAddr addr) const {
+    return static_cast<u32>((addr >> bank_shift_) & bank_mask_);
+  }
+  /// Row coordinate fast path (valid for every built-in mode, where the
+  /// row bits form one contiguous field; 0 when the field is split).
+  [[nodiscard]] u64 row_of(PhysAddr addr) const {
+    return (addr >> row_shift_) & row_mask_;
+  }
+  [[nodiscard]] bool in_range(PhysAddr addr) const {
+    return addr < geometry_.capacity_bytes();
+  }
+
+ private:
+  Geometry geometry_{};
+  std::vector<AddrFieldSpec> fields_{};
+  bool valid_{false};
+  std::string error_{"default-constructed map"};
+  unsigned offset_width_{0};
+  // Cached single-field shift/mask fast paths.  Valid only when the vault
+  // (resp. bank) bits form one contiguous field, which holds for every
+  // built-in mode; the generic decode() handles arbitrary splits.
+  unsigned vault_shift_{0};
+  u64 vault_mask_{0};
+  unsigned bank_shift_{0};
+  u64 bank_mask_{0};
+  unsigned row_shift_{0};
+  u64 row_mask_{0};
+};
+
+}  // namespace hmcsim

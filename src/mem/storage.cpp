@@ -1,0 +1,72 @@
+#include "mem/storage.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hmcsim {
+
+const SparseStore::Page* SparseStore::find_page(u64 page_index) const {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseStore::Page& SparseStore::materialize_page(u64 page_index) {
+  auto& slot = pages_[page_index];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+bool SparseStore::read(u64 addr, std::span<u8> out) const {
+  if (addr + out.size() > capacity_ || addr + out.size() < addr) return false;
+  usize done = 0;
+  while (done < out.size()) {
+    const u64 pos = addr + done;
+    const u64 page_index = pos / kPageBytes;
+    const usize in_page = static_cast<usize>(pos % kPageBytes);
+    const usize chunk = std::min(out.size() - done, kPageBytes - in_page);
+    if (const Page* page = find_page(page_index)) {
+      std::memcpy(out.data() + done, page->data() + in_page, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+bool SparseStore::write(u64 addr, std::span<const u8> in) {
+  if (addr + in.size() > capacity_ || addr + in.size() < addr) return false;
+  usize done = 0;
+  while (done < in.size()) {
+    const u64 pos = addr + done;
+    const u64 page_index = pos / kPageBytes;
+    const usize in_page = static_cast<usize>(pos % kPageBytes);
+    const usize chunk = std::min(in.size() - done, kPageBytes - in_page);
+    Page& page = materialize_page(page_index);
+    std::memcpy(page.data() + in_page, in.data() + done, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+bool SparseStore::restore_page(u64 page_index, std::span<const u8> bytes) {
+  if (bytes.size() != kPageBytes) return false;
+  if (page_index * kPageBytes >= capacity_) return false;
+  Page& page = materialize_page(page_index);
+  std::memcpy(page.data(), bytes.data(), kPageBytes);
+  return true;
+}
+
+bool SparseStore::read_words(u64 addr, std::span<u64> out) const {
+  return read(addr, {reinterpret_cast<u8*>(out.data()), out.size() * 8});
+}
+
+bool SparseStore::write_words(u64 addr, std::span<const u64> in) {
+  return write(addr,
+               {reinterpret_cast<const u8*>(in.data()), in.size() * 8});
+}
+
+}  // namespace hmcsim

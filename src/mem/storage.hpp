@@ -1,0 +1,72 @@
+// Sparse backing store for simulated DRAM contents.
+//
+// An 8 GB device cannot be eagerly allocated on a development host, and the
+// paper's random-access workloads touch only a fraction of the address
+// space.  `SparseStore` allocates 4 KiB pages on first write; reads of
+// never-written memory return zeros (matching a device reset state).
+//
+// The store is indexed by the device-local 34-bit physical address.  The
+// vault pipeline performs all accesses in 16-byte blocks (the HMC vault
+// controller's block granularity), but arbitrary byte spans are supported
+// for host-side convenience and tests.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+class SparseStore {
+ public:
+  static constexpr usize kPageBytes = 4096;
+
+  explicit SparseStore(u64 capacity_bytes) : capacity_(capacity_bytes) {}
+
+  [[nodiscard]] u64 capacity() const { return capacity_; }
+
+  /// Number of pages currently materialized (observability / tests).
+  [[nodiscard]] usize resident_pages() const { return pages_.size(); }
+
+  /// Read `out.size()` bytes at `addr`.  Returns false when the range
+  /// exceeds capacity.  Unwritten bytes read as zero.
+  bool read(u64 addr, std::span<u8> out) const;
+
+  /// Write `in.size()` bytes at `addr`.  Returns false when out of range.
+  bool write(u64 addr, std::span<const u8> in);
+
+  /// 64-bit word helpers used by the vault pipeline (little-endian).
+  bool read_words(u64 addr, std::span<u64> out) const;
+  bool write_words(u64 addr, std::span<const u64> in);
+
+  /// Reset to the zero-filled state, releasing all pages.
+  void clear() { pages_.clear(); }
+
+  /// Visit every materialized page (for checkpointing).  Order is
+  /// unspecified; pages are kPageBytes long.
+  template <typename Fn>  // Fn(u64 page_index, std::span<const u8> bytes)
+  void for_each_page(Fn&& fn) const {
+    for (const auto& [index, page] : pages_) {
+      fn(index, std::span<const u8>(page->data(), kPageBytes));
+    }
+  }
+
+  /// Materialize one page with exact contents (for checkpoint restore).
+  /// Returns false when the page lies beyond capacity or the span is not
+  /// kPageBytes long.
+  bool restore_page(u64 page_index, std::span<const u8> bytes);
+
+ private:
+  using Page = std::array<u8, kPageBytes>;
+
+  [[nodiscard]] const Page* find_page(u64 page_index) const;
+  Page& materialize_page(u64 page_index);
+
+  u64 capacity_;
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace hmcsim

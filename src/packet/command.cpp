@@ -1,0 +1,177 @@
+#include "packet/command.hpp"
+#include <cassert>
+
+#include "common/limits.hpp"
+
+namespace hmcsim {
+
+bool is_valid_command(u8 raw) {
+  switch (static_cast<Command>(raw)) {
+    case Command::Null:
+    case Command::Pret:
+    case Command::Tret:
+    case Command::Irtry:
+    case Command::Wr16:
+    case Command::Wr32:
+    case Command::Wr48:
+    case Command::Wr64:
+    case Command::Wr80:
+    case Command::Wr96:
+    case Command::Wr112:
+    case Command::Wr128:
+    case Command::ModeWrite:
+    case Command::BitWrite:
+    case Command::TwoAdd8:
+    case Command::Add16:
+    case Command::PostedWr16:
+    case Command::PostedWr32:
+    case Command::PostedWr48:
+    case Command::PostedWr64:
+    case Command::PostedWr80:
+    case Command::PostedWr96:
+    case Command::PostedWr112:
+    case Command::PostedWr128:
+    case Command::PostedBitWrite:
+    case Command::PostedTwoAdd8:
+    case Command::PostedAdd16:
+    case Command::ModeRead:
+    case Command::Rd16:
+    case Command::Rd32:
+    case Command::Rd48:
+    case Command::Rd64:
+    case Command::Rd80:
+    case Command::Rd96:
+    case Command::Rd112:
+    case Command::Rd128:
+    case Command::ReadResponse:
+    case Command::WriteResponse:
+    case Command::ModeReadResponse:
+    case Command::ModeWriteResponse:
+    case Command::Error:
+      return true;
+  }
+  return false;
+}
+
+usize request_data_bytes(Command c) {
+  const u8 v = static_cast<u8>(c);
+  if (v >= 0x08 && v <= 0x0f) return (usize{v} - 0x08 + 1) * 16;  // WRn
+  if (v >= 0x18 && v <= 0x1f) return (usize{v} - 0x18 + 1) * 16;  // P_WRn
+  switch (c) {
+    case Command::BitWrite:
+    case Command::PostedBitWrite:
+    case Command::TwoAdd8:
+    case Command::PostedTwoAdd8:
+    case Command::Add16:
+    case Command::PostedAdd16:
+    case Command::ModeWrite:
+      return 16;
+    default:
+      return 0;  // reads, mode-read, flow control
+  }
+}
+
+usize access_bytes(Command c) {
+  const u8 v = static_cast<u8>(c);
+  if (v >= 0x30 && v <= 0x37) return (usize{v} - 0x30 + 1) * 16;  // RDn
+  if (is_atomic(c)) return 16;
+  return request_data_bytes(c);
+}
+
+usize request_flits(Command c) {
+  return 1 + request_data_bytes(c) / spec::kFlitBytes;
+}
+
+Command response_command(Command c) {
+  if (is_posted(c)) return Command::Null;
+  if (is_read(c)) return Command::ReadResponse;
+  if (is_write(c) || c == Command::BitWrite || c == Command::TwoAdd8 ||
+      c == Command::Add16) {
+    return Command::WriteResponse;
+  }
+  if (c == Command::ModeRead) return Command::ModeReadResponse;
+  if (c == Command::ModeWrite) return Command::ModeWriteResponse;
+  return Command::Null;  // flow control and responses have no response
+}
+
+usize response_flits(Command c) {
+  if (is_read(c)) return 1 + access_bytes(c) / spec::kFlitBytes;
+  if (c == Command::ModeRead) return 2;  // MD_RD_RS carries one FLIT of data
+  if (response_command(c) == Command::Null) return 0;
+  return 1;  // WR_RS / MD_WR_RS
+}
+
+Command read_command_for(u32 bytes) {
+  assert(bytes >= 16 && bytes <= 128 && bytes % 16 == 0);
+  return static_cast<Command>(static_cast<u8>(Command::Rd16) +
+                              (bytes / 16 - 1));
+}
+
+Command write_command_for(u32 bytes) {
+  assert(bytes >= 16 && bytes <= 128 && bytes % 16 == 0);
+  return static_cast<Command>(static_cast<u8>(Command::Wr16) +
+                              (bytes / 16 - 1));
+}
+
+std::string_view to_string(Command c) {
+  switch (c) {
+    case Command::Null: return "NULL";
+    case Command::Pret: return "PRET";
+    case Command::Tret: return "TRET";
+    case Command::Irtry: return "IRTRY";
+    case Command::Wr16: return "WR16";
+    case Command::Wr32: return "WR32";
+    case Command::Wr48: return "WR48";
+    case Command::Wr64: return "WR64";
+    case Command::Wr80: return "WR80";
+    case Command::Wr96: return "WR96";
+    case Command::Wr112: return "WR112";
+    case Command::Wr128: return "WR128";
+    case Command::ModeWrite: return "MD_WR";
+    case Command::BitWrite: return "BWR";
+    case Command::TwoAdd8: return "2ADD8";
+    case Command::Add16: return "ADD16";
+    case Command::PostedWr16: return "P_WR16";
+    case Command::PostedWr32: return "P_WR32";
+    case Command::PostedWr48: return "P_WR48";
+    case Command::PostedWr64: return "P_WR64";
+    case Command::PostedWr80: return "P_WR80";
+    case Command::PostedWr96: return "P_WR96";
+    case Command::PostedWr112: return "P_WR112";
+    case Command::PostedWr128: return "P_WR128";
+    case Command::PostedBitWrite: return "P_BWR";
+    case Command::PostedTwoAdd8: return "P_2ADD8";
+    case Command::PostedAdd16: return "P_ADD16";
+    case Command::ModeRead: return "MD_RD";
+    case Command::Rd16: return "RD16";
+    case Command::Rd32: return "RD32";
+    case Command::Rd48: return "RD48";
+    case Command::Rd64: return "RD64";
+    case Command::Rd80: return "RD80";
+    case Command::Rd96: return "RD96";
+    case Command::Rd112: return "RD112";
+    case Command::Rd128: return "RD128";
+    case Command::ReadResponse: return "RD_RS";
+    case Command::WriteResponse: return "WR_RS";
+    case Command::ModeReadResponse: return "MD_RD_RS";
+    case Command::ModeWriteResponse: return "MD_WR_RS";
+    case Command::Error: return "ERROR";
+  }
+  return "INVALID";
+}
+
+std::string_view to_string(ErrStat e) {
+  switch (e) {
+    case ErrStat::Ok: return "OK";
+    case ErrStat::Unroutable: return "UNROUTABLE";
+    case ErrStat::InvalidAddress: return "INVALID_ADDRESS";
+    case ErrStat::InvalidCommand: return "INVALID_COMMAND";
+    case ErrStat::LengthMismatch: return "LENGTH_MISMATCH";
+    case ErrStat::CrcFailure: return "CRC_FAILURE";
+    case ErrStat::ProtocolError: return "PROTOCOL_ERROR";
+    case ErrStat::RegisterFault: return "REGISTER_FAULT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace hmcsim

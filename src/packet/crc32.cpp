@@ -1,0 +1,65 @@
+#include "packet/crc32.hpp"
+
+#include <array>
+
+namespace hmcsim::crc {
+namespace {
+
+/// 256-entry lookup table for the reflected Koopman polynomial, generated at
+/// static-init time by the straightforward bit loop.
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (c >> 1) ^ kPolyKoopmanReflected : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kTable = make_table();
+
+}  // namespace
+
+u32 init() { return 0xffffffffu; }
+
+u32 update(u32 state, std::span<const u8> bytes) {
+  for (const u8 b : bytes) {
+    state = kTable[(state ^ b) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+u32 finish(u32 state) { return state ^ 0xffffffffu; }
+
+u32 crc32k(std::span<const u8> bytes) {
+  return finish(update(init(), bytes));
+}
+
+u32 crc32k_reference(std::span<const u8> bytes) {
+  u32 state = 0xffffffffu;
+  for (const u8 b : bytes) {
+    state ^= b;
+    for (int bit = 0; bit < 8; ++bit) {
+      state = (state & 1u) ? (state >> 1) ^ kPolyKoopmanReflected
+                           : (state >> 1);
+    }
+  }
+  return state ^ 0xffffffffu;
+}
+
+u32 crc32k_words(std::span<const u64> words) {
+  u32 state = init();
+  for (const u64 w : words) {
+    u8 bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<u8>((w >> (8 * i)) & 0xffu);
+    }
+    state = update(state, bytes);
+  }
+  return finish(state);
+}
+
+}  // namespace hmcsim::crc

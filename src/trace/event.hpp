@@ -1,0 +1,95 @@
+// Trace event taxonomy (paper §IV.E).
+//
+// Every internal sub-cycle operation can be recorded: each record carries
+// its *physical locality* (device / link / quad / vault / bank, with ~0
+// meaning "not applicable") and the internal clock tick at which the event
+// was raised, so entire application memory traces can be revisited and
+// analyzed for accuracy, latency characteristics, bandwidth utilization and
+// transaction efficiency.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "packet/command.hpp"
+
+namespace hmcsim {
+
+enum class TraceEvent : u8 {
+  /// A vault request queue holds a packet whose bank collides with an
+  /// earlier packet or a busy bank (sub-cycle stage 3).
+  BankConflict,
+  /// A crossbar arbiter could not route a request to its target vault
+  /// because the vault request queue had no open slot (stages 1-2).
+  XbarRqstStall,
+  /// A crossbar response queue was full when a vault tried to register a
+  /// response (stage 5).
+  XbarRspStall,
+  /// A request arrived on a link that is not co-located with the
+  /// destination quadrant: a routed-latency penalty is paid (stages 1-2).
+  LatencyPenalty,
+  /// A packet's destination cube is unreachable from this device; an error
+  /// response is generated (deliberate misconfiguration support).
+  Misroute,
+  /// A vault could not accept a response into its response queue and the
+  /// request stayed queued (stage 4 backpressure).
+  VaultRspStall,
+  /// A memory read request retired at a bank (stage 4).
+  ReadRequest,
+  /// A memory write request retired at a bank (stage 4).
+  WriteRequest,
+  /// A read-modify-write (atomic / bit-write) retired at a bank (stage 4).
+  AtomicRequest,
+  /// A MODE_READ / MODE_WRITE register access was performed (stage 4).
+  ModeRequest,
+  /// A registered custom (CMC) command retired at a bank (stage 4).
+  CustomRequest,
+  /// A response packet was registered with a crossbar response queue
+  /// (stage 5).
+  ResponseRegistered,
+  /// An in-band error response was generated (ERRSTAT != 0).
+  ErrorResponse,
+  /// A packet was forwarded one hop toward another cube (chaining).
+  RouteHop,
+  /// Host-facing send accepted a packet into a crossbar request queue.
+  PacketSend,
+  /// Host-facing recv drained a packet from a crossbar response queue.
+  PacketRecv,
+
+  Count,
+};
+
+inline constexpr usize kTraceEventCount = static_cast<usize>(TraceEvent::Count);
+
+[[nodiscard]] std::string_view to_string(TraceEvent e);
+
+/// Sentinel for locality coordinates that do not apply to an event.
+inline constexpr u32 kNoCoord = ~u32{0};
+
+/// One trace record.  POD; sinks may retain millions of these.
+struct TraceRecord {
+  TraceEvent event{TraceEvent::Count};
+  u8 stage{0};  ///< sub-cycle stage 1..6 that raised the event (0 = API edge)
+  Cycle cycle{0};
+  u32 dev{kNoCoord};
+  u32 link{kNoCoord};
+  u32 quad{kNoCoord};
+  u32 vault{kNoCoord};
+  u32 bank{kNoCoord};
+  PhysAddr addr{0};
+  Tag tag{0};
+  Command cmd{Command::Null};
+};
+
+/// Trace verbosity.  Higher levels strictly include lower ones.
+enum class TraceLevel : u8 {
+  Off = 0,      ///< nothing recorded
+  Stalls = 1,   ///< stalls, conflicts, latency penalties, errors
+  Events = 2,   ///< + every retired memory operation and response
+  SubCycle = 3, ///< + per-hop routing and host send/recv edges
+};
+
+/// Minimum level at which each event class is recorded.
+[[nodiscard]] TraceLevel level_for(TraceEvent e);
+
+}  // namespace hmcsim

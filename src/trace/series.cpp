@@ -1,0 +1,85 @@
+#include "trace/series.hpp"
+
+namespace hmcsim {
+
+VaultSeriesSink::VaultSeriesSink(u32 vaults, Cycle bucket_width,
+                                 u32 dev_filter)
+    : vaults_(vaults),
+      bucket_width_(bucket_width == 0 ? 1 : bucket_width),
+      dev_filter_(dev_filter) {}
+
+VaultSeriesSink::Bucket& VaultSeriesSink::bucket_for(Cycle cycle) {
+  const usize index = static_cast<usize>(cycle / bucket_width_);
+  while (buckets_.size() <= index) {
+    Bucket b;
+    b.first_cycle = static_cast<Cycle>(buckets_.size()) * bucket_width_;
+    b.conflicts.assign(vaults_, 0);
+    b.reads.assign(vaults_, 0);
+    b.writes.assign(vaults_, 0);
+    buckets_.push_back(std::move(b));
+  }
+  return buckets_[index];
+}
+
+void VaultSeriesSink::record(const TraceRecord& rec) {
+  if (dev_filter_ != kNoCoord && rec.dev != dev_filter_) return;
+  switch (rec.event) {
+    case TraceEvent::BankConflict:
+      if (rec.vault < vaults_) ++bucket_for(rec.cycle).conflicts[rec.vault];
+      break;
+    case TraceEvent::ReadRequest:
+      if (rec.vault < vaults_) ++bucket_for(rec.cycle).reads[rec.vault];
+      break;
+    case TraceEvent::WriteRequest:
+    case TraceEvent::AtomicRequest:
+    case TraceEvent::CustomRequest:
+      if (rec.vault < vaults_) ++bucket_for(rec.cycle).writes[rec.vault];
+      break;
+    case TraceEvent::XbarRqstStall:
+      ++bucket_for(rec.cycle).xbar_stalls;
+      break;
+    case TraceEvent::LatencyPenalty:
+      ++bucket_for(rec.cycle).latency_penalties;
+      break;
+    default:
+      break;
+  }
+}
+
+u64 VaultSeriesSink::total_conflicts() const {
+  u64 sum = 0;
+  for (const auto& b : buckets_) {
+    for (const u32 v : b.conflicts) sum += v;
+  }
+  return sum;
+}
+
+u64 VaultSeriesSink::total_reads() const {
+  u64 sum = 0;
+  for (const auto& b : buckets_) {
+    for (const u32 v : b.reads) sum += v;
+  }
+  return sum;
+}
+
+u64 VaultSeriesSink::total_writes() const {
+  u64 sum = 0;
+  for (const auto& b : buckets_) {
+    for (const u32 v : b.writes) sum += v;
+  }
+  return sum;
+}
+
+u64 VaultSeriesSink::total_xbar_stalls() const {
+  u64 sum = 0;
+  for (const auto& b : buckets_) sum += b.xbar_stalls;
+  return sum;
+}
+
+u64 VaultSeriesSink::total_latency_penalties() const {
+  u64 sum = 0;
+  for (const auto& b : buckets_) sum += b.latency_penalties;
+  return sum;
+}
+
+}  // namespace hmcsim

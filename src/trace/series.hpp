@@ -1,0 +1,55 @@
+// Per-cycle, per-vault aggregation used to regenerate the paper's Figure 5.
+//
+// Figure 5 plots, against the simulated clock, the number of bank conflicts,
+// read requests and write requests within each vault, plus the device-wide
+// crossbar request stalls and routed-latency penalty events.  This sink
+// accumulates exactly those five series, bucketed by a configurable cycle
+// width so arbitrarily long runs fit in memory (bucket width 1 gives the
+// paper's raw per-cycle data).
+#pragma once
+
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace hmcsim {
+
+class VaultSeriesSink final : public TraceSink {
+ public:
+  struct Bucket {
+    Cycle first_cycle{0};
+    std::vector<u32> conflicts;  ///< per vault
+    std::vector<u32> reads;      ///< per vault
+    std::vector<u32> writes;     ///< per vault
+    u64 xbar_stalls{0};          ///< device-wide
+    u64 latency_penalties{0};    ///< device-wide
+  };
+
+  /// `vaults` sizes the per-vault arrays; `bucket_width` is in cycles.
+  /// Records from devices other than `dev_filter` are ignored when
+  /// dev_filter != kNoCoord (Figure 5 traces one device at a time).
+  VaultSeriesSink(u32 vaults, Cycle bucket_width, u32 dev_filter = kNoCoord);
+
+  void record(const TraceRecord& rec) override;
+
+  [[nodiscard]] const std::vector<Bucket>& buckets() const { return buckets_; }
+  [[nodiscard]] u32 vaults() const { return vaults_; }
+  [[nodiscard]] Cycle bucket_width() const { return bucket_width_; }
+
+  /// Column totals across all buckets (used for summaries and tests).
+  [[nodiscard]] u64 total_conflicts() const;
+  [[nodiscard]] u64 total_reads() const;
+  [[nodiscard]] u64 total_writes() const;
+  [[nodiscard]] u64 total_xbar_stalls() const;
+  [[nodiscard]] u64 total_latency_penalties() const;
+
+ private:
+  Bucket& bucket_for(Cycle cycle);
+
+  u32 vaults_;
+  Cycle bucket_width_;
+  u32 dev_filter_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace hmcsim

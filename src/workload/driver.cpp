@@ -1,0 +1,182 @@
+#include "workload/driver.hpp"
+
+#include <bit>
+
+namespace hmcsim {
+
+void LatencyStats::add(Cycle latency) {
+  ++count;
+  sum += latency;
+  min = std::min(min, latency);
+  max = std::max(max, latency);
+  const unsigned bucket =
+      latency == 0 ? 0
+                   : std::min<unsigned>(63 - static_cast<unsigned>(
+                                                 std::countl_zero(latency)),
+                                        log2_buckets.size() - 1);
+  ++log2_buckets[bucket];
+}
+
+Cycle LatencyStats::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0.0) return min;
+  if (p >= 1.0) return max;
+  const double rank = p * static_cast<double>(count);
+  double seen = 0;
+  for (usize bucket = 0; bucket < log2_buckets.size(); ++bucket) {
+    const double in_bucket = static_cast<double>(log2_buckets[bucket]);
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Interpolate within [2^bucket, 2^(bucket+1)), clamped to the observed
+    // extremes so p-values near 0/1 stay inside [min, max].
+    const double lo = bucket == 0 ? 0.0 : static_cast<double>(Cycle{1} << bucket);
+    const double hi = static_cast<double>(Cycle{1} << (bucket + 1));
+    const double frac = in_bucket == 0.0 ? 0.0 : (rank - seen) / in_bucket;
+    const double value = lo + frac * (hi - lo);
+    const double clamped = std::min(static_cast<double>(max),
+                                    std::max(static_cast<double>(min), value));
+    return static_cast<Cycle>(clamped);
+  }
+  return max;
+}
+
+HostDriver::HostDriver(Simulator& sim, Generator& generator,
+                       DriverConfig config)
+    : sim_(sim), gen_(generator), cfg_(config) {
+  const u32 cap = std::min<u32>(cfg_.max_outstanding_per_port, 512);
+  for (const auto& hp : sim_.topology().host_ports()) {
+    PortState port;
+    port.dev = hp.dev;
+    port.link = hp.link;
+    port.free_tags.reserve(cap);
+    // LIFO: tag (cap-1) is handed out first; ordering is arbitrary.
+    for (u32 t = 0; t < cap; ++t) {
+      port.free_tags.push_back(static_cast<u16>(t));
+    }
+    ports_.push_back(std::move(port));
+  }
+}
+
+void HostDriver::drain_responses(DriverResult& result) {
+  PacketBuffer pkt;
+  for (auto& port : ports_) {
+    while (ok(sim_.recv(port.dev, port.link, pkt))) {
+      ResponseFields f;
+      if (!ok(decode_response(pkt, f))) continue;  // cannot happen in-spec
+      if (f.cmd == Command::Error) ++result.errors;
+      if (f.tag < port.sent_at.size() && port.outstanding > 0) {
+        result.latency.add(sim_.now() - port.sent_at[f.tag]);
+        port.free_tags.push_back(f.tag);
+        --port.outstanding;
+      }
+      ++result.completed;
+    }
+  }
+}
+
+HostDriver::PortState* HostDriver::pick_port(const RequestDesc& desc,
+                                             u64 blocked_mask,
+                                             usize& port_index) {
+  if (ports_.empty()) return nullptr;
+  if (cfg_.policy == InjectionPolicy::LocalityAware) {
+    // Prefer the host port whose link index matches the destination quad
+    // on the target device (link i is closest to quad i).
+    const Device& dev = sim_.device(pending_cub_ < sim_.num_devices()
+                                        ? pending_cub_
+                                        : 0);
+    const u32 vault = dev.address_map().in_range(desc.addr)
+                          ? dev.address_map().vault_of(desc.addr)
+                          : 0;
+    const u32 quad = vault / spec::kVaultsPerQuad;
+    for (usize i = 0; i < ports_.size(); ++i) {
+      if (ports_[i].link == quad && !(blocked_mask & (u64{1} << i)) &&
+          !ports_[i].free_tags.empty()) {
+        port_index = i;
+        return &ports_[i];
+      }
+    }
+    // Fall through to round-robin when the preferred port cannot take it.
+  }
+  for (usize n = 0; n < ports_.size(); ++n) {
+    const usize i = (rr_next_ + n) % ports_.size();
+    if (!(blocked_mask & (u64{1} << i)) && !ports_[i].free_tags.empty()) {
+      port_index = i;
+      rr_next_ = (i + 1) % ports_.size();
+      return &ports_[i];
+    }
+  }
+  return nullptr;
+}
+
+void HostDriver::inject(DriverResult& result) {
+  u64 blocked_mask = 0;  // ports that returned Stalled this cycle
+  const u64 all_blocked = (u64{1} << ports_.size()) - 1;
+
+  while (result.sent < cfg_.total_requests && blocked_mask != all_blocked) {
+    if (!have_pending_) {
+      pending_ = gen_.next();
+      pending_cub_ = cfg_.target_cub;
+      if (cfg_.targets == TargetPolicy::RoundRobinCubes) {
+        pending_cub_ = next_cube_;
+        next_cube_ = (next_cube_ + 1) % sim_.num_devices();
+      }
+      have_pending_ = true;
+    }
+
+    usize port_index = 0;
+    PortState* port = pick_port(pending_, blocked_mask, port_index);
+    if (port == nullptr) break;  // no free tags anywhere usable
+
+    const u16 tag = port->free_tags.back();
+    PacketBuffer pkt;
+    u64 payload[spec::kMaxPayloadBytes / 8] = {};
+    const usize payload_words = request_data_bytes(pending_.cmd) / 8;
+    const Status bs = build_memrequest(pending_cub_, pending_.addr, tag,
+                                       pending_.cmd, port->link,
+                                       {payload, payload_words}, pkt);
+    if (!ok(bs)) {
+      // Generator produced an unencodable request; drop it.
+      have_pending_ = false;
+      continue;
+    }
+    const Status ss = sim_.send(port->dev, port->link, pkt);
+    if (ss == Status::Stalled) {
+      ++result.send_stalls;
+      blocked_mask |= u64{1} << port_index;
+      continue;  // keep the pending request; try another port
+    }
+    if (!ok(ss)) {
+      have_pending_ = false;  // unroutable by construction; skip it
+      continue;
+    }
+    port->free_tags.pop_back();
+    port->sent_at[tag] = sim_.now();
+    ++port->outstanding;
+    ++result.sent;
+    have_pending_ = false;
+    if (is_posted(pending_.cmd)) ++result.completed;  // no response due
+  }
+}
+
+DriverResult HostDriver::run() {
+  DriverResult result;
+  if (ports_.empty()) return result;
+
+  while (result.completed < cfg_.total_requests) {
+    drain_responses(result);
+    inject(result);
+    sim_.clock();
+    if (cfg_.max_cycles != 0 && sim_.now() >= cfg_.max_cycles) {
+      result.hit_cycle_cap = true;
+      break;
+    }
+  }
+  // Collect any responses registered on the final cycle.
+  drain_responses(result);
+  result.cycles = sim_.now();
+  return result;
+}
+
+}  // namespace hmcsim

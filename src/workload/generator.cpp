@@ -1,0 +1,110 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+
+namespace hmcsim {
+
+namespace {
+
+/// Two 31-bit glibc rand() draws folded into one 62-bit value: enough
+/// entropy for any HMC capacity while staying faithful to the paper's
+/// randomness source ("provided by the GNU libc library").
+u64 next_u64(GlibcRandom& rng) {
+  return (static_cast<u64>(rng.next()) << 31) | rng.next();
+}
+
+bool draw_read(GlibcRandom& rng, double read_fraction) {
+  // Compare a 31-bit draw against the threshold; exact for 0.0/0.5/1.0.
+  return static_cast<double>(rng.next()) <
+         read_fraction * 2147483648.0;
+}
+
+}  // namespace
+
+RandomAccessGenerator::RandomAccessGenerator(const GeneratorConfig& config)
+    : cfg_(config),
+      rng_(config.seed),
+      blocks_(config.capacity_bytes / config.request_bytes) {}
+
+RequestDesc RandomAccessGenerator::next() {
+  RequestDesc d;
+  d.addr = (next_u64(rng_) % blocks_) * cfg_.request_bytes;
+  d.cmd = draw_read(rng_, cfg_.read_fraction)
+              ? read_command_for(cfg_.request_bytes)
+              : write_command_for(cfg_.request_bytes);
+  return d;
+}
+
+StreamGenerator::StreamGenerator(const GeneratorConfig& config, u64 start)
+    : cfg_(config), rng_(config.seed), pos_(start / config.request_bytes) {}
+
+RequestDesc StreamGenerator::next() {
+  RequestDesc d;
+  const u64 blocks = cfg_.capacity_bytes / cfg_.request_bytes;
+  d.addr = (pos_ % blocks) * cfg_.request_bytes;
+  ++pos_;
+  d.cmd = draw_read(rng_, cfg_.read_fraction)
+              ? read_command_for(cfg_.request_bytes)
+              : write_command_for(cfg_.request_bytes);
+  return d;
+}
+
+StrideGenerator::StrideGenerator(const GeneratorConfig& config,
+                                 u64 stride_bytes)
+    : cfg_(config), rng_(config.seed), stride_(stride_bytes) {}
+
+RequestDesc StrideGenerator::next() {
+  RequestDesc d;
+  d.addr = pos_ % cfg_.capacity_bytes;
+  // Keep the access inside capacity even for non-dividing strides.
+  if (d.addr + cfg_.request_bytes > cfg_.capacity_bytes) {
+    pos_ = 0;
+    d.addr = 0;
+  }
+  pos_ += stride_;
+  d.cmd = draw_read(rng_, cfg_.read_fraction)
+              ? read_command_for(cfg_.request_bytes)
+              : write_command_for(cfg_.request_bytes);
+  return d;
+}
+
+HotspotGenerator::HotspotGenerator(const GeneratorConfig& config,
+                                   double hot_fraction, u64 hot_bytes)
+    : cfg_(config),
+      rng_(config.seed),
+      hot_fraction_(hot_fraction),
+      hot_blocks_(hot_bytes / config.request_bytes),
+      blocks_(config.capacity_bytes / config.request_bytes) {
+  if (hot_blocks_ == 0) hot_blocks_ = 1;
+}
+
+RequestDesc HotspotGenerator::next() {
+  RequestDesc d;
+  const bool hot = static_cast<double>(rng_.next()) <
+                   hot_fraction_ * 2147483648.0;
+  const u64 block =
+      hot ? next_u64(rng_) % hot_blocks_ : next_u64(rng_) % blocks_;
+  d.addr = block * cfg_.request_bytes;
+  d.cmd = draw_read(rng_, cfg_.read_fraction)
+              ? read_command_for(cfg_.request_bytes)
+              : write_command_for(cfg_.request_bytes);
+  return d;
+}
+
+PointerChaseGenerator::PointerChaseGenerator(const GeneratorConfig& config)
+    : cfg_(config),
+      state_(config.seed == 0 ? 1 : config.seed),
+      blocks_(config.capacity_bytes / config.request_bytes) {}
+
+RequestDesc PointerChaseGenerator::next() {
+  // SplitMix64 step: a bijection over u64, so the chain never settles into
+  // a short cycle within any practical run length.
+  SplitMix64 mix(state_);
+  state_ = mix.next();
+  RequestDesc d;
+  d.addr = (state_ % blocks_) * cfg_.request_bytes;
+  d.cmd = read_command_for(cfg_.request_bytes);
+  return d;
+}
+
+}  // namespace hmcsim

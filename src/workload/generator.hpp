@@ -1,0 +1,120 @@
+// Host-side workload generators.
+//
+// The paper's evaluation drives a random access memory test harness: "a
+// randomized stream of mixed reads and writes of varying block sizes
+// against a specified HMC device configuration", randomness via the GNU
+// libc linear congruential method, 50/50 read/write mix, 64-byte requests
+// (§VI.A).  `RandomAccessGenerator` reproduces that harness; the other
+// generators cover the access patterns the paper's introduction motivates
+// (streaming, strided scientific kernels, hot-spotted key-value traffic,
+// dependent pointer chasing).
+#pragma once
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "packet/command.hpp"
+
+namespace hmcsim {
+
+/// One host memory request, before packetization.
+struct RequestDesc {
+  Command cmd{Command::Rd64};
+  PhysAddr addr{0};
+};
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  /// Produce the next request in the stream.
+  virtual RequestDesc next() = 0;
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Shared sizing/mix parameters.
+struct GeneratorConfig {
+  u64 capacity_bytes{u64{2} * 1024 * 1024 * 1024};
+  /// Request block size in bytes (16..128, multiple of 16).  Both the read
+  /// and write command are derived from it.
+  u32 request_bytes{64};
+  /// Fraction of reads in [0,1]; the paper uses 0.5.
+  double read_fraction{0.5};
+  u32 seed{1};
+};
+
+/// The paper's harness: uniformly random block-aligned addresses from a
+/// glibc-style LCG, reads/writes mixed per read_fraction.
+class RandomAccessGenerator final : public Generator {
+ public:
+  explicit RandomAccessGenerator(const GeneratorConfig& config);
+  RequestDesc next() override;
+  [[nodiscard]] const char* name() const override { return "random_access"; }
+
+ private:
+  GeneratorConfig cfg_;
+  GlibcRandom rng_;
+  u64 blocks_;
+};
+
+/// Sequential block stream (unit stride), wrapping at capacity.
+class StreamGenerator final : public Generator {
+ public:
+  explicit StreamGenerator(const GeneratorConfig& config, u64 start = 0);
+  RequestDesc next() override;
+  [[nodiscard]] const char* name() const override { return "stream"; }
+
+ private:
+  GeneratorConfig cfg_;
+  GlibcRandom rng_;
+  u64 pos_;
+};
+
+/// Fixed-stride block stream; stride is in bytes.
+class StrideGenerator final : public Generator {
+ public:
+  StrideGenerator(const GeneratorConfig& config, u64 stride_bytes);
+  RequestDesc next() override;
+  [[nodiscard]] const char* name() const override { return "stride"; }
+
+ private:
+  GeneratorConfig cfg_;
+  GlibcRandom rng_;
+  u64 stride_;
+  u64 pos_{0};
+};
+
+/// `hot_fraction` of requests fall in a region of `hot_bytes`; the rest are
+/// uniform.  Models skewed key-value traffic.
+class HotspotGenerator final : public Generator {
+ public:
+  HotspotGenerator(const GeneratorConfig& config, double hot_fraction,
+                   u64 hot_bytes);
+  RequestDesc next() override;
+  [[nodiscard]] const char* name() const override { return "hotspot"; }
+
+ private:
+  GeneratorConfig cfg_;
+  GlibcRandom rng_;
+  double hot_fraction_;
+  u64 hot_blocks_;
+  u64 blocks_;
+};
+
+/// Dependent-read chain: each address is derived from the previous one via
+/// a bijective mix, modelling pointer chasing (reads only; the driver
+/// limits such streams to one outstanding request).
+class PointerChaseGenerator final : public Generator {
+ public:
+  explicit PointerChaseGenerator(const GeneratorConfig& config);
+  RequestDesc next() override;
+  [[nodiscard]] const char* name() const override { return "pointer_chase"; }
+
+ private:
+  GeneratorConfig cfg_;
+  u64 state_;
+  u64 blocks_;
+};
+
+}  // namespace hmcsim

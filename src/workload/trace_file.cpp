@@ -1,0 +1,97 @@
+#include "workload/trace_file.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/limits.hpp"
+
+namespace hmcsim {
+
+bool parse_trace_request(const std::string& line, RequestDesc& out,
+                         bool* is_comment) {
+  if (is_comment != nullptr) *is_comment = false;
+  std::istringstream fields(line);
+  std::string op;
+  if (!(fields >> op)) {
+    if (is_comment != nullptr) *is_comment = true;  // blank line
+    return false;
+  }
+  if (op[0] == '#') {
+    if (is_comment != nullptr) *is_comment = true;
+    return false;
+  }
+  if (op != "R" && op != "W" && op != "A") return false;
+
+  std::string addr_text;
+  if (!(fields >> addr_text)) return false;
+  u64 addr = 0;
+  {
+    std::string_view sv = addr_text;
+    int base = 10;
+    if (sv.size() > 2 && sv[0] == '0' && (sv[1] == 'x' || sv[1] == 'X')) {
+      sv.remove_prefix(2);
+      base = 16;
+    }
+    const auto [ptr, ec] =
+        std::from_chars(sv.data(), sv.data() + sv.size(), addr, base);
+    if (ec != std::errc{} || ptr != sv.data() + sv.size()) return false;
+  }
+  if (addr > spec::kAddrMask) return false;
+
+  u32 bytes = 16;
+  if (op != "A") {
+    if (!(fields >> bytes)) return false;
+    if (bytes < 16 || bytes > spec::kMaxPayloadBytes || bytes % 16 != 0) {
+      return false;
+    }
+  }
+
+  // Trailing garbage invalidates the line (catches column mistakes).
+  std::string rest;
+  if (fields >> rest) return false;
+
+  out.addr = addr;
+  out.cmd = op == "R"   ? read_command_for(bytes)
+            : op == "W" ? write_command_for(bytes)
+                        : Command::TwoAdd8;
+  return true;
+}
+
+void write_request_trace(std::ostream& os,
+                         std::span<const RequestDesc> requests) {
+  for (const RequestDesc& r : requests) {
+    if (is_atomic(r.cmd)) {
+      os << "A 0x" << std::hex << r.addr << std::dec << '\n';
+    } else {
+      os << (is_read(r.cmd) ? 'R' : 'W') << " 0x" << std::hex << r.addr
+         << std::dec << ' ' << access_bytes(r.cmd) << '\n';
+    }
+  }
+}
+
+TraceFileGenerator::TraceFileGenerator(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    RequestDesc desc;
+    bool comment = false;
+    if (parse_trace_request(line, desc, &comment)) {
+      requests_.push_back(desc);
+    } else if (!comment) {
+      ++malformed_;
+    }
+  }
+}
+
+TraceFileGenerator::TraceFileGenerator(std::vector<RequestDesc> requests)
+    : requests_(std::move(requests)) {}
+
+RequestDesc TraceFileGenerator::next() {
+  if (requests_.empty()) return RequestDesc{};
+  const RequestDesc desc = requests_[pos_];
+  pos_ = (pos_ + 1) % requests_.size();
+  return desc;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,109 @@
+#include "analysis/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::small_device;
+
+TEST(OccupancyProbe, IdleSimulatorIsEmpty) {
+  Simulator sim = test::make_simple_sim();
+  OccupancyProbe probe;
+  for (int i = 0; i < 5; ++i) {
+    probe.sample(sim);
+    sim.clock();
+  }
+  ASSERT_EQ(probe.samples().size(), 5u);
+  for (const auto& s : probe.samples()) {
+    EXPECT_DOUBLE_EQ(s.xbar_rqst_fill, 0.0);
+    EXPECT_DOUBLE_EQ(s.vault_rqst_fill, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(probe.mean().vault_rqst_fill, 0.0);
+}
+
+TEST(OccupancyProbe, UninitializedSimulatorIsSkipped) {
+  Simulator sim;
+  OccupancyProbe probe;
+  probe.sample(sim);
+  EXPECT_TRUE(probe.samples().empty());
+}
+
+TEST(OccupancyProbe, SaturationShowsFullXbarQueues) {
+  DeviceConfig dc = small_device();
+  dc.xbar_depth = 4;
+  dc.bank_busy_cycles = 100;  // clog everything
+  Simulator sim = test::make_simple_sim(dc);
+  // Fill link 0's queue completely.
+  for (Tag t = 0; t < 4; ++t) {
+    ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0, t), Status::Ok);
+  }
+  OccupancyProbe probe;
+  probe.sample(sim);
+  ASSERT_EQ(probe.samples().size(), 1u);
+  // One of four link queues is 100% full -> mean 0.25.
+  EXPECT_NEAR(probe.samples()[0].xbar_rqst_fill, 0.25, 1e-9);
+}
+
+TEST(OccupancyProbe, IntervalSkipsSamples) {
+  Simulator sim = test::make_simple_sim();
+  OccupancyProbe probe(/*interval=*/4);
+  for (int i = 0; i < 10; ++i) {
+    probe.sample(sim);
+    sim.clock();
+  }
+  EXPECT_EQ(probe.samples().size(), 3u);  // calls 0, 4, 8
+  EXPECT_EQ(probe.samples()[1].cycle, 4u);
+}
+
+TEST(OccupancyProbe, MeanAndPeak) {
+  DeviceConfig dc = small_device();
+  dc.bank_busy_cycles = 4;
+  Simulator sim = test::make_simple_sim(dc);
+  OccupancyProbe probe;
+  Tag tag = 0;
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    for (u32 l = 0; l < 4; ++l) {
+      (void)test::send_request(sim, 0, l, Command::Rd16,
+                               64 * ((tag * 7) % 256), tag);
+      tag = static_cast<Tag>((tag + 1) % 512);
+    }
+    PacketBuffer pkt;
+    for (u32 l = 0; l < 4; ++l) {
+      while (ok(sim.recv(0, l, pkt))) {
+      }
+    }
+    probe.sample(sim);
+    sim.clock();
+  }
+  const auto mean = probe.mean();
+  const auto peak = probe.peak();
+  EXPECT_GT(mean.vault_rqst_fill, 0.0);
+  EXPECT_GE(peak.vault_rqst_fill, mean.vault_rqst_fill);
+  EXPECT_LE(peak.vault_rqst_fill, 1.0);
+  EXPECT_EQ(peak.cycle, probe.samples().back().cycle);
+}
+
+TEST(OccupancyProbe, CsvShape) {
+  Simulator sim = test::make_simple_sim();
+  OccupancyProbe probe;
+  probe.sample(sim);
+  sim.clock();
+  probe.sample(sim);
+  std::ostringstream os;
+  probe.write_csv(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "cycle,xbar_rqst,xbar_rsp,vault_rqst,vault_rsp");
+  int rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,98 @@
+#include "analysis/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(Power, UninitializedSimulatorIsZero) {
+  Simulator sim;
+  const PowerReport p = estimate_power(sim);
+  EXPECT_DOUBLE_EQ(p.total_nj, 0.0);
+  EXPECT_DOUBLE_EQ(p.average_w, 0.0);
+}
+
+TEST(Power, IdleRunIsStaticOnly) {
+  Simulator sim = test::make_simple_sim();
+  for (int i = 0; i < 100; ++i) sim.clock();
+  const PowerReport p = estimate_power(sim);
+  EXPECT_DOUBLE_EQ(p.dram_nj, 0.0);
+  EXPECT_DOUBLE_EQ(p.logic_nj, 0.0);
+  EXPECT_DOUBLE_EQ(p.link_nj, 0.0);
+  EXPECT_GT(p.static_nj, 0.0);
+  EXPECT_DOUBLE_EQ(p.total_nj, p.static_nj);
+  // Idle power equals the configured static power.
+  EXPECT_NEAR(p.average_w, PowerConfig{}.static_w_per_device, 1e-9);
+  EXPECT_DOUBLE_EQ(p.pj_per_byte, 0.0);  // no data moved
+}
+
+TEST(Power, SingleReadAccounting) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd64, 0x40, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+
+  PowerConfig cfg;
+  const PowerReport p = estimate_power(sim, cfg);
+  // 64 bytes of bank traffic.
+  EXPECT_NEAR(p.dram_nj, 64 * cfg.dram_pj_per_byte * 1e-3, 1e-9);
+  EXPECT_NEAR(p.logic_nj, 64 * cfg.logic_pj_per_byte * 1e-3, 1e-9);
+  // 1 request FLIT + 5 response FLITs crossed link 0.
+  EXPECT_NEAR(p.link_nj, 6 * cfg.link_pj_per_flit * 1e-3, 1e-9);
+  EXPECT_GT(p.total_nj, p.static_nj);
+}
+
+TEST(Power, EnergyScalesWithWork) {
+  const auto run_energy = [](u64 requests) {
+    DeviceConfig dc = test::small_device();
+    dc.model_data = false;
+    Simulator sim = test::make_simple_sim(dc);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = requests;
+    HostDriver driver(sim, gen, dcfg);
+    (void)driver.run();
+    const PowerReport p = estimate_power(sim);
+    return p.dram_nj + p.logic_nj + p.link_nj;
+  };
+  const double e1 = run_energy(500);
+  const double e2 = run_energy(1000);
+  // Dynamic energy is workload-proportional (within RNG mix noise).
+  EXPECT_NEAR(e2 / e1, 2.0, 0.1);
+}
+
+TEST(Power, CoefficientOverridesApply) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  PowerConfig doubled;
+  doubled.dram_pj_per_byte *= 2;
+  const PowerReport base = estimate_power(sim);
+  const PowerReport more = estimate_power(sim, doubled);
+  EXPECT_NEAR(more.dram_nj, base.dram_nj * 2, 1e-9);
+  EXPECT_DOUBLE_EQ(more.link_nj, base.link_nj);
+}
+
+TEST(Power, NonLocalRoutingCostsEnergy) {
+  // Identical work via a non-co-located link vs the local link: the
+  // penalty hop shows up in routing_nj.
+  const auto routing_energy = [](u32 link) {
+    Simulator sim = test::make_simple_sim();
+    // Vault 0 is co-located with link 0; link 3 pays the penalty.
+    EXPECT_EQ(test::send_request(sim, 0, link, Command::Rd16, 0x0, 1),
+              Status::Ok);
+    EXPECT_TRUE(test::await_response(sim, 0, link).has_value());
+    return estimate_power(sim).routing_nj;
+  };
+  EXPECT_DOUBLE_EQ(routing_energy(0), 0.0);
+  EXPECT_GT(routing_energy(3), 0.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,372 @@
+// The C-compatible API shim: the paper's Figure 4 calling sequence plus
+// error handling, tracing hooks, and the classic return-code protocol.
+#include "capi/hmc_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct HmcFixture : ::testing::Test {
+  void SetUp() override {
+    ASSERT_EQ(hmcsim_init(&hmc, 1, 4, 16, 64, 8, 8, 2, 128), 0);
+    for (uint32_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(hmcsim_link_config(&hmc, 2, 0, i, i, HMC_LINK_HOST_DEV), 0);
+    }
+  }
+  void TearDown() override { EXPECT_EQ(hmcsim_free(&hmc), 0); }
+
+  hmcsim_t hmc{};
+};
+
+TEST(CApiInit, RejectsBadGeometry) {
+  hmcsim_t hmc{};
+  // num_vaults must equal num_links * 4.
+  EXPECT_EQ(hmcsim_init(&hmc, 1, 4, 32, 64, 8, 8, 2, 128), -1);
+  // capacity mismatch (4-link/8-bank must be 2 GB).
+  EXPECT_EQ(hmcsim_init(&hmc, 1, 4, 16, 64, 8, 8, 8, 128), -1);
+  // bad link count.
+  EXPECT_EQ(hmcsim_init(&hmc, 1, 6, 24, 64, 8, 8, 2, 128), -1);
+  // null object.
+  EXPECT_EQ(hmcsim_init(nullptr, 1, 4, 16, 64, 8, 8, 2, 128), -1);
+}
+
+TEST(CApiInit, ZeroCapacityDerivesFromGeometry) {
+  hmcsim_t hmc{};
+  ASSERT_EQ(hmcsim_init(&hmc, 1, 8, 32, 64, 16, 8, 0, 128), 0);
+  EXPECT_EQ(hmcsim_free(&hmc), 0);
+}
+
+TEST_F(HmcFixture, Figure4Sequence) {
+  uint64_t payload[8];
+  for (int i = 0; i < 8; ++i) payload[i] = 0x0101010101010101ull * (i + 1);
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  uint64_t head = 0, tail = 0;
+
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x5000, 1, HMC_WR64, 0, payload,
+                                    &head, &tail, packet),
+            0);
+  EXPECT_NE(head, 0u);
+  EXPECT_NE(tail, 0u);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x5000, 2, HMC_RD64, 0, nullptr,
+                                    &head, &tail, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+
+  int received = 0;
+  bool saw_write = false, saw_read = false;
+  for (int cycle = 0; cycle < 64 && received < 2; ++cycle) {
+    ASSERT_EQ(hmcsim_clock(&hmc), 0);
+    while (hmcsim_recv(&hmc, 0, 0, packet) == 0) {
+      hmc_rsp_t type;
+      uint16_t tag;
+      uint32_t errstat;
+      ASSERT_EQ(hmcsim_decode_memresponse(&hmc, packet, &type, &tag,
+                                          &errstat),
+                0);
+      EXPECT_EQ(errstat, 0u);
+      if (type == HMC_RSP_WR) {
+        saw_write = true;
+        EXPECT_EQ(tag, 1);
+      }
+      if (type == HMC_RSP_RD) {
+        saw_read = true;
+        EXPECT_EQ(tag, 2);
+        EXPECT_EQ(packet[1], payload[0]);  // first data word round-trips
+      }
+      ++received;
+    }
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_read);
+  EXPECT_GT(hmcsim_get_clock(&hmc), 0u);
+}
+
+TEST_F(HmcFixture, StallProtocol) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  // Fill link 0's 128-slot crossbar queue without clocking.
+  int sent = 0, rc = 0;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 64 * i, i % 512, HMC_RD16, 0,
+                                      nullptr, nullptr, nullptr, packet),
+              0);
+    rc = hmcsim_send(&hmc, packet);
+    if (rc != 0) break;
+    ++sent;
+  }
+  EXPECT_EQ(rc, HMC_STALL);
+  EXPECT_EQ(sent, 128);
+}
+
+TEST_F(HmcFixture, RecvProtocol) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  // 1 == no response pending (distinct from -1 hard errors).
+  EXPECT_EQ(hmcsim_recv(&hmc, 0, 0, packet), 1);
+  EXPECT_EQ(hmcsim_recv(&hmc, 0, 99, packet), -1);
+  EXPECT_EQ(hmcsim_recv(&hmc, 7, 0, packet), -1);
+}
+
+TEST_F(HmcFixture, ZeroCrcIsSealedByShim) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x100, 3, HMC_RD16, 1, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  packet[1] &= 0x00000000FFFFFFFFull;  // zero the CRC field of the tail
+  EXPECT_EQ(hmcsim_send(&hmc, packet), 0);
+}
+
+TEST_F(HmcFixture, CorruptCrcRejected) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x100, 3, HMC_RD16, 1, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  packet[1] ^= 0xDEAD00000000ull;  // corrupt (nonzero) CRC
+  EXPECT_EQ(hmcsim_send(&hmc, packet), -1);
+}
+
+TEST_F(HmcFixture, JtagRegisterInterface) {
+  uint64_t value = 0;
+  ASSERT_EQ(hmcsim_jtag_reg_read(&hmc, 0, 0x2f0001u, &value), 0);  // RVID
+  EXPECT_NE(value, 0u);
+  ASSERT_EQ(hmcsim_jtag_reg_write(&hmc, 0, 0x280000u, 0x99), 0);   // GC
+  ASSERT_EQ(hmcsim_jtag_reg_read(&hmc, 0, 0x280000u, &value), 0);
+  EXPECT_EQ(value, 0x99u);
+  EXPECT_EQ(hmcsim_jtag_reg_read(&hmc, 0, 0x424242u, &value), -1);
+  EXPECT_EQ(hmcsim_jtag_reg_write(&hmc, 0, 0x2f0001u, 1), -1);  // RO
+}
+
+TEST_F(HmcFixture, BuildRequestValidation) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  // Write without payload pointer.
+  EXPECT_EQ(hmcsim_build_memrequest(&hmc, 0, 0, 0, HMC_WR64, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            -1);
+  // Null packet buffer.
+  EXPECT_EQ(hmcsim_build_memrequest(&hmc, 0, 0, 0, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, nullptr),
+            -1);
+  // Address beyond the 34-bit field.
+  EXPECT_EQ(hmcsim_build_memrequest(&hmc, 0, 1ull << 34, 0, HMC_RD16, 0,
+                                    nullptr, nullptr, nullptr, packet),
+            -1);
+}
+
+TEST(CApiTopology, LinkConfigRules) {
+  hmcsim_t hmc{};
+  ASSERT_EQ(hmcsim_init(&hmc, 2, 4, 16, 64, 8, 8, 0, 128), 0);
+  // Host links require a host-side id greater than the device count.
+  EXPECT_EQ(hmcsim_link_config(&hmc, 0, 0, 0, 0, HMC_LINK_HOST_DEV), -1);
+  EXPECT_EQ(hmcsim_link_config(&hmc, 3, 0, 0, 0, HMC_LINK_HOST_DEV), 0);
+  // Loopback rejected.
+  EXPECT_EQ(hmcsim_link_config(&hmc, 1, 1, 1, 2, HMC_LINK_DEV_DEV), -1);
+  // Proper chain link.
+  EXPECT_EQ(hmcsim_link_config(&hmc, 0, 1, 3, 0, HMC_LINK_DEV_DEV), 0);
+  EXPECT_EQ(hmcsim_free(&hmc), 0);
+}
+
+TEST(CApiTopology, ChainedAccessThroughCApi) {
+  hmcsim_t hmc{};
+  ASSERT_EQ(hmcsim_init(&hmc, 2, 4, 16, 64, 8, 8, 0, 128), 0);
+  ASSERT_EQ(hmcsim_link_config(&hmc, 3, 0, 0, 0, HMC_LINK_HOST_DEV), 0);
+  ASSERT_EQ(hmcsim_link_config(&hmc, 0, 1, 3, 0, HMC_LINK_DEV_DEV), 0);
+
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, /*cub=*/1, 0x40, 7, HMC_RD16, 0,
+                                    nullptr, nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  int got = 1;
+  for (int i = 0; i < 100; ++i) {
+    hmcsim_clock(&hmc);
+    got = hmcsim_recv(&hmc, 0, 0, packet);
+    if (got == 0) break;
+  }
+  EXPECT_EQ(got, 0);
+  hmc_rsp_t type;
+  uint16_t tag;
+  uint32_t errstat;
+  ASSERT_EQ(hmcsim_decode_memresponse(&hmc, packet, &type, &tag, &errstat),
+            0);
+  EXPECT_EQ(type, HMC_RSP_RD);
+  EXPECT_EQ(tag, 7);
+  EXPECT_EQ(errstat, 0u);
+  EXPECT_EQ(hmcsim_free(&hmc), 0);
+}
+
+TEST_F(HmcFixture, UtilityBlockSizeAndDecode) {
+  uint32_t bsize = 0;
+  ASSERT_EQ(hmcsim_util_get_max_blocksize(&hmc, 0, &bsize), 0);
+  EXPECT_EQ(bsize, 128u);  // default
+  ASSERT_EQ(hmcsim_util_set_max_blocksize(&hmc, 0, 64), 0);
+  ASSERT_EQ(hmcsim_util_get_max_blocksize(&hmc, 0, &bsize), 0);
+  EXPECT_EQ(bsize, 64u);
+  EXPECT_EQ(hmcsim_util_set_max_blocksize(&hmc, 0, 48), -1);
+  EXPECT_EQ(hmcsim_util_set_max_blocksize(&hmc, 9, 64), -1);
+
+  // With 64-byte blocks, consecutive blocks interleave across vaults.
+  uint32_t vault = 99, bank = 99, quad = 99;
+  ASSERT_EQ(hmcsim_util_decode_vault(&hmc, 0, &vault), 0);
+  EXPECT_EQ(vault, 0u);
+  ASSERT_EQ(hmcsim_util_decode_vault(&hmc, 64, &vault), 0);
+  EXPECT_EQ(vault, 1u);
+  ASSERT_EQ(hmcsim_util_decode_bank(&hmc, 0, &bank), 0);
+  EXPECT_EQ(bank, 0u);
+  ASSERT_EQ(hmcsim_util_decode_quad(&hmc, 64 * 5, &quad), 0);
+  EXPECT_EQ(quad, 1u);  // vault 5 lives in quad 1
+  // Out-of-capacity address rejected.
+  EXPECT_EQ(hmcsim_util_decode_vault(&hmc, 1ull << 33, &vault), -1);
+
+  // Block size cannot change after the topology freezes.
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  EXPECT_EQ(hmcsim_util_set_max_blocksize(&hmc, 0, 128), -1);
+}
+
+TEST_F(HmcFixture, StatCounters) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  for (int i = 0; i < 10; ++i) hmcsim_clock(&hmc);
+  (void)hmcsim_recv(&hmc, 0, 0, packet);
+
+  uint64_t value = 0;
+  ASSERT_EQ(hmcsim_get_stat(&hmc, 0, "reads", &value), 0);
+  EXPECT_EQ(value, 1u);
+  ASSERT_EQ(hmcsim_get_stat(&hmc, 0, "sends", &value), 0);
+  EXPECT_EQ(value, 1u);
+  ASSERT_EQ(hmcsim_get_stat(&hmc, 0, "recvs", &value), 0);
+  EXPECT_EQ(value, 1u);
+  ASSERT_EQ(hmcsim_get_stat(&hmc, 0, "writes", &value), 0);
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(hmcsim_get_stat(&hmc, 0, "bogus", &value), -1);
+  EXPECT_EQ(hmcsim_get_stat(&hmc, 5, "reads", &value), -1);
+}
+
+TEST_F(HmcFixture, JsonDump) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  for (int i = 0; i < 10; ++i) hmcsim_clock(&hmc);
+
+  FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_EQ(hmcsim_dump_stats_json(&hmc, tmp), 0);
+  EXPECT_EQ(hmcsim_dump_stats_json(&hmc, nullptr), -1);
+  std::rewind(tmp);
+  std::string contents;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, tmp) != nullptr) contents += buf;
+  std::fclose(tmp);
+  EXPECT_NE(contents.find("\"simulator\":\"hmcsim++\""), std::string::npos);
+  EXPECT_NE(contents.find("\"reads\":1"), std::string::npos);
+}
+
+namespace {
+
+// CMC handler for the C API test: fetch-and-add on word 0; old value back.
+void c_fetch_add(uint64_t* memory, const uint64_t* operand,
+                 uint64_t* response, void* user) {
+  *static_cast<int*>(user) += 1;  // user-context plumbed through
+  response[0] = memory[0];
+  response[1] = 0;
+  memory[0] += operand[0];
+}
+
+}  // namespace
+
+TEST_F(HmcFixture, CustomCommandThroughTheCApi) {
+  // Registration requires the frozen (clocked) state.
+  ASSERT_EQ(hmcsim_clock(&hmc), 0);
+  int handler_calls = 0;
+  ASSERT_EQ(hmcsim_register_cmc(&hmc, 0x05, /*rqst_flits=*/2,
+                                /*rsp_flits=*/2, /*access_bytes=*/16,
+                                c_fetch_add, &handler_calls),
+            0);
+  // Duplicate and invalid registrations fail.
+  EXPECT_EQ(hmcsim_register_cmc(&hmc, 0x05, 2, 2, 16, c_fetch_add, nullptr),
+            -1);
+  EXPECT_EQ(hmcsim_register_cmc(&hmc, 0x30, 2, 2, 16, c_fetch_add, nullptr),
+            -1);  // RD16 is taken
+  EXPECT_EQ(hmcsim_register_cmc(&hmc, 0x06, 2, 2, 16, nullptr, nullptr),
+            -1);
+
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  const uint64_t operand[2] = {7, 0};
+  // Unregistered encoding rejected by the builder.
+  EXPECT_EQ(hmcsim_build_custom_request(&hmc, 0, 0x40, 1, 0x07, 0, operand,
+                                        packet),
+            -1);
+
+  // Two fetch-adds: 0 -> 7 -> 14, old values 0 then 7.
+  uint64_t expected_old = 0;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_EQ(hmcsim_build_custom_request(&hmc, 0, 0x40,
+                                          static_cast<uint16_t>(round + 1),
+                                          0x05, 0, operand, packet),
+              0);
+    ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+    int rc = 1;
+    for (int i = 0; i < 50 && rc != 0; ++i) {
+      hmcsim_clock(&hmc);
+      rc = hmcsim_recv(&hmc, 0, 0, packet);
+    }
+    ASSERT_EQ(rc, 0);
+    hmc_rsp_t type;
+    uint16_t tag;
+    uint32_t errstat;
+    ASSERT_EQ(hmcsim_decode_memresponse(&hmc, packet, &type, &tag, &errstat),
+              0);
+    EXPECT_EQ(type, HMC_RSP_RD);  // 2-FLIT CMC responses decode as RD_RS
+    EXPECT_EQ(errstat, 0u);
+    EXPECT_EQ(packet[1], expected_old);
+    expected_old += operand[0];
+  }
+  EXPECT_EQ(handler_calls, 2);
+  uint64_t counter = 0;
+  ASSERT_EQ(hmcsim_get_stat(&hmc, 0, "custom_ops", &counter), 0);
+  EXPECT_EQ(counter, 2u);
+}
+
+TEST(CApiTrace, TextTraceWrittenToFile) {
+  hmcsim_t hmc{};
+  ASSERT_EQ(hmcsim_init(&hmc, 1, 4, 16, 8, 8, 8, 0, 8), 0);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(hmcsim_link_config(&hmc, 2, 0, i, i, HMC_LINK_HOST_DEV), 0);
+  }
+  FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_EQ(hmcsim_trace_handle(&hmc, tmp), 0);
+  ASSERT_EQ(hmcsim_trace_level(&hmc, 3), 0);
+  EXPECT_EQ(hmcsim_trace_level(&hmc, 9), -1);
+
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  for (int i = 0; i < 10; ++i) hmcsim_clock(&hmc);
+  (void)hmcsim_recv(&hmc, 0, 0, packet);
+  EXPECT_EQ(hmcsim_free(&hmc), 0);
+
+  std::rewind(tmp);
+  std::string contents;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, tmp) != nullptr) contents += buf;
+  std::fclose(tmp);
+  EXPECT_NE(contents.find("HMCSIM_TRACE"), std::string::npos);
+  EXPECT_NE(contents.find("RD16"), std::string::npos);
+}
+
+}  // namespace

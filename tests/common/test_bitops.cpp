@@ -1,0 +1,97 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim {
+namespace {
+
+TEST(Bitops, MaskWidths) {
+  EXPECT_EQ(mask(0), 0u);
+  EXPECT_EQ(mask(1), 1u);
+  EXPECT_EQ(mask(8), 0xffu);
+  EXPECT_EQ(mask(34), 0x3ffffffffull);
+  EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(mask(64), ~u64{0});
+}
+
+TEST(Bitops, ExtractBasic) {
+  const u64 word = 0xABCD'EF01'2345'6789ull;
+  EXPECT_EQ(extract(word, 0, 4), 0x9u);
+  EXPECT_EQ(extract(word, 4, 4), 0x8u);
+  EXPECT_EQ(extract(word, 0, 64), word);
+  EXPECT_EQ(extract(word, 60, 4), 0xAu);
+  EXPECT_EQ(extract(word, 32, 16), 0xEF01u);
+}
+
+TEST(Bitops, DepositBasic) {
+  EXPECT_EQ(deposit(0, 0, 4, 0xF), 0xFu);
+  EXPECT_EQ(deposit(0, 60, 4, 0xA), 0xA000'0000'0000'0000ull);
+  // Deposit truncates the value to the field width.
+  EXPECT_EQ(deposit(0, 0, 4, 0x1F), 0xFu);
+  // Deposit preserves surrounding bits.
+  EXPECT_EQ(deposit(0xFFFF'FFFF'FFFF'FFFFull, 8, 8, 0), 0xFFFF'FFFF'FFFF'00FFull);
+}
+
+TEST(Bitops, DepositExtractRoundTrip) {
+  u64 word = 0;
+  word = deposit(word, 0, 6, 0x2B);
+  word = deposit(word, 7, 4, 9);
+  word = deposit(word, 15, 9, 0x1FF);
+  word = deposit(word, 24, 34, 0x3'DEAD'BEEFull);
+  word = deposit(word, 61, 3, 5);
+  EXPECT_EQ(extract(word, 0, 6), 0x2Bu);
+  EXPECT_EQ(extract(word, 7, 4), 9u);
+  EXPECT_EQ(extract(word, 15, 9), 0x1FFu);
+  EXPECT_EQ(extract(word, 24, 34), 0x3'DEAD'BEEFull);
+  EXPECT_EQ(extract(word, 61, 3), 5u);
+}
+
+TEST(Bitops, AdjacentFieldsDoNotInterfere) {
+  u64 word = 0;
+  word = deposit(word, 0, 8, 0xAA);
+  word = deposit(word, 8, 8, 0xBB);
+  word = deposit(word, 16, 8, 0xCC);
+  EXPECT_EQ(extract(word, 0, 8), 0xAAu);
+  EXPECT_EQ(extract(word, 8, 8), 0xBBu);
+  EXPECT_EQ(extract(word, 16, 8), 0xCCu);
+  // Overwriting the middle field leaves neighbors intact.
+  word = deposit(word, 8, 8, 0x11);
+  EXPECT_EQ(extract(word, 0, 8), 0xAAu);
+  EXPECT_EQ(extract(word, 8, 8), 0x11u);
+  EXPECT_EQ(extract(word, 16, 8), 0xCCu);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(u64{1} << 33));
+  EXPECT_FALSE(is_pow2((u64{1} << 33) + 1));
+}
+
+TEST(Bitops, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(u64{16} * 1024 * 1024), 24u);
+  EXPECT_EQ(log2_exact(u64{1} << 63), 63u);
+}
+
+TEST(Bitops, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(144, 16), 9u);
+}
+
+TEST(Bitops, ConstexprUsable) {
+  static_assert(mask(6) == 0x3f);
+  static_assert(extract(deposit(0, 24, 34, 0x123), 24, 34) == 0x123);
+  static_assert(is_pow2(1024));
+  static_assert(log2_exact(1024) == 10);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hmcsim

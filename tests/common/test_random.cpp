@@ -1,0 +1,105 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace hmcsim {
+namespace {
+
+TEST(Lcg31, KnownSequence) {
+  // x' = x * 1103515245 + 12345 (mod 2^31), from seed 1.
+  Lcg31 rng(1);
+  EXPECT_EQ(rng.next(), (1u * 1103515245u + 12345u) & 0x7fffffffu);
+}
+
+TEST(Lcg31, DeterministicAcrossInstances) {
+  Lcg31 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Lcg31, DifferentSeedsDiverge) {
+  Lcg31 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Lcg31, NextBelowBounds) {
+  Lcg31 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Lcg31, NextBelowCoversRange) {
+  Lcg31 rng(7);
+  std::set<u32> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(GlibcRandom, MatchesHostGlibcRand) {
+  // We run on glibc: srand/rand IS the TYPE_3 additive generator, so we can
+  // check bit-exactness directly against the host implementation.
+  for (const unsigned seed : {1u, 2u, 42u, 0xdeadbeefu}) {
+    srand(seed);
+    GlibcRandom rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(rng.next(), static_cast<u32>(rand()))
+          << "seed " << seed << " index " << i;
+    }
+  }
+}
+
+TEST(GlibcRandom, SeedZeroBehavesLikeSeedOne) {
+  GlibcRandom a(0), b(1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the canonical splitmix64
+  // implementation (Vigna).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(rng.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(rng.next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64, NextBelowIsBounded) {
+  SplitMix64 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(1000), 1000u);
+  }
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, RoughUniformity) {
+  SplitMix64 rng(5);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,37 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim {
+namespace {
+
+TEST(Status, OkHelper) {
+  EXPECT_TRUE(ok(Status::Ok));
+  EXPECT_FALSE(ok(Status::Stalled));
+  EXPECT_FALSE(ok(Status::Internal));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (const Status s :
+       {Status::Ok, Status::Stalled, Status::NoResponse,
+        Status::InvalidArgument, Status::InvalidConfig,
+        Status::MalformedPacket, Status::Unroutable, Status::NoSuchRegister,
+        Status::ReadOnlyRegister, Status::Internal}) {
+    EXPECT_FALSE(to_string(s).empty());
+    EXPECT_NE(to_string(s), "Unknown");
+  }
+}
+
+TEST(Status, CReturnProtocol) {
+  // The classic C API conventions: 0 ok, 2 == HMC_STALL, 1 == no packet,
+  // -1 == hard error.
+  EXPECT_EQ(to_c_return(Status::Ok), 0);
+  EXPECT_EQ(to_c_return(Status::Stalled), 2);
+  EXPECT_EQ(to_c_return(Status::NoResponse), 1);
+  EXPECT_EQ(to_c_return(Status::InvalidArgument), -1);
+  EXPECT_EQ(to_c_return(Status::MalformedPacket), -1);
+  EXPECT_EQ(to_c_return(Status::Internal), -1);
+}
+
+}  // namespace
+}  // namespace hmcsim

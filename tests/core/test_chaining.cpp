@@ -1,0 +1,183 @@
+// Multi-device chaining: routed requests, response return paths, hop
+// latency, and the child/root stage split.
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::send_request;
+using test::small_device;
+
+Simulator make_chain_sim(u32 devices, u32 host_links = 2,
+                         u32 trunk_links = 1) {
+  SimConfig sc;
+  sc.num_devices = devices;
+  sc.device = small_device();
+  std::string err;
+  Topology topo = make_chain(devices, 4, host_links, trunk_links, &err);
+  EXPECT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  std::string diag;
+  EXPECT_EQ(sim.init(sc, std::move(topo), &diag), Status::Ok) << diag;
+  return sim;
+}
+
+TEST(Chaining, RequestToChildCubeCompletes) {
+  Simulator sim = make_chain_sim(2);
+  // Address cube 1 through the root (cube 0).
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x1000, 1, /*cub=*/1,
+                         {0xCAFE, 0}),
+            Status::Ok);
+  auto rsp = await_response(sim, 0, 0);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->cmd, Command::WriteResponse);
+  EXPECT_EQ(rsp->cub, 1u);  // responding device is the child
+
+  // The data landed in cube 1's storage, not cube 0's.
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(1).store.read_words(0x1000, {&word, 1}));
+  EXPECT_EQ(word, 0xCAFEu);
+  ASSERT_TRUE(sim.device(0).store.read_words(0x1000, {&word, 1}));
+  EXPECT_EQ(word, 0u);
+  EXPECT_GT(sim.stats(0).route_hops, 0u);
+}
+
+TEST(Chaining, DeeperCubesHaveHigherLatency) {
+  Simulator sim = make_chain_sim(4);
+  std::array<Cycle, 4> latency{};
+  for (u32 cub = 0; cub < 4; ++cub) {
+    const Cycle start = sim.now();
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0x40,
+                           static_cast<Tag>(cub), cub),
+              Status::Ok);
+    auto rsp = await_response(sim, 0, 0, 500);
+    ASSERT_TRUE(rsp.has_value()) << "cube " << cub;
+    EXPECT_EQ(rsp->cub, cub);
+    latency[cub] = sim.now() - start;
+  }
+  // Each extra chain hop costs cycles on both the request and response
+  // paths, so latency must be strictly increasing down the chain.
+  EXPECT_LT(latency[0], latency[1]);
+  EXPECT_LT(latency[1], latency[2]);
+  EXPECT_LT(latency[2], latency[3]);
+}
+
+TEST(Chaining, ReadYourWritesThroughTheChain) {
+  Simulator sim = make_chain_sim(3);
+  for (u32 cub = 0; cub < 3; ++cub) {
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x2000, 1, cub,
+                           {u64{0x1110} + cub, 0}),
+              Status::Ok);
+    ASSERT_TRUE(await_response(sim, 0, 0, 500).has_value());
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0x2000, 2, cub),
+              Status::Ok);
+    PacketBuffer raw;
+    auto rsp = await_response(sim, 0, 0, 500, &raw);
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(raw.payload()[0], 0x1110 + cub) << "cube " << cub;
+  }
+}
+
+TEST(Chaining, MixedTrafficToAllCubesCompletes) {
+  Simulator sim = make_chain_sim(4);
+  u64 sent = 0;
+  for (Tag t = 0; t < 64; ++t) {
+    const Status s = send_request(sim, 0, t % 2, Command::Rd16,
+                                  64 * (t % 16), t, /*cub=*/t % 4);
+    if (ok(s)) {
+      ++sent;
+    } else {
+      ASSERT_EQ(s, Status::Stalled);
+      sim.clock();
+    }
+  }
+  const auto responses = test::drain_all(sim, 3000);
+  EXPECT_EQ(responses.size(), sent);
+  // Traffic flowed through every device.
+  for (u32 d = 1; d < 4; ++d) {
+    EXPECT_GT(sim.stats(d).reads, 0u) << "device " << d;
+  }
+}
+
+TEST(Chaining, RingTopologyRoutesBothDirections) {
+  SimConfig sc;
+  sc.num_devices = 4;
+  sc.device = small_device();
+  std::string err;
+  Topology topo = make_ring(4, 4, /*host_links=*/2, &err);
+  ASSERT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  ASSERT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+
+  // Cube 1 (clockwise) and cube 3 (counterclockwise) are both one hop out;
+  // cube 2 is two hops either way.
+  std::array<Cycle, 4> latency{};
+  for (u32 cub = 0; cub < 4; ++cub) {
+    const Cycle start = sim.now();
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0x40,
+                           static_cast<Tag>(cub), cub),
+              Status::Ok);
+    ASSERT_TRUE(await_response(sim, 0, 0, 500).has_value()) << cub;
+    latency[cub] = sim.now() - start;
+  }
+  EXPECT_EQ(latency[1], latency[3]);  // symmetric one-hop neighbors
+  EXPECT_GT(latency[2], latency[1]);  // the far node costs more
+}
+
+TEST(Chaining, WideTrunkCarriesMoreTraffic) {
+  // Two parallel trunk links between two cubes double the forwarding
+  // bandwidth; a saturating burst to the child completes in fewer cycles.
+  auto run = [](u32 trunk_links) {
+    SimConfig sc;
+    sc.num_devices = 2;
+    DeviceConfig dc = small_device();
+    dc.xbar_depth = 64;
+    dc.xbar_flits_per_cycle = 4;  // make the trunk the bottleneck
+    sc.device = dc;
+    std::string err;
+    Topology topo = make_chain(2, 4, /*host_links=*/2, trunk_links, &err);
+    EXPECT_GT(topo.num_devices(), 0u) << err;
+    Simulator sim;
+    EXPECT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+
+    u64 completed = 0, sent = 0;
+    PacketBuffer pkt;
+    while (completed < 64) {
+      while (sent < 64) {
+        const Status s = test::send_request(
+            sim, 0, static_cast<u32>(sent % 2), Command::Rd16,
+            64 * (sent % 32), static_cast<Tag>(sent), /*cub=*/1);
+        if (s == Status::Stalled) break;
+        EXPECT_EQ(s, Status::Ok);
+        ++sent;
+      }
+      for (u32 l = 0; l < 2; ++l) {
+        while (ok(sim.recv(0, l, pkt))) ++completed;
+      }
+      sim.clock();
+      EXPECT_LT(sim.now(), 5000u);
+    }
+    return sim.now();
+  };
+  const Cycle narrow = run(1);
+  const Cycle wide = run(2);
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(Chaining, ChildStatsAttributeWorkCorrectly) {
+  Simulator sim = make_chain_sim(2);
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0, 1, /*cub=*/1),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0, 500).has_value());
+  EXPECT_EQ(sim.stats(0).reads, 0u);   // root only forwarded
+  EXPECT_EQ(sim.stats(1).reads, 1u);   // child did the memory work
+  EXPECT_EQ(sim.stats(0).route_hops, 1u);
+  EXPECT_EQ(sim.stats(0).sends, 1u);   // host edge is on the root
+  EXPECT_EQ(sim.stats(1).sends, 0u);
+}
+
+}  // namespace
+}  // namespace hmcsim

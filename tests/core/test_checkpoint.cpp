@@ -1,0 +1,256 @@
+// Checkpoint/restore: a restored simulator must continue cycle-for-cycle
+// identically, including every in-flight packet, register, bank timer and
+// memory byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::send_request;
+using test::small_device;
+
+TEST(Checkpoint, RoundTripOfQuiescentSimulator) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x40, 1, 0, {0x42, 0}),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  ASSERT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Gc), 0x99), Status::Ok);
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  EXPECT_EQ(restored.now(), sim.now());
+  EXPECT_EQ(restored.num_devices(), 1u);
+  EXPECT_TRUE(restored.quiescent());
+  EXPECT_EQ(restored.stats(0).writes, 1u);
+
+  u64 word = 0;
+  ASSERT_TRUE(restored.device(0).store.read_words(0x40, {&word, 1}));
+  EXPECT_EQ(word, 0x42u);
+  u64 gc = 0;
+  ASSERT_EQ(restored.jtag_reg_read(0, phys_from_reg(Reg::Gc), gc),
+            Status::Ok);
+  EXPECT_EQ(gc, 0x99u);
+}
+
+TEST(Checkpoint, MidFlightStateContinuesIdentically) {
+  // Inject a burst, clock partway so packets sit in crossbar queues, vault
+  // queues and response queues simultaneously, checkpoint, then compare
+  // the original and the restored copies response-for-response.
+  DeviceConfig dc = small_device();
+  dc.bank_busy_cycles = 6;
+  Simulator original = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 24; ++t) {
+    const Command cmd = (t % 2 == 0) ? Command::Rd32 : Command::Wr32;
+    ASSERT_NE(send_request(original, 0, t % 4, cmd, 64 * t, t, 0,
+                           std::vector<u64>(request_data_bytes(cmd) / 8,
+                                            t)),
+              Status::InvalidArgument);
+  }
+  for (int i = 0; i < 3; ++i) original.clock();
+  ASSERT_FALSE(original.quiescent());  // genuinely mid-flight
+
+  std::stringstream stream;
+  ASSERT_EQ(original.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  EXPECT_EQ(restored.now(), original.now());
+  EXPECT_FALSE(restored.quiescent());
+
+  // Drain both in lockstep and require bit-identical response packets.
+  PacketBuffer a, b;
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    for (u32 l = 0; l < 4; ++l) {
+      for (;;) {
+        const Status sa = original.recv(0, l, a);
+        const Status sb = restored.recv(0, l, b);
+        ASSERT_EQ(sa, sb) << "cycle " << cycle << " link " << l;
+        if (!ok(sa)) break;
+        ASSERT_EQ(a, b) << "cycle " << cycle << " link " << l;
+      }
+    }
+    original.clock();
+    restored.clock();
+    if (original.quiescent() && restored.quiescent()) break;
+  }
+  EXPECT_TRUE(original.quiescent());
+  EXPECT_TRUE(restored.quiescent());
+  EXPECT_EQ(original.stats(0).reads, restored.stats(0).reads);
+  EXPECT_EQ(original.stats(0).writes, restored.stats(0).writes);
+  EXPECT_EQ(original.stats(0).responses, restored.stats(0).responses);
+  EXPECT_EQ(original.stats(0).bank_conflicts,
+            restored.stats(0).bank_conflicts);
+}
+
+TEST(Checkpoint, MultiDeviceTopologySurvives) {
+  SimConfig sc;
+  sc.num_devices = 3;
+  sc.device = small_device();
+  std::string err;
+  Topology topo = make_chain(3, 4, 2, 1, &err);
+  ASSERT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  ASSERT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+
+  // Put a request in flight toward the deepest cube, then checkpoint.
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0x80, 7, /*cub=*/2),
+            Status::Ok);
+  sim.clock();
+  sim.clock();
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  EXPECT_EQ(restored.num_devices(), 3u);
+  EXPECT_TRUE(restored.topology().is_root(CubeId{0}));
+  EXPECT_FALSE(restored.topology().is_root(CubeId{2}));
+  EXPECT_EQ(restored.topology().hops(CubeId{0}, CubeId{2}), 2u);
+
+  const auto rsp = test::await_response(restored, 0, 0, 500);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->tag, 7u);
+  EXPECT_EQ(rsp->cub, 2u);
+}
+
+TEST(Checkpoint, RestoredStateIsByteIdenticalUnderLockstep) {
+  // The strongest determinism statement: save A, restore into B, drive
+  // both with identical input for N cycles, save both — the two checkpoint
+  // streams must be byte-for-byte identical.
+  DeviceConfig dc = small_device();
+  dc.bank_busy_cycles = 5;
+  Simulator a = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 16; ++t) {
+    ASSERT_NE(send_request(a, 0, t % 4, Command::Rd32, 64 * t, t),
+              Status::InvalidArgument);
+  }
+  for (int i = 0; i < 2; ++i) a.clock();
+
+  std::stringstream snap;
+  ASSERT_EQ(a.save_checkpoint(snap), Status::Ok);
+  Simulator b;
+  ASSERT_EQ(b.restore_checkpoint(snap), Status::Ok);
+
+  SplitMix64 rng(99);
+  PacketBuffer pkt, out_a, out_b;
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    // Identical stimulus to both.
+    if (cycle % 3 == 0) {
+      const PhysAddr addr = rng.next_below(1u << 20) * 16;
+      const Tag tag = static_cast<Tag>(100 + cycle);
+      ASSERT_EQ(build_memrequest(0, addr, tag, Command::Wr16, 1,
+                                 std::vector<u64>{cycle, 0}, pkt),
+                Status::Ok);
+      const Status sa = a.send(0, 1, pkt);
+      const Status sb = b.send(0, 1, pkt);
+      ASSERT_EQ(sa, sb);
+    }
+    for (u32 l = 0; l < 4; ++l) {
+      for (;;) {
+        const Status ra = a.recv(0, l, out_a);
+        const Status rb = b.recv(0, l, out_b);
+        ASSERT_EQ(ra, rb);
+        if (!ok(ra)) break;
+        ASSERT_EQ(out_a, out_b);
+      }
+    }
+    a.clock();
+    b.clock();
+  }
+
+  std::stringstream end_a, end_b;
+  ASSERT_EQ(a.save_checkpoint(end_a), Status::Ok);
+  ASSERT_EQ(b.save_checkpoint(end_b), Status::Ok);
+  EXPECT_EQ(end_a.str(), end_b.str());
+}
+
+TEST(Checkpoint, RejectsCorruptStreams) {
+  Simulator sim = test::make_simple_sim();
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+
+  // Corrupt magic.
+  std::string bytes = stream.str();
+  bytes[0] = 'X';
+  std::istringstream bad_magic(bytes);
+  Simulator r1;
+  EXPECT_EQ(r1.restore_checkpoint(bad_magic), Status::MalformedPacket);
+
+  // Truncated stream.
+  std::istringstream truncated(stream.str().substr(0, 40));
+  Simulator r2;
+  EXPECT_NE(r2.restore_checkpoint(truncated), Status::Ok);
+
+  // Empty stream.
+  std::istringstream empty("");
+  Simulator r3;
+  EXPECT_EQ(r3.restore_checkpoint(empty), Status::MalformedPacket);
+}
+
+TEST(Checkpoint, SaveRequiresInitializedSimulator) {
+  Simulator sim;
+  std::stringstream stream;
+  EXPECT_EQ(sim.save_checkpoint(stream), Status::InvalidArgument);
+}
+
+TEST(Checkpoint, RestoredSimulatorAcceptsNewTraffic) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x100, 1, 0, {5, 6}),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+
+  // Read back pre-checkpoint data through the full packet path.
+  ASSERT_EQ(send_request(restored, 0, 1, Command::Rd16, 0x100, 2),
+            Status::Ok);
+  PacketBuffer raw;
+  const auto rsp = test::await_response(restored, 0, 1, 200, &raw);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(raw.payload()[0], 5u);
+  EXPECT_EQ(raw.payload()[1], 6u);
+}
+
+TEST(Checkpoint, DriverWorkloadSplitAcrossCheckpoint) {
+  // End-to-end: half a workload, checkpoint+restore, half a workload; the
+  // restored device's total counters equal an uninterrupted run's.
+  DeviceConfig dc = small_device();
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  {
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 500;
+    HostDriver driver(sim, gen, dcfg);
+    ASSERT_EQ(driver.run().completed, 500u);
+  }
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  {
+    GeneratorConfig gc2 = gc;
+    gc2.seed = 2;
+    RandomAccessGenerator gen(gc2);
+    DriverConfig dcfg;
+    dcfg.total_requests = 500;
+    HostDriver driver(restored, gen, dcfg);
+    ASSERT_EQ(driver.run().completed, 500u);
+  }
+  EXPECT_EQ(restored.total_stats().retired(), 1000u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,134 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim {
+namespace {
+
+TEST(DeviceConfig, DefaultIsValid) {
+  DeviceConfig dc;
+  std::string diag;
+  EXPECT_EQ(dc.validate(&diag), Status::Ok) << diag;
+}
+
+TEST(DeviceConfig, DerivedGeometry) {
+  DeviceConfig dc;
+  dc.num_links = 4;
+  dc.banks_per_vault = 8;
+  EXPECT_EQ(dc.num_vaults(), 16u);
+  EXPECT_EQ(dc.num_quads(), 4u);
+  EXPECT_EQ(dc.derived_capacity(), u64{2} << 30);
+  dc.num_links = 8;
+  dc.banks_per_vault = 16;
+  EXPECT_EQ(dc.num_vaults(), 32u);
+  EXPECT_EQ(dc.derived_capacity(), u64{8} << 30);
+}
+
+TEST(DeviceConfig, RejectsBadLinkCount) {
+  DeviceConfig dc;
+  dc.num_links = 6;
+  std::string diag;
+  EXPECT_EQ(dc.validate(&diag), Status::InvalidConfig);
+  EXPECT_NE(diag.find("num_links"), std::string::npos);
+}
+
+TEST(DeviceConfig, RejectsBadBankCount) {
+  DeviceConfig dc;
+  dc.banks_per_vault = 12;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+}
+
+TEST(DeviceConfig, RejectsZeroQueueDepths) {
+  DeviceConfig dc;
+  dc.xbar_depth = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc = DeviceConfig{};
+  dc.vault_depth = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+}
+
+TEST(DeviceConfig, RejectsBadBlockSize) {
+  DeviceConfig dc;
+  dc.max_block_bytes = 48;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  for (const u64 good : {32u, 64u, 128u, 256u}) {
+    dc.max_block_bytes = good;
+    EXPECT_EQ(dc.validate(), Status::Ok) << good;
+  }
+}
+
+TEST(DeviceConfig, CapacityCrossCheck) {
+  DeviceConfig dc;  // 4-link/8-bank => 2 GB
+  dc.capacity_bytes = u64{2} << 30;
+  EXPECT_EQ(dc.validate(), Status::Ok);
+  dc.capacity_bytes = u64{4} << 30;
+  std::string diag;
+  EXPECT_EQ(dc.validate(&diag), Status::InvalidConfig);
+  EXPECT_NE(diag.find("capacity"), std::string::npos);
+}
+
+TEST(DeviceConfig, RejectsZeroTimingParams) {
+  DeviceConfig dc;
+  dc.bank_busy_cycles = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc = DeviceConfig{};
+  dc.xbar_flits_per_cycle = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+}
+
+TEST(DeviceConfig, AddressMapModesAllBuild) {
+  for (const auto mode : {AddrMapMode::LowInterleave, AddrMapMode::BankFirst,
+                          AddrMapMode::Linear}) {
+    DeviceConfig dc;
+    dc.map_mode = mode;
+    EXPECT_EQ(dc.validate(), Status::Ok);
+    EXPECT_TRUE(dc.make_address_map().valid());
+  }
+}
+
+TEST(SimConfig, RejectsTooManyDevices) {
+  // The 3-bit CUB field reserves ids above the device count for hosts.
+  SimConfig sc;
+  sc.num_devices = 8;
+  std::string diag;
+  EXPECT_EQ(sc.validate(&diag), Status::InvalidConfig);
+  EXPECT_NE(diag.find("CUB"), std::string::npos);
+  sc.num_devices = 7;
+  EXPECT_EQ(sc.validate(), Status::Ok);
+  sc.num_devices = 0;
+  EXPECT_EQ(sc.validate(), Status::InvalidConfig);
+}
+
+TEST(SimConfig, HostCubIsAboveDevices) {
+  SimConfig sc;
+  sc.num_devices = 3;
+  EXPECT_EQ(sc.host_cub(), 3u);
+}
+
+TEST(Table1Configs, MatchThePaper) {
+  // The four §VI configurations: 4/8 links x 8/16 banks, 2..8 GB.
+  const auto a = table1_config_4link_8bank();
+  EXPECT_EQ(a.num_links, 4u);
+  EXPECT_EQ(a.banks_per_vault, 8u);
+  EXPECT_EQ(a.capacity_bytes, u64{2} << 30);
+  EXPECT_EQ(a.xbar_depth, 128u);  // 128 crossbar arbitration slots
+  EXPECT_EQ(a.vault_depth, 64u);  // 64 vault arbitration slots
+  EXPECT_EQ(a.validate(), Status::Ok);
+
+  const auto b = table1_config_4link_16bank();
+  EXPECT_EQ(b.capacity_bytes, u64{4} << 30);
+  EXPECT_EQ(b.validate(), Status::Ok);
+
+  const auto c = table1_config_8link_8bank();
+  EXPECT_EQ(c.num_links, 8u);
+  EXPECT_EQ(c.capacity_bytes, u64{4} << 30);
+  EXPECT_EQ(c.validate(), Status::Ok);
+
+  const auto d = table1_config_8link_16bank();
+  EXPECT_EQ(d.capacity_bytes, u64{8} << 30);
+  EXPECT_EQ(d.num_vaults(), 32u);
+  EXPECT_EQ(d.validate(), Status::Ok);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,126 @@
+#include "core/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hmcsim {
+namespace {
+
+TEST(ConfigFile, EmptyStreamYieldsDefaults) {
+  const auto r = parse_config_string("");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.num_devices, 1u);
+  EXPECT_EQ(r.config.device.num_links, 4u);
+  EXPECT_EQ(r.config.device.banks_per_vault, 8u);
+}
+
+TEST(ConfigFile, FullTable1ConfigC) {
+  const auto r = parse_config_string(R"(
+# Table I configuration C
+num_devices   = 1
+num_links     = 8
+banks_per_vault = 8
+xbar_depth    = 128
+vault_depth   = 64
+capacity_gb   = 4        # cross-checked against the geometry
+map_mode      = low_interleave
+vault_schedule = bank_ready
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.device.num_links, 8u);
+  EXPECT_EQ(r.config.device.capacity_bytes, u64{4} << 30);
+  EXPECT_EQ(r.config.device.xbar_depth, 128u);
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceAreTolerated) {
+  const auto r = parse_config_string(
+      "  # leading comment\n"
+      "\n"
+      "\tnum_links =\t8   # trailing comment\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.device.num_links, 8u);
+}
+
+TEST(ConfigFile, UnknownKeyIsAnErrorWithLineNumber) {
+  const auto r = parse_config_string("num_links = 4\nnum_linkss = 8\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("2:"), std::string::npos);
+  EXPECT_NE(r.error.find("num_linkss"), std::string::npos);
+}
+
+TEST(ConfigFile, MalformedLinesAreErrors) {
+  EXPECT_FALSE(parse_config_string("num_links 4").ok);          // no '='
+  EXPECT_FALSE(parse_config_string("num_links =").ok);          // no value
+  EXPECT_FALSE(parse_config_string("= 4").ok);                  // no key
+  EXPECT_FALSE(parse_config_string("num_links = four").ok);     // not number
+  EXPECT_FALSE(parse_config_string("map_mode = diagonal").ok);  // bad enum
+  EXPECT_FALSE(parse_config_string("model_data = maybe").ok);
+}
+
+TEST(ConfigFile, SemanticValidationStillApplies) {
+  // Parseable but architecturally invalid: 6 links.
+  const auto r = parse_config_string("num_links = 6\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("invalid configuration"), std::string::npos);
+  // Capacity mismatch caught by the cross-check.
+  EXPECT_FALSE(parse_config_string("num_links = 4\ncapacity_gb = 8\n").ok);
+}
+
+TEST(ConfigFile, EnumsAndBooleans) {
+  const auto r = parse_config_string(
+      "map_mode = linear\n"
+      "vault_schedule = strict_fifo\n"
+      "model_data = false\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.device.map_mode, AddrMapMode::Linear);
+  EXPECT_EQ(r.config.device.vault_schedule, VaultSchedule::StrictFifo);
+  EXPECT_FALSE(r.config.device.model_data);
+}
+
+TEST(ConfigFile, WriteParseRoundTrip) {
+  SimConfig original;
+  original.num_devices = 1;
+  original.device = table1_config_8link_16bank();
+  original.device.map_mode = AddrMapMode::BankFirst;
+  original.device.vault_schedule = VaultSchedule::StrictFifo;
+  original.device.link_error_rate_ppm = 1234;
+  original.device.link_retry_limit = 3;
+  original.device.refresh_interval_cycles = 9750;
+  original.device.model_data = false;
+
+  std::ostringstream os;
+  write_config(os, original);
+  const auto r = parse_config_string(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  const DeviceConfig& a = original.device;
+  const DeviceConfig& b = r.config.device;
+  EXPECT_EQ(a.num_links, b.num_links);
+  EXPECT_EQ(a.banks_per_vault, b.banks_per_vault);
+  EXPECT_EQ(a.xbar_depth, b.xbar_depth);
+  EXPECT_EQ(a.vault_depth, b.vault_depth);
+  EXPECT_EQ(a.map_mode, b.map_mode);
+  EXPECT_EQ(a.vault_schedule, b.vault_schedule);
+  EXPECT_EQ(a.link_error_rate_ppm, b.link_error_rate_ppm);
+  EXPECT_EQ(a.link_retry_limit, b.link_retry_limit);
+  EXPECT_EQ(a.refresh_interval_cycles, b.refresh_interval_cycles);
+  EXPECT_EQ(a.model_data, b.model_data);
+  EXPECT_EQ(a.derived_capacity(), b.derived_capacity());
+}
+
+TEST(ConfigFile, FaultKnobsParse) {
+  const auto r = parse_config_string(
+      "link_error_rate_ppm = 5000\n"
+      "fault_seed = 42\n"
+      "link_retry_limit = 7\n"
+      "refresh_interval_cycles = 9750\n"
+      "refresh_busy_cycles = 440\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.device.link_error_rate_ppm, 5000u);
+  EXPECT_EQ(r.config.device.fault_seed, 42u);
+  EXPECT_EQ(r.config.device.link_retry_limit, 7u);
+  EXPECT_EQ(r.config.device.refresh_interval_cycles, 9750u);
+}
+
+}  // namespace
+}  // namespace hmcsim

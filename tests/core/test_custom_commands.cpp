@@ -1,0 +1,288 @@
+// Custom Memory Cube (CMC) commands: registration rules, full-pipeline
+// execution, posted variants, chaining, and checkpoint interaction.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::small_device;
+
+constexpr u8 kFetchMax8 = 0x04;   // reserved encoding we register
+constexpr u8 kPopcnt16 = 0x05;
+constexpr u8 kPostedFill = 0x06;
+
+/// FETCH_MAX8: memory[0] = max(memory[0], operand[0]); returns the OLD
+/// value in a 2-FLIT RD_RS-style response.
+CustomCommandDef fetch_max8() {
+  CustomCommandDef def;
+  def.name = "FETCH_MAX8";
+  def.request_flits = 2;   // 16B operand
+  def.response_flits = 2;  // 16B response payload
+  def.access_bytes = 16;
+  def.handler = [](std::span<u64> memory, std::span<const u64> operand,
+                   std::span<u64> response) {
+    response[0] = memory[0];
+    response[1] = 0;
+    memory[0] = std::max(memory[0], operand[0]);
+  };
+  return def;
+}
+
+/// POPCNT16: counts set bits across the 16-byte block; read-only.
+CustomCommandDef popcnt16() {
+  CustomCommandDef def;
+  def.name = "POPCNT16";
+  def.request_flits = 1;   // no operand
+  def.response_flits = 2;
+  def.access_bytes = 16;
+  def.handler = [](std::span<u64> memory, std::span<const u64>,
+                   std::span<u64> response) {
+    response[0] = static_cast<u64>(std::popcount(memory[0]) +
+                                   std::popcount(memory[1]));
+    response[1] = 0;
+  };
+  return def;
+}
+
+/// Posted 64-byte fill with the operand word.
+CustomCommandDef posted_fill64() {
+  CustomCommandDef def;
+  def.name = "P_FILL64";
+  def.request_flits = 2;
+  def.response_flits = 0;  // posted
+  def.access_bytes = 64;
+  def.handler = [](std::span<u64> memory, std::span<const u64> operand,
+                   std::span<u64>) {
+    for (u64& w : memory) w = operand[0];
+  };
+  return def;
+}
+
+TEST(CustomCommands, ReservedEncodingSpace) {
+  EXPECT_TRUE(is_reserved_command(0x04));
+  EXPECT_TRUE(is_reserved_command(0x20));
+  EXPECT_TRUE(is_reserved_command(0x3f));
+  EXPECT_FALSE(is_reserved_command(0x08));  // WR16
+  EXPECT_FALSE(is_reserved_command(0x30));  // RD16
+  EXPECT_FALSE(is_reserved_command(0x3e));  // ERROR
+  EXPECT_FALSE(is_reserved_command(64));
+}
+
+TEST(CustomCommands, RegistrationRules) {
+  Simulator sim = test::make_simple_sim();
+  EXPECT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+  // Duplicate registration rejected.
+  EXPECT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::InvalidConfig);
+  // Non-reserved encoding rejected.
+  EXPECT_EQ(sim.register_custom_command(0x08, fetch_max8()),
+            Status::InvalidArgument);
+  // Missing handler rejected.
+  CustomCommandDef broken = fetch_max8();
+  broken.handler = nullptr;
+  EXPECT_EQ(sim.register_custom_command(kPopcnt16, broken),
+            Status::InvalidArgument);
+  // Bad sizes rejected.
+  broken = fetch_max8();
+  broken.access_bytes = 12;
+  EXPECT_EQ(sim.register_custom_command(kPopcnt16, broken),
+            Status::InvalidArgument);
+  broken = fetch_max8();
+  broken.request_flits = 10;
+  EXPECT_EQ(sim.register_custom_command(kPopcnt16, broken),
+            Status::InvalidArgument);
+}
+
+TEST(CustomCommands, UnregisteredReservedCommandIsRejectedAtSend) {
+  Simulator sim = test::make_simple_sim();
+  PacketBuffer pkt;
+  pkt.flits = 1;
+  pkt.words[0] = field::make_request_header(static_cast<Command>(0x07), 1, 1,
+                                            0x40, 0);
+  pkt.words[1] = field::make_request_tail(0, 0, 0, false, 0, 0);
+  seal_crc(pkt);
+  EXPECT_EQ(sim.send(0, 0, pkt), Status::MalformedPacket);
+}
+
+TEST(CustomCommands, FetchMaxExecutesAtTheBank) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+
+  // Seed memory with 100.
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Wr16, 0x40, 1, 0,
+                               {100, 0}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  // FETCH_MAX8 with operand 77: memory stays 100, old value returned.
+  PacketBuffer pkt;
+  const u64 operand[2] = {77, 0};
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kFetchMax8, 0, 0x40,
+                                 2, 0, operand, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  PacketBuffer raw;
+  auto rsp = await_response(sim, 0, 0, 200, &raw);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->cmd, Command::ReadResponse);  // 2-FLIT CMC responses
+  EXPECT_EQ(rsp->tag, 2u);
+  EXPECT_EQ(raw.payload()[0], 100u);  // old value
+
+  // Operand 500 updates memory.
+  const u64 bigger[2] = {500, 0};
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kFetchMax8, 0, 0x40,
+                                 3, 0, bigger, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(0).store.read_words(0x40, {&word, 1}));
+  EXPECT_EQ(word, 500u);
+  EXPECT_EQ(sim.stats(0).custom_ops, 2u);
+  EXPECT_EQ(sim.stats(0).atomics, 0u);  // counted separately
+}
+
+TEST(CustomCommands, SingleFlitReadStyleCommand) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(sim.register_custom_command(kPopcnt16, popcnt16()), Status::Ok);
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Wr16, 0x80, 1, 0,
+                               {0xFF, 0xF0F0}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  PacketBuffer pkt;
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kPopcnt16, 0, 0x80,
+                                 2, 0, {}, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  PacketBuffer raw;
+  auto rsp = await_response(sim, 0, 0, 200, &raw);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(raw.payload()[0], 16u);  // 8 + 8 set bits
+}
+
+TEST(CustomCommands, PostedCommandProducesNoResponse) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(sim.register_custom_command(kPostedFill, posted_fill64()),
+            Status::Ok);
+  PacketBuffer pkt;
+  const u64 operand[2] = {0xABABABABABABABABull, 0};
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kPostedFill, 0,
+                                 0x1000, 1, 0, operand, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  for (int i = 0; i < 30; ++i) sim.clock();
+  PacketBuffer out;
+  EXPECT_EQ(sim.recv(0, 0, out), Status::NoResponse);
+  EXPECT_EQ(sim.stats(0).custom_ops, 1u);
+  for (u64 off = 0; off < 64; off += 8) {
+    u64 word = 0;
+    ASSERT_TRUE(sim.device(0).store.read_words(0x1000 + off, {&word, 1}));
+    EXPECT_EQ(word, 0xABABABABABABABABull);
+  }
+}
+
+TEST(CustomCommands, RoutesAcrossChains) {
+  SimConfig sc;
+  sc.num_devices = 2;
+  sc.device = small_device();
+  std::string err;
+  Topology topo = make_chain(2, 4, 2, 1, &err);
+  ASSERT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  ASSERT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+  ASSERT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+
+  PacketBuffer pkt;
+  const u64 operand[2] = {42, 0};
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kFetchMax8,
+                                 /*cub=*/1, 0x40, 5, 0, operand, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  auto rsp = await_response(sim, 0, 0, 500);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->cub, 1u);
+  EXPECT_EQ(sim.stats(1).custom_ops, 1u);
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(1).store.read_words(0x40, {&word, 1}));
+  EXPECT_EQ(word, 42u);
+}
+
+TEST(CustomCommands, RegistrationRequiresQuiescence) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 1),
+            Status::Ok);
+  EXPECT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::InvalidConfig);  // packet in flight
+  (void)test::drain_all(sim);
+  EXPECT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+}
+
+TEST(CustomCommands, BankTimingAppliesToCustomOps) {
+  DeviceConfig dc = small_device();
+  dc.bank_busy_cycles = 12;
+  Simulator sim = test::make_simple_sim(dc);
+  ASSERT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+  // Two CMC ops on the same bank: the second waits the busy window.
+  PacketBuffer pkt;
+  const u64 operand[2] = {1, 0};
+  for (Tag t = 1; t <= 2; ++t) {
+    ASSERT_EQ(build_custom_request(sim.custom_commands(), kFetchMax8, 0,
+                                   0x40, t, 0, operand, pkt),
+              Status::Ok);
+    ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  }
+  const Cycle start = sim.now();
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  const Cycle first = sim.now() - start;
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  const Cycle second = sim.now() - start;
+  EXPECT_GE(second - first, 11u);
+}
+
+TEST(CustomCommands, SurvivesCheckpointWhenReRegistered) {
+  Simulator sim = test::make_simple_sim();
+  ASSERT_EQ(sim.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+  // Put a CMC request mid-flight, checkpoint, restore into a simulator
+  // with the same registration.
+  PacketBuffer pkt;
+  const u64 operand[2] = {9, 0};
+  ASSERT_EQ(build_custom_request(sim.custom_commands(), kFetchMax8, 0, 0x40,
+                                 7, 0, operand, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  sim.clock();
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+
+  Simulator restored;
+  // Registration must precede restore so in-flight CMC packets re-resolve.
+  // (register_custom_command requires an initialized sim, so bootstrap one
+  // with the same config first.)
+  ASSERT_EQ(restored.init_simple(test::small_device()), Status::Ok);
+  ASSERT_EQ(restored.register_custom_command(kFetchMax8, fetch_max8()),
+            Status::Ok);
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  const auto rsp = await_response(restored, 0, 0, 200);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->tag, 7u);
+  u64 word = 0;
+  ASSERT_TRUE(restored.device(0).store.read_words(0x40, {&word, 1}));
+  EXPECT_EQ(word, 9u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,113 @@
+// 8-link device specifics: 32 vaults, 8 quads, per-link locality, and the
+// larger register file.
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+DeviceConfig eight_link_device() {
+  DeviceConfig dc = test::small_device();
+  dc.num_links = 8;
+  dc.banks_per_vault = 16;
+  return dc;
+}
+
+TEST(EightLink, StructureScalesUp) {
+  Simulator sim = test::make_simple_sim(eight_link_device());
+  const Device& dev = sim.device(0);
+  EXPECT_EQ(dev.links.size(), 8u);
+  EXPECT_EQ(dev.vaults.size(), 32u);
+  EXPECT_EQ(dev.config().num_quads(), 8u);
+  EXPECT_EQ(dev.store.capacity(), u64{8} << 30);
+  for (const auto& vault : dev.vaults) {
+    EXPECT_EQ(vault.bank_busy_until.size(), 16u);
+  }
+}
+
+TEST(EightLink, AllEightLinksCarryTraffic) {
+  Simulator sim = test::make_simple_sim(eight_link_device());
+  for (u32 l = 0; l < 8; ++l) {
+    ASSERT_EQ(test::send_request(sim, 0, l, Command::Rd16, 64 * l,
+                                 static_cast<Tag>(l)),
+              Status::Ok);
+  }
+  for (u32 l = 0; l < 8; ++l) {
+    const auto rsp = test::await_response(sim, 0, l, 100);
+    ASSERT_TRUE(rsp.has_value()) << "link " << l;
+    EXPECT_EQ(rsp->tag, l);
+    EXPECT_EQ(rsp->slid, l);
+  }
+}
+
+TEST(EightLink, QuadLocalityCoversAllEightQuads) {
+  Simulator sim = test::make_simple_sim(eight_link_device());
+  const AddressMap& map = sim.device(0).address_map();
+  // For every quad, find an address in it and inject on the co-located
+  // link: no latency penalties anywhere.
+  for (u32 quad = 0; quad < 8; ++quad) {
+    PhysAddr addr = kNoCoord;
+    for (PhysAddr a = 0; a < (1u << 20); a += 16) {
+      if (map.vault_of(a) / 4 == quad) {
+        addr = a;
+        break;
+      }
+    }
+    ASSERT_NE(addr, kNoCoord) << "quad " << quad;
+    ASSERT_EQ(test::send_request(sim, 0, quad, Command::Rd16, addr,
+                                 static_cast<Tag>(quad)),
+              Status::Ok);
+    ASSERT_TRUE(test::await_response(sim, 0, quad, 100).has_value());
+  }
+  EXPECT_EQ(sim.stats(0).latency_penalties, 0u);
+}
+
+TEST(EightLink, ThirtyTwoVaultAddressingUsesBit33) {
+  // The 8 GB, 33-bit address space must decode and round-trip above 4 GB.
+  Simulator sim = test::make_simple_sim(eight_link_device());
+  const PhysAddr high = (u64{1} << 32) + 0x40;  // above the 4 GB line
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Wr16, high, 1, 0,
+                               {0x1234, 0}),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, high, 2),
+            Status::Ok);
+  PacketBuffer raw;
+  const auto rsp = test::await_response(sim, 0, 0, 100, &raw);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(raw.payload()[0], 0x1234u);
+}
+
+TEST(EightLink, VaultMaskHandlesAllThirtyTwoVaults) {
+  // Saturating traffic must reach vaults 16..31 (guards the 64-bit vault
+  // blocking mask in the crossbar).
+  DeviceConfig dc = eight_link_device();
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  Tag tag = 0;
+  PacketBuffer pkt;
+  u64 completed = 0;
+  const AddressMap& map = sim.device(0).address_map();
+  while (completed < 512) {
+    for (u32 l = 0; l < 8; ++l) {
+      (void)test::send_request(sim, 0, l, Command::Rd16,
+                               (u64{tag} * 16) % (1u << 20), tag);
+      tag = static_cast<Tag>((tag + 1) % 512);
+    }
+    for (u32 l = 0; l < 8; ++l) {
+      while (ok(sim.recv(0, l, pkt))) ++completed;
+    }
+    sim.clock();
+    ASSERT_LT(sim.now(), 10000u);
+  }
+  u32 vaults_hit = 0;
+  for (u32 v = 0; v < 32; ++v) {
+    if (sim.device(0).vaults[v].rqst.stats().total_pops > 0) ++vaults_hit;
+  }
+  (void)map;
+  EXPECT_EQ(vaults_hit, 32u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,196 @@
+// Injected link-error model ("error simulation", paper §IV requirement 5):
+// packets probabilistically die crossing crossbar links and surface as
+// in-band CRC_FAILURE error responses — no request is ever silently lost.
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::small_device;
+
+TEST(FaultInjection, ZeroRateInjectsNothing) {
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 0;
+  Simulator sim = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 32; ++t) {
+    ASSERT_EQ(test::send_request(sim, 0, t % 4, Command::Rd16, 64 * t, t),
+              Status::Ok);
+  }
+  const auto responses = test::drain_all(sim, 2000);
+  EXPECT_EQ(responses.size(), 32u);
+  for (const auto& r : responses) EXPECT_NE(r.cmd, Command::Error);
+  EXPECT_EQ(sim.stats(0).link_errors, 0u);
+}
+
+TEST(FaultInjection, FullRateKillsEveryPacket) {
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 1'000'000;  // certain death
+  Simulator sim = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 16; ++t) {
+    ASSERT_EQ(test::send_request(sim, 0, t % 4, Command::Rd16, 64 * t, t),
+              Status::Ok);
+  }
+  const auto responses = test::drain_all(sim, 2000);
+  ASSERT_EQ(responses.size(), 16u);  // every request still answers
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.cmd, Command::Error);
+    EXPECT_EQ(r.errstat, ErrStat::CrcFailure);
+  }
+  EXPECT_EQ(sim.stats(0).link_errors, 16u);
+  EXPECT_EQ(sim.stats(0).reads, 0u);  // nothing reached a bank
+}
+
+TEST(FaultInjection, PartialRateConservesRequests) {
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 100'000;  // ~10%
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 3000;
+  dcfg.max_cycles = 500000;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+
+  // Every request completes: either with data or with an error response.
+  EXPECT_EQ(r.completed, 3000u);
+  EXPECT_FALSE(r.hit_cycle_cap);
+  const DeviceStats s = sim.total_stats();
+  EXPECT_EQ(r.errors, s.link_errors);
+  EXPECT_EQ(s.retired() + s.link_errors, 3000u);
+  // The observed rate is in the right ballpark (binomial 3-sigma ~ 1.6%).
+  EXPECT_NEAR(static_cast<double>(r.errors) / 3000.0, 0.10, 0.025);
+}
+
+TEST(FaultInjection, DeterministicPerSeed) {
+  const auto run_errors = [](u64 seed) {
+    DeviceConfig dc = small_device();
+    dc.link_error_rate_ppm = 50'000;
+    dc.fault_seed = seed;
+    dc.model_data = false;
+    Simulator sim = test::make_simple_sim(dc);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 1000;
+    dcfg.max_cycles = 200000;
+    HostDriver driver(sim, gen, dcfg);
+    return driver.run().errors;
+  };
+  EXPECT_EQ(run_errors(1), run_errors(1));
+  // Different seeds should (overwhelmingly) fault different packets.
+  EXPECT_NE(run_errors(1), run_errors(0xABCDEF));
+}
+
+TEST(LinkRetry, RetryBudgetAbsorbsTransientErrors) {
+  // ~30% error rate with a healthy retry budget: every request should
+  // survive (P(4 consecutive corruptions) ~ 0.8%, and the budget renews
+  // per link crossing).
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 300'000;
+  dc.link_retry_limit = 8;
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 2000;
+  dcfg.max_cycles = 500000;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+  EXPECT_EQ(r.completed, 2000u);
+  EXPECT_EQ(r.errors, 0u);  // all errors absorbed by retries
+  const DeviceStats s = sim.total_stats();
+  EXPECT_GT(s.link_retries, 400u);  // ~30% of 2000 at minimum
+  EXPECT_EQ(s.link_errors, 0u);
+  EXPECT_EQ(s.retired(), 2000u);
+}
+
+TEST(LinkRetry, ExhaustedBudgetStillFails) {
+  // Certain corruption with one retry: every packet burns its retry and
+  // then dies.
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 1'000'000;
+  dc.link_retry_limit = 1;
+  Simulator sim = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 8; ++t) {
+    ASSERT_EQ(test::send_request(sim, 0, t % 4, Command::Rd16, 64 * t, t),
+              Status::Ok);
+  }
+  const auto responses = test::drain_all(sim, 2000);
+  ASSERT_EQ(responses.size(), 8u);
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.cmd, Command::Error);
+  }
+  EXPECT_EQ(sim.stats(0).link_retries, 8u);
+  EXPECT_EQ(sim.stats(0).link_errors, 8u);
+}
+
+TEST(LinkRetry, RetriesCostCycles) {
+  // At equal (survivable) error rates, a run with retries takes longer
+  // than an error-free run: replays consume link time.
+  const auto run_cycles = [](u32 rate_ppm) {
+    DeviceConfig dc = small_device();
+    dc.link_error_rate_ppm = rate_ppm;
+    dc.link_retry_limit = 16;
+    dc.xbar_flits_per_cycle = 2;  // make link time the bottleneck
+    dc.model_data = false;
+    Simulator sim = test::make_simple_sim(dc);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 2000;
+    dcfg.max_cycles = 500000;
+    HostDriver driver(sim, gen, dcfg);
+    const DriverResult r = driver.run();
+    EXPECT_EQ(r.completed, 2000u);
+    EXPECT_EQ(r.errors, 0u);
+    return r.cycles;
+  };
+  const Cycle clean = run_cycles(0);
+  const Cycle noisy = run_cycles(400'000);
+  EXPECT_GT(noisy, clean + clean / 4);  // >25% slower under 40% corruption
+}
+
+TEST(FaultInjection, ChainedLinksMultiplyExposure) {
+  // A request to a deep cube crosses more links, so per-request death
+  // probability grows with chain depth.
+  const auto error_fraction = [](u32 target_cub) {
+    SimConfig sc;
+    sc.num_devices = 4;
+    DeviceConfig dc = small_device();
+    dc.link_error_rate_ppm = 80'000;
+    dc.model_data = false;
+    sc.device = dc;
+    std::string err;
+    Topology topo = make_chain(4, 4, 2, 1, &err);
+    EXPECT_GT(topo.num_devices(), 0u) << err;
+    Simulator sim;
+    EXPECT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 2000;
+    dcfg.target_cub = target_cub;
+    dcfg.max_cycles = 1000000;
+    HostDriver driver(sim, gen, dcfg);
+    const DriverResult r = driver.run();
+    EXPECT_EQ(r.completed, 2000u);
+    return static_cast<double>(r.errors) / 2000.0;
+  };
+  const double near = error_fraction(0);
+  const double far = error_fraction(3);
+  EXPECT_GT(far, near * 1.5);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,215 @@
+// Memory operation semantics: every write size, read size, atomic and
+// bit-write command, posted and non-posted, against the backing store.
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::make_simple_sim;
+using test::send_request;
+
+class WriteSizes : public ::testing::TestWithParam<u32> {};
+
+TEST_P(WriteSizes, WriteThenReadBackEverySize) {
+  const u32 bytes = GetParam();
+  Simulator sim = make_simple_sim();
+  const Command wr = static_cast<Command>(
+      static_cast<u8>(Command::Wr16) + (bytes / 16 - 1));
+  const Command rd = static_cast<Command>(
+      static_cast<u8>(Command::Rd16) + (bytes / 16 - 1));
+
+  std::vector<u64> payload(bytes / 8);
+  for (usize i = 0; i < payload.size(); ++i) payload[i] = 0xC0DE0000 + i;
+  const PhysAddr addr = 0x4000;
+
+  ASSERT_EQ(send_request(sim, 0, 0, wr, addr, 1, 0, payload), Status::Ok);
+  auto wrsp = await_response(sim, 0, 0);
+  ASSERT_TRUE(wrsp.has_value());
+  EXPECT_EQ(wrsp->cmd, Command::WriteResponse);
+
+  ASSERT_EQ(send_request(sim, 0, 0, rd, addr, 2), Status::Ok);
+  PacketBuffer raw;
+  auto rrsp = await_response(sim, 0, 0, 200, &raw);
+  ASSERT_TRUE(rrsp.has_value());
+  EXPECT_EQ(rrsp->cmd, Command::ReadResponse);
+  ASSERT_EQ(raw.payload().size(), payload.size());
+  for (usize i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(raw.payload()[i], payload[i]) << "word " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, WriteSizes,
+                         ::testing::Values(16, 32, 48, 64, 80, 96, 112, 128),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+class PostedWriteSizes : public ::testing::TestWithParam<u32> {};
+
+TEST_P(PostedWriteSizes, PostedWriteLandsWithoutResponse) {
+  const u32 bytes = GetParam();
+  Simulator sim = make_simple_sim();
+  const Command pwr = static_cast<Command>(
+      static_cast<u8>(Command::PostedWr16) + (bytes / 16 - 1));
+  std::vector<u64> payload(bytes / 8, 0x55AA);
+  ASSERT_EQ(send_request(sim, 0, 0, pwr, 0x8000, 1, 0, payload), Status::Ok);
+  for (int i = 0; i < 20; ++i) sim.clock();
+  PacketBuffer pkt;
+  EXPECT_EQ(sim.recv(0, 0, pkt), Status::NoResponse);
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(0).store.read_words(0x8000, {&word, 1}));
+  EXPECT_EQ(word, 0x55AAu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PostedWriteSizes,
+                         ::testing::Values(16, 64, 128),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+TEST(Atomics, TwoAdd8AddsWordsIndependently) {
+  Simulator sim = make_simple_sim();
+  const PhysAddr addr = 0x100;
+  // Seed memory: two words near overflow to prove no cross-word carry.
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, addr, 1, 0,
+                         {0xFFFFFFFFFFFFFFFFull, 100}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::TwoAdd8, addr, 2, 0, {2, 5}),
+            Status::Ok);
+  auto rsp = await_response(sim, 0, 0);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->cmd, Command::WriteResponse);
+
+  u64 words[2];
+  ASSERT_TRUE(sim.device(0).store.read_words(addr, words));
+  EXPECT_EQ(words[0], 1u);    // wrapped, no carry out
+  EXPECT_EQ(words[1], 105u);  // untouched by word 0's overflow
+  EXPECT_EQ(sim.stats(0).atomics, 1u);
+}
+
+TEST(Atomics, Add16PropagatesCarry) {
+  Simulator sim = make_simple_sim();
+  const PhysAddr addr = 0x200;
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, addr, 1, 0,
+                         {0xFFFFFFFFFFFFFFFFull, 7}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Add16, addr, 2, 0, {1, 0}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  u64 words[2];
+  ASSERT_TRUE(sim.device(0).store.read_words(addr, words));
+  EXPECT_EQ(words[0], 0u);  // 0xFFFF.. + 1 wraps...
+  EXPECT_EQ(words[1], 8u);  // ...and carries into the high word
+}
+
+TEST(Atomics, BitWriteAppliesMask) {
+  Simulator sim = make_simple_sim();
+  const PhysAddr addr = 0x300;
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, addr, 1, 0,
+                         {0xAAAAAAAAAAAAAAAAull, 0}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  // data = all ones, mask = low 16 bits: only those bits may change.
+  ASSERT_EQ(send_request(sim, 0, 0, Command::BitWrite, addr, 2, 0,
+                         {0xFFFFFFFFFFFFFFFFull, 0xFFFFull}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(0).store.read_words(addr, {&word, 1}));
+  EXPECT_EQ(word, 0xAAAAAAAAAAAAFFFFull);
+}
+
+TEST(Atomics, PostedVariantsProduceNoResponse) {
+  Simulator sim = make_simple_sim();
+  ASSERT_EQ(send_request(sim, 0, 0, Command::PostedTwoAdd8, 0x400, 1, 0,
+                         {3, 4}),
+            Status::Ok);
+  ASSERT_EQ(send_request(sim, 0, 0, Command::PostedAdd16, 0x500, 2, 0,
+                         {10, 0}),
+            Status::Ok);
+  ASSERT_EQ(send_request(sim, 0, 0, Command::PostedBitWrite, 0x600, 3, 0,
+                         {0xFF, 0xFF}),
+            Status::Ok);
+  for (int i = 0; i < 30; ++i) sim.clock();
+  PacketBuffer pkt;
+  EXPECT_EQ(sim.recv(0, 0, pkt), Status::NoResponse);
+  EXPECT_EQ(sim.stats(0).atomics, 3u);
+  u64 word = 0;
+  ASSERT_TRUE(sim.device(0).store.read_words(0x400, {&word, 1}));
+  EXPECT_EQ(word, 3u);
+  ASSERT_TRUE(sim.device(0).store.read_words(0x500, {&word, 1}));
+  EXPECT_EQ(word, 10u);
+  ASSERT_TRUE(sim.device(0).store.read_words(0x600, {&word, 1}));
+  EXPECT_EQ(word, 0xFFu);
+}
+
+TEST(Atomics, RepeatedAddsAccumulate) {
+  Simulator sim = make_simple_sim();
+  const PhysAddr addr = 0x700;
+  for (Tag t = 1; t <= 10; ++t) {
+    ASSERT_EQ(send_request(sim, 0, 0, Command::TwoAdd8, addr, t, 0, {1, 2}),
+              Status::Ok);
+    ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  }
+  u64 words[2];
+  ASSERT_TRUE(sim.device(0).store.read_words(addr, words));
+  EXPECT_EQ(words[0], 10u);
+  EXPECT_EQ(words[1], 20u);
+}
+
+TEST(MemOps, ReadOfUnwrittenMemoryIsZero) {
+  Simulator sim = make_simple_sim();
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x9000, 1), Status::Ok);
+  PacketBuffer raw;
+  auto rsp = await_response(sim, 0, 0, 200, &raw);
+  ASSERT_TRUE(rsp.has_value());
+  ASSERT_EQ(raw.payload().size(), 4u);
+  for (const u64 w : raw.payload()) EXPECT_EQ(w, 0u);
+}
+
+TEST(MemOps, InterleavedWritesToDistinctVaultsAllLand) {
+  Simulator sim = make_simple_sim();
+  const AddressMap& map = sim.device(0).address_map();
+  std::vector<PhysAddr> addrs;
+  for (PhysAddr a = 0; addrs.size() < 16 && a < (1u << 20); a += 16) {
+    if (map.vault_of(a) == addrs.size()) addrs.push_back(a);
+  }
+  ASSERT_EQ(addrs.size(), 16u);
+  for (usize i = 0; i < addrs.size(); ++i) {
+    ASSERT_EQ(send_request(sim, 0, static_cast<u32>(i % 4), Command::Wr16,
+                           addrs[i], static_cast<Tag>(i), 0,
+                           {u64{0xBB00} + i, 0}),
+              Status::Ok);
+  }
+  const auto responses = test::drain_all(sim);
+  EXPECT_EQ(responses.size(), 16u);
+  for (usize i = 0; i < addrs.size(); ++i) {
+    u64 word = 0;
+    ASSERT_TRUE(sim.device(0).store.read_words(addrs[i], {&word, 1}));
+    EXPECT_EQ(word, 0xBB00 + i);
+  }
+}
+
+TEST(MemOps, WriteAtCapacityBoundarySucceedsJustInside) {
+  Simulator sim = make_simple_sim();
+  const u64 cap = sim.device(0).store.capacity();
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, cap - 16, 1, 0, {1, 2}),
+            Status::Ok);
+  auto rsp = await_response(sim, 0, 0);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->cmd, Command::WriteResponse);
+  EXPECT_EQ(rsp->errstat, ErrStat::Ok);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,159 @@
+// In-band (MODE_READ / MODE_WRITE) and side-band (JTAG) register access
+// paths, and their interaction with the clock domains (paper §V.D).
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::make_simple_sim;
+using test::send_request;
+using test::small_device;
+
+std::optional<u64> mode_read(Simulator& sim, u32 dev_link, u32 cub,
+                             u32 phys_reg) {
+  PacketBuffer pkt;
+  EXPECT_EQ(build_moderequest(cub, phys_reg, 1, /*write=*/false, 0, dev_link,
+                              pkt),
+            Status::Ok);
+  EXPECT_EQ(sim.send(0, dev_link, pkt), Status::Ok);
+  PacketBuffer raw;
+  auto rsp = await_response(sim, 0, dev_link, 500, &raw);
+  if (!rsp || rsp->cmd != Command::ModeReadResponse) return std::nullopt;
+  return raw.payload()[0];
+}
+
+Status mode_write(Simulator& sim, u32 dev_link, u32 cub, u32 phys_reg,
+                  u64 value) {
+  PacketBuffer pkt;
+  EXPECT_EQ(build_moderequest(cub, phys_reg, 2, /*write=*/true, value,
+                              dev_link, pkt),
+            Status::Ok);
+  EXPECT_EQ(sim.send(0, dev_link, pkt), Status::Ok);
+  auto rsp = await_response(sim, 0, dev_link, 500);
+  if (!rsp) return Status::Internal;
+  return rsp->cmd == Command::ModeWriteResponse ? Status::Ok
+                                                : Status::NoSuchRegister;
+}
+
+TEST(ModeRegisters, InBandReadReturnsRegisterValue) {
+  Simulator sim = make_simple_sim();
+  const auto rvid = mode_read(sim, 0, 0, phys_from_reg(Reg::Rvid));
+  ASSERT_TRUE(rvid.has_value());
+  u64 jtag_value = 0;
+  ASSERT_EQ(sim.jtag_reg_read(0, phys_from_reg(Reg::Rvid), jtag_value),
+            Status::Ok);
+  EXPECT_EQ(*rvid, jtag_value);
+}
+
+TEST(ModeRegisters, InBandWriteVisibleToJtag) {
+  Simulator sim = make_simple_sim();
+  ASSERT_EQ(mode_write(sim, 0, 0, phys_from_reg(Reg::Gc), 0x1234), Status::Ok);
+  u64 v = 0;
+  ASSERT_EQ(sim.jtag_reg_read(0, phys_from_reg(Reg::Gc), v), Status::Ok);
+  EXPECT_EQ(v, 0x1234u);
+}
+
+TEST(ModeRegisters, JtagWriteVisibleToInBandRead) {
+  Simulator sim = make_simple_sim();
+  ASSERT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Ac), 0x77), Status::Ok);
+  const auto v = mode_read(sim, 0, 0, phys_from_reg(Reg::Ac));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0x77u);
+}
+
+TEST(ModeRegisters, JtagIsOutsideClockDomains) {
+  // JTAG reads/writes work without a single clock() call (paper: "this
+  // interface exists external to the normal HMC-Sim notion of clock
+  // domains").
+  Simulator sim = make_simple_sim();
+  ASSERT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Gc), 5), Status::Ok);
+  u64 v = 0;
+  ASSERT_EQ(sim.jtag_reg_read(0, phys_from_reg(Reg::Gc), v), Status::Ok);
+  EXPECT_EQ(v, 5u);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(ModeRegisters, InBandRequiresClocking) {
+  Simulator sim = make_simple_sim();
+  PacketBuffer pkt;
+  ASSERT_EQ(build_moderequest(0, phys_from_reg(Reg::Gc), 1, false, 0, 0, pkt),
+            Status::Ok);
+  ASSERT_EQ(sim.send(0, 0, pkt), Status::Ok);
+  PacketBuffer out;
+  EXPECT_EQ(sim.recv(0, 0, out), Status::NoResponse);  // no clock yet
+}
+
+TEST(ModeRegisters, JtagRejectsReadOnlyWrites) {
+  Simulator sim = make_simple_sim();
+  EXPECT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Feat), 1),
+            Status::ReadOnlyRegister);
+  EXPECT_EQ(sim.jtag_reg_write(0, 0xABCDEF, 1), Status::NoSuchRegister);
+  EXPECT_EQ(sim.jtag_reg_write(3, phys_from_reg(Reg::Gc), 1),
+            Status::InvalidArgument);  // no device 3
+}
+
+TEST(ModeRegisters, RwsSelfClearsAfterInBandWrite) {
+  Simulator sim = make_simple_sim();
+  // The in-band write lands during a clocked stage; by the time its
+  // response reaches the host, at least one stage-6 edge has passed, so the
+  // RWS register reads back zero.
+  ASSERT_EQ(mode_write(sim, 0, 0, phys_from_reg(Reg::Edr1), 0xFF),
+            Status::Ok);
+  u64 v = 1;
+  ASSERT_EQ(sim.jtag_reg_read(0, phys_from_reg(Reg::Edr1), v), Status::Ok);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(ModeRegisters, ModeRequestsToChainedDevices) {
+  // MODE packets route to the destination cube like any other packet type
+  // (paper §V.D: "these packet types will route to the destination cube ID
+  // as would any other packet type").
+  SimConfig sc;
+  sc.num_devices = 2;
+  sc.device = small_device();
+  std::string err;
+  Topology topo = make_chain(2, 4, 2, 1, &err);
+  ASSERT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  ASSERT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+
+  // Distinguish the two devices through their GC registers.
+  ASSERT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Gc), 0xA0), Status::Ok);
+  ASSERT_EQ(sim.jtag_reg_write(1, phys_from_reg(Reg::Gc), 0xA1), Status::Ok);
+
+  const auto v0 = mode_read(sim, 0, /*cub=*/0, phys_from_reg(Reg::Gc));
+  const auto v1 = mode_read(sim, 0, /*cub=*/1, phys_from_reg(Reg::Gc));
+  ASSERT_TRUE(v0.has_value());
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v0, 0xA0u);
+  EXPECT_EQ(*v1, 0xA1u);
+  EXPECT_EQ(sim.stats(1).mode_ops, 1u);
+}
+
+TEST(ModeRegisters, ModeOpsDoNotTouchVaultsOrBanks) {
+  Simulator sim = make_simple_sim();
+  ASSERT_TRUE(mode_read(sim, 0, 0, phys_from_reg(Reg::Rvid)).has_value());
+  EXPECT_EQ(sim.stats(0).reads, 0u);
+  EXPECT_EQ(sim.stats(0).writes, 0u);
+  EXPECT_EQ(sim.stats(0).mode_ops, 1u);
+  for (const auto& vault : sim.device(0).vaults) {
+    EXPECT_EQ(vault.rqst.stats().total_pushes, 0u);
+  }
+}
+
+TEST(ModeRegisters, PerLinkRegistersMatchLinkCount) {
+  DeviceConfig dc = small_device();
+  dc.num_links = 8;
+  Simulator sim = make_simple_sim(dc);
+  ASSERT_EQ(sim.jtag_reg_write(0, phys_from_reg(Reg::Lc7), 9), Status::Ok);
+
+  Simulator sim4 = make_simple_sim();  // 4-link part
+  EXPECT_EQ(sim4.jtag_reg_write(0, phys_from_reg(Reg::Lc7), 9),
+            Status::NoSuchRegister);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,176 @@
+// Open-page (row-buffer) policy: hit/miss timing, refresh interaction, and
+// the stream-vs-random behavioral split.
+#include <gtest/gtest.h>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::small_device;
+
+DeviceConfig open_page_device() {
+  DeviceConfig dc = small_device();
+  dc.row_policy = RowPolicy::OpenPage;
+  dc.row_hit_cycles = 3;
+  dc.row_miss_cycles = 20;
+  return dc;
+}
+
+TEST(RowPolicy, ClosedPageCountsNoRowEvents) {
+  Simulator sim = test::make_simple_sim();
+  for (Tag t = 0; t < 8; ++t) {
+    ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 16 * t, t),
+              Status::Ok);
+  }
+  (void)test::drain_all(sim);
+  EXPECT_EQ(sim.total_stats().row_hits, 0u);
+  EXPECT_EQ(sim.total_stats().row_misses, 0u);
+}
+
+TEST(RowPolicy, FirstAccessMissesThenSameRowHits) {
+  Simulator sim = test::make_simple_sim(open_page_device());
+  // Two reads to the same 16-byte block: same bank, same row.
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 2),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  EXPECT_EQ(sim.stats(0).row_misses, 1u);
+  EXPECT_EQ(sim.stats(0).row_hits, 1u);
+}
+
+TEST(RowPolicy, DifferentRowsSameBankMissTwice) {
+  Simulator sim = test::make_simple_sim(open_page_device());
+  const AddressMap& map = sim.device(0).address_map();
+  // Two addresses in the same vault+bank but different rows.
+  PhysAddr first = 0x40;
+  PhysAddr second = 0;
+  for (PhysAddr a = first + 16; a < (u64{1} << 31); a += 16) {
+    if (map.vault_of(a) == map.vault_of(first) &&
+        map.bank_of(a) == map.bank_of(first) &&
+        map.row_of(a) != map.row_of(first)) {
+      second = a;
+      break;
+    }
+  }
+  ASSERT_NE(second, 0u);
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, first, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, second, 2),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  EXPECT_EQ(sim.stats(0).row_misses, 2u);
+  EXPECT_EQ(sim.stats(0).row_hits, 0u);
+}
+
+TEST(RowPolicy, HitTimingIsFasterThanMissTiming) {
+  // A chain of same-bank accesses serializes on the bank: each gap equals
+  // the PREVIOUS access's busy time.  Four same-row reads therefore finish
+  // in ~(miss + 3*hit) cycles; four alternating-row reads take ~4*miss.
+  const auto chain_cycles = [](bool same_row) {
+    Simulator sim = test::make_simple_sim(open_page_device());
+    const AddressMap& map = sim.device(0).address_map();
+    PhysAddr other_row = 0;
+    for (PhysAddr a = 0x50; a < (u64{1} << 31); a += 16) {
+      if (map.vault_of(a) == map.vault_of(0x40) &&
+          map.bank_of(a) == map.bank_of(0x40) &&
+          map.row_of(a) != map.row_of(0x40)) {
+        other_row = a;
+        break;
+      }
+    }
+    EXPECT_NE(other_row, 0u);
+    for (Tag t = 0; t < 4; ++t) {
+      const PhysAddr addr =
+          same_row ? PhysAddr{0x40} : (t % 2 == 0 ? 0x40 : other_row);
+      EXPECT_EQ(test::send_request(sim, 0, 0, Command::Rd16, addr, t),
+                Status::Ok);
+    }
+    const Cycle start = sim.now();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(test::await_response(sim, 0, 0, 500).has_value());
+    }
+    return sim.now() - start;
+  };
+  const Cycle hits = chain_cycles(true);
+  const Cycle misses = chain_cycles(false);
+  // Same-row chain: 1 miss + 3 hits of bank time (responses at cycles
+  // 4/24/27/30); alternating rows re-open every access (4/24/44/64).
+  EXPECT_EQ(hits, 30u);
+  EXPECT_EQ(misses, 64u);
+}
+
+TEST(RowPolicy, RefreshClosesOpenRows) {
+  DeviceConfig dc = open_page_device();
+  dc.refresh_interval_cycles = 40;
+  dc.refresh_busy_cycles = 2;
+  Simulator sim = test::make_simple_sim(dc);
+  // Open a row in vault 0's bank, then wait past vault 0's next refresh
+  // slot; the follow-up access to the SAME row must miss again.
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  EXPECT_EQ(sim.stats(0).row_misses, 1u);
+  while (sim.stats(0).refreshes < 32) sim.clock();  // several tREFI passes
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40, 2),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  EXPECT_EQ(sim.stats(0).row_misses, 2u);
+  EXPECT_EQ(sim.stats(0).row_hits, 0u);
+}
+
+TEST(RowPolicy, StreamsHitAndRandomMisses) {
+  const auto hit_rate = [](bool sequential) {
+    DeviceConfig dc = open_page_device();
+    dc.model_data = false;
+    Simulator sim = test::make_simple_sim(dc);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    gc.request_bytes = 64;
+    DriverConfig dcfg;
+    dcfg.total_requests = 4000;
+    dcfg.max_cycles = 500000;
+    DriverResult r;
+    if (sequential) {
+      StreamGenerator gen(gc);
+      r = HostDriver(sim, gen, dcfg).run();
+    } else {
+      RandomAccessGenerator gen(gc);
+      r = HostDriver(sim, gen, dcfg).run();
+    }
+    EXPECT_EQ(r.completed, 4000u);
+    const DeviceStats s = sim.total_stats();
+    return static_cast<double>(s.row_hits) /
+           static_cast<double>(s.row_hits + s.row_misses);
+  };
+  const double stream_hits = hit_rate(true);
+  const double random_hits = hit_rate(false);
+  // Sequential blocks revisit each row many times before moving on; random
+  // addresses over 2 GB essentially never hit.
+  EXPECT_GT(stream_hits, 0.5);
+  EXPECT_LT(random_hits, 0.1);
+}
+
+TEST(RowPolicy, ConservationUnderOpenPage) {
+  DeviceConfig dc = open_page_device();
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 3000;
+  dcfg.max_cycles = 500000;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+  EXPECT_EQ(r.completed, 3000u);
+  EXPECT_EQ(sim.total_stats().row_hits + sim.total_stats().row_misses,
+            3000u);
+}
+
+}  // namespace
+}  // namespace hmcsim

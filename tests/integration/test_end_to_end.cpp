@@ -1,0 +1,242 @@
+// End-to-end integration: the paper's workloads at reduced scale, ordering
+// guarantees, and multi-device topologies under load.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "tests/core/helpers.hpp"
+#include "trace/series.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::send_request;
+using test::small_device;
+
+TEST(EndToEnd, SameLinkSameBankStreamStaysOrdered) {
+  // "All reordering points ... must maintain the order of a stream of
+  // packets from a specific link to a specific bank within a vault"
+  // (§III.C).  Five writes to one address from one link, then a read: the
+  // read must observe the last write, and the write responses must come
+  // back in issue order.
+  Simulator sim = test::make_simple_sim();
+  for (Tag t = 1; t <= 5; ++t) {
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x40, t, 0,
+                           {u64{t}, 0}),
+              Status::Ok);
+  }
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd16, 0x40, 6), Status::Ok);
+
+  std::vector<Tag> order;
+  PacketBuffer raw;
+  for (int guard = 0; guard < 10 && order.size() < 6; ++guard) {
+    auto rsp = await_response(sim, 0, 0, 500, &raw);
+    ASSERT_TRUE(rsp.has_value());
+    order.push_back(rsp->tag);
+    if (rsp->cmd == Command::ReadResponse) {
+      EXPECT_EQ(raw.payload()[0], 5u);  // the LAST write won
+    }
+  }
+  ASSERT_EQ(order.size(), 6u);
+  for (Tag t = 0; t < 6; ++t) EXPECT_EQ(order[t], t + 1);
+}
+
+TEST(EndToEnd, PostedWriteThenReadSameBankSeesTheData) {
+  // A posted write followed by a read of the same address from the same
+  // link: the §III.C stream rule makes the write retire first, so the read
+  // must observe it even though the write never acknowledges.
+  Simulator sim = test::make_simple_sim();
+  PacketBuffer raw;
+  for (int round = 0; round < 16; ++round) {
+    const PhysAddr addr = 0x4000 + 16 * static_cast<PhysAddr>(round);
+    ASSERT_EQ(send_request(sim, 0, 1, Command::PostedWr16, addr,
+                           static_cast<Tag>(round), 0,
+                           {u64{0x9000} + round, 0}),
+              Status::Ok);
+    // Back-to-back, same cycle, no drain between: the read must still see
+    // the posted data because the stream stays ordered.
+    ASSERT_EQ(send_request(sim, 0, 1, Command::Rd16, addr,
+                           static_cast<Tag>(100 + round)),
+              Status::Ok);
+    auto rsp = await_response(sim, 0, 1, 500, &raw);
+    ASSERT_TRUE(rsp.has_value());
+    ASSERT_EQ(rsp->cmd, Command::ReadResponse);
+    EXPECT_EQ(rsp->tag, 100 + round);
+    EXPECT_EQ(raw.payload()[0], u64{0x9000} + round) << "round " << round;
+  }
+}
+
+TEST(EndToEnd, RandomAccessHarnessConservation) {
+  // Paper §VI.A harness at small scale: every request injected must come
+  // back as exactly one response; reads+writes retired == requests.
+  for (const bool eight_link : {false, true}) {
+    DeviceConfig dc = small_device();
+    if (eight_link) dc.num_links = 8;
+    Simulator sim = test::make_simple_sim(dc);
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 3000;
+    HostDriver driver(sim, gen, dcfg);
+    const DriverResult r = driver.run();
+    EXPECT_EQ(r.sent, 3000u);
+    EXPECT_EQ(r.completed, 3000u);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(sim.total_stats().retired(), 3000u);
+    EXPECT_EQ(sim.total_stats().responses, 3000u);
+    EXPECT_TRUE(sim.quiescent());
+  }
+}
+
+TEST(EndToEnd, Table1ShapeMoreBanksAndLinksAreFaster) {
+  // The Table I result at reduced scale: 16-bank devices finish the same
+  // request count in fewer cycles than 8-bank devices; 8-link devices beat
+  // 4-link devices.
+  const auto run_cycles = [](DeviceConfig dc) {
+    dc.model_data = false;
+    Simulator sim;
+    std::string diag;
+    EXPECT_EQ(sim.init_simple(dc, &diag), Status::Ok) << diag;
+    GeneratorConfig gc;
+    gc.capacity_bytes = dc.derived_capacity();
+    RandomAccessGenerator gen(gc);
+    DriverConfig dcfg;
+    dcfg.total_requests = 1 << 14;
+    HostDriver driver(sim, gen, dcfg);
+    return driver.run().cycles;
+  };
+  const Cycle a = run_cycles(table1_config_4link_8bank());
+  const Cycle b = run_cycles(table1_config_4link_16bank());
+  const Cycle c = run_cycles(table1_config_8link_8bank());
+  const Cycle d = run_cycles(table1_config_8link_16bank());
+
+  EXPECT_LT(b, a);  // more banks help at 4 links
+  EXPECT_LT(d, c);  // more banks help at 8 links
+  EXPECT_LT(c, a);  // more links help at 8 banks
+  EXPECT_LT(d, b);  // more links help at 16 banks
+  // Speedup factors in the paper's ballpark (>= 1.3x each axis).
+  EXPECT_GT(static_cast<double>(a) / b, 1.3);
+  EXPECT_GT(static_cast<double>(a) / c, 1.5);
+}
+
+TEST(EndToEnd, Fig5SeriesCapturesContention) {
+  // Run the harness with tracing enabled and verify the Figure 5 series
+  // contains the five plotted quantities.
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.model_data = false;
+  Simulator sim;
+  ASSERT_EQ(sim.init_simple(dc), Status::Ok);
+  auto series = std::make_shared<VaultSeriesSink>(dc.num_vaults(), 64);
+  sim.tracer().set_level(TraceLevel::Events);
+  sim.tracer().add_sink(series);
+
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 1 << 13;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+
+  EXPECT_EQ(series->total_reads() + series->total_writes(), r.completed);
+  EXPECT_GT(series->total_conflicts(), 0u);
+  EXPECT_GT(series->total_latency_penalties(), 0u);
+  // Trace counters agree with the always-on stats.
+  const DeviceStats s = sim.total_stats();
+  EXPECT_EQ(series->total_reads(), s.reads);
+  EXPECT_EQ(series->total_writes(), s.writes);
+  EXPECT_EQ(series->total_conflicts(), s.bank_conflicts);
+  EXPECT_EQ(series->total_xbar_stalls(), s.xbar_rqst_stalls);
+  EXPECT_EQ(series->total_latency_penalties(), s.latency_penalties);
+
+  // The summary is consistent with the series.
+  const Fig5Summary summary = summarize_series(*series);
+  EXPECT_EQ(summary.total_reads, s.reads);
+  EXPECT_GT(summary.cycles, 0u);
+}
+
+TEST(EndToEnd, TorusUnderLoadCompletesEverything) {
+  SimConfig sc;
+  sc.num_devices = 6;
+  DeviceConfig dc = small_device();
+  dc.num_links = 8;
+  sc.device = dc;
+  std::string err;
+  Topology topo = make_torus2d(2, 3, 8, /*host_links=*/2, &err);
+  ASSERT_GT(topo.num_devices(), 0u) << err;
+  Simulator sim;
+  ASSERT_EQ(sim.init(sc, std::move(topo)), Status::Ok);
+
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 2000;
+  dcfg.targets = TargetPolicy::RoundRobinCubes;
+  dcfg.max_cycles = 200000;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+  EXPECT_EQ(r.completed, 2000u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_FALSE(r.hit_cycle_cap);
+  for (u32 d = 0; d < 6; ++d) {
+    EXPECT_GT(sim.stats(d).retired(), 0u) << "device " << d;
+  }
+}
+
+TEST(EndToEnd, TextTraceRoundTripThroughRealRun) {
+  DeviceConfig dc = small_device();
+  Simulator sim = test::make_simple_sim(dc);
+  std::ostringstream trace_text;
+  sim.tracer().set_level(TraceLevel::SubCycle);
+  sim.tracer().add_sink(std::make_shared<TextSink>(trace_text));
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Wr16, 0x40, 1, 0, {7, 0}),
+            Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  sim.tracer().flush();
+  const std::string text = trace_text.str();
+  EXPECT_NE(text.find("SEND"), std::string::npos);
+  EXPECT_NE(text.find("WR_REQUEST"), std::string::npos);
+  EXPECT_NE(text.find("RESPONSE"), std::string::npos);
+  EXPECT_NE(text.find("RECV"), std::string::npos);
+}
+
+TEST(EndToEnd, MixedCommandSoup) {
+  // Throw every request class at the device at once and verify exact
+  // response accounting.
+  Simulator sim = test::make_simple_sim();
+  u64 expect_responses = 0;
+  Tag tag = 0;
+  const std::vector<Command> soup = {
+      Command::Rd16,    Command::Wr32,        Command::PostedWr16,
+      Command::TwoAdd8, Command::Add16,       Command::BitWrite,
+      Command::Rd128,   Command::PostedAdd16, Command::Wr128,
+      Command::Rd64,    Command::PostedWr128, Command::PostedBitWrite};
+  for (int round = 0; round < 8; ++round) {
+    for (const Command cmd : soup) {
+      const Status s = send_request(
+          sim, 0, static_cast<u32>(tag % 4), cmd,
+          (u64{tag} * 256) % (1 << 22), tag, 0,
+          std::vector<u64>(request_data_bytes(cmd) / 8, tag));
+      if (s == Status::Stalled) {
+        sim.clock();
+        continue;
+      }
+      ASSERT_EQ(s, Status::Ok);
+      if (!is_posted(cmd)) ++expect_responses;
+      ++tag;
+    }
+  }
+  const auto responses = test::drain_all(sim, 5000);
+  EXPECT_EQ(responses.size(), expect_responses);
+  for (const auto& r : responses) {
+    EXPECT_NE(r.cmd, Command::Error);
+  }
+  EXPECT_TRUE(sim.quiescent());
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,162 @@
+// Weak-ordering property verification via the trace stream.
+//
+// The spec's one hard ordering rule (§III.C): every reordering point must
+// preserve the order of a stream of packets from a specific link to a
+// specific bank within a vault.  These tests reconstruct per-(host link,
+// vault, bank) retirement sequences from stage-4 trace records and verify
+// they match injection order under randomized saturating traffic — for
+// both vault schedulers, with multipath trunks, and under fault injection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "tests/core/helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::small_device;
+
+using StreamKey = std::tuple<u32, u32, u32>;  // (host link, vault, bank)
+
+/// Captures only stage-4 retirement records (the unbounded MemorySink would
+/// also retain millions of per-cycle conflict recognitions).
+class RetireSink final : public TraceSink {
+ public:
+  void record(const TraceRecord& rec) override {
+    if (rec.event == TraceEvent::ReadRequest ||
+        rec.event == TraceEvent::WriteRequest) {
+      records_.push_back(rec);
+    }
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Drive `total` uniquely-tagged requests (tags increase in send order per
+/// link) and return, per stream, the retired tag sequence.
+std::map<StreamKey, std::vector<Tag>> run_and_collect(DeviceConfig dc,
+                                                      u64 total,
+                                                      u64 seed) {
+  dc.model_data = false;
+  Simulator sim = test::make_simple_sim(dc);
+  auto sink = std::make_shared<RetireSink>();
+  sim.tracer().set_level(TraceLevel::Events);
+  sim.tracer().add_sink(sink);
+
+  // Per-link monotone tag counters: tag order == send order per link.
+  std::array<Tag, 8> next_tag{};
+  std::map<StreamKey, std::vector<Tag>> sent;
+  SplitMix64 rng(seed);
+  const AddressMap& map = sim.device(0).address_map();
+
+  u64 issued = 0, retired_target = total;
+  PacketBuffer pkt;
+  while (issued < total) {
+    for (u32 l = 0; l < dc.num_links && issued < total; ++l) {
+      if (next_tag[l] >= 500) continue;  // stay within the tag space
+      const PhysAddr addr =
+          rng.next_below(dc.derived_capacity() / 64) * 64;
+      const Tag tag = next_tag[l];
+      if (!ok(build_memrequest(0, addr, tag, Command::Rd16, l, {}, pkt))) {
+        continue;
+      }
+      if (sim.send(0, l, pkt) != Status::Ok) continue;
+      ++next_tag[l];
+      ++issued;
+      sent[{l, map.vault_of(addr), map.bank_of(addr)}].push_back(tag);
+    }
+    // Keep the response path drained so the pipeline never wedges.
+    PacketBuffer out;
+    for (u32 l = 0; l < dc.num_links; ++l) {
+      while (ok(sim.recv(0, l, out))) {
+      }
+    }
+    sim.clock();
+  }
+  // Drain.
+  for (int guard = 0; guard < 5000 && !sim.quiescent(); ++guard) {
+    PacketBuffer out;
+    for (u32 l = 0; l < dc.num_links; ++l) {
+      while (ok(sim.recv(0, l, out))) {
+      }
+    }
+    sim.clock();
+  }
+  EXPECT_TRUE(sim.quiescent());
+
+  // Reconstruct retirement order per stream from the stage-4 records.
+  std::map<StreamKey, std::vector<Tag>> retired;
+  for (const TraceRecord& rec : sink->records()) {
+    if (rec.event != TraceEvent::ReadRequest &&
+        rec.event != TraceEvent::WriteRequest) {
+      continue;
+    }
+    retired[{rec.link, rec.vault, rec.bank}].push_back(rec.tag);
+  }
+  (void)retired_target;
+
+  // Sanity: everything sent must have retired.
+  u64 sent_count = 0, retired_count = 0;
+  for (const auto& [key, tags] : sent) sent_count += tags.size();
+  for (const auto& [key, tags] : retired) retired_count += tags.size();
+  EXPECT_EQ(sent_count, retired_count);
+  return retired;
+}
+
+void expect_streams_ordered(
+    const std::map<StreamKey, std::vector<Tag>>& retired) {
+  usize multi_entry_streams = 0;
+  for (const auto& [key, tags] : retired) {
+    if (tags.size() > 1) ++multi_entry_streams;
+    for (usize i = 1; i < tags.size(); ++i) {
+      ASSERT_LT(tags[i - 1], tags[i])
+          << "stream (link " << std::get<0>(key) << ", vault "
+          << std::get<1>(key) << ", bank " << std::get<2>(key)
+          << ") retired out of order at position " << i;
+    }
+  }
+  // The property is vacuous unless some streams actually carried multiple
+  // packets.
+  EXPECT_GT(multi_entry_streams, 10u);
+}
+
+TEST(WeakOrdering, BankReadySchedulerPreservesStreams) {
+  expect_streams_ordered(run_and_collect(small_device(), 1500, 1));
+}
+
+TEST(WeakOrdering, StrictFifoPreservesStreams) {
+  DeviceConfig dc = small_device();
+  dc.vault_schedule = VaultSchedule::StrictFifo;
+  expect_streams_ordered(run_and_collect(dc, 1500, 2));
+}
+
+TEST(WeakOrdering, HoldsUnderDeepQueuesAndSlowBanks) {
+  DeviceConfig dc = small_device();
+  dc.vault_depth = 32;
+  dc.xbar_depth = 64;
+  dc.bank_busy_cycles = 9;
+  expect_streams_ordered(run_and_collect(dc, 2000, 3));
+}
+
+TEST(WeakOrdering, HoldsUnderLinkRetries) {
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 200'000;
+  dc.link_retry_limit = 10;  // survivable: replays must not reorder
+  expect_streams_ordered(run_and_collect(dc, 1500, 4));
+}
+
+TEST(WeakOrdering, HoldsOnEightLinkParts) {
+  DeviceConfig dc = small_device();
+  dc.num_links = 8;
+  dc.banks_per_vault = 16;
+  expect_streams_ordered(run_and_collect(dc, 2500, 5));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,246 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/limits.hpp"
+#include "common/random.hpp"
+
+namespace hmcsim {
+namespace {
+
+Geometry geom_4link_8bank() { return Geometry{16, 8, 8, spec::kBankBytes}; }
+Geometry geom_8link_16bank() { return Geometry{32, 16, 8, spec::kBankBytes}; }
+
+TEST(Geometry, CapacityMatchesPaperConfigs) {
+  EXPECT_EQ(geom_4link_8bank().capacity_bytes(), u64{2} << 30);   // 2 GB
+  EXPECT_EQ(geom_8link_16bank().capacity_bytes(), u64{8} << 30);  // 8 GB
+  EXPECT_EQ((Geometry{16, 16, 8, spec::kBankBytes}).capacity_bytes(),
+            u64{4} << 30);
+  EXPECT_EQ((Geometry{32, 8, 8, spec::kBankBytes}).capacity_bytes(),
+            u64{4} << 30);
+}
+
+TEST(Geometry, AddrBits) {
+  EXPECT_EQ(geom_4link_8bank().addr_bits(), 31u);
+  EXPECT_EQ(geom_8link_16bank().addr_bits(), 33u);
+}
+
+TEST(AddressMap, DefaultConstructedIsInvalid) {
+  AddressMap map;
+  EXPECT_FALSE(map.valid());
+  DecodedAddr d;
+  EXPECT_EQ(map.decode(0, d), Status::InvalidConfig);
+}
+
+TEST(AddressMap, LowInterleaveIsValidForAllPaperConfigs) {
+  for (const auto& g : {geom_4link_8bank(), geom_8link_16bank(),
+                        Geometry{16, 16, 8, spec::kBankBytes},
+                        Geometry{32, 8, 8, spec::kBankBytes}}) {
+    for (const u64 block : {32u, 64u, 128u, 256u}) {
+      const AddressMap map = AddressMap::low_interleave(g, block);
+      EXPECT_TRUE(map.valid()) << map.error();
+      EXPECT_EQ(map.max_block_bytes(), block);
+    }
+  }
+}
+
+TEST(AddressMap, LowInterleaveVaultBitsAreLowest) {
+  // Sequential block-sized addresses must first interleave across vaults,
+  // then across banks within a vault, to avoid bank conflicts (§III.B).
+  const AddressMap map = AddressMap::low_interleave(geom_4link_8bank(), 64);
+  for (u64 i = 0; i < 16; ++i) {
+    EXPECT_EQ(map.vault_of(i * 64), i) << "block " << i;
+    EXPECT_EQ(map.bank_of(i * 64), 0u);
+  }
+  // After all 16 vaults, the bank increments.
+  EXPECT_EQ(map.vault_of(16 * 64), 0u);
+  EXPECT_EQ(map.bank_of(16 * 64), 1u);
+  EXPECT_EQ(map.bank_of(16 * 64 * 8), 0u);  // banks wrap after 8
+}
+
+TEST(AddressMap, BankFirstBankBitsAreLowest) {
+  const AddressMap map = AddressMap::bank_first(geom_4link_8bank(), 64);
+  ASSERT_TRUE(map.valid());
+  for (u64 i = 0; i < 8; ++i) {
+    EXPECT_EQ(map.bank_of(i * 64), i);
+    EXPECT_EQ(map.vault_of(i * 64), 0u);
+  }
+  EXPECT_EQ(map.vault_of(8 * 64), 1u);
+}
+
+TEST(AddressMap, LinearKeepsContiguousRegionsInOneBank) {
+  const AddressMap map = AddressMap::linear(geom_4link_8bank(), 64);
+  ASSERT_TRUE(map.valid());
+  // A multi-megabyte contiguous region stays in vault 0 / bank 0.
+  for (u64 addr = 0; addr < (u64{1} << 20); addr += 4096) {
+    EXPECT_EQ(map.vault_of(addr), 0u);
+    EXPECT_EQ(map.bank_of(addr), 0u);
+  }
+}
+
+TEST(AddressMap, DecodeRejectsOutOfRange) {
+  const AddressMap map = AddressMap::low_interleave(geom_4link_8bank(), 64);
+  DecodedAddr d;
+  EXPECT_EQ(map.decode(map.geometry().capacity_bytes(), d),
+            Status::InvalidArgument);
+  EXPECT_EQ(map.decode(map.geometry().capacity_bytes() - 1, d), Status::Ok);
+}
+
+TEST(AddressMap, DecodeCoordinatesAreInRange) {
+  const AddressMap map = AddressMap::low_interleave(geom_8link_16bank(), 128);
+  SplitMix64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const PhysAddr addr = rng.next_below(map.geometry().capacity_bytes());
+    DecodedAddr d;
+    ASSERT_EQ(map.decode(addr, d), Status::Ok);
+    EXPECT_LT(d.vault.get(), map.geometry().vaults);
+    EXPECT_LT(d.bank.get(), map.geometry().banks);
+    EXPECT_LT(d.dram.get(), map.geometry().drams);
+    EXPECT_LT(d.offset, map.max_block_bytes());
+  }
+}
+
+TEST(AddressMap, FastPathAgreesWithDecode) {
+  for (const auto mode : {0, 1, 2}) {
+    const Geometry g = geom_8link_16bank();
+    const AddressMap map = mode == 0   ? AddressMap::low_interleave(g, 64)
+                           : mode == 1 ? AddressMap::bank_first(g, 64)
+                                       : AddressMap::linear(g, 64);
+    ASSERT_TRUE(map.valid());
+    SplitMix64 rng(static_cast<u64>(mode) + 1);
+    for (int i = 0; i < 2000; ++i) {
+      const PhysAddr addr = rng.next_below(g.capacity_bytes());
+      DecodedAddr d;
+      ASSERT_EQ(map.decode(addr, d), Status::Ok);
+      EXPECT_EQ(map.vault_of(addr), d.vault.get());
+      EXPECT_EQ(map.bank_of(addr), d.bank.get());
+    }
+  }
+}
+
+// Bijectivity: encode(decode(addr)) == addr, for every built-in mode and
+// every paper geometry.
+class AddressMapBijection
+    : public ::testing::TestWithParam<std::tuple<int, int, u64>> {};
+
+TEST_P(AddressMapBijection, EncodeInvertsDecode) {
+  const auto [geom_index, mode, block] = GetParam();
+  const Geometry g = geom_index == 0   ? geom_4link_8bank()
+                     : geom_index == 1 ? Geometry{16, 16, 8, spec::kBankBytes}
+                     : geom_index == 2 ? Geometry{32, 8, 8, spec::kBankBytes}
+                                       : geom_8link_16bank();
+  const AddressMap map = mode == 0   ? AddressMap::low_interleave(g, block)
+                         : mode == 1 ? AddressMap::bank_first(g, block)
+                                     : AddressMap::linear(g, block);
+  ASSERT_TRUE(map.valid()) << map.error();
+
+  SplitMix64 rng(u64(geom_index) * 31 + u64(mode) * 7 + block);
+  for (int i = 0; i < 3000; ++i) {
+    const PhysAddr addr = rng.next_below(g.capacity_bytes());
+    DecodedAddr d;
+    ASSERT_EQ(map.decode(addr, d), Status::Ok);
+    PhysAddr back = 0;
+    ASSERT_EQ(map.encode(d, back), Status::Ok);
+    ASSERT_EQ(back, addr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, AddressMapBijection,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(u64{32}, u64{64}, u64{128})));
+
+TEST(AddressMap, DistinctAddressesDistinctCoordinates) {
+  // decode must be injective: sample addresses, ensure no coordinate tuple
+  // repeats (follows from bijectivity, but cheap to check directly).
+  const AddressMap map = AddressMap::low_interleave(geom_4link_8bank(), 32);
+  std::set<std::tuple<u32, u32, u32, u64, u64>> seen;
+  SplitMix64 rng(3);
+  std::set<PhysAddr> addrs;
+  while (addrs.size() < 2000) {
+    addrs.insert(rng.next_below(map.geometry().capacity_bytes()));
+  }
+  for (const PhysAddr a : addrs) {
+    DecodedAddr d;
+    ASSERT_EQ(map.decode(a, d), Status::Ok);
+    EXPECT_TRUE(seen.emplace(d.vault.get(), d.bank.get(), d.dram.get(), d.row,
+                             d.offset)
+                    .second);
+  }
+}
+
+TEST(AddressMap, UniformRandomSpreadsAcrossVaults) {
+  // Statistical sanity backing the paper's workload: uniform addresses load
+  // every vault within ~3 sigma.
+  const AddressMap map = AddressMap::low_interleave(geom_4link_8bank(), 64);
+  std::array<u32, 16> counts{};
+  GlibcRandom rng(1);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    const u64 block = (static_cast<u64>(rng.next()) << 31 | rng.next()) %
+                      (map.geometry().capacity_bytes() / 64);
+    ++counts[map.vault_of(block * 64)];
+  }
+  for (const u32 c : counts) {
+    EXPECT_NEAR(c, kDraws / 16, 3 * 64);  // ~3 sigma of binomial
+  }
+}
+
+TEST(AddressMap, RejectsInconsistentFieldWidths) {
+  const Geometry g = geom_4link_8bank();
+  // Vault field too narrow.
+  AddressMap bad(g, {{AddrField::Offset, 5},
+                     {AddrField::Vault, 3},
+                     {AddrField::Bank, 3},
+                     {AddrField::Dram, 3},
+                     {AddrField::Row, 17}});
+  EXPECT_FALSE(bad.valid());
+  EXPECT_FALSE(bad.error().empty());
+}
+
+TEST(AddressMap, RejectsWrongTotalWidth) {
+  const Geometry g = geom_4link_8bank();
+  AddressMap bad(g, {{AddrField::Offset, 5},
+                     {AddrField::Vault, 4},
+                     {AddrField::Bank, 3},
+                     {AddrField::Dram, 3},
+                     {AddrField::Row, 10}});  // 25 != 31
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(AddressMap, CustomSplitVaultFieldStillBijective) {
+  // The spec permits arbitrary user maps; split the vault bits into two
+  // fields and verify decode/encode stay inverse.
+  const Geometry g = geom_4link_8bank();
+  AddressMap map(g, {{AddrField::Offset, 5},
+                     {AddrField::Vault, 2},
+                     {AddrField::Bank, 3},
+                     {AddrField::Vault, 2},
+                     {AddrField::Dram, 3},
+                     {AddrField::Row, 16}});
+  ASSERT_TRUE(map.valid()) << map.error();
+  SplitMix64 rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    const PhysAddr addr = rng.next_below(g.capacity_bytes());
+    DecodedAddr d;
+    ASSERT_EQ(map.decode(addr, d), Status::Ok);
+    PhysAddr back = 0;
+    ASSERT_EQ(map.encode(d, back), Status::Ok);
+    ASSERT_EQ(back, addr);
+  }
+}
+
+TEST(AddressMap, EncodeRejectsOutOfRangeCoordinates) {
+  const AddressMap map = AddressMap::low_interleave(geom_4link_8bank(), 64);
+  DecodedAddr d;
+  d.vault = VaultId{16};  // only 16 vaults: 0..15
+  PhysAddr out = 0;
+  EXPECT_EQ(map.encode(d, out), Status::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,135 @@
+#include "mem/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(SparseStore, UnwrittenMemoryReadsZero) {
+  SparseStore store(1 << 20);
+  std::vector<u8> buf(64, 0xFF);
+  ASSERT_TRUE(store.read(0x1234, buf));
+  for (const u8 b : buf) EXPECT_EQ(b, 0);
+  EXPECT_EQ(store.resident_pages(), 0u);  // reads must not materialize pages
+}
+
+TEST(SparseStore, WriteReadRoundTrip) {
+  SparseStore store(1 << 20);
+  std::vector<u8> data(64);
+  for (usize i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 3);
+  ASSERT_TRUE(store.write(0x400, data));
+  std::vector<u8> back(64);
+  ASSERT_TRUE(store.read(0x400, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(SparseStore, PageStraddlingAccess) {
+  SparseStore store(1 << 20);
+  std::vector<u8> data(256);
+  for (usize i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  // Write across the 4 KiB page boundary.
+  const u64 addr = SparseStore::kPageBytes - 100;
+  ASSERT_TRUE(store.write(addr, data));
+  EXPECT_EQ(store.resident_pages(), 2u);
+  std::vector<u8> back(256);
+  ASSERT_TRUE(store.read(addr, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(SparseStore, OutOfRangeRejected) {
+  SparseStore store(4096);
+  std::vector<u8> buf(16);
+  EXPECT_FALSE(store.read(4096, buf));
+  EXPECT_FALSE(store.write(4090, buf));  // spills past the end
+  EXPECT_TRUE(store.write(4080, buf));   // exactly reaches the end
+}
+
+TEST(SparseStore, OverflowingRangeRejected) {
+  SparseStore store(~u64{0});
+  std::vector<u8> buf(16);
+  EXPECT_FALSE(store.read(~u64{0} - 4, buf));  // addr + size wraps
+}
+
+TEST(SparseStore, WordHelpersAreLittleEndian) {
+  SparseStore store(1 << 16);
+  const u64 word = 0x0123456789abcdefull;
+  ASSERT_TRUE(store.write_words(0x100, {&word, 1}));
+  std::vector<u8> bytes(8);
+  ASSERT_TRUE(store.read(0x100, bytes));
+  EXPECT_EQ(bytes[0], 0xef);
+  EXPECT_EQ(bytes[7], 0x01);
+  u64 back = 0;
+  ASSERT_TRUE(store.read_words(0x100, {&back, 1}));
+  EXPECT_EQ(back, word);
+}
+
+TEST(SparseStore, PartialOverwrite) {
+  SparseStore store(1 << 16);
+  std::vector<u8> a(32, 0xAA);
+  ASSERT_TRUE(store.write(0, a));
+  std::vector<u8> b(8, 0xBB);
+  ASSERT_TRUE(store.write(8, b));
+  std::vector<u8> back(32);
+  ASSERT_TRUE(store.read(0, back));
+  for (usize i = 0; i < 32; ++i) {
+    EXPECT_EQ(back[i], (i >= 8 && i < 16) ? 0xBB : 0xAA) << i;
+  }
+}
+
+TEST(SparseStore, ClearReleasesPagesAndZeroes) {
+  SparseStore store(1 << 20);
+  std::vector<u8> data(16, 0x5A);
+  ASSERT_TRUE(store.write(0, data));
+  EXPECT_GT(store.resident_pages(), 0u);
+  store.clear();
+  EXPECT_EQ(store.resident_pages(), 0u);
+  std::vector<u8> back(16, 0xFF);
+  ASSERT_TRUE(store.read(0, back));
+  for (const u8 b : back) EXPECT_EQ(b, 0);
+}
+
+TEST(SparseStore, SparsityLargeCapacitySmallFootprint) {
+  // An 8 GB device with a handful of touched blocks must stay tiny.
+  SparseStore store(u64{8} << 30);
+  SplitMix64 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const u64 addr = (rng.next_below(store.capacity() / 64)) * 64;
+    const u64 word = rng.next();
+    ASSERT_TRUE(store.write_words(addr, {&word, 1}));
+  }
+  EXPECT_LE(store.resident_pages(), 100u);
+}
+
+TEST(SparseStore, RandomizedReadYourWrites) {
+  SparseStore store(1 << 22);
+  SplitMix64 rng(99);
+  // Model: shadow map of written 16-byte blocks.
+  std::vector<std::pair<u64, std::array<u64, 2>>> shadow;
+  for (int i = 0; i < 500; ++i) {
+    const u64 addr = rng.next_below(store.capacity() / 16) * 16;
+    const std::array<u64, 2> value = {rng.next(), rng.next()};
+    ASSERT_TRUE(store.write_words(addr, value));
+    shadow.emplace_back(addr, value);
+  }
+  // Later writes to the same block win; walk the shadow log backwards.
+  for (auto it = shadow.rbegin(); it != shadow.rend(); ++it) {
+    bool superseded = false;
+    for (auto jt = shadow.rbegin(); jt != it; ++jt) {
+      if (jt->first == it->first) {
+        superseded = true;
+        break;
+      }
+    }
+    if (superseded) continue;
+    std::array<u64, 2> back{};
+    ASSERT_TRUE(store.read_words(it->first, back));
+    EXPECT_EQ(back, it->second);
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim

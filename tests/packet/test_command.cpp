@@ -1,0 +1,164 @@
+#include "packet/command.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hmcsim {
+namespace {
+
+const std::vector<Command>& all_commands() {
+  static const std::vector<Command> kAll = {
+      Command::Null, Command::Pret, Command::Tret, Command::Irtry,
+      Command::Wr16, Command::Wr32, Command::Wr48, Command::Wr64,
+      Command::Wr80, Command::Wr96, Command::Wr112, Command::Wr128,
+      Command::ModeWrite, Command::BitWrite, Command::TwoAdd8, Command::Add16,
+      Command::PostedWr16, Command::PostedWr32, Command::PostedWr48,
+      Command::PostedWr64, Command::PostedWr80, Command::PostedWr96,
+      Command::PostedWr112, Command::PostedWr128, Command::PostedBitWrite,
+      Command::PostedTwoAdd8, Command::PostedAdd16, Command::ModeRead,
+      Command::Rd16, Command::Rd32, Command::Rd48, Command::Rd64,
+      Command::Rd80, Command::Rd96, Command::Rd112, Command::Rd128,
+      Command::ReadResponse, Command::WriteResponse,
+      Command::ModeReadResponse, Command::ModeWriteResponse, Command::Error};
+  return kAll;
+}
+
+TEST(Command, ValidityCoversExactlyTheCommandSet) {
+  int valid = 0;
+  for (unsigned raw = 0; raw < 64; ++raw) {
+    if (is_valid_command(static_cast<u8>(raw))) ++valid;
+  }
+  EXPECT_EQ(valid, static_cast<int>(all_commands().size()));
+  for (const Command c : all_commands()) {
+    EXPECT_TRUE(is_valid_command(static_cast<u8>(c))) << to_string(c);
+  }
+}
+
+TEST(Command, ClassificationIsAPartition) {
+  // Every command is exactly one of: flow, request, response.
+  for (const Command c : all_commands()) {
+    const int classes = (is_flow(c) ? 1 : 0) + (is_request(c) ? 1 : 0) +
+                        (is_response(c) ? 1 : 0);
+    EXPECT_EQ(classes, 1) << to_string(c);
+  }
+}
+
+TEST(Command, ReadWriteEncodingRanges) {
+  EXPECT_TRUE(is_read(Command::Rd16));
+  EXPECT_TRUE(is_read(Command::Rd128));
+  EXPECT_FALSE(is_read(Command::Wr16));
+  EXPECT_TRUE(is_write(Command::Wr16));
+  EXPECT_TRUE(is_write(Command::PostedWr128));
+  EXPECT_FALSE(is_write(Command::Rd64));
+  EXPECT_FALSE(is_write(Command::BitWrite));  // atomic, not plain write
+}
+
+TEST(Command, PostedClassification) {
+  EXPECT_TRUE(is_posted(Command::PostedWr64));
+  EXPECT_TRUE(is_posted(Command::PostedBitWrite));
+  EXPECT_TRUE(is_posted(Command::PostedTwoAdd8));
+  EXPECT_TRUE(is_posted(Command::PostedAdd16));
+  EXPECT_FALSE(is_posted(Command::Wr64));
+  EXPECT_FALSE(is_posted(Command::Add16));
+  EXPECT_FALSE(is_posted(Command::Rd16));
+}
+
+TEST(Command, AtomicClassification) {
+  for (const Command c : {Command::TwoAdd8, Command::Add16, Command::BitWrite,
+                          Command::PostedTwoAdd8, Command::PostedAdd16,
+                          Command::PostedBitWrite}) {
+    EXPECT_TRUE(is_atomic(c)) << to_string(c);
+  }
+  EXPECT_FALSE(is_atomic(Command::Wr16));
+  EXPECT_FALSE(is_atomic(Command::Rd16));
+  EXPECT_FALSE(is_atomic(Command::ModeWrite));
+}
+
+TEST(Command, RequestDataBytes) {
+  EXPECT_EQ(request_data_bytes(Command::Wr16), 16u);
+  EXPECT_EQ(request_data_bytes(Command::Wr64), 64u);
+  EXPECT_EQ(request_data_bytes(Command::Wr128), 128u);
+  EXPECT_EQ(request_data_bytes(Command::PostedWr32), 32u);
+  EXPECT_EQ(request_data_bytes(Command::Rd64), 0u);
+  EXPECT_EQ(request_data_bytes(Command::ModeRead), 0u);
+  EXPECT_EQ(request_data_bytes(Command::ModeWrite), 16u);
+  EXPECT_EQ(request_data_bytes(Command::TwoAdd8), 16u);
+  EXPECT_EQ(request_data_bytes(Command::Add16), 16u);
+  EXPECT_EQ(request_data_bytes(Command::BitWrite), 16u);
+  EXPECT_EQ(request_data_bytes(Command::Null), 0u);
+}
+
+TEST(Command, AccessBytesCoversReads) {
+  EXPECT_EQ(access_bytes(Command::Rd16), 16u);
+  EXPECT_EQ(access_bytes(Command::Rd64), 64u);
+  EXPECT_EQ(access_bytes(Command::Rd128), 128u);
+  EXPECT_EQ(access_bytes(Command::Wr48), 48u);
+  EXPECT_EQ(access_bytes(Command::Add16), 16u);
+}
+
+TEST(Command, RequestFlits) {
+  // Reads are always a single FLIT (header + tail share one FLIT).
+  for (const Command c : {Command::Rd16, Command::Rd64, Command::Rd128,
+                          Command::ModeRead}) {
+    EXPECT_EQ(request_flits(c), 1u) << to_string(c);
+  }
+  // Writes are 2..9 FLITs.
+  EXPECT_EQ(request_flits(Command::Wr16), 2u);
+  EXPECT_EQ(request_flits(Command::Wr64), 5u);
+  EXPECT_EQ(request_flits(Command::Wr128), 9u);
+  EXPECT_EQ(request_flits(Command::PostedWr128), 9u);
+  EXPECT_EQ(request_flits(Command::Add16), 2u);
+  // Nothing exceeds the 9-FLIT maximum.
+  for (const Command c : all_commands()) {
+    if (is_request(c) || is_flow(c)) {
+      EXPECT_LE(request_flits(c), 9u) << to_string(c);
+      EXPECT_GE(request_flits(c), 1u) << to_string(c);
+    }
+  }
+}
+
+TEST(Command, ResponseMapping) {
+  EXPECT_EQ(response_command(Command::Rd64), Command::ReadResponse);
+  EXPECT_EQ(response_command(Command::Wr64), Command::WriteResponse);
+  EXPECT_EQ(response_command(Command::TwoAdd8), Command::WriteResponse);
+  EXPECT_EQ(response_command(Command::Add16), Command::WriteResponse);
+  EXPECT_EQ(response_command(Command::BitWrite), Command::WriteResponse);
+  EXPECT_EQ(response_command(Command::ModeRead), Command::ModeReadResponse);
+  EXPECT_EQ(response_command(Command::ModeWrite), Command::ModeWriteResponse);
+  // Posted requests generate no response.
+  for (const Command c : {Command::PostedWr16, Command::PostedWr128,
+                          Command::PostedBitWrite, Command::PostedAdd16}) {
+    EXPECT_EQ(response_command(c), Command::Null) << to_string(c);
+  }
+}
+
+TEST(Command, ResponseFlits) {
+  EXPECT_EQ(response_flits(Command::Rd16), 2u);
+  EXPECT_EQ(response_flits(Command::Rd128), 9u);
+  EXPECT_EQ(response_flits(Command::Wr64), 1u);
+  EXPECT_EQ(response_flits(Command::ModeRead), 2u);
+  EXPECT_EQ(response_flits(Command::ModeWrite), 1u);
+  EXPECT_EQ(response_flits(Command::PostedWr64), 0u);
+}
+
+TEST(Command, NamesAreUniqueAndNonEmpty) {
+  std::vector<std::string_view> names;
+  for (const Command c : all_commands()) {
+    names.push_back(to_string(c));
+    EXPECT_FALSE(names.back().empty());
+    EXPECT_NE(names.back(), "INVALID");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(ErrStat, Names) {
+  EXPECT_EQ(to_string(ErrStat::Ok), "OK");
+  EXPECT_EQ(to_string(ErrStat::Unroutable), "UNROUTABLE");
+  EXPECT_EQ(to_string(ErrStat::InvalidAddress), "INVALID_ADDRESS");
+  EXPECT_EQ(to_string(ErrStat::RegisterFault), "REGISTER_FAULT");
+}
+
+}  // namespace
+}  // namespace hmcsim

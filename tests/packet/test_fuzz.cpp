@@ -1,0 +1,146 @@
+// Robustness fuzzing: arbitrary byte soup must never crash the codec, the
+// trace parser, or the simulator's ingress validation — only clean
+// rejections or internally consistent accepts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.hpp"
+#include "packet/packet.hpp"
+#include "tests/core/helpers.hpp"
+#include "trace/reader.hpp"
+#include "workload/trace_file.hpp"
+
+namespace hmcsim {
+namespace {
+
+PacketBuffer random_buffer(SplitMix64& rng) {
+  PacketBuffer pkt;
+  pkt.flits = static_cast<u32>(rng.next_below(11));  // 0..10: includes junk
+  for (auto& w : pkt.words) w = rng.next();
+  return pkt;
+}
+
+TEST(PacketFuzz, DecodeRequestNeverAcceptsGarbage) {
+  SplitMix64 rng(0xF00D);
+  int accepted = 0;
+  for (int i = 0; i < 50000; ++i) {
+    PacketBuffer pkt = random_buffer(rng);
+    RequestFields out;
+    const Status s = decode_request(pkt, out);
+    if (ok(s)) {
+      ++accepted;
+      // An accepted packet must satisfy every structural invariant.
+      EXPECT_TRUE(is_request(out.cmd) || is_flow(out.cmd));
+      EXPECT_EQ(out.lng, pkt.flits);
+      EXPECT_TRUE(check_crc(pkt));
+    }
+  }
+  // Random 32-bit CRCs pass ~2^-32 of the time: zero accepts expected.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(PacketFuzz, DecodeResponseNeverAcceptsGarbage) {
+  SplitMix64 rng(0xBEEF);
+  for (int i = 0; i < 50000; ++i) {
+    PacketBuffer pkt = random_buffer(rng);
+    ResponseFields out;
+    EXPECT_NE(decode_response(pkt, out), Status::Internal);
+  }
+}
+
+TEST(PacketFuzz, ResealedGarbageDecodesConsistently) {
+  // Force the CRC to be valid: decode then must depend only on the
+  // structural fields, and an accepted packet must re-encode to the same
+  // bits.
+  SplitMix64 rng(0xCAFE);
+  int accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    PacketBuffer pkt = random_buffer(rng);
+    if (pkt.flits < spec::kMinPacketFlits ||
+        pkt.flits > spec::kMaxPacketFlits) {
+      continue;
+    }
+    seal_crc(pkt);
+    RequestFields out;
+    if (!ok(decode_request(pkt, out))) continue;
+    ++accepted;
+    // Re-encode from the decoded fields: header/tail round-trip except the
+    // reserved bits the encoder zeroes.
+    std::vector<u64> payload(pkt.payload().begin(), pkt.payload().end());
+    PacketBuffer re;
+    ASSERT_EQ(encode_request(out, payload, re), Status::Ok);
+    RequestFields out2;
+    ASSERT_EQ(decode_request(re, out2), Status::Ok);
+    EXPECT_EQ(out.cmd, out2.cmd);
+    EXPECT_EQ(out.addr, out2.addr);
+    EXPECT_EQ(out.tag, out2.tag);
+    EXPECT_EQ(out.slid, out2.slid);
+  }
+  // CRC-valid packets with random headers DO sometimes hit valid command +
+  // length combinations; the loop just must not crash or self-contradict.
+  EXPECT_GE(accepted, 0);
+}
+
+TEST(PacketFuzz, SimulatorSendSurvivesGarbage) {
+  Simulator sim = test::make_simple_sim();
+  SplitMix64 rng(0xD00D);
+  for (int i = 0; i < 20000; ++i) {
+    PacketBuffer pkt = random_buffer(rng);
+    const Status s = sim.send(0, static_cast<u32>(rng.next_below(4)), pkt);
+    EXPECT_TRUE(s == Status::MalformedPacket || s == Status::Ok ||
+                s == Status::Stalled)
+        << to_string(s);
+  }
+  // Whatever was accepted must drain without deadlock or crash.
+  (void)test::drain_all(sim, 5000);
+}
+
+TEST(TraceFuzz, ParserSurvivesRandomText) {
+  SplitMix64 rng(0x7ACE);
+  const std::string alphabet =
+      "HMCSIM_TRACE :0123456789abcdefxs-RDWR_QNULL\n\t ";
+  for (int i = 0; i < 20000; ++i) {
+    std::string line;
+    const usize len = rng.next_below(60);
+    for (usize c = 0; c < len; ++c) {
+      line += alphabet[rng.next_below(alphabet.size())];
+    }
+    (void)parse_trace_line(line);  // must not crash; result is optional
+    RequestDesc desc;
+    (void)parse_trace_request(line, desc);
+  }
+  SUCCEED();
+}
+
+TEST(TraceFuzz, MutatedValidLinesNeverMisparse) {
+  // Take a valid trace line, mutate one character at a time: every parse
+  // either fails cleanly or yields a record (possibly different), never
+  // crashes or returns impossible field values.
+  TraceRecord rec;
+  rec.event = TraceEvent::ReadRequest;
+  rec.stage = 4;
+  rec.cycle = 1234;
+  rec.dev = 0;
+  rec.vault = 3;
+  rec.bank = 1;
+  rec.addr = 0xABC0;
+  rec.tag = 99;
+  rec.cmd = Command::Rd64;
+  const std::string base = TextSink::format(rec);
+  for (usize pos = 0; pos < base.size(); ++pos) {
+    for (const char c : {'0', 'x', ':', ' ', 'Z', '-'}) {
+      std::string mutated = base;
+      mutated[pos] = c;
+      const auto parsed = parse_trace_line(mutated);
+      if (parsed) {
+        EXPECT_LE(parsed->stage, 6);
+        EXPECT_LE(parsed->addr, spec::kAddrMask);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,325 @@
+#include "packet/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace hmcsim {
+namespace {
+
+std::vector<u64> make_payload(usize words, u64 seed = 7) {
+  SplitMix64 rng(seed);
+  std::vector<u64> payload(words);
+  for (auto& w : payload) w = rng.next();
+  return payload;
+}
+
+RequestFields sample_request(Command cmd) {
+  RequestFields f;
+  f.cmd = cmd;
+  f.addr = 0x2'2345'6780ull & spec::kAddrMask;
+  f.tag = 0x1A5;
+  f.cub = 3;
+  f.slid = 5;
+  f.seq = 2;
+  f.rtc = 1;
+  f.pb = true;
+  f.frp = 0xAB;
+  f.rrp = 0xCD;
+  return f;
+}
+
+// ---- request round trips over the entire command set ----------------------
+
+class RequestRoundTrip : public ::testing::TestWithParam<Command> {};
+
+TEST_P(RequestRoundTrip, EncodeDecodePreservesEveryField) {
+  const Command cmd = GetParam();
+  const RequestFields in = sample_request(cmd);
+  const auto payload = make_payload(request_data_bytes(cmd) / 8);
+
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_request(in, payload, pkt), Status::Ok);
+  EXPECT_EQ(pkt.flits, request_flits(cmd));
+
+  RequestFields out;
+  ASSERT_EQ(decode_request(pkt, out), Status::Ok);
+  EXPECT_EQ(out.cmd, in.cmd);
+  EXPECT_EQ(out.addr, in.addr);
+  EXPECT_EQ(out.tag, in.tag);
+  EXPECT_EQ(out.cub, in.cub);
+  EXPECT_EQ(out.slid, in.slid);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.rtc, in.rtc);
+  EXPECT_EQ(out.pb, in.pb);
+  EXPECT_EQ(out.frp, in.frp);
+  EXPECT_EQ(out.rrp, in.rrp);
+  EXPECT_EQ(out.lng, pkt.flits);
+
+  // Payload words survive untouched.
+  ASSERT_EQ(pkt.payload().size(), payload.size());
+  for (usize i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(pkt.payload()[i], payload[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRequestCommands, RequestRoundTrip,
+    ::testing::Values(Command::Wr16, Command::Wr32, Command::Wr48,
+                      Command::Wr64, Command::Wr80, Command::Wr96,
+                      Command::Wr112, Command::Wr128, Command::ModeWrite,
+                      Command::BitWrite, Command::TwoAdd8, Command::Add16,
+                      Command::PostedWr16, Command::PostedWr64,
+                      Command::PostedWr128, Command::PostedBitWrite,
+                      Command::PostedTwoAdd8, Command::PostedAdd16,
+                      Command::ModeRead, Command::Rd16, Command::Rd32,
+                      Command::Rd48, Command::Rd64, Command::Rd80,
+                      Command::Rd96, Command::Rd112, Command::Rd128),
+    [](const auto& info) {
+      std::string name{to_string(info.param)};
+      for (auto& ch : name) {
+        if (ch == '_') ch = 'x';
+      }
+      return name;
+    });
+
+// ---- flow-control packets ---------------------------------------------------
+
+class FlowRoundTrip : public ::testing::TestWithParam<Command> {};
+
+TEST_P(FlowRoundTrip, SingleFlitEncodeDecode) {
+  // Flow-control packets (NULL/PRET/TRET/IRTRY) ride the request format as
+  // single-FLIT packets with no meaningful address.
+  RequestFields f;
+  f.cmd = GetParam();
+  f.rrp = 0x11;
+  f.frp = 0x22;
+  f.rtc = 3;
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_request(f, {}, pkt), Status::Ok);
+  EXPECT_EQ(pkt.flits, 1u);
+  RequestFields out;
+  ASSERT_EQ(decode_request(pkt, out), Status::Ok);
+  EXPECT_EQ(out.cmd, f.cmd);
+  EXPECT_EQ(out.rrp, 0x11);
+  EXPECT_EQ(out.frp, 0x22);
+  EXPECT_EQ(out.rtc, 3);
+  EXPECT_EQ(validate_packet(pkt), Status::Ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCommands, FlowRoundTrip,
+                         ::testing::Values(Command::Null, Command::Pret,
+                                           Command::Tret, Command::Irtry),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           return name;
+                         });
+
+// ---- response round trips ---------------------------------------------------
+
+TEST(ResponsePacket, ReadResponseRoundTrip) {
+  ResponseFields in;
+  in.cmd = Command::ReadResponse;
+  in.tag = 0x155;
+  in.cub = 6;
+  in.slid = 7;
+  in.errstat = ErrStat::Ok;
+  in.dinv = false;
+  in.seq = 5;
+  in.rtc = 3;
+  in.frp = 0x12;
+  in.rrp = 0x34;
+  const auto payload = make_payload(8);  // 64-byte read
+
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_response(in, payload, pkt), Status::Ok);
+  EXPECT_EQ(pkt.flits, 5u);
+
+  ResponseFields out;
+  ASSERT_EQ(decode_response(pkt, out), Status::Ok);
+  EXPECT_EQ(out.cmd, in.cmd);
+  EXPECT_EQ(out.tag, in.tag);
+  EXPECT_EQ(out.cub, in.cub);
+  EXPECT_EQ(out.slid, in.slid);
+  EXPECT_EQ(out.errstat, in.errstat);
+  EXPECT_EQ(out.dinv, in.dinv);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.rtc, in.rtc);
+  EXPECT_EQ(out.frp, in.frp);
+  EXPECT_EQ(out.rrp, in.rrp);
+}
+
+TEST(ResponsePacket, ErrorResponseCarriesErrstat) {
+  ResponseFields in;
+  in.cmd = Command::Error;
+  in.tag = 9;
+  in.cub = 1;
+  in.errstat = ErrStat::Unroutable;
+  in.dinv = true;
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_response(in, {}, pkt), Status::Ok);
+  EXPECT_EQ(pkt.flits, 1u);
+  ResponseFields out;
+  ASSERT_EQ(decode_response(pkt, out), Status::Ok);
+  EXPECT_EQ(out.errstat, ErrStat::Unroutable);
+  EXPECT_TRUE(out.dinv);
+}
+
+TEST(ResponsePacket, EveryResponseLengthRoundTrips) {
+  for (usize data_flits = 0; data_flits <= 8; ++data_flits) {
+    ResponseFields in;
+    in.cmd = Command::ReadResponse;
+    in.tag = static_cast<Tag>(data_flits);
+    const auto payload = make_payload(data_flits * 2);
+    PacketBuffer pkt;
+    ASSERT_EQ(encode_response(in, payload, pkt), Status::Ok);
+    EXPECT_EQ(pkt.flits, data_flits + 1);
+    ResponseFields out;
+    ASSERT_EQ(decode_response(pkt, out), Status::Ok);
+    EXPECT_EQ(out.lng, data_flits + 1);
+  }
+}
+
+// ---- validation and CRC ------------------------------------------------------
+
+TEST(PacketValidation, RejectsWrongPayloadSize) {
+  const RequestFields f = sample_request(Command::Wr64);
+  PacketBuffer pkt;
+  EXPECT_EQ(encode_request(f, make_payload(7), pkt), Status::InvalidArgument);
+  EXPECT_EQ(encode_request(f, make_payload(9), pkt), Status::InvalidArgument);
+  EXPECT_EQ(encode_request(f, make_payload(8), pkt), Status::Ok);
+}
+
+TEST(PacketValidation, RejectsOversizedAddressAndTag) {
+  RequestFields f = sample_request(Command::Rd16);
+  f.addr = spec::kAddrMask + 1;
+  PacketBuffer pkt;
+  EXPECT_EQ(encode_request(f, {}, pkt), Status::InvalidArgument);
+  f = sample_request(Command::Rd16);
+  f.tag = spec::kMaxTag + 1;
+  EXPECT_EQ(encode_request(f, {}, pkt), Status::InvalidArgument);
+}
+
+TEST(PacketValidation, RejectsResponseCommandInRequestEncoder) {
+  RequestFields f = sample_request(Command::Rd16);
+  f.cmd = Command::ReadResponse;
+  PacketBuffer pkt;
+  EXPECT_EQ(encode_request(f, {}, pkt), Status::InvalidArgument);
+}
+
+TEST(PacketValidation, RequestDecoderRejectsResponses) {
+  ResponseFields rf;
+  rf.cmd = Command::WriteResponse;
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_response(rf, {}, pkt), Status::Ok);
+  RequestFields out;
+  EXPECT_EQ(decode_request(pkt, out), Status::MalformedPacket);
+}
+
+TEST(PacketValidation, CrcDetectsCorruption) {
+  const RequestFields f = sample_request(Command::Wr32);
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_request(f, make_payload(4), pkt), Status::Ok);
+  EXPECT_TRUE(check_crc(pkt));
+
+  // Flip one payload bit: decode must fail until the CRC is resealed.
+  pkt.words[2] ^= 0x10;
+  EXPECT_FALSE(check_crc(pkt));
+  RequestFields out;
+  EXPECT_EQ(decode_request(pkt, out), Status::MalformedPacket);
+  seal_crc(pkt);
+  EXPECT_EQ(decode_request(pkt, out), Status::Ok);
+}
+
+TEST(PacketValidation, CrcCoversHeaderAndTailFields) {
+  const RequestFields f = sample_request(Command::Rd64);
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_request(f, {}, pkt), Status::Ok);
+  const u32 crc_before = field::crc_of(pkt.tail());
+  // Mutating the header changes the packet CRC.
+  pkt.words[0] = deposit(pkt.words[0], 15, 9, 0x0F);  // different TAG
+  seal_crc(pkt);
+  EXPECT_NE(field::crc_of(pkt.tail()), crc_before);
+}
+
+TEST(PacketValidation, ValidatePacketChecksLngConsistency) {
+  const RequestFields f = sample_request(Command::Wr16);
+  PacketBuffer pkt;
+  ASSERT_EQ(encode_request(f, make_payload(2), pkt), Status::Ok);
+  EXPECT_EQ(validate_packet(pkt), Status::Ok);
+
+  // Corrupt LNG (and reseal the CRC so only the length check can fire).
+  PacketBuffer bad = pkt;
+  bad.words[0] = deposit(bad.words[0], 7, 4, 5);
+  seal_crc(bad);
+  EXPECT_EQ(validate_packet(bad), Status::MalformedPacket);
+
+  // DLN mismatch is also caught.
+  bad = pkt;
+  bad.words[0] = deposit(bad.words[0], 11, 4, 7);
+  seal_crc(bad);
+  EXPECT_EQ(validate_packet(bad), Status::MalformedPacket);
+}
+
+TEST(PacketValidation, ValidatePacketRejectsUnknownCommand) {
+  PacketBuffer pkt;
+  pkt.flits = 1;
+  pkt.words[0] = deposit(0, 0, 6, 0x3f);  // 0x3f is not a defined command
+  pkt.words[0] = deposit(pkt.words[0], 7, 4, 1);
+  pkt.words[0] = deposit(pkt.words[0], 11, 4, 1);
+  pkt.words[1] = 0;
+  seal_crc(pkt);
+  EXPECT_EQ(validate_packet(pkt), Status::MalformedPacket);
+}
+
+TEST(PacketValidation, ZeroAndOversizedFlitCounts) {
+  PacketBuffer pkt;
+  pkt.flits = 0;
+  RequestFields out;
+  EXPECT_EQ(decode_request(pkt, out), Status::MalformedPacket);
+  pkt.flits = 10;
+  EXPECT_EQ(decode_request(pkt, out), Status::MalformedPacket);
+}
+
+TEST(PacketBuffer, HeaderTailAccessors) {
+  PacketBuffer pkt;
+  pkt.flits = 3;
+  pkt.words[0] = 0xAAA;
+  pkt.words[5] = 0xBBB;
+  EXPECT_EQ(pkt.header(), 0xAAAu);
+  EXPECT_EQ(pkt.tail(), 0xBBBu);
+  EXPECT_EQ(pkt.payload().size(), 4u);
+}
+
+TEST(PacketBuffer, EqualityComparesOnlyLiveWords) {
+  PacketBuffer a, b;
+  a.flits = b.flits = 1;
+  a.words[0] = b.words[0] = 1;
+  a.words[1] = b.words[1] = 2;
+  // Garbage beyond the live words must not affect equality.
+  a.words[17] = 0xdead;
+  b.words[17] = 0xbeef;
+  EXPECT_EQ(a, b);
+  b.words[1] = 3;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PacketFields, RawFieldHelpers) {
+  const u64 header = field::make_request_header(Command::Rd64, 1, 0x1FF,
+                                                0x3'FFFF'FFFFull, 7);
+  EXPECT_EQ(field::cmd_of(header), Command::Rd64);
+  EXPECT_EQ(field::lng_of(header), 1u);
+  EXPECT_EQ(field::dln_of(header), 1u);
+  EXPECT_EQ(field::tag_of(header), 0x1FFu);
+  EXPECT_EQ(field::adrs_of(header), 0x3'FFFF'FFFFull);
+  EXPECT_EQ(field::cub_of(header), 7u);
+
+  const u64 tail = field::make_request_tail(5, 3, 2, true, 0xAA, 0xBB);
+  EXPECT_EQ(field::request_slid_of(tail), 5u);
+  EXPECT_EQ(field::crc_of(tail), 0u);  // CRC deposited separately
+}
+
+}  // namespace
+}  // namespace hmcsim

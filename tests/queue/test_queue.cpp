@@ -1,0 +1,130 @@
+#include "queue/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(BoundedQueue, StartsEmpty) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop_front(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.stats().rejected_full, 1u);
+  // A rejected push must not disturb contents.
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front(), 1);
+}
+
+TEST(BoundedQueue, MiddleRemovalPreservesRelativeOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.remove(2), 2);  // remove a middle entry
+  EXPECT_EQ(q.remove(3), 4);  // indices shifted after removal
+  EXPECT_EQ(q.pop_front(), 0);
+  EXPECT_EQ(q.pop_front(), 1);
+  EXPECT_EQ(q.pop_front(), 3);
+  EXPECT_EQ(q.pop_front(), 5);
+}
+
+TEST(BoundedQueue, StatsTrackPushesPopsHighWater) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) (void)q.push(i);
+  (void)q.pop_front();
+  (void)q.push(3);
+  (void)q.push(4);
+  const QueueStats& s = q.stats();
+  EXPECT_EQ(s.total_pushes, 5u);
+  EXPECT_EQ(s.total_pops, 1u);
+  EXPECT_EQ(s.high_water, 4u);
+}
+
+TEST(BoundedQueue, ResetStatsKeepsContents) {
+  BoundedQueue<int> q(4);
+  (void)q.push(9);
+  q.reset_stats();
+  EXPECT_EQ(q.stats().total_pushes, 0u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), 9);
+}
+
+TEST(BoundedQueue, ClearEmptiesWithoutCountingPops) {
+  BoundedQueue<int> q(4);
+  (void)q.push(1);
+  (void)q.push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().total_pops, 0u);
+}
+
+TEST(BoundedQueue, CapacityOneBehavesAsRegister) {
+  // The paper requires at least one queue slot per logical queue, acting as
+  // a registered input/output stage.
+  BoundedQueue<std::string> q(1);
+  EXPECT_TRUE(q.push("a"));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push("b"));
+  EXPECT_EQ(q.pop_front(), "a");
+  EXPECT_TRUE(q.push("b"));
+}
+
+TEST(BoundedQueue, IterationIsOldestFirst) {
+  BoundedQueue<int> q(8);
+  for (int i = 10; i < 15; ++i) (void)q.push(i);
+  int expected = 10;
+  for (const int v : q) EXPECT_EQ(v, expected++);
+}
+
+TEST(BoundedQueue, MoveOnlyEntries) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(7)));
+  auto p = q.pop_front();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(BoundedQueue, RandomizedAgainstReferenceModel) {
+  BoundedQueue<u64> q(16);
+  std::vector<u64> model;
+  SplitMix64 rng(4);
+  for (int step = 0; step < 20000; ++step) {
+    const u64 op = rng.next_below(3);
+    if (op == 0) {
+      const u64 v = rng.next();
+      const bool pushed = q.push(v);
+      EXPECT_EQ(pushed, model.size() < 16);
+      if (pushed) model.push_back(v);
+    } else if (op == 1 && !model.empty()) {
+      EXPECT_EQ(q.pop_front(), model.front());
+      model.erase(model.begin());
+    } else if (op == 2 && !model.empty()) {
+      const usize i = rng.next_below(model.size());
+      EXPECT_EQ(q.remove(i), model[i]);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim

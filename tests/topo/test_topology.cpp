@@ -1,0 +1,198 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim {
+namespace {
+
+TEST(Topology, ConnectHostWiring) {
+  Topology t(2, 4);
+  ASSERT_EQ(t.connect_host(CubeId{0}, LinkId{0}), Status::Ok);
+  EXPECT_EQ(t.endpoint(CubeId{0}, LinkId{0}).kind, EndpointKind::Host);
+  EXPECT_EQ(t.endpoint(CubeId{0}, LinkId{1}).kind, EndpointKind::Unconnected);
+  EXPECT_TRUE(t.is_root(CubeId{0}));
+  EXPECT_FALSE(t.is_root(CubeId{1}));
+}
+
+TEST(Topology, ConnectDeviceWiresBothSides) {
+  Topology t(2, 4);
+  ASSERT_EQ(t.connect(CubeId{0}, LinkId{3}, CubeId{1}, LinkId{0}), Status::Ok);
+  const LinkEndpoint& a = t.endpoint(CubeId{0}, LinkId{3});
+  EXPECT_EQ(a.kind, EndpointKind::Device);
+  EXPECT_EQ(a.peer_dev, 1u);
+  EXPECT_EQ(a.peer_link, 0u);
+  const LinkEndpoint& b = t.endpoint(CubeId{1}, LinkId{0});
+  EXPECT_EQ(b.kind, EndpointKind::Device);
+  EXPECT_EQ(b.peer_dev, 0u);
+  EXPECT_EQ(b.peer_link, 3u);
+}
+
+TEST(Topology, RejectsLoopbacks) {
+  // Loopbacks breed zombie response packets (paper §V.B): hard error.
+  Topology t(2, 4);
+  EXPECT_EQ(t.connect(CubeId{0}, LinkId{0}, CubeId{0}, LinkId{1}),
+            Status::InvalidConfig);
+}
+
+TEST(Topology, RejectsDoubleWiring) {
+  Topology t(2, 4);
+  ASSERT_EQ(t.connect_host(CubeId{0}, LinkId{0}), Status::Ok);
+  EXPECT_EQ(t.connect_host(CubeId{0}, LinkId{0}), Status::InvalidConfig);
+  EXPECT_EQ(t.connect(CubeId{0}, LinkId{0}, CubeId{1}, LinkId{0}),
+            Status::InvalidConfig);
+}
+
+TEST(Topology, RejectsBadIndices) {
+  Topology t(2, 4);
+  EXPECT_EQ(t.connect_host(CubeId{2}, LinkId{0}), Status::InvalidArgument);
+  EXPECT_EQ(t.connect_host(CubeId{0}, LinkId{4}), Status::InvalidArgument);
+  EXPECT_EQ(t.connect(CubeId{0}, LinkId{0}, CubeId{5}, LinkId{0}),
+            Status::InvalidArgument);
+}
+
+TEST(Topology, ValidateRequiresAHostLink) {
+  // "The user must configure at least one device that connects to a host
+  // link.  Otherwise, the host will have no access to main memory." (§V.B)
+  Topology t(2, 4);
+  (void)t.connect(CubeId{0}, LinkId{0}, CubeId{1}, LinkId{0});
+  std::string diag;
+  EXPECT_EQ(t.validate(&diag), Status::InvalidConfig);
+  EXPECT_FALSE(diag.empty());
+  (void)t.connect_host(CubeId{0}, LinkId{1});
+  EXPECT_EQ(t.validate(), Status::Ok);
+}
+
+TEST(Topology, DisconnectUnwiresBothSides) {
+  Topology t(2, 4);
+  ASSERT_EQ(t.connect(CubeId{0}, LinkId{0}, CubeId{1}, LinkId{1}), Status::Ok);
+  ASSERT_EQ(t.disconnect(CubeId{0}, LinkId{0}), Status::Ok);
+  EXPECT_EQ(t.endpoint(CubeId{0}, LinkId{0}).kind, EndpointKind::Unconnected);
+  EXPECT_EQ(t.endpoint(CubeId{1}, LinkId{1}).kind, EndpointKind::Unconnected);
+}
+
+TEST(Topology, HostPortsEnumeration) {
+  Topology t(3, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect_host(CubeId{0}, LinkId{2});
+  (void)t.connect_host(CubeId{2}, LinkId{1});
+  const auto ports = t.host_ports();
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0], (Topology::HostPort{0, 0}));
+  EXPECT_EQ(ports[1], (Topology::HostPort{0, 2}));
+  EXPECT_EQ(ports[2], (Topology::HostPort{2, 1}));
+}
+
+TEST(Topology, ChainRouting) {
+  // 0 -- 1 -- 2 in a line, host on 0.
+  Topology t(3, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{3}, CubeId{1}, LinkId{0});
+  (void)t.connect(CubeId{1}, LinkId{3}, CubeId{2}, LinkId{0});
+  ASSERT_EQ(t.finalize(), Status::Ok);
+
+  EXPECT_EQ(t.hops(CubeId{0}, CubeId{0}), 0u);
+  EXPECT_EQ(t.hops(CubeId{0}, CubeId{1}), 1u);
+  EXPECT_EQ(t.hops(CubeId{0}, CubeId{2}), 2u);
+  EXPECT_EQ(t.next_hop(CubeId{0}, CubeId{2}), LinkId{3});
+  EXPECT_EQ(t.next_hop(CubeId{1}, CubeId{2}), LinkId{3});
+  EXPECT_EQ(t.next_hop(CubeId{2}, CubeId{0}), LinkId{0});
+  EXPECT_EQ(t.host_distance(CubeId{0}), 0u);
+  EXPECT_EQ(t.host_distance(CubeId{2}), 2u);
+}
+
+TEST(Topology, UnreachableDevicesAreSoftErrors) {
+  // Deliberate misconfiguration: device 2 floats unconnected.  validate()
+  // and finalize() succeed; routing queries return nullopt.
+  Topology t(3, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{0});
+  ASSERT_EQ(t.validate(), Status::Ok);
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  EXPECT_FALSE(t.next_hop(CubeId{0}, CubeId{2}).has_value());
+  EXPECT_FALSE(t.hops(CubeId{0}, CubeId{2}).has_value());
+  EXPECT_FALSE(t.host_distance(CubeId{2}).has_value());
+}
+
+TEST(Topology, RoutingQueriesRequireFinalize) {
+  Topology t(2, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{0});
+  EXPECT_FALSE(t.finalized());
+  EXPECT_FALSE(t.next_hop(CubeId{0}, CubeId{1}).has_value());
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  EXPECT_TRUE(t.finalized());
+  EXPECT_TRUE(t.next_hop(CubeId{0}, CubeId{1}).has_value());
+  // Rewiring invalidates the route tables.
+  (void)t.disconnect(CubeId{0}, LinkId{1});
+  EXPECT_FALSE(t.finalized());
+}
+
+TEST(Topology, ShortestPathIsPicked) {
+  // Square: 0-1, 1-3, 0-2, 2-3 plus direct 0-3.  Route 0->3 must be 1 hop.
+  Topology t(4, 8);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{1});
+  (void)t.connect(CubeId{1}, LinkId{2}, CubeId{3}, LinkId{2});
+  (void)t.connect(CubeId{0}, LinkId{3}, CubeId{2}, LinkId{3});
+  (void)t.connect(CubeId{2}, LinkId{4}, CubeId{3}, LinkId{4});
+  (void)t.connect(CubeId{0}, LinkId{5}, CubeId{3}, LinkId{5});
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  EXPECT_EQ(t.hops(CubeId{0}, CubeId{3}), 1u);
+  EXPECT_EQ(t.next_hop(CubeId{0}, CubeId{3}), LinkId{5});
+}
+
+TEST(Topology, NextHopsEnumeratesParallelTrunks) {
+  // Two parallel links between cubes 0 and 1: both are shortest next hops.
+  Topology t(2, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{2}, CubeId{1}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{3}, CubeId{1}, LinkId{1});
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  const auto hops = t.next_hops(CubeId{0}, CubeId{1});
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], LinkId{2});
+  EXPECT_EQ(hops[1], LinkId{3});
+  // Reverse direction likewise.
+  EXPECT_EQ(t.next_hops(CubeId{1}, CubeId{0}).size(), 2u);
+}
+
+TEST(Topology, NextHopsExcludesLongerPaths) {
+  // 0-1 direct plus 0-2-1 detour: only the direct link is a next hop.
+  Topology t(3, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{1});
+  (void)t.connect(CubeId{0}, LinkId{2}, CubeId{2}, LinkId{2});
+  (void)t.connect(CubeId{2}, LinkId{3}, CubeId{1}, LinkId{3});
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  const auto hops = t.next_hops(CubeId{0}, CubeId{1});
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0], LinkId{1});
+}
+
+TEST(Topology, NextHopsEdgeCases) {
+  Topology t(2, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{1});
+  // Unfinalized: empty.
+  EXPECT_TRUE(t.next_hops(CubeId{0}, CubeId{1}).empty());
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  // Self route: empty (local delivery).
+  EXPECT_TRUE(t.next_hops(CubeId{0}, CubeId{0}).empty());
+  // Out-of-range cube: empty.
+  EXPECT_TRUE(t.next_hops(CubeId{0}, CubeId{7}).empty());
+}
+
+TEST(Topology, MultiRootHostDistance) {
+  Topology t(3, 4);
+  (void)t.connect_host(CubeId{0}, LinkId{0});
+  (void)t.connect_host(CubeId{2}, LinkId{0});
+  (void)t.connect(CubeId{0}, LinkId{1}, CubeId{1}, LinkId{1});
+  (void)t.connect(CubeId{1}, LinkId{2}, CubeId{2}, LinkId{2});
+  ASSERT_EQ(t.finalize(), Status::Ok);
+  EXPECT_EQ(t.host_distance(CubeId{0}), 0u);
+  EXPECT_EQ(t.host_distance(CubeId{1}), 1u);
+  EXPECT_EQ(t.host_distance(CubeId{2}), 0u);
+}
+
+}  // namespace
+}  // namespace hmcsim

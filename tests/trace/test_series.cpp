@@ -1,0 +1,102 @@
+#include "trace/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim {
+namespace {
+
+TraceRecord make(TraceEvent event, Cycle cycle, u32 vault, u32 dev = 0) {
+  TraceRecord rec;
+  rec.event = event;
+  rec.cycle = cycle;
+  rec.vault = vault;
+  rec.dev = dev;
+  return rec;
+}
+
+TEST(VaultSeriesSink, AccumulatesPerVaultPerBucket) {
+  VaultSeriesSink sink(4, /*bucket_width=*/10);
+  sink.record(make(TraceEvent::ReadRequest, 0, 0));
+  sink.record(make(TraceEvent::ReadRequest, 5, 0));
+  sink.record(make(TraceEvent::WriteRequest, 5, 1));
+  sink.record(make(TraceEvent::BankConflict, 12, 2));
+  sink.record(make(TraceEvent::ReadRequest, 25, 3));
+
+  ASSERT_EQ(sink.buckets().size(), 3u);
+  EXPECT_EQ(sink.buckets()[0].reads[0], 2u);
+  EXPECT_EQ(sink.buckets()[0].writes[1], 1u);
+  EXPECT_EQ(sink.buckets()[1].conflicts[2], 1u);
+  EXPECT_EQ(sink.buckets()[2].reads[3], 1u);
+  EXPECT_EQ(sink.buckets()[0].first_cycle, 0u);
+  EXPECT_EQ(sink.buckets()[1].first_cycle, 10u);
+  EXPECT_EQ(sink.buckets()[2].first_cycle, 20u);
+}
+
+TEST(VaultSeriesSink, BucketWidthOneGivesPerCycleData) {
+  VaultSeriesSink sink(2, 1);
+  sink.record(make(TraceEvent::ReadRequest, 7, 1));
+  ASSERT_EQ(sink.buckets().size(), 8u);
+  EXPECT_EQ(sink.buckets()[7].reads[1], 1u);
+  EXPECT_EQ(sink.buckets()[6].reads[1], 0u);
+}
+
+TEST(VaultSeriesSink, DeviceWideCountersIgnoreVault) {
+  VaultSeriesSink sink(2, 1);
+  TraceRecord rec = make(TraceEvent::XbarRqstStall, 3, kNoCoord);
+  sink.record(rec);
+  rec = make(TraceEvent::LatencyPenalty, 3, kNoCoord);
+  sink.record(rec);
+  EXPECT_EQ(sink.buckets()[3].xbar_stalls, 1u);
+  EXPECT_EQ(sink.buckets()[3].latency_penalties, 1u);
+}
+
+TEST(VaultSeriesSink, AtomicsCountAsWrites) {
+  VaultSeriesSink sink(2, 1);
+  sink.record(make(TraceEvent::AtomicRequest, 0, 1));
+  EXPECT_EQ(sink.buckets()[0].writes[1], 1u);
+}
+
+TEST(VaultSeriesSink, FiltersByDevice) {
+  VaultSeriesSink sink(2, 1, /*dev_filter=*/1);
+  sink.record(make(TraceEvent::ReadRequest, 0, 0, /*dev=*/0));
+  sink.record(make(TraceEvent::ReadRequest, 0, 0, /*dev=*/1));
+  EXPECT_EQ(sink.total_reads(), 1u);
+}
+
+TEST(VaultSeriesSink, IgnoresIrrelevantEventsAndBadVaults) {
+  VaultSeriesSink sink(2, 1);
+  sink.record(make(TraceEvent::PacketSend, 0, 0));
+  sink.record(make(TraceEvent::ReadRequest, 0, 99));  // vault out of range
+  sink.record(make(TraceEvent::ReadRequest, 0, kNoCoord));
+  EXPECT_EQ(sink.total_reads(), 0u);
+  // Untracked events must not even materialize buckets.
+  EXPECT_TRUE(sink.buckets().empty());
+}
+
+TEST(VaultSeriesSink, Totals) {
+  VaultSeriesSink sink(4, 16);
+  for (Cycle c = 0; c < 100; ++c) {
+    sink.record(make(TraceEvent::ReadRequest, c, static_cast<u32>(c % 4)));
+    if (c % 2 == 0) {
+      sink.record(make(TraceEvent::WriteRequest, c, static_cast<u32>(c % 4)));
+    }
+    if (c % 5 == 0) {
+      sink.record(make(TraceEvent::BankConflict, c, static_cast<u32>(c % 4)));
+      sink.record(make(TraceEvent::XbarRqstStall, c, kNoCoord));
+      sink.record(make(TraceEvent::LatencyPenalty, c, kNoCoord));
+    }
+  }
+  EXPECT_EQ(sink.total_reads(), 100u);
+  EXPECT_EQ(sink.total_writes(), 50u);
+  EXPECT_EQ(sink.total_conflicts(), 20u);
+  EXPECT_EQ(sink.total_xbar_stalls(), 20u);
+  EXPECT_EQ(sink.total_latency_penalties(), 20u);
+}
+
+TEST(VaultSeriesSink, ZeroBucketWidthClampsToOne) {
+  VaultSeriesSink sink(1, 0);
+  EXPECT_EQ(sink.bucket_width(), 1u);
+}
+
+}  // namespace
+}  // namespace hmcsim

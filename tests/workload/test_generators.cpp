@@ -1,0 +1,178 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace hmcsim {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig gc;
+  gc.capacity_bytes = u64{1} << 26;  // 64 MiB keeps distributions testable
+  gc.request_bytes = 64;
+  gc.read_fraction = 0.5;
+  gc.seed = 1;
+  return gc;
+}
+
+TEST(CommandsForSize, DeriveReadWritePairs) {
+  EXPECT_EQ(read_command_for(16), Command::Rd16);
+  EXPECT_EQ(read_command_for(64), Command::Rd64);
+  EXPECT_EQ(read_command_for(128), Command::Rd128);
+  EXPECT_EQ(write_command_for(16), Command::Wr16);
+  EXPECT_EQ(write_command_for(64), Command::Wr64);
+  EXPECT_EQ(write_command_for(128), Command::Wr128);
+}
+
+TEST(RandomAccessGenerator, AddressesAreAlignedAndInRange) {
+  const GeneratorConfig gc = small_config();
+  RandomAccessGenerator gen(gc);
+  for (int i = 0; i < 20000; ++i) {
+    const RequestDesc d = gen.next();
+    EXPECT_LT(d.addr + gc.request_bytes, gc.capacity_bytes + 1);
+    EXPECT_EQ(d.addr % gc.request_bytes, 0u);
+  }
+}
+
+TEST(RandomAccessGenerator, FiftyFiftyMix) {
+  RandomAccessGenerator gen(small_config());
+  int reads = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (is_read(gen.next().cmd)) ++reads;
+  }
+  EXPECT_NEAR(reads, kDraws / 2, kDraws / 50);  // within ~2%
+}
+
+TEST(RandomAccessGenerator, ReadFractionExtremes) {
+  GeneratorConfig gc = small_config();
+  gc.read_fraction = 1.0;
+  RandomAccessGenerator all_reads(gc);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(is_read(all_reads.next().cmd));
+  gc.read_fraction = 0.0;
+  RandomAccessGenerator all_writes(gc);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(is_write(all_writes.next().cmd));
+}
+
+TEST(RandomAccessGenerator, DeterministicPerSeed) {
+  RandomAccessGenerator a(small_config()), b(small_config());
+  for (int i = 0; i < 1000; ++i) {
+    const RequestDesc da = a.next(), db = b.next();
+    ASSERT_EQ(da.addr, db.addr);
+    ASSERT_EQ(da.cmd, db.cmd);
+  }
+  GeneratorConfig other = small_config();
+  other.seed = 2;
+  RandomAccessGenerator c(other);
+  int same = 0;
+  RandomAccessGenerator a2(small_config());
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next().addr == c.next().addr) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomAccessGenerator, CoversTheWholeAddressSpace) {
+  GeneratorConfig gc = small_config();
+  gc.capacity_bytes = 64 * 16;  // 16 blocks only
+  RandomAccessGenerator gen(gc);
+  std::set<PhysAddr> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.next().addr);
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(RandomAccessGenerator, RequestSizeControlsCommands) {
+  GeneratorConfig gc = small_config();
+  gc.request_bytes = 128;
+  RandomAccessGenerator gen(gc);
+  for (int i = 0; i < 100; ++i) {
+    const Command c = gen.next().cmd;
+    EXPECT_TRUE(c == Command::Rd128 || c == Command::Wr128);
+  }
+}
+
+TEST(StreamGenerator, SequentialWrapping) {
+  GeneratorConfig gc = small_config();
+  gc.capacity_bytes = 64 * 8;
+  StreamGenerator gen(gc);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (u64 i = 0; i < 8; ++i) {
+      EXPECT_EQ(gen.next().addr, i * 64);
+    }
+  }
+}
+
+TEST(StreamGenerator, StartOffset) {
+  StreamGenerator gen(small_config(), /*start=*/640);
+  EXPECT_EQ(gen.next().addr, 640u);
+  EXPECT_EQ(gen.next().addr, 704u);
+}
+
+TEST(StrideGenerator, FixedStride) {
+  StrideGenerator gen(small_config(), /*stride_bytes=*/4096);
+  EXPECT_EQ(gen.next().addr, 0u);
+  EXPECT_EQ(gen.next().addr, 4096u);
+  EXPECT_EQ(gen.next().addr, 8192u);
+}
+
+TEST(StrideGenerator, StaysInCapacity) {
+  GeneratorConfig gc = small_config();
+  gc.capacity_bytes = 1 << 16;
+  StrideGenerator gen(gc, 4096 + 64);
+  for (int i = 0; i < 1000; ++i) {
+    const RequestDesc d = gen.next();
+    EXPECT_LE(d.addr + gc.request_bytes, gc.capacity_bytes);
+  }
+}
+
+TEST(HotspotGenerator, SkewsTowardHotRegion) {
+  GeneratorConfig gc = small_config();
+  HotspotGenerator gen(gc, /*hot_fraction=*/0.9, /*hot_bytes=*/64 * 64);
+  int hot = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.next().addr < 64 * 64) ++hot;
+  }
+  // ~90% hot plus the sliver of uniform traffic that also lands there.
+  EXPECT_GT(hot, kDraws * 85 / 100);
+}
+
+TEST(HotspotGenerator, ZeroFractionIsUniform) {
+  GeneratorConfig gc = small_config();
+  HotspotGenerator gen(gc, 0.0, 64 * 64);
+  int hot = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (gen.next().addr < 64 * 64) ++hot;
+  }
+  // Hot region is 64*64 bytes of 64 MiB: essentially nothing lands there.
+  EXPECT_LT(hot, 50);
+}
+
+TEST(PointerChaseGenerator, DeterministicChainOfReads) {
+  GeneratorConfig gc = small_config();
+  PointerChaseGenerator a(gc), b(gc);
+  std::set<PhysAddr> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const RequestDesc da = a.next();
+    ASSERT_EQ(da.addr, b.next().addr);
+    EXPECT_TRUE(is_read(da.cmd));
+    EXPECT_LE(da.addr + gc.request_bytes, gc.capacity_bytes);
+    seen.insert(da.addr);
+  }
+  // The chain must not collapse into a short cycle.
+  EXPECT_GT(seen.size(), 900u);
+}
+
+TEST(Generators, NamesAreStable) {
+  GeneratorConfig gc = small_config();
+  EXPECT_STREQ(RandomAccessGenerator(gc).name(), "random_access");
+  EXPECT_STREQ(StreamGenerator(gc).name(), "stream");
+  EXPECT_STREQ(StrideGenerator(gc, 64).name(), "stride");
+  EXPECT_STREQ(HotspotGenerator(gc, 0.5, 1024).name(), "hotspot");
+  EXPECT_STREQ(PointerChaseGenerator(gc).name(), "pointer_chase");
+}
+
+}  // namespace
+}  // namespace hmcsim

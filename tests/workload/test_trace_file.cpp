@@ -1,0 +1,117 @@
+#include "workload/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(TraceParse, ValidLines) {
+  RequestDesc d;
+  ASSERT_TRUE(parse_trace_request("R 0x1a2b40 64", d));
+  EXPECT_EQ(d.cmd, Command::Rd64);
+  EXPECT_EQ(d.addr, 0x1a2b40u);
+
+  ASSERT_TRUE(parse_trace_request("W 256 128", d));  // decimal address
+  EXPECT_EQ(d.cmd, Command::Wr128);
+  EXPECT_EQ(d.addr, 256u);
+
+  ASSERT_TRUE(parse_trace_request("A 0x200", d));
+  EXPECT_EQ(d.cmd, Command::TwoAdd8);
+  EXPECT_EQ(d.addr, 0x200u);
+}
+
+TEST(TraceParse, CommentsAndBlanks) {
+  RequestDesc d;
+  bool comment = false;
+  EXPECT_FALSE(parse_trace_request("# header line", d, &comment));
+  EXPECT_TRUE(comment);
+  EXPECT_FALSE(parse_trace_request("", d, &comment));
+  EXPECT_TRUE(comment);
+  EXPECT_FALSE(parse_trace_request("   ", d, &comment));
+  EXPECT_TRUE(comment);
+}
+
+TEST(TraceParse, MalformedLines) {
+  RequestDesc d;
+  bool comment = true;
+  EXPECT_FALSE(parse_trace_request("X 0x100 64", d, &comment));
+  EXPECT_FALSE(comment);
+  EXPECT_FALSE(parse_trace_request("R 0x100", d));          // missing size
+  EXPECT_FALSE(parse_trace_request("R 0x100 48 junk", d));  // trailing
+  EXPECT_FALSE(parse_trace_request("R nothex 64", d));
+  EXPECT_FALSE(parse_trace_request("R 0x100 13", d));   // not multiple of 16
+  EXPECT_FALSE(parse_trace_request("R 0x100 256", d));  // beyond 128
+  EXPECT_FALSE(parse_trace_request("R 0x400000000 64", d));  // > 2^34
+}
+
+TEST(TraceRoundTrip, WriteThenParse) {
+  std::vector<RequestDesc> requests = {
+      {Command::Rd16, 0x40}, {Command::Wr64, 0x1000},
+      {Command::TwoAdd8, 0x2000}, {Command::Rd128, 0x3000},
+      {Command::Wr16, 0x0}};
+  std::ostringstream os;
+  write_request_trace(os, requests);
+  std::istringstream is(os.str());
+  TraceFileGenerator gen(is);
+  ASSERT_TRUE(gen.valid());
+  ASSERT_EQ(gen.size(), requests.size());
+  EXPECT_EQ(gen.malformed_lines(), 0u);
+  for (const RequestDesc& expected : requests) {
+    const RequestDesc got = gen.next();
+    EXPECT_EQ(got.cmd, expected.cmd);
+    EXPECT_EQ(got.addr, expected.addr);
+  }
+}
+
+TEST(TraceFileGenerator, WrapsAround) {
+  TraceFileGenerator gen(std::vector<RequestDesc>{{Command::Rd16, 0x10},
+                                                  {Command::Rd16, 0x20}});
+  EXPECT_EQ(gen.next().addr, 0x10u);
+  EXPECT_EQ(gen.next().addr, 0x20u);
+  EXPECT_EQ(gen.next().addr, 0x10u);  // wrapped
+}
+
+TEST(TraceFileGenerator, CountsMalformedAndSkips) {
+  std::istringstream is("R 0x40 64\nbogus line\n# comment\nW 0x80 32\n");
+  TraceFileGenerator gen(is);
+  EXPECT_TRUE(gen.valid());
+  EXPECT_EQ(gen.size(), 2u);
+  EXPECT_EQ(gen.malformed_lines(), 1u);
+}
+
+TEST(TraceFileGenerator, EmptyTraceIsInvalid) {
+  std::istringstream is("# nothing but comments\n");
+  TraceFileGenerator gen(is);
+  EXPECT_FALSE(gen.valid());
+}
+
+TEST(TraceFileGenerator, DrivesTheSimulatorEndToEnd) {
+  // Replay a mixed trace through the full driver and verify both the
+  // completion accounting and the memory side effects.
+  std::vector<RequestDesc> requests;
+  for (u64 i = 0; i < 32; ++i) {
+    requests.push_back({i % 2 == 0 ? Command::Wr16 : Command::Rd16,
+                        0x100 + 16 * i});
+  }
+  TraceFileGenerator gen(requests);
+
+  Simulator sim = test::make_simple_sim();
+  DriverConfig dcfg;
+  dcfg.total_requests = 64;  // two full laps of the trace
+  dcfg.max_cycles = 100000;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult r = driver.run();
+  EXPECT_EQ(r.completed, 64u);
+  EXPECT_EQ(r.errors, 0u);
+  const DeviceStats s = sim.total_stats();
+  EXPECT_EQ(s.writes, 32u);  // 16 distinct writes, replayed twice
+  EXPECT_EQ(s.reads, 32u);
+}
+
+}  // namespace
+}  // namespace hmcsim

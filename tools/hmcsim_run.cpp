@@ -1,0 +1,324 @@
+// hmcsim_run — the generic experiment runner.
+//
+// Wraps the whole stack into one CLI: load a device configuration, pick a
+// workload, run it, and print a human summary plus (optionally) the full
+// JSON report and Figure-5 CSV — everything a scripting pipeline needs
+// without writing C++.
+//
+// Usage:
+//   hmcsim_run [options]
+//     --config <file>       key=value device config (see core/config_file.hpp)
+//     --preset a|b|c|d      Table I configuration (default: a)
+//     --topology <spec>     simple (default) | chain:N | ring:N | mesh:RxC
+//                           | torus:RxC  (multi-cube runs spread requests
+//                           round-robin across every cube)
+//     --workload <name>     random|stream|stride|hotspot|chase|trace
+//     --trace-in <file>     request trace for --workload trace
+//     --requests <n>        request count (default 2^18)
+//     --read-fraction <f>   read mix (default 0.5)
+//     --request-bytes <n>   block size (default 64)
+//     --policy rr|local     injection policy (default rr)
+//     --json <file|->       write the JSON report ('-' = stdout)
+//     --fig5-csv <file>     write the per-vault Figure-5 series CSV
+//     --trace-out <file>    write the full text trace (level 2)
+//     --seed <n>            generator seed (default 1)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/json.hpp"
+#include "analysis/report.hpp"
+#include "core/config_file.hpp"
+#include "core/simulator.hpp"
+#include "trace/series.hpp"
+#include "workload/driver.hpp"
+#include "workload/trace_file.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+struct Args {
+  std::string config_file;
+  char preset = 'a';
+  std::string topology = "simple";
+  std::string workload = "random";
+  std::string trace_in;
+  u64 requests = u64{1} << 18;
+  double read_fraction = 0.5;
+  u32 request_bytes = 64;
+  InjectionPolicy policy = InjectionPolicy::RoundRobin;
+  std::string json_out;
+  std::string fig5_csv;
+  std::string trace_out;
+  u32 seed = 1;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config FILE | --preset a|b|c|d] "
+               "[--workload random|stream|stride|hotspot|chase|trace]\n"
+               "       [--trace-in FILE] [--requests N] "
+               "[--read-fraction F] [--request-bytes N]\n"
+               "       [--policy rr|local] [--json FILE|-] "
+               "[--fig5-csv FILE] [--trace-out FILE] [--seed N]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--config" && (v = next())) {
+      args.config_file = v;
+    } else if (flag == "--preset" && (v = next())) {
+      args.preset = static_cast<char>(std::tolower(v[0]));
+    } else if (flag == "--topology" && (v = next())) {
+      args.topology = v;
+    } else if (flag == "--workload" && (v = next())) {
+      args.workload = v;
+    } else if (flag == "--trace-in" && (v = next())) {
+      args.trace_in = v;
+    } else if (flag == "--requests" && (v = next())) {
+      args.requests = std::strtoull(v, nullptr, 0);
+    } else if (flag == "--read-fraction" && (v = next())) {
+      args.read_fraction = std::strtod(v, nullptr);
+    } else if (flag == "--request-bytes" && (v = next())) {
+      args.request_bytes = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (flag == "--policy" && (v = next())) {
+      args.policy = std::strcmp(v, "local") == 0
+                        ? InjectionPolicy::LocalityAware
+                        : InjectionPolicy::RoundRobin;
+    } else if (flag == "--json" && (v = next())) {
+      args.json_out = v;
+    } else if (flag == "--fig5-csv" && (v = next())) {
+      args.fig5_csv = v;
+    } else if (flag == "--trace-out" && (v = next())) {
+      args.trace_out = v;
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Generator> make_generator(const Args& args,
+                                          const DeviceConfig& dc) {
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  gc.request_bytes = args.request_bytes;
+  gc.read_fraction = args.read_fraction;
+  gc.seed = args.seed;
+  if (args.workload == "random") {
+    return std::make_unique<RandomAccessGenerator>(gc);
+  }
+  if (args.workload == "stream") {
+    return std::make_unique<StreamGenerator>(gc);
+  }
+  if (args.workload == "stride") {
+    return std::make_unique<StrideGenerator>(gc, 4096 + 64);
+  }
+  if (args.workload == "hotspot") {
+    return std::make_unique<HotspotGenerator>(gc, 0.9, u64{1} << 20);
+  }
+  if (args.workload == "chase") {
+    return std::make_unique<PointerChaseGenerator>(gc);
+  }
+  if (args.workload == "trace") {
+    std::ifstream in(args.trace_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace %s\n", args.trace_in.c_str());
+      return nullptr;
+    }
+    auto gen = std::make_unique<TraceFileGenerator>(in);
+    if (!gen->valid()) {
+      std::fprintf(stderr, "trace %s holds no requests\n",
+                   args.trace_in.c_str());
+      return nullptr;
+    }
+    return gen;
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+
+  // ---- configuration -------------------------------------------------------
+  SimConfig config;
+  if (!args.config_file.empty()) {
+    std::ifstream in(args.config_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open config %s\n",
+                   args.config_file.c_str());
+      return 1;
+    }
+    const ConfigParseResult parsed = parse_config(in);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s:%s\n", args.config_file.c_str(),
+                   parsed.error.c_str());
+      return 1;
+    }
+    config = parsed.config;
+  } else {
+    switch (args.preset) {
+      case 'a': config.device = table1_config_4link_8bank(); break;
+      case 'b': config.device = table1_config_4link_16bank(); break;
+      case 'c': config.device = table1_config_8link_8bank(); break;
+      case 'd': config.device = table1_config_8link_16bank(); break;
+      default:
+        std::fprintf(stderr, "unknown preset '%c'\n", args.preset);
+        return 1;
+    }
+    config.device.model_data = false;
+  }
+
+  // ---- topology -------------------------------------------------------------
+  Simulator sim;
+  std::string diag;
+  Topology topo;
+  {
+    const std::string& spec = args.topology;
+    const auto colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    u32 n = 0, rows = 0, cols = 0;
+    if (colon != std::string::npos) {
+      const std::string dims = spec.substr(colon + 1);
+      const auto x = dims.find('x');
+      if (x != std::string::npos) {
+        rows = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
+        cols = static_cast<u32>(
+            std::strtoul(dims.c_str() + x + 1, nullptr, 0));
+      } else {
+        n = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
+      }
+    }
+    const u32 links = config.device.num_links;
+    if (kind == "simple") {
+      topo = make_simple(links, &diag);
+    } else if (kind == "chain") {
+      topo = make_chain(n, links, 2, 1, &diag);
+    } else if (kind == "ring") {
+      topo = make_ring(n, links, 2, &diag);
+    } else if (kind == "mesh") {
+      topo = make_mesh(rows, cols, links, 2, &diag);
+    } else if (kind == "torus") {
+      topo = make_torus2d(rows, cols, links, 2, &diag);
+    } else {
+      std::fprintf(stderr, "unknown topology '%s'\n", spec.c_str());
+      return 1;
+    }
+    if (topo.num_devices() == 0) {
+      std::fprintf(stderr, "topology build failed: %s\n", diag.c_str());
+      return 1;
+    }
+    config.num_devices = topo.num_devices();
+  }
+  if (!ok(sim.init(config, std::move(topo), &diag))) {
+    std::fprintf(stderr, "init failed: %s\n", diag.c_str());
+    return 1;
+  }
+
+  // ---- sinks --------------------------------------------------------------
+  std::shared_ptr<VaultSeriesSink> series;
+  std::ofstream trace_file;
+  if (!args.fig5_csv.empty() || !args.trace_out.empty()) {
+    sim.tracer().set_level(TraceLevel::Events);
+    if (!args.fig5_csv.empty()) {
+      series = std::make_shared<VaultSeriesSink>(
+          config.device.num_vaults(), 64);
+      sim.tracer().add_sink(series);
+    }
+    if (!args.trace_out.empty()) {
+      trace_file.open(args.trace_out);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot open %s\n", args.trace_out.c_str());
+        return 1;
+      }
+      sim.tracer().add_sink(std::make_shared<TextSink>(trace_file));
+    }
+  }
+
+  // ---- workload -------------------------------------------------------------
+  const std::unique_ptr<Generator> gen = make_generator(args, config.device);
+  if (!gen) return 1;
+  DriverConfig dcfg;
+  dcfg.total_requests = args.requests;
+  dcfg.policy = args.policy;
+  if (sim.num_devices() > 1) dcfg.targets = TargetPolicy::RoundRobinCubes;
+  dcfg.max_cycles = u64{4} * 1000 * 1000 * 1000;
+  HostDriver driver(sim, *gen, dcfg);
+  const DriverResult r = driver.run();
+  sim.tracer().flush();
+
+  // ---- report ---------------------------------------------------------------
+  const DeviceStats s = sim.total_stats();
+  std::printf("topology  : %s (%u cube%s)\n", args.topology.c_str(),
+              sim.num_devices(), sim.num_devices() == 1 ? "" : "s");
+  std::printf("workload  : %s x %llu (%u B, %.0f%% reads, %s)\n",
+              gen->name(), static_cast<unsigned long long>(args.requests),
+              args.request_bytes, args.read_fraction * 100,
+              args.policy == InjectionPolicy::RoundRobin ? "round-robin"
+                                                         : "locality-aware");
+  std::printf("cycles    : %llu%s\n",
+              static_cast<unsigned long long>(r.cycles),
+              r.hit_cycle_cap ? "  (CYCLE CAP HIT)" : "");
+  std::printf("completed : %llu (%llu errors)\n",
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.errors));
+  std::printf("latency   : mean %.1f  p50 %llu  p95 %llu  p99 %llu  "
+              "max %llu\n",
+              r.latency.mean(),
+              static_cast<unsigned long long>(r.latency.percentile(0.50)),
+              static_cast<unsigned long long>(r.latency.percentile(0.95)),
+              static_cast<unsigned long long>(r.latency.percentile(0.99)),
+              static_cast<unsigned long long>(r.latency.max));
+  std::printf("bandwidth : %.1f GB/s of bank traffic at 1.25 GHz\n",
+              effective_bandwidth_gbs(s.bytes_read + s.bytes_written,
+                                      r.cycles));
+  std::printf("contention: %llu conflicts, %llu xbar stalls, %llu latency "
+              "events\n",
+              static_cast<unsigned long long>(s.bank_conflicts),
+              static_cast<unsigned long long>(s.xbar_rqst_stalls),
+              static_cast<unsigned long long>(s.latency_penalties));
+
+  if (!args.json_out.empty()) {
+    if (args.json_out == "-") {
+      write_stats_json(std::cout, sim);
+    } else {
+      std::ofstream out(args.json_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", args.json_out.c_str());
+        return 1;
+      }
+      write_stats_json(out, sim);
+      std::printf("json      : %s\n", args.json_out.c_str());
+    }
+  }
+  if (series) {
+    std::ofstream out(args.fig5_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.fig5_csv.c_str());
+      return 1;
+    }
+    write_fig5_csv(out, *series);
+    std::printf("fig5 csv  : %s\n", args.fig5_csv.c_str());
+  }
+  if (trace_file.is_open()) {
+    std::printf("trace     : %s\n", args.trace_out.c_str());
+  }
+  return r.completed == args.requests ? 0 : 1;
+}
