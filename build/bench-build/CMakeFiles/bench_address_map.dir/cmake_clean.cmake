@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_address_map"
+  "../bench/bench_address_map.pdb"
+  "CMakeFiles/bench_address_map.dir/bench_address_map.cpp.o"
+  "CMakeFiles/bench_address_map.dir/bench_address_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_address_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_link_rate"
+  "../bench/bench_link_rate.pdb"
+  "CMakeFiles/bench_link_rate.dir/bench_link_rate.cpp.o"
+  "CMakeFiles/bench_link_rate.dir/bench_link_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

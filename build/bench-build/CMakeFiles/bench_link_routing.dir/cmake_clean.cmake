@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_link_routing"
+  "../bench/bench_link_routing.pdb"
+  "CMakeFiles/bench_link_routing.dir/bench_link_routing.cpp.o"
+  "CMakeFiles/bench_link_routing.dir/bench_link_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_packets"
+  "../bench/bench_packets.pdb"
+  "CMakeFiles/bench_packets.dir/bench_packets.cpp.o"
+  "CMakeFiles/bench_packets.dir/bench_packets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

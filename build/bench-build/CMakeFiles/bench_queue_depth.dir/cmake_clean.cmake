@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_queue_depth"
+  "../bench/bench_queue_depth.pdb"
+  "CMakeFiles/bench_queue_depth.dir/bench_queue_depth.cpp.o"
+  "CMakeFiles/bench_queue_depth.dir/bench_queue_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

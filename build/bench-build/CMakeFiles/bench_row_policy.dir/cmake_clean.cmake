@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_row_policy"
+  "../bench/bench_row_policy.pdb"
+  "CMakeFiles/bench_row_policy.dir/bench_row_policy.cpp.o"
+  "CMakeFiles/bench_row_policy.dir/bench_row_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_row_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rw_mix"
+  "../bench/bench_rw_mix.pdb"
+  "CMakeFiles/bench_rw_mix.dir/bench_rw_mix.cpp.o"
+  "CMakeFiles/bench_rw_mix.dir/bench_rw_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vault_schedule"
+  "../bench/bench_vault_schedule.pdb"
+  "CMakeFiles/bench_vault_schedule.dir/bench_vault_schedule.cpp.o"
+  "CMakeFiles/bench_vault_schedule.dir/bench_vault_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vault_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_topologies.dir/chained_topologies.cpp.o"
+  "CMakeFiles/chained_topologies.dir/chained_topologies.cpp.o.d"
+  "chained_topologies"
+  "chained_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_integration.dir/cpu_integration.cpp.o"
+  "CMakeFiles/cpu_integration.dir/cpu_integration.cpp.o.d"
+  "cpu_integration"
+  "cpu_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

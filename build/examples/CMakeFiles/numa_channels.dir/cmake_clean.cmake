@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_channels.dir/numa_channels.cpp.o"
+  "CMakeFiles/numa_channels.dir/numa_channels.cpp.o.d"
+  "numa_channels"
+  "numa_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

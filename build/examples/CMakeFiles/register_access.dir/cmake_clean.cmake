@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_access.dir/register_access.cpp.o"
+  "CMakeFiles/register_access.dir/register_access.cpp.o.d"
+  "register_access"
+  "register_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

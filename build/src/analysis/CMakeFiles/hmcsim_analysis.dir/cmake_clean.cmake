@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_analysis.dir/json.cpp.o"
+  "CMakeFiles/hmcsim_analysis.dir/json.cpp.o.d"
+  "CMakeFiles/hmcsim_analysis.dir/occupancy.cpp.o"
+  "CMakeFiles/hmcsim_analysis.dir/occupancy.cpp.o.d"
+  "CMakeFiles/hmcsim_analysis.dir/power.cpp.o"
+  "CMakeFiles/hmcsim_analysis.dir/power.cpp.o.d"
+  "CMakeFiles/hmcsim_analysis.dir/report.cpp.o"
+  "CMakeFiles/hmcsim_analysis.dir/report.cpp.o.d"
+  "libhmcsim_analysis.a"
+  "libhmcsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_capi.dir/hmc_sim.cpp.o"
+  "CMakeFiles/hmcsim_capi.dir/hmc_sim.cpp.o.d"
+  "libhmcsim_capi.a"
+  "libhmcsim_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_common.dir/random.cpp.o"
+  "CMakeFiles/hmcsim_common.dir/random.cpp.o.d"
+  "CMakeFiles/hmcsim_common.dir/status.cpp.o"
+  "CMakeFiles/hmcsim_common.dir/status.cpp.o.d"
+  "libhmcsim_common.a"
+  "libhmcsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmcsim_common.a"
+)

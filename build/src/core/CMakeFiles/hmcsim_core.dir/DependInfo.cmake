@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/hmcsim_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/hmcsim_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/config_file.cpp" "src/core/CMakeFiles/hmcsim_core.dir/config_file.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/config_file.cpp.o.d"
+  "/root/repo/src/core/custom_command.cpp" "src/core/CMakeFiles/hmcsim_core.dir/custom_command.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/custom_command.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/hmcsim_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/memory_system.cpp" "src/core/CMakeFiles/hmcsim_core.dir/memory_system.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/memory_system.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/hmcsim_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/hmcsim_core.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hmcsim_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hmcsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/reg/CMakeFiles/hmcsim_reg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hmcsim_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/config.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/config_file.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/config_file.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/custom_command.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/custom_command.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/device.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/device.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/memory_system.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/memory_system.cpp.o.d"
+  "CMakeFiles/hmcsim_core.dir/simulator.cpp.o"
+  "CMakeFiles/hmcsim_core.dir/simulator.cpp.o.d"
+  "libhmcsim_core.a"
+  "libhmcsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cpp" "src/mem/CMakeFiles/hmcsim_mem.dir/address_map.cpp.o" "gcc" "src/mem/CMakeFiles/hmcsim_mem.dir/address_map.cpp.o.d"
+  "/root/repo/src/mem/storage.cpp" "src/mem/CMakeFiles/hmcsim_mem.dir/storage.cpp.o" "gcc" "src/mem/CMakeFiles/hmcsim_mem.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

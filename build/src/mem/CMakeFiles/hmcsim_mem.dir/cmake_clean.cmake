@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_mem.dir/address_map.cpp.o"
+  "CMakeFiles/hmcsim_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/hmcsim_mem.dir/storage.cpp.o"
+  "CMakeFiles/hmcsim_mem.dir/storage.cpp.o.d"
+  "libhmcsim_mem.a"
+  "libhmcsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_packet.dir/command.cpp.o"
+  "CMakeFiles/hmcsim_packet.dir/command.cpp.o.d"
+  "CMakeFiles/hmcsim_packet.dir/crc32.cpp.o"
+  "CMakeFiles/hmcsim_packet.dir/crc32.cpp.o.d"
+  "CMakeFiles/hmcsim_packet.dir/packet.cpp.o"
+  "CMakeFiles/hmcsim_packet.dir/packet.cpp.o.d"
+  "libhmcsim_packet.a"
+  "libhmcsim_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

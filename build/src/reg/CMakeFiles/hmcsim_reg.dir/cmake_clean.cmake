@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_reg.dir/registers.cpp.o"
+  "CMakeFiles/hmcsim_reg.dir/registers.cpp.o.d"
+  "libhmcsim_reg.a"
+  "libhmcsim_reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

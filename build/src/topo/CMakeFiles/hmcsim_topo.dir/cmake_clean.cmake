@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_topo.dir/builders.cpp.o"
+  "CMakeFiles/hmcsim_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/hmcsim_topo.dir/topology.cpp.o"
+  "CMakeFiles/hmcsim_topo.dir/topology.cpp.o.d"
+  "libhmcsim_topo.a"
+  "libhmcsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/reader.cpp.o.d"
+  "/root/repo/src/trace/series.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/series.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/series.cpp.o.d"
+  "/root/repo/src/trace/sink.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/sink.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hmcsim_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_trace.dir/reader.cpp.o"
+  "CMakeFiles/hmcsim_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/hmcsim_trace.dir/series.cpp.o"
+  "CMakeFiles/hmcsim_trace.dir/series.cpp.o.d"
+  "CMakeFiles/hmcsim_trace.dir/sink.cpp.o"
+  "CMakeFiles/hmcsim_trace.dir/sink.cpp.o.d"
+  "libhmcsim_trace.a"
+  "libhmcsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

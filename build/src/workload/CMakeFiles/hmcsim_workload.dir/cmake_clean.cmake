@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_workload.dir/driver.cpp.o"
+  "CMakeFiles/hmcsim_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/hmcsim_workload.dir/generator.cpp.o"
+  "CMakeFiles/hmcsim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hmcsim_workload.dir/trace_file.cpp.o"
+  "CMakeFiles/hmcsim_workload.dir/trace_file.cpp.o.d"
+  "libhmcsim_workload.a"
+  "libhmcsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/integration.dir/integration/test_ordering.cpp.o"
+  "CMakeFiles/integration.dir/integration/test_ordering.cpp.o.d"
+  "CMakeFiles/integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/integration.dir/integration/test_properties.cpp.o.d"
+  "integration"
+  "integration.pdb"
+  "integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_analysis.dir/analysis/test_json.cpp.o"
+  "CMakeFiles/unit_analysis.dir/analysis/test_json.cpp.o.d"
+  "CMakeFiles/unit_analysis.dir/analysis/test_occupancy.cpp.o"
+  "CMakeFiles/unit_analysis.dir/analysis/test_occupancy.cpp.o.d"
+  "CMakeFiles/unit_analysis.dir/analysis/test_power.cpp.o"
+  "CMakeFiles/unit_analysis.dir/analysis/test_power.cpp.o.d"
+  "CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o"
+  "CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o.d"
+  "unit_analysis"
+  "unit_analysis.pdb"
+  "unit_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

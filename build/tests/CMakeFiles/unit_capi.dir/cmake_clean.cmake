@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_capi.dir/capi/test_capi.cpp.o"
+  "CMakeFiles/unit_capi.dir/capi/test_capi.cpp.o.d"
+  "unit_capi"
+  "unit_capi.pdb"
+  "unit_capi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_common.dir/common/test_bitops.cpp.o"
+  "CMakeFiles/unit_common.dir/common/test_bitops.cpp.o.d"
+  "CMakeFiles/unit_common.dir/common/test_random.cpp.o"
+  "CMakeFiles/unit_common.dir/common/test_random.cpp.o.d"
+  "CMakeFiles/unit_common.dir/common/test_status.cpp.o"
+  "CMakeFiles/unit_common.dir/common/test_status.cpp.o.d"
+  "unit_common"
+  "unit_common.pdb"
+  "unit_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_backpressure.cpp" "tests/CMakeFiles/unit_core.dir/core/test_backpressure.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_backpressure.cpp.o.d"
+  "/root/repo/tests/core/test_chaining.cpp" "tests/CMakeFiles/unit_core.dir/core/test_chaining.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_chaining.cpp.o.d"
+  "/root/repo/tests/core/test_checkpoint.cpp" "tests/CMakeFiles/unit_core.dir/core/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/core/test_clock_stages.cpp" "tests/CMakeFiles/unit_core.dir/core/test_clock_stages.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_clock_stages.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/unit_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_config_file.cpp" "tests/CMakeFiles/unit_core.dir/core/test_config_file.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_config_file.cpp.o.d"
+  "/root/repo/tests/core/test_custom_commands.cpp" "tests/CMakeFiles/unit_core.dir/core/test_custom_commands.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_custom_commands.cpp.o.d"
+  "/root/repo/tests/core/test_eight_link.cpp" "tests/CMakeFiles/unit_core.dir/core/test_eight_link.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_eight_link.cpp.o.d"
+  "/root/repo/tests/core/test_errors.cpp" "tests/CMakeFiles/unit_core.dir/core/test_errors.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_errors.cpp.o.d"
+  "/root/repo/tests/core/test_fault_injection.cpp" "tests/CMakeFiles/unit_core.dir/core/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/core/test_live_registers.cpp" "tests/CMakeFiles/unit_core.dir/core/test_live_registers.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_live_registers.cpp.o.d"
+  "/root/repo/tests/core/test_memops.cpp" "tests/CMakeFiles/unit_core.dir/core/test_memops.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_memops.cpp.o.d"
+  "/root/repo/tests/core/test_memory_system.cpp" "tests/CMakeFiles/unit_core.dir/core/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_memory_system.cpp.o.d"
+  "/root/repo/tests/core/test_mode_registers.cpp" "tests/CMakeFiles/unit_core.dir/core/test_mode_registers.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_mode_registers.cpp.o.d"
+  "/root/repo/tests/core/test_refresh.cpp" "tests/CMakeFiles/unit_core.dir/core/test_refresh.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_refresh.cpp.o.d"
+  "/root/repo/tests/core/test_row_policy.cpp" "tests/CMakeFiles/unit_core.dir/core/test_row_policy.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_row_policy.cpp.o.d"
+  "/root/repo/tests/core/test_simulator_basic.cpp" "tests/CMakeFiles/unit_core.dir/core/test_simulator_basic.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_simulator_basic.cpp.o.d"
+  "/root/repo/tests/core/test_timing_knobs.cpp" "tests/CMakeFiles/unit_core.dir/core/test_timing_knobs.cpp.o" "gcc" "tests/CMakeFiles/unit_core.dir/core/test_timing_knobs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capi/CMakeFiles/hmcsim_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hmcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hmcsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hmcsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/reg/CMakeFiles/hmcsim_reg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hmcsim_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hmcsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_mem.dir/mem/test_address_map.cpp.o"
+  "CMakeFiles/unit_mem.dir/mem/test_address_map.cpp.o.d"
+  "CMakeFiles/unit_mem.dir/mem/test_storage.cpp.o"
+  "CMakeFiles/unit_mem.dir/mem/test_storage.cpp.o.d"
+  "unit_mem"
+  "unit_mem.pdb"
+  "unit_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

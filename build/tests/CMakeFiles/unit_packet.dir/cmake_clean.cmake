@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_packet.dir/packet/test_command.cpp.o"
+  "CMakeFiles/unit_packet.dir/packet/test_command.cpp.o.d"
+  "CMakeFiles/unit_packet.dir/packet/test_crc32.cpp.o"
+  "CMakeFiles/unit_packet.dir/packet/test_crc32.cpp.o.d"
+  "CMakeFiles/unit_packet.dir/packet/test_fuzz.cpp.o"
+  "CMakeFiles/unit_packet.dir/packet/test_fuzz.cpp.o.d"
+  "CMakeFiles/unit_packet.dir/packet/test_packet.cpp.o"
+  "CMakeFiles/unit_packet.dir/packet/test_packet.cpp.o.d"
+  "unit_packet"
+  "unit_packet.pdb"
+  "unit_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

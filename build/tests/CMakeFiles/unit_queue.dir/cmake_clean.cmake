@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_queue.dir/queue/test_queue.cpp.o"
+  "CMakeFiles/unit_queue.dir/queue/test_queue.cpp.o.d"
+  "unit_queue"
+  "unit_queue.pdb"
+  "unit_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_reg.dir/reg/test_registers.cpp.o"
+  "CMakeFiles/unit_reg.dir/reg/test_registers.cpp.o.d"
+  "unit_reg"
+  "unit_reg.pdb"
+  "unit_reg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

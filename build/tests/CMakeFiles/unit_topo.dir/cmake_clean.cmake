@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_topo.dir/topo/test_builders.cpp.o"
+  "CMakeFiles/unit_topo.dir/topo/test_builders.cpp.o.d"
+  "CMakeFiles/unit_topo.dir/topo/test_topology.cpp.o"
+  "CMakeFiles/unit_topo.dir/topo/test_topology.cpp.o.d"
+  "unit_topo"
+  "unit_topo.pdb"
+  "unit_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

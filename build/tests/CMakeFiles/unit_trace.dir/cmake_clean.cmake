@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o"
+  "CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o.d"
+  "CMakeFiles/unit_trace.dir/trace/test_series.cpp.o"
+  "CMakeFiles/unit_trace.dir/trace/test_series.cpp.o.d"
+  "CMakeFiles/unit_trace.dir/trace/test_sinks.cpp.o"
+  "CMakeFiles/unit_trace.dir/trace/test_sinks.cpp.o.d"
+  "unit_trace"
+  "unit_trace.pdb"
+  "unit_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_workload.dir/workload/test_driver.cpp.o"
+  "CMakeFiles/unit_workload.dir/workload/test_driver.cpp.o.d"
+  "CMakeFiles/unit_workload.dir/workload/test_generators.cpp.o"
+  "CMakeFiles/unit_workload.dir/workload/test_generators.cpp.o.d"
+  "CMakeFiles/unit_workload.dir/workload/test_trace_file.cpp.o"
+  "CMakeFiles/unit_workload.dir/workload/test_trace_file.cpp.o.d"
+  "unit_workload"
+  "unit_workload.pdb"
+  "unit_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

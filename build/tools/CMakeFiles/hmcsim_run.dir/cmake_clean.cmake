@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_run.dir/hmcsim_run.cpp.o"
+  "CMakeFiles/hmcsim_run.dir/hmcsim_run.cpp.o.d"
+  "hmcsim_run"
+  "hmcsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
