@@ -1,0 +1,109 @@
+// Observability overhead guard.
+//
+// The tracer's hot-path contract is that a disabled trace level costs one
+// branch per would-be event, and that the always-on lifecycle stamping
+// (plain cycle stores on queue entries) is invisible next to the
+// simulation work itself.  This harness measures the same random-access
+// run under three configurations:
+//
+//   baseline   TraceLevel::Off, no sinks, no lifecycle observers
+//   gated      TraceLevel::Off with a sink attached (gate branches taken)
+//   lifecycle  a LifecycleSink observer attached (per-packet aggregation)
+//
+// and fails (exit 1) if either instrumented run exceeds the baseline by
+// more than the tolerance (default 50%, HMCSIM_OVERHEAD_TOLERANCE_PCT to
+// override — timing on loaded CI boxes is noisy, so the default is
+// deliberately generous; the regressions this guards against are 5-50x).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "trace/lifecycle.hpp"
+#include "trace/sink.hpp"
+
+namespace hmcsim::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_once(u64 requests, bool attach_sink, bool attach_lifecycle,
+                u64* completed) {
+  Simulator sim = make_sim_or_die(table1_config_4link_8bank());
+  auto counting = std::make_shared<CountingSink>();
+  if (attach_sink) {
+    sim.tracer().add_sink(counting);
+    sim.tracer().set_level(TraceLevel::Off);
+  }
+  auto lifecycle = std::make_shared<LifecycleSink>();
+  if (attach_lifecycle) sim.add_lifecycle_observer(lifecycle);
+
+  const auto start = Clock::now();
+  const DriverResult result = run_random_access(sim, requests);
+  const auto stop = Clock::now();
+  *completed = result.completed;
+  if (attach_sink && counting->total() != 0) {
+    std::fprintf(stderr, "FAIL: %llu records leaked past TraceLevel::Off\n",
+                 static_cast<unsigned long long>(counting->total()));
+    std::exit(1);
+  }
+  if (attach_lifecycle && lifecycle->completed() != result.completed) {
+    std::fprintf(stderr, "FAIL: lifecycle saw %llu of %llu packets\n",
+                 static_cast<unsigned long long>(lifecycle->completed()),
+                 static_cast<unsigned long long>(result.completed));
+    std::exit(1);
+  }
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best-of-N wall time: the minimum is the least noise-contaminated
+/// estimate of the true cost.
+double best_of(int reps, u64 requests, bool sink, bool lifecycle) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    u64 completed = 0;
+    const double t = run_once(requests, sink, lifecycle, &completed);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace hmcsim::bench
+
+int main() {
+  using namespace hmcsim::bench;
+  const hmcsim::u64 requests = env_u64("HMCSIM_OVERHEAD_REQUESTS", 1u << 16);
+  const hmcsim::u64 tolerance_pct =
+      env_u64("HMCSIM_OVERHEAD_TOLERANCE_PCT", 50);
+  const int reps = static_cast<int>(env_u64("HMCSIM_OVERHEAD_REPS", 3));
+
+  {  // warm-up: fault in code and allocator state outside the timed runs
+    hmcsim::u64 completed = 0;
+    (void)run_once(requests / 4, false, false, &completed);
+  }
+
+  const double baseline = best_of(reps, requests, false, false);
+  const double gated = best_of(reps, requests, true, false);
+  const double lifecycle = best_of(reps, requests, false, true);
+
+  std::printf("# trace/lifecycle overhead, %llu requests, best of %d\n",
+              static_cast<unsigned long long>(requests), reps);
+  std::printf("%-28s %10.4fs %8s\n", "baseline (off, unobserved)", baseline,
+              "-");
+  std::printf("%-28s %10.4fs %+7.1f%%\n", "gated (off, sink attached)", gated,
+              (gated / baseline - 1.0) * 100.0);
+  std::printf("%-28s %10.4fs %+7.1f%%\n", "lifecycle sink attached",
+              lifecycle, (lifecycle / baseline - 1.0) * 100.0);
+
+  const double bound = 1.0 + static_cast<double>(tolerance_pct) / 100.0;
+  if (gated > baseline * bound || lifecycle > baseline * bound) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead exceeds %llu%% tolerance\n",
+                 static_cast<unsigned long long>(tolerance_pct));
+    return 1;
+  }
+  std::printf("OK: overhead within %llu%% of baseline\n",
+              static_cast<unsigned long long>(tolerance_pct));
+  return 0;
+}

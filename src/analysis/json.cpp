@@ -145,6 +145,67 @@ void write_device_stats(JsonWriter& json, const DeviceStats& s) {
   json.end_object();
 }
 
+void write_latency_stats(JsonWriter& json, const LatencyStats& s) {
+  json.begin_object();
+  json.kv("count", s.count);
+  json.kv("mean", s.mean());
+  json.kv("min", s.count == 0 ? u64{0} : s.min);
+  json.kv("max", s.max);
+  json.kv("p50", s.percentile(0.50));
+  json.kv("p95", s.percentile(0.95));
+  json.kv("p99", s.percentile(0.99));
+  json.end_object();
+}
+
+void write_latency_breakdown(JsonWriter& json, const LifecycleSink& sink) {
+  json.key("latency_breakdown").begin_object();
+  json.kv("completed", sink.completed());
+  json.kv("conflicted", sink.conflicted());
+  json.key("classes").begin_object();
+  for (usize c = 0; c < kOpClassCount; ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    json.key(to_string(cls)).begin_object();
+    for (usize seg = 0; seg < kLifecycleSegmentCount; ++seg) {
+      const auto segment = static_cast<LifecycleSegment>(seg);
+      json.key(to_string(segment));
+      write_latency_stats(json, sink.stats(cls, segment));
+    }
+    json.end_object();
+  }
+  json.end_object();
+  json.key("merged").begin_object();
+  for (usize seg = 0; seg < kLifecycleSegmentCount; ++seg) {
+    const auto segment = static_cast<LifecycleSegment>(seg);
+    json.key(to_string(segment));
+    write_latency_stats(json, sink.merged(segment));
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void write_samples(JsonWriter& json, const MetricsSampler& sampler) {
+  json.key("samples").begin_object();
+  json.kv("interval", sampler.interval());
+  json.key("data").begin_array();
+  for (const MetricsSampler::Sample& s : sampler.samples()) {
+    json.begin_object();
+    json.kv("cycle", s.cycle);
+    json.kv("link_rqst", s.link_rqst);
+    json.kv("link_rsp", s.link_rsp);
+    json.kv("vault_rqst", s.vault_rqst);
+    json.kv("vault_rsp", s.vault_rsp);
+    json.kv("mode_rsp", s.mode_rsp);
+    json.kv("bank_conflicts", s.bank_conflicts);
+    json.kv("xbar_rqst_stalls", s.xbar_rqst_stalls);
+    json.kv("xbar_rsp_stalls", s.xbar_rsp_stalls);
+    json.kv("vault_rsp_stalls", s.vault_rsp_stalls);
+    json.kv("send_stalls", s.send_stalls);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 std::string_view map_mode_name(AddrMapMode mode) {
   switch (mode) {
     case AddrMapMode::LowInterleave: return "low_interleave";
@@ -157,7 +218,7 @@ std::string_view map_mode_name(AddrMapMode mode) {
 }  // namespace
 
 void write_stats_json(std::ostream& os, const Simulator& sim,
-                      const PowerConfig& power) {
+                      const PowerConfig& power, const ReportExtras& extras) {
   JsonWriter json(os);
   json.begin_object();
   json.kv("simulator", "hmcsim++");
@@ -218,6 +279,13 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("pj_per_byte", p.pj_per_byte);
     json.kv("elapsed_ns", p.elapsed_ns);
     json.end_object();
+
+    if (extras.lifecycle != nullptr) {
+      write_latency_breakdown(json, *extras.lifecycle);
+    }
+    if (extras.sampler != nullptr) {
+      write_samples(json, *extras.sampler);
+    }
   }
 
   json.end_object();

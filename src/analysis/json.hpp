@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "analysis/power.hpp"
+#include "analysis/sampler.hpp"
 #include "core/simulator.hpp"
+#include "trace/lifecycle.hpp"
 
 namespace hmcsim {
 
@@ -61,9 +63,18 @@ class JsonWriter {
   bool need_comma_{false};
 };
 
+/// Optional observability attachments for the JSON report.  Null members
+/// simply omit their section.
+struct ReportExtras {
+  const LifecycleSink* lifecycle{nullptr};  ///< "latency_breakdown" section
+  const MetricsSampler* sampler{nullptr};   ///< "samples" section
+};
+
 /// Full simulator report: configuration, per-device statistics, per-link
-/// utilization, and the activity-based energy estimate.
+/// utilization, and the activity-based energy estimate — plus the
+/// per-segment latency breakdown and periodic metric samples when attached.
 void write_stats_json(std::ostream& os, const Simulator& sim,
-                      const PowerConfig& power = {});
+                      const PowerConfig& power = {},
+                      const ReportExtras& extras = {});
 
 }  // namespace hmcsim

@@ -69,6 +69,37 @@ std::string format_table1(const std::vector<Table1Row>& rows) {
   return os.str();
 }
 
+std::string format_latency_breakdown(const LifecycleSink& sink) {
+  if (sink.completed() == 0) return {};
+  std::ostringstream os;
+  os << "Latency Breakdown (cycles per packet)\n";
+  os << std::left << std::setw(16) << "Segment" << std::right << std::setw(10)
+     << "Count" << std::setw(10) << "Mean" << std::setw(8) << "p50"
+     << std::setw(8) << "p95" << std::setw(8) << "p99" << '\n';
+  const auto row = [&os](std::string_view label, const LatencyStats& s) {
+    if (s.count == 0) return;
+    os << std::left << std::setw(16) << label << std::right << std::setw(10)
+       << s.count << std::setw(10) << std::fixed << std::setprecision(1)
+       << s.mean() << std::setw(8) << std::setprecision(0) << s.percentile(0.50)
+       << std::setw(8) << s.percentile(0.95) << std::setw(8)
+       << s.percentile(0.99) << '\n';
+  };
+  for (usize seg = 0; seg < kLifecycleSegmentCount; ++seg) {
+    row(to_string(static_cast<LifecycleSegment>(seg)),
+        sink.merged(static_cast<LifecycleSegment>(seg)));
+  }
+  for (usize c = 0; c < kOpClassCount; ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    std::string label = "total (";
+    label += to_string(cls);
+    label += ')';
+    row(label, sink.stats(cls, LifecycleSegment::Total));
+  }
+  os << "conflicted packets: " << sink.conflicted() << " / "
+     << sink.completed() << '\n';
+  return os.str();
+}
+
 double effective_bandwidth_gbs(u64 bytes, Cycle cycles, double clock_ghz) {
   if (cycles == 0) return 0.0;
   return static_cast<double>(bytes) / static_cast<double>(cycles) * clock_ghz;

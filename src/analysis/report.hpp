@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "core/simulator.hpp"
 #include "core/stats.hpp"
+#include "trace/lifecycle.hpp"
 #include "trace/series.hpp"
 
 namespace hmcsim {
@@ -74,6 +75,12 @@ struct LinkUtilization {
 /// clock, against its configured xbar_flits_per_cycle budget.
 [[nodiscard]] std::vector<LinkUtilization> link_utilization(
     const Simulator& sim);
+
+/// Render the per-segment latency breakdown as a fixed-width text table:
+/// one row per lifecycle segment (all classes merged) with count, mean and
+/// p50/p95/p99, followed by per-class Total rows.  Empty-string when the
+/// sink observed no packets.
+[[nodiscard]] std::string format_latency_breakdown(const LifecycleSink& sink);
 
 /// Jain's fairness index over per-vault retirement counts, in (0, 1]:
 /// 1.0 means every vault served the same number of requests, 1/num_vaults

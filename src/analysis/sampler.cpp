@@ -1,0 +1,53 @@
+#include "analysis/sampler.hpp"
+
+#include <ostream>
+
+namespace hmcsim {
+
+void MetricsSampler::attach(Simulator& sim, Cycle interval) {
+  interval_ = interval;
+  if (interval == 0) {
+    sim.set_cycle_hook(0, {});
+    return;
+  }
+  sim.set_cycle_hook(interval,
+                     [this](const Simulator& s) { sample(s); });
+}
+
+void MetricsSampler::sample(const Simulator& sim) {
+  Sample s;
+  s.cycle = sim.now();
+  for (u32 d = 0; d < sim.num_devices(); ++d) {
+    const Device& dev = sim.device(d);
+    for (const LinkState& link : dev.links) {
+      s.link_rqst += link.rqst.size();
+      s.link_rsp += link.rsp.size();
+    }
+    for (const VaultState& vault : dev.vaults) {
+      s.vault_rqst += vault.rqst.size();
+      s.vault_rsp += vault.rsp.size();
+    }
+    s.mode_rsp += dev.mode_rsp.size();
+    s.bank_conflicts += dev.stats.bank_conflicts;
+    s.xbar_rqst_stalls += dev.stats.xbar_rqst_stalls;
+    s.xbar_rsp_stalls += dev.stats.xbar_rsp_stalls;
+    s.vault_rsp_stalls += dev.stats.vault_rsp_stalls;
+    s.send_stalls += dev.stats.send_stalls;
+  }
+  samples_.push_back(s);
+}
+
+void MetricsSampler::write_csv(std::ostream& os) const {
+  os << "cycle,link_rqst,link_rsp,vault_rqst,vault_rsp,mode_rsp,"
+        "bank_conflicts,xbar_rqst_stalls,xbar_rsp_stalls,vault_rsp_stalls,"
+        "send_stalls\n";
+  for (const Sample& s : samples_) {
+    os << s.cycle << ',' << s.link_rqst << ',' << s.link_rsp << ','
+       << s.vault_rqst << ',' << s.vault_rsp << ',' << s.mode_rsp << ','
+       << s.bank_conflicts << ',' << s.xbar_rqst_stalls << ','
+       << s.xbar_rsp_stalls << ',' << s.vault_rsp_stalls << ','
+       << s.send_stalls << '\n';
+  }
+}
+
+}  // namespace hmcsim

@@ -44,6 +44,7 @@ struct Shim {
   std::unique_ptr<FileStreambuf> trace_buf;
   std::unique_ptr<std::ostream> trace_stream;
   TraceLevel pending_level{TraceLevel::Off};
+  std::shared_ptr<LifecycleSink> lifecycle;
 
   /// Freeze the topology and bring the simulator up on first use.
   Status freeze() {
@@ -54,6 +55,7 @@ struct Shim {
     if (trace_stream) {
       sim.tracer().add_sink(std::make_shared<TextSink>(*trace_stream));
     }
+    if (lifecycle) sim.add_lifecycle_observer(lifecycle);
     frozen = true;
     return Status::Ok;
   }
@@ -369,7 +371,93 @@ int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
   else if (key == "send_stalls") *value = s.send_stalls;
   else if (key == "recvs") *value = s.recvs;
   else if (key == "flow_packets") *value = s.flow_packets;
+  else if (key == "bytes_read") *value = s.bytes_read;
+  else if (key == "bytes_written") *value = s.bytes_written;
+  else if (key == "link_errors") *value = s.link_errors;
+  else if (key == "link_retries") *value = s.link_retries;
+  else if (key == "refreshes") *value = s.refreshes;
+  else if (key == "row_hits") *value = s.row_hits;
+  else if (key == "row_misses") *value = s.row_misses;
   else return -1;
+  return 0;
+}
+
+int hmcsim_get_stats(struct hmcsim_t* hmc, uint32_t dev,
+                     struct hmcsim_stats* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || out == nullptr) return -1;
+  if (!ok(shim->freeze())) return -1;
+  if (dev >= shim->sim.num_devices()) return -1;
+  const DeviceStats& s = shim->sim.stats(dev);
+  out->reads = s.reads;
+  out->writes = s.writes;
+  out->atomics = s.atomics;
+  out->mode_ops = s.mode_ops;
+  out->custom_ops = s.custom_ops;
+  out->bytes_read = s.bytes_read;
+  out->bytes_written = s.bytes_written;
+  out->responses = s.responses;
+  out->error_responses = s.error_responses;
+  out->bank_conflicts = s.bank_conflicts;
+  out->xbar_rqst_stalls = s.xbar_rqst_stalls;
+  out->xbar_rsp_stalls = s.xbar_rsp_stalls;
+  out->vault_rsp_stalls = s.vault_rsp_stalls;
+  out->latency_penalties = s.latency_penalties;
+  out->route_hops = s.route_hops;
+  out->misroutes = s.misroutes;
+  out->link_errors = s.link_errors;
+  out->link_retries = s.link_retries;
+  out->refreshes = s.refreshes;
+  out->row_hits = s.row_hits;
+  out->row_misses = s.row_misses;
+  out->sends = s.sends;
+  out->send_stalls = s.send_stalls;
+  out->recvs = s.recvs;
+  out->flow_packets = s.flow_packets;
+  return 0;
+}
+
+int hmcsim_lifecycle_enable(struct hmcsim_t* hmc) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr) return -1;
+  if (shim->lifecycle) return 0;  /* idempotent */
+  shim->lifecycle = std::make_shared<LifecycleSink>();
+  if (shim->frozen) shim->sim.add_lifecycle_observer(shim->lifecycle);
+  return 0;
+}
+
+int hmcsim_lifecycle_stats(struct hmcsim_t* hmc, hmc_op_class_t op,
+                           hmc_lifecycle_segment_t segment,
+                           hmcsim_latency_t* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || out == nullptr || !shim->lifecycle) return -1;
+  if (static_cast<int>(segment) < static_cast<int>(HMC_LC_XBAR) ||
+      static_cast<int>(segment) > static_cast<int>(HMC_LC_TOTAL)) {
+    return -1;
+  }
+  const auto seg = static_cast<LifecycleSegment>(segment);
+  LatencyStats stats;
+  switch (op) {
+    case HMC_OP_READ: stats = shim->lifecycle->stats(OpClass::Read, seg); break;
+    case HMC_OP_WRITE:
+      stats = shim->lifecycle->stats(OpClass::Write, seg);
+      break;
+    case HMC_OP_ATOMIC:
+      stats = shim->lifecycle->stats(OpClass::Atomic, seg);
+      break;
+    case HMC_OP_OTHER:
+      stats = shim->lifecycle->stats(OpClass::Other, seg);
+      break;
+    case HMC_OP_ALL: stats = shim->lifecycle->merged(seg); break;
+    default: return -1;
+  }
+  out->count = stats.count;
+  out->mean = stats.mean();
+  out->min = stats.count == 0 ? 0 : stats.min;
+  out->max = stats.max;
+  out->p50 = stats.percentile(0.50);
+  out->p95 = stats.percentile(0.95);
+  out->p99 = stats.percentile(0.99);
   return 0;
 }
 

@@ -164,6 +164,75 @@ int hmcsim_util_decode_quad(struct hmcsim_t* hmc, uint64_t addr,
 int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
                     uint64_t* value);
 
+/* The complete per-device counter set, fetched in one call. */
+struct hmcsim_stats {
+  uint64_t reads;
+  uint64_t writes;
+  uint64_t atomics;
+  uint64_t mode_ops;
+  uint64_t custom_ops;
+  uint64_t bytes_read;
+  uint64_t bytes_written;
+  uint64_t responses;
+  uint64_t error_responses;
+  uint64_t bank_conflicts;
+  uint64_t xbar_rqst_stalls;
+  uint64_t xbar_rsp_stalls;
+  uint64_t vault_rsp_stalls;
+  uint64_t latency_penalties;
+  uint64_t route_hops;
+  uint64_t misroutes;
+  uint64_t link_errors;
+  uint64_t link_retries;
+  uint64_t refreshes;
+  uint64_t row_hits;
+  uint64_t row_misses;
+  uint64_t sends;
+  uint64_t send_stalls;
+  uint64_t recvs;
+  uint64_t flow_packets;
+};
+
+/* Fill `out` with device `dev`'s current counters. */
+int hmcsim_get_stats(struct hmcsim_t* hmc, uint32_t dev,
+                     struct hmcsim_stats* out);
+
+/*
+ * Packet-lifecycle observability.
+ *
+ * hmcsim_lifecycle_enable attaches the aggregation sink; from then on
+ * every drained response contributes its per-stage latency segments.
+ * hmcsim_lifecycle_stats reads one (class, segment) distribution summary;
+ * HMC_OP_ALL merges the request classes.  Cycle counts throughout.
+ */
+typedef enum {
+  HMC_LC_XBAR,          /* host send -> vault-queue arrival   */
+  HMC_LC_VAULT_QUEUE,   /* arrival -> first conflict / retire */
+  HMC_LC_BANK_CONFLICT, /* first conflict -> retire           */
+  HMC_LC_RESPONSE,      /* retire -> crossbar registration    */
+  HMC_LC_DRAIN,         /* registration -> host recv          */
+  HMC_LC_TOTAL          /* host send -> host recv             */
+} hmc_lifecycle_segment_t;
+
+typedef enum {
+  HMC_OP_READ, HMC_OP_WRITE, HMC_OP_ATOMIC, HMC_OP_OTHER, HMC_OP_ALL
+} hmc_op_class_t;
+
+typedef struct {
+  uint64_t count;
+  double mean;
+  uint64_t min;
+  uint64_t max;
+  uint64_t p50;
+  uint64_t p95;
+  uint64_t p99;
+} hmcsim_latency_t;
+
+int hmcsim_lifecycle_enable(struct hmcsim_t* hmc);
+int hmcsim_lifecycle_stats(struct hmcsim_t* hmc, hmc_op_class_t op,
+                           hmc_lifecycle_segment_t segment,
+                           hmcsim_latency_t* out);
+
 /* Dump the full run report (config, counters, link utilization, energy
  * estimate) as a JSON document to `out`. */
 int hmcsim_dump_stats_json(struct hmcsim_t* hmc, FILE* out);

@@ -26,7 +26,8 @@ namespace hmcsim {
 namespace {
 
 constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
-constexpr u32 kVersion = 1;
+// Version 2 added per-entry PacketLifecycle stamps to both queue records.
+constexpr u32 kVersion = 2;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -110,6 +111,35 @@ bool get_queue_stats(std::istream& is, QueueStats& s) {
   return true;
 }
 
+void put_lifecycle(std::ostream& os, const PacketLifecycle& lc) {
+  put_u64(os, lc.inject);
+  put_u64(os, lc.vault_arrive);
+  put_u64(os, lc.first_conflict);
+  put_u64(os, lc.retire);
+  put_u64(os, lc.rsp_register);
+  put_u64(os, lc.drain);
+  put_u32(os, lc.dev);
+  put_u32(os, lc.vault);
+  put_u32(os, lc.link);
+  put_u32(os, lc.tag);
+  put_u8(os, static_cast<u8>(lc.cmd));
+}
+
+bool get_lifecycle(std::istream& is, PacketLifecycle& lc) {
+  u32 tag = 0;
+  u8 cmd = 0;
+  if (!get_u64(is, lc.inject) || !get_u64(is, lc.vault_arrive) ||
+      !get_u64(is, lc.first_conflict) || !get_u64(is, lc.retire) ||
+      !get_u64(is, lc.rsp_register) || !get_u64(is, lc.drain) ||
+      !get_u32(is, lc.dev) || !get_u32(is, lc.vault) ||
+      !get_u32(is, lc.link) || !get_u32(is, tag) || !get_u8(is, cmd)) {
+    return false;
+  }
+  lc.tag = static_cast<Tag>(tag);
+  lc.cmd = static_cast<Command>(cmd);
+  return true;
+}
+
 void put_request_queue(std::ostream& os,
                        const BoundedQueue<RequestEntry>& q) {
   put_u64(os, q.size());
@@ -121,6 +151,7 @@ void put_request_queue(std::ostream& os,
     put_u32(os, e.ingress_link);
     put_u8(os, e.penalty_applied ? 1 : 0);
     put_u8(os, e.retries);
+    put_lifecycle(os, e.life);
   }
   put_queue_stats(os, q.stats());
 }
@@ -136,7 +167,7 @@ bool get_request_queue(std::istream& is, BoundedQueue<RequestEntry>& q,
     if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
         !get_u32(is, e.home_dev) || !get_u32(is, e.home_link) ||
         !get_u32(is, e.ingress_link) || !get_u8(is, penalty) ||
-        !get_u8(is, e.retries)) {
+        !get_u8(is, e.retries) || !get_lifecycle(is, e.life)) {
       return false;
     }
     e.penalty_applied = penalty != 0;
@@ -163,6 +194,7 @@ void put_response_queue(std::ostream& os,
     put_u64(os, e.ready_cycle);
     put_u32(os, e.home_dev);
     put_u32(os, e.home_link);
+    put_lifecycle(os, e.life);
   }
   put_queue_stats(os, q.stats());
 }
@@ -174,7 +206,8 @@ bool get_response_queue(std::istream& is, BoundedQueue<ResponseEntry>& q) {
   for (u64 i = 0; i < count; ++i) {
     ResponseEntry e;
     if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
-        !get_u32(is, e.home_dev) || !get_u32(is, e.home_link)) {
+        !get_u32(is, e.home_dev) || !get_u32(is, e.home_link) ||
+        !get_lifecycle(is, e.life)) {
       return false;
     }
     ResponseFields f;

@@ -28,6 +28,7 @@
 #include "packet/packet.hpp"
 #include "queue/queue.hpp"
 #include "reg/registers.hpp"
+#include "trace/lifecycle.hpp"
 
 namespace hmcsim {
 
@@ -54,6 +55,9 @@ struct RequestEntry {
   bool penalty_applied{false};
   /// Link-retry transmissions consumed by this packet (IRTRY protocol).
   u8 retries{0};
+  /// Per-stage cycle stamps (lifecycle observability; see
+  /// trace/lifecycle.hpp for the segment decomposition they feed).
+  PacketLifecycle life{};
 };
 
 /// A response packet in flight.
@@ -65,6 +69,10 @@ struct ResponseEntry {
   // Decoded essentials retained for tracing.
   Tag tag{0};
   Command cmd{Command::Null};
+  /// Stamps inherited from the request at bank retire (life.retire != 0
+  /// marks a response that actually traversed a vault; error and mode
+  /// responses leave it zero and are excluded from lifecycle accounting).
+  PacketLifecycle life{};
 };
 
 /// One external link and its crossbar arbitration queues.

@@ -166,6 +166,7 @@ Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
   entry.home_dev = dev;
   entry.home_link = link;
   entry.ingress_link = link;
+  entry.life.inject = cycle_;
   const PhysAddr addr = entry.req.addr;
   const Tag tag = entry.req.tag;
   const Command cmd = entry.req.cmd;
@@ -197,6 +198,13 @@ Status Simulator::recv(u32 dev, u32 link, PacketBuffer& out) {
   ++d.stats.recvs;
   trace(TraceEvent::PacketRecv, 0, dev, link, kNoCoord, kNoCoord, kNoCoord, 0,
         entry.tag, entry.cmd);
+  // Close the lifecycle and hand the completed record to observers.  Only
+  // responses that actually retired at a bank carry stamps; error and mode
+  // responses stay out of lifecycle accounting.
+  if (entry.life.retire != 0 && !lifecycle_observers_.empty()) {
+    entry.life.drain = cycle_;
+    for (auto& obs : lifecycle_observers_) obs->complete(entry.life);
+  }
   return Status::Ok;
 }
 
@@ -499,6 +507,7 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
 
       RequestEntry moved = entry;
       moved.ready_cycle = cycle_ + 1;
+      moved.life.vault_arrive = cycle_;
       if (!dev.vaults[vault].rqst.push(std::move(moved))) {
         ++dev.stats.xbar_rqst_stalls;
         trace(TraceEvent::XbarRqstStall, stage, dev.id(), link,
@@ -508,6 +517,9 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
         ++i;
         continue;
       }
+      trace(TraceEvent::VaultArrival, stage, dev.id(), link,
+            dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+            entry.req.tag, entry.req.cmd);
       link_state.rqst_flits_forwarded += entry.pkt.flits;
       link_state.rqst_budget -= entry.pkt.flits;
       queue.remove(i);
@@ -528,13 +540,16 @@ void Simulator::stage3_bank_conflicts() {
       u32 seen_banks = 0;
       const usize limit = std::min<usize>(window, vault.rqst.size());
       for (usize i = 0; i < limit; ++i) {
-        const RequestEntry& entry = vault.rqst.at(i);
+        RequestEntry& entry = vault.rqst.at(i);
         if (entry.ready_cycle > cycle_) continue;
         const u32 bank = dev.address_map().bank_of(entry.req.addr);
         const bool busy = vault.bank_busy_until[bank] > cycle_;
         const bool duplicated = (seen_banks & (1u << bank)) != 0;
         seen_banks |= 1u << bank;
         if (busy || duplicated) {
+          if (entry.life.first_conflict == 0) {
+            entry.life.first_conflict = cycle_;
+          }
           ++dev.stats.bank_conflicts;
           trace(TraceEvent::BankConflict, 3, dev.id(), kNoCoord,
                 dev.quad_of_vault(v), v, bank, entry.req.addr, entry.req.tag,
@@ -716,6 +731,13 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     rsp.home_dev = entry.home_dev;
     rsp.home_link = entry.home_link;
     rsp.ready_cycle = cycle_ + 1;
+    rsp.life = entry.life;
+    rsp.life.retire = cycle_;
+    rsp.life.dev = dev.id();
+    rsp.life.vault = vault_index;
+    rsp.life.link = entry.home_link;
+    rsp.life.tag = entry.req.tag;
+    rsp.life.cmd = cmd;
     const bool pushed = vault.rsp.push(std::move(rsp));
     if (pushed) ++dev.stats.responses;
     return pushed;
@@ -812,6 +834,13 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
   rsp.home_dev = entry.home_dev;
   rsp.home_link = entry.home_link;
   rsp.ready_cycle = cycle_ + 1;
+  rsp.life = entry.life;
+  rsp.life.retire = cycle_;
+  rsp.life.dev = dev.id();
+  rsp.life.vault = vault_index;
+  rsp.life.link = entry.home_link;
+  rsp.life.tag = entry.req.tag;
+  rsp.life.cmd = cmd;
   const bool pushed = vault.rsp.push(std::move(rsp));
   // Callers checked for space before retiring; a failure here is a bug.
   if (pushed) ++dev.stats.responses;
@@ -886,6 +915,11 @@ void Simulator::drain_response_queue(Device& dev,
     }
     ResponseEntry moved = head;
     moved.ready_cycle = cycle_ + 1;
+    // The first crossbar registration (at the device that owns the vault)
+    // closes the lifecycle Response segment; later hops keep the stamp.
+    if (moved.life.retire != 0 && moved.life.rsp_register == 0) {
+      moved.life.rsp_register = cycle_;
+    }
     if (!dev.links[exit].rsp.push(std::move(moved))) {
       ++dev.stats.xbar_rsp_stalls;
       trace(TraceEvent::XbarRspStall, 5, dev.id(), exit, kNoCoord,
@@ -958,6 +992,9 @@ void Simulator::stage5_responses() {
 void Simulator::stage6_clock_update() {
   for (auto& dev : devices_) dev->regs.clock_edge();
   ++cycle_;
+  if (hook_interval_ != 0 && cycle_ % hook_interval_ == 0 && cycle_hook_) {
+    cycle_hook_(*this);
+  }
 }
 
 }  // namespace hmcsim

@@ -20,6 +20,7 @@
 // move from the crossbar interface to a memory bank in a single cycle.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "core/custom_command.hpp"
 #include "core/device.hpp"
 #include "topo/topology.hpp"
+#include "trace/lifecycle.hpp"
 #include "trace/tracer.hpp"
 
 namespace hmcsim {
@@ -87,6 +89,27 @@ class Simulator {
 
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  // ---- lifecycle observability ----------------------------------------------
+
+  /// Attach an observer of completed packet lifecycles (per-stage cycle
+  /// stamps; see trace/lifecycle.hpp).  Observers fire at recv() for every
+  /// drained response that traversed a vault.  Stamping itself is always
+  /// on (plain cycle stores at queue hops); only the dispatch is gated on
+  /// observer presence.
+  void add_lifecycle_observer(std::shared_ptr<LifecycleObserver> observer) {
+    lifecycle_observers_.push_back(std::move(observer));
+  }
+  void clear_lifecycle_observers() { lifecycle_observers_.clear(); }
+
+  /// Install `hook` to run at the end of every clock() whose resulting
+  /// cycle count is a multiple of `interval` (0 uninstalls).  Used by the
+  /// periodic metrics sampler; costs one branch per clock when idle.
+  void set_cycle_hook(Cycle interval,
+                      std::function<void(const Simulator&)> hook) {
+    hook_interval_ = interval;
+    cycle_hook_ = std::move(hook);
+  }
 
   // ---- observability -----------------------------------------------------------
 
@@ -184,6 +207,9 @@ class Simulator {
   std::vector<std::unique_ptr<Device>> devices_;
   Cycle cycle_{0};
   Tracer tracer_{};
+  std::vector<std::shared_ptr<LifecycleObserver>> lifecycle_observers_;
+  Cycle hook_interval_{0};
+  std::function<void(const Simulator&)> cycle_hook_;
   /// Device processing order caches for stages 1/2/5.
   std::vector<u32> root_devices_;
   std::vector<u32> child_devices_;

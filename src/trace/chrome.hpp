@@ -1,0 +1,58 @@
+// Chrome-trace (Trace Event Format) export of packet lifecycles.
+//
+// Renders every completed packet as a chain of duration ("ph":"X") events
+// across per-device link and vault tracks, connected by flow arrows, in
+// the JSON format chrome://tracing and Perfetto load directly:
+//
+//   pid  = cube id
+//   tid  = link index (xbar + drain segments) or
+//          kVaultTidBase + vault index (queue/conflict/response segments)
+//   ts   = stamp cycle, dur = segment length (1 cycle == 1 "microsecond")
+//
+// The emitter streams: each complete() appends the packet's events, and
+// finish() closes the JSON document (also invoked by flush()).  Output is
+// a single JSON object {"traceEvents": [...], ...} — the format's
+// canonical framing.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/lifecycle.hpp"
+
+namespace hmcsim {
+
+class ChromeTraceSink final : public LifecycleObserver {
+ public:
+  /// tids for vault tracks start here so they sort after link tracks.
+  static constexpr u32 kVaultTidBase = 1000;
+
+  /// The stream must outlive the sink.  The document is opened eagerly so
+  /// an empty run still produces valid JSON.
+  explicit ChromeTraceSink(std::ostream& os);
+  ~ChromeTraceSink() override;
+
+  void complete(const PacketLifecycle& lc) override;
+
+  /// Close the JSON document (idempotent).  After this, further
+  /// complete() calls are ignored.
+  void finish();
+  void flush() override { finish(); }
+
+  [[nodiscard]] u64 packets_emitted() const { return packets_; }
+
+ private:
+  void emit_event(const char* name, char phase, Cycle ts, Cycle dur, u32 pid,
+                  u32 tid, const PacketLifecycle& lc, u64 flow_id,
+                  bool flow_end);
+  void ensure_track_metadata(u32 dev, u32 tid, const char* kind, u32 index);
+
+  std::ostream* os_;
+  bool finished_{false};
+  bool first_event_{true};
+  u64 packets_{0};
+  /// Track-metadata dedup: (dev, tid) pairs already named.
+  std::vector<u64> named_tracks_;
+};
+
+}  // namespace hmcsim

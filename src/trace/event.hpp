@@ -55,6 +55,9 @@ enum class TraceEvent : u8 {
   PacketSend,
   /// Host-facing recv drained a packet from a crossbar response queue.
   PacketRecv,
+  /// The crossbar arbiter routed a request into its destination vault
+  /// request queue (stages 1-2): the lifecycle Xbar -> VaultQueue edge.
+  VaultArrival,
 
   Count,
 };

@@ -1,0 +1,93 @@
+#include "trace/lifecycle.hpp"
+
+namespace hmcsim {
+
+std::string_view to_string(LifecycleSegment s) {
+  switch (s) {
+    case LifecycleSegment::Xbar: return "xbar";
+    case LifecycleSegment::VaultQueue: return "vault_queue";
+    case LifecycleSegment::BankConflict: return "bank_conflict";
+    case LifecycleSegment::Response: return "response";
+    case LifecycleSegment::Drain: return "drain";
+    case LifecycleSegment::Total: return "total";
+    case LifecycleSegment::Count: break;
+  }
+  return "unknown";
+}
+
+std::string_view to_string(OpClass c) {
+  switch (c) {
+    case OpClass::Read: return "read";
+    case OpClass::Write: return "write";
+    case OpClass::Atomic: return "atomic";
+    case OpClass::Other: return "other";
+    case OpClass::Count: break;
+  }
+  return "unknown";
+}
+
+OpClass op_class_of(Command cmd) {
+  if (is_read(cmd)) return OpClass::Read;
+  if (is_write(cmd)) return OpClass::Write;
+  if (is_atomic(cmd)) return OpClass::Atomic;
+  return OpClass::Other;
+}
+
+namespace {
+
+Cycle saturating_delta(Cycle later, Cycle earlier) {
+  return later > earlier ? later - earlier : 0;
+}
+
+}  // namespace
+
+Cycle segment_cycles(const PacketLifecycle& lc, LifecycleSegment s) {
+  // The queue wait splits at the first recognized conflict; without one
+  // the whole vault_arrive -> retire span is queue wait.
+  const Cycle conflict_start =
+      lc.first_conflict != 0 ? lc.first_conflict : lc.retire;
+  switch (s) {
+    case LifecycleSegment::Xbar:
+      return saturating_delta(lc.vault_arrive, lc.inject);
+    case LifecycleSegment::VaultQueue:
+      return saturating_delta(conflict_start, lc.vault_arrive);
+    case LifecycleSegment::BankConflict:
+      return saturating_delta(lc.retire, conflict_start);
+    case LifecycleSegment::Response:
+      return saturating_delta(lc.rsp_register, lc.retire);
+    case LifecycleSegment::Drain:
+      return saturating_delta(lc.drain, lc.rsp_register);
+    case LifecycleSegment::Total:
+      return saturating_delta(lc.drain, lc.inject);
+    case LifecycleSegment::Count:
+      break;
+  }
+  return 0;
+}
+
+void LifecycleSink::complete(const PacketLifecycle& lc) {
+  ++completed_;
+  const usize c = static_cast<usize>(op_class_of(lc.cmd));
+  for (usize s = 0; s < kLifecycleSegmentCount; ++s) {
+    stats_[c][s].add(segment_cycles(lc, static_cast<LifecycleSegment>(s)));
+  }
+  if (segment_cycles(lc, LifecycleSegment::BankConflict) != 0) ++conflicted_;
+}
+
+LatencyStats LifecycleSink::merged(LifecycleSegment s) const {
+  LatencyStats out;
+  for (usize c = 0; c < kOpClassCount; ++c) {
+    out.merge(stats_[c][static_cast<usize>(s)]);
+  }
+  return out;
+}
+
+void LifecycleSink::clear() {
+  completed_ = 0;
+  conflicted_ = 0;
+  for (auto& per_class : stats_) {
+    for (auto& st : per_class) st = LatencyStats{};
+  }
+}
+
+}  // namespace hmcsim

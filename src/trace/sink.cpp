@@ -23,6 +23,7 @@ std::string_view to_string(TraceEvent e) {
     case TraceEvent::RouteHop: return "ROUTE_HOP";
     case TraceEvent::PacketSend: return "SEND";
     case TraceEvent::PacketRecv: return "RECV";
+    case TraceEvent::VaultArrival: return "VAULT_ARRIVAL";
     case TraceEvent::Count: break;
   }
   return "UNKNOWN";
@@ -48,6 +49,7 @@ TraceLevel level_for(TraceEvent e) {
     case TraceEvent::RouteHop:
     case TraceEvent::PacketSend:
     case TraceEvent::PacketRecv:
+    case TraceEvent::VaultArrival:
     case TraceEvent::Count:
       return TraceLevel::SubCycle;
   }

@@ -1,46 +1,6 @@
 #include "workload/driver.hpp"
 
-#include <bit>
-
 namespace hmcsim {
-
-void LatencyStats::add(Cycle latency) {
-  ++count;
-  sum += latency;
-  min = std::min(min, latency);
-  max = std::max(max, latency);
-  const unsigned bucket =
-      latency == 0 ? 0
-                   : std::min<unsigned>(63 - static_cast<unsigned>(
-                                                 std::countl_zero(latency)),
-                                        log2_buckets.size() - 1);
-  ++log2_buckets[bucket];
-}
-
-Cycle LatencyStats::percentile(double p) const {
-  if (count == 0) return 0;
-  if (p <= 0.0) return min;
-  if (p >= 1.0) return max;
-  const double rank = p * static_cast<double>(count);
-  double seen = 0;
-  for (usize bucket = 0; bucket < log2_buckets.size(); ++bucket) {
-    const double in_bucket = static_cast<double>(log2_buckets[bucket]);
-    if (seen + in_bucket < rank) {
-      seen += in_bucket;
-      continue;
-    }
-    // Interpolate within [2^bucket, 2^(bucket+1)), clamped to the observed
-    // extremes so p-values near 0/1 stay inside [min, max].
-    const double lo = bucket == 0 ? 0.0 : static_cast<double>(Cycle{1} << bucket);
-    const double hi = static_cast<double>(Cycle{1} << (bucket + 1));
-    const double frac = in_bucket == 0.0 ? 0.0 : (rank - seen) / in_bucket;
-    const double value = lo + frac * (hi - lo);
-    const double clamped = std::min(static_cast<double>(max),
-                                    std::max(static_cast<double>(min), value));
-    return static_cast<Cycle>(clamped);
-  }
-  return max;
-}
 
 HostDriver::HostDriver(Simulator& sim, Generator& generator,
                        DriverConfig config)

@@ -18,6 +18,7 @@
 #include <array>
 #include <vector>
 
+#include "common/latency.hpp"
 #include "core/policy.hpp"
 #include "core/simulator.hpp"
 #include "workload/generator.hpp"
@@ -42,26 +43,8 @@ struct DriverConfig {
   Cycle max_cycles{0};
 };
 
-/// Aggregate request latency (send cycle -> response-drain cycle).
-struct LatencyStats {
-  u64 count{0};
-  u64 sum{0};
-  Cycle min{~Cycle{0}};
-  Cycle max{0};
-  /// log2-bucketed histogram: bucket i counts latencies in [2^i, 2^(i+1)).
-  std::array<u64, 40> log2_buckets{};
-
-  void add(Cycle latency);
-  [[nodiscard]] double mean() const {
-    return count == 0 ? 0.0 : static_cast<double>(sum) /
-                                  static_cast<double>(count);
-  }
-
-  /// Approximate percentile (p in [0,1]) from the log2 histogram: locate
-  /// the bucket holding the target rank and interpolate linearly inside
-  /// it.  Exact for p=0/p=1 (min/max); within a factor of 2 elsewhere.
-  [[nodiscard]] Cycle percentile(double p) const;
-};
+// LatencyStats (send cycle -> response-drain cycle aggregation) lives in
+// common/latency.hpp so the lifecycle observability layer can reuse it.
 
 struct DriverResult {
   Cycle cycles{0};        ///< simulated clock at completion

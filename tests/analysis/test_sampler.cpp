@@ -1,0 +1,111 @@
+#include "analysis/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/json.hpp"
+#include "tests/core/helpers.hpp"
+#include "trace/lifecycle.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(MetricsSampler, AttachedSamplerFiresOnTheInterval) {
+  Simulator sim = test::make_simple_sim();
+  MetricsSampler sampler;
+  sampler.attach(sim, 10);
+  EXPECT_EQ(sampler.interval(), 10u);
+
+  for (int i = 0; i < 35; ++i) sim.clock();
+  ASSERT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.samples()[0].cycle, 10u);
+  EXPECT_EQ(sampler.samples()[1].cycle, 20u);
+  EXPECT_EQ(sampler.samples()[2].cycle, 30u);
+
+  // Detach: no further samples accumulate.
+  sampler.attach(sim, 0);
+  for (int i = 0; i < 20; ++i) sim.clock();
+  EXPECT_EQ(sampler.samples().size(), 3u);
+}
+
+TEST(MetricsSampler, SnapshotSeesQueuedWorkAndCounters) {
+  Simulator sim = test::make_simple_sim();
+  // Park a few requests in the link queues without clocking.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd16, 0x40u * (i + 1),
+                                 static_cast<Tag>(i + 1)),
+              Status::Ok);
+  }
+  MetricsSampler sampler;
+  sampler.sample(sim);
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.samples()[0].link_rqst, 3u);
+  EXPECT_EQ(sampler.samples()[0].vault_rqst, 0u);
+
+  test::drain_all(sim);
+  sampler.sample(sim);
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  EXPECT_EQ(sampler.samples()[1].link_rqst, 0u);
+
+  sampler.clear();
+  EXPECT_TRUE(sampler.samples().empty());
+}
+
+TEST(MetricsSampler, CsvHasHeaderAndOneRowPerSample) {
+  Simulator sim = test::make_simple_sim();
+  MetricsSampler sampler;
+  sampler.attach(sim, 5);
+  for (int i = 0; i < 12; ++i) sim.clock();
+
+  std::ostringstream os;
+  sampler.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("cycle,link_rqst,link_rsp,vault_rqst,vault_rsp,"
+                      "mode_rsp,bank_conflicts,xbar_rqst_stalls,"
+                      "xbar_rsp_stalls,vault_rsp_stalls,send_stalls"),
+            0u);
+  usize lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + sampler.samples().size());
+}
+
+TEST(StatsJsonExtras, LifecycleAndSamplesSectionsAppear) {
+  Simulator sim = test::make_simple_sim();
+  auto lifecycle = std::make_shared<LifecycleSink>();
+  sim.add_lifecycle_observer(lifecycle);
+  MetricsSampler sampler;
+  sampler.attach(sim, 8);
+
+  ASSERT_EQ(test::send_request(sim, 0, 0, Command::Rd64, 0x40, 1),
+            Status::Ok);
+  ASSERT_TRUE(test::await_response(sim, 0, 0).has_value());
+  ASSERT_EQ(lifecycle->completed(), 1u);
+  // The response may drain before the first sampling interval elapses;
+  // idle-clock past it so the samples section has content.
+  for (int i = 0; i < 10; ++i) sim.clock();
+  ASSERT_FALSE(sampler.samples().empty());
+
+  std::ostringstream os;
+  ReportExtras extras;
+  extras.lifecycle = lifecycle.get();
+  extras.sampler = &sampler;
+  write_stats_json(os, sim, {}, extras);
+  const std::string text = os.str();
+  for (const char* expected :
+       {"\"latency_breakdown\":", "\"completed\":1", "\"classes\":",
+        "\"read\":", "\"total\":", "\"merged\":", "\"samples\":",
+        "\"interval\":8", "\"link_rqst\":"}) {
+    EXPECT_NE(text.find(expected), std::string::npos) << expected;
+  }
+  // Without extras the sections stay out of the document.
+  std::ostringstream plain;
+  write_stats_json(plain, sim);
+  EXPECT_EQ(plain.str().find("\"latency_breakdown\""), std::string::npos);
+  EXPECT_EQ(plain.str().find("\"samples\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -339,6 +339,137 @@ TEST_F(HmcFixture, CustomCommandThroughTheCApi) {
   EXPECT_EQ(counter, 2u);
 }
 
+TEST_F(HmcFixture, GetStatsMatchesNamedCounters) {
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  uint64_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x80, 2, HMC_WR64, 1, payload,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  for (int i = 0; i < 20; ++i) hmcsim_clock(&hmc);
+  (void)hmcsim_recv(&hmc, 0, 0, packet);
+  (void)hmcsim_recv(&hmc, 0, 1, packet);
+
+  struct hmcsim_stats stats;
+  ASSERT_EQ(hmcsim_get_stats(&hmc, 0, &stats), 0);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.sends, 2u);
+  EXPECT_EQ(stats.bytes_written, 64u);
+  // Every field must agree with its hmcsim_get_stat counterpart.
+  const struct {
+    const char* name;
+    uint64_t value;
+  } rows[] = {
+      {"reads", stats.reads},
+      {"writes", stats.writes},
+      {"atomics", stats.atomics},
+      {"bytes_read", stats.bytes_read},
+      {"bytes_written", stats.bytes_written},
+      {"responses", stats.responses},
+      {"bank_conflicts", stats.bank_conflicts},
+      {"xbar_rqst_stalls", stats.xbar_rqst_stalls},
+      {"sends", stats.sends},
+      {"recvs", stats.recvs},
+  };
+  for (const auto& row : rows) {
+    uint64_t value = ~0ull;
+    ASSERT_EQ(hmcsim_get_stat(&hmc, 0, row.name, &value), 0) << row.name;
+    EXPECT_EQ(value, row.value) << row.name;
+  }
+  // Invalid arguments.
+  EXPECT_EQ(hmcsim_get_stats(&hmc, 5, &stats), -1);
+  EXPECT_EQ(hmcsim_get_stats(&hmc, 0, nullptr), -1);
+  EXPECT_EQ(hmcsim_get_stats(nullptr, 0, &stats), -1);
+}
+
+TEST_F(HmcFixture, LifecycleStatsAfterTraffic) {
+  ASSERT_EQ(hmcsim_lifecycle_enable(&hmc), 0);
+  ASSERT_EQ(hmcsim_lifecycle_enable(&hmc), 0);  // idempotent
+
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  uint64_t payload[8] = {0};
+  int drained = 0;
+  for (int r = 0; r < 4; ++r) {
+    const bool write = (r % 2) == 1;
+    ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40u * (r + 1),
+                                      static_cast<uint16_t>(r + 1),
+                                      write ? HMC_WR64 : HMC_RD64, 0,
+                                      write ? payload : nullptr, nullptr,
+                                      nullptr, packet),
+              0);
+    ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  }
+  for (int i = 0; i < 100 && drained < 4; ++i) {
+    hmcsim_clock(&hmc);
+    while (hmcsim_recv(&hmc, 0, 0, packet) == 0) ++drained;
+  }
+  ASSERT_EQ(drained, 4);
+
+  hmcsim_latency_t total;
+  ASSERT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL, HMC_LC_TOTAL, &total), 0);
+  EXPECT_EQ(total.count, 4u);
+  EXPECT_GT(total.mean, 0.0);
+  EXPECT_GE(total.max, total.min);
+  EXPECT_GE(total.p99, total.p50);
+
+  hmcsim_latency_t reads, writes;
+  ASSERT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_READ, HMC_LC_TOTAL, &reads),
+            0);
+  ASSERT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_WRITE, HMC_LC_TOTAL, &writes),
+            0);
+  EXPECT_EQ(reads.count, 2u);
+  EXPECT_EQ(writes.count, 2u);
+
+  // Segment sums must be consistent with the end-to-end totals.
+  uint64_t segment_sum = 0;
+  for (int s = HMC_LC_XBAR; s <= HMC_LC_DRAIN; ++s) {
+    hmcsim_latency_t seg;
+    ASSERT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL,
+                                     static_cast<hmc_lifecycle_segment_t>(s),
+                                     &seg),
+              0);
+    EXPECT_EQ(seg.count, 4u);
+    segment_sum += static_cast<uint64_t>(seg.mean * seg.count + 0.5);
+  }
+  const uint64_t total_sum =
+      static_cast<uint64_t>(total.mean * total.count + 0.5);
+  EXPECT_NEAR(static_cast<double>(segment_sum),
+              static_cast<double>(total_sum), 1.0);
+
+  // Invalid arguments.
+  EXPECT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL, HMC_LC_TOTAL, nullptr),
+            -1);
+  EXPECT_EQ(hmcsim_lifecycle_stats(&hmc,
+                                   static_cast<hmc_op_class_t>(99),
+                                   HMC_LC_TOTAL, &total),
+            -1);
+  EXPECT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL,
+                                   static_cast<hmc_lifecycle_segment_t>(99),
+                                   &total),
+            -1);
+}
+
+TEST(CApiLifecycle, StatsBeforeEnableFail) {
+  hmcsim_t hmc{};
+  ASSERT_EQ(hmcsim_init(&hmc, 1, 4, 16, 8, 8, 8, 0, 8), 0);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(hmcsim_link_config(&hmc, 2, 0, i, i, HMC_LINK_HOST_DEV), 0);
+  }
+  hmcsim_latency_t out;
+  EXPECT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL, HMC_LC_TOTAL, &out), -1);
+  // Enabling after the topology froze still works.
+  ASSERT_EQ(hmcsim_clock(&hmc), 0);
+  ASSERT_EQ(hmcsim_lifecycle_enable(&hmc), 0);
+  ASSERT_EQ(hmcsim_lifecycle_stats(&hmc, HMC_OP_ALL, HMC_LC_TOTAL, &out), 0);
+  EXPECT_EQ(out.count, 0u);
+  EXPECT_EQ(hmcsim_free(&hmc), 0);
+}
+
 TEST(CApiTrace, TextTraceWrittenToFile) {
   hmcsim_t hmc{};
   ASSERT_EQ(hmcsim_init(&hmc, 1, 4, 16, 8, 8, 8, 0, 8), 0);

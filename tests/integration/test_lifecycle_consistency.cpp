@@ -1,0 +1,126 @@
+// Acceptance property for the lifecycle attribution layer: the per-packet
+// segment stamps must decompose exactly the latency the host driver
+// measures from the outside (send cycle -> drain cycle), packet by packet
+// and in aggregate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "tests/core/helpers.hpp"
+#include "trace/lifecycle.hpp"
+#include "workload/driver.hpp"
+#include "workload/generator.hpp"
+
+namespace hmcsim {
+namespace {
+
+/// Observer retaining every completed record for per-packet checks.
+struct RecordingObserver final : LifecycleObserver {
+  std::vector<PacketLifecycle> records;
+  void complete(const PacketLifecycle& lc) override {
+    records.push_back(lc);
+  }
+};
+
+TEST(LifecycleConsistency, SegmentsDecomposeDriverLatency) {
+  Simulator sim = test::make_simple_sim();
+  auto sink = std::make_shared<LifecycleSink>();
+  auto recorder = std::make_shared<RecordingObserver>();
+  sim.add_lifecycle_observer(sink);
+  sim.add_lifecycle_observer(recorder);
+
+  GeneratorConfig gc;
+  gc.capacity_bytes = sim.config().device.derived_capacity();
+  gc.request_bytes = 64;
+  gc.read_fraction = 0.5;
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = 4096;
+  HostDriver driver(sim, gen, dcfg);
+  const DriverResult result = driver.run();
+
+  // Aggregate equivalence: the lifecycle Total distribution is the same
+  // population the driver aggregated externally.
+  const LatencyStats total = sink->merged(LifecycleSegment::Total);
+  EXPECT_EQ(total.count, result.latency.count);
+  EXPECT_EQ(total.sum, result.latency.sum);
+  EXPECT_EQ(total.min, result.latency.min);
+  EXPECT_EQ(total.max, result.latency.max);
+  EXPECT_EQ(sink->completed(), result.completed);
+
+  // Per-packet equivalence: the five segments partition each packet's
+  // end-to-end latency with no gap and no overlap.
+  ASSERT_EQ(recorder->records.size(), result.completed);
+  for (const PacketLifecycle& lc : recorder->records) {
+    Cycle sum = 0;
+    for (usize s = 0; s < kLifecycleSegmentCount - 1; ++s) {
+      sum += segment_cycles(lc, static_cast<LifecycleSegment>(s));
+    }
+    ASSERT_EQ(sum, segment_cycles(lc, LifecycleSegment::Total))
+        << "tag " << lc.tag << " vault " << lc.vault;
+    // Stamps are monotone through the pipeline.
+    ASSERT_LE(lc.inject, lc.vault_arrive);
+    ASSERT_LE(lc.vault_arrive, lc.retire);
+    ASSERT_LE(lc.retire, lc.rsp_register);
+    ASSERT_LE(lc.rsp_register, lc.drain);
+  }
+
+  // The class split covers the whole population (reads + writes here).
+  EXPECT_EQ(sink->stats(OpClass::Read, LifecycleSegment::Total).count +
+                sink->stats(OpClass::Write, LifecycleSegment::Total).count,
+            total.count);
+  EXPECT_GT(sink->stats(OpClass::Read, LifecycleSegment::Total).count, 0u);
+  EXPECT_GT(sink->stats(OpClass::Write, LifecycleSegment::Total).count, 0u);
+
+  // Per-segment counts all cover the same population, and the segment sums
+  // fold back to the end-to-end sum.
+  u64 segment_sum = 0;
+  for (usize s = 0; s < kLifecycleSegmentCount - 1; ++s) {
+    const LatencyStats seg = sink->merged(static_cast<LifecycleSegment>(s));
+    EXPECT_EQ(seg.count, total.count);
+    segment_sum += seg.sum;
+  }
+  EXPECT_EQ(segment_sum, total.sum);
+}
+
+TEST(LifecycleConsistency, CheckpointRestorePreservesInFlightStamps) {
+  // Stamps ride the checkpoint: a restored simulator completes in-flight
+  // packets with the same attribution as the original.
+  Simulator sim = test::make_simple_sim();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(test::send_request(sim, 0, static_cast<u32>(i % 4),
+                                 Command::Rd64, 0x40u * (i + 1),
+                                 static_cast<Tag>(i + 1)),
+              Status::Ok);
+  }
+  for (int i = 0; i < 3; ++i) sim.clock();  // some in flight, none drained
+
+  std::stringstream snap;
+  ASSERT_EQ(sim.save_checkpoint(snap), Status::Ok);
+
+  auto finish = [](Simulator& s) {
+    auto sink = std::make_shared<LifecycleSink>();
+    s.add_lifecycle_observer(sink);
+    test::drain_all(s);
+    return sink;
+  };
+
+  Simulator restored = test::make_simple_sim();
+  ASSERT_EQ(restored.restore_checkpoint(snap), Status::Ok);
+  const auto original = finish(sim);
+  const auto copy = finish(restored);
+
+  ASSERT_EQ(original->completed(), 8u);
+  ASSERT_EQ(copy->completed(), 8u);
+  for (usize s = 0; s < kLifecycleSegmentCount; ++s) {
+    const auto seg = static_cast<LifecycleSegment>(s);
+    EXPECT_EQ(original->merged(seg).sum, copy->merged(seg).sum)
+        << to_string(seg);
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim

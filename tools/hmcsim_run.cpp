@@ -21,6 +21,9 @@
 //     --json <file|->       write the JSON report ('-' = stdout)
 //     --fig5-csv <file>     write the per-vault Figure-5 series CSV
 //     --trace-out <file>    write the full text trace (level 2)
+//     --chrome-trace <file> write a Chrome trace-event JSON (about:tracing)
+//     --metrics-interval <n> sample queue occupancies/stalls every n cycles
+//     --metrics-csv <file>  write the metric samples as CSV
 //     --seed <n>            generator seed (default 1)
 #include <cstdio>
 #include <cstring>
@@ -31,8 +34,11 @@
 
 #include "analysis/json.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sampler.hpp"
 #include "core/config_file.hpp"
 #include "core/simulator.hpp"
+#include "trace/chrome.hpp"
+#include "trace/lifecycle.hpp"
 #include "trace/series.hpp"
 #include "workload/driver.hpp"
 #include "workload/trace_file.hpp"
@@ -54,6 +60,9 @@ struct Args {
   std::string json_out;
   std::string fig5_csv;
   std::string trace_out;
+  std::string chrome_trace;
+  std::string metrics_csv;
+  u64 metrics_interval = 0;
   u32 seed = 1;
 };
 
@@ -64,48 +73,72 @@ void usage(const char* argv0) {
                "       [--trace-in FILE] [--requests N] "
                "[--read-fraction F] [--request-bytes N]\n"
                "       [--policy rr|local] [--json FILE|-] "
-               "[--fig5-csv FILE] [--trace-out FILE] [--seed N]\n",
+               "[--fig5-csv FILE] [--trace-out FILE]\n"
+               "       [--chrome-trace FILE] [--metrics-interval N] "
+               "[--metrics-csv FILE] [--seed N]\n",
                argv0);
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    const auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    const char* v = nullptr;
-    if (flag == "--config" && (v = next())) {
+    // Every option takes a value; an unrecognized option (or a recognized
+    // one with its value missing) is a hard error so typos cannot silently
+    // change an experiment.
+    const bool known =
+        flag == "--config" || flag == "--preset" || flag == "--topology" ||
+        flag == "--workload" || flag == "--trace-in" || flag == "--requests" ||
+        flag == "--read-fraction" || flag == "--request-bytes" ||
+        flag == "--policy" || flag == "--json" || flag == "--fig5-csv" ||
+        flag == "--trace-out" || flag == "--chrome-trace" ||
+        flag == "--metrics-interval" || flag == "--metrics-csv" ||
+        flag == "--seed";
+    if (!known) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", flag.c_str());
+      usage(argv[0]);
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: option '%s' requires a value\n",
+                   flag.c_str());
+      usage(argv[0]);
+      return false;
+    }
+    const char* v = argv[++i];
+    if (flag == "--config") {
       args.config_file = v;
-    } else if (flag == "--preset" && (v = next())) {
+    } else if (flag == "--preset") {
       args.preset = static_cast<char>(std::tolower(v[0]));
-    } else if (flag == "--topology" && (v = next())) {
+    } else if (flag == "--topology") {
       args.topology = v;
-    } else if (flag == "--workload" && (v = next())) {
+    } else if (flag == "--workload") {
       args.workload = v;
-    } else if (flag == "--trace-in" && (v = next())) {
+    } else if (flag == "--trace-in") {
       args.trace_in = v;
-    } else if (flag == "--requests" && (v = next())) {
+    } else if (flag == "--requests") {
       args.requests = std::strtoull(v, nullptr, 0);
-    } else if (flag == "--read-fraction" && (v = next())) {
+    } else if (flag == "--read-fraction") {
       args.read_fraction = std::strtod(v, nullptr);
-    } else if (flag == "--request-bytes" && (v = next())) {
+    } else if (flag == "--request-bytes") {
       args.request_bytes = static_cast<u32>(std::strtoul(v, nullptr, 0));
-    } else if (flag == "--policy" && (v = next())) {
+    } else if (flag == "--policy") {
       args.policy = std::strcmp(v, "local") == 0
                         ? InjectionPolicy::LocalityAware
                         : InjectionPolicy::RoundRobin;
-    } else if (flag == "--json" && (v = next())) {
+    } else if (flag == "--json") {
       args.json_out = v;
-    } else if (flag == "--fig5-csv" && (v = next())) {
+    } else if (flag == "--fig5-csv") {
       args.fig5_csv = v;
-    } else if (flag == "--trace-out" && (v = next())) {
+    } else if (flag == "--trace-out") {
       args.trace_out = v;
-    } else if (flag == "--seed" && (v = next())) {
+    } else if (flag == "--chrome-trace") {
+      args.chrome_trace = v;
+    } else if (flag == "--metrics-interval") {
+      args.metrics_interval = std::strtoull(v, nullptr, 0);
+    } else if (flag == "--metrics-csv") {
+      args.metrics_csv = v;
+    } else if (flag == "--seed") {
       args.seed = static_cast<u32>(std::strtoul(v, nullptr, 0));
-    } else {
-      usage(argv[0]);
-      return false;
     }
   }
   return true;
@@ -252,6 +285,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The lifecycle sink is always on: it feeds the latency breakdown in
+  // the summary and the JSON report, and costs O(1) memory.
+  auto lifecycle = std::make_shared<LifecycleSink>();
+  sim.add_lifecycle_observer(lifecycle);
+
+  std::ofstream chrome_file;
+  std::shared_ptr<ChromeTraceSink> chrome;
+  if (!args.chrome_trace.empty()) {
+    chrome_file.open(args.chrome_trace);
+    if (!chrome_file) {
+      std::fprintf(stderr, "cannot open %s\n", args.chrome_trace.c_str());
+      return 1;
+    }
+    chrome = std::make_shared<ChromeTraceSink>(chrome_file);
+    sim.add_lifecycle_observer(chrome);
+  }
+
+  MetricsSampler sampler;
+  if (args.metrics_interval != 0) {
+    sampler.attach(sim, args.metrics_interval);
+  }
+
   // ---- workload -------------------------------------------------------------
   const std::unique_ptr<Generator> gen = make_generator(args, config.device);
   if (!gen) return 1;
@@ -294,19 +349,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.bank_conflicts),
               static_cast<unsigned long long>(s.xbar_rqst_stalls),
               static_cast<unsigned long long>(s.latency_penalties));
+  if (lifecycle->completed() != 0) {
+    std::printf("%s", format_latency_breakdown(*lifecycle).c_str());
+  }
 
+  ReportExtras extras;
+  extras.lifecycle = lifecycle.get();
+  if (args.metrics_interval != 0) extras.sampler = &sampler;
   if (!args.json_out.empty()) {
     if (args.json_out == "-") {
-      write_stats_json(std::cout, sim);
+      write_stats_json(std::cout, sim, {}, extras);
     } else {
       std::ofstream out(args.json_out);
       if (!out) {
         std::fprintf(stderr, "cannot open %s\n", args.json_out.c_str());
         return 1;
       }
-      write_stats_json(out, sim);
+      write_stats_json(out, sim, {}, extras);
       std::printf("json      : %s\n", args.json_out.c_str());
     }
+  }
+  if (chrome) {
+    chrome->finish();
+    chrome_file.flush();
+    std::printf("chrome    : %s (%llu packets)\n", args.chrome_trace.c_str(),
+                static_cast<unsigned long long>(chrome->packets_emitted()));
+  }
+  if (!args.metrics_csv.empty()) {
+    std::ofstream out(args.metrics_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.metrics_csv.c_str());
+      return 1;
+    }
+    sampler.write_csv(out);
+    std::printf("metrics   : %s (%llu samples)\n", args.metrics_csv.c_str(),
+                static_cast<unsigned long long>(sampler.samples().size()));
   }
   if (series) {
     std::ofstream out(args.fig5_csv);
