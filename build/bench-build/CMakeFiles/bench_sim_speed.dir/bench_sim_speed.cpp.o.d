@@ -214,21 +214,22 @@ bench-build/CMakeFiles/bench_sim_speed.dir/bench_sim_speed.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/simulator.hpp \
- /root/repo/src/core/custom_command.hpp /usr/include/c++/12/array \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/common/limits.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/common/status.hpp /root/repo/src/packet/packet.hpp \
- /usr/include/c++/12/span /root/repo/src/common/bitops.hpp \
- /root/repo/src/packet/command.hpp /root/repo/src/core/device.hpp \
- /root/repo/src/common/random.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/mem/address_map.hpp /root/repo/src/core/stats.hpp \
- /root/repo/src/mem/storage.hpp /root/repo/src/queue/queue.hpp \
- /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional \
- /root/repo/src/topo/topology.hpp /root/repo/src/trace/tracer.hpp \
- /root/repo/src/trace/event.hpp /root/repo/src/trace/sink.hpp \
- /root/repo/src/trace/series.hpp /root/repo/src/workload/driver.hpp \
- /root/repo/src/core/policy.hpp /root/repo/src/workload/generator.hpp
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/core/custom_command.hpp /root/repo/src/common/limits.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/common/status.hpp \
+ /root/repo/src/packet/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/bitops.hpp /root/repo/src/packet/command.hpp \
+ /root/repo/src/core/device.hpp /root/repo/src/common/random.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/mem/address_map.hpp \
+ /root/repo/src/core/stats.hpp /root/repo/src/mem/storage.hpp \
+ /root/repo/src/queue/queue.hpp /root/repo/src/reg/registers.hpp \
+ /usr/include/c++/12/optional /root/repo/src/trace/lifecycle.hpp \
+ /root/repo/src/common/latency.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/trace/tracer.hpp /root/repo/src/trace/event.hpp \
+ /root/repo/src/trace/sink.hpp /root/repo/src/trace/series.hpp \
+ /root/repo/src/workload/driver.hpp /root/repo/src/core/policy.hpp \
+ /root/repo/src/workload/generator.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trace_overhead.cpp" "bench-build/CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cpp.o" "gcc" "bench-build/CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capi/CMakeFiles/hmcsim_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hmcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hmcsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hmcsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/reg/CMakeFiles/hmcsim_reg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/hmcsim_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hmcsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

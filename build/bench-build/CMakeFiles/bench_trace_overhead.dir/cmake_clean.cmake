@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_overhead"
+  "../bench/bench_trace_overhead.pdb"
+  "CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cpp.o"
+  "CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -119,17 +119,33 @@ bench-build/CMakeFiles/bench_vault_schedule.dir/bench_vault_schedule.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/core/simulator.hpp /usr/include/c++/12/memory \
+ /root/repo/src/core/simulator.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -164,7 +180,6 @@ bench-build/CMakeFiles/bench_vault_schedule.dir/bench_vault_schedule.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -195,35 +210,22 @@ bench-build/CMakeFiles/bench_vault_schedule.dir/bench_vault_schedule.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/core/custom_command.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/limits.hpp /root/repo/src/common/types.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/common/status.hpp \
- /root/repo/src/packet/packet.hpp /usr/include/c++/12/span \
- /root/repo/src/common/bitops.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/packet/command.hpp \
- /root/repo/src/core/device.hpp /root/repo/src/common/random.hpp \
- /root/repo/src/core/config.hpp /root/repo/src/mem/address_map.hpp \
- /root/repo/src/core/stats.hpp /root/repo/src/mem/storage.hpp \
- /root/repo/src/queue/queue.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/custom_command.hpp /root/repo/src/common/limits.hpp \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/common/status.hpp /root/repo/src/packet/packet.hpp \
+ /usr/include/c++/12/span /root/repo/src/common/bitops.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/packet/command.hpp /root/repo/src/core/device.hpp \
+ /root/repo/src/common/random.hpp /root/repo/src/core/config.hpp \
+ /root/repo/src/mem/address_map.hpp /root/repo/src/core/stats.hpp \
+ /root/repo/src/mem/storage.hpp /root/repo/src/queue/queue.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional \
+ /root/repo/src/trace/lifecycle.hpp /root/repo/src/common/latency.hpp \
  /root/repo/src/topo/topology.hpp /root/repo/src/trace/tracer.hpp \
  /root/repo/src/trace/event.hpp /root/repo/src/trace/sink.hpp \
  /root/repo/src/workload/driver.hpp /root/repo/src/core/policy.hpp \

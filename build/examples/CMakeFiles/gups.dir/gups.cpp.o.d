@@ -224,5 +224,6 @@ examples/CMakeFiles/gups.dir/gups.cpp.o: /root/repo/examples/gups.cpp \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional \
+ /root/repo/src/trace/lifecycle.hpp /root/repo/src/common/latency.hpp \
  /root/repo/src/topo/topology.hpp /root/repo/src/trace/tracer.hpp \
  /root/repo/src/trace/event.hpp /root/repo/src/trace/sink.hpp

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/occupancy.cpp" "src/analysis/CMakeFiles/hmcsim_analysis.dir/occupancy.cpp.o" "gcc" "src/analysis/CMakeFiles/hmcsim_analysis.dir/occupancy.cpp.o.d"
   "/root/repo/src/analysis/power.cpp" "src/analysis/CMakeFiles/hmcsim_analysis.dir/power.cpp.o" "gcc" "src/analysis/CMakeFiles/hmcsim_analysis.dir/power.cpp.o.d"
   "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/hmcsim_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/hmcsim_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/sampler.cpp" "src/analysis/CMakeFiles/hmcsim_analysis.dir/sampler.cpp.o" "gcc" "src/analysis/CMakeFiles/hmcsim_analysis.dir/sampler.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hmcsim_analysis.dir/power.cpp.o.d"
   "CMakeFiles/hmcsim_analysis.dir/report.cpp.o"
   "CMakeFiles/hmcsim_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/hmcsim_analysis.dir/sampler.cpp.o"
+  "CMakeFiles/hmcsim_analysis.dir/sampler.cpp.o.d"
   "libhmcsim_analysis.a"
   "libhmcsim_analysis.pdb"
 )

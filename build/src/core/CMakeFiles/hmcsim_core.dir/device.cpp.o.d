@@ -221,4 +221,5 @@ src/core/CMakeFiles/hmcsim_core.dir/device.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional
+ /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional \
+ /root/repo/src/trace/lifecycle.hpp /root/repo/src/common/latency.hpp

@@ -223,5 +223,6 @@ src/core/CMakeFiles/hmcsim_core.dir/memory_system.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/reg/registers.hpp /usr/include/c++/12/optional \
+ /root/repo/src/trace/lifecycle.hpp /root/repo/src/common/latency.hpp \
  /root/repo/src/topo/topology.hpp /root/repo/src/trace/tracer.hpp \
  /root/repo/src/trace/event.hpp /root/repo/src/trace/sink.hpp

@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/chrome.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/chrome.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/chrome.cpp.o.d"
+  "/root/repo/src/trace/lifecycle.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/lifecycle.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/lifecycle.cpp.o.d"
   "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/reader.cpp.o.d"
   "/root/repo/src/trace/series.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/series.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/series.cpp.o.d"
   "/root/repo/src/trace/sink.cpp" "src/trace/CMakeFiles/hmcsim_trace.dir/sink.cpp.o" "gcc" "src/trace/CMakeFiles/hmcsim_trace.dir/sink.cpp.o.d"

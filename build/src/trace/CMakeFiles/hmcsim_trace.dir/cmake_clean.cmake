@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/hmcsim_trace.dir/chrome.cpp.o"
+  "CMakeFiles/hmcsim_trace.dir/chrome.cpp.o.d"
+  "CMakeFiles/hmcsim_trace.dir/lifecycle.cpp.o"
+  "CMakeFiles/hmcsim_trace.dir/lifecycle.cpp.o.d"
   "CMakeFiles/hmcsim_trace.dir/reader.cpp.o"
   "CMakeFiles/hmcsim_trace.dir/reader.cpp.o.d"
   "CMakeFiles/hmcsim_trace.dir/series.cpp.o"

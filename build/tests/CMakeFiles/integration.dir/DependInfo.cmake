@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_lifecycle_consistency.cpp" "tests/CMakeFiles/integration.dir/integration/test_lifecycle_consistency.cpp.o" "gcc" "tests/CMakeFiles/integration.dir/integration/test_lifecycle_consistency.cpp.o.d"
   "/root/repo/tests/integration/test_ordering.cpp" "tests/CMakeFiles/integration.dir/integration/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/integration.dir/integration/test_ordering.cpp.o.d"
   "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/integration.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/integration.dir/integration/test_properties.cpp.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o"
   "CMakeFiles/integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/integration.dir/integration/test_lifecycle_consistency.cpp.o"
+  "CMakeFiles/integration.dir/integration/test_lifecycle_consistency.cpp.o.d"
   "CMakeFiles/integration.dir/integration/test_ordering.cpp.o"
   "CMakeFiles/integration.dir/integration/test_ordering.cpp.o.d"
   "CMakeFiles/integration.dir/integration/test_properties.cpp.o"

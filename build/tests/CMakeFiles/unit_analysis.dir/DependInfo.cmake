@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/test_occupancy.cpp" "tests/CMakeFiles/unit_analysis.dir/analysis/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/unit_analysis.dir/analysis/test_occupancy.cpp.o.d"
   "/root/repo/tests/analysis/test_power.cpp" "tests/CMakeFiles/unit_analysis.dir/analysis/test_power.cpp.o" "gcc" "tests/CMakeFiles/unit_analysis.dir/analysis/test_power.cpp.o.d"
   "/root/repo/tests/analysis/test_report.cpp" "tests/CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o" "gcc" "tests/CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o.d"
+  "/root/repo/tests/analysis/test_sampler.cpp" "tests/CMakeFiles/unit_analysis.dir/analysis/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/unit_analysis.dir/analysis/test_sampler.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/unit_analysis.dir/analysis/test_power.cpp.o.d"
   "CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o"
   "CMakeFiles/unit_analysis.dir/analysis/test_report.cpp.o.d"
+  "CMakeFiles/unit_analysis.dir/analysis/test_sampler.cpp.o"
+  "CMakeFiles/unit_analysis.dir/analysis/test_sampler.cpp.o.d"
   "unit_analysis"
   "unit_analysis.pdb"
   "unit_analysis[1]_tests.cmake"

@@ -305,6 +305,7 @@ tests/CMakeFiles/unit_core.dir/core/test_eight_link.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/reg/registers.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/reg/registers.hpp /root/repo/src/trace/lifecycle.hpp \
+ /root/repo/src/common/latency.hpp /root/repo/src/topo/topology.hpp \
  /root/repo/src/trace/tracer.hpp /root/repo/src/trace/event.hpp \
  /root/repo/src/trace/sink.hpp

@@ -305,7 +305,8 @@ tests/CMakeFiles/unit_core.dir/core/test_row_policy.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/reg/registers.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/reg/registers.hpp /root/repo/src/trace/lifecycle.hpp \
+ /root/repo/src/common/latency.hpp /root/repo/src/topo/topology.hpp \
  /root/repo/src/trace/tracer.hpp /root/repo/src/trace/event.hpp \
  /root/repo/src/trace/sink.hpp /root/repo/src/workload/driver.hpp \
  /root/repo/src/core/policy.hpp /root/repo/src/workload/generator.hpp

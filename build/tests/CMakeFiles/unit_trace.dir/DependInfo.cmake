@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_lifecycle.cpp" "tests/CMakeFiles/unit_trace.dir/trace/test_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/unit_trace.dir/trace/test_lifecycle.cpp.o.d"
   "/root/repo/tests/trace/test_reader.cpp" "tests/CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o" "gcc" "tests/CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o.d"
   "/root/repo/tests/trace/test_series.cpp" "tests/CMakeFiles/unit_trace.dir/trace/test_series.cpp.o" "gcc" "tests/CMakeFiles/unit_trace.dir/trace/test_series.cpp.o.d"
   "/root/repo/tests/trace/test_sinks.cpp" "tests/CMakeFiles/unit_trace.dir/trace/test_sinks.cpp.o" "gcc" "tests/CMakeFiles/unit_trace.dir/trace/test_sinks.cpp.o.d"

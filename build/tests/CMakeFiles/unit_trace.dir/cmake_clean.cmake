@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/unit_trace.dir/trace/test_lifecycle.cpp.o"
+  "CMakeFiles/unit_trace.dir/trace/test_lifecycle.cpp.o.d"
   "CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o"
   "CMakeFiles/unit_trace.dir/trace/test_reader.cpp.o.d"
   "CMakeFiles/unit_trace.dir/trace/test_series.cpp.o"

@@ -306,7 +306,8 @@ tests/CMakeFiles/unit_workload.dir/workload/test_trace_file.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/reg/registers.hpp /root/repo/src/topo/topology.hpp \
+ /root/repo/src/reg/registers.hpp /root/repo/src/trace/lifecycle.hpp \
+ /root/repo/src/common/latency.hpp /root/repo/src/topo/topology.hpp \
  /root/repo/src/trace/tracer.hpp /root/repo/src/trace/event.hpp \
  /root/repo/src/trace/sink.hpp /root/repo/src/workload/driver.hpp \
  /root/repo/src/core/policy.hpp
