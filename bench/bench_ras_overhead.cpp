@@ -1,0 +1,139 @@
+// RAS cost microbenchmarks (google-benchmark): what ECC, scrubbing, vault
+// degradation, and the watchdog cost — and, critically, what they cost when
+// switched OFF.
+//
+// The perf contract (src/core/ras.cpp) is that every RAS entry point sits
+// behind a single config-gated branch in the clock engine, so a default
+// configuration pays ~0 for the subsystem's existence.  Compare
+// BM_RequestsRas/off against BM_RequestsRas/ecc+scrub+watchdog to see the
+// enabled cost, and against bench_sim_speed's BM_SimulatedRequests history
+// to confirm the off-path did not regress.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+enum RasMode : int { kOff = 0, kEcc = 1, kEccScrub = 2, kFullRas = 3 };
+
+DeviceConfig bench_device(RasMode mode) {
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  // model_data on for every mode: ECC decode only exists for modeled data,
+  // and keeping it constant isolates the RAS knobs themselves.
+  dc.model_data = true;
+  if (mode >= kEcc) {
+    dc.dram_sbe_rate_ppm = 10'000;  // ~1% of accesses plant a latent flip
+    dc.dram_dbe_rate_ppm = 100;
+  }
+  if (mode >= kEccScrub) {
+    dc.scrub_interval_cycles = 64;
+    dc.scrub_window_bytes = 1 << 20;
+  }
+  if (mode >= kFullRas) {
+    dc.vault_fail_threshold = 1'000'000;  // armed but never tripping
+    dc.vault_remap = true;
+    dc.watchdog_cycles = 100'000;
+  }
+  return dc;
+}
+
+const char* mode_name(RasMode mode) {
+  switch (mode) {
+    case kOff: return "off";
+    case kEcc: return "ecc";
+    case kEccScrub: return "ecc+scrub";
+    default: return "ecc+scrub+watchdog";
+  }
+}
+
+/// Saturating random traffic; items/sec is retired requests per host
+/// second.  Arg 0 selects the RAS mode.
+void BM_RequestsRas(benchmark::State& state) {
+  const RasMode mode = static_cast<RasMode>(state.range(0));
+  state.SetLabel(mode_name(mode));
+  Simulator sim;
+  const DeviceConfig dc = bench_device(mode);
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+
+  u64 retired = 0;
+  for (auto _ : state) {
+    DriverConfig dcfg;
+    dcfg.total_requests = 1 << 14;
+    HostDriver driver(sim, gen, dcfg);
+    retired += driver.run().completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(retired));
+}
+BENCHMARK(BM_RequestsRas)
+    ->Arg(kOff)
+    ->Arg(kEcc)
+    ->Arg(kEccScrub)
+    ->Arg(kFullRas)
+    ->Unit(benchmark::kMillisecond);
+
+/// Idle-cycle floor with and without the full RAS stack armed: the gap is
+/// the per-cycle price of scrub scheduling + watchdog fingerprinting.
+void BM_IdleCycleRas(benchmark::State& state) {
+  const RasMode mode = static_cast<RasMode>(state.range(0));
+  state.SetLabel(mode_name(mode));
+  Simulator sim;
+  if (!ok(sim.init_simple(bench_device(mode)))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  for (auto _ : state) {
+    sim.clock();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdleCycleRas)->Arg(kOff)->Arg(kFullRas);
+
+/// Host-side retry machinery cost when armed but idle: a generous timeout
+/// never trips, so this measures the per-step bookkeeping alone.
+void BM_DriverTimeoutBookkeeping(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  state.SetLabel(armed ? "timeout-armed" : "timeout-off");
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  dc.model_data = false;
+  Simulator sim;
+  if (!ok(sim.init_simple(dc))) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+  RandomAccessGenerator gen(gc);
+
+  u64 retired = 0;
+  for (auto _ : state) {
+    DriverConfig dcfg;
+    dcfg.total_requests = 1 << 14;
+    if (armed) {
+      dcfg.response_timeout_cycles = 1'000'000;
+      dcfg.retry_limit = 4;
+      dcfg.retry_backoff_cycles = 16;
+    }
+    HostDriver driver(sim, gen, dcfg);
+    retired += driver.run().completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(retired));
+}
+BENCHMARK(BM_DriverTimeoutBookkeeping)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hmcsim
+
+BENCHMARK_MAIN();

@@ -142,6 +142,25 @@ void write_device_stats(JsonWriter& json, const DeviceStats& s) {
   json.kv("send_stalls", s.send_stalls);
   json.kv("recvs", s.recvs);
   json.kv("flow_packets", s.flow_packets);
+  json.kv("dram_sbes", s.dram_sbes);
+  json.kv("dram_dbes", s.dram_dbes);
+  json.kv("scrub_steps", s.scrub_steps);
+  json.kv("scrub_corrections", s.scrub_corrections);
+  json.kv("scrub_uncorrectables", s.scrub_uncorrectables);
+  json.kv("vault_failures", s.vault_failures);
+  json.kv("vault_remaps", s.vault_remaps);
+  json.kv("degraded_drops", s.degraded_drops);
+  json.end_object();
+}
+
+void write_device_ras(JsonWriter& json, const Device& dev) {
+  json.begin_object();
+  json.kv("failed_vaults", dev.ras.failed_vaults);
+  json.kv("scrub_cursor", dev.ras.scrub_cursor);
+  json.kv("scrub_passes", dev.ras.scrub_passes);
+  json.kv("last_error_addr", dev.ras.last_error_addr);
+  json.kv("last_error_stat", u64{dev.ras.last_error_stat});
+  json.kv("pending_faults", dev.store.fault_count());
   json.end_object();
 }
 
@@ -243,6 +262,14 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
                                                           : "strict_fifo");
     json.kv("link_error_rate_ppm", u64{dc.link_error_rate_ppm});
     json.kv("model_data", dc.model_data);
+    json.kv("dram_sbe_rate_ppm", u64{dc.dram_sbe_rate_ppm});
+    json.kv("dram_dbe_rate_ppm", u64{dc.dram_dbe_rate_ppm});
+    json.kv("scrub_interval_cycles", u64{dc.scrub_interval_cycles});
+    json.kv("scrub_window_bytes", dc.scrub_window_bytes);
+    json.kv("vault_fail_threshold", u64{dc.vault_fail_threshold});
+    json.kv("failed_vault_mask", dc.failed_vault_mask);
+    json.kv("vault_remap", dc.vault_remap);
+    json.kv("watchdog_cycles", u64{dc.watchdog_cycles});
     json.end_object();
 
     json.key("totals");
@@ -253,6 +280,15 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
       write_device_stats(json, sim.stats(d));
     }
     json.end_array();
+
+    json.key("ras").begin_object();
+    json.kv("watchdog_fired", sim.watchdog_fired());
+    json.key("devices").begin_array();
+    for (u32 d = 0; d < sim.num_devices(); ++d) {
+      write_device_ras(json, sim.device(d));
+    }
+    json.end_array();
+    json.end_object();
 
     json.key("links").begin_array();
     for (const LinkUtilization& u : link_utilization(sim)) {

@@ -3,6 +3,7 @@
 // because the original API wires the topology *after* hmcsim_init.
 #include "capi/hmc_sim.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <ostream>
@@ -378,6 +379,14 @@ int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
   else if (key == "refreshes") *value = s.refreshes;
   else if (key == "row_hits") *value = s.row_hits;
   else if (key == "row_misses") *value = s.row_misses;
+  else if (key == "dram_sbes") *value = s.dram_sbes;
+  else if (key == "dram_dbes") *value = s.dram_dbes;
+  else if (key == "scrub_steps") *value = s.scrub_steps;
+  else if (key == "scrub_corrections") *value = s.scrub_corrections;
+  else if (key == "scrub_uncorrectables") *value = s.scrub_uncorrectables;
+  else if (key == "vault_failures") *value = s.vault_failures;
+  else if (key == "vault_remaps") *value = s.vault_remaps;
+  else if (key == "degraded_drops") *value = s.degraded_drops;
   else return -1;
   return 0;
 }
@@ -414,7 +423,26 @@ int hmcsim_get_stats(struct hmcsim_t* hmc, uint32_t dev,
   out->send_stalls = s.send_stalls;
   out->recvs = s.recvs;
   out->flow_packets = s.flow_packets;
+  out->dram_sbes = s.dram_sbes;
+  out->dram_dbes = s.dram_dbes;
+  out->scrub_steps = s.scrub_steps;
+  out->scrub_corrections = s.scrub_corrections;
+  out->scrub_uncorrectables = s.scrub_uncorrectables;
+  out->vault_failures = s.vault_failures;
+  out->vault_remaps = s.vault_remaps;
+  out->degraded_drops = s.degraded_drops;
   return 0;
+}
+
+int hmcsim_watchdog_fired(struct hmcsim_t* hmc, FILE* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr) return -1;
+  if (!shim->sim.watchdog_fired()) return 0;
+  if (out != nullptr) {
+    const std::string report = shim->sim.watchdog_report();
+    std::fwrite(report.data(), 1, report.size(), out);
+  }
+  return 1;
 }
 
 int hmcsim_lifecycle_enable(struct hmcsim_t* hmc) {

@@ -191,6 +191,16 @@ struct hmcsim_stats {
   uint64_t send_stalls;
   uint64_t recvs;
   uint64_t flow_packets;
+  /* RAS counters (zero unless DRAM fault injection / scrubbing / vault
+   * degradation are configured). */
+  uint64_t dram_sbes;
+  uint64_t dram_dbes;
+  uint64_t scrub_steps;
+  uint64_t scrub_corrections;
+  uint64_t scrub_uncorrectables;
+  uint64_t vault_failures;
+  uint64_t vault_remaps;
+  uint64_t degraded_drops;
 };
 
 /* Fill `out` with device `dev`'s current counters. */
@@ -236,6 +246,14 @@ int hmcsim_lifecycle_stats(struct hmcsim_t* hmc, hmc_op_class_t op,
 /* Dump the full run report (config, counters, link utilization, energy
  * estimate) as a JSON document to `out`. */
 int hmcsim_dump_stats_json(struct hmcsim_t* hmc, FILE* out);
+
+/*
+ * RAS: forward-progress watchdog status.  Returns 1 when the watchdog has
+ * tripped (the simulator refuses further clocks), 0 when it has not, -1 on
+ * a bad handle.  When tripped and `out` is non-NULL, the diagnostic dump
+ * (queue occupancies, in-flight tags, lifecycle stamps) is written there.
+ */
+int hmcsim_watchdog_fired(struct hmcsim_t* hmc, FILE* out);
 
 /*
  * Custom memory cube (CMC) commands.

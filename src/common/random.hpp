@@ -88,6 +88,9 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  /// Raw state for checkpointing; reconstruct with SplitMix64(state()).
+  [[nodiscard]] constexpr u64 state() const { return state_; }
+
   constexpr bool operator==(const SplitMix64&) const = default;
 
  private:

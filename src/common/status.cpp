@@ -22,6 +22,8 @@ std::string_view to_string(Status s) {
       return "NoSuchRegister";
     case Status::ReadOnlyRegister:
       return "ReadOnlyRegister";
+    case Status::Deadlock:
+      return "Deadlock";
     case Status::Internal:
       return "Internal";
   }

@@ -34,6 +34,11 @@ enum class Status : int {
   NoSuchRegister,
   /// Write attempted on a read-only register.
   ReadOnlyRegister,
+  /// The forward-progress watchdog tripped: `watchdog_cycles` consecutive
+  /// clocks passed with queued work but zero progress anywhere in the
+  /// device set.  Further clocks are refused; consult
+  /// Simulator::watchdog_report() for the diagnostic dump.
+  Deadlock,
   /// Internal invariant violation; indicates a simulator bug.
   Internal,
 };

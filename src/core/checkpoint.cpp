@@ -27,7 +27,11 @@ namespace {
 
 constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // Version 2 added per-entry PacketLifecycle stamps to both queue records.
-constexpr u32 kVersion = 2;
+// Version 3 added the RAS subsystem: new config knobs and stats counters,
+// the fault-injection RNG state (previously lost across restore, so
+// fault-injected runs diverged), the DRAM fault sidecar, scrubber/
+// degradation state, and the forward-progress watchdog state.
+constexpr u32 kVersion = 3;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -230,7 +234,10 @@ void put_stats(std::ostream& os, const DeviceStats& s) {
                         s.vault_rsp_stalls, s.latency_penalties,
                         s.route_hops, s.misroutes, s.link_errors, s.link_retries, s.refreshes, s.row_hits, s.row_misses, s.sends,
                         s.send_stalls,
-                        s.recvs, s.flow_packets};
+                        s.recvs, s.flow_packets,
+                        s.dram_sbes, s.dram_dbes, s.scrub_steps,
+                        s.scrub_corrections, s.scrub_uncorrectables,
+                        s.vault_failures, s.vault_remaps, s.degraded_drops};
   for (const u64 f : fields) put_u64(os, f);
 }
 
@@ -243,7 +250,10 @@ bool get_stats(std::istream& is, DeviceStats& s) {
                    &s.misroutes, &s.link_errors, &s.link_retries, &s.refreshes, &s.row_hits,
                    &s.row_misses, &s.sends,
                    &s.send_stalls,
-                   &s.recvs, &s.flow_packets};
+                   &s.recvs, &s.flow_packets,
+                   &s.dram_sbes, &s.dram_dbes, &s.scrub_steps,
+                   &s.scrub_corrections, &s.scrub_uncorrectables,
+                   &s.vault_failures, &s.vault_remaps, &s.degraded_drops};
   for (u64* f : fields) {
     if (!get_u64(is, *f)) return false;
   }
@@ -274,6 +284,14 @@ void put_device_config(std::ostream& os, const DeviceConfig& c) {
   put_u32(os, c.row_hit_cycles);
   put_u32(os, c.row_miss_cycles);
   put_u8(os, c.model_data ? 1 : 0);
+  put_u32(os, c.dram_sbe_rate_ppm);
+  put_u32(os, c.dram_dbe_rate_ppm);
+  put_u32(os, c.scrub_interval_cycles);
+  put_u64(os, c.scrub_window_bytes);
+  put_u32(os, c.vault_fail_threshold);
+  put_u64(os, c.failed_vault_mask);
+  put_u8(os, c.vault_remap ? 1 : 0);
+  put_u32(os, c.watchdog_cycles);
 }
 
 bool get_device_config(std::istream& is, DeviceConfig& c) {
@@ -296,6 +314,16 @@ bool get_device_config(std::istream& is, DeviceConfig& c) {
       !get_u8(is, model_data)) {
     return false;
   }
+  u8 vault_remap = 0;
+  if (!get_u32(is, c.dram_sbe_rate_ppm) || !get_u32(is, c.dram_dbe_rate_ppm) ||
+      !get_u32(is, c.scrub_interval_cycles) ||
+      !get_u64(is, c.scrub_window_bytes) ||
+      !get_u32(is, c.vault_fail_threshold) ||
+      !get_u64(is, c.failed_vault_mask) || !get_u8(is, vault_remap) ||
+      !get_u32(is, c.watchdog_cycles)) {
+    return false;
+  }
+  c.vault_remap = vault_remap != 0;
   c.xbar_depth = static_cast<usize>(xbar);
   c.vault_depth = static_cast<usize>(vault);
   c.map_mode = static_cast<AddrMapMode>(map_mode);
@@ -369,7 +397,28 @@ Status Simulator::save_checkpoint(std::ostream& os) const {
       for (const u64 row : vault.open_row) put_u64(os, row);
     }
     put_response_queue(os, dev.mode_rsp);
+
+    // RAS state (v3): RNG, fault sidecar (ascending order by construction),
+    // degradation, error log, scrub cursor.
+    put_u64(os, dev.fault_rng.state());
+    put_u64(os, dev.store.fault_count());
+    dev.store.for_each_fault([&](u64 word, u64 data_flips, u8 check_flips) {
+      put_u64(os, word);
+      put_u64(os, data_flips);
+      put_u8(os, check_flips);
+    });
+    put_u64(os, dev.ras.failed_vaults);
+    for (const u32 count : dev.ras.vault_uncorrectable) put_u32(os, count);
+    put_u64(os, dev.ras.scrub_cursor);
+    put_u64(os, dev.ras.scrub_passes);
+    put_u64(os, dev.ras.last_error_addr);
+    put_u8(os, dev.ras.last_error_stat);
   }
+
+  // Forward-progress watchdog (v3).  The report is rebuilt on restore.
+  put_u8(os, watchdog_fired_ ? 1 : 0);
+  put_u32(os, watchdog_stall_cycles_);
+  put_u64(os, watchdog_fingerprint_);
 
   os.flush();
   return os ? Status::Ok : Status::Internal;
@@ -486,7 +535,40 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       }
     }
     if (!get_response_queue(is, dev.mode_rsp)) return Status::MalformedPacket;
+
+    u64 rng_state = 0, fault_count = 0;
+    if (!get_u64(is, rng_state) || !get_u64(is, fault_count)) {
+      return Status::MalformedPacket;
+    }
+    dev.fault_rng = SplitMix64(rng_state);
+    for (u64 f = 0; f < fault_count; ++f) {
+      u64 word = 0, data_flips = 0;
+      u8 check_flips = 0;
+      if (!get_u64(is, word) || !get_u64(is, data_flips) ||
+          !get_u8(is, check_flips) ||
+          !dev.store.restore_fault(word, data_flips, check_flips)) {
+        return Status::MalformedPacket;
+      }
+    }
+    if (!get_u64(is, dev.ras.failed_vaults)) return Status::MalformedPacket;
+    for (u32& count : dev.ras.vault_uncorrectable) {
+      if (!get_u32(is, count)) return Status::MalformedPacket;
+    }
+    if (!get_u64(is, dev.ras.scrub_cursor) ||
+        !get_u64(is, dev.ras.scrub_passes) ||
+        !get_u64(is, dev.ras.last_error_addr) ||
+        !get_u8(is, dev.ras.last_error_stat)) {
+      return Status::MalformedPacket;
+    }
   }
+
+  u8 fired = 0;
+  if (!get_u8(is, fired) || !get_u32(is, watchdog_stall_cycles_) ||
+      !get_u64(is, watchdog_fingerprint_)) {
+    return Status::MalformedPacket;
+  }
+  watchdog_fired_ = fired != 0;
+  watchdog_report_ = watchdog_fired_ ? build_watchdog_report() : std::string{};
 
   return Status::Ok;
 }

@@ -61,6 +61,23 @@ Status DeviceConfig::validate(std::string* diagnostic) const {
     os << "bank_busy_cycles must be nonzero";
     return fail(Status::InvalidConfig);
   }
+  if (!model_data && (dram_sbe_rate_ppm != 0 || dram_dbe_rate_ppm != 0 ||
+                      scrub_interval_cycles != 0)) {
+    os << "DRAM fault injection and scrubbing require model_data=true "
+          "(faults are real bit flips in the backing store)";
+    return fail(Status::InvalidConfig);
+  }
+  if (scrub_interval_cycles != 0 &&
+      (scrub_window_bytes == 0 || scrub_window_bytes % 16 != 0)) {
+    os << "scrub_window_bytes must be a nonzero multiple of 16, got "
+       << scrub_window_bytes;
+    return fail(Status::InvalidConfig);
+  }
+  if (num_vaults() < 64 && (failed_vault_mask >> num_vaults()) != 0) {
+    os << "failed_vault_mask 0x" << std::hex << failed_vault_mask << std::dec
+       << " marks vaults beyond the device's " << num_vaults();
+    return fail(Status::InvalidConfig);
+  }
   const AddressMap map = make_address_map();
   if (!map.valid()) {
     os << "address map construction failed: " << map.error();

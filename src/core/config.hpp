@@ -110,6 +110,42 @@ struct DeviceConfig {
   /// 0 disables retry (every injected error is fatal).
   u32 link_retry_limit{0};
 
+  // ---- RAS: DRAM fault domain -------------------------------------------
+  /// Probability, in parts per million, that a retired DRAM access plants a
+  /// single-bit fault in one 64-bit word of the addressed block.  Reads
+  /// discover (and the SECDED codec corrects) such faults immediately;
+  /// writes plant latent faults found later by reads or the scrubber.
+  u32 dram_sbe_rate_ppm{0};
+  /// As above but two bits flip in the same word: reads of the word return
+  /// an ERROR response with ERRSTAT=DRAM_DBE and the word stays poisoned
+  /// until overwritten or retired by the scrubber.
+  u32 dram_dbe_rate_ppm{0};
+  /// Background scrubber: every this-many device clocks the scrubber checks
+  /// one window of `scrub_window_bytes` and advances its cursor, wrapping at
+  /// capacity.  Discovered SBEs are repaired; DBEs are counted and the page
+  /// retired (word rebuilt).  0 disables scrubbing.
+  u32 scrub_interval_cycles{0};
+  u64 scrub_window_bytes{4096};
+
+  // ---- RAS: vault degradation -------------------------------------------
+  /// A vault that accumulates this many uncorrectable DRAM errors is marked
+  /// failed (dynamic degradation).  0 disables dynamic failure.
+  u32 vault_fail_threshold{0};
+  /// Bit i set marks vault i failed from reset (static degradation).
+  u64 failed_vault_mask{0};
+  /// When true, traffic addressed to a failed vault is remapped to its
+  /// partner vault (vault ^ 1) if that partner is alive; otherwise (or when
+  /// false) the request is answered with ERRSTAT=VAULT_FAILED.
+  bool vault_remap{false};
+
+  // ---- RAS: forward-progress watchdog -----------------------------------
+  /// After this many consecutive clocks with queued work but no progress
+  /// anywhere in the device set, the simulator trips its watchdog and
+  /// refuses further clocks (Status::Deadlock + diagnostic report).  Must
+  /// comfortably exceed refresh_busy_cycles and worst-case queue latency;
+  /// 0 disables the watchdog.
+  u32 watchdog_cycles{0};
+
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return
   /// zeros).  Benches disable data to keep multi-GB random-access runs

@@ -112,6 +112,39 @@ ConfigParseResult parse_config(std::istream& in) {
     } else if (key == "link_retry_limit") {
       if (!is_number) return fail(line_no, "link_retry_limit needs a number");
       dc.link_retry_limit = static_cast<u32>(number);
+    } else if (key == "dram_sbe_rate_ppm") {
+      if (!is_number) return fail(line_no, "dram_sbe_rate_ppm needs a number");
+      dc.dram_sbe_rate_ppm = static_cast<u32>(number);
+    } else if (key == "dram_dbe_rate_ppm") {
+      if (!is_number) return fail(line_no, "dram_dbe_rate_ppm needs a number");
+      dc.dram_dbe_rate_ppm = static_cast<u32>(number);
+    } else if (key == "scrub_interval_cycles") {
+      if (!is_number) {
+        return fail(line_no, "scrub_interval_cycles needs a number");
+      }
+      dc.scrub_interval_cycles = static_cast<u32>(number);
+    } else if (key == "scrub_window_bytes") {
+      if (!is_number) return fail(line_no, "scrub_window_bytes needs a number");
+      dc.scrub_window_bytes = number;
+    } else if (key == "vault_fail_threshold") {
+      if (!is_number) {
+        return fail(line_no, "vault_fail_threshold needs a number");
+      }
+      dc.vault_fail_threshold = static_cast<u32>(number);
+    } else if (key == "failed_vault_mask") {
+      if (!is_number) return fail(line_no, "failed_vault_mask needs a number");
+      dc.failed_vault_mask = number;
+    } else if (key == "vault_remap") {
+      if (value == "true" || value == "1") {
+        dc.vault_remap = true;
+      } else if (value == "false" || value == "0") {
+        dc.vault_remap = false;
+      } else {
+        return fail(line_no, "vault_remap must be true/false");
+      }
+    } else if (key == "watchdog_cycles") {
+      if (!is_number) return fail(line_no, "watchdog_cycles needs a number");
+      dc.watchdog_cycles = static_cast<u32>(number);
     } else if (key == "refresh_interval_cycles") {
       if (!is_number) {
         return fail(line_no, "refresh_interval_cycles needs a number");
@@ -212,6 +245,14 @@ void write_config(std::ostream& os, const SimConfig& config) {
   os << "link_error_rate_ppm = " << dc.link_error_rate_ppm << '\n';
   os << "fault_seed = " << dc.fault_seed << '\n';
   os << "link_retry_limit = " << dc.link_retry_limit << '\n';
+  os << "dram_sbe_rate_ppm = " << dc.dram_sbe_rate_ppm << '\n';
+  os << "dram_dbe_rate_ppm = " << dc.dram_dbe_rate_ppm << '\n';
+  os << "scrub_interval_cycles = " << dc.scrub_interval_cycles << '\n';
+  os << "scrub_window_bytes = " << dc.scrub_window_bytes << '\n';
+  os << "vault_fail_threshold = " << dc.vault_fail_threshold << '\n';
+  os << "failed_vault_mask = " << dc.failed_vault_mask << '\n';
+  os << "vault_remap = " << (dc.vault_remap ? "true" : "false") << '\n';
+  os << "watchdog_cycles = " << dc.watchdog_cycles << '\n';
   os << "refresh_interval_cycles = " << dc.refresh_interval_cycles << '\n';
   os << "refresh_busy_cycles = " << dc.refresh_busy_cycles << '\n';
   os << "row_policy = "

@@ -26,6 +26,8 @@ Device::Device(u32 cube_id, const DeviceConfig& config)
   }
   mode_rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
   fault_rng = SplitMix64(config.fault_seed + cube_id * 0x9e3779b97f4a7c15ull);
+  ras.failed_vaults = config.failed_vault_mask;
+  ras.vault_uncorrectable.assign(config.num_vaults(), 0);
 }
 
 void Device::reset(bool clear_memory) {
@@ -52,6 +54,9 @@ void Device::reset(bool clear_memory) {
   if (clear_memory) store.clear();
   stats = DeviceStats{};
   fault_rng = SplitMix64(config_.fault_seed + id_ * 0x9e3779b97f4a7c15ull);
+  ras = RasState{};
+  ras.failed_vaults = config_.failed_vault_mask;
+  ras.vault_uncorrectable.assign(config_.num_vaults(), 0);
 }
 
 }  // namespace hmcsim

@@ -105,6 +105,24 @@ struct VaultState {
   std::vector<u64> open_row;
 };
 
+/// Per-device RAS runtime state: the error log the 0x2E register block
+/// exposes, vault degradation tracking, and the scrubber cursor.
+struct RasState {
+  /// Bit i set: vault i is failed (statically via failed_vault_mask or
+  /// dynamically after vault_fail_threshold uncorrectable errors).
+  u64 failed_vaults{0};
+  /// Uncorrectable DRAM errors served by each vault (toward the threshold).
+  std::vector<u32> vault_uncorrectable;
+  /// Next byte address the background scrubber checks (wraps at capacity).
+  u64 scrub_cursor{0};
+  /// Completed full-capacity scrub sweeps.
+  u64 scrub_passes{0};
+  /// Most recent error-response cause (address + raw ErrStat), for the
+  /// RAS_LAST_* registers.  Zero until the first error.
+  u64 last_error_addr{0};
+  u8 last_error_stat{0};
+};
+
 class Device {
  public:
   Device(u32 cube_id, const DeviceConfig& config);
@@ -134,6 +152,12 @@ class Device {
   DeviceStats stats;
   /// Deterministic fault-injection source (link error model).
   SplitMix64 fault_rng{0};
+  RasState ras;
+
+  /// True when vault `v` is serving traffic (not marked failed).
+  [[nodiscard]] bool vault_alive(u32 v) const {
+    return (ras.failed_vaults >> v & 1) == 0;
+  }
 
  private:
   u32 id_;

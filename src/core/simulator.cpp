@@ -61,6 +61,10 @@ Status Simulator::init(const SimConfig& config, Topology topo,
   config_ = config;
   topo_ = std::move(topo);
   cycle_ = 0;
+  watchdog_fired_ = false;
+  watchdog_stall_cycles_ = 0;
+  watchdog_fingerprint_ = 0;
+  watchdog_report_.clear();
   devices_.clear();
   root_devices_.clear();
   child_devices_.clear();
@@ -88,6 +92,10 @@ Status Simulator::init_simple(const DeviceConfig& device,
 void Simulator::reset(bool clear_memory) {
   for (auto& dev : devices_) dev->reset(clear_memory);
   cycle_ = 0;
+  watchdog_fired_ = false;
+  watchdog_stall_cycles_ = 0;
+  watchdog_fingerprint_ = 0;
+  watchdog_report_.clear();
 }
 
 DeviceStats Simulator::total_stats() const {
@@ -249,6 +257,27 @@ Status Simulator::read_register_live(const Device& dev, u32 phys_index,
         value = dev.links[link].rqst.free_slots();
         return Status::Ok;
       }
+      // RAS error-log block (0x2E): live views of the DRAM fault domain,
+      // scrubber and degradation state.
+      case Reg::RasSbe:
+        value = dev.stats.dram_sbes | (dev.stats.scrub_corrections << 32);
+        return Status::Ok;
+      case Reg::RasDbe:
+        value = dev.stats.dram_dbes | (dev.stats.scrub_uncorrectables << 32);
+        return Status::Ok;
+      case Reg::RasScrub:
+        value = (dev.ras.scrub_cursor / SparseStore::kPageBytes) |
+                (dev.ras.scrub_passes << 32);
+        return Status::Ok;
+      case Reg::RasLastAddr:
+        value = dev.ras.last_error_addr;
+        return Status::Ok;
+      case Reg::RasLastStat:
+        value = dev.ras.last_error_stat;
+        return Status::Ok;
+      case Reg::RasVaultFail:
+        value = dev.ras.failed_vaults | (dev.stats.vault_remaps << 32);
+        return Status::Ok;
       default:
         break;
     }
@@ -271,12 +300,16 @@ Status Simulator::jtag_reg_write(u32 dev, u32 phys_index, u64 value) {
 // ---------------------------------------------------------------------------
 
 void Simulator::clock() {
+  // Once the watchdog has tripped the machine is frozen for post-mortem
+  // inspection; further clocks are refused.
+  if (watchdog_fired_) return;
   stage1_child_xbar();
   stage2_root_xbar();
   stage3_bank_conflicts();
   stage4_vault_requests();
   stage5_responses();
   stage6_clock_update();
+  if (config_.device.watchdog_cycles != 0) check_watchdog();
 }
 
 void Simulator::stage1_child_xbar() {
@@ -463,7 +496,28 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
         ++i;
         continue;
       }
-      const u32 vault = dev.address_map().vault_of(entry.req.addr);
+      u32 vault = dev.address_map().vault_of(entry.req.addr);
+
+      // Degraded mode: traffic for a failed vault is remapped to its
+      // partner (vault ^ 1) when configured and alive, else answered
+      // VAULT_FAILED — never forwarded into a dead queue.
+      bool remapped = false;
+      if (dev.ras.failed_vaults != 0 && !dev.vault_alive(vault)) {
+        const u32 partner = vault ^ 1;
+        if (cfg.vault_remap && dev.vault_alive(partner)) {
+          vault = partner;
+          remapped = true;
+        } else if (emit_error_response(dev, entry, ErrStat::VaultFailed,
+                                       stage)) {
+          ++dev.stats.degraded_drops;
+          link_state.rqst_budget -= entry.pkt.flits;
+          queue.remove(i);
+          continue;
+        } else {
+          ++i;
+          continue;
+        }
+      }
 
       // Routed-latency penalty: the packet entered on a link that is not
       // co-located with the destination quadrant.  Pay it once per device.
@@ -517,6 +571,7 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
         ++i;
         continue;
       }
+      if (remapped) ++dev.stats.vault_remaps;
       trace(TraceEvent::VaultArrival, stage, dev.id(), link,
             dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
             entry.req.tag, entry.req.cmd);
@@ -572,6 +627,11 @@ void Simulator::stage4_vault_requests() {
 void Simulator::process_vault(Device& dev, u32 vault_index) {
   const DeviceConfig& cfg = dev.config();
   VaultState& vault = dev.vaults[vault_index];
+
+  if (dev.ras.failed_vaults != 0 && !dev.vault_alive(vault_index)) {
+    drain_failed_vault(dev, vault_index);
+    return;
+  }
 
   // DRAM refresh: when this vault's (staggered) refresh slot comes due,
   // every bank goes busy for the refresh window and nothing retires.
@@ -697,12 +757,45 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
   }
 
   u64 data[spec::kMaxPayloadBytes / 8] = {};
-  const bool model_data = dev.config().model_data;
+  const DeviceConfig& cfg = dev.config();
+  const bool model_data = cfg.model_data;
+  // DRAM fault domain: active when rates are configured or latent faults
+  // from earlier accesses are still outstanding.  One branch when off.
+  const bool dram_ras = cfg.dram_sbe_rate_ppm != 0 ||
+                        cfg.dram_dbe_rate_ppm != 0 ||
+                        dev.store.fault_count() != 0;
+  // Answer an uncorrectable DRAM error.  Posted operations have no response
+  // channel; the error is logged and counted, the operation dropped.
+  const auto poison_response = [&]() -> bool {
+    if (posted) return true;
+    ResponseFields rf;
+    rf.cmd = Command::Error;
+    rf.tag = entry.req.tag;
+    rf.cub = dev.id();
+    rf.slid = entry.req.slid;
+    rf.errstat = ErrStat::DramDbe;
+    ResponseEntry rsp;
+    (void)encode_response(rf, {}, rsp.pkt);
+    rsp.cmd = Command::Error;
+    rsp.tag = entry.req.tag;
+    rsp.home_dev = entry.home_dev;
+    rsp.home_link = entry.home_link;
+    rsp.ready_cycle = cycle_ + 1;
+    if (!vault.rsp.push(std::move(rsp))) return false;
+    ++dev.stats.error_responses;
+    trace(TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
+          dev.quad_of_vault(vault_index), vault_index, bank, addr,
+          entry.req.tag, cmd);
+    return true;
+  };
 
   // Registered custom (CMC) commands: read-modify-write of access_bytes
   // under the same bank timing, with a user-defined operation.
   if (entry.custom != nullptr) {
     const CustomCommandDef& def = *entry.custom;
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+      return poison_response();
+    }
     if (model_data) (void)dev.store.read_words(addr, {data, bytes / 8});
     u64 rsp_payload[spec::kMaxPacketWords] = {};
     const usize rsp_words =
@@ -744,6 +837,9 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
   }
 
   if (is_read(cmd)) {
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+      return poison_response();
+    }
     if (model_data) {
       (void)dev.store.read_words(addr, {data, bytes / 8});
     }
@@ -756,12 +852,20 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     if (model_data) {
       (void)dev.store.write_words(addr, entry.pkt.payload());
     }
+    // Latent fault: planted on write, discovered by a later read or the
+    // background scrubber.
+    if ((cfg.dram_sbe_rate_ppm | cfg.dram_dbe_rate_ppm) != 0) {
+      inject_dram_fault(dev, addr, bytes);
+    }
     ++dev.stats.writes;
     dev.stats.bytes_written += bytes;
     trace(TraceEvent::WriteRequest, 4, dev.id(), entry.home_link,
           dev.quad_of_vault(vault_index), vault_index, bank, addr,
           entry.req.tag, cmd);
   } else if (is_atomic(cmd)) {
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+      return poison_response();
+    }
     // All atomics are 16-byte read-modify-write operations.
     u64 current[2] = {0, 0};
     if (model_data) (void)dev.store.read_words(addr, current);
@@ -866,6 +970,8 @@ bool Simulator::emit_error_response(Device& dev, const RequestEntry& entry,
   const bool pushed = dev.mode_rsp.push(std::move(rsp));
   if (pushed) {
     ++dev.stats.error_responses;
+    dev.ras.last_error_addr = entry.req.addr;
+    dev.ras.last_error_stat = static_cast<u8>(errstat);
     trace(TraceEvent::ErrorResponse, stage, dev.id(), kNoCoord, kNoCoord,
           kNoCoord, kNoCoord, entry.req.addr, entry.req.tag, entry.req.cmd);
   }
@@ -990,6 +1096,10 @@ void Simulator::stage5_responses() {
 }
 
 void Simulator::stage6_clock_update() {
+  if (config_.device.scrub_interval_cycles != 0 &&
+      cycle_ % config_.device.scrub_interval_cycles == 0) {
+    for (auto& dev : devices_) scrub_step(*dev);
+  }
   for (auto& dev : devices_) dev->regs.clock_edge();
   ++cycle_;
   if (hook_interval_ != 0 && cycle_ % hook_interval_ == 0 && cycle_hook_) {

@@ -129,6 +129,21 @@ class Simulator {
   /// has drained to the host or died as an error response).
   [[nodiscard]] bool quiescent() const;
 
+  // ---- forward-progress watchdog -------------------------------------------
+
+  /// True once the watchdog has tripped: `watchdog_cycles` consecutive
+  /// clocks saw queued work but zero progress anywhere (no retire, no
+  /// response, no hop, no retry, no host drain).  Further clock() calls are
+  /// ignored; the simulation is frozen for post-mortem inspection.
+  [[nodiscard]] bool watchdog_fired() const { return watchdog_fired_; }
+
+  /// Diagnostic dump captured at the moment the watchdog fired: per-device
+  /// queue occupancies and the in-flight entries (tags, addresses,
+  /// lifecycle stamps).  Empty until watchdog_fired().
+  [[nodiscard]] const std::string& watchdog_report() const {
+    return watchdog_report_;
+  }
+
   /// Reset devices and the clock to the power-on state (topology intact).
   void reset(bool clear_memory = true);
 
@@ -172,6 +187,8 @@ class Simulator {
 
   /// Stage 4 helpers.
   void process_vault(Device& dev, u32 vault_index);
+  /// Drain a failed vault's queued requests as VAULT_FAILED errors.
+  void drain_failed_vault(Device& dev, u32 vault_index);
   /// Retire one request at a bank: perform the memory/register operation
   /// and enqueue the response (when non-posted).  Returns false when the
   /// vault response queue is full (the entry must stay queued).
@@ -196,10 +213,30 @@ class Simulator {
              u32 vault, u32 bank, PhysAddr addr, Tag tag, Command cmd);
 
   /// Register read with live status-register interception (FEAT geometry,
-  /// IBTC token counts, ERR error totals); shared by the JTAG and
-  /// MODE_READ paths.
+  /// IBTC token counts, ERR error totals, RAS error log); shared by the
+  /// JTAG and MODE_READ paths.
   [[nodiscard]] Status read_register_live(const Device& dev, u32 phys_index,
                                           u64& value) const;
+
+  // ---- RAS helpers (core/ras.cpp) ------------------------------------------
+
+  /// Roll the DRAM fault model for one retired access and plant the
+  /// resulting bit flips (transient on read, latent on write).
+  void inject_dram_fault(Device& dev, PhysAddr addr, usize bytes);
+  /// Run the SECDED codec over a read footprint.  Returns true when an
+  /// uncorrectable error poisons the access (the caller must answer
+  /// DRAM_DBE instead of data).
+  bool ras_check_read(Device& dev, u32 vault_index, PhysAddr addr,
+                      usize bytes);
+  /// One background-scrubber step over the device's next window.
+  void scrub_step(Device& dev);
+  /// Count one uncorrectable error against a vault; marks it failed at the
+  /// configured threshold.
+  void note_vault_uncorrectable(Device& dev, u32 vault_index);
+  /// Forward-progress tracking (end of stage 6).
+  [[nodiscard]] u64 progress_fingerprint() const;
+  void check_watchdog();
+  [[nodiscard]] std::string build_watchdog_report() const;
 
   SimConfig config_{};
   Topology topo_{};
@@ -213,6 +250,11 @@ class Simulator {
   /// Device processing order caches for stages 1/2/5.
   std::vector<u32> root_devices_;
   std::vector<u32> child_devices_;
+  /// Forward-progress watchdog state.
+  bool watchdog_fired_{false};
+  u32 watchdog_stall_cycles_{0};
+  u64 watchdog_fingerprint_{0};
+  std::string watchdog_report_;
 };
 
 /// Build a compliant, CRC-sealed memory request packet (paper Figure 4's

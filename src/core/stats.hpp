@@ -38,6 +38,18 @@ struct DeviceStats {
   u64 link_errors{0};   ///< packets killed by the injected link error model
   u64 link_retries{0};  ///< retransmissions absorbed by the retry protocol
 
+  // RAS: DRAM fault domain.
+  u64 dram_sbes{0};  ///< single-bit errors corrected by SECDED on read
+  u64 dram_dbes{0};  ///< uncorrectable errors returned as DRAM_DBE responses
+  u64 scrub_steps{0};           ///< scrubber windows processed
+  u64 scrub_corrections{0};     ///< SBEs the scrubber repaired
+  u64 scrub_uncorrectables{0};  ///< DBEs the scrubber found (page retired)
+
+  // RAS: vault degradation.
+  u64 vault_failures{0};  ///< vaults dynamically marked failed
+  u64 vault_remaps{0};    ///< requests rerouted to a partner vault
+  u64 degraded_drops{0};  ///< requests answered VAULT_FAILED (incl. drains)
+
   // DRAM maintenance.
   u64 refreshes{0};  ///< vault refresh windows issued (tREFI events)
 
@@ -70,6 +82,14 @@ struct DeviceStats {
     misroutes += o.misroutes;
     link_errors += o.link_errors;
     link_retries += o.link_retries;
+    dram_sbes += o.dram_sbes;
+    dram_dbes += o.dram_dbes;
+    scrub_steps += o.scrub_steps;
+    scrub_corrections += o.scrub_corrections;
+    scrub_uncorrectables += o.scrub_uncorrectables;
+    vault_failures += o.vault_failures;
+    vault_remaps += o.vault_remaps;
+    degraded_drops += o.degraded_drops;
     refreshes += o.refreshes;
     row_hits += o.row_hits;
     row_misses += o.row_misses;

@@ -1,0 +1,91 @@
+#include "mem/ecc.hpp"
+
+#include <array>
+#include <bit>
+
+namespace hmcsim::ecc {
+namespace {
+
+// Each codeword bit carries a 7-bit syndrome column.  Check bit j owns the
+// power-of-two column (1 << j); the 64 data bits take the first 64 non-zero,
+// non-power-of-two values in ascending order.  A single flipped bit then
+// reproduces exactly its own column as the syndrome, which is how decode
+// locates it.
+constexpr std::array<u8, kDataBits> make_columns() {
+  std::array<u8, kDataBits> cols{};
+  u32 next = 0;
+  for (u32 v = 3; v < 128 && next < kDataBits; ++v) {
+    if ((v & (v - 1)) == 0) continue;  // powers of two belong to check bits
+    cols[next++] = static_cast<u8>(v);
+  }
+  return cols;
+}
+constexpr std::array<u8, kDataBits> kColumns = make_columns();
+
+// mask[j]: the data bits participating in Hamming check j.
+constexpr std::array<u64, 7> make_masks() {
+  std::array<u64, 7> masks{};
+  for (u32 i = 0; i < kDataBits; ++i) {
+    for (u32 j = 0; j < 7; ++j) {
+      if (kColumns[i] & (1u << j)) masks[j] |= u64{1} << i;
+    }
+  }
+  return masks;
+}
+constexpr std::array<u64, 7> kMasks = make_masks();
+
+constexpr u32 parity64(u64 v) { return std::popcount(v) & 1u; }
+
+}  // namespace
+
+u8 secded_encode(u64 data) {
+  u8 check = 0;
+  for (u32 j = 0; j < 7; ++j) {
+    check |= static_cast<u8>(parity64(data & kMasks[j]) << j);
+  }
+  // Bit 7: overall parity over data plus the seven Hamming checks, making
+  // the full 72-bit codeword even-weight.
+  const u32 overall = parity64(data) ^ parity64(u64{check} & 0x7f);
+  check |= static_cast<u8>(overall << 7);
+  return check;
+}
+
+SecdedOutcome secded_decode(u64& data, u8& check) {
+  u8 syndrome = 0;
+  for (u32 j = 0; j < 7; ++j) {
+    const u32 expect = parity64(data & kMasks[j]);
+    const u32 stored = (check >> j) & 1u;
+    syndrome |= static_cast<u8>((expect ^ stored) << j);
+  }
+  const u32 overall = parity64(data) ^ parity64(u64{check});
+
+  if (syndrome == 0 && overall == 0) return SecdedOutcome::Clean;
+
+  if (overall == 1) {
+    // Odd total weight: exactly one bit flipped (or an odd-weight burst,
+    // which SECDED cannot distinguish — standard behavior).
+    if (syndrome == 0) {
+      check ^= 0x80;  // the overall-parity bit itself
+      return SecdedOutcome::Corrected;
+    }
+    if ((syndrome & (syndrome - 1)) == 0) {
+      // Power-of-two syndrome: a Hamming check bit flipped.
+      check ^= syndrome;
+      return SecdedOutcome::Corrected;
+    }
+    for (u32 i = 0; i < kDataBits; ++i) {
+      if (kColumns[i] == syndrome) {
+        data ^= u64{1} << i;
+        return SecdedOutcome::Corrected;
+      }
+    }
+    // Syndrome matches no column: multi-bit corruption masquerading with
+    // odd weight — refuse to "correct" into a third wrong word.
+    return SecdedOutcome::Uncorrectable;
+  }
+
+  // Even weight with a non-zero syndrome: double-bit error.
+  return SecdedOutcome::Uncorrectable;
+}
+
+}  // namespace hmcsim::ecc

@@ -1,0 +1,37 @@
+// SECDED(72,64) error-correcting code for the simulated DRAM fault domain.
+//
+// Classic Hsiao-style construction: a Hamming(71,64) code extended with an
+// overall parity bit, giving single-error correction and double-error
+// detection over a 64-bit data word plus 8 check bits — the layout real
+// DDR/HMC DRAM dies use per burst beat.  Bit positions 0..63 are data bits,
+// 64..71 are check bits (64..70 the Hamming checks, 71 overall parity).
+//
+// The fault-injection layer (mem/storage.hpp) records ground-truth flips in
+// a sidecar and routes every discovered fault through this codec, so a
+// "corrected" SBE really is a syndrome decode and a "DBE" really is an
+// uncorrectable-syndrome detection, not just a counter bump.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hmcsim::ecc {
+
+/// Codeword width: 64 data bits + 8 check bits.
+inline constexpr u32 kCodewordBits = 72;
+inline constexpr u32 kDataBits = 64;
+
+enum class SecdedOutcome : u8 {
+  Clean,          ///< syndrome zero, parity even: no error
+  Corrected,      ///< single-bit error located and repaired
+  Uncorrectable,  ///< double-bit (or worse even-weight) error detected
+};
+
+/// Compute the 8 check bits for a 64-bit data word.
+[[nodiscard]] u8 secded_encode(u64 data);
+
+/// Decode a (possibly corrupted) codeword.  `data` and `check` are repaired
+/// in place when a single-bit error is found.  Returns the outcome; on
+/// Uncorrectable the data must be treated as poisoned.
+[[nodiscard]] SecdedOutcome secded_decode(u64& data, u8& check);
+
+}  // namespace hmcsim::ecc

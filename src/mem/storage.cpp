@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mem/ecc.hpp"
+
 namespace hmcsim {
 
 const SparseStore::Page* SparseStore::find_page(u64 page_index) const {
@@ -17,6 +19,21 @@ SparseStore::Page& SparseStore::materialize_page(u64 page_index) {
     slot->fill(0);
   }
   return *slot;
+}
+
+u64 SparseStore::load_word(u64 word_index) const {
+  const u64 addr = word_index * 8;
+  const Page* page = find_page(addr / kPageBytes);
+  if (page == nullptr) return 0;
+  u64 value = 0;
+  std::memcpy(&value, page->data() + addr % kPageBytes, 8);
+  return value;
+}
+
+void SparseStore::store_word(u64 word_index, u64 value) {
+  const u64 addr = word_index * 8;
+  Page& page = materialize_page(addr / kPageBytes);
+  std::memcpy(page.data() + addr % kPageBytes, &value, 8);
 }
 
 bool SparseStore::read(u64 addr, std::span<u8> out) const {
@@ -39,6 +56,7 @@ bool SparseStore::read(u64 addr, std::span<u8> out) const {
 
 bool SparseStore::write(u64 addr, std::span<const u8> in) {
   if (addr + in.size() > capacity_ || addr + in.size() < addr) return false;
+  if (!faults_.empty()) clear_faults_in(addr, in.size());
   usize done = 0;
   while (done < in.size()) {
     const u64 pos = addr + done;
@@ -67,6 +85,95 @@ bool SparseStore::read_words(u64 addr, std::span<u64> out) const {
 bool SparseStore::write_words(u64 addr, std::span<const u64> in) {
   return write(addr,
                {reinterpret_cast<const u8*>(in.data()), in.size() * 8});
+}
+
+bool SparseStore::plant_fault(u64 addr, std::span<const u32> codeword_bits) {
+  if (addr >= capacity_) return false;
+  const u64 word = addr / 8;
+  FaultRecord& rec = faults_[word];
+  for (const u32 bit : codeword_bits) {
+    if (bit < ecc::kDataBits) {
+      const u64 mask = u64{1} << bit;
+      rec.data_flips ^= mask;
+      store_word(word, load_word(word) ^ mask);
+    } else if (bit < ecc::kCodewordBits) {
+      rec.check_flips ^= static_cast<u8>(1u << (bit - ecc::kDataBits));
+    }
+  }
+  if (rec.data_flips == 0 && rec.check_flips == 0) faults_.erase(word);
+  return true;
+}
+
+bool SparseStore::restore_fault(u64 word_index, u64 data_flips,
+                                u8 check_flips) {
+  if (word_index * 8 >= capacity_) return false;
+  if (data_flips == 0 && check_flips == 0) return false;
+  faults_[word_index] = FaultRecord{data_flips, check_flips};
+  return true;
+}
+
+bool SparseStore::has_fault(u64 addr, usize bytes) const {
+  if (faults_.empty() || bytes == 0) return false;
+  const auto it = faults_.lower_bound(addr / 8);
+  return it != faults_.end() && it->first <= (addr + bytes - 1) / 8;
+}
+
+SparseStore::FaultMap::iterator SparseStore::decode_record(
+    FaultMap::iterator it, FaultSummary& out, bool retire_uncorrectable) {
+  u64 data = load_word(it->first);
+  // The check byte was consistent with the pre-fault data; rebuild it from
+  // the ground-truth masks so the codec sees exactly the stored codeword.
+  u8 check = static_cast<u8>(ecc::secded_encode(data ^ it->second.data_flips) ^
+                             it->second.check_flips);
+  switch (ecc::secded_decode(data, check)) {
+    case ecc::SecdedOutcome::Corrected:
+      ++out.corrected;
+      [[fallthrough]];
+    case ecc::SecdedOutcome::Clean:
+      store_word(it->first, data);
+      return faults_.erase(it);
+    case ecc::SecdedOutcome::Uncorrectable:
+      ++out.uncorrectable;
+      if (retire_uncorrectable) {
+        store_word(it->first, load_word(it->first) ^ it->second.data_flips);
+        return faults_.erase(it);
+      }
+      return std::next(it);
+  }
+  return std::next(it);  // unreachable; silences -Werror=return-type
+}
+
+SparseStore::FaultSummary SparseStore::check_and_repair(u64 addr,
+                                                        usize bytes) {
+  FaultSummary out;
+  if (faults_.empty() || bytes == 0) return out;
+  const u64 last = (addr + bytes - 1) / 8;
+  auto it = faults_.lower_bound(addr / 8);
+  while (it != faults_.end() && it->first <= last) {
+    it = decode_record(it, out, /*retire_uncorrectable=*/false);
+  }
+  return out;
+}
+
+SparseStore::FaultSummary SparseStore::scrub_span(u64 addr, u64 bytes) {
+  FaultSummary out;
+  if (faults_.empty() || bytes == 0) return out;
+  const u64 last = (addr + bytes - 1) / 8;
+  auto it = faults_.lower_bound(addr / 8);
+  while (it != faults_.end() && it->first <= last) {
+    it = decode_record(it, out, /*retire_uncorrectable=*/true);
+  }
+  return out;
+}
+
+void SparseStore::clear_faults_in(u64 addr, usize bytes) {
+  if (bytes == 0) return;
+  const u64 last = (addr + bytes - 1) / 8;
+  auto it = faults_.lower_bound(addr / 8);
+  while (it != faults_.end() && it->first <= last) {
+    store_word(it->first, load_word(it->first) ^ it->second.data_flips);
+    it = faults_.erase(it);
+  }
 }
 
 }  // namespace hmcsim

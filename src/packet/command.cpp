@@ -170,6 +170,8 @@ std::string_view to_string(ErrStat e) {
     case ErrStat::CrcFailure: return "CRC_FAILURE";
     case ErrStat::ProtocolError: return "PROTOCOL_ERROR";
     case ErrStat::RegisterFault: return "REGISTER_FAULT";
+    case ErrStat::DramDbe: return "DRAM_DBE";
+    case ErrStat::VaultFailed: return "VAULT_FAILED";
   }
   return "UNKNOWN";
 }

@@ -85,6 +85,8 @@ enum class ErrStat : u8 {
   CrcFailure = 0x05,       ///< packet failed its CRC check
   ProtocolError = 0x06,    ///< e.g. response received on a request path
   RegisterFault = 0x07,    ///< MODE access to a bad register index
+  DramDbe = 0x08,          ///< uncorrectable (double-bit) DRAM error
+  VaultFailed = 0x09,      ///< addressed vault is marked failed (degraded)
 };
 
 // ---------------------------------------------------------------------------

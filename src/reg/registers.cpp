@@ -50,6 +50,12 @@ constexpr std::array<RegisterDef, kRegCount> kTable = {{
     {Reg::Vcr, 0x2c0002u, RegClass::RW, "VCR", 0},
     {Reg::Feat, 0x2f0000u, RegClass::RO, "FEAT", kFeatReset},
     {Reg::Rvid, 0x2f0001u, RegClass::RO, "RVID", kRvidReset},
+    {Reg::RasSbe, 0x2e0000u, RegClass::RO, "RAS_SBE", 0},
+    {Reg::RasDbe, 0x2e0001u, RegClass::RO, "RAS_DBE", 0},
+    {Reg::RasScrub, 0x2e0002u, RegClass::RO, "RAS_SCRUB", 0},
+    {Reg::RasLastAddr, 0x2e0003u, RegClass::RO, "RAS_LAST_ADDR", 0},
+    {Reg::RasLastStat, 0x2e0004u, RegClass::RO, "RAS_LAST_STAT", 0},
+    {Reg::RasVaultFail, 0x2e0005u, RegClass::RO, "RAS_VAULT_FAIL", 0},
 }};
 
 }  // namespace

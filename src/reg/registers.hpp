@@ -56,6 +56,19 @@ enum class Reg : u32 {
   Feat,
   // Revision and vendor id (read-only).
   Rvid,
+  // RAS error-log block (0x2Exxxx; read-only, live):
+  // corrected-SBE count (demand | scrub<<32).
+  RasSbe,
+  // uncorrectable-DBE count (demand | scrub<<32).
+  RasDbe,
+  // scrub progress: cursor-page[31:0] | completed-passes[63:32].
+  RasScrub,
+  // address of the most recent error response.
+  RasLastAddr,
+  // ERRSTAT of the most recent error response.
+  RasLastStat,
+  // failed-vault bitmask (static + dynamic), remaps in the high word.
+  RasVaultFail,
 
   Count,
 };

@@ -1,6 +1,34 @@
 #include "workload/driver.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
 namespace hmcsim {
+namespace {
+
+// Little-endian u64 framing for HostDriver::save/restore, matching the
+// simulator checkpoint convention.
+constexpr u64 kDriverMagic = 0x3154534f48434d48ull;  // "HMCHOST1" LE
+
+void put_u64(std::ostream& os, u64 v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  os.write(bytes, 8);
+}
+
+bool get_u64(std::istream& is, u64& v) {
+  char bytes[8];
+  if (!is.read(bytes, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<u64>(static_cast<u8>(bytes[i])) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
 
 HostDriver::HostDriver(Simulator& sim, Generator& generator,
                        DriverConfig config)
@@ -25,13 +53,42 @@ void HostDriver::drain_responses(DriverResult& result) {
     while (ok(sim_.recv(port.dev, port.link, pkt))) {
       ResponseFields f;
       if (!ok(decode_response(pkt, f))) continue;  // cannot happen in-spec
-      if (f.cmd == Command::Error) ++result.errors;
-      if (f.tag < port.sent_at.size() && port.outstanding > 0) {
-        result.latency.add(sim_.now() - port.sent_at[f.tag]);
+      if (f.tag < port.inflight.size() && port.outstanding > 0) {
+        InFlight& fl = port.inflight[f.tag];
         port.free_tags.push_back(f.tag);
         --port.outstanding;
+        fl.deadline = 0;
+        if (fl.zombie) {
+          // The request already terminated host-side (timeout path); the
+          // late response only releases the tag.
+          fl.zombie = false;
+          continue;
+        }
+        result.latency.add(sim_.now() - fl.sent_at);
       }
+      if (f.cmd == Command::Error) ++result.errors;
       ++result.completed;
+    }
+  }
+}
+
+void HostDriver::check_timeouts(DriverResult& result) {
+  const Cycle now = sim_.now();
+  for (auto& port : ports_) {
+    if (port.outstanding == 0) continue;
+    for (InFlight& fl : port.inflight) {
+      if (fl.deadline == 0 || fl.zombie || now < fl.deadline) continue;
+      ++result.timeouts;
+      fl.deadline = 0;
+      fl.zombie = true;  // hold the tag until the response surfaces
+      if (fl.attempts < cfg_.retry_limit) {
+        const u32 shift = std::min<u32>(fl.attempts, 16);
+        retry_queue_.push_back({fl.desc, fl.cub, fl.attempts + 1,
+                                now + (cfg_.retry_backoff_cycles << shift)});
+      } else {
+        ++result.abandoned;
+        ++result.completed;  // terminates as a host-side timeout
+      }
     }
   }
 }
@@ -74,13 +131,28 @@ void HostDriver::inject(DriverResult& result) {
   u64 blocked_mask = 0;  // ports that returned Stalled this cycle
   const u64 all_blocked = (u64{1} << ports_.size()) - 1;
 
-  while (result.sent < cfg_.total_requests && blocked_mask != all_blocked) {
+  while (blocked_mask != all_blocked) {
     if (!have_pending_) {
-      pending_ = gen_.next();
-      pending_cub_ = cfg_.target_cub;
-      if (cfg_.targets == TargetPolicy::RoundRobinCubes) {
-        pending_cub_ = next_cube_;
-        next_cube_ = (next_cube_ + 1) % sim_.num_devices();
+      if (!retry_queue_.empty() &&
+          retry_queue_.front().not_before <= sim_.now()) {
+        const RetryEntry e = retry_queue_.front();
+        retry_queue_.pop_front();
+        pending_ = e.desc;
+        pending_cub_ = e.cub;
+        pending_attempts_ = e.attempts;
+        pending_is_retry_ = true;
+      } else if (result.sent < cfg_.total_requests) {
+        pending_ = gen_.next();
+        ++gen_calls_;
+        pending_cub_ = cfg_.target_cub;
+        if (cfg_.targets == TargetPolicy::RoundRobinCubes) {
+          pending_cub_ = next_cube_;
+          next_cube_ = (next_cube_ + 1) % sim_.num_devices();
+        }
+        pending_attempts_ = 0;
+        pending_is_retry_ = false;
+      } else {
+        break;  // nothing sendable until a backoff expires
       }
       have_pending_ = true;
     }
@@ -108,35 +180,182 @@ void HostDriver::inject(DriverResult& result) {
       continue;  // keep the pending request; try another port
     }
     if (!ok(ss)) {
-      have_pending_ = false;  // unroutable by construction; skip it
+      // Unroutable by construction; skip it.  A retry still has to
+      // terminate for conservation, so account it as abandoned.
+      if (pending_is_retry_) {
+        ++result.abandoned;
+        ++result.completed;
+      }
+      have_pending_ = false;
       continue;
     }
     port->free_tags.pop_back();
-    port->sent_at[tag] = sim_.now();
+    InFlight& fl = port->inflight[tag];
+    fl.desc = pending_;
+    fl.cub = pending_cub_;
+    fl.attempts = pending_attempts_;
+    fl.sent_at = sim_.now();
+    fl.zombie = false;
+    fl.deadline = (cfg_.response_timeout_cycles != 0 &&
+                   !is_posted(pending_.cmd))
+                      ? sim_.now() + cfg_.response_timeout_cycles
+                      : 0;
     ++port->outstanding;
-    ++result.sent;
+    if (pending_is_retry_) {
+      ++result.retries;
+    } else {
+      ++result.sent;
+    }
     have_pending_ = false;
     if (is_posted(pending_.cmd)) ++result.completed;  // no response due
   }
+}
+
+bool HostDriver::step(DriverResult& result) {
+  if (ports_.empty() || result.completed >= cfg_.total_requests) {
+    return false;
+  }
+  drain_responses(result);
+  if (cfg_.response_timeout_cycles != 0) check_timeouts(result);
+  inject(result);
+  sim_.clock();
+  result.cycles = sim_.now();
+  if (sim_.watchdog_fired()) {
+    result.watchdog_fired = true;
+    return false;
+  }
+  if (cfg_.max_cycles != 0 && sim_.now() >= cfg_.max_cycles) {
+    result.hit_cycle_cap = true;
+    return false;
+  }
+  return result.completed < cfg_.total_requests;
 }
 
 DriverResult HostDriver::run() {
   DriverResult result;
   if (ports_.empty()) return result;
 
-  while (result.completed < cfg_.total_requests) {
-    drain_responses(result);
-    inject(result);
-    sim_.clock();
-    if (cfg_.max_cycles != 0 && sim_.now() >= cfg_.max_cycles) {
-      result.hit_cycle_cap = true;
-      break;
-    }
+  while (step(result)) {
   }
   // Collect any responses registered on the final cycle.
   drain_responses(result);
   result.cycles = sim_.now();
   return result;
+}
+
+Status HostDriver::save(std::ostream& os) const {
+  put_u64(os, kDriverMagic);
+  put_u64(os, ports_.size());
+  for (const PortState& port : ports_) {
+    put_u64(os, port.free_tags.size());
+    for (const u16 tag : port.free_tags) put_u64(os, tag);
+    put_u64(os, port.outstanding);
+    for (const InFlight& fl : port.inflight) {
+      put_u64(os, static_cast<u8>(fl.desc.cmd));
+      put_u64(os, fl.desc.addr);
+      put_u64(os, fl.sent_at);
+      put_u64(os, fl.deadline);
+      put_u64(os, fl.cub);
+      put_u64(os, fl.attempts);
+      put_u64(os, fl.zombie ? 1 : 0);
+    }
+  }
+  put_u64(os, retry_queue_.size());
+  for (const RetryEntry& e : retry_queue_) {
+    put_u64(os, static_cast<u8>(e.desc.cmd));
+    put_u64(os, e.desc.addr);
+    put_u64(os, e.cub);
+    put_u64(os, e.attempts);
+    put_u64(os, e.not_before);
+  }
+  put_u64(os, rr_next_);
+  put_u64(os, next_cube_);
+  put_u64(os, have_pending_ ? 1 : 0);
+  put_u64(os, static_cast<u8>(pending_.cmd));
+  put_u64(os, pending_.addr);
+  put_u64(os, pending_cub_);
+  put_u64(os, pending_attempts_);
+  put_u64(os, pending_is_retry_ ? 1 : 0);
+  put_u64(os, gen_calls_);
+  os.flush();
+  return os ? Status::Ok : Status::Internal;
+}
+
+Status HostDriver::restore(std::istream& is) {
+  u64 magic = 0, num_ports = 0;
+  if (!get_u64(is, magic) || magic != kDriverMagic) {
+    return Status::MalformedPacket;
+  }
+  if (!get_u64(is, num_ports) || num_ports != ports_.size()) {
+    return Status::MalformedPacket;
+  }
+  for (PortState& port : ports_) {
+    u64 num_free = 0;
+    if (!get_u64(is, num_free) || num_free > port.inflight.size()) {
+      return Status::MalformedPacket;
+    }
+    port.free_tags.clear();
+    for (u64 i = 0; i < num_free; ++i) {
+      u64 tag = 0;
+      if (!get_u64(is, tag) || tag >= port.inflight.size()) {
+        return Status::MalformedPacket;
+      }
+      port.free_tags.push_back(static_cast<u16>(tag));
+    }
+    u64 outstanding = 0;
+    if (!get_u64(is, outstanding)) return Status::MalformedPacket;
+    port.outstanding = static_cast<u32>(outstanding);
+    for (InFlight& fl : port.inflight) {
+      u64 cmd = 0, cub = 0, attempts = 0, zombie = 0;
+      if (!get_u64(is, cmd) || !get_u64(is, fl.desc.addr) ||
+          !get_u64(is, fl.sent_at) || !get_u64(is, fl.deadline) ||
+          !get_u64(is, cub) || !get_u64(is, attempts) ||
+          !get_u64(is, zombie)) {
+        return Status::MalformedPacket;
+      }
+      fl.desc.cmd = static_cast<Command>(cmd);
+      fl.cub = static_cast<u32>(cub);
+      fl.attempts = static_cast<u32>(attempts);
+      fl.zombie = zombie != 0;
+    }
+  }
+  u64 num_retries = 0;
+  if (!get_u64(is, num_retries)) return Status::MalformedPacket;
+  retry_queue_.clear();
+  for (u64 i = 0; i < num_retries; ++i) {
+    RetryEntry e;
+    u64 cmd = 0, cub = 0, attempts = 0;
+    if (!get_u64(is, cmd) || !get_u64(is, e.desc.addr) ||
+        !get_u64(is, cub) || !get_u64(is, attempts) ||
+        !get_u64(is, e.not_before)) {
+      return Status::MalformedPacket;
+    }
+    e.desc.cmd = static_cast<Command>(cmd);
+    e.cub = static_cast<u32>(cub);
+    e.attempts = static_cast<u32>(attempts);
+    retry_queue_.push_back(e);
+  }
+  u64 rr = 0, cube = 0, have_pending = 0, pcmd = 0, pcub = 0, pattempts = 0,
+      pretry = 0, gen_calls = 0;
+  if (!get_u64(is, rr) || !get_u64(is, cube) || !get_u64(is, have_pending) ||
+      !get_u64(is, pcmd) || !get_u64(is, pending_.addr) ||
+      !get_u64(is, pcub) || !get_u64(is, pattempts) ||
+      !get_u64(is, pretry) || !get_u64(is, gen_calls)) {
+    return Status::MalformedPacket;
+  }
+  rr_next_ = static_cast<usize>(rr);
+  next_cube_ = static_cast<u32>(cube);
+  have_pending_ = have_pending != 0;
+  pending_.cmd = static_cast<Command>(pcmd);
+  pending_cub_ = static_cast<u32>(pcub);
+  pending_attempts_ = static_cast<u32>(pattempts);
+  pending_is_retry_ = pretry != 0;
+  // Re-synchronize the (freshly re-seeded) generator by replaying the
+  // recorded number of draws.
+  gen_calls_ = 0;
+  for (u64 i = 0; i < gen_calls; ++i) gen_.next();
+  gen_calls_ = gen_calls;
+  return Status::Ok;
 }
 
 }  // namespace hmcsim

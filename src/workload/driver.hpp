@@ -13,9 +13,21 @@
 // corollary that "locality-aware host devices have the potential to reduce
 // memory latency and reduce internal memory device contention" (§VI.B,
 // ablation A3).
+//
+// Host-side resilience (RAS): with response_timeout_cycles set, the driver
+// arms a per-tag deadline on every non-posted send.  A missed deadline
+// marks the tag a *zombie* — the tag stays allocated until the (possibly
+// very late) response actually surfaces, so a retry can never collide with
+// a stale in-flight packet — and the request is resent under a fresh tag
+// after an exponential backoff, up to retry_limit times.  Past the budget
+// the request terminates as a host-side timeout (DriverResult::abandoned),
+// preserving conservation: every injected request completes exactly once,
+// as data, as an ERROR response, or as an abandonment.
 #pragma once
 
 #include <array>
+#include <deque>
+#include <iosfwd>
 #include <vector>
 
 #include "common/latency.hpp"
@@ -41,6 +53,15 @@ struct DriverConfig {
   /// Abort the run after this many cycles (0 = unlimited).  A safety net
   /// for deliberately misconfigured topologies that can never complete.
   Cycle max_cycles{0};
+  /// Cycles to wait for a response before declaring a host-side timeout
+  /// (0 = never time out).
+  Cycle response_timeout_cycles{0};
+  /// Resends attempted per request after a timeout; past the budget the
+  /// request is abandoned (DriverResult::abandoned) instead of retried.
+  u32 retry_limit{0};
+  /// Backoff before the first resend; doubles per subsequent resend of the
+  /// same request (capped at base << 16).  0 = resend on the next cycle.
+  Cycle retry_backoff_cycles{0};
 };
 
 // LatencyStats (send cycle -> response-drain cycle aggregation) lives in
@@ -48,11 +69,15 @@ struct DriverConfig {
 
 struct DriverResult {
   Cycle cycles{0};        ///< simulated clock at completion
-  u64 sent{0};
+  u64 sent{0};            ///< logical requests injected (excludes resends)
   u64 completed{0};       ///< responses received (plus posted sends)
   u64 errors{0};          ///< ERROR responses among completed
   u64 send_stalls{0};     ///< Stalled returns observed by the host
+  u64 timeouts{0};        ///< response deadlines missed by the host
+  u64 retries{0};         ///< resends performed after a timeout
+  u64 abandoned{0};       ///< requests given up after the retry budget
   bool hit_cycle_cap{false};
+  bool watchdog_fired{false};  ///< simulator watchdog tripped mid-run
   LatencyStats latency;
 };
 
@@ -62,22 +87,58 @@ class HostDriver {
   HostDriver(Simulator& sim, Generator& generator, DriverConfig config);
 
   /// Run to completion: inject config.total_requests requests and drain
-  /// every response.
+  /// every response (or retry/abandon it under the resilience policy).
   DriverResult run();
 
+  /// One drive-loop iteration: drain responses, scan deadlines, inject,
+  /// clock.  Returns true while the run is incomplete.  Accumulates into
+  /// the caller-owned result so a run can be checkpointed mid-flight.
+  bool step(DriverResult& result);
+
+  /// Serialize tag/retry/progress state so a run can resume after a
+  /// simulator checkpoint restore.  The caller re-creates the driver over
+  /// an identically-seeded generator; restore() replays the generator by
+  /// recorded call count to re-synchronize it.
+  [[nodiscard]] Status save(std::ostream& os) const;
+  [[nodiscard]] Status restore(std::istream& is);
+
  private:
+  /// Book-keeping for one allocated tag.
+  struct InFlight {
+    RequestDesc desc{};
+    Cycle sent_at{0};
+    Cycle deadline{0};  ///< 0 = no timeout armed
+    u32 cub{0};
+    u32 attempts{0};    ///< resends so far (0 = first transmission)
+    bool zombie{false}; ///< timed out; tag held until the response lands
+  };
+
   struct PortState {
     u32 dev;
     u32 link;
     std::vector<u16> free_tags;                 // LIFO free list
-    std::array<Cycle, 512> sent_at{};           // tag -> send cycle
+    std::array<InFlight, 512> inflight{};       // tag -> book-keeping
     u32 outstanding{0};
   };
 
+  /// A timed-out request waiting out its backoff before the resend.
+  struct RetryEntry {
+    RequestDesc desc{};
+    u32 cub{0};
+    u32 attempts{0};
+    Cycle not_before{0};
+  };
+
   /// Drain every ready response on every port; updates latency/errors.
+  /// Responses to zombie tags only release the tag.
   void drain_responses(DriverResult& result);
 
-  /// Inject until every port stalls or the request budget is exhausted.
+  /// Scan armed deadlines; zombify expired tags and schedule resends (or
+  /// abandon past the retry budget).
+  void check_timeouts(DriverResult& result);
+
+  /// Inject until every port stalls or nothing is sendable this cycle.
+  /// Due retries take priority over fresh generator requests.
   void inject(DriverResult& result);
 
   /// Pick the port for the next request under the configured policy;
@@ -89,11 +150,15 @@ class HostDriver {
   Generator& gen_;
   DriverConfig cfg_;
   std::vector<PortState> ports_;
+  std::deque<RetryEntry> retry_queue_;
   usize rr_next_{0};
   u32 next_cube_{0};
   bool have_pending_{false};
   RequestDesc pending_{};
   u32 pending_cub_{0};
+  u32 pending_attempts_{0};
+  bool pending_is_retry_{false};
+  u64 gen_calls_{0};  ///< generator invocations, for restore replay
 };
 
 }  // namespace hmcsim

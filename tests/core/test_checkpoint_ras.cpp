@@ -1,0 +1,167 @@
+// Checkpoint v3: RAS state (fault sidecar, fault RNG, scrub cursor, failed
+// vaults, watchdog) and host retry state survive a save/restore, and a
+// resumed run matches the uninterrupted one counter-for-counter.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::small_device;
+
+DeviceConfig ras_device() {
+  DeviceConfig dc = small_device();
+  dc.model_data = true;
+  dc.dram_sbe_rate_ppm = 300'000;
+  dc.dram_dbe_rate_ppm = 60'000;
+  dc.scrub_interval_cycles = 16;
+  dc.scrub_window_bytes = 4096;
+  dc.vault_fail_threshold = 6;
+  dc.vault_remap = true;
+  dc.watchdog_cycles = 30'000;
+  return dc;
+}
+
+DriverConfig driver_cfg() {
+  DriverConfig dcfg;
+  dcfg.total_requests = 800;
+  dcfg.max_cycles = 500000;
+  dcfg.response_timeout_cycles = 5;  // near p50: a mix of hits and timeouts
+  dcfg.retry_limit = 5;
+  dcfg.retry_backoff_cycles = 8;
+  return dcfg;
+}
+
+void expect_same_stats(const DeviceStats& a, const DeviceStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.error_responses, b.error_responses);
+  EXPECT_EQ(a.dram_sbes, b.dram_sbes);
+  EXPECT_EQ(a.dram_dbes, b.dram_dbes);
+  EXPECT_EQ(a.scrub_steps, b.scrub_steps);
+  EXPECT_EQ(a.scrub_corrections, b.scrub_corrections);
+  EXPECT_EQ(a.scrub_uncorrectables, b.scrub_uncorrectables);
+  EXPECT_EQ(a.vault_failures, b.vault_failures);
+  EXPECT_EQ(a.vault_remaps, b.vault_remaps);
+  EXPECT_EQ(a.degraded_drops, b.degraded_drops);
+}
+
+TEST(CheckpointRas, RasStateSurvivesRoundTrip) {
+  // Build a simulator with planted faults, a failed vault, and scrub
+  // progress; the restored copy must mirror all of it.
+  DeviceConfig dc = ras_device();
+  dc.failed_vault_mask = 0x4;
+  Simulator sim = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 24; ++t) {
+    (void)test::send_request(sim, 0, t % 4, Command::Wr16, 0x40 * t, t, 0,
+                             {t, t});
+  }
+  for (int i = 0; i < 120; ++i) sim.clock();  // mid-flight, scrubs pending
+  const std::array<u32, 2> bits = {4, 44};
+  ASSERT_TRUE(sim.device(0).store.plant_fault(0x8000, bits));
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+
+  EXPECT_EQ(restored.now(), sim.now());
+  EXPECT_EQ(restored.device(0).ras.failed_vaults,
+            sim.device(0).ras.failed_vaults);
+  EXPECT_EQ(restored.device(0).ras.scrub_cursor,
+            sim.device(0).ras.scrub_cursor);
+  EXPECT_EQ(restored.device(0).ras.scrub_passes,
+            sim.device(0).ras.scrub_passes);
+  EXPECT_EQ(restored.device(0).store.fault_count(),
+            sim.device(0).store.fault_count());
+  EXPECT_GT(restored.device(0).store.fault_count(), 0u);
+  expect_same_stats(restored.stats(0), sim.stats(0));
+  EXPECT_FALSE(restored.watchdog_fired());
+
+  // Both copies must keep evolving identically: same scrub discoveries,
+  // same injected faults (fault RNG state restored).
+  for (int i = 0; i < 2000; ++i) {
+    sim.clock();
+    restored.clock();
+  }
+  expect_same_stats(restored.stats(0), sim.stats(0));
+  EXPECT_EQ(restored.device(0).store.fault_count(),
+            sim.device(0).store.fault_count());
+}
+
+TEST(CheckpointRas, ResumedRunMatchesUninterrupted) {
+  // Full-stack determinism: faults + scrubbing + vault degradation + host
+  // timeouts/retries, interrupted mid-run by a checkpoint of both the
+  // simulator and the driver.
+  const DeviceConfig dc = ras_device();
+  const DriverConfig dcfg = driver_cfg();
+  GeneratorConfig gc;
+  gc.capacity_bytes = dc.derived_capacity();
+
+  Simulator sim_ref = test::make_simple_sim(dc);
+  RandomAccessGenerator gen_ref(gc);
+  HostDriver driver_ref(sim_ref, gen_ref, dcfg);
+  const DriverResult r_ref = driver_ref.run();
+  EXPECT_EQ(r_ref.completed, dcfg.total_requests);
+  EXPECT_FALSE(r_ref.watchdog_fired);
+
+  Simulator sim_a = test::make_simple_sim(dc);
+  RandomAccessGenerator gen_a(gc);
+  HostDriver driver_a(sim_a, gen_a, dcfg);
+  DriverResult r_mid;
+  // 800 requests take >64 cycles to inject, so 40 steps is mid-run.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(driver_a.step(r_mid));
+  }
+  std::stringstream sim_stream, driver_stream;
+  ASSERT_EQ(sim_a.save_checkpoint(sim_stream), Status::Ok);
+  ASSERT_EQ(driver_a.save(driver_stream), Status::Ok);
+
+  Simulator sim_b;
+  ASSERT_EQ(sim_b.restore_checkpoint(sim_stream), Status::Ok);
+  RandomAccessGenerator gen_b(gc);
+  HostDriver driver_b(sim_b, gen_b, dcfg);
+  ASSERT_EQ(driver_b.restore(driver_stream), Status::Ok);
+
+  DriverResult r_b = r_mid;
+  while (driver_b.step(r_b)) {
+  }
+  EXPECT_EQ(r_b.completed, r_ref.completed);
+  EXPECT_EQ(r_b.sent, r_ref.sent);
+  EXPECT_EQ(r_b.errors, r_ref.errors);
+  EXPECT_EQ(r_b.timeouts, r_ref.timeouts);
+  EXPECT_EQ(r_b.retries, r_ref.retries);
+  EXPECT_EQ(r_b.abandoned, r_ref.abandoned);
+  EXPECT_EQ(r_b.cycles, r_ref.cycles);
+  expect_same_stats(sim_b.total_stats(), sim_ref.total_stats());
+}
+
+TEST(CheckpointRas, FiredWatchdogRoundTrips) {
+  DeviceConfig dc = small_device();
+  dc.watchdog_cycles = 150;
+  Simulator sim = test::make_simple_sim(dc);
+  for (Tag t = 0; t < 100; ++t) {
+    (void)test::send_request(sim, 0, t % 4, Command::Rd16, 64 * t, t);
+  }
+  for (int i = 0; i < 10'000 && !sim.watchdog_fired(); ++i) sim.clock();
+  ASSERT_TRUE(sim.watchdog_fired());
+
+  std::stringstream stream;
+  ASSERT_EQ(sim.save_checkpoint(stream), Status::Ok);
+  Simulator restored;
+  ASSERT_EQ(restored.restore_checkpoint(stream), Status::Ok);
+  EXPECT_TRUE(restored.watchdog_fired());
+  EXPECT_FALSE(restored.watchdog_report().empty());
+  const Cycle frozen = restored.now();
+  restored.clock();
+  EXPECT_EQ(restored.now(), frozen);  // still refuses to clock
+}
+
+}  // namespace
+}  // namespace hmcsim

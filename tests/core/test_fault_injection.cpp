@@ -113,6 +113,35 @@ TEST(LinkRetry, RetryBudgetAbsorbsTransientErrors) {
   EXPECT_EQ(s.retired(), 2000u);
 }
 
+TEST(LinkRetry, TransientErrorRecoveredByRetransmission) {
+  // Close the retry-success accounting path at single-request granularity:
+  // with a 50% corruption rate and a deep budget, a lone request is
+  // (deterministically, per fixed seed) corrupted at least once, replayed,
+  // and still answers with DATA — link_retries counts the replays while
+  // link_errors stays zero.
+  DeviceConfig dc = small_device();
+  dc.link_error_rate_ppm = 500'000;
+  dc.link_retry_limit = 16;
+  dc.fault_seed = 3;
+  Simulator sim = test::make_simple_sim(dc);
+  u32 retried_runs = 0;
+  for (Tag t = 0; t < 8; ++t) {
+    const u64 before = sim.stats(0).link_retries;
+    ASSERT_EQ(test::send_request(sim, 0, t % 4, Command::Rd16, 0x100 * t, t),
+              Status::Ok);
+    const auto rsp = test::await_response(sim, 0, t % 4, 500);
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_NE(rsp->cmd, Command::Error);  // recovered, not failed
+    EXPECT_EQ(rsp->tag, t);
+    if (sim.stats(0).link_retries > before) ++retried_runs;
+  }
+  // At 50% corruption, P(zero of 8 requests needing a replay) ~ 0.4%.
+  EXPECT_GT(retried_runs, 0u);
+  EXPECT_GT(sim.stats(0).link_retries, 0u);
+  EXPECT_EQ(sim.stats(0).link_errors, 0u);
+  EXPECT_EQ(sim.stats(0).retired(), 8u);
+}
+
 TEST(LinkRetry, ExhaustedBudgetStillFails) {
   // Certain corruption with one retry: every packet burns its retry and
   // then dies.

@@ -3,6 +3,8 @@
 // rejections or internally consistent accepts.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
 #include <string>
 
 #include "common/random.hpp"
@@ -94,6 +96,42 @@ TEST(PacketFuzz, SimulatorSendSurvivesGarbage) {
   }
   // Whatever was accepted must drain without deadlock or crash.
   (void)test::drain_all(sim, 5000);
+}
+
+TEST(PacketFuzz, BitFlipsInSealedPacketsAlwaysRejected) {
+  // CRC-32K has Hamming distance >= 4 at these lengths: flipping 1..3 bits
+  // anywhere in a sealed FLIT stream (header, payload, tail, or the CRC
+  // field itself) must always be detected — no false accepts, no crashes.
+  SplitMix64 rng(0x5EED);
+  const Command kCmds[] = {Command::Rd16, Command::Rd64, Command::Wr32,
+                           Command::Wr128, Command::Add16};
+  int rejected = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    RequestFields f;
+    f.cmd = kCmds[rng.next_below(std::size(kCmds))];
+    f.addr = (rng.next() & spec::kAddrMask) & ~u64{15};
+    f.tag = static_cast<Tag>(rng.next_below(512));
+    f.cub = 0;
+    f.slid = static_cast<u8>(rng.next_below(4));
+    std::vector<u64> payload(request_data_bytes(f.cmd) / 8);
+    for (auto& w : payload) w = rng.next();
+    PacketBuffer pkt;
+    ASSERT_EQ(encode_request(f, payload, pkt), Status::Ok);
+    ASSERT_TRUE(check_crc(pkt));
+
+    const u32 flips = 1 + static_cast<u32>(rng.next_below(3));
+    const usize used_bits = usize{pkt.flits} * 2 * 64;
+    std::set<usize> bits;
+    while (bits.size() < flips) bits.insert(rng.next_below(used_bits));
+    for (const usize bit : bits) {
+      pkt.words[bit / 64] ^= u64{1} << (bit % 64);
+    }
+    EXPECT_FALSE(check_crc(pkt));
+    RequestFields out;
+    EXPECT_NE(decode_request(pkt, out), Status::Ok);
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, 20000);
 }
 
 TEST(TraceFuzz, ParserSurvivesRandomText) {

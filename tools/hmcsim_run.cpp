@@ -25,6 +25,24 @@
 //     --metrics-interval <n> sample queue occupancies/stalls every n cycles
 //     --metrics-csv <file>  write the metric samples as CSV
 //     --seed <n>            generator seed (default 1)
+//
+//   RAS / fault injection (see docs/RAS.md):
+//     --dram-sbe-ppm <n>    single-bit DRAM fault odds per access, ppm
+//     --dram-dbe-ppm <n>    double-bit DRAM fault odds per access, ppm
+//     --scrub-interval <n>  background scrub step every n cycles
+//     --scrub-window <n>    bytes scanned per scrub step (default 4096)
+//     --vault-fail-threshold <n>  uncorrectables before a vault fails
+//     --failed-vaults <mask>      vaults failed from cycle 0 (bitmask)
+//     --vault-remap 0|1     remap failed-vault traffic to the partner vault
+//     --watchdog <n>        fail fast after n cycles without progress
+//     --link-error-ppm <n>  transient link error odds per packet, ppm
+//     --link-retry-limit <n>      link-level retry budget
+//     --timeout <n>         host response timeout, cycles
+//     --retries <n>         host resend budget per timed-out request
+//     --backoff <n>         host backoff before the first resend, cycles
+//
+//   Exit status: 0 success, 1 incomplete run, 2 usage error, 3 watchdog
+//   fired (diagnostic dump on stderr).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +82,20 @@ struct Args {
   std::string metrics_csv;
   u64 metrics_interval = 0;
   u32 seed = 1;
+  // RAS / fault injection; -1 sentinels mean "leave the config file value".
+  i64 dram_sbe_ppm = -1;
+  i64 dram_dbe_ppm = -1;
+  i64 scrub_interval = -1;
+  i64 scrub_window = -1;
+  i64 vault_fail_threshold = -1;
+  i64 failed_vaults = -1;
+  i64 vault_remap = -1;
+  i64 watchdog = -1;
+  i64 link_error_ppm = -1;
+  i64 link_retry_limit = -1;
+  u64 timeout = 0;
+  u32 retries = 0;
+  u64 backoff = 0;
 };
 
 void usage(const char* argv0) {
@@ -92,7 +124,13 @@ bool parse_args(int argc, char** argv, Args& args) {
         flag == "--policy" || flag == "--json" || flag == "--fig5-csv" ||
         flag == "--trace-out" || flag == "--chrome-trace" ||
         flag == "--metrics-interval" || flag == "--metrics-csv" ||
-        flag == "--seed";
+        flag == "--seed" || flag == "--dram-sbe-ppm" ||
+        flag == "--dram-dbe-ppm" || flag == "--scrub-interval" ||
+        flag == "--scrub-window" || flag == "--vault-fail-threshold" ||
+        flag == "--failed-vaults" || flag == "--vault-remap" ||
+        flag == "--watchdog" || flag == "--link-error-ppm" ||
+        flag == "--link-retry-limit" || flag == "--timeout" ||
+        flag == "--retries" || flag == "--backoff";
     if (!known) {
       std::fprintf(stderr, "error: unknown option '%s'\n", flag.c_str());
       usage(argv[0]);
@@ -139,6 +177,33 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.metrics_csv = v;
     } else if (flag == "--seed") {
       args.seed = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (flag == "--dram-sbe-ppm") {
+      args.dram_sbe_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--dram-dbe-ppm") {
+      args.dram_dbe_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--scrub-interval") {
+      args.scrub_interval = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--scrub-window") {
+      args.scrub_window = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--vault-fail-threshold") {
+      args.vault_fail_threshold =
+          static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--failed-vaults") {
+      args.failed_vaults = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--vault-remap") {
+      args.vault_remap = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--watchdog") {
+      args.watchdog = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-error-ppm") {
+      args.link_error_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-retry-limit") {
+      args.link_retry_limit = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--timeout") {
+      args.timeout = std::strtoull(v, nullptr, 0);
+    } else if (flag == "--retries") {
+      args.retries = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (flag == "--backoff") {
+      args.backoff = std::strtoull(v, nullptr, 0);
     }
   }
   return true;
@@ -217,6 +282,45 @@ int main(int argc, char** argv) {
         return 1;
     }
     config.device.model_data = false;
+  }
+
+  // ---- RAS overrides --------------------------------------------------------
+  {
+    DeviceConfig& dc = config.device;
+    if (args.dram_sbe_ppm >= 0) {
+      dc.dram_sbe_rate_ppm = static_cast<u32>(args.dram_sbe_ppm);
+    }
+    if (args.dram_dbe_ppm >= 0) {
+      dc.dram_dbe_rate_ppm = static_cast<u32>(args.dram_dbe_ppm);
+    }
+    if (args.scrub_interval >= 0) {
+      dc.scrub_interval_cycles = static_cast<u32>(args.scrub_interval);
+    }
+    if (args.scrub_window >= 0) {
+      dc.scrub_window_bytes = static_cast<u64>(args.scrub_window);
+    }
+    if (args.vault_fail_threshold >= 0) {
+      dc.vault_fail_threshold = static_cast<u32>(args.vault_fail_threshold);
+    }
+    if (args.failed_vaults >= 0) {
+      dc.failed_vault_mask = static_cast<u64>(args.failed_vaults);
+    }
+    if (args.vault_remap >= 0) dc.vault_remap = args.vault_remap != 0;
+    if (args.watchdog >= 0) {
+      dc.watchdog_cycles = static_cast<u32>(args.watchdog);
+    }
+    if (args.link_error_ppm >= 0) {
+      dc.link_error_rate_ppm = static_cast<u32>(args.link_error_ppm);
+    }
+    if (args.link_retry_limit >= 0) {
+      dc.link_retry_limit = static_cast<u32>(args.link_retry_limit);
+    }
+    // The DRAM fault domain lives in the data store; injection and
+    // scrubbing need it present.
+    if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
+        dc.scrub_interval_cycles != 0) {
+      dc.model_data = true;
+    }
   }
 
   // ---- topology -------------------------------------------------------------
@@ -315,6 +419,9 @@ int main(int argc, char** argv) {
   dcfg.policy = args.policy;
   if (sim.num_devices() > 1) dcfg.targets = TargetPolicy::RoundRobinCubes;
   dcfg.max_cycles = u64{4} * 1000 * 1000 * 1000;
+  dcfg.response_timeout_cycles = args.timeout;
+  dcfg.retry_limit = args.retries;
+  dcfg.retry_backoff_cycles = args.backoff;
   HostDriver driver(sim, *gen, dcfg);
   const DriverResult r = driver.run();
   sim.tracer().flush();
@@ -349,6 +456,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.bank_conflicts),
               static_cast<unsigned long long>(s.xbar_rqst_stalls),
               static_cast<unsigned long long>(s.latency_penalties));
+  if (s.dram_sbes + s.dram_dbes + s.scrub_corrections +
+          s.scrub_uncorrectables + s.vault_failures + s.vault_remaps +
+          s.degraded_drops + r.timeouts + r.retries + r.abandoned !=
+      0) {
+    std::printf("ras       : %llu sbe, %llu dbe, %llu scrubbed, "
+                "%llu vault failures, %llu remaps, %llu drops\n",
+                static_cast<unsigned long long>(s.dram_sbes),
+                static_cast<unsigned long long>(s.dram_dbes),
+                static_cast<unsigned long long>(s.scrub_corrections),
+                static_cast<unsigned long long>(s.vault_failures),
+                static_cast<unsigned long long>(s.vault_remaps),
+                static_cast<unsigned long long>(s.degraded_drops));
+    std::printf("host ras  : %llu timeouts, %llu retries, %llu abandoned\n",
+                static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.abandoned));
+  }
   if (lifecycle->completed() != 0) {
     std::printf("%s", format_latency_breakdown(*lifecycle).c_str());
   }
@@ -396,6 +520,10 @@ int main(int argc, char** argv) {
   }
   if (trace_file.is_open()) {
     std::printf("trace     : %s\n", args.trace_out.c_str());
+  }
+  if (r.watchdog_fired) {
+    std::fprintf(stderr, "%s", sim.watchdog_report().c_str());
+    return 3;
   }
   return r.completed == args.requests ? 0 : 1;
 }
