@@ -270,6 +270,7 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("failed_vault_mask", dc.failed_vault_mask);
     json.kv("vault_remap", dc.vault_remap);
     json.kv("watchdog_cycles", u64{dc.watchdog_cycles});
+    json.kv("sim_threads", u64{sim.sim_threads()});
     json.end_object();
 
     json.key("totals");

@@ -50,6 +50,11 @@ struct LatencyStats {
     }
   }
 
+  /// Exact histogram equality (count/sum/extremes/buckets), used by the
+  /// differential test harness to prove latency attribution is independent
+  /// of the clock-engine thread count.
+  bool operator==(const LatencyStats&) const = default;
+
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) /
                                   static_cast<double>(count);

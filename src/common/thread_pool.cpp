@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+namespace hmcsim {
+namespace {
+
+// Spin iterations before an idle worker falls back to the condvar.  Large
+// enough to cover back-to-back parallel sections of one simulated cycle,
+// small enough that an idle simulator releases its CPUs within ~1 ms.
+constexpr u32 kSpinIterations = 4096;
+
+}  // namespace
+
+ThreadPool::ThreadPool(u32 num_threads) {
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads - 1);
+  for (u32 w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_range(u32 worker_index) {
+  // Contiguous static partition: worker w owns [w*n/T, (w+1)*n/T).
+  const u32 threads = num_threads();
+  const u64 n = job_shards_;
+  const u32 begin = static_cast<u32>(n * worker_index / threads);
+  const u32 end = static_cast<u32>(n * (worker_index + 1) / threads);
+  for (u32 s = begin; s < end; ++s) (*job_)(s);
+}
+
+void ThreadPool::worker_loop(u32 worker_index) {
+  u64 seen_epoch = 0;
+  for (;;) {
+    // Wait for the next dispatch: spin briefly, then sleep.
+    u32 spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen_epoch) {
+      if (++spins < kSpinIterations) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen_epoch;
+      });
+      break;
+    }
+    ++seen_epoch;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    run_range(worker_index);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::parallel_for(u32 num_shards,
+                              const std::function<void(u32)>& fn) {
+  if (workers_.empty() || num_shards <= 1) {
+    for (u32 s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  job_ = &fn;
+  job_shards_ = num_shards;
+  done_.store(0, std::memory_order_relaxed);
+  {
+    // The lock orders the epoch bump against a worker's wait-predicate
+    // check, closing the missed-wakeup window for sleeping workers.
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  run_range(0);
+  const u32 expected = static_cast<u32>(workers_.size());
+  while (done_.load(std::memory_order_acquire) != expected) {
+    std::this_thread::yield();
+  }
+  job_ = nullptr;
+  job_shards_ = 0;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,80 @@
+// Deterministic fork-join thread pool for the parallel clock engine.
+//
+// Design constraints (see docs/TESTING.md, "differential harness"):
+//
+//  * Static index-range partitioning, no work stealing: shard s of n is
+//    always executed by worker floor(s * T / n)'s range, so the
+//    shard-to-thread assignment is a pure function of (n, T).  Because the
+//    clock engine gives every shard exclusive state and merges shared
+//    state in fixed shard order at the barrier, simulation results are
+//    bit-identical for ANY thread count — the pool only changes wall-clock
+//    time, never behavior.
+//  * Low dispatch latency: the simulator runs one to three parallel
+//    sections per simulated cycle, so a condvar handshake per section
+//    (~10 us) would dominate the actual work.  Workers spin briefly on an
+//    atomic epoch before falling back to a condvar sleep, keeping the
+//    dispatch cost in the ~1 us range while a simulation is clocking and
+//    releasing the CPUs when it is not.
+//  * Exceptions must not escape a worker (the stage functions do not
+//    throw); a throwing task terminates, matching the engine's contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is worker 0).
+  /// `num_threads <= 1` creates no workers; parallel_for then runs inline.
+  explicit ThreadPool(u32 num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] u32 num_threads() const {
+    return static_cast<u32>(workers_.size()) + 1;
+  }
+
+  /// Invoke `fn(shard)` for every shard in [0, num_shards), partitioned
+  /// into contiguous static ranges across the pool's threads, and block
+  /// until all shards complete (a full barrier).  Shards must not touch
+  /// each other's state; within one thread's range shards run in ascending
+  /// order.  Runs inline (in shard order) when the pool has one thread or
+  /// there is at most one shard.
+  void parallel_for(u32 num_shards, const std::function<void(u32)>& fn);
+
+  /// The machine's hardware thread count (>= 1).
+  [[nodiscard]] static u32 hardware_threads() {
+    const u32 n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  void worker_loop(u32 worker_index);
+  void run_range(u32 worker_index);
+
+  std::vector<std::thread> workers_;
+
+  // Dispatch state: bumping epoch_ publishes {job_, job_shards_} to the
+  // workers; done_ counts finished workers back in.
+  std::atomic<u64> epoch_{0};
+  std::atomic<u32> done_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(u32)>* job_{nullptr};
+  u32 job_shards_{0};
+
+  // Sleep fallback for idle workers (spin budget exhausted).
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace hmcsim

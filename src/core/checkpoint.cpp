@@ -31,7 +31,12 @@ constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // the fault-injection RNG state (previously lost across restore, so
 // fault-injected runs diverged), the DRAM fault sidecar, scrubber/
 // degradation state, and the forward-progress watchdog state.
-constexpr u32 kVersion = 3;
+// Version 4 sharded the DRAM fault RNG per vault (parallel clock engine):
+// each vault block now carries its generator state.  sim_threads is
+// deliberately NOT serialized — it is an execution knob, and checkpoints
+// must be byte-identical for every thread count (the differential harness
+// asserts exactly that).
+constexpr u32 kVersion = 4;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -395,6 +400,7 @@ Status Simulator::save_checkpoint(std::ostream& os) const {
       put_response_queue(os, vault.rsp);
       for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
       for (const u64 row : vault.open_row) put_u64(os, row);
+      put_u64(os, vault.dram_rng.state());  // v4
     }
     put_response_queue(os, dev.mode_rsp);
 
@@ -477,6 +483,10 @@ Status Simulator::restore_checkpoint(std::istream& is) {
     }
   }
 
+  // sim_threads is not serialized (checkpoints are thread-count agnostic);
+  // a restored simulator keeps the execution parallelism it already had.
+  config.device.sim_threads =
+      initialized() ? config_.device.sim_threads : config.device.sim_threads;
   const Status init_status = init(config, std::move(topo));
   if (!ok(init_status)) return init_status;
 
@@ -533,6 +543,9 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       for (u64& row : vault.open_row) {
         if (!get_u64(is, row)) return Status::MalformedPacket;
       }
+      u64 dram_rng_state = 0;  // v4
+      if (!get_u64(is, dram_rng_state)) return Status::MalformedPacket;
+      vault.dram_rng = SplitMix64(dram_rng_state);
     }
     if (!get_response_queue(is, dev.mode_rsp)) return Status::MalformedPacket;
 

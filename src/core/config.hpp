@@ -146,6 +146,16 @@ struct DeviceConfig {
   /// 0 disables the watchdog.
   u32 watchdog_cycles{0};
 
+  // ---- execution ----------------------------------------------------------
+  /// Worker threads the clock engine fans sub-cycle stages across (stages
+  /// 1-2 per device, stages 3-4 per vault).  Scheduling is deterministic —
+  /// static shard partitioning with fixed-order merges — so simulation
+  /// results are bit-identical for every value of this knob; it only
+  /// changes wall-clock speed.  1 = serial (default), 0 = one thread per
+  /// hardware core.  Not serialized into checkpoints (an execution knob,
+  /// not device state).
+  u32 sim_threads{1};
+
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return
   /// zeros).  Benches disable data to keep multi-GB random-access runs

@@ -169,6 +169,9 @@ ConfigParseResult parse_config(std::istream& in) {
     } else if (key == "row_miss_cycles") {
       if (!is_number) return fail(line_no, "row_miss_cycles needs a number");
       dc.row_miss_cycles = static_cast<u32>(number);
+    } else if (key == "sim_threads") {
+      if (!is_number) return fail(line_no, "sim_threads needs a number");
+      dc.sim_threads = static_cast<u32>(number);
     } else if (key == "model_data") {
       if (value == "true" || value == "1") {
         dc.model_data = true;
@@ -260,6 +263,7 @@ void write_config(std::ostream& os, const SimConfig& config) {
      << '\n';
   os << "row_hit_cycles = " << dc.row_hit_cycles << '\n';
   os << "row_miss_cycles = " << dc.row_miss_cycles << '\n';
+  os << "sim_threads = " << dc.sim_threads << '\n';
   os << "model_data = " << (dc.model_data ? "true" : "false") << '\n';
 }
 

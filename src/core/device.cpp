@@ -1,6 +1,16 @@
 #include "core/device.hpp"
 
 namespace hmcsim {
+namespace {
+
+/// Seed for one vault's DRAM fault generator: decorrelated from the
+/// device-wide link-error generator and from every other vault.
+SplitMix64 vault_rng(u64 fault_seed, u32 dev, u32 vault) {
+  return SplitMix64(fault_seed + dev * 0x9e3779b97f4a7c15ull +
+                    (u64{vault} + 1) * 0xbf58476d1ce4e5b9ull);
+}
+
+}  // namespace
 
 Device::Device(u32 cube_id, const DeviceConfig& config)
     : regs(config.num_links),
@@ -22,6 +32,7 @@ Device::Device(u32 cube_id, const DeviceConfig& config)
     vault.rsp = BoundedQueue<ResponseEntry>(config.vault_depth);
     vault.bank_busy_until.assign(config.banks_per_vault, 0);
     vault.open_row.assign(config.banks_per_vault, kNoOpenRow);
+    vault.dram_rng = vault_rng(config.fault_seed, cube_id, v);
     vaults.push_back(std::move(vault));
   }
   mode_rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
@@ -41,6 +52,7 @@ void Device::reset(bool clear_memory) {
     link.rqst_budget = 0;
     link.rsp_budget = 0;
   }
+  u32 v = 0;
   for (auto& vault : vaults) {
     vault.rqst.clear();
     vault.rsp.clear();
@@ -48,6 +60,7 @@ void Device::reset(bool clear_memory) {
     vault.rsp.reset_stats();
     std::fill(vault.bank_busy_until.begin(), vault.bank_busy_until.end(), 0);
     std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
+    vault.dram_rng = vault_rng(config_.fault_seed, id_, v++);
   }
   mode_rsp.clear();
   regs.reset();

@@ -103,6 +103,13 @@ struct VaultState {
   std::vector<Cycle> bank_busy_until;
   /// Per-bank open row under RowPolicy::OpenPage (kNoOpenRow when closed).
   std::vector<u64> open_row;
+  /// Deterministic DRAM fault-injection source for accesses retired by THIS
+  /// vault.  Sharding the DRAM fault domain per vault (rather than drawing
+  /// from the device-wide generator) is what lets stage 4 retire vaults on
+  /// parallel threads without the draw order — and therefore the fault
+  /// pattern — depending on thread count.  Seeded from (fault_seed, device,
+  /// vault); checkpointed.
+  SplitMix64 dram_rng{0};
 };
 
 /// Per-device RAS runtime state: the error log the 0x2E register block

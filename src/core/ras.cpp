@@ -13,25 +13,28 @@
 
 namespace hmcsim {
 
-void Simulator::inject_dram_fault(Device& dev, PhysAddr addr, usize bytes) {
+void Simulator::inject_dram_fault(Device& dev, u32 vault_index, PhysAddr addr,
+                                  usize bytes) {
   const DeviceConfig& cfg = dev.config();
   const u64 sbe = cfg.dram_sbe_rate_ppm;
   const u64 dbe = cfg.dram_dbe_rate_ppm;
   if ((sbe | dbe) == 0 || bytes < 8) return;
+  // The fault domain is sharded per vault: each vault's accesses draw from
+  // its own generator, so the fault pattern is independent of the order
+  // vaults retire in — and therefore of the thread count.
+  SplitMix64& rng = dev.vaults[vault_index].dram_rng;
   // One roll decides the access's fate: [0,sbe) plants a single-bit fault,
   // [sbe,sbe+dbe) a double-bit fault, the rest nothing.
-  const u64 roll = dev.fault_rng.next_below(1'000'000);
+  const u64 roll = rng.next_below(1'000'000);
   if (roll >= sbe + dbe) return;
-  const u64 word_addr = addr + 8 * dev.fault_rng.next_below(bytes / 8);
-  const u32 first =
-      static_cast<u32>(dev.fault_rng.next_below(ecc::kCodewordBits));
+  const u64 word_addr = addr + 8 * rng.next_below(bytes / 8);
+  const u32 first = static_cast<u32>(rng.next_below(ecc::kCodewordBits));
   if (roll < sbe) {
     const u32 bits[1] = {first};
     (void)dev.store.plant_fault(word_addr, bits);
   } else {
     // Two distinct codeword positions: guaranteed detectable-uncorrectable.
-    u32 second =
-        static_cast<u32>(dev.fault_rng.next_below(ecc::kCodewordBits - 1));
+    u32 second = static_cast<u32>(rng.next_below(ecc::kCodewordBits - 1));
     if (second >= first) ++second;
     const u32 bits[2] = {first, second};
     (void)dev.store.plant_fault(word_addr, bits);
@@ -39,30 +42,37 @@ void Simulator::inject_dram_fault(Device& dev, PhysAddr addr, usize bytes) {
 }
 
 bool Simulator::ras_check_read(Device& dev, u32 vault_index, PhysAddr addr,
-                               usize bytes) {
+                               usize bytes, ShardCtx& ctx) {
   // Transient fault on this access, then codec over the whole footprint —
   // which also discovers latent faults planted by earlier writes.
-  inject_dram_fault(dev, addr, bytes);
+  inject_dram_fault(dev, vault_index, addr, bytes);
   const SparseStore::FaultSummary sum = dev.store.check_and_repair(addr, bytes);
-  dev.stats.dram_sbes += sum.corrected;
+  ctx.stats->dram_sbes += sum.corrected;
   if (sum.uncorrectable == 0) return false;
-  dev.stats.dram_dbes += sum.uncorrectable;
-  dev.ras.last_error_addr = addr;
-  dev.ras.last_error_stat = static_cast<u8>(ErrStat::DramDbe);
-  note_vault_uncorrectable(dev, vault_index);
+  ctx.stats->dram_dbes += sum.uncorrectable;
+  ctx.last_error_addr = addr;
+  ctx.last_error_stat = static_cast<u8>(ErrStat::DramDbe);
+  ctx.has_last_error = true;
+  note_vault_uncorrectable(dev, vault_index, ctx);
   return true;
 }
 
-void Simulator::note_vault_uncorrectable(Device& dev, u32 vault_index) {
+void Simulator::note_vault_uncorrectable(Device& dev, u32 vault_index,
+                                         ShardCtx& ctx) {
   const u32 threshold = dev.config().vault_fail_threshold;
   if (threshold == 0) return;
+  // vault_uncorrectable[vault_index] is only ever touched by the shard
+  // retiring this vault, so the increment is race-free; the failure bit is
+  // deferred to the stage merge (the pending mask doubles as the
+  // only-count-once guard for repeat errors within one cycle).
   if (++dev.ras.vault_uncorrectable[vault_index] >= threshold &&
-      dev.vault_alive(vault_index)) {
-    dev.ras.failed_vaults |= u64{1} << vault_index;
-    ++dev.stats.vault_failures;
-    trace(TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
-          dev.quad_of_vault(vault_index), vault_index, kNoCoord, 0, 0,
-          Command::Error);
+      dev.vault_alive(vault_index) &&
+      (ctx.pending_failed_vaults >> vault_index & 1) == 0) {
+    ctx.pending_failed_vaults |= u64{1} << vault_index;
+    ++ctx.stats->vault_failures;
+    trace_to(ctx, TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
+             dev.quad_of_vault(vault_index), vault_index, kNoCoord, 0, 0,
+             Command::Error);
   }
 }
 
@@ -95,6 +105,10 @@ void Simulator::drain_failed_vault(Device& dev, u32 vault_index) {
   // instead of wedging the pipeline.  Responses the vault produced before
   // failing still drain through stage 5 untouched.
   VaultState& vault = dev.vaults[vault_index];
+  // Serial context: runs after the stage 3-4 barrier, so stats and traces
+  // apply directly.
+  ShardCtx ctx;
+  ctx.stats = &dev.stats;
   usize i = 0;
   while (i < vault.rqst.size()) {
     RequestEntry& entry = vault.rqst.at(i);
@@ -103,7 +117,7 @@ void Simulator::drain_failed_vault(Device& dev, u32 vault_index) {
       continue;
     }
     // Staging space is bounded; retry the remainder next cycle when full.
-    if (!emit_error_response(dev, entry, ErrStat::VaultFailed, 4)) return;
+    if (!emit_error_response(dev, entry, ErrStat::VaultFailed, 4, ctx)) return;
     ++dev.stats.degraded_drops;
     vault.rqst.remove(i);
   }

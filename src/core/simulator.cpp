@@ -76,6 +76,31 @@ Status Simulator::init(const SimConfig& config, Topology topo,
       child_devices_.push_back(d);
     }
   }
+
+  // Clock-engine parallelism: resolve the thread knob and size the stage
+  // scratch once, so the hot loop never allocates.  The sharded algorithm
+  // runs identically with or without the pool (see the file comment in
+  // simulator.hpp for the determinism argument).
+  resolved_threads_ = config.device.sim_threads == 0
+                          ? ThreadPool::hardware_threads()
+                          : config.device.sim_threads;
+  pool_.reset();
+  if (resolved_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  }
+  const u32 links = config.device.num_links;
+  const u32 vaults = config.device.num_vaults();
+  xbar_scratch_.resize(config.num_devices);
+  for (auto& sc : xbar_scratch_) {
+    sc.trace.clear();
+    sc.outbox.clear();
+    sc.staged.assign(usize{config.num_devices} * links, 0);
+  }
+  vault_scratch_.assign(usize{config.num_devices} * vaults, VaultScratch{});
+  xbar_free_.assign(usize{config.num_devices} * links, 0);
+  failed_snapshot_.assign(config.num_devices, 0);
+  bounce_mark_.assign(usize{config.num_devices} * links, 0);
+  bounced_.clear();
   return Status::Ok;
 }
 
@@ -134,6 +159,29 @@ void Simulator::trace(TraceEvent event, u8 stage, u32 dev, u32 link, u32 quad,
   rec.tag = tag;
   rec.cmd = cmd;
   tracer_.emit(rec);
+}
+
+void Simulator::trace_to(ShardCtx& ctx, TraceEvent event, u8 stage, u32 dev,
+                         u32 link, u32 quad, u32 vault, u32 bank,
+                         PhysAddr addr, Tag tag, Command cmd) {
+  if (!tracer_.enabled(event)) return;
+  TraceRecord rec;
+  rec.event = event;
+  rec.stage = stage;
+  rec.cycle = cycle_;
+  rec.dev = dev;
+  rec.link = link;
+  rec.quad = quad;
+  rec.vault = vault;
+  rec.bank = bank;
+  rec.addr = addr;
+  rec.tag = tag;
+  rec.cmd = cmd;
+  if (ctx.trace != nullptr) {
+    ctx.trace->push_back(rec);
+  } else {
+    tracer_.emit(rec);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -305,22 +353,107 @@ void Simulator::clock() {
   if (watchdog_fired_) return;
   stage1_child_xbar();
   stage2_root_xbar();
-  stage3_bank_conflicts();
-  stage4_vault_requests();
+  stage3_and_4_vaults();
   stage5_responses();
   stage6_clock_update();
   if (config_.device.watchdog_cycles != 0) check_watchdog();
 }
 
-void Simulator::stage1_child_xbar() {
-  for (const u32 d : child_devices_) process_xbar(*devices_[d], 1);
+void Simulator::run_shards(u32 num_shards, const std::function<void(u32)>& fn) {
+  if (pool_) {
+    pool_->parallel_for(num_shards, fn);
+  } else {
+    for (u32 s = 0; s < num_shards; ++s) fn(s);
+  }
 }
 
-void Simulator::stage2_root_xbar() {
-  for (const u32 d : root_devices_) process_xbar(*devices_[d], 2);
+void Simulator::stage1_child_xbar() { run_xbar_stage(child_devices_, 1); }
+
+void Simulator::stage2_root_xbar() { run_xbar_stage(root_devices_, 2); }
+
+void Simulator::run_xbar_stage(const std::vector<u32>& devs, u8 stage) {
+  if (devs.empty()) return;
+  const u32 links = config_.device.num_links;
+  const bool multi_device = devices_.size() > 1;
+  if (multi_device) {
+    // Pre-stage capacity snapshot: the base against which every shard
+    // reserves cross-device forward slots during the parallel phase.
+    for (usize d = 0; d < devices_.size(); ++d) {
+      for (u32 l = 0; l < links; ++l) {
+        xbar_free_[d * links + l] =
+            static_cast<u32>(devices_[d]->links[l].rqst.free_slots());
+      }
+    }
+  }
+  auto shard = [&](u32 s) {
+    Device& dev = *devices_[devs[s]];
+    XbarScratch& sc = xbar_scratch_[s];
+    sc.trace.clear();
+    sc.outbox.clear();
+    if (multi_device) std::fill(sc.staged.begin(), sc.staged.end(), 0u);
+    ShardCtx ctx;
+    ctx.stats = &dev.stats;  // shard == device: counters are exclusive
+    ctx.trace = &sc.trace;
+    process_xbar(dev, stage, ctx, sc);
+  };
+  run_shards(static_cast<u32>(devs.size()), shard);
+  // Barrier merge: emit the buffered trace records in fixed shard order.
+  for (usize s = 0; s < devs.size(); ++s) {
+    for (const TraceRecord& rec : xbar_scratch_[s].trace) tracer_.emit(rec);
+    xbar_scratch_[s].trace.clear();
+  }
+  if (multi_device) flush_outboxes(devs, stage);
 }
 
-void Simulator::process_xbar(Device& dev, u8 stage) {
+void Simulator::flush_outboxes(const std::vector<u32>& devs, u8 stage) {
+  const u32 links = config_.device.num_links;
+  for (usize s = 0; s < devs.size(); ++s) {
+    XbarScratch& sc = xbar_scratch_[s];
+    if (sc.outbox.empty()) continue;
+    Device& src = *devices_[devs[s]];
+    // The parallel phase reserved against a per-source snapshot, so
+    // combined staging from several sources can still overfill one
+    // destination.  Losers bounce back to the head of their source queue;
+    // a bounced destination is marked so later same-destination forwards
+    // from this source bounce too, preserving stream order.
+    std::fill(bounce_mark_.begin(), bounce_mark_.end(), u8{0});
+    bounced_.clear();
+    for (StagedForward& fwd : sc.outbox) {
+      const usize slot = usize{fwd.dst_dev} * links + fwd.dst_link;
+      Device& peer = *devices_[fwd.dst_dev];
+      const PhysAddr addr = fwd.entry.req.addr;
+      const Tag tag = fwd.entry.req.tag;
+      const Command cmd = fwd.entry.req.cmd;
+      if (bounce_mark_[slot] == 0 && !peer.links[fwd.dst_link].rqst.full()) {
+        (void)peer.links[fwd.dst_link].rqst.push(std::move(fwd.entry));
+        ++src.stats.route_hops;
+        trace(TraceEvent::RouteHop, stage, src.id(), fwd.out_link, kNoCoord,
+              kNoCoord, kNoCoord, addr, tag, cmd);
+        src.links[fwd.src_link].rqst_flits_forwarded += fwd.flits;
+      } else {
+        bounce_mark_[slot] = 1;
+        ++src.stats.xbar_rqst_stalls;
+        trace(TraceEvent::XbarRqstStall, stage, src.id(), fwd.src_link,
+              kNoCoord, kNoCoord, kNoCoord, addr, tag, cmd);
+        // Restore the ingress fields the parallel phase rewrote for the
+        // destination; the consumed link budget stays consumed (the wasted
+        // transmission time is the cost of the lost arbitration).
+        fwd.entry.ingress_link = fwd.src_ingress;
+        fwd.entry.penalty_applied = fwd.src_penalty;
+        bounced_.push_back(std::move(fwd));
+      }
+    }
+    // Reinstate bounced entries at their source queue heads; reverse
+    // iteration restores their original relative order.
+    for (auto it = bounced_.rbegin(); it != bounced_.rend(); ++it) {
+      src.links[it->src_link].rqst.push_front(std::move(it->entry));
+    }
+    bounced_.clear();
+  }
+}
+
+void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
+                             XbarScratch& sc) {
   const DeviceConfig& cfg = dev.config();
   for (u32 link = 0; link < cfg.num_links; ++link) {
     LinkState& link_state = dev.links[link];
@@ -348,11 +481,12 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
           // Nonexistent or unreachable cube: deliberate misconfiguration.
           // Count the misroute only when the error response actually lands
           // (a full staging queue retries next cycle).
-          if (emit_error_response(dev, entry, ErrStat::Unroutable, stage)) {
+          if (emit_error_response(dev, entry, ErrStat::Unroutable, stage,
+                                  ctx)) {
             ++dev.stats.misroutes;
-            trace(TraceEvent::Misroute, stage, dev.id(), link, kNoCoord,
-                  kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
-                  entry.req.cmd);
+            trace_to(ctx, TraceEvent::Misroute, stage, dev.id(), link,
+                     kNoCoord, kNoCoord, kNoCoord, entry.req.addr,
+                     entry.req.tag, entry.req.cmd);
             link_state.rqst_budget -= entry.pkt.flits;
             queue.remove(i);
             continue;
@@ -389,7 +523,8 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
             ++i;
             continue;
           }
-          if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage)) {
+          if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage,
+                                  ctx)) {
             ++dev.stats.link_errors;
             link_state.rqst_budget -= entry.pkt.flits;
             queue.remove(i);
@@ -400,25 +535,38 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
         }
         const LinkEndpoint& e =
             topo_.endpoint(CubeId{dev.id()}, LinkId{out_link});
-        Device& peer = *devices_[e.peer_dev];
-        RequestEntry forwarded = entry;  // copy; remove() below invalidates
-        forwarded.ready_cycle = cycle_ + 1;
-        forwarded.ingress_link = e.peer_link;
-        forwarded.penalty_applied = false;  // penalty is per-device locality
-        if (!peer.links[e.peer_link].rqst.push(std::move(forwarded))) {
+        // Two-phase forward: the destination queue belongs to another
+        // device, so the actual push happens serially at the stage barrier
+        // (flush_outboxes).  Capacity here is reserved against the
+        // pre-stage free-slot snapshot minus this device's own staged
+        // entries; over-commitment from several sources resolves at the
+        // flush, which bounces losers back to this queue's head.
+        const usize slot = usize{e.peer_dev} * cfg.num_links + e.peer_link;
+        if (sc.staged[slot] >= xbar_free_[slot]) {
           ++dev.stats.xbar_rqst_stalls;
-          trace(TraceEvent::XbarRqstStall, stage, dev.id(), link, kNoCoord,
-                kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
-                entry.req.cmd);
+          trace_to(ctx, TraceEvent::XbarRqstStall, stage, dev.id(), link,
+                   kNoCoord, kNoCoord, kNoCoord, entry.req.addr,
+                   entry.req.tag, entry.req.cmd);
           blocked_links |= 1u << out_link;
           ++i;
           continue;
         }
-        ++dev.stats.route_hops;
-        trace(TraceEvent::RouteHop, stage, dev.id(), out_link, kNoCoord,
-              kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
-              entry.req.cmd);
-        link_state.rqst_flits_forwarded += entry.pkt.flits;
+        ++sc.staged[slot];
+        StagedForward fwd;
+        fwd.entry = entry;  // copy; remove() below invalidates
+        fwd.src_ingress = entry.ingress_link;
+        fwd.src_penalty = entry.penalty_applied;
+        fwd.entry.ready_cycle = cycle_ + 1;
+        fwd.entry.ingress_link = e.peer_link;
+        fwd.entry.penalty_applied = false;  // penalty is per-device locality
+        fwd.src_link = link;
+        fwd.out_link = out_link;
+        fwd.dst_dev = e.peer_dev;
+        fwd.dst_link = e.peer_link;
+        fwd.flits = entry.pkt.flits;
+        sc.outbox.push_back(std::move(fwd));
+        // RouteHop accounting (route_hops, flits_forwarded, the trace
+        // record) lands at the flush, when the hop actually commits.
         link_state.rqst_budget -= entry.pkt.flits;
         queue.remove(i);
         continue;
@@ -468,18 +616,18 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
           rf.errstat = ErrStat::RegisterFault;
           (void)encode_response(rf, {}, rsp.pkt);
           ++dev.stats.error_responses;
-          trace(TraceEvent::ErrorResponse, stage, dev.id(), link, kNoCoord,
-                kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
-                entry.req.cmd);
+          trace_to(ctx, TraceEvent::ErrorResponse, stage, dev.id(), link,
+                   kNoCoord, kNoCoord, kNoCoord, entry.req.addr,
+                   entry.req.tag, entry.req.cmd);
         }
         rsp.cmd = field::cmd_of(rsp.pkt.header());
         rsp.ready_cycle = cycle_ + 1;
         // Space was reserved above; this push cannot fail.
         (void)dev.mode_rsp.push(std::move(rsp));
         ++dev.stats.mode_ops;
-        trace(TraceEvent::ModeRequest, stage, dev.id(), link, kNoCoord,
-              kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
-              entry.req.cmd);
+        trace_to(ctx, TraceEvent::ModeRequest, stage, dev.id(), link,
+                 kNoCoord, kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+                 entry.req.cmd);
         link_state.rqst_flits_forwarded += entry.pkt.flits;
         link_state.rqst_budget -= entry.pkt.flits;
         queue.remove(i);
@@ -488,7 +636,8 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
 
       // ---- local memory requests: route to the destination vault ---------
       if (!dev.address_map().in_range(entry.req.addr)) {
-        if (emit_error_response(dev, entry, ErrStat::InvalidAddress, stage)) {
+        if (emit_error_response(dev, entry, ErrStat::InvalidAddress, stage,
+                                ctx)) {
           link_state.rqst_budget -= entry.pkt.flits;
           queue.remove(i);
           continue;
@@ -508,7 +657,7 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
           vault = partner;
           remapped = true;
         } else if (emit_error_response(dev, entry, ErrStat::VaultFailed,
-                                       stage)) {
+                                       stage, ctx)) {
           ++dev.stats.degraded_drops;
           link_state.rqst_budget -= entry.pkt.flits;
           queue.remove(i);
@@ -527,9 +676,9 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
         entry.ready_cycle =
             std::max(entry.ready_cycle, cycle_ + cfg.nonlocal_penalty_cycles);
         ++dev.stats.latency_penalties;
-        trace(TraceEvent::LatencyPenalty, stage, dev.id(), link,
-              dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
-              entry.req.tag, entry.req.cmd);
+        trace_to(ctx, TraceEvent::LatencyPenalty, stage, dev.id(), link,
+                 dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+                 entry.req.tag, entry.req.cmd);
       }
 
       if (entry.ready_cycle > cycle_ || (blocked_vaults & (u64{1} << vault))) {
@@ -549,7 +698,8 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
           ++i;
           continue;
         }
-        if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage)) {
+        if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage,
+                                ctx)) {
           ++dev.stats.link_errors;
           link_state.rqst_budget -= entry.pkt.flits;
           queue.remove(i);
@@ -564,17 +714,17 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
       moved.life.vault_arrive = cycle_;
       if (!dev.vaults[vault].rqst.push(std::move(moved))) {
         ++dev.stats.xbar_rqst_stalls;
-        trace(TraceEvent::XbarRqstStall, stage, dev.id(), link,
-              dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
-              entry.req.tag, entry.req.cmd);
+        trace_to(ctx, TraceEvent::XbarRqstStall, stage, dev.id(), link,
+                 dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+                 entry.req.tag, entry.req.cmd);
         blocked_vaults |= u64{1} << vault;
         ++i;
         continue;
       }
       if (remapped) ++dev.stats.vault_remaps;
-      trace(TraceEvent::VaultArrival, stage, dev.id(), link,
-            dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
-            entry.req.tag, entry.req.cmd);
+      trace_to(ctx, TraceEvent::VaultArrival, stage, dev.id(), link,
+               dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
+               entry.req.tag, entry.req.cmd);
       link_state.rqst_flits_forwarded += entry.pkt.flits;
       link_state.rqst_budget -= entry.pkt.flits;
       queue.remove(i);
@@ -582,56 +732,95 @@ void Simulator::process_xbar(Device& dev, u8 stage) {
   }
 }
 
-void Simulator::stage3_bank_conflicts() {
-  for (auto& dev_ptr : devices_) {
-    Device& dev = *dev_ptr;
-    const DeviceConfig& cfg = dev.config();
-    const u32 window = cfg.conflict_window == 0
-                           ? static_cast<u32>(cfg.vault_depth)
-                           : cfg.conflict_window;
-    for (u32 v = 0; v < cfg.num_vaults(); ++v) {
-      VaultState& vault = dev.vaults[v];
-      if (vault.rqst.empty()) continue;
-      u32 seen_banks = 0;
-      const usize limit = std::min<usize>(window, vault.rqst.size());
-      for (usize i = 0; i < limit; ++i) {
-        RequestEntry& entry = vault.rqst.at(i);
-        if (entry.ready_cycle > cycle_) continue;
-        const u32 bank = dev.address_map().bank_of(entry.req.addr);
-        const bool busy = vault.bank_busy_until[bank] > cycle_;
-        const bool duplicated = (seen_banks & (1u << bank)) != 0;
-        seen_banks |= 1u << bank;
-        if (busy || duplicated) {
-          if (entry.life.first_conflict == 0) {
-            entry.life.first_conflict = cycle_;
-          }
-          ++dev.stats.bank_conflicts;
-          trace(TraceEvent::BankConflict, 3, dev.id(), kNoCoord,
-                dev.quad_of_vault(v), v, bank, entry.req.addr, entry.req.tag,
-                entry.req.cmd);
-        }
+void Simulator::scan_bank_conflicts(Device& dev, u32 vault_index,
+                                    ShardCtx& ctx) {
+  const DeviceConfig& cfg = dev.config();
+  const u32 window = cfg.conflict_window == 0
+                         ? static_cast<u32>(cfg.vault_depth)
+                         : cfg.conflict_window;
+  VaultState& vault = dev.vaults[vault_index];
+  if (vault.rqst.empty()) return;
+  u32 seen_banks = 0;
+  const usize limit = std::min<usize>(window, vault.rqst.size());
+  for (usize i = 0; i < limit; ++i) {
+    RequestEntry& entry = vault.rqst.at(i);
+    if (entry.ready_cycle > cycle_) continue;
+    const u32 bank = dev.address_map().bank_of(entry.req.addr);
+    const bool busy = vault.bank_busy_until[bank] > cycle_;
+    const bool duplicated = (seen_banks & (1u << bank)) != 0;
+    seen_banks |= 1u << bank;
+    if (busy || duplicated) {
+      if (entry.life.first_conflict == 0) {
+        entry.life.first_conflict = cycle_;
       }
+      ++ctx.stats->bank_conflicts;
+      trace_to(ctx, TraceEvent::BankConflict, 3, dev.id(), kNoCoord,
+               dev.quad_of_vault(vault_index), vault_index, bank,
+               entry.req.addr, entry.req.tag, entry.req.cmd);
     }
   }
 }
 
-void Simulator::stage4_vault_requests() {
-  for (auto& dev_ptr : devices_) {
-    Device& dev = *dev_ptr;
-    for (u32 v = 0; v < dev.config().num_vaults(); ++v) {
-      process_vault(dev, v);
+void Simulator::stage3_and_4_vaults() {
+  const u32 vaults = config_.device.num_vaults();
+  const u32 total = static_cast<u32>(devices_.size()) * vaults;
+  // Stage-start snapshot of the failure masks: shard selection and the
+  // serial drain below read a stable copy; bits earned during this stage
+  // accumulate per shard and merge at the barrier.
+  for (usize d = 0; d < devices_.size(); ++d) {
+    failed_snapshot_[d] = devices_[d]->ras.failed_vaults;
+  }
+  auto shard = [&](u32 s) {
+    const u32 d = s / vaults;
+    const u32 v = s % vaults;
+    Device& dev = *devices_[d];
+    VaultScratch& sc = vault_scratch_[s];
+    sc.stats = DeviceStats{};
+    sc.trace.clear();
+    ShardCtx ctx;
+    ctx.stats = &sc.stats;
+    ctx.trace = &sc.trace;
+    // Stage 3 scans every vault's conflict window (failed vaults
+    // included, as the serial engine did); stage 4 then retires on the
+    // same shard.  All state both touch is per-vault, and for one vault
+    // the scan-then-retire order matches the serial stage sequence.
+    scan_bank_conflicts(dev, v, ctx);
+    if ((failed_snapshot_[d] >> v & 1) == 0) process_vault(dev, v, ctx);
+    sc.pending_failed_vaults = ctx.pending_failed_vaults;
+    sc.last_error_addr = ctx.last_error_addr;
+    sc.last_error_stat = ctx.last_error_stat;
+    sc.has_last_error = ctx.has_last_error;
+  };
+  run_shards(total, shard);
+  // Barrier merge in fixed (device, vault) shard order, independent of
+  // thread count: stats, trace records, failure bits, the RAS error log.
+  for (u32 s = 0; s < total; ++s) {
+    Device& dev = *devices_[s / vaults];
+    VaultScratch& sc = vault_scratch_[s];
+    dev.stats += sc.stats;
+    for (const TraceRecord& rec : sc.trace) tracer_.emit(rec);
+    sc.trace.clear();
+    dev.ras.failed_vaults |= sc.pending_failed_vaults;
+    if (sc.has_last_error) {
+      dev.ras.last_error_addr = sc.last_error_addr;
+      dev.ras.last_error_stat = sc.last_error_stat;
+    }
+  }
+  // Vaults already failed at stage start drain serially after the barrier:
+  // their VAULT_FAILED error responses stage into the shared mode_rsp
+  // queue, which no alive-vault shard touches.
+  for (usize d = 0; d < devices_.size(); ++d) {
+    if (failed_snapshot_[d] == 0) continue;
+    Device& dev = *devices_[d];
+    for (u32 v = 0; v < vaults; ++v) {
+      if (failed_snapshot_[d] >> v & 1) drain_failed_vault(dev, v);
     }
   }
 }
 
-void Simulator::process_vault(Device& dev, u32 vault_index) {
+void Simulator::process_vault(Device& dev, u32 vault_index, ShardCtx& ctx) {
   const DeviceConfig& cfg = dev.config();
   VaultState& vault = dev.vaults[vault_index];
-
-  if (dev.ras.failed_vaults != 0 && !dev.vault_alive(vault_index)) {
-    drain_failed_vault(dev, vault_index);
-    return;
-  }
 
   // DRAM refresh: when this vault's (staggered) refresh slot comes due,
   // every bank goes busy for the refresh window and nothing retires.
@@ -645,7 +834,7 @@ void Simulator::process_vault(Device& dev, u32 vault_index) {
       }
       // Refresh precharges every bank: open rows close.
       std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
-      ++dev.stats.refreshes;
+      ++ctx.stats->refreshes;
     }
   }
 
@@ -682,11 +871,11 @@ void Simulator::process_vault(Device& dev, u32 vault_index) {
                                   ? entry.custom->response_flits == 0
                                   : is_posted(entry.req.cmd);
     if (!entry_posted && vault.rsp.full()) {
-      ++dev.stats.vault_rsp_stalls;
+      ++ctx.stats->vault_rsp_stalls;
       if (!rsp_stalled_logged) {
-        trace(TraceEvent::VaultRspStall, 4, dev.id(), kNoCoord,
-              dev.quad_of_vault(vault_index), vault_index, bank,
-              entry.req.addr, entry.req.tag, entry.req.cmd);
+        trace_to(ctx, TraceEvent::VaultRspStall, 4, dev.id(), kNoCoord,
+                 dev.quad_of_vault(vault_index), vault_index, bank,
+                 entry.req.addr, entry.req.tag, entry.req.cmd);
         rsp_stalled_logged = true;
       }
       if (strict) break;
@@ -694,7 +883,7 @@ void Simulator::process_vault(Device& dev, u32 vault_index) {
       ++i;
       continue;
     }
-    if (!retire_request(dev, vault_index, entry)) {
+    if (!retire_request(dev, vault_index, entry, ctx)) {
       if (strict) break;
       blocked_banks |= bit;
       ++i;
@@ -707,11 +896,11 @@ void Simulator::process_vault(Device& dev, u32 vault_index) {
       const u64 row = dev.address_map().row_of(entry.req.addr);
       if (vault.open_row[bank] == row) {
         vault.bank_busy_until[bank] = cycle_ + cfg.row_hit_cycles;
-        ++dev.stats.row_hits;
+        ++ctx.stats->row_hits;
       } else {
         vault.bank_busy_until[bank] = cycle_ + cfg.row_miss_cycles;
         vault.open_row[bank] = row;
-        ++dev.stats.row_misses;
+        ++ctx.stats->row_misses;
       }
     } else {
       vault.bank_busy_until[bank] = cycle_ + cfg.bank_busy_cycles;
@@ -722,7 +911,7 @@ void Simulator::process_vault(Device& dev, u32 vault_index) {
 }
 
 bool Simulator::retire_request(Device& dev, u32 vault_index,
-                               RequestEntry& entry) {
+                               RequestEntry& entry, ShardCtx& ctx) {
   const Command cmd = entry.req.cmd;
   const PhysAddr addr = entry.req.addr;
   const bool posted = entry.custom != nullptr
@@ -749,10 +938,10 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     rsp.home_link = entry.home_link;
     rsp.ready_cycle = cycle_ + 1;
     if (!posted && !vault.rsp.push(std::move(rsp))) return false;
-    ++dev.stats.error_responses;
-    trace(TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->error_responses;
+    trace_to(ctx, TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
     return true;
   }
 
@@ -782,10 +971,10 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     rsp.home_link = entry.home_link;
     rsp.ready_cycle = cycle_ + 1;
     if (!vault.rsp.push(std::move(rsp))) return false;
-    ++dev.stats.error_responses;
-    trace(TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->error_responses;
+    trace_to(ctx, TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
     return true;
   };
 
@@ -793,7 +982,7 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
   // under the same bank timing, with a user-defined operation.
   if (entry.custom != nullptr) {
     const CustomCommandDef& def = *entry.custom;
-    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes, ctx)) {
       return poison_response();
     }
     if (model_data) (void)dev.store.read_words(addr, {data, bytes / 8});
@@ -803,12 +992,12 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     def.handler({data, bytes / 8}, entry.pkt.payload(),
                 {rsp_payload, rsp_words});
     if (model_data) (void)dev.store.write_words(addr, {data, bytes / 8});
-    ++dev.stats.custom_ops;
-    dev.stats.bytes_read += bytes;
-    dev.stats.bytes_written += bytes;
-    trace(TraceEvent::CustomRequest, 4, dev.id(), entry.home_link,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->custom_ops;
+    ctx.stats->bytes_read += bytes;
+    ctx.stats->bytes_written += bytes;
+    trace_to(ctx, TraceEvent::CustomRequest, 4, dev.id(), entry.home_link,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
     if (posted) return true;
 
     ResponseFields rf;
@@ -832,22 +1021,22 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     rsp.life.tag = entry.req.tag;
     rsp.life.cmd = cmd;
     const bool pushed = vault.rsp.push(std::move(rsp));
-    if (pushed) ++dev.stats.responses;
+    if (pushed) ++ctx.stats->responses;
     return pushed;
   }
 
   if (is_read(cmd)) {
-    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes, ctx)) {
       return poison_response();
     }
     if (model_data) {
       (void)dev.store.read_words(addr, {data, bytes / 8});
     }
-    ++dev.stats.reads;
-    dev.stats.bytes_read += bytes;
-    trace(TraceEvent::ReadRequest, 4, dev.id(), entry.home_link,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->reads;
+    ctx.stats->bytes_read += bytes;
+    trace_to(ctx, TraceEvent::ReadRequest, 4, dev.id(), entry.home_link,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
   } else if (is_write(cmd)) {
     if (model_data) {
       (void)dev.store.write_words(addr, entry.pkt.payload());
@@ -855,15 +1044,15 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     // Latent fault: planted on write, discovered by a later read or the
     // background scrubber.
     if ((cfg.dram_sbe_rate_ppm | cfg.dram_dbe_rate_ppm) != 0) {
-      inject_dram_fault(dev, addr, bytes);
+      inject_dram_fault(dev, vault_index, addr, bytes);
     }
-    ++dev.stats.writes;
-    dev.stats.bytes_written += bytes;
-    trace(TraceEvent::WriteRequest, 4, dev.id(), entry.home_link,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->writes;
+    ctx.stats->bytes_written += bytes;
+    trace_to(ctx, TraceEvent::WriteRequest, 4, dev.id(), entry.home_link,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
   } else if (is_atomic(cmd)) {
-    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes)) {
+    if (dram_ras && ras_check_read(dev, vault_index, addr, bytes, ctx)) {
       return poison_response();
     }
     // All atomics are 16-byte read-modify-write operations.
@@ -894,12 +1083,12 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
         break;
     }
     if (model_data) (void)dev.store.write_words(addr, updated);
-    ++dev.stats.atomics;
-    dev.stats.bytes_read += bytes;
-    dev.stats.bytes_written += bytes;
-    trace(TraceEvent::AtomicRequest, 4, dev.id(), entry.home_link,
-          dev.quad_of_vault(vault_index), vault_index, bank, addr,
-          entry.req.tag, cmd);
+    ++ctx.stats->atomics;
+    ctx.stats->bytes_read += bytes;
+    ctx.stats->bytes_written += bytes;
+    trace_to(ctx, TraceEvent::AtomicRequest, 4, dev.id(), entry.home_link,
+             dev.quad_of_vault(vault_index), vault_index, bank, addr,
+             entry.req.tag, cmd);
   } else {
     // Unsupported at a vault (flow/mode should never get here).
     ResponseFields rf;
@@ -916,7 +1105,7 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
     rsp.home_link = entry.home_link;
     rsp.ready_cycle = cycle_ + 1;
     if (!vault.rsp.push(std::move(rsp))) return false;
-    ++dev.stats.error_responses;
+    ++ctx.stats->error_responses;
     return true;
   }
 
@@ -947,12 +1136,13 @@ bool Simulator::retire_request(Device& dev, u32 vault_index,
   rsp.life.cmd = cmd;
   const bool pushed = vault.rsp.push(std::move(rsp));
   // Callers checked for space before retiring; a failure here is a bug.
-  if (pushed) ++dev.stats.responses;
+  if (pushed) ++ctx.stats->responses;
   return pushed;
 }
 
 bool Simulator::emit_error_response(Device& dev, const RequestEntry& entry,
-                                    ErrStat errstat, u8 stage) {
+                                    ErrStat errstat, u8 stage,
+                                    ShardCtx& ctx) {
   if (dev.mode_rsp.full()) return false;
   ResponseFields rf;
   rf.cmd = Command::Error;
@@ -969,11 +1159,15 @@ bool Simulator::emit_error_response(Device& dev, const RequestEntry& entry,
   rsp.ready_cycle = cycle_ + 1;
   const bool pushed = dev.mode_rsp.push(std::move(rsp));
   if (pushed) {
+    // mode_rsp and the RAS error log are written directly: every caller
+    // runs either device-exclusive (stages 1-2) or serial (failed-vault
+    // drain after the stage 3-4 barrier).
     ++dev.stats.error_responses;
     dev.ras.last_error_addr = entry.req.addr;
     dev.ras.last_error_stat = static_cast<u8>(errstat);
-    trace(TraceEvent::ErrorResponse, stage, dev.id(), kNoCoord, kNoCoord,
-          kNoCoord, kNoCoord, entry.req.addr, entry.req.tag, entry.req.cmd);
+    trace_to(ctx, TraceEvent::ErrorResponse, stage, dev.id(), kNoCoord,
+             kNoCoord, kNoCoord, kNoCoord, entry.req.addr, entry.req.tag,
+             entry.req.cmd);
   }
   return pushed;
 }

@@ -18,6 +18,21 @@
 //
 // A packet progresses by at most one internal stage per clock — it cannot
 // move from the crossbar interface to a memory bank in a single cycle.
+//
+// Parallel execution (DeviceConfig::sim_threads): within one clock, stages
+// 1-2 fan out per device and stages 3-4 per (device, vault) across a
+// deterministic thread pool, with a barrier between stages preserving the
+// one-stage-per-clock contract.  Every shard owns its state exclusively;
+// the shared state a stage would otherwise update in interleaved order —
+// stats counters, trace records, dynamic vault-failure bits, the RAS error
+// log — accumulates per shard and merges in fixed shard order at the
+// barrier, and the DRAM fault RNG is sharded per vault.  Results are
+// therefore bit-identical for every thread count (the differential harness
+// in tests/integration/test_differential.cpp enforces this).  Stage 5 runs
+// serially by design: link response queues are shared across all vaults
+// and exit-link selection balances on live queue occupancy, so the stage
+// is inherently order-coupled — and it is cheap queue movement, not the
+// hot loop.  See docs/TESTING.md.
 #pragma once
 
 #include <functional>
@@ -26,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/custom_command.hpp"
 #include "core/device.hpp"
 #include "topo/topology.hpp"
@@ -114,6 +130,10 @@ class Simulator {
   // ---- observability -----------------------------------------------------------
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
+  /// Resolved clock-engine worker count (sim_threads with 0 resolved to the
+  /// hardware concurrency at init time).  Purely an execution property:
+  /// simulation results are identical for every value.
+  [[nodiscard]] u32 sim_threads() const { return resolved_threads_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] u32 num_devices() const {
     return static_cast<u32>(devices_.size());
@@ -174,30 +194,104 @@ class Simulator {
   Status restore_checkpoint(std::istream& is);
 
  private:
+  /// Per-shard mutable context for one parallel stage execution.  Stage
+  /// code funnels every update to logically-shared state through this so
+  /// that (a) no two shards write the same cache line and (b) the merge at
+  /// the stage barrier applies updates in fixed shard order, independent of
+  /// thread count.  In device-exclusive contexts (stages 1-2, where shard ==
+  /// device) `stats` points directly at the device's counters and `trace`
+  /// buffers only for emission ordering; in vault shards `stats` points at
+  /// a scratch accumulator merged with DeviceStats::operator+=.
+  struct ShardCtx {
+    DeviceStats* stats{nullptr};
+    /// Null: emit trace records directly (serial context).  Non-null:
+    /// buffer; the stage merge emits buffers in shard order.
+    std::vector<TraceRecord>* trace{nullptr};
+    /// Vault-failure bits discovered this stage; OR-merged into
+    /// RasState::failed_vaults at the barrier.
+    u64 pending_failed_vaults{0};
+    /// RAS error-log update (last writer in shard order wins, matching the
+    /// serial engine's last-writer-in-vault-order).
+    u64 last_error_addr{0};
+    u8 last_error_stat{0};
+    bool has_last_error{false};
+  };
+
+  /// A cross-device request forward staged during the parallel crossbar
+  /// phase and flushed serially at the stage barrier (two-phase push: the
+  /// destination queue is shared between devices, so the actual push must
+  /// happen in fixed device order).
+  struct StagedForward {
+    RequestEntry entry;
+    u32 src_link{0};      ///< source-device queue the entry left
+    u32 out_link{0};      ///< egress link chosen by routing (for tracing)
+    u32 dst_dev{0};
+    u32 dst_link{0};
+    u32 flits{0};
+    /// Original ingress fields, restored if the flush bounces the entry
+    /// back to the source queue.
+    u32 src_ingress{0};
+    bool src_penalty{false};
+  };
+
+  /// Per-device scratch for the stage 1-2 parallel phase.
+  struct XbarScratch {
+    std::vector<TraceRecord> trace;
+    std::vector<StagedForward> outbox;
+    /// Forwards staged toward each global (device, link) request queue,
+    /// checked against the pre-stage free-slot snapshot `xbar_free_`.
+    std::vector<u32> staged;
+  };
+
+  /// Per-(device, vault) scratch for the fused stage 3-4 parallel phase.
+  struct VaultScratch {
+    DeviceStats stats;
+    std::vector<TraceRecord> trace;
+    u64 pending_failed_vaults{0};
+    u64 last_error_addr{0};
+    u8 last_error_stat{0};
+    bool has_last_error{false};
+  };
+
   // Sub-cycle stages.
   void stage1_child_xbar();
   void stage2_root_xbar();
-  void stage3_bank_conflicts();
-  void stage4_vault_requests();
+  void stage3_and_4_vaults();
   void stage5_responses();
   void stage6_clock_update();
 
-  /// Shared crossbar logic for stages 1 and 2.
-  void process_xbar(Device& dev, u8 stage);
+  /// Dispatch `fn(0..num_shards)` across the pool (deterministic static
+  /// partition), or inline ascending when running serial.
+  void run_shards(u32 num_shards, const std::function<void(u32)>& fn);
 
+  /// Stages 1-2 driver: snapshot destination capacity, run process_xbar
+  /// over `devs` in parallel, then merge trace buffers and flush the
+  /// cross-device outboxes serially in shard order.
+  void run_xbar_stage(const std::vector<u32>& devs, u8 stage);
+  void flush_outboxes(const std::vector<u32>& devs, u8 stage);
+
+  /// Shared crossbar logic for stages 1 and 2.
+  void process_xbar(Device& dev, u8 stage, ShardCtx& ctx, XbarScratch& sc);
+
+  /// Stage 3 for one vault: scan the request queue's conflict window.
+  void scan_bank_conflicts(Device& dev, u32 vault_index, ShardCtx& ctx);
   /// Stage 4 helpers.
-  void process_vault(Device& dev, u32 vault_index);
+  void process_vault(Device& dev, u32 vault_index, ShardCtx& ctx);
   /// Drain a failed vault's queued requests as VAULT_FAILED errors.
+  /// Serial-only (touches the shared mode_rsp staging queue).
   void drain_failed_vault(Device& dev, u32 vault_index);
   /// Retire one request at a bank: perform the memory/register operation
   /// and enqueue the response (when non-posted).  Returns false when the
   /// vault response queue is full (the entry must stay queued).
-  bool retire_request(Device& dev, u32 vault_index, RequestEntry& entry);
+  bool retire_request(Device& dev, u32 vault_index, RequestEntry& entry,
+                      ShardCtx& ctx);
 
   /// Build an error response for a failed request and route it home.
-  /// Returns false when the destination staging queue is full.
+  /// Returns false when the destination staging queue is full.  Only called
+  /// from device-exclusive or serial contexts (writes dev.mode_rsp and the
+  /// RAS error log directly).
   bool emit_error_response(Device& dev, const RequestEntry& entry,
-                           ErrStat errstat, u8 stage);
+                           ErrStat errstat, u8 stage, ShardCtx& ctx);
 
   /// Stage 5 helpers.
   void drain_response_queue(Device& dev, BoundedQueue<ResponseEntry>& queue,
@@ -211,6 +305,11 @@ class Simulator {
 
   void trace(TraceEvent event, u8 stage, u32 dev, u32 link, u32 quad,
              u32 vault, u32 bank, PhysAddr addr, Tag tag, Command cmd);
+  /// As trace(), but routed through the shard context: buffered when the
+  /// context carries a buffer, emitted directly otherwise.
+  void trace_to(ShardCtx& ctx, TraceEvent event, u8 stage, u32 dev, u32 link,
+                u32 quad, u32 vault, u32 bank, PhysAddr addr, Tag tag,
+                Command cmd);
 
   /// Register read with live status-register interception (FEAT geometry,
   /// IBTC token counts, ERR error totals, RAS error log); shared by the
@@ -221,18 +320,20 @@ class Simulator {
   // ---- RAS helpers (core/ras.cpp) ------------------------------------------
 
   /// Roll the DRAM fault model for one retired access and plant the
-  /// resulting bit flips (transient on read, latent on write).
-  void inject_dram_fault(Device& dev, PhysAddr addr, usize bytes);
+  /// resulting bit flips (transient on read, latent on write).  Draws from
+  /// the serving vault's sharded generator.
+  void inject_dram_fault(Device& dev, u32 vault_index, PhysAddr addr,
+                         usize bytes);
   /// Run the SECDED codec over a read footprint.  Returns true when an
   /// uncorrectable error poisons the access (the caller must answer
   /// DRAM_DBE instead of data).
   bool ras_check_read(Device& dev, u32 vault_index, PhysAddr addr,
-                      usize bytes);
+                      usize bytes, ShardCtx& ctx);
   /// One background-scrubber step over the device's next window.
   void scrub_step(Device& dev);
   /// Count one uncorrectable error against a vault; marks it failed at the
-  /// configured threshold.
-  void note_vault_uncorrectable(Device& dev, u32 vault_index);
+  /// configured threshold (deferred to the stage merge via the context).
+  void note_vault_uncorrectable(Device& dev, u32 vault_index, ShardCtx& ctx);
   /// Forward-progress tracking (end of stage 6).
   [[nodiscard]] u64 progress_fingerprint() const;
   void check_watchdog();
@@ -250,6 +351,23 @@ class Simulator {
   /// Device processing order caches for stages 1/2/5.
   std::vector<u32> root_devices_;
   std::vector<u32> child_devices_;
+  /// Clock-engine parallelism (see DeviceConfig::sim_threads).  The pool is
+  /// only instantiated for resolved_threads_ > 1; the sharded algorithm and
+  /// fixed-order merges run identically either way.
+  u32 resolved_threads_{1};
+  std::unique_ptr<ThreadPool> pool_;
+  /// Stage scratch, sized at init so the hot loop never allocates.
+  std::vector<XbarScratch> xbar_scratch_;
+  std::vector<VaultScratch> vault_scratch_;
+  /// Pre-stage snapshot of every (device, link) request queue's free slots
+  /// (capacity reservation base for the two-phase cross-device forward).
+  std::vector<u32> xbar_free_;
+  /// Start-of-stage-4 failed-vault masks (shard selection reads a stable
+  /// copy; bits earned during the stage merge at the barrier).
+  std::vector<u64> failed_snapshot_;
+  /// flush_outboxes working state (members to avoid per-cycle allocation).
+  std::vector<u8> bounce_mark_;
+  std::vector<StagedForward> bounced_;
   /// Forward-progress watchdog state.
   bool watchdog_fired_{false};
   u32 watchdog_stall_cycles_{0};

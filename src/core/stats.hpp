@@ -104,6 +104,10 @@ struct DeviceStats {
   [[nodiscard]] u64 retired() const {
     return reads + writes + atomics + custom_ops;
   }
+
+  /// Field-wise equality; the differential test harness compares serial and
+  /// parallel runs with it.
+  bool operator==(const DeviceStats&) const = default;
 };
 
 }  // namespace hmcsim

@@ -7,18 +7,32 @@
 
 namespace hmcsim {
 
+void SparseStore::release_pages() {
+  for (auto& slot : pages_) {
+    delete slot.exchange(nullptr, std::memory_order_relaxed);
+  }
+}
+
 const SparseStore::Page* SparseStore::find_page(u64 page_index) const {
-  const auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : it->second.get();
+  return pages_[page_index].load(std::memory_order_acquire);
 }
 
 SparseStore::Page& SparseStore::materialize_page(u64 page_index) {
-  auto& slot = pages_[page_index];
-  if (!slot) {
-    slot = std::make_unique<Page>();
-    slot->fill(0);
+  std::atomic<Page*>& slot = pages_[page_index];
+  Page* page = slot.load(std::memory_order_acquire);
+  if (page != nullptr) return *page;
+  // First touch: race to install a zero-filled page.  The loser frees its
+  // candidate and adopts the winner's — contents are identical either way,
+  // so materialization order cannot affect simulation results.
+  Page* fresh = new Page();
+  fresh->fill(0);
+  if (slot.compare_exchange_strong(page, fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    resident_.fetch_add(1, std::memory_order_relaxed);
+    return *fresh;
   }
-  return *slot;
+  delete fresh;
+  return *page;
 }
 
 u64 SparseStore::load_word(u64 word_index) const {
@@ -56,7 +70,7 @@ bool SparseStore::read(u64 addr, std::span<u8> out) const {
 
 bool SparseStore::write(u64 addr, std::span<const u8> in) {
   if (addr + in.size() > capacity_ || addr + in.size() < addr) return false;
-  if (!faults_.empty()) clear_faults_in(addr, in.size());
+  if (fault_count() != 0) clear_faults_in(addr, in.size());
   usize done = 0;
   while (done < in.size()) {
     const u64 pos = addr + done;
@@ -90,6 +104,7 @@ bool SparseStore::write_words(u64 addr, std::span<const u64> in) {
 bool SparseStore::plant_fault(u64 addr, std::span<const u32> codeword_bits) {
   if (addr >= capacity_) return false;
   const u64 word = addr / 8;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   FaultRecord& rec = faults_[word];
   for (const u32 bit : codeword_bits) {
     if (bit < ecc::kDataBits) {
@@ -101,6 +116,7 @@ bool SparseStore::plant_fault(u64 addr, std::span<const u32> codeword_bits) {
     }
   }
   if (rec.data_flips == 0 && rec.check_flips == 0) faults_.erase(word);
+  fault_count_.store(faults_.size(), std::memory_order_relaxed);
   return true;
 }
 
@@ -108,12 +124,15 @@ bool SparseStore::restore_fault(u64 word_index, u64 data_flips,
                                 u8 check_flips) {
   if (word_index * 8 >= capacity_) return false;
   if (data_flips == 0 && check_flips == 0) return false;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   faults_[word_index] = FaultRecord{data_flips, check_flips};
+  fault_count_.store(faults_.size(), std::memory_order_relaxed);
   return true;
 }
 
 bool SparseStore::has_fault(u64 addr, usize bytes) const {
-  if (faults_.empty() || bytes == 0) return false;
+  if (fault_count() == 0 || bytes == 0) return false;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   const auto it = faults_.lower_bound(addr / 8);
   return it != faults_.end() && it->first <= (addr + bytes - 1) / 8;
 }
@@ -146,34 +165,40 @@ SparseStore::FaultMap::iterator SparseStore::decode_record(
 SparseStore::FaultSummary SparseStore::check_and_repair(u64 addr,
                                                         usize bytes) {
   FaultSummary out;
-  if (faults_.empty() || bytes == 0) return out;
+  if (fault_count() == 0 || bytes == 0) return out;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   const u64 last = (addr + bytes - 1) / 8;
   auto it = faults_.lower_bound(addr / 8);
   while (it != faults_.end() && it->first <= last) {
     it = decode_record(it, out, /*retire_uncorrectable=*/false);
   }
+  fault_count_.store(faults_.size(), std::memory_order_relaxed);
   return out;
 }
 
 SparseStore::FaultSummary SparseStore::scrub_span(u64 addr, u64 bytes) {
   FaultSummary out;
-  if (faults_.empty() || bytes == 0) return out;
+  if (fault_count() == 0 || bytes == 0) return out;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   const u64 last = (addr + bytes - 1) / 8;
   auto it = faults_.lower_bound(addr / 8);
   while (it != faults_.end() && it->first <= last) {
     it = decode_record(it, out, /*retire_uncorrectable=*/true);
   }
+  fault_count_.store(faults_.size(), std::memory_order_relaxed);
   return out;
 }
 
 void SparseStore::clear_faults_in(u64 addr, usize bytes) {
   if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
   const u64 last = (addr + bytes - 1) / 8;
   auto it = faults_.lower_bound(addr / 8);
   while (it != faults_.end() && it->first <= last) {
     store_word(it->first, load_word(it->first) ^ it->second.data_flips);
     it = faults_.erase(it);
   }
+  fault_count_.store(faults_.size(), std::memory_order_relaxed);
 }
 
 }  // namespace hmcsim

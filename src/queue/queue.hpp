@@ -46,7 +46,10 @@ class BoundedQueue {
   [[nodiscard]] usize size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
-  [[nodiscard]] usize free_slots() const { return capacity_ - entries_.size(); }
+  [[nodiscard]] usize free_slots() const {
+    // Saturating: push_front can transiently overfill (bounced forwards).
+    return entries_.size() >= capacity_ ? 0 : capacity_ - entries_.size();
+  }
 
   /// Append at the FIFO back.  Returns false (and counts a rejection) when
   /// every slot is valid — the caller turns this into a stall signal.
@@ -59,6 +62,16 @@ class BoundedQueue {
     ++stats_.total_pushes;
     stats_.high_water = std::max(stats_.high_water, entries_.size());
     return true;
+  }
+
+  /// Reinstate an entry at the FIFO head, bypassing the capacity check.
+  /// Used only to bounce an optimistically removed entry back (the parallel
+  /// crossbar's two-phase forward when the destination filled up in the
+  /// meantime); the queue may transiently exceed its capacity until the
+  /// entry moves on, during which free_slots() saturates at zero.
+  void push_front(Entry e) {
+    entries_.insert(entries_.begin(), std::move(e));
+    stats_.high_water = std::max(stats_.high_water, entries_.size());
   }
 
   /// FIFO-ordered access; index 0 is the oldest entry.

@@ -1,0 +1,25 @@
+# Re-applies multi-valued LABELS to gtest-discovered tests.
+#
+# gtest_discover_tests cannot carry a label *list* through to the generated
+# <binary>[1]_tests.cmake files: GoogleTestAddTests.cmake expands the
+# property list unquoted (twice), so "tier1;fuzz" collapses to two separate
+# arguments and only the first one registers.  Instead, discovery runs with
+# the primary label only, and tests/CMakeLists.txt appends a generated
+# include file — processed by ctest *after* the discovery files — that calls
+# hmcsim_apply_labels() to overwrite each test's LABELS with the full list.
+
+# Parse the discovery file for `binary` and set LABELS on every test in it.
+# `labels_csv` uses commas so the list survives being passed as one argument.
+function(hmcsim_apply_labels binary labels_csv)
+  set(discovery_file "${CMAKE_CURRENT_LIST_DIR}/${binary}[1]_tests.cmake")
+  if(NOT EXISTS "${discovery_file}")
+    return()  # binary not built yet; its tests are not registered either
+  endif()
+  string(REPLACE "," ";" labels "${labels_csv}")
+  file(STRINGS "${discovery_file}" lines REGEX "^add_test")
+  foreach(line IN LISTS lines)
+    if(line MATCHES "^add_test\\( *\\[=\\[([^]]+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES LABELS "${labels}")
+    endif()
+  endforeach()
+endfunction()

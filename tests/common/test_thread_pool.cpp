@@ -1,0 +1,98 @@
+// ThreadPool unit tests: coverage of every shard, static partitioning,
+// in-range ordering, repeated dispatch, and inline fallbacks — the
+// properties the clock engine's determinism proof builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(ThreadPool, EveryShardRunsExactlyOnce) {
+  for (const u32 threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    for (const u32 shards : {0u, 1u, 2u, 7u, 64u, 257u}) {
+      std::vector<std::atomic<u32>> hits(shards);
+      pool.parallel_for(shards,
+                        [&](u32 s) { hits[s].fetch_add(1); });
+      for (u32 s = 0; s < shards; ++s) {
+        EXPECT_EQ(hits[s].load(), 1u)
+            << "threads=" << threads << " shards=" << shards << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ShardsWithinOneThreadRunAscending) {
+  // Each executing thread's shard sequence must be strictly ascending:
+  // the engine's merge logic relies on a worker's shards running in index
+  // order (contiguous static ranges).
+  ThreadPool pool(4);
+  constexpr u32 kShards = 97;
+  std::mutex mu;
+  std::map<std::thread::id, std::vector<u32>> per_thread;
+  pool.parallel_for(kShards, [&](u32 s) {
+    std::lock_guard<std::mutex> lock(mu);
+    per_thread[std::this_thread::get_id()].push_back(s);
+  });
+  u32 total = 0;
+  for (const auto& [tid, seq] : per_thread) {
+    for (usize i = 1; i < seq.size(); ++i) {
+      EXPECT_LT(seq[i - 1], seq[i]);
+    }
+    // Static contiguous partitioning: one thread's shards are a range.
+    if (!seq.empty()) {
+      EXPECT_EQ(seq.back() - seq.front() + 1, seq.size());
+    }
+    total += static_cast<u32>(seq.size());
+  }
+  EXPECT_EQ(total, kShards);
+}
+
+TEST(ThreadPool, RepeatedDispatchesStaySound) {
+  // The engine dispatches up to three sections per simulated cycle over
+  // millions of cycles; hammer the epoch/condvar handshake.
+  ThreadPool pool(3);
+  std::atomic<u64> sum{0};
+  u64 expected = 0;
+  for (u32 round = 0; round < 2000; ++round) {
+    const u32 shards = 1 + round % 7;
+    pool.parallel_for(shards, [&](u32 s) { sum.fetch_add(s + 1); });
+    expected += u64{shards} * (shards + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<u32> order;
+  pool.parallel_for(5, [&](u32 s) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(s);
+  });
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, OversubscriptionIsHarmless) {
+  // More threads than shards (and than cores, on CI): extra workers just
+  // get empty ranges.
+  ThreadPool pool(16);
+  std::vector<std::atomic<u32>> hits(3);
+  pool.parallel_for(3, [&](u32 s) { hits[s].fetch_add(1); });
+  for (u32 s = 0; s < 3; ++s) EXPECT_EQ(hits[s].load(), 1u);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace hmcsim

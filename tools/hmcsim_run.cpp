@@ -25,6 +25,8 @@
 //     --metrics-interval <n> sample queue occupancies/stalls every n cycles
 //     --metrics-csv <file>  write the metric samples as CSV
 //     --seed <n>            generator seed (default 1)
+//     --threads <n>         clock-engine worker threads (0 = all cores;
+//                           results are bit-identical for every value)
 //
 //   RAS / fault injection (see docs/RAS.md):
 //     --dram-sbe-ppm <n>    single-bit DRAM fault odds per access, ppm
@@ -82,6 +84,7 @@ struct Args {
   std::string metrics_csv;
   u64 metrics_interval = 0;
   u32 seed = 1;
+  i64 threads = -1;  ///< -1: leave the config file's sim_threads value
   // RAS / fault injection; -1 sentinels mean "leave the config file value".
   i64 dram_sbe_ppm = -1;
   i64 dram_dbe_ppm = -1;
@@ -107,7 +110,7 @@ void usage(const char* argv0) {
                "       [--policy rr|local] [--json FILE|-] "
                "[--fig5-csv FILE] [--trace-out FILE]\n"
                "       [--chrome-trace FILE] [--metrics-interval N] "
-               "[--metrics-csv FILE] [--seed N]\n",
+               "[--metrics-csv FILE] [--seed N] [--threads N]\n",
                argv0);
 }
 
@@ -124,7 +127,7 @@ bool parse_args(int argc, char** argv, Args& args) {
         flag == "--policy" || flag == "--json" || flag == "--fig5-csv" ||
         flag == "--trace-out" || flag == "--chrome-trace" ||
         flag == "--metrics-interval" || flag == "--metrics-csv" ||
-        flag == "--seed" || flag == "--dram-sbe-ppm" ||
+        flag == "--seed" || flag == "--threads" || flag == "--dram-sbe-ppm" ||
         flag == "--dram-dbe-ppm" || flag == "--scrub-interval" ||
         flag == "--scrub-window" || flag == "--vault-fail-threshold" ||
         flag == "--failed-vaults" || flag == "--vault-remap" ||
@@ -177,6 +180,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.metrics_csv = v;
     } else if (flag == "--seed") {
       args.seed = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (flag == "--threads") {
+      args.threads = static_cast<i64>(std::strtoull(v, nullptr, 0));
     } else if (flag == "--dram-sbe-ppm") {
       args.dram_sbe_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
     } else if (flag == "--dram-dbe-ppm") {
@@ -315,6 +320,7 @@ int main(int argc, char** argv) {
     if (args.link_retry_limit >= 0) {
       dc.link_retry_limit = static_cast<u32>(args.link_retry_limit);
     }
+    if (args.threads >= 0) dc.sim_threads = static_cast<u32>(args.threads);
     // The DRAM fault domain lives in the data store; injection and
     // scrubbing need it present.
     if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
