@@ -1,0 +1,244 @@
+// Fast-forward engine speedup harness: host-side cycles/second with the
+// idle-cycle fast-forward engine off versus on, over workloads whose idle
+// fraction makes skipping worthwhile.
+//
+// Two workload shapes, both with a live refresh schedule so the skip
+// horizon is bounded by real maintenance events (see docs/INTERNALS.md):
+//
+//   sparse_gups  GUPS-style random updates at ~1% injection occupancy —
+//                one drive-loop step followed by a fixed idle window.
+//                This is the acceptance workload: fast-forward must be
+//                >= 5x faster in wall-clock cycles/second.
+//   bursty       alternating saturating bursts and long idle gaps, the
+//                phased shape real host traces produce.
+//
+// Both runs of a pair simulate the identical machine (the differential
+// suite proves bit-identity; this harness re-checks the retired count),
+// so the ratio is pure host-time win.
+//
+//   build/bench/bench_fast_forward [--json <path|->]
+//
+// Scale knobs (env): HMCSIM_FF_REQUESTS, HMCSIM_FF_IDLE_CYCLES,
+// HMCSIM_FF_BURSTS, HMCSIM_FF_GAP_CYCLES.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace hmcsim::bench {
+namespace {
+
+struct Measurement {
+  Cycle cycles{0};
+  u64 cycles_skipped{0};
+  u64 completed{0};
+  double seconds{0.0};
+
+  double cycles_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
+};
+
+struct Pair {
+  std::string name;
+  Measurement off;
+  Measurement on;
+
+  double speedup() const {
+    return off.seconds > 0.0 && on.cycles_per_sec() > 0.0
+               ? on.cycles_per_sec() / off.cycles_per_sec()
+               : 0.0;
+  }
+};
+
+DeviceConfig bench_device(bool fast_forward) {
+  DeviceConfig dc = table1_config_4link_8bank();
+  dc.capacity_bytes = 0;
+  dc.model_data = false;
+  // A realistic maintenance schedule: the skip horizon is bounded by the
+  // next staggered vault refresh, so fast-forward never coasts for free.
+  dc.refresh_interval_cycles = 2048;
+  dc.refresh_busy_cycles = 4;
+  dc.fast_forward = fast_forward;
+  return dc;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// GUPS-style sparse updates: one drive-loop step, then `idle` clocks with
+/// nothing in flight.  At the default idle window the link occupancy is
+/// ~1%, i.e. the dominant cost with fast-forward off is staged idle work.
+Measurement run_sparse(bool fast_forward, u64 requests, u32 idle) {
+  Simulator sim = make_sim_or_die(bench_device(fast_forward));
+  GeneratorConfig gc;
+  gc.capacity_bytes = sim.config().device.derived_capacity();
+  gc.request_bytes = 64;
+  RandomAccessGenerator gen(gc);
+  DriverConfig dcfg;
+  dcfg.total_requests = requests;
+  dcfg.max_outstanding_per_port = 1;
+  HostDriver driver(sim, gen, dcfg);
+
+  const auto start = SteadyClock::now();
+  DriverResult r;
+  bool live = true;
+  while (live) {
+    live = driver.step(r);
+    for (u32 i = 0; i < idle; ++i) sim.clock();
+  }
+  Measurement m;
+  m.seconds = seconds_since(start);
+  m.cycles = sim.now();
+  m.cycles_skipped = sim.cycles_skipped();
+  m.completed = r.completed;
+  return m;
+}
+
+/// Phased traffic: a saturating burst of requests, then a long idle gap,
+/// repeated.  Fast-forward only helps in the gaps, so the speedup here is
+/// the amortized (and smaller) real-trace figure.
+Measurement run_bursty(bool fast_forward, u64 bursts, u64 burst_requests,
+                       u32 gap) {
+  Simulator sim = make_sim_or_die(bench_device(fast_forward));
+  GeneratorConfig gc;
+  gc.capacity_bytes = sim.config().device.derived_capacity();
+  gc.request_bytes = 64;
+  RandomAccessGenerator gen(gc);
+
+  const auto start = SteadyClock::now();
+  Measurement m;
+  for (u64 b = 0; b < bursts; ++b) {
+    DriverConfig dcfg;
+    dcfg.total_requests = burst_requests;
+    HostDriver driver(sim, gen, dcfg);
+    m.completed += driver.run().completed;
+    for (u32 i = 0; i < gap; ++i) sim.clock();
+  }
+  m.seconds = seconds_since(start);
+  m.cycles = sim.now();
+  m.cycles_skipped = sim.cycles_skipped();
+  return m;
+}
+
+void print_pair(const Pair& p) {
+  const double skip_pct =
+      p.on.cycles != 0
+          ? 100.0 * static_cast<double>(p.on.cycles_skipped) /
+                static_cast<double>(p.on.cycles)
+          : 0.0;
+  std::printf("%-12s %12llu cycles | off %10.0f cyc/s | on %10.0f cyc/s "
+              "(%5.1f%% skipped) | speedup %.2fx\n",
+              p.name.c_str(),
+              static_cast<unsigned long long>(p.off.cycles),
+              p.off.cycles_per_sec(), p.on.cycles_per_sec(), skip_pct,
+              p.speedup());
+}
+
+void json_measurement(std::ostream& os, const char* key,
+                      const Measurement& m) {
+  os << "    \"" << key << "\": {\"cycles\": " << m.cycles
+     << ", \"cycles_skipped\": " << m.cycles_skipped
+     << ", \"completed\": " << m.completed << ", \"seconds\": " << m.seconds
+     << ", \"cycles_per_sec\": " << m.cycles_per_sec() << "}";
+}
+
+void write_json(std::ostream& os, const std::vector<Pair>& pairs) {
+  os << "{\n  \"bench\": \"bench_fast_forward\",\n  \"workloads\": [\n";
+  for (usize i = 0; i < pairs.size(); ++i) {
+    const Pair& p = pairs[i];
+    os << "   {\n    \"name\": \"" << p.name << "\",\n";
+    json_measurement(os, "fast_forward_off", p.off);
+    os << ",\n";
+    json_measurement(os, "fast_forward_on", p.on);
+    os << ",\n    \"speedup\": " << p.speedup() << "\n   }"
+       << (i + 1 < pairs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run_main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path|->]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const u64 requests = env_u64("HMCSIM_FF_REQUESTS", 3000);
+  const u32 idle =
+      static_cast<u32>(env_u64("HMCSIM_FF_IDLE_CYCLES", 127));
+  const u64 bursts = env_u64("HMCSIM_FF_BURSTS", 6);
+  const u32 gap = static_cast<u32>(env_u64("HMCSIM_FF_GAP_CYCLES", 65536));
+
+  std::vector<Pair> pairs;
+  {
+    Pair p;
+    p.name = "sparse_gups";
+    p.off = run_sparse(false, requests, idle);
+    p.on = run_sparse(true, requests, idle);
+    pairs.push_back(p);
+  }
+  {
+    Pair p;
+    p.name = "bursty";
+    p.off = run_bursty(false, bursts, 4096, gap);
+    p.on = run_bursty(true, bursts, 4096, gap);
+    pairs.push_back(p);
+  }
+
+  int rc = 0;
+  for (const Pair& p : pairs) {
+    print_pair(p);
+    // The skip must be pure execution strategy: identical retired work
+    // and final clock, or the ratio above is measuring the wrong machine.
+    if (p.off.completed != p.on.completed || p.off.cycles != p.on.cycles) {
+      std::fprintf(stderr,
+                   "FAIL %s: runs diverged (completed %llu vs %llu, "
+                   "cycles %llu vs %llu)\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.off.completed),
+                   static_cast<unsigned long long>(p.on.completed),
+                   static_cast<unsigned long long>(p.off.cycles),
+                   static_cast<unsigned long long>(p.on.cycles));
+      rc = 1;
+    }
+    if (p.on.cycles_skipped == 0) {
+      std::fprintf(stderr, "FAIL %s: fast-forward never engaged\n",
+                   p.name.c_str());
+      rc = 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      write_json(std::cout, pairs);
+    } else {
+      std::ofstream os(json_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 2;
+      }
+      write_json(os, pairs);
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace hmcsim::bench
+
+int main(int argc, char** argv) {
+  return hmcsim::bench::run_main(argc, argv);
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Performance benchmark runner: build an optimized tree, run the simulator
+# throughput benches, and emit the committed machine-readable record
+# BENCH_fastforward.json (engine cycles/sec, parallel scaling, and the
+# fast-forward on/off speedup).
+#
+# Usage:
+#   scripts/run_benches.sh                 # writes BENCH_fastforward.json
+#   OUT=/tmp/b.json scripts/run_benches.sh # write elsewhere
+#
+# The acceptance gate: fast-forward must be >= 5x on the sparse (~1%
+# occupancy) GUPS workload, and every run pair must be bit-identical
+# (bench_fast_forward exits nonzero otherwise).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build-release}
+OUT=${OUT:-BENCH_fastforward.json}
+GEN=()
+command -v ninja >/dev/null && GEN=(-G Ninja)
+
+echo "== configure & build ($BUILD, Release) =="
+cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target \
+  bench_sim_speed bench_parallel_speedup bench_fast_forward
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench_fast_forward =="
+"$BUILD"/bench/bench_fast_forward --json "$tmp/fast_forward.json"
+
+echo "== bench_sim_speed =="
+"$BUILD"/bench/bench_sim_speed \
+  --benchmark_out="$tmp/sim_speed.json" --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "== bench_parallel_speedup =="
+"$BUILD"/bench/bench_parallel_speedup \
+  --benchmark_out="$tmp/parallel.json" --benchmark_out_format=json \
+  --benchmark_format=console
+
+jq -n \
+  --slurpfile ff "$tmp/fast_forward.json" \
+  --slurpfile ss "$tmp/sim_speed.json" \
+  --slurpfile ps "$tmp/parallel.json" '
+  {
+    generated_by: "scripts/run_benches.sh",
+    build_type: "Release",
+    fast_forward: $ff[0],
+    sim_speed: $ss[0],
+    parallel_speedup: $ps[0]
+  }' > "$OUT"
+
+sparse=$(jq -r '.fast_forward.workloads[]
+                | select(.name == "sparse_gups") | .speedup' "$OUT")
+echo
+echo "sparse_gups fast-forward speedup: ${sparse}x (gate: >= 5x)"
+if ! jq -e '.fast_forward.workloads[]
+            | select(.name == "sparse_gups") | .speedup >= 5' \
+     "$OUT" >/dev/null; then
+  echo "FAIL: sparse_gups speedup below the 5x acceptance floor" >&2
+  exit 1
+fi
+echo "wrote $OUT"

@@ -242,6 +242,7 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
   json.begin_object();
   json.kv("simulator", "hmcsim++");
   json.kv("cycle", sim.now());
+  json.kv("cycles_skipped", sim.cycles_skipped());
 
   if (sim.initialized()) {
     const DeviceConfig& dc = sim.config().device;
@@ -271,6 +272,7 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("vault_remap", dc.vault_remap);
     json.kv("watchdog_cycles", u64{dc.watchdog_cycles});
     json.kv("sim_threads", u64{sim.sim_threads()});
+    json.kv("fast_forward", dc.fast_forward);
     json.end_object();
 
     json.key("totals");

@@ -388,6 +388,7 @@ int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
   else if (key == "vault_remaps") *value = s.vault_remaps;
   else if (key == "degraded_drops") *value = s.degraded_drops;
   else if (key == "sim_threads") *value = shim->sim.sim_threads();
+  else if (key == "cycles_skipped") *value = shim->sim.cycles_skipped();
   else return -1;
   return 0;
 }

@@ -35,8 +35,23 @@ constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // each vault block now carries its generator state.  sim_threads is
 // deliberately NOT serialized — it is an execution knob, and checkpoints
 // must be byte-identical for every thread count (the differential harness
-// asserts exactly that).
+// asserts exactly that); the same goes for fast_forward.
+//
+// Restore accepts every version back to 2 (the oldest format any released
+// tool wrote).  Fields a version lacks keep their init() values: v2/v3
+// restores keep the deterministic init-seeded per-vault DRAM RNGs, and v2
+// restores additionally keep default RAS config, zeroed RAS counters, the
+// init fault RNG, and a quiet watchdog.  Save always writes the current
+// version.  Committed fixtures for every readable version live under
+// tests/golden/checkpoints/ and are replayed by test_checkpoint_compat.
 constexpr u32 kVersion = 4;
+constexpr u32 kMinVersion = 2;
+// Registers that existed in version 2 (enum prefix through Rvid); the RAS
+// error-log block was appended in version 3.
+constexpr usize kV2RegCount = 43;
+// DeviceStats fields in version 2 (through flow_packets); version 3
+// appended the 8 RAS counters.
+constexpr usize kV2StatsCount = 25;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -246,7 +261,7 @@ void put_stats(std::ostream& os, const DeviceStats& s) {
   for (const u64 f : fields) put_u64(os, f);
 }
 
-bool get_stats(std::istream& is, DeviceStats& s) {
+bool get_stats(std::istream& is, DeviceStats& s, u32 version) {
   u64* fields[] = {&s.reads, &s.writes, &s.atomics, &s.mode_ops,
                    &s.custom_ops, &s.bytes_read, &s.bytes_written,
                    &s.responses, &s.error_responses, &s.bank_conflicts,
@@ -259,8 +274,9 @@ bool get_stats(std::istream& is, DeviceStats& s) {
                    &s.dram_sbes, &s.dram_dbes, &s.scrub_steps,
                    &s.scrub_corrections, &s.scrub_uncorrectables,
                    &s.vault_failures, &s.vault_remaps, &s.degraded_drops};
-  for (u64* f : fields) {
-    if (!get_u64(is, *f)) return false;
+  const usize count = version >= 3 ? std::size(fields) : kV2StatsCount;
+  for (usize i = 0; i < count; ++i) {
+    if (!get_u64(is, *fields[i])) return false;
   }
   return true;
 }
@@ -299,7 +315,7 @@ void put_device_config(std::ostream& os, const DeviceConfig& c) {
   put_u32(os, c.watchdog_cycles);
 }
 
-bool get_device_config(std::istream& is, DeviceConfig& c) {
+bool get_device_config(std::istream& is, DeviceConfig& c, u32 version) {
   u64 xbar = 0, vault = 0;
   u8 map_mode = 0, schedule = 0, model_data = 0, row_policy = 0;
   if (!get_u32(is, c.num_links) || !get_u32(is, c.banks_per_vault) ||
@@ -320,15 +336,19 @@ bool get_device_config(std::istream& is, DeviceConfig& c) {
     return false;
   }
   u8 vault_remap = 0;
-  if (!get_u32(is, c.dram_sbe_rate_ppm) || !get_u32(is, c.dram_dbe_rate_ppm) ||
-      !get_u32(is, c.scrub_interval_cycles) ||
-      !get_u64(is, c.scrub_window_bytes) ||
-      !get_u32(is, c.vault_fail_threshold) ||
-      !get_u64(is, c.failed_vault_mask) || !get_u8(is, vault_remap) ||
-      !get_u32(is, c.watchdog_cycles)) {
-    return false;
+  if (version >= 3) {
+    // Version 2 predates RAS; its restores keep the (all-off) defaults.
+    if (!get_u32(is, c.dram_sbe_rate_ppm) ||
+        !get_u32(is, c.dram_dbe_rate_ppm) ||
+        !get_u32(is, c.scrub_interval_cycles) ||
+        !get_u64(is, c.scrub_window_bytes) ||
+        !get_u32(is, c.vault_fail_threshold) ||
+        !get_u64(is, c.failed_vault_mask) || !get_u8(is, vault_remap) ||
+        !get_u32(is, c.watchdog_cycles)) {
+      return false;
+    }
+    c.vault_remap = vault_remap != 0;
   }
-  c.vault_remap = vault_remap != 0;
   c.xbar_depth = static_cast<usize>(xbar);
   c.vault_depth = static_cast<usize>(vault);
   c.map_mode = static_cast<AddrMapMode>(map_mode);
@@ -435,13 +455,13 @@ Status Simulator::restore_checkpoint(std::istream& is) {
   u32 version = 0;
   if (!get_bytes(is, magic, sizeof magic) ||
       std::memcmp(magic, kMagic, sizeof magic) != 0 ||
-      !get_u32(is, version) || version != kVersion) {
+      !get_u32(is, version) || version < kMinVersion || version > kVersion) {
     return Status::MalformedPacket;
   }
 
   SimConfig config;
   if (!get_u32(is, config.num_devices) ||
-      !get_device_config(is, config.device)) {
+      !get_device_config(is, config.device, version)) {
     return Status::MalformedPacket;
   }
 
@@ -483,10 +503,13 @@ Status Simulator::restore_checkpoint(std::istream& is) {
     }
   }
 
-  // sim_threads is not serialized (checkpoints are thread-count agnostic);
-  // a restored simulator keeps the execution parallelism it already had.
-  config.device.sim_threads =
-      initialized() ? config_.device.sim_threads : config.device.sim_threads;
+  // sim_threads and fast_forward are not serialized (checkpoints are
+  // agnostic to the execution strategy); a restored simulator keeps the
+  // parallelism and skip setting it already had.
+  if (initialized()) {
+    config.device.sim_threads = config_.device.sim_threads;
+    config.device.fast_forward = config_.device.fast_forward;
+  }
   const Status init_status = init(config, std::move(topo));
   if (!ok(init_status)) return init_status;
 
@@ -494,16 +517,20 @@ Status Simulator::restore_checkpoint(std::istream& is) {
 
   for (auto& dev_ptr : devices_) {
     Device& dev = *dev_ptr;
-    if (!get_stats(is, dev.stats)) return Status::MalformedPacket;
+    if (!get_stats(is, dev.stats, version)) return Status::MalformedPacket;
 
-    RegisterFile::Snapshot regs;
-    for (u64& v : regs.values) {
-      if (!get_u64(is, v)) return Status::MalformedPacket;
+    // Version 2 serialized only the register prefix that existed then; the
+    // appended RAS error-log registers keep their init() values (they are
+    // live views recomputed from RAS state anyway).
+    RegisterFile::Snapshot regs = dev.regs.snapshot();
+    const usize reg_count = version >= 3 ? regs.values.size() : kV2RegCount;
+    for (usize r = 0; r < reg_count; ++r) {
+      if (!get_u64(is, regs.values[r])) return Status::MalformedPacket;
     }
-    for (bool& b : regs.pending_self_clear) {
+    for (usize r = 0; r < reg_count; ++r) {
       u8 flag = 0;
       if (!get_u8(is, flag)) return Status::MalformedPacket;
-      b = flag != 0;
+      regs.pending_self_clear[r] = flag != 0;
     }
     dev.regs.restore(regs);
 
@@ -543,11 +570,16 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       for (u64& row : vault.open_row) {
         if (!get_u64(is, row)) return Status::MalformedPacket;
       }
-      u64 dram_rng_state = 0;  // v4
-      if (!get_u64(is, dram_rng_state)) return Status::MalformedPacket;
-      vault.dram_rng = SplitMix64(dram_rng_state);
+      if (version >= 4) {
+        u64 dram_rng_state = 0;
+        if (!get_u64(is, dram_rng_state)) return Status::MalformedPacket;
+        vault.dram_rng = SplitMix64(dram_rng_state);
+      }
+      // Pre-v4 checkpoints keep the deterministic init-seeded vault RNGs.
     }
     if (!get_response_queue(is, dev.mode_rsp)) return Status::MalformedPacket;
+
+    if (version < 3) continue;  // no RAS block: init() state stands
 
     u64 rng_state = 0, fault_count = 0;
     if (!get_u64(is, rng_state) || !get_u64(is, fault_count)) {
@@ -574,6 +606,8 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       return Status::MalformedPacket;
     }
   }
+
+  if (version < 3) return Status::Ok;  // no watchdog tail
 
   u8 fired = 0;
   if (!get_u8(is, fired) || !get_u32(is, watchdog_stall_cycles_) ||

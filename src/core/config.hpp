@@ -155,6 +155,16 @@ struct DeviceConfig {
   /// hardware core.  Not serialized into checkpoints (an execution knob,
   /// not device state).
   u32 sim_threads{1};
+  /// Idle-cycle fast-forward: when every crossbar and vault queue is empty
+  /// the clock engine skips the six sub-cycle stages and advances time with
+  /// an O(1) fast path, emulating the per-cycle state mutations (link budget
+  /// refills, refresh events, watchdog stall accounting) in closed form at
+  /// the moment traffic resumes.  Bit-identical to the slow path — the
+  /// differential harness proves stats, checkpoint bytes, and latency
+  /// histograms match with the knob on and off.  Like sim_threads, this is
+  /// an execution knob, not device state, and is not serialized into
+  /// checkpoints.
+  bool fast_forward{true};
 
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return

@@ -172,6 +172,14 @@ ConfigParseResult parse_config(std::istream& in) {
     } else if (key == "sim_threads") {
       if (!is_number) return fail(line_no, "sim_threads needs a number");
       dc.sim_threads = static_cast<u32>(number);
+    } else if (key == "fast_forward") {
+      if (value == "true" || value == "1") {
+        dc.fast_forward = true;
+      } else if (value == "false" || value == "0") {
+        dc.fast_forward = false;
+      } else {
+        return fail(line_no, "fast_forward must be true/false");
+      }
     } else if (key == "model_data") {
       if (value == "true" || value == "1") {
         dc.model_data = true;
@@ -264,6 +272,7 @@ void write_config(std::ostream& os, const SimConfig& config) {
   os << "row_hit_cycles = " << dc.row_hit_cycles << '\n';
   os << "row_miss_cycles = " << dc.row_miss_cycles << '\n';
   os << "sim_threads = " << dc.sim_threads << '\n';
+  os << "fast_forward = " << (dc.fast_forward ? "true" : "false") << '\n';
   os << "model_data = " << (dc.model_data ? "true" : "false") << '\n';
 }
 

@@ -65,6 +65,8 @@ Status Simulator::init(const SimConfig& config, Topology topo,
   watchdog_stall_cycles_ = 0;
   watchdog_fingerprint_ = 0;
   watchdog_report_.clear();
+  cycles_skipped_ = 0;
+  ff_armed_ = false;
   devices_.clear();
   root_devices_.clear();
   child_devices_.clear();
@@ -121,6 +123,8 @@ void Simulator::reset(bool clear_memory) {
   watchdog_stall_cycles_ = 0;
   watchdog_fingerprint_ = 0;
   watchdog_report_.clear();
+  cycles_skipped_ = 0;
+  ff_armed_ = false;
 }
 
 DeviceStats Simulator::total_stats() const {
@@ -212,6 +216,10 @@ Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
     if (!ok(ds)) return ds;
   }
 
+  // Every path below mutates device state (a queue push or a stats
+  // counter), so the idle fast path must re-prove eligibility.
+  ff_invalidate();
+
   if (is_flow(entry.req.cmd)) {
     // Link-layer flow control terminates at the link interface.
     ++d.stats.flow_packets;
@@ -249,6 +257,10 @@ Status Simulator::recv(u32 dev, u32 link, PacketBuffer& out) {
   if (queue.empty() || queue.front().ready_cycle > cycle_) {
     return Status::NoResponse;
   }
+  // Draining a host response changes quiescence and the progress
+  // fingerprint, both frozen into the armed fast path.  (The no-response
+  // path above stays armed — polling drivers must not disarm every step.)
+  ff_invalidate();
   ResponseEntry entry = queue.pop_front();
   out = entry.pkt;
   ++d.stats.recvs;
@@ -273,6 +285,7 @@ Status Simulator::register_custom_command(u8 raw_cmd, CustomCommandDef def) {
   // Registration while packets are in flight could leave entries with a
   // stale decode; require quiescence (the natural time to configure).
   if (!quiescent()) return Status::InvalidConfig;
+  ff_invalidate();
   return custom_.define(raw_cmd, std::move(def));
 }
 
@@ -340,6 +353,9 @@ Status Simulator::jtag_reg_read(u32 dev, u32 phys_index, u64& value) const {
 
 Status Simulator::jtag_reg_write(u32 dev, u32 phys_index, u64 value) {
   if (!initialized() || dev >= devices_.size()) return Status::InvalidArgument;
+  // An RWS write re-arms a pending self-clear, so the next clock edge is
+  // no longer a no-op; the fast path must re-prove eligibility.
+  ff_invalidate();
   return devices_[dev]->regs.write_phys(phys_index, value);
 }
 
@@ -351,12 +367,137 @@ void Simulator::clock() {
   // Once the watchdog has tripped the machine is frozen for post-mortem
   // inspection; further clocks are refused.
   if (watchdog_fired_) return;
+  // Idle fast-forward: when the device set is provably idle, advance time
+  // without executing the stages.  Bit-identical to the staged path — see
+  // ff_arm() for the eligibility proof and docs/INTERNALS.md for the
+  // horizon construction.
+  if (config_.device.fast_forward && (ff_armed_ || ff_arm()) &&
+      ff_fast_cycle()) {
+    return;
+  }
   stage1_child_xbar();
   stage2_root_xbar();
   stage3_and_4_vaults();
   stage5_responses();
   stage6_clock_update();
   if (config_.device.watchdog_cycles != 0) check_watchdog();
+}
+
+bool Simulator::ff_queues_idle() const {
+  for (const auto& dev_ptr : devices_) {
+    const Device& dev = *dev_ptr;
+    if (!dev.mode_rsp.empty()) return false;
+    for (u32 l = 0; l < config_.device.num_links; ++l) {
+      const LinkState& link = dev.links[l];
+      if (!link.rqst.empty()) return false;
+      // Host-link responses are inert (stage 5 skips host links; only
+      // recv() pops them, and recv() invalidates), so they do not block.
+      if (!link.rsp.empty() &&
+          topo_.endpoint(CubeId{dev.id()}, LinkId{l}).kind ==
+              EndpointKind::Device) {
+        return false;
+      }
+    }
+    for (const auto& vault : dev.vaults) {
+      if (!vault.rqst.empty() || !vault.rsp.empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool Simulator::ff_arm() {
+  if (!ff_queues_idle()) return false;
+  const DeviceConfig& cfg = config_.device;
+  // A staged pass over an idle device still mutates per-cycle state; the
+  // fast path arms only once every such mutation has reached its fixed
+  // point, so skipping a cycle leaves exactly the bytes the stages would:
+  //   * link budget refills  b = min(b, 0) + flits_per_cycle  are identity
+  //     once b equals the refill quantum (reached within a cycle or two of
+  //     the queues draining);
+  //   * regs.clock_edge() is a no-op once no RWS self-clear is pending.
+  const i64 steady = cfg.xbar_flits_per_cycle;
+  for (const auto& dev_ptr : devices_) {
+    const Device& dev = *dev_ptr;
+    if (dev.regs.any_pending_self_clear()) return false;
+    for (u32 l = 0; l < cfg.num_links; ++l) {
+      const LinkState& link = dev.links[l];
+      if (link.rqst_budget != steady) return false;
+      // Response budgets refill only on device-to-device links (stage 5
+      // never touches host links), so host-link rsp budgets sit at their
+      // last value and need no check.
+      if (topo_.endpoint(CubeId{dev.id()}, LinkId{l}).kind ==
+              EndpointKind::Device &&
+          link.rsp_budget != steady) {
+        return false;
+      }
+    }
+  }
+
+  // Stop cycle: the first clock whose staged pass has an effect the fast
+  // path does not emulate.  The call at cycle c runs a scrub step when
+  // c % scrub_interval == 0, fires vault v's refresh when
+  // (c + offset_v) % refresh_interval == 0, and fires the cycle hook when
+  // (c + 1) % hook_interval == 0 (the hook sees the post-increment count).
+  constexpr Cycle kNoStopCycle = ~Cycle{0};
+  Cycle stop = kNoStopCycle;
+  if (cfg.scrub_interval_cycles != 0) {
+    const Cycle interval = cfg.scrub_interval_cycles;
+    const Cycle rem = cycle_ % interval;
+    stop = std::min(stop, rem == 0 ? cycle_ : cycle_ + (interval - rem));
+  }
+  if (hook_interval_ != 0 && cycle_hook_) {
+    const Cycle h = hook_interval_;
+    stop = std::min(stop, ((cycle_ + 1 + h - 1) / h) * h - 1);
+  }
+  if (cfg.refresh_interval_cycles != 0) {
+    const Cycle interval = cfg.refresh_interval_cycles;
+    for (u32 v = 0; v < cfg.num_vaults(); ++v) {
+      const Cycle offset = Cycle{v} * interval / cfg.num_vaults();
+      const Cycle rem = (cycle_ + offset) % interval;
+      stop = std::min(stop, rem == 0 ? cycle_ : cycle_ + (interval - rem));
+    }
+  }
+  if (stop <= cycle_) return false;  // this very call has a bounded event
+  ff_stop_cycle_ = stop;
+
+  // Freeze the watchdog's inputs: across fast cycles no queue changes and
+  // no stat in the progress fingerprint moves (refresh/scrub cycles are
+  // outside the skip), so quiescence and the fingerprint are invariant.
+  if (cfg.watchdog_cycles != 0) {
+    ff_quiescent_ = quiescent();
+    ff_fingerprint_ = progress_fingerprint();
+  }
+  ff_armed_ = true;
+  return true;
+}
+
+bool Simulator::ff_fast_cycle() {
+  // Re-verify emptiness every call: tests (and embedders) may reach
+  // through device() and push queue entries directly between clocks.
+  if (cycle_ >= ff_stop_cycle_ || !ff_queues_idle()) {
+    ff_armed_ = false;
+    return false;
+  }
+  ++cycle_;
+  ++cycles_skipped_;
+  // check_watchdog(), verbatim, against the frozen arm-time facts.  Host
+  // responses awaiting recv() keep quiescence false with a constant
+  // fingerprint, so the stall count must keep climbing during a skip —
+  // and may trip the watchdog mid-skip, freezing the machine exactly as
+  // the staged path would.
+  if (config_.device.watchdog_cycles != 0) {
+    if (ff_quiescent_) {
+      watchdog_stall_cycles_ = 0;
+    } else if (watchdog_fingerprint_ != ff_fingerprint_) {
+      watchdog_fingerprint_ = ff_fingerprint_;
+      watchdog_stall_cycles_ = 0;
+    } else if (++watchdog_stall_cycles_ >= config_.device.watchdog_cycles) {
+      watchdog_fired_ = true;
+      watchdog_report_ = build_watchdog_report();
+      ff_armed_ = false;
+    }
+  }
+  return true;
 }
 
 void Simulator::run_shards(u32 num_shards, const std::function<void(u32)>& fn) {

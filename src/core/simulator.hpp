@@ -84,9 +84,26 @@ class Simulator {
 
   /// Progress every internal device operation by one clock cycle (one full
   /// pass of sub-cycle stages 1..6).
+  ///
+  /// When DeviceConfig::fast_forward is on and every crossbar/vault queue
+  /// is empty, the call takes an O(queues) fast path instead of executing
+  /// the six stages: the clock still advances by exactly one cycle and all
+  /// observable state (stats, checkpoint bytes, register views, watchdog
+  /// accounting) stays bit-identical to the staged path — the fast path
+  /// only arms once the per-cycle idle mutations (link budget refills, RWS
+  /// register self-clears) have reached their fixed point, and it disarms
+  /// before any cycle with a non-idempotent event (scrub step, staggered
+  /// vault refresh, user cycle hook).  See docs/INTERNALS.md.
   void clock();
 
   [[nodiscard]] Cycle now() const { return cycle_; }
+
+  /// Clock cycles advanced via the idle fast path since init/reset.  Always
+  /// `cycles_skipped() <= now()`; the difference is the number of cycles
+  /// that executed the full six-stage pass.  Restoring a checkpoint resets
+  /// this counter (it is an execution statistic, not device state, and is
+  /// deliberately not serialized).
+  [[nodiscard]] u64 cycles_skipped() const { return cycles_skipped_; }
 
   // ---- side-band register interface (JTAG / I2C; paper §V.D) ---------------
 
@@ -125,6 +142,7 @@ class Simulator {
                       std::function<void(const Simulator&)> hook) {
     hook_interval_ = interval;
     cycle_hook_ = std::move(hook);
+    ff_invalidate();  // the hook schedule bounds the fast-forward stop cycle
   }
 
   // ---- observability -----------------------------------------------------------
@@ -339,6 +357,32 @@ class Simulator {
   void check_watchdog();
   [[nodiscard]] std::string build_watchdog_report() const;
 
+  // ---- idle-cycle fast-forward engine (core/simulator.cpp) -----------------
+
+  /// Arm the fast path: prove that a full six-stage pass over the current
+  /// state would only perform idempotent idle mutations, and compute the
+  /// stop cycle — the next clock whose pass has an effect the fast path
+  /// does not emulate (scrub step, staggered vault refresh, cycle hook).
+  /// Returns false when idle cycles cannot be proven side-effect-free yet
+  /// (non-empty queues, link budgets below their refill fixed point, RWS
+  /// registers awaiting their self-clearing edge).
+  bool ff_arm();
+  /// One fast cycle: re-verify queue emptiness (guarding against direct
+  /// Device mutation between calls), advance the clock, and emulate the
+  /// watchdog bookkeeping against the quiescence/fingerprint facts frozen
+  /// at arm time.  Returns false when the staged path must run instead.
+  bool ff_fast_cycle();
+  /// Every queue a clock stage would consume is empty.  Host-link response
+  /// queues are exempt: stage 5 never touches them (they drain via recv()),
+  /// so pending host responses are inert during a skip — though they do
+  /// keep quiescent() false, which the watchdog emulation accounts for.
+  [[nodiscard]] bool ff_queues_idle() const;
+  /// Drop the armed state.  Called by every mutation outside the clock
+  /// domain (send/recv/JTAG writes/hook changes/custom-command
+  /// registration); state is always materialized, so invalidation is just
+  /// a flag clear and the next clock() re-proves eligibility.
+  void ff_invalidate() { ff_armed_ = false; }
+
   SimConfig config_{};
   Topology topo_{};
   CustomCommandSet custom_{};
@@ -373,6 +417,19 @@ class Simulator {
   u32 watchdog_stall_cycles_{0};
   u64 watchdog_fingerprint_{0};
   std::string watchdog_report_;
+  /// Idle-cycle fast-forward state (see DeviceConfig::fast_forward).  Not
+  /// serialized: like sim_threads, an execution property — checkpoints are
+  /// byte-identical with the knob on or off.
+  u64 cycles_skipped_{0};
+  bool ff_armed_{false};
+  /// First cycle whose clock() call must run the staged path (exclusive
+  /// skip bound); kNoStopCycle when nothing bounds the skip.
+  Cycle ff_stop_cycle_{0};
+  /// quiescent() / progress_fingerprint() frozen at arm time; both are
+  /// invariant across fast cycles (only host recv/send change them, and
+  /// those invalidate), letting the watchdog emulation run in O(1).
+  bool ff_quiescent_{false};
+  u64 ff_fingerprint_{0};
 };
 
 /// Build a compliant, CRC-sealed memory request packet (paper Figure 4's

@@ -124,6 +124,16 @@ class RegisterFile {
   /// written during the elapsed cycle.
   void clock_edge();
 
+  /// True when any RWS register awaits its self-clearing edge — i.e. the
+  /// next clock_edge() is not a no-op.  The idle-cycle fast-forward engine
+  /// refuses to arm until this drains (it clears within one slow cycle).
+  [[nodiscard]] bool any_pending_self_clear() const {
+    for (const bool pending : pending_self_clear_) {
+      if (pending) return true;
+    }
+    return false;
+  }
+
   [[nodiscard]] u32 links() const { return links_; }
 
   /// True when the register exists for this device's link count.

@@ -1,13 +1,19 @@
 // Differential proof that the parallel clock engine is equivalent to the
-// serial one.
+// serial one, and that the idle-cycle fast-forward engine is equivalent to
+// the staged path.
 //
 // The clock engine (core/simulator.cpp) promises bit-identical simulation
-// for every sim_threads value: static index-range sharding, per-shard
+// for every sim_threads value — static index-range sharding, per-shard
 // mutable state, and fixed-shard-order merges make the parallel schedule a
-// pure reordering of independent work.  This harness *proves* that promise
-// over a matrix of seeded workloads: each scenario runs under 1 thread
-// (reference), 2 threads, and a saturated worker count, and every
-// observable output must match exactly —
+// pure reordering of independent work — and for either fast_forward value:
+// the fast path only arms once every per-cycle idle mutation has reached
+// its fixed point, and disarms before any cycle with a bounded event
+// (scrub, refresh, hook), so skipping is unobservable.  This harness
+// *proves* both promises over a matrix of seeded workloads: each scenario
+// runs under 1 thread (reference), 2 threads, and a saturated worker
+// count, with the fast-forward axis injecting idle windows between request
+// bursts so the skip engine genuinely engages, and every observable output
+// must match exactly —
 //
 //   * final per-device DeviceStats (field-wise),
 //   * the complete checkpoint byte stream (queues, banks, RNGs, memory),
@@ -118,6 +124,7 @@ struct Outcome {
   u64 completed{0};
   u64 errors{0};
   bool watchdog{false};
+  u64 cycles_skipped{0};
   std::vector<DeviceStats> stats;
   std::string checkpoint;
   u64 life_completed{0};
@@ -125,10 +132,22 @@ struct Outcome {
   LatencyStats life[kOpClassCount][kLifecycleSegmentCount];
 };
 
-Status build_sim(const Scenario& s, u32 threads, Simulator& sim,
+/// One run's execution strategy (never simulation-visible).
+struct RunCfg {
+  u32 threads{1};
+  bool fast_forward{false};
+  /// Interleave idle windows between request bursts and append an idle
+  /// tail, so fast-forward runs genuinely enter and leave the skip path
+  /// mid-traffic.  Pure execution pacing: the clock advances identically
+  /// whether or not the skip engine is on.
+  bool idle_windows{false};
+};
+
+Status build_sim(const Scenario& s, const RunCfg& cfg, Simulator& sim,
                  std::string* diag) {
   DeviceConfig dc = scenario_device(s);
-  dc.sim_threads = threads;
+  dc.sim_threads = cfg.threads;
+  dc.fast_forward = cfg.fast_forward;
   if (s.devices == 1) return sim.init_simple(dc, diag);
   SimConfig sc;
   sc.num_devices = s.devices;
@@ -139,11 +158,15 @@ Status build_sim(const Scenario& s, u32 threads, Simulator& sim,
   return sim.init(sc, std::move(topo), diag);
 }
 
-Outcome run_scenario(const Scenario& s, u32 threads) {
+constexpr u64 kIdleWindowEverySteps = 192;
+constexpr u32 kIdleWindowCycles = 300;
+constexpr u32 kIdleTailCycles = 4000;
+
+Outcome run_scenario(const Scenario& s, const RunCfg& cfg) {
   Outcome out;
   Simulator sim;
   std::string diag;
-  EXPECT_EQ(build_sim(s, threads, sim, &diag), Status::Ok) << diag;
+  EXPECT_EQ(build_sim(s, cfg, sim, &diag), Status::Ok) << diag;
   auto sink = std::make_shared<LifecycleSink>();
   sim.add_lifecycle_observer(sink);
 
@@ -153,9 +176,26 @@ Outcome run_scenario(const Scenario& s, u32 threads) {
   dcfg.max_cycles = 400000;
   if (s.devices > 1) dcfg.targets = TargetPolicy::RoundRobinCubes;
   HostDriver driver(sim, *gen, dcfg);
-  const DriverResult r = driver.run();
+  DriverResult r;
+  if (cfg.idle_windows) {
+    // Bursty pacing: periodically stop injecting/draining and let the
+    // device run dry, then resume.  Extra clocks shift absolute cycle
+    // numbers, but identically so for every execution strategy.
+    u64 steps = 0;
+    bool live = true;
+    while (live) {
+      live = driver.step(r);
+      if (++steps % kIdleWindowEverySteps == 0) {
+        for (u32 i = 0; i < kIdleWindowCycles; ++i) sim.clock();
+      }
+    }
+    for (u32 i = 0; i < kIdleTailCycles; ++i) sim.clock();
+  } else {
+    r = driver.run();
+  }
 
   out.cycles = r.cycles;
+  out.cycles_skipped = sim.cycles_skipped();
   out.sent = r.sent;
   out.completed = r.completed;
   out.errors = r.errors;
@@ -175,13 +215,20 @@ Outcome run_scenario(const Scenario& s, u32 threads) {
   return out;
 }
 
-/// Failure diagnostics: re-run `a` vs `b` threads in lockstep, checkpoint
-/// both machines every cycle, and report the first cycle they diverge.
-void diagnose_divergence(const Scenario& s, u32 threads_a, u32 threads_b) {
+std::string describe(const RunCfg& cfg) {
+  return std::to_string(cfg.threads) + " threads, fast_forward " +
+         (cfg.fast_forward ? "on" : "off");
+}
+
+/// Failure diagnostics: re-run configuration `a` vs `b` in lockstep,
+/// checkpoint both machines every cycle, and report the first cycle they
+/// diverge.  Idle windows are replayed too, so a skip-path divergence is
+/// pinned to the exact cycle the fast path first corrupted state.
+void diagnose_divergence(const Scenario& s, const RunCfg& a, const RunCfg& b) {
   Simulator sim_a;
   Simulator sim_b;
-  ASSERT_EQ(build_sim(s, threads_a, sim_a, nullptr), Status::Ok);
-  ASSERT_EQ(build_sim(s, threads_b, sim_b, nullptr), Status::Ok);
+  ASSERT_EQ(build_sim(s, a, sim_a, nullptr), Status::Ok);
+  ASSERT_EQ(build_sim(s, b, sim_b, nullptr), Status::Ok);
   auto gen_a = make_generator(s, sim_a.config().device.derived_capacity());
   auto gen_b = make_generator(s, sim_b.config().device.derived_capacity());
   DriverConfig dcfg;
@@ -190,13 +237,26 @@ void diagnose_divergence(const Scenario& s, u32 threads_a, u32 threads_b) {
   if (s.devices > 1) dcfg.targets = TargetPolicy::RoundRobinCubes;
   HostDriver driver_a(sim_a, *gen_a, dcfg);
   HostDriver driver_b(sim_b, *gen_b, dcfg);
+  const bool idle_windows = a.idle_windows || b.idle_windows;
   DriverResult ra;
   DriverResult rb;
   bool live_a = true;
   bool live_b = true;
-  while (live_a || live_b) {
-    if (live_a) live_a = driver_a.step(ra);
-    if (live_b) live_b = driver_b.step(rb);
+  u64 steps = 0;
+  u32 idle_left = 0;
+  while (live_a || live_b || idle_left > 0) {
+    if (idle_left > 0) {
+      --idle_left;
+      sim_a.clock();
+      sim_b.clock();
+    } else {
+      if (live_a) live_a = driver_a.step(ra);
+      if (live_b) live_b = driver_b.step(rb);
+      if (idle_windows && ++steps % kIdleWindowEverySteps == 0) {
+        idle_left = kIdleWindowCycles;
+      }
+      if (idle_windows && !live_a && !live_b) idle_left = kIdleTailCycles;
+    }
     std::ostringstream ca;
     std::ostringstream cb;
     ASSERT_EQ(sim_a.save_checkpoint(ca), Status::Ok);
@@ -207,10 +267,10 @@ void diagnose_divergence(const Scenario& s, u32 threads_a, u32 threads_b) {
     usize first = 0;
     const usize limit = std::min(bytes_a.size(), bytes_b.size());
     while (first < limit && bytes_a[first] == bytes_b[first]) ++first;
-    ADD_FAILURE() << "scenario " << s.name << ": threads " << threads_a
-                  << " vs " << threads_b << " first diverge at cycle "
-                  << sim_a.now() << " (checkpoint byte " << first << " of "
-                  << bytes_a.size() << "/" << bytes_b.size() << ")";
+    ADD_FAILURE() << "scenario " << s.name << ": " << describe(a) << " vs "
+                  << describe(b) << " first diverge at cycle " << sim_a.now()
+                  << " (checkpoint byte " << first << " of " << bytes_a.size()
+                  << "/" << bytes_b.size() << ")";
     return;
   }
   ADD_FAILURE() << "scenario " << s.name
@@ -218,10 +278,10 @@ void diagnose_divergence(const Scenario& s, u32 threads_a, u32 threads_b) {
                    "diverged (host-edge bookkeeping mismatch?)";
 }
 
-void expect_equivalent(const Scenario& s, u32 threads, const Outcome& ref,
+void expect_equivalent(const Scenario& s, const RunCfg& ref_cfg,
+                       const RunCfg& got_cfg, const Outcome& ref,
                        const Outcome& got) {
-  SCOPED_TRACE(std::string(s.name) + " @" + std::to_string(threads) +
-               " threads");
+  SCOPED_TRACE(std::string(s.name) + " @" + describe(got_cfg));
   EXPECT_EQ(ref.cycles, got.cycles);
   EXPECT_EQ(ref.sent, got.sent);
   EXPECT_EQ(ref.completed, got.completed);
@@ -241,7 +301,7 @@ void expect_equivalent(const Scenario& s, u32 threads, const Outcome& ref,
   }
   if (ref.checkpoint != got.checkpoint) {
     EXPECT_EQ(ref.checkpoint.size(), got.checkpoint.size());
-    diagnose_divergence(s, 1, threads);
+    diagnose_divergence(s, ref_cfg, got_cfg);
   }
 }
 
@@ -256,7 +316,8 @@ class Differential : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(Differential, ParallelMatchesSerialExactly) {
   const Scenario& s = GetParam();
-  const Outcome ref = run_scenario(s, 1);
+  const RunCfg ref_cfg{};
+  const Outcome ref = run_scenario(s, ref_cfg);
   // The reference run must itself be a real run, or the comparisons below
   // are vacuous.
   ASSERT_EQ(ref.sent, s.requests);
@@ -273,8 +334,38 @@ TEST_P(Differential, ParallelMatchesSerialExactly) {
   }
 
   for (const u32 threads : {2u, saturated_threads()}) {
-    expect_equivalent(s, threads, ref, run_scenario(s, threads));
+    const RunCfg got_cfg{threads};
+    expect_equivalent(s, ref_cfg, got_cfg, ref, run_scenario(s, got_cfg));
   }
+}
+
+TEST_P(Differential, FastForwardMatchesStagedExactly) {
+  // The fast-forward axis: the same bursty workload — idle windows between
+  // request bursts plus a long idle tail — run with the skip engine off
+  // (reference) and on, at 1, 2, and oversubscribed thread counts.  Every
+  // observable (stats, checkpoint bytes, latency histograms, finish cycle)
+  // must match exactly, and the skip runs must actually skip, or the proof
+  // is vacuous.
+  const Scenario& s = GetParam();
+  const RunCfg ref_cfg{1, /*fast_forward=*/false, /*idle_windows=*/true};
+  const Outcome ref = run_scenario(s, ref_cfg);
+  ASSERT_EQ(ref.sent, s.requests);
+  ASSERT_EQ(ref.completed, s.requests);
+  ASSERT_EQ(ref.cycles_skipped, 0u)
+      << "reference run must take the staged path every cycle";
+
+  u64 min_skipped = ~u64{0};
+  for (const u32 threads : {1u, 2u, saturated_threads()}) {
+    const RunCfg got_cfg{threads, /*fast_forward=*/true, /*idle_windows=*/true};
+    const Outcome got = run_scenario(s, got_cfg);
+    expect_equivalent(s, ref_cfg, got_cfg, ref, got);
+    min_skipped = std::min(min_skipped, got.cycles_skipped);
+  }
+  // The idle tail alone is thousands of cycles with no bounded event for
+  // long stretches, so a healthy skip engine fast-forwards plenty.
+  EXPECT_GT(min_skipped, 100u)
+      << "skip engine never meaningfully engaged; the fast-forward "
+         "equivalence above is vacuous";
 }
 
 TEST_P(Differential, SerialRerunIsBitIdentical) {
@@ -282,8 +373,8 @@ TEST_P(Differential, SerialRerunIsBitIdentical) {
   // the scenario itself is nondeterministic and the parallel comparison
   // proves nothing.
   const Scenario& s = GetParam();
-  const Outcome a = run_scenario(s, 1);
-  const Outcome b = run_scenario(s, 1);
+  const Outcome a = run_scenario(s, RunCfg{});
+  const Outcome b = run_scenario(s, RunCfg{});
   EXPECT_EQ(a.checkpoint, b.checkpoint);
   EXPECT_EQ(a.cycles, b.cycles);
 }
@@ -326,6 +417,40 @@ TEST(DifferentialExtras, CheckpointBytesOmitThreadCount) {
   std::ostringstream os2;
   ASSERT_EQ(restored.save_checkpoint(os2), Status::Ok);
   EXPECT_EQ(std::move(os2).str(), bytes);
+}
+
+TEST(DifferentialExtras, CheckpointBytesOmitFastForward) {
+  // fast_forward is likewise an execution-strategy knob: a checkpoint from
+  // a skip-enabled run (mid-skip, even) must byte-match one from a staged
+  // run at the same cycle, and restore cleanly across the knob boundary.
+  auto run_to = [](bool fast_forward, u32 cycles, std::string* bytes) {
+    DeviceConfig dc = test::small_device();
+    dc.fast_forward = fast_forward;
+    Simulator sim;
+    ASSERT_EQ(sim.init_simple(dc), Status::Ok);
+    test::send_request(sim, 0, 0, Command::Wr64, 0x1000, 7);
+    for (u32 i = 0; i < cycles; ++i) sim.clock();
+    if (fast_forward) EXPECT_GT(sim.cycles_skipped(), 0u);
+    std::ostringstream os;
+    ASSERT_EQ(sim.save_checkpoint(os), Status::Ok);
+    *bytes = std::move(os).str();
+  };
+  std::string staged;
+  std::string skipped;
+  run_to(false, 500, &staged);
+  run_to(true, 500, &skipped);
+  EXPECT_EQ(staged, skipped);
+
+  Simulator restored;
+  DeviceConfig dc = test::small_device();
+  dc.fast_forward = true;
+  ASSERT_EQ(restored.init_simple(dc), Status::Ok);
+  std::istringstream is(staged);
+  ASSERT_EQ(restored.restore_checkpoint(is), Status::Ok);
+  EXPECT_EQ(restored.cycles_skipped(), 0u);
+  std::ostringstream os2;
+  ASSERT_EQ(restored.save_checkpoint(os2), Status::Ok);
+  EXPECT_EQ(std::move(os2).str(), staged);
 }
 
 }  // namespace

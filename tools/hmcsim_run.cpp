@@ -85,6 +85,7 @@ struct Args {
   u64 metrics_interval = 0;
   u32 seed = 1;
   i64 threads = -1;  ///< -1: leave the config file's sim_threads value
+  bool no_fast_forward = false;  ///< disable the idle-cycle fast path
   // RAS / fault injection; -1 sentinels mean "leave the config file value".
   i64 dram_sbe_ppm = -1;
   i64 dram_dbe_ppm = -1;
@@ -110,16 +111,22 @@ void usage(const char* argv0) {
                "       [--policy rr|local] [--json FILE|-] "
                "[--fig5-csv FILE] [--trace-out FILE]\n"
                "       [--chrome-trace FILE] [--metrics-interval N] "
-               "[--metrics-csv FILE] [--seed N] [--threads N]\n",
+               "[--metrics-csv FILE] [--seed N] [--threads N] "
+               "[--no-fast-forward]\n",
                argv0);
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    // Every option takes a value; an unrecognized option (or a recognized
-    // one with its value missing) is a hard error so typos cannot silently
-    // change an experiment.
+    // Boolean switches (no value) come first.
+    if (flag == "--no-fast-forward") {
+      args.no_fast_forward = true;
+      continue;
+    }
+    // Every remaining option takes a value; an unrecognized option (or a
+    // recognized one with its value missing) is a hard error so typos
+    // cannot silently change an experiment.
     const bool known =
         flag == "--config" || flag == "--preset" || flag == "--topology" ||
         flag == "--workload" || flag == "--trace-in" || flag == "--requests" ||
@@ -321,6 +328,7 @@ int main(int argc, char** argv) {
       dc.link_retry_limit = static_cast<u32>(args.link_retry_limit);
     }
     if (args.threads >= 0) dc.sim_threads = static_cast<u32>(args.threads);
+    if (args.no_fast_forward) dc.fast_forward = false;
     // The DRAM fault domain lives in the data store; injection and
     // scrubbing need it present.
     if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
@@ -444,6 +452,12 @@ int main(int argc, char** argv) {
   std::printf("cycles    : %llu%s\n",
               static_cast<unsigned long long>(r.cycles),
               r.hit_cycle_cap ? "  (CYCLE CAP HIT)" : "");
+  if (sim.cycles_skipped() != 0) {
+    std::printf("skipped   : %llu idle cycles fast-forwarded (%.1f%%)\n",
+                static_cast<unsigned long long>(sim.cycles_skipped()),
+                100.0 * static_cast<double>(sim.cycles_skipped()) /
+                    static_cast<double>(sim.now() == 0 ? 1 : sim.now()));
+  }
   std::printf("completed : %llu (%llu errors)\n",
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.errors));
