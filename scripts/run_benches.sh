@@ -6,29 +6,36 @@
 #
 # Usage:
 #   scripts/run_benches.sh                 # writes BENCH_fastforward.json
+#                                          #   and BENCH_linkretry.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # write elsewhere
 #
-# The acceptance gate: fast-forward must be >= 5x on the sparse (~1%
-# occupancy) GUPS workload, and every run pair must be bit-identical
-# (bench_fast_forward exits nonzero otherwise).
+# Acceptance gates: fast-forward must be >= 5x on the sparse (~1%
+# occupancy) GUPS workload with every run pair bit-identical
+# (bench_fast_forward exits nonzero otherwise), and the link-layer retry
+# protocol must cost ~0 when switched off (bench_link_retry gates its two
+# protocol-off runs within 10% of each other; see docs/LINK_LAYER.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build-release}
 OUT=${OUT:-BENCH_fastforward.json}
+OUT_LINK=${OUT_LINK:-BENCH_linkretry.json}
 GEN=()
 command -v ninja >/dev/null && GEN=(-G Ninja)
 
 echo "== configure & build ($BUILD, Release) =="
 cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target \
-  bench_sim_speed bench_parallel_speedup bench_fast_forward
+  bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== bench_fast_forward =="
 "$BUILD"/bench/bench_fast_forward --json "$tmp/fast_forward.json"
+
+echo "== bench_link_retry =="
+"$BUILD"/bench/bench_link_retry --json "$OUT_LINK"
 
 echo "== bench_sim_speed =="
 "$BUILD"/bench/bench_sim_speed \
@@ -63,3 +70,11 @@ if ! jq -e '.fast_forward.workloads[]
   exit 1
 fi
 echo "wrote $OUT"
+
+off_gap=$(jq -r '.protocol_off_overhead_pct' "$OUT_LINK")
+echo "link-retry protocol-off overhead: ${off_gap}% (gate: < 10%)"
+if ! jq -e '.protocol_off_overhead_pct < 10' "$OUT_LINK" >/dev/null; then
+  echo "FAIL: protocol-off overhead above the ~0 acceptance gate" >&2
+  exit 1
+fi
+echo "wrote $OUT_LINK"

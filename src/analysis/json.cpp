@@ -150,6 +150,19 @@ void write_device_stats(JsonWriter& json, const DeviceStats& s) {
   json.kv("vault_failures", s.vault_failures);
   json.kv("vault_remaps", s.vault_remaps);
   json.kv("degraded_drops", s.degraded_drops);
+  json.kv("link_crc_errors", s.link_crc_errors);
+  json.kv("link_seq_errors", s.link_seq_errors);
+  json.kv("link_abort_entries", s.link_abort_entries);
+  json.kv("link_irtry_tx", s.link_irtry_tx);
+  json.kv("link_irtry_rx", s.link_irtry_rx);
+  json.kv("link_pret_tx", s.link_pret_tx);
+  json.kv("link_tret_tx", s.link_tret_tx);
+  json.kv("link_replayed_flits", s.link_replayed_flits);
+  json.kv("link_token_stalls", s.link_token_stalls);
+  json.kv("link_retrain_cycles", s.link_retrain_cycles);
+  json.kv("link_failures", s.link_failures);
+  json.kv("link_tokens_debited", s.link_tokens_debited);
+  json.kv("link_tokens_returned", s.link_tokens_returned);
   json.end_object();
 }
 
@@ -271,6 +284,14 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("failed_vault_mask", dc.failed_vault_mask);
     json.kv("vault_remap", dc.vault_remap);
     json.kv("watchdog_cycles", u64{dc.watchdog_cycles});
+    json.kv("link_protocol", dc.link_protocol);
+    json.kv("link_tokens", u64{dc.link_tokens});
+    json.kv("link_retry_buffer_flits", u64{dc.link_retry_buffer_flits});
+    json.kv("link_retry_latency", u64{dc.link_retry_latency});
+    json.kv("link_error_burst_len", u64{dc.link_error_burst_len});
+    json.kv("link_stuck_interval_cycles", u64{dc.link_stuck_interval_cycles});
+    json.kv("link_stuck_window_cycles", u64{dc.link_stuck_window_cycles});
+    json.kv("link_fail_threshold", u64{dc.link_fail_threshold});
     json.kv("sim_threads", u64{sim.sim_threads()});
     json.kv("fast_forward", dc.fast_forward);
     json.end_object();

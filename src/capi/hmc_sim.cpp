@@ -387,6 +387,19 @@ int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
   else if (key == "vault_failures") *value = s.vault_failures;
   else if (key == "vault_remaps") *value = s.vault_remaps;
   else if (key == "degraded_drops") *value = s.degraded_drops;
+  else if (key == "link_crc_errors") *value = s.link_crc_errors;
+  else if (key == "link_seq_errors") *value = s.link_seq_errors;
+  else if (key == "link_abort_entries") *value = s.link_abort_entries;
+  else if (key == "link_irtry_tx") *value = s.link_irtry_tx;
+  else if (key == "link_irtry_rx") *value = s.link_irtry_rx;
+  else if (key == "link_pret_tx") *value = s.link_pret_tx;
+  else if (key == "link_tret_tx") *value = s.link_tret_tx;
+  else if (key == "link_replayed_flits") *value = s.link_replayed_flits;
+  else if (key == "link_token_stalls") *value = s.link_token_stalls;
+  else if (key == "link_retrain_cycles") *value = s.link_retrain_cycles;
+  else if (key == "link_failures") *value = s.link_failures;
+  else if (key == "link_tokens_debited") *value = s.link_tokens_debited;
+  else if (key == "link_tokens_returned") *value = s.link_tokens_returned;
   else if (key == "sim_threads") *value = shim->sim.sim_threads();
   else if (key == "cycles_skipped") *value = shim->sim.cycles_skipped();
   else return -1;
@@ -433,6 +446,19 @@ int hmcsim_get_stats(struct hmcsim_t* hmc, uint32_t dev,
   out->vault_failures = s.vault_failures;
   out->vault_remaps = s.vault_remaps;
   out->degraded_drops = s.degraded_drops;
+  out->link_crc_errors = s.link_crc_errors;
+  out->link_seq_errors = s.link_seq_errors;
+  out->link_abort_entries = s.link_abort_entries;
+  out->link_irtry_tx = s.link_irtry_tx;
+  out->link_irtry_rx = s.link_irtry_rx;
+  out->link_pret_tx = s.link_pret_tx;
+  out->link_tret_tx = s.link_tret_tx;
+  out->link_replayed_flits = s.link_replayed_flits;
+  out->link_token_stalls = s.link_token_stalls;
+  out->link_retrain_cycles = s.link_retrain_cycles;
+  out->link_failures = s.link_failures;
+  out->link_tokens_debited = s.link_tokens_debited;
+  out->link_tokens_returned = s.link_tokens_returned;
   return 0;
 }
 

@@ -205,6 +205,21 @@ struct hmcsim_stats {
   uint64_t vault_failures;
   uint64_t vault_remaps;
   uint64_t degraded_drops;
+  /* Link-layer retry/token protocol counters (zero unless link_protocol
+   * is configured). */
+  uint64_t link_crc_errors;
+  uint64_t link_seq_errors;
+  uint64_t link_abort_entries;
+  uint64_t link_irtry_tx;
+  uint64_t link_irtry_rx;
+  uint64_t link_pret_tx;
+  uint64_t link_tret_tx;
+  uint64_t link_replayed_flits;
+  uint64_t link_token_stalls;
+  uint64_t link_retrain_cycles;
+  uint64_t link_failures;
+  uint64_t link_tokens_debited;
+  uint64_t link_tokens_returned;
 };
 
 /* Fill `out` with device `dev`'s current counters. */

@@ -37,21 +37,32 @@ constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // must be byte-identical for every thread count (the differential harness
 // asserts exactly that); the same goes for fast_forward.
 //
+// Version 5 added the spec link-layer reliability protocol: the
+// link_protocol config knobs, 13 link-layer stats counters, two RAS
+// registers (RAS_LINK_RETRY / RAS_LINK_TOKEN), and per-link LinkProtoState
+// (token pool, retry pointers, SEQ, error-abort machine including a
+// possibly-held replay packet).
+//
 // Restore accepts every version back to 2 (the oldest format any released
 // tool wrote).  Fields a version lacks keep their init() values: v2/v3
-// restores keep the deterministic init-seeded per-vault DRAM RNGs, and v2
+// restores keep the deterministic init-seeded per-vault DRAM RNGs, v2
 // restores additionally keep default RAS config, zeroed RAS counters, the
-// init fault RNG, and a quiet watchdog.  Save always writes the current
-// version.  Committed fixtures for every readable version live under
-// tests/golden/checkpoints/ and are replayed by test_checkpoint_compat.
-constexpr u32 kVersion = 4;
+// init fault RNG, and a quiet watchdog, and pre-v5 restores keep the link
+// protocol off with quiescent (reset) per-link state.  Save always writes
+// the current version.  Committed fixtures for every readable version live
+// under tests/golden/checkpoints/ and are replayed by
+// test_checkpoint_compat.
+constexpr u32 kVersion = 5;
 constexpr u32 kMinVersion = 2;
 // Registers that existed in version 2 (enum prefix through Rvid); the RAS
-// error-log block was appended in version 3.
+// error-log block was appended in version 3 and the two link-layer RAS
+// registers in version 5.
 constexpr usize kV2RegCount = 43;
+constexpr usize kV3RegCount = 49;
 // DeviceStats fields in version 2 (through flow_packets); version 3
-// appended the 8 RAS counters.
+// appended the 8 RAS counters, version 5 the 13 link-layer counters.
 constexpr usize kV2StatsCount = 25;
+constexpr usize kV3StatsCount = 33;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -164,19 +175,41 @@ bool get_lifecycle(std::istream& is, PacketLifecycle& lc) {
   return true;
 }
 
+void put_request_entry(std::ostream& os, const RequestEntry& e) {
+  put_packet(os, e.pkt);
+  put_u64(os, e.ready_cycle);
+  put_u32(os, e.home_dev);
+  put_u32(os, e.home_link);
+  put_u32(os, e.ingress_link);
+  put_u8(os, e.penalty_applied ? 1 : 0);
+  put_u8(os, e.retries);
+  put_lifecycle(os, e.life);
+}
+
+bool get_request_entry(std::istream& is, RequestEntry& e,
+                       const CustomCommandSet& custom) {
+  u8 penalty = 0;
+  if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
+      !get_u32(is, e.home_dev) || !get_u32(is, e.home_link) ||
+      !get_u32(is, e.ingress_link) || !get_u8(is, penalty) ||
+      !get_u8(is, e.retries) || !get_lifecycle(is, e.life)) {
+    return false;
+  }
+  e.penalty_applied = penalty != 0;
+  const u8 raw_cmd = static_cast<u8>(extract(e.pkt.header(), 0, 6));
+  if (const CustomCommandDef* def = custom.find(raw_cmd)) {
+    if (!ok(decode_custom_request(e.pkt, *def, e.req))) return false;
+    e.custom = def;
+  } else if (!ok(decode_request(e.pkt, e.req))) {
+    return false;
+  }
+  return true;
+}
+
 void put_request_queue(std::ostream& os,
                        const BoundedQueue<RequestEntry>& q) {
   put_u64(os, q.size());
-  for (const RequestEntry& e : q) {
-    put_packet(os, e.pkt);
-    put_u64(os, e.ready_cycle);
-    put_u32(os, e.home_dev);
-    put_u32(os, e.home_link);
-    put_u32(os, e.ingress_link);
-    put_u8(os, e.penalty_applied ? 1 : 0);
-    put_u8(os, e.retries);
-    put_lifecycle(os, e.life);
-  }
+  for (const RequestEntry& e : q) put_request_entry(os, e);
   put_queue_stats(os, q.stats());
 }
 
@@ -187,21 +220,7 @@ bool get_request_queue(std::istream& is, BoundedQueue<RequestEntry>& q,
   q.clear();
   for (u64 i = 0; i < count; ++i) {
     RequestEntry e;
-    u8 penalty = 0;
-    if (!get_packet(is, e.pkt) || !get_u64(is, e.ready_cycle) ||
-        !get_u32(is, e.home_dev) || !get_u32(is, e.home_link) ||
-        !get_u32(is, e.ingress_link) || !get_u8(is, penalty) ||
-        !get_u8(is, e.retries) || !get_lifecycle(is, e.life)) {
-      return false;
-    }
-    e.penalty_applied = penalty != 0;
-    const u8 raw_cmd = static_cast<u8>(extract(e.pkt.header(), 0, 6));
-    if (const CustomCommandDef* def = custom.find(raw_cmd)) {
-      if (!ok(decode_custom_request(e.pkt, *def, e.req))) return false;
-      e.custom = def;
-    } else if (!ok(decode_request(e.pkt, e.req))) {
-      return false;
-    }
+    if (!get_request_entry(is, e, custom)) return false;
     if (!q.push(std::move(e))) return false;
   }
   QueueStats stats;
@@ -257,7 +276,13 @@ void put_stats(std::ostream& os, const DeviceStats& s) {
                         s.recvs, s.flow_packets,
                         s.dram_sbes, s.dram_dbes, s.scrub_steps,
                         s.scrub_corrections, s.scrub_uncorrectables,
-                        s.vault_failures, s.vault_remaps, s.degraded_drops};
+                        s.vault_failures, s.vault_remaps, s.degraded_drops,
+                        s.link_crc_errors, s.link_seq_errors,
+                        s.link_abort_entries, s.link_irtry_tx,
+                        s.link_irtry_rx, s.link_pret_tx, s.link_tret_tx,
+                        s.link_replayed_flits, s.link_token_stalls,
+                        s.link_retrain_cycles, s.link_failures,
+                        s.link_tokens_debited, s.link_tokens_returned};
   for (const u64 f : fields) put_u64(os, f);
 }
 
@@ -273,8 +298,16 @@ bool get_stats(std::istream& is, DeviceStats& s, u32 version) {
                    &s.recvs, &s.flow_packets,
                    &s.dram_sbes, &s.dram_dbes, &s.scrub_steps,
                    &s.scrub_corrections, &s.scrub_uncorrectables,
-                   &s.vault_failures, &s.vault_remaps, &s.degraded_drops};
-  const usize count = version >= 3 ? std::size(fields) : kV2StatsCount;
+                   &s.vault_failures, &s.vault_remaps, &s.degraded_drops,
+                   &s.link_crc_errors, &s.link_seq_errors,
+                   &s.link_abort_entries, &s.link_irtry_tx, &s.link_irtry_rx,
+                   &s.link_pret_tx, &s.link_tret_tx, &s.link_replayed_flits,
+                   &s.link_token_stalls, &s.link_retrain_cycles,
+                   &s.link_failures, &s.link_tokens_debited,
+                   &s.link_tokens_returned};
+  const usize count = version >= 5 ? std::size(fields)
+                      : version >= 3 ? kV3StatsCount
+                                     : kV2StatsCount;
   for (usize i = 0; i < count; ++i) {
     if (!get_u64(is, *fields[i])) return false;
   }
@@ -313,6 +346,14 @@ void put_device_config(std::ostream& os, const DeviceConfig& c) {
   put_u64(os, c.failed_vault_mask);
   put_u8(os, c.vault_remap ? 1 : 0);
   put_u32(os, c.watchdog_cycles);
+  put_u8(os, c.link_protocol ? 1 : 0);
+  put_u32(os, c.link_tokens);
+  put_u32(os, c.link_retry_buffer_flits);
+  put_u32(os, c.link_retry_latency);
+  put_u32(os, c.link_error_burst_len);
+  put_u32(os, c.link_stuck_interval_cycles);
+  put_u32(os, c.link_stuck_window_cycles);
+  put_u32(os, c.link_fail_threshold);
 }
 
 bool get_device_config(std::istream& is, DeviceConfig& c, u32 version) {
@@ -349,12 +390,68 @@ bool get_device_config(std::istream& is, DeviceConfig& c, u32 version) {
     }
     c.vault_remap = vault_remap != 0;
   }
+  if (version >= 5) {
+    // Pre-v5 checkpoints predate the link protocol; restores keep it off
+    // with quiescent per-link state.
+    u8 link_protocol = 0;
+    if (!get_u8(is, link_protocol) || !get_u32(is, c.link_tokens) ||
+        !get_u32(is, c.link_retry_buffer_flits) ||
+        !get_u32(is, c.link_retry_latency) ||
+        !get_u32(is, c.link_error_burst_len) ||
+        !get_u32(is, c.link_stuck_interval_cycles) ||
+        !get_u32(is, c.link_stuck_window_cycles) ||
+        !get_u32(is, c.link_fail_threshold)) {
+      return false;
+    }
+    c.link_protocol = link_protocol != 0;
+  }
   c.xbar_depth = static_cast<usize>(xbar);
   c.vault_depth = static_cast<usize>(vault);
   c.map_mode = static_cast<AddrMapMode>(map_mode);
   c.vault_schedule = static_cast<VaultSchedule>(schedule);
   c.row_policy = static_cast<RowPolicy>(row_policy);
   c.model_data = model_data != 0;
+  return true;
+}
+
+// Per-link retry/token protocol state (v5).  The held replay packet is only
+// present while the error-abort machine is mid-recovery.
+void put_link_proto(std::ostream& os, const LinkProtoState& st) {
+  put_u64(os, static_cast<u64>(st.tokens));
+  put_u64(os, st.tokens_debited);
+  put_u64(os, st.tokens_returned);
+  put_u32(os, st.retry_buf_flits);
+  put_u8(os, st.tx_frp);
+  put_u8(os, st.rx_rrp);
+  put_u8(os, st.tx_seq);
+  put_u8(os, st.rx_seq);
+  put_u64(os, st.retrain_until);
+  put_u32(os, st.burst_remaining);
+  put_u32(os, st.fail_count);
+  put_u8(os, st.dead ? 1 : 0);
+  put_u8(os, st.replay_pending ? 1 : 0);
+  if (st.replay_pending) put_request_entry(os, st.replay);
+}
+
+bool get_link_proto(std::istream& is, LinkProtoState& st,
+                    const CustomCommandSet& custom) {
+  u64 tokens = 0;
+  u8 dead = 0, replay_pending = 0;
+  if (!get_u64(is, tokens) || !get_u64(is, st.tokens_debited) ||
+      !get_u64(is, st.tokens_returned) || !get_u32(is, st.retry_buf_flits) ||
+      !get_u8(is, st.tx_frp) || !get_u8(is, st.rx_rrp) ||
+      !get_u8(is, st.tx_seq) || !get_u8(is, st.rx_seq) ||
+      !get_u64(is, st.retrain_until) || !get_u32(is, st.burst_remaining) ||
+      !get_u32(is, st.fail_count) || !get_u8(is, dead) ||
+      !get_u8(is, replay_pending)) {
+    return false;
+  }
+  st.tokens = static_cast<i64>(tokens);
+  st.dead = dead != 0;
+  st.replay_pending = replay_pending != 0;
+  if (st.replay_pending && !get_request_entry(is, st.replay, custom)) {
+    return false;
+  }
   return true;
 }
 
@@ -414,6 +511,7 @@ Status Simulator::save_checkpoint(std::ostream& os) const {
       put_u64(os, link.rsp_flits_forwarded);
       put_u64(os, static_cast<u64>(link.rqst_budget));
       put_u64(os, static_cast<u64>(link.rsp_budget));
+      put_link_proto(os, link.proto);  // v5
     }
     for (const VaultState& vault : dev.vaults) {
       put_request_queue(os, vault.rqst);
@@ -519,11 +617,14 @@ Status Simulator::restore_checkpoint(std::istream& is) {
     Device& dev = *dev_ptr;
     if (!get_stats(is, dev.stats, version)) return Status::MalformedPacket;
 
-    // Version 2 serialized only the register prefix that existed then; the
-    // appended RAS error-log registers keep their init() values (they are
-    // live views recomputed from RAS state anyway).
+    // Older versions serialized only the register prefix that existed then;
+    // the appended RAS error-log (v3) and link-layer (v5) registers keep
+    // their init() values (they are live views recomputed from device state
+    // anyway).
     RegisterFile::Snapshot regs = dev.regs.snapshot();
-    const usize reg_count = version >= 3 ? regs.values.size() : kV2RegCount;
+    const usize reg_count = version >= 5   ? regs.values.size()
+                            : version >= 3 ? kV3RegCount
+                                           : kV2RegCount;
     for (usize r = 0; r < reg_count; ++r) {
       if (!get_u64(is, regs.values[r])) return Status::MalformedPacket;
     }
@@ -558,6 +659,10 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       }
       link.rqst_budget = static_cast<i64>(rqst_budget);
       link.rsp_budget = static_cast<i64>(rsp_budget);
+      if (version >= 5 && !get_link_proto(is, link.proto, custom_)) {
+        return Status::MalformedPacket;
+      }
+      // Pre-v5 checkpoints keep the reset (quiescent) link protocol state.
     }
     for (VaultState& vault : dev.vaults) {
       if (!get_request_queue(is, vault.rqst, custom_) ||

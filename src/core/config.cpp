@@ -78,6 +78,65 @@ Status DeviceConfig::validate(std::string* diagnostic) const {
        << " marks vaults beyond the device's " << num_vaults();
     return fail(Status::InvalidConfig);
   }
+  if (link_protocol) {
+    if (link_retry_limit == 0 || link_retry_limit > 256) {
+      os << "link_protocol requires link_retry_limit in [1,256] (the spec "
+            "retry machine always replays), got " << link_retry_limit;
+      return fail(Status::InvalidConfig);
+    }
+    if (link_retry_buffer_flits < spec::kMaxPacketFlits ||
+        link_retry_buffer_flits > 256) {
+      os << "link_retry_buffer_flits must hold one maximal packet and fit "
+            "the 8-bit FRP: [" << spec::kMaxPacketFlits << ",256], got "
+         << link_retry_buffer_flits;
+      return fail(Status::InvalidConfig);
+    }
+    if (link_tokens != 0 && link_tokens < spec::kMaxPacketFlits) {
+      os << "link_tokens must be 0 (auto) or at least one maximal packet ("
+         << spec::kMaxPacketFlits << " FLITs), got " << link_tokens;
+      return fail(Status::InvalidConfig);
+    }
+    if (link_retry_latency == 0 || link_retry_latency > 4096) {
+      os << "link_retry_latency must be in [1,4096] cycles, got "
+         << link_retry_latency;
+      return fail(Status::InvalidConfig);
+    }
+    // One error-abort exchange makes no visible progress for up to
+    // link_retry_latency cycles (plus a stuck-retraining window delaying
+    // the replay); a tighter watchdog would misread recovery as deadlock.
+    if (watchdog_cycles != 0 &&
+        watchdog_cycles <=
+            link_retry_latency + link_stuck_window_cycles) {
+      os << "watchdog_cycles (" << watchdog_cycles
+         << ") must exceed link_retry_latency + link_stuck_window_cycles ("
+         << link_retry_latency + link_stuck_window_cycles
+         << ") or the watchdog misreads link recovery as deadlock";
+      return fail(Status::InvalidConfig);
+    }
+  } else if (link_tokens != 0 || link_stuck_window_cycles != 0 ||
+             link_error_burst_len > 1 || link_fail_threshold != 0) {
+    os << "link_tokens / link_error_burst_len / link_stuck_* / "
+          "link_fail_threshold require link_protocol = true";
+    return fail(Status::InvalidConfig);
+  }
+  if (link_error_burst_len == 0 || link_error_burst_len > 64) {
+    os << "link_error_burst_len must be in [1,64], got "
+       << link_error_burst_len;
+    return fail(Status::InvalidConfig);
+  }
+  if (link_stuck_window_cycles != 0 &&
+      (link_stuck_interval_cycles == 0 ||
+       link_stuck_window_cycles >= link_stuck_interval_cycles)) {
+    os << "link_stuck_window_cycles (" << link_stuck_window_cycles
+       << ") must be smaller than a nonzero link_stuck_interval_cycles ("
+       << link_stuck_interval_cycles << ")";
+    return fail(Status::InvalidConfig);
+  }
+  if (link_stuck_interval_cycles != 0 && link_stuck_window_cycles == 0) {
+    os << "link_stuck_interval_cycles needs a nonzero "
+          "link_stuck_window_cycles";
+    return fail(Status::InvalidConfig);
+  }
   if (sim_threads > 256) {
     os << "sim_threads must be 0 (hardware) or 1..256, got " << sim_threads;
     return fail(Status::InvalidConfig);

@@ -107,8 +107,41 @@ struct DeviceConfig {
   /// packet hit by an injected link error is retransmitted from the retry
   /// buffer up to this many times before it is dropped and an ERROR
   /// response returns; each retransmission costs one cycle of link time.
-  /// 0 disables retry (every injected error is fatal).
+  /// 0 disables retry (every injected error is fatal) — illegal when
+  /// link_protocol is on (the spec protocol always retries).
   u32 link_retry_limit{0};
+
+  // ---- link layer: spec-faithful retry / token protocol -------------------
+  /// Enable the HMC 1.0 link reliability layer (core/link_layer.hpp):
+  /// FRP-addressed transmit retry buffers with RRP deallocation, 3-bit SEQ
+  /// continuity, token-based injection gating, and the IRTRY error-abort
+  /// recovery machine.  Off (the default) keeps the legacy abstract model:
+  /// a per-packet coin flip with a bare retry counter.
+  bool link_protocol{false};
+  /// Input-buffer token pool per link, in FLITs.  A transmission debits its
+  /// FLIT count and blocks at zero tokens; credits return when the receiver
+  /// drains the packet onward.  0 derives xbar_depth * 4.  An explicit
+  /// value must fit at least one maximal 9-FLIT packet.
+  u32 link_tokens{0};
+  /// Transmit retry-buffer capacity in FLITs (8-bit FRP: at most 256).
+  /// Packets occupy slots from transmission until RRP acknowledgement.
+  u32 link_retry_buffer_flits{256};
+  /// Cycles one error-abort exchange occupies the link: the receiver
+  /// streams StartRetry IRTRYs, the transmitter answers PRET and replays,
+  /// the receiver clears with ClearError IRTRYs.
+  u32 link_retry_latency{8};
+  /// Burst fault mode: one fault-model hit corrupts this many consecutive
+  /// transmissions on the link (1 = uniform single-packet errors).
+  u32 link_error_burst_len{1};
+  /// Stuck-link fault mode: every `interval` cycles the link retrains for
+  /// `window` cycles, backpressuring traffic (no loss).  0 disables.
+  u32 link_stuck_interval_cycles{0};
+  u32 link_stuck_window_cycles{0};
+  /// Dead-link escalation: after this many retry-exhaustion events a link
+  /// is marked dead and all queued or arriving requests are answered with
+  /// ERRSTAT=LINK_FAILED (the VAULT_FAILED-style host-visible error).
+  /// 0 disables escalation.
+  u32 link_fail_threshold{0};
 
   // ---- RAS: DRAM fault domain -------------------------------------------
   /// Probability, in parts per million, that a retired DRAM access plants a

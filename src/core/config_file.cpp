@@ -112,6 +112,47 @@ ConfigParseResult parse_config(std::istream& in) {
     } else if (key == "link_retry_limit") {
       if (!is_number) return fail(line_no, "link_retry_limit needs a number");
       dc.link_retry_limit = static_cast<u32>(number);
+    } else if (key == "link_protocol") {
+      if (value == "true" || value == "1") {
+        dc.link_protocol = true;
+      } else if (value == "false" || value == "0") {
+        dc.link_protocol = false;
+      } else {
+        return fail(line_no, "link_protocol must be true/false");
+      }
+    } else if (key == "link_tokens") {
+      if (!is_number) return fail(line_no, "link_tokens needs a number");
+      dc.link_tokens = static_cast<u32>(number);
+    } else if (key == "link_retry_buffer_flits") {
+      if (!is_number) {
+        return fail(line_no, "link_retry_buffer_flits needs a number");
+      }
+      dc.link_retry_buffer_flits = static_cast<u32>(number);
+    } else if (key == "link_retry_latency") {
+      if (!is_number) {
+        return fail(line_no, "link_retry_latency needs a number");
+      }
+      dc.link_retry_latency = static_cast<u32>(number);
+    } else if (key == "link_error_burst_len") {
+      if (!is_number) {
+        return fail(line_no, "link_error_burst_len needs a number");
+      }
+      dc.link_error_burst_len = static_cast<u32>(number);
+    } else if (key == "link_stuck_interval_cycles") {
+      if (!is_number) {
+        return fail(line_no, "link_stuck_interval_cycles needs a number");
+      }
+      dc.link_stuck_interval_cycles = static_cast<u32>(number);
+    } else if (key == "link_stuck_window_cycles") {
+      if (!is_number) {
+        return fail(line_no, "link_stuck_window_cycles needs a number");
+      }
+      dc.link_stuck_window_cycles = static_cast<u32>(number);
+    } else if (key == "link_fail_threshold") {
+      if (!is_number) {
+        return fail(line_no, "link_fail_threshold needs a number");
+      }
+      dc.link_fail_threshold = static_cast<u32>(number);
     } else if (key == "dram_sbe_rate_ppm") {
       if (!is_number) return fail(line_no, "dram_sbe_rate_ppm needs a number");
       dc.dram_sbe_rate_ppm = static_cast<u32>(number);
@@ -256,6 +297,15 @@ void write_config(std::ostream& os, const SimConfig& config) {
   os << "link_error_rate_ppm = " << dc.link_error_rate_ppm << '\n';
   os << "fault_seed = " << dc.fault_seed << '\n';
   os << "link_retry_limit = " << dc.link_retry_limit << '\n';
+  os << "link_protocol = " << (dc.link_protocol ? "true" : "false") << '\n';
+  os << "link_tokens = " << dc.link_tokens << '\n';
+  os << "link_retry_buffer_flits = " << dc.link_retry_buffer_flits << '\n';
+  os << "link_retry_latency = " << dc.link_retry_latency << '\n';
+  os << "link_error_burst_len = " << dc.link_error_burst_len << '\n';
+  os << "link_stuck_interval_cycles = " << dc.link_stuck_interval_cycles
+     << '\n';
+  os << "link_stuck_window_cycles = " << dc.link_stuck_window_cycles << '\n';
+  os << "link_fail_threshold = " << dc.link_fail_threshold << '\n';
   os << "dram_sbe_rate_ppm = " << dc.dram_sbe_rate_ppm << '\n';
   os << "dram_dbe_rate_ppm = " << dc.dram_dbe_rate_ppm << '\n';
   os << "scrub_interval_cycles = " << dc.scrub_interval_cycles << '\n';

@@ -1,5 +1,7 @@
 #include "core/device.hpp"
 
+#include "core/link_layer.hpp"
+
 namespace hmcsim {
 namespace {
 
@@ -23,6 +25,7 @@ Device::Device(u32 cube_id, const DeviceConfig& config)
     LinkState link;
     link.rqst = BoundedQueue<RequestEntry>(config.xbar_depth);
     link.rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
+    LinkLayer::reset(config, link.proto);
     links.push_back(std::move(link));
   }
   vaults.reserve(config.num_vaults());
@@ -51,6 +54,7 @@ void Device::reset(bool clear_memory) {
     link.rsp_flits_forwarded = 0;
     link.rqst_budget = 0;
     link.rsp_budget = 0;
+    LinkLayer::reset(config_, link.proto);
   }
   u32 v = 0;
   for (auto& vault : vaults) {

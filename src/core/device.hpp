@@ -75,10 +75,39 @@ struct ResponseEntry {
   PacketLifecycle life{};
 };
 
+/// Link-layer reliability state for one link direction (HMC 1.0 retry /
+/// token protocol; see core/link_layer.hpp).  Owned by the RECEIVING
+/// device: the token pool models this device's input buffer, the tx_*
+/// fields model the upstream transmitter's retry machinery.  Only used
+/// when DeviceConfig::link_protocol is on; checkpoint v5 serializes it.
+struct LinkProtoState {
+  // Token flow control (FLIT credits of the input buffer).
+  i64 tokens{0};           ///< credits the upstream transmitter holds
+  u64 tokens_debited{0};   ///< lifetime FLITs debited on accept
+  u64 tokens_returned{0};  ///< lifetime FLITs returned (TRET/piggyback)
+  // Transmit retry buffer (upstream side), addressed by 8-bit FRP.
+  u32 retry_buf_flits{0};  ///< FLITs awaiting RRP deallocation
+  u8 tx_frp{0};            ///< next forward-retry-pointer slot
+  u8 rx_rrp{0};            ///< last good FRP returned as RRP
+  // 3-bit SEQ continuity.
+  u8 tx_seq{0};            ///< next SEQ stamped on an accepted packet
+  u8 rx_seq{0};            ///< next SEQ the receiver expects
+  // Error-abort state machine.
+  Cycle retrain_until{0};  ///< link blocked until this cycle (IRTRY exchange)
+  bool replay_pending{false};  ///< a corrupted packet awaits replay
+  RequestEntry replay;         ///< the transmitter's held copy
+  u32 burst_remaining{0};  ///< forced failures left in the current burst
+  u32 fail_count{0};       ///< retry exhaustions (toward link_fail_threshold)
+  bool dead{false};        ///< escalated: all traffic answered LINK_FAILED
+};
+
 /// One external link and its crossbar arbitration queues.
 struct LinkState {
   BoundedQueue<RequestEntry> rqst;  ///< host/peer -> vaults direction
   BoundedQueue<ResponseEntry> rsp;  ///< vaults -> host/peer direction
+  /// Link-layer retry/token protocol state (quiescent unless
+  /// DeviceConfig::link_protocol is on).
+  LinkProtoState proto;
   /// FLITs the crossbar arbiter moved out of each queue (utilization
   /// accounting against the xbar_flits_per_cycle budget).
   u64 rqst_flits_forwarded{0};

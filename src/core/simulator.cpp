@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/link_layer.hpp"
+
 namespace hmcsim {
 
 // ---------------------------------------------------------------------------
@@ -138,6 +140,8 @@ bool Simulator::quiescent() const {
     if (!dev->mode_rsp.empty()) return false;
     for (const auto& link : dev->links) {
       if (!link.rqst.empty() || !link.rsp.empty()) return false;
+      // A packet parked in a link's replay slot is still in flight.
+      if (link.proto.replay_pending) return false;
     }
     for (const auto& vault : dev->vaults) {
       if (!vault.rqst.empty() || !vault.rsp.empty()) return false;
@@ -221,8 +225,15 @@ Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
   ff_invalidate();
 
   if (is_flow(entry.req.cmd)) {
-    // Link-layer flow control terminates at the link interface.
+    // Link-layer flow control terminates at the link interface.  Host
+    // TRETs deliberately do not mint tokens — the simulator models both
+    // ends of the credit loop itself, and an externally-minted credit
+    // would break the conservation identity debited == returned +
+    // in-flight.
     ++d.stats.flow_packets;
+    if (config_.device.link_protocol && entry.req.cmd == Command::Irtry) {
+      ++d.stats.link_irtry_rx;
+    }
     return Status::Ok;
   }
 
@@ -234,7 +245,28 @@ Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
   const PhysAddr addr = entry.req.addr;
   const Tag tag = entry.req.tag;
   const Command cmd = entry.req.cmd;
-  if (!d.links[link].rqst.push(std::move(entry))) {
+  if (config_.device.link_protocol) {
+    ShardCtx ctx;
+    ctx.stats = &d.stats;  // host context is serial
+    switch (LinkLayer::arrive(d, link, entry, cycle_)) {
+      case LinkArrival::Accepted:
+      case LinkArrival::Corrupted:
+        // Corrupted still counts as a successful injection: the wire event
+        // is the link layer's to recover (replay) or escalate.
+        break;
+      case LinkArrival::TokenStall:
+        ++d.stats.send_stalls;
+        return Status::Stalled;
+      case LinkArrival::Dead:
+        // Dead link: the host sees a deterministic LINK_FAILED error
+        // response instead of a hang.
+        if (!emit_error_response(d, entry, ErrStat::LinkFailed, 0, ctx)) {
+          ++d.stats.send_stalls;
+          return Status::Stalled;
+        }
+        break;
+    }
+  } else if (!d.links[link].rqst.push(std::move(entry))) {
     ++d.stats.send_stalls;
     return Status::Stalled;
   }
@@ -339,6 +371,32 @@ Status Simulator::read_register_live(const Device& dev, u32 phys_index,
       case Reg::RasVaultFail:
         value = dev.ras.failed_vaults | (dev.stats.vault_remaps << 32);
         return Status::Ok;
+      case Reg::RasLinkRetry: {
+        // Link retry protocol: replays[31:0] | abort-entries[47:32] |
+        // dead-link bitmask[55:48].
+        u64 dead = 0;
+        for (usize l = 0; l < dev.links.size(); ++l) {
+          if (dev.links[l].proto.dead) dead |= u64{1} << l;
+        }
+        value = (dev.stats.link_retries & 0xffffffffull) |
+                ((dev.stats.link_abort_entries & 0xffffull) << 32) |
+                (dead << 48);
+        return Status::Ok;
+      }
+      case Reg::RasLinkToken: {
+        // Token flow control: stalls[31:0] | min-tokens-now[47:32].
+        i64 min_tokens = 0;
+        if (dev.config().link_protocol) {
+          min_tokens = resolved_link_tokens(dev.config());
+          for (const LinkState& l : dev.links) {
+            min_tokens = std::min(min_tokens, l.proto.tokens);
+          }
+        }
+        value = (dev.stats.link_token_stalls & 0xffffffffull) |
+                ((static_cast<u64>(std::max<i64>(min_tokens, 0)) & 0xffffull)
+                 << 32);
+        return Status::Ok;
+      }
       default:
         break;
     }
@@ -390,6 +448,9 @@ bool Simulator::ff_queues_idle() const {
     for (u32 l = 0; l < config_.device.num_links; ++l) {
       const LinkState& link = dev.links[l];
       if (!link.rqst.empty()) return false;
+      // A packet held for replay lives outside the queues but still has
+      // a pending retrain-timer event the fast path cannot emulate.
+      if (link.proto.replay_pending) return false;
       // Host-link responses are inert (stage 5 skips host links; only
       // recv() pops them, and recv() invalidates), so they do not block.
       if (!link.rsp.empty() &&
@@ -419,6 +480,10 @@ bool Simulator::ff_arm() {
   for (const auto& dev_ptr : devices_) {
     const Device& dev = *dev_ptr;
     if (dev.regs.any_pending_self_clear()) return false;
+    // Link-layer quiescence: token pools at their fixed point, no replay
+    // or abort state pending.  (Stuck-link retraining windows are pure
+    // arithmetic on the cycle counter and need no stop cycle.)
+    if (!LinkLayer::quiescent(dev, cycle_)) return false;
     for (u32 l = 0; l < cfg.num_links; ++l) {
       const LinkState& link = dev.links[l];
       if (link.rqst_budget != steady) return false;
@@ -565,13 +630,48 @@ void Simulator::flush_outboxes(const std::vector<u32>& devs, u8 stage) {
       const PhysAddr addr = fwd.entry.req.addr;
       const Tag tag = fwd.entry.req.tag;
       const Command cmd = fwd.entry.req.cmd;
+      bool committed = false;  // the hop landed (or is the peer's to replay)
+      bool consumed = false;   // the entry left this device for good
       if (bounce_mark_[slot] == 0 && !peer.links[fwd.dst_link].rqst.full()) {
-        (void)peer.links[fwd.dst_link].rqst.push(std::move(fwd.entry));
+        if (config_.device.link_protocol) {
+          // The hop is a link transmission: it passes through the peer's
+          // ingress reliability layer.  Capture the source-side retry
+          // pointer before arrive() re-stamps the tail for the peer.
+          const u8 src_frp = fwd.entry.req.frp;
+          switch (LinkLayer::arrive(peer, fwd.dst_link, fwd.entry, cycle_)) {
+            case LinkArrival::Accepted:
+            case LinkArrival::Corrupted:
+              // Either way the transmission left this device — a corrupted
+              // hop is now the peer's error-abort machine's to recover.
+              committed = consumed = true;
+              LinkLayer::complete(src, fwd.src_link, fwd.flits, src_frp);
+              break;
+            case LinkArrival::TokenStall:
+              break;  // bounce below
+            case LinkArrival::Dead: {
+              // The peer's ingress is dead: the packet dies here with a
+              // host-visible LINK_FAILED (bounce when staging is full).
+              ShardCtx sctx;
+              sctx.stats = &src.stats;
+              if (emit_error_response(src, fwd.entry, ErrStat::LinkFailed,
+                                      stage, sctx)) {
+                LinkLayer::complete(src, fwd.src_link, fwd.flits, src_frp);
+                consumed = true;
+              }
+              break;
+            }
+          }
+        } else {
+          (void)peer.links[fwd.dst_link].rqst.push(std::move(fwd.entry));
+          committed = consumed = true;
+        }
+      }
+      if (committed) {
         ++src.stats.route_hops;
         trace(TraceEvent::RouteHop, stage, src.id(), fwd.out_link, kNoCoord,
               kNoCoord, kNoCoord, addr, tag, cmd);
         src.links[fwd.src_link].rqst_flits_forwarded += fwd.flits;
-      } else {
+      } else if (!consumed) {
         bounce_mark_[slot] = 1;
         ++src.stats.xbar_rqst_stalls;
         trace(TraceEvent::XbarRqstStall, stage, src.id(), fwd.src_link,
@@ -593,6 +693,71 @@ void Simulator::flush_outboxes(const std::vector<u32>& devs, u8 stage) {
   }
 }
 
+Simulator::LegacyFault Simulator::legacy_link_fault(Device& dev,
+                                                    LinkState& link_state,
+                                                    RequestEntry& entry,
+                                                    u8 stage, ShardCtx& ctx) {
+  const DeviceConfig& cfg = dev.config();
+  if (cfg.link_protocol || cfg.link_error_rate_ppm == 0 ||
+      dev.fault_rng.next_below(1'000'000) >= cfg.link_error_rate_ppm) {
+    return LegacyFault::None;
+  }
+  // The transmission is corrupted.  With retry budget remaining — and a
+  // retry-buffer copy whose CRC still checks out (the model used to charge
+  // the retransmission without ever re-validating the stored copy) — the
+  // link replays the packet, costing the transmission's link time.  Once
+  // the budget is exhausted the packet dies and an ERROR response with
+  // CRC_FAILURE returns to the host.
+  if (entry.retries < cfg.link_retry_limit && check_crc(entry.pkt)) {
+    ++entry.retries;
+    ++dev.stats.link_retries;
+    link_state.rqst_budget -= entry.pkt.flits;  // wasted link time
+    return LegacyFault::Replay;
+  }
+  if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage, ctx)) {
+    ++dev.stats.link_errors;
+    return LegacyFault::Killed;
+  }
+  return LegacyFault::Blocked;
+}
+
+bool Simulator::step_link_protocol(Device& dev, u32 link, u8 stage,
+                                   ShardCtx& ctx) {
+  LinkState& link_state = dev.links[link];
+  LinkProtoState& st = link_state.proto;
+  if (st.dead) {
+    // Dead-link drain: every queued request was accepted (tokens debited)
+    // before escalation, so completion returns its credits and the
+    // conservation identity debited == returned + in-flight survives.
+    while (!link_state.rqst.empty()) {
+      RequestEntry& head = link_state.rqst.front();
+      const u32 flits = head.pkt.flits;
+      const u8 frp = head.req.frp;
+      if (!emit_error_response(dev, head, ErrStat::LinkFailed, stage, ctx)) {
+        break;  // staging full; drain the remainder next cycle
+      }
+      LinkLayer::complete(dev, link, flits, frp);
+      (void)link_state.rqst.pop_front();
+    }
+    return false;
+  }
+  if (LinkLayer::retraining(dev, link, cycle_) &&
+      (st.replay_pending || !link_state.rqst.empty())) {
+    ++dev.stats.link_retrain_cycles;
+  }
+  if (st.replay_pending && !dev.mode_rsp.full()) {
+    RequestEntry failed;
+    if (LinkLayer::step_replay(dev, link, cycle_, failed)) {
+      // Retry budget exhausted (or a corrupt retry-buffer copy): the packet
+      // dies as a CRC failure.  The emit cannot fail — mode_rsp space was
+      // checked before stepping the replay machine.
+      (void)emit_error_response(dev, failed, ErrStat::CrcFailure, stage, ctx);
+      ++dev.stats.link_errors;
+    }
+  }
+  return true;
+}
+
 void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
                              XbarScratch& sc) {
   const DeviceConfig& cfg = dev.config();
@@ -603,6 +768,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
     // beyond one cycle.
     link_state.rqst_budget =
         std::min<i64>(link_state.rqst_budget, 0) + cfg.xbar_flits_per_cycle;
+    if (cfg.link_protocol && !step_link_protocol(dev, link, stage, ctx)) {
+      continue;  // dead link: the queue drains as LINK_FAILED errors
+    }
     if (queue.empty()) continue;
     u64 blocked_vaults = 0;   // local vaults that must not be passed
     u32 blocked_links = 0;    // peer-forwarding links that are full
@@ -629,6 +797,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
                      kNoCoord, kNoCoord, kNoCoord, entry.req.addr,
                      entry.req.tag, entry.req.cmd);
             link_state.rqst_budget -= entry.pkt.flits;
+            if (cfg.link_protocol) {
+              LinkLayer::complete(dev, link, entry.pkt.flits, entry.req.frp);
+            }
             queue.remove(i);
             continue;
           }
@@ -649,30 +820,22 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
           ++i;
           continue;
         }
-        // Injected link error: the transmission is corrupted.  With retry
-        // budget remaining, the link replays the packet from its retry
-        // buffer (costing the transmission's link time); once the budget
-        // is exhausted the packet dies and an ERROR response with
-        // CRC_FAILURE returns to the host.
-        if (cfg.link_error_rate_ppm != 0 &&
-            dev.fault_rng.next_below(1'000'000) < cfg.link_error_rate_ppm) {
-          if (entry.retries < cfg.link_retry_limit) {
-            ++entry.retries;
-            ++dev.stats.link_retries;
-            link_state.rqst_budget -= entry.pkt.flits;  // wasted link time
+        // Injected link error (legacy abstract model; under link_protocol
+        // the roll already happened at arrival and this is a no-op).
+        switch (legacy_link_fault(dev, link_state, entry, stage, ctx)) {
+          case LegacyFault::None:
+            break;
+          case LegacyFault::Replay:
             blocked_links |= 1u << out_link;  // nothing may pass the replay
             ++i;
             continue;
-          }
-          if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage,
-                                  ctx)) {
-            ++dev.stats.link_errors;
+          case LegacyFault::Killed:
             link_state.rqst_budget -= entry.pkt.flits;
             queue.remove(i);
             continue;
-          }
-          ++i;
-          continue;
+          case LegacyFault::Blocked:
+            ++i;
+            continue;
         }
         const LinkEndpoint& e =
             topo_.endpoint(CubeId{dev.id()}, LinkId{out_link});
@@ -771,6 +934,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
                  entry.req.cmd);
         link_state.rqst_flits_forwarded += entry.pkt.flits;
         link_state.rqst_budget -= entry.pkt.flits;
+        if (cfg.link_protocol) {
+          LinkLayer::complete(dev, link, entry.pkt.flits, entry.req.frp);
+        }
         queue.remove(i);
         continue;
       }
@@ -780,6 +946,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
         if (emit_error_response(dev, entry, ErrStat::InvalidAddress, stage,
                                 ctx)) {
           link_state.rqst_budget -= entry.pkt.flits;
+          if (cfg.link_protocol) {
+            LinkLayer::complete(dev, link, entry.pkt.flits, entry.req.frp);
+          }
           queue.remove(i);
           continue;
         }
@@ -801,6 +970,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
                                        stage, ctx)) {
           ++dev.stats.degraded_drops;
           link_state.rqst_budget -= entry.pkt.flits;
+          if (cfg.link_protocol) {
+            LinkLayer::complete(dev, link, entry.pkt.flits, entry.req.frp);
+          }
           queue.remove(i);
           continue;
         } else {
@@ -829,25 +1001,20 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
       }
 
       // Injected link error on the internal hop (see above).
-      if (cfg.link_error_rate_ppm != 0 &&
-          dev.fault_rng.next_below(1'000'000) < cfg.link_error_rate_ppm) {
-        if (entry.retries < cfg.link_retry_limit) {
-          ++entry.retries;
-          ++dev.stats.link_retries;
-          link_state.rqst_budget -= entry.pkt.flits;
+      switch (legacy_link_fault(dev, link_state, entry, stage, ctx)) {
+        case LegacyFault::None:
+          break;
+        case LegacyFault::Replay:
           blocked_vaults |= u64{1} << vault;  // preserve stream order
           ++i;
           continue;
-        }
-        if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage,
-                                ctx)) {
-          ++dev.stats.link_errors;
+        case LegacyFault::Killed:
           link_state.rqst_budget -= entry.pkt.flits;
           queue.remove(i);
           continue;
-        }
-        ++i;
-        continue;
+        case LegacyFault::Blocked:
+          ++i;
+          continue;
       }
 
       RequestEntry moved = entry;
@@ -868,6 +1035,9 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
                entry.req.tag, entry.req.cmd);
       link_state.rqst_flits_forwarded += entry.pkt.flits;
       link_state.rqst_budget -= entry.pkt.flits;
+      if (cfg.link_protocol) {
+        LinkLayer::complete(dev, link, entry.pkt.flits, entry.req.frp);
+      }
       queue.remove(i);
     }
   }

@@ -38,6 +38,21 @@ struct DeviceStats {
   u64 link_errors{0};   ///< packets killed by the injected link error model
   u64 link_retries{0};  ///< retransmissions absorbed by the retry protocol
 
+  // Link layer (spec retry/token protocol; zero unless link_protocol on).
+  u64 link_crc_errors{0};      ///< injected CRC failures detected on receive
+  u64 link_seq_errors{0};      ///< injected SEQ discontinuities detected
+  u64 link_abort_entries{0};   ///< times a receiver entered error-abort
+  u64 link_irtry_tx{0};        ///< StartRetry/ClearError IRTRYs streamed
+  u64 link_irtry_rx{0};        ///< IRTRY flow packets received from hosts
+  u64 link_pret_tx{0};         ///< PRET acknowledgements sent
+  u64 link_tret_tx{0};         ///< TRET/piggybacked token-return events
+  u64 link_replayed_flits{0};  ///< FLITs replayed out of retry buffers
+  u64 link_token_stalls{0};    ///< transmissions blocked on tokens/buffer
+  u64 link_retrain_cycles{0};  ///< cycles a loaded link spent retraining
+  u64 link_failures{0};        ///< links escalated to dead (LINK_FAILED)
+  u64 link_tokens_debited{0};  ///< lifetime FLIT credits consumed
+  u64 link_tokens_returned{0};  ///< lifetime FLIT credits returned
+
   // RAS: DRAM fault domain.
   u64 dram_sbes{0};  ///< single-bit errors corrected by SECDED on read
   u64 dram_dbes{0};  ///< uncorrectable errors returned as DRAM_DBE responses
@@ -82,6 +97,19 @@ struct DeviceStats {
     misroutes += o.misroutes;
     link_errors += o.link_errors;
     link_retries += o.link_retries;
+    link_crc_errors += o.link_crc_errors;
+    link_seq_errors += o.link_seq_errors;
+    link_abort_entries += o.link_abort_entries;
+    link_irtry_tx += o.link_irtry_tx;
+    link_irtry_rx += o.link_irtry_rx;
+    link_pret_tx += o.link_pret_tx;
+    link_tret_tx += o.link_tret_tx;
+    link_replayed_flits += o.link_replayed_flits;
+    link_token_stalls += o.link_token_stalls;
+    link_retrain_cycles += o.link_retrain_cycles;
+    link_failures += o.link_failures;
+    link_tokens_debited += o.link_tokens_debited;
+    link_tokens_returned += o.link_tokens_returned;
     dram_sbes += o.dram_sbes;
     dram_dbes += o.dram_dbes;
     scrub_steps += o.scrub_steps;

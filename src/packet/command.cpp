@@ -172,6 +172,7 @@ std::string_view to_string(ErrStat e) {
     case ErrStat::RegisterFault: return "REGISTER_FAULT";
     case ErrStat::DramDbe: return "DRAM_DBE";
     case ErrStat::VaultFailed: return "VAULT_FAILED";
+    case ErrStat::LinkFailed: return "LINK_FAILED";
   }
   return "UNKNOWN";
 }

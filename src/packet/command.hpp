@@ -87,6 +87,7 @@ enum class ErrStat : u8 {
   RegisterFault = 0x07,    ///< MODE access to a bad register index
   DramDbe = 0x08,          ///< uncorrectable (double-bit) DRAM error
   VaultFailed = 0x09,      ///< addressed vault is marked failed (degraded)
+  LinkFailed = 0x0a,       ///< ingress link is dead (retry exhaustion)
 };
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,8 @@ constexpr std::array<RegisterDef, kRegCount> kTable = {{
     {Reg::RasLastAddr, 0x2e0003u, RegClass::RO, "RAS_LAST_ADDR", 0},
     {Reg::RasLastStat, 0x2e0004u, RegClass::RO, "RAS_LAST_STAT", 0},
     {Reg::RasVaultFail, 0x2e0005u, RegClass::RO, "RAS_VAULT_FAIL", 0},
+    {Reg::RasLinkRetry, 0x2e0006u, RegClass::RO, "RAS_LINK_RETRY", 0},
+    {Reg::RasLinkToken, 0x2e0007u, RegClass::RO, "RAS_LINK_TOKEN", 0},
 }};
 
 }  // namespace

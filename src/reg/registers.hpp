@@ -69,6 +69,11 @@ enum class Reg : u32 {
   RasLastStat,
   // failed-vault bitmask (static + dynamic), remaps in the high word.
   RasVaultFail,
+  // Link retry protocol (live): replays[31:0] | abort-entries[47:32] |
+  // dead-link bitmask[55:48] (zero unless link_protocol is on).
+  RasLinkRetry,
+  // Link token flow control (live): stalls[31:0] | min-tokens-now[47:32].
+  RasLinkToken,
 
   Count,
 };

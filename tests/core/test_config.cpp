@@ -76,6 +76,96 @@ TEST(DeviceConfig, RejectsZeroTimingParams) {
   EXPECT_EQ(dc.validate(), Status::InvalidConfig);
 }
 
+TEST(DeviceConfig, LinkProtocolKnobRanges) {
+  auto proto = [] {
+    DeviceConfig dc;
+    dc.link_protocol = true;
+    dc.link_retry_limit = 8;
+    return dc;
+  };
+  EXPECT_EQ(proto().validate(), Status::Ok);
+
+  // The spec retry machine always replays: a zero retry budget is
+  // meaningless with the protocol on.
+  DeviceConfig dc = proto();
+  dc.link_retry_limit = 0;
+  std::string diag;
+  EXPECT_EQ(dc.validate(&diag), Status::InvalidConfig);
+  EXPECT_NE(diag.find("link_retry_limit"), std::string::npos);
+
+  // The retry buffer must hold one maximal packet and fit the 8-bit FRP.
+  dc = proto();
+  dc.link_retry_buffer_flits = spec::kMaxPacketFlits - 1;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc.link_retry_buffer_flits = 257;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+
+  // Token pool: 0 = auto, otherwise at least one maximal packet.
+  dc = proto();
+  dc.link_tokens = spec::kMaxPacketFlits - 1;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc.link_tokens = spec::kMaxPacketFlits;
+  EXPECT_EQ(dc.validate(), Status::Ok);
+
+  dc = proto();
+  dc.link_retry_latency = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc.link_retry_latency = 4097;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+
+  // Burst length and the stuck-link schedule have shape constraints of
+  // their own.
+  dc = proto();
+  dc.link_error_burst_len = 0;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc.link_error_burst_len = 65;
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+
+  dc = proto();
+  dc.link_stuck_interval_cycles = 64;
+  dc.link_stuck_window_cycles = 64;  // window must be < interval
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+  dc.link_stuck_window_cycles = 8;
+  EXPECT_EQ(dc.validate(), Status::Ok);
+  dc.link_stuck_window_cycles = 0;  // interval without a window
+  EXPECT_EQ(dc.validate(), Status::InvalidConfig);
+}
+
+TEST(DeviceConfig, LinkProtocolKnobsRequireTheProtocol) {
+  // The sub-knobs are meaningless with the protocol off; silently ignoring
+  // them would hide a configuration mistake.
+  for (int knob = 0; knob < 4; ++knob) {
+    DeviceConfig dc;
+    switch (knob) {
+      case 0: dc.link_tokens = 32; break;
+      case 1: dc.link_error_burst_len = 4; break;
+      case 2:
+        dc.link_stuck_interval_cycles = 64;
+        dc.link_stuck_window_cycles = 8;
+        break;
+      default: dc.link_fail_threshold = 2; break;
+    }
+    std::string diag;
+    EXPECT_EQ(dc.validate(&diag), Status::InvalidConfig) << "knob " << knob;
+    EXPECT_NE(diag.find("link_protocol"), std::string::npos) << diag;
+  }
+}
+
+TEST(DeviceConfig, WatchdogMustOutlastLinkRecovery) {
+  DeviceConfig dc;
+  dc.link_protocol = true;
+  dc.link_retry_limit = 8;
+  dc.link_retry_latency = 32;
+  dc.link_stuck_interval_cycles = 256;
+  dc.link_stuck_window_cycles = 16;
+  dc.watchdog_cycles = 48;  // == latency + window: misreads recovery
+  std::string diag;
+  EXPECT_EQ(dc.validate(&diag), Status::InvalidConfig);
+  EXPECT_NE(diag.find("watchdog_cycles"), std::string::npos);
+  dc.watchdog_cycles = 49;
+  EXPECT_EQ(dc.validate(), Status::Ok);
+}
+
 TEST(DeviceConfig, AddressMapModesAllBuild) {
   for (const auto mode : {AddrMapMode::LowInterleave, AddrMapMode::BankFirst,
                           AddrMapMode::Linear}) {

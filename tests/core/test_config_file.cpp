@@ -108,6 +108,47 @@ TEST(ConfigFile, WriteParseRoundTrip) {
   EXPECT_EQ(a.derived_capacity(), b.derived_capacity());
 }
 
+TEST(ConfigFile, LinkProtocolKnobsRoundTrip) {
+  const auto r = parse_config_string(
+      "link_protocol = true\n"
+      "link_retry_limit = 8\n"
+      "link_tokens = 48\n"
+      "link_retry_buffer_flits = 64\n"
+      "link_retry_latency = 12\n"
+      "link_error_burst_len = 4\n"
+      "link_stuck_interval_cycles = 512\n"
+      "link_stuck_window_cycles = 32\n"
+      "link_fail_threshold = 3\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const DeviceConfig& dc = r.config.device;
+  EXPECT_TRUE(dc.link_protocol);
+  EXPECT_EQ(dc.link_tokens, 48u);
+  EXPECT_EQ(dc.link_retry_buffer_flits, 64u);
+  EXPECT_EQ(dc.link_retry_latency, 12u);
+  EXPECT_EQ(dc.link_error_burst_len, 4u);
+  EXPECT_EQ(dc.link_stuck_interval_cycles, 512u);
+  EXPECT_EQ(dc.link_stuck_window_cycles, 32u);
+  EXPECT_EQ(dc.link_fail_threshold, 3u);
+
+  // Writer emits every knob; re-parsing converges to the same config.
+  std::ostringstream os;
+  write_config(os, r.config);
+  const auto round = parse_config_string(os.str());
+  ASSERT_TRUE(round.ok) << round.error;
+  EXPECT_TRUE(round.config.device.link_protocol);
+  EXPECT_EQ(round.config.device.link_tokens, 48u);
+  EXPECT_EQ(round.config.device.link_stuck_interval_cycles, 512u);
+  EXPECT_EQ(round.config.device.link_fail_threshold, 3u);
+}
+
+TEST(ConfigFile, LinkProtocolSemanticValidationStillApplies) {
+  // Parsing is syntactic; the semantic cross-check (sub-knobs need the
+  // protocol) still runs before a config is accepted.
+  const auto r = parse_config_string("link_tokens = 32\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("link_protocol"), std::string::npos) << r.error;
+}
+
 TEST(ConfigFile, FaultKnobsParse) {
   const auto r = parse_config_string(
       "link_error_rate_ppm = 5000\n"

@@ -58,6 +58,10 @@ TEST(ConfigFuzz, RandomKeyValueShapedLinesNeverCrash) {
       "xbar_depth",    "vault_depth",     "capacity_gb",
       "map_mode",      "vault_schedule",  "link_error_rate_ppm",
       "sim_threads",   "dram_sbe_rate_ppm", "watchdog_cycles",
+      "link_protocol", "link_tokens",     "link_retry_buffer_flits",
+      "link_retry_latency", "link_error_burst_len",
+      "link_stuck_interval_cycles", "link_stuck_window_cycles",
+      "link_fail_threshold",
       "not_a_real_key"};
   for (int i = 0; i < 20000; ++i) {
     std::string text;

@@ -7,7 +7,10 @@
 //                      fault sidecar, no watchdog tail, no per-vault RNG
 //   checkpoint_v3.bin  RAS era: full config/stats/registers + RAS tail,
 //                      but the DRAM fault RNG is still device-wide
-//   checkpoint_v4.bin  current format (per-vault DRAM RNG)
+//   checkpoint_v4.bin  per-vault DRAM RNG, but no link-layer protocol
+//                      records
+//   checkpoint_v5.bin  current format (link-layer config/stats/registers
+//                      and per-link retry/token state)
 //
 // Each fixture snapshots a mid-flight workload — requests in crossbar and
 // vault queues, banks busy, memory pages resident — so restore exercises
@@ -47,7 +50,9 @@ namespace {
 
 constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 constexpr usize kV2RegCount = 43;
+constexpr usize kV3RegCount = 49;
 constexpr usize kV2StatsCount = 25;
+constexpr usize kV3StatsCount = 33;
 
 std::string fixture_path(u32 version) {
   return std::string(HMCSIM_GOLDEN_DIR) + "/checkpoints/checkpoint_v" +
@@ -131,7 +136,8 @@ void put_stats(std::ostream& os, const DeviceStats& s, u32 version) {
                         s.dram_sbes, s.dram_dbes, s.scrub_steps,
                         s.scrub_corrections, s.scrub_uncorrectables,
                         s.vault_failures, s.vault_remaps, s.degraded_drops};
-  const usize count = version >= 3 ? std::size(fields) : kV2StatsCount;
+  static_assert(std::size(fields) == kV3StatsCount);
+  const usize count = version >= 3 ? kV3StatsCount : kV2StatsCount;
   for (usize i = 0; i < count; ++i) put_u64(os, fields[i]);
 }
 
@@ -171,9 +177,10 @@ void put_device_config(std::ostream& os, const DeviceConfig& c, u32 version) {
   }
 }
 
-/// Serialize `sim` in a historical checkpoint format (version 2 or 3).
+/// Serialize `sim` in a historical checkpoint format (version 2, 3 or 4).
 /// Mirrors what those writers emitted: the register prefix of the era, no
-/// per-vault RNG, and (for v2) no RAS or watchdog records.
+/// link-layer records, per-vault RNG only from v4, and (for v2) no RAS or
+/// watchdog records.
 void write_legacy_checkpoint(const Simulator& sim, u32 version,
                              std::ostream& os) {
   os.write(kMagic, sizeof kMagic);
@@ -200,7 +207,7 @@ void write_legacy_checkpoint(const Simulator& sim, u32 version,
     put_stats(os, dev.stats, version);
 
     const RegisterFile::Snapshot regs = dev.regs.snapshot();
-    const usize reg_count = version >= 3 ? regs.values.size() : kV2RegCount;
+    const usize reg_count = version >= 3 ? kV3RegCount : kV2RegCount;
     for (usize r = 0; r < reg_count; ++r) put_u64(os, regs.values[r]);
     for (usize r = 0; r < reg_count; ++r) {
       put_u8(os, regs.pending_self_clear[r] ? 1 : 0);
@@ -235,6 +242,7 @@ void write_legacy_checkpoint(const Simulator& sim, u32 version,
       for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
       for (const u64 row : vault.open_row) put_u64(os, row);
       // No per-vault DRAM RNG before version 4.
+      if (version >= 4) put_u64(os, vault.dram_rng.state());
     }
     put_response_queue(os, dev.mode_rsp);
 
@@ -264,7 +272,9 @@ void write_legacy_checkpoint(const Simulator& sim, u32 version,
 
 // ---- fixture workload ------------------------------------------------------
 
-/// A v2-era fixture must not depend on RAS; v3+ fixtures turn the storm on.
+/// A v2-era fixture must not depend on RAS; v3+ fixtures turn the storm on;
+/// the v5 fixture additionally runs the link retry/token protocol so the
+/// per-link LinkProtoState records are exercised mid-recovery.
 DeviceConfig fixture_device(u32 version) {
   DeviceConfig dc = test::small_device();
   if (version >= 3) {
@@ -274,6 +284,11 @@ DeviceConfig fixture_device(u32 version) {
     dc.vault_fail_threshold = 4;
     dc.link_error_rate_ppm = 2000;
     dc.link_retry_limit = 3;
+  }
+  if (version >= 5) {
+    dc.link_protocol = true;
+    dc.link_retry_latency = 6;
+    dc.link_error_burst_len = 2;
   }
   return dc;
 }
@@ -307,7 +322,7 @@ void regenerate_fixture(u32 version) {
   std::ofstream out(fixture_path(version), std::ios::binary);
   ASSERT_TRUE(out) << "cannot write " << fixture_path(version)
                    << " (does tests/golden/checkpoints/ exist?)";
-  if (version >= 4) {
+  if (version >= 5) {
     ASSERT_EQ(sim.save_checkpoint(out), Status::Ok);
   } else {
     write_legacy_checkpoint(sim, version, out);
@@ -330,7 +345,7 @@ TEST(CheckpointCompat, RegenerateFixtures) {
   if (std::getenv("HMCSIM_UPDATE_GOLDEN") == nullptr) {
     GTEST_SKIP() << "set HMCSIM_UPDATE_GOLDEN=1 to rewrite fixtures";
   }
-  for (const u32 version : {2u, 3u, 4u}) {
+  for (const u32 version : {2u, 3u, 4u, 5u}) {
     SCOPED_TRACE("v" + std::to_string(version));
     regenerate_fixture(version);
   }
@@ -414,11 +429,11 @@ TEST_P(CheckpointCompatVersions, ResaveUpgradesToCurrentVersion) {
   ASSERT_EQ(again.save_checkpoint(resaved2), Status::Ok);
   EXPECT_EQ(std::move(resaved2).str(), upgraded);
 
-  if (version == 4) {
+  if (version == 5) {
     // Same-version fixtures must survive restore→save byte-identically.
     EXPECT_EQ(upgraded, bytes);
   } else {
-    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v4 stream";
+    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v5 stream";
   }
 }
 
@@ -427,7 +442,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
   // cleanly rather than misparsing fields at shifted offsets.
   const std::string bytes = read_fixture(4);
   ASSERT_GT(bytes.size(), 16u);
-  for (const u64 bad_version : {0ull, 1ull, 5ull, 255ull}) {
+  for (const u64 bad_version : {0ull, 1ull, 6ull, 255ull}) {
     std::string mutated = bytes;
     for (int i = 0; i < 8; ++i) {
       mutated[8 + i] = static_cast<char>(bad_version >> (8 * i));
@@ -440,7 +455,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVersions, CheckpointCompatVersions,
-                         ::testing::Values(2u, 3u, 4u),
+                         ::testing::Values(2u, 3u, 4u, 5u),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });

@@ -44,6 +44,18 @@ namespace {
 
 enum class Kind : u8 { Random, Stream, TraceFile };
 
+/// Link-layer reliability storm flavors (link_protocol on, see
+/// docs/LINK_LAYER.md).  Each flavor keeps the spec retry machine — retry
+/// buffers, token credits, IRTRY error-abort — continuously busy in a
+/// different way, and all of it must stay bit-identical across execution
+/// strategies.
+enum class LinkStorm : u8 {
+  None,
+  Uniform,     ///< independent per-arrival CRC/SEQ corruption
+  Burst,       ///< errors cluster: one roll opens a multi-packet burst
+  Retraining,  ///< periodic stuck-link windows backpressure every link
+};
+
 struct Scenario {
   const char* name;
   Kind kind;
@@ -51,6 +63,7 @@ struct Scenario {
   u32 devices;  ///< 1 = single cube, >1 = chain (exercises peer forwards)
   bool ras;     ///< DRAM faults + scrubber + vault degradation + link errors
   u64 requests;
+  LinkStorm storm{LinkStorm::None};
 };
 
 // Keep runtimes modest: each scenario runs 3x (plus 2x more on failure).
@@ -60,6 +73,12 @@ constexpr Scenario kScenarios[] = {
     {"stream_4link_ras", Kind::Stream, 4, 1, true, 2500},
     {"trace_8link", Kind::TraceFile, 8, 1, false, 2500},
     {"random_chain3_ras", Kind::Random, 8, 3, true, 1500},
+    {"linkstorm_uniform_4link", Kind::Random, 4, 1, false, 2000,
+     LinkStorm::Uniform},
+    {"linkstorm_burst_8link", Kind::Random, 8, 1, false, 2000,
+     LinkStorm::Burst},
+    {"linkstorm_retrain_chain3", Kind::Random, 8, 3, true, 1200,
+     LinkStorm::Retraining},
 };
 
 DeviceConfig scenario_device(const Scenario& s) {
@@ -75,6 +94,27 @@ DeviceConfig scenario_device(const Scenario& s) {
     dc.vault_fail_threshold = 2;
     dc.link_error_rate_ppm = 2000;
     dc.link_retry_limit = 3;
+  }
+  if (s.storm != LinkStorm::None) {
+    dc.link_protocol = true;
+    dc.link_retry_limit = 8;
+    dc.link_retry_latency = 4;
+    switch (s.storm) {
+      case LinkStorm::Uniform:
+        dc.link_error_rate_ppm = 30000;
+        break;
+      case LinkStorm::Burst:
+        dc.link_error_rate_ppm = 20000;
+        dc.link_error_burst_len = 4;
+        break;
+      case LinkStorm::Retraining:
+        dc.link_error_rate_ppm = 10000;
+        dc.link_stuck_interval_cycles = 512;
+        dc.link_stuck_window_cycles = 32;
+        break;
+      case LinkStorm::None:
+        break;
+    }
   }
   return dc;
 }
@@ -331,6 +371,20 @@ TEST_P(Differential, ParallelMatchesSerialExactly) {
     EXPECT_GT(ecc_events, 0u) << "RAS scenario produced no faults; the "
                                  "differential coverage is weaker than "
                                  "intended";
+  }
+  if (s.storm != LinkStorm::None) {
+    u64 protocol_events = 0;
+    u64 retrain = 0;
+    for (const DeviceStats& st : ref.stats) {
+      protocol_events += st.link_crc_errors + st.link_seq_errors;
+      retrain += st.link_retrain_cycles;
+    }
+    EXPECT_GT(protocol_events, 0u)
+        << "link storm produced no protocol recoveries; the differential "
+           "coverage is weaker than intended";
+    if (s.storm == LinkStorm::Retraining) {
+      EXPECT_GT(retrain, 0u) << "retraining storm never held a window open";
+    }
   }
 
   for (const u32 threads : {2u, saturated_threads()}) {

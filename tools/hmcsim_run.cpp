@@ -39,6 +39,15 @@
 //     --watchdog <n>        fail fast after n cycles without progress
 //     --link-error-ppm <n>  transient link error odds per packet, ppm
 //     --link-retry-limit <n>      link-level retry budget
+//
+//   Link reliability protocol (see docs/LINK_LAYER.md):
+//     --link-protocol 0|1   spec retry buffers / tokens / IRTRY recovery
+//     --link-tokens <n>     receiver token pool, FLITs (0 = auto)
+//     --link-retry-latency <n>    error-abort retraining window, cycles
+//     --link-burst <n>      consecutive packets hit per injected error
+//     --link-stuck-interval <n>   periodic retraining interval, cycles
+//     --link-stuck-window <n>     retraining window inside the interval
+//     --link-fail-threshold <n>   retry exhaustions before a link dies
 //     --timeout <n>         host response timeout, cycles
 //     --retries <n>         host resend budget per timed-out request
 //     --backoff <n>         host backoff before the first resend, cycles
@@ -97,6 +106,13 @@ struct Args {
   i64 watchdog = -1;
   i64 link_error_ppm = -1;
   i64 link_retry_limit = -1;
+  i64 link_protocol = -1;
+  i64 link_tokens = -1;
+  i64 link_retry_latency = -1;
+  i64 link_burst = -1;
+  i64 link_stuck_interval = -1;
+  i64 link_stuck_window = -1;
+  i64 link_fail_threshold = -1;
   u64 timeout = 0;
   u32 retries = 0;
   u64 backoff = 0;
@@ -139,8 +155,11 @@ bool parse_args(int argc, char** argv, Args& args) {
         flag == "--scrub-window" || flag == "--vault-fail-threshold" ||
         flag == "--failed-vaults" || flag == "--vault-remap" ||
         flag == "--watchdog" || flag == "--link-error-ppm" ||
-        flag == "--link-retry-limit" || flag == "--timeout" ||
-        flag == "--retries" || flag == "--backoff";
+        flag == "--link-retry-limit" || flag == "--link-protocol" ||
+        flag == "--link-tokens" || flag == "--link-retry-latency" ||
+        flag == "--link-burst" || flag == "--link-stuck-interval" ||
+        flag == "--link-stuck-window" || flag == "--link-fail-threshold" ||
+        flag == "--timeout" || flag == "--retries" || flag == "--backoff";
     if (!known) {
       std::fprintf(stderr, "error: unknown option '%s'\n", flag.c_str());
       usage(argv[0]);
@@ -210,6 +229,22 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.link_error_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
     } else if (flag == "--link-retry-limit") {
       args.link_retry_limit = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-protocol") {
+      args.link_protocol = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-tokens") {
+      args.link_tokens = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-retry-latency") {
+      args.link_retry_latency = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-burst") {
+      args.link_burst = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-stuck-interval") {
+      args.link_stuck_interval =
+          static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-stuck-window") {
+      args.link_stuck_window = static_cast<i64>(std::strtoull(v, nullptr, 0));
+    } else if (flag == "--link-fail-threshold") {
+      args.link_fail_threshold =
+          static_cast<i64>(std::strtoull(v, nullptr, 0));
     } else if (flag == "--timeout") {
       args.timeout = std::strtoull(v, nullptr, 0);
     } else if (flag == "--retries") {
@@ -326,6 +361,26 @@ int main(int argc, char** argv) {
     }
     if (args.link_retry_limit >= 0) {
       dc.link_retry_limit = static_cast<u32>(args.link_retry_limit);
+    }
+    if (args.link_protocol >= 0) dc.link_protocol = args.link_protocol != 0;
+    if (args.link_tokens >= 0) {
+      dc.link_tokens = static_cast<u32>(args.link_tokens);
+    }
+    if (args.link_retry_latency >= 0) {
+      dc.link_retry_latency = static_cast<u32>(args.link_retry_latency);
+    }
+    if (args.link_burst >= 0) {
+      dc.link_error_burst_len = static_cast<u32>(args.link_burst);
+    }
+    if (args.link_stuck_interval >= 0) {
+      dc.link_stuck_interval_cycles =
+          static_cast<u32>(args.link_stuck_interval);
+    }
+    if (args.link_stuck_window >= 0) {
+      dc.link_stuck_window_cycles = static_cast<u32>(args.link_stuck_window);
+    }
+    if (args.link_fail_threshold >= 0) {
+      dc.link_fail_threshold = static_cast<u32>(args.link_fail_threshold);
     }
     if (args.threads >= 0) dc.sim_threads = static_cast<u32>(args.threads);
     if (args.no_fast_forward) dc.fast_forward = false;
