@@ -5,28 +5,33 @@
 # fast-forward on/off speedup).
 #
 # Usage:
-#   scripts/run_benches.sh                 # writes BENCH_fastforward.json
-#                                          #   and BENCH_linkretry.json
+#   scripts/run_benches.sh                 # writes BENCH_fastforward.json,
+#                                          #   BENCH_linkretry.json and
+#                                          #   BENCH_profile.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # write elsewhere
 #
 # Acceptance gates: fast-forward must be >= 5x on the sparse (~1%
 # occupancy) GUPS workload with every run pair bit-identical
-# (bench_fast_forward exits nonzero otherwise), and the link-layer retry
+# (bench_fast_forward exits nonzero otherwise), the link-layer retry
 # protocol must cost ~0 when switched off (bench_link_retry gates its two
-# protocol-off runs within 10% of each other; see docs/LINK_LAYER.md).
+# protocol-off runs within 10% of each other; see docs/LINK_LAYER.md), and
+# the observability layer (docs/OBSERVABILITY.md) must cost < 2% when all
+# off and < 10% fully on (bench_profile_overhead gates both itself).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build-release}
 OUT=${OUT:-BENCH_fastforward.json}
 OUT_LINK=${OUT_LINK:-BENCH_linkretry.json}
+OUT_PROFILE=${OUT_PROFILE:-BENCH_profile.json}
 GEN=()
 command -v ninja >/dev/null && GEN=(-G Ninja)
 
 echo "== configure & build ($BUILD, Release) =="
 cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target \
-  bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry
+  bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry \
+  bench_profile_overhead
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -36,6 +41,9 @@ echo "== bench_fast_forward =="
 
 echo "== bench_link_retry =="
 "$BUILD"/bench/bench_link_retry --json "$OUT_LINK"
+
+echo "== bench_profile_overhead =="
+"$BUILD"/bench/bench_profile_overhead --json "$OUT_PROFILE"
 
 echo "== bench_sim_speed =="
 "$BUILD"/bench/bench_sim_speed \
@@ -78,3 +86,14 @@ if ! jq -e '.protocol_off_overhead_pct < 10' "$OUT_LINK" >/dev/null; then
   exit 1
 fi
 echo "wrote $OUT_LINK"
+
+prof_off=$(jq -r '.observability_off_overhead_pct' "$OUT_PROFILE")
+prof_on=$(jq -r '.observability_on_overhead_pct' "$OUT_PROFILE")
+echo "observability all-off overhead: ${prof_off}% (gate: < 2%)"
+echo "observability all-on overhead: ${prof_on}% (gate: < 10%)"
+if ! jq -e '.observability_off_overhead_pct < 2 and
+            .observability_on_overhead_pct < 10' "$OUT_PROFILE" >/dev/null; then
+  echo "FAIL: observability overhead above the acceptance gates" >&2
+  exit 1
+fi
+echo "wrote $OUT_PROFILE"

@@ -238,6 +238,80 @@ void write_samples(JsonWriter& json, const MetricsSampler& sampler) {
   json.end_object();
 }
 
+void write_occupancy_track(JsonWriter& json, const OccupancyTrack& t) {
+  json.begin_object();
+  json.kv("high_water", t.high_water);
+  json.kv("samples", t.samples);
+  json.kv("mean", t.mean());
+  json.key("buckets").begin_array();
+  for (const u64 b : t.buckets) json.value(b);
+  json.end_array();
+  json.end_object();
+}
+
+void write_profile(JsonWriter& json, const StageProfiler& prof) {
+  json.key("profile").begin_object();
+  json.kv("staged_cycles", prof.staged_cycles());
+  json.kv("fast_cycles", prof.fast_cycles());
+  json.kv("skip_spans", prof.skip_spans());
+  json.kv("total_ns", prof.total_ns());
+  json.key("stages").begin_object();
+  for (usize s = 0; s < kProfileStageCount; ++s) {
+    const auto stage = static_cast<ProfileStage>(s);
+    json.kv(profile_stage_name(stage), prof.stage_ns(stage));
+  }
+  json.end_object();
+  json.key("devices").begin_array();
+  for (u32 d = 0; d < prof.num_devices(); ++d) {
+    json.begin_object();
+    json.kv("stage1_xbar_ns", prof.device_ns(ProfileStage::Stage1Xbar, d));
+    json.kv("stage2_root_xbar_ns",
+            prof.device_ns(ProfileStage::Stage2RootXbar, d));
+    json.key("vault_ns").begin_array();
+    for (u32 v = 0; v < prof.vaults_per_device(); ++v) {
+      json.value(prof.vault_ns(d, v));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_telemetry(JsonWriter& json, const Telemetry& tel) {
+  json.key("telemetry").begin_object();
+  json.kv("sample_passes", tel.sample_passes());
+  json.key("host_tags");
+  write_occupancy_track(json, tel.host_tags());
+  json.key("devices").begin_array();
+  for (u32 d = 0; d < tel.num_devices(); ++d) {
+    json.begin_object();
+    for (usize t = 0; t < kTelemetryTrackCount; ++t) {
+      const auto track = static_cast<TelemetryTrack>(t);
+      json.key(telemetry_track_name(track));
+      write_occupancy_track(json, tel.track(track, d));
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_flight_recorder(JsonWriter& json, const FlightRecorder& rec) {
+  // Summary only: full event dumps go to the text / Chrome-trace renders.
+  json.key("flight_recorder").begin_object();
+  json.kv("depth", u64{rec.depth()});
+  json.key("devices").begin_array();
+  for (u32 d = 0; d < rec.num_devices(); ++d) {
+    json.begin_object();
+    json.kv("recorded", rec.recorded(d));
+    json.kv("retained", u64{rec.size(d)});
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 std::string_view map_mode_name(AddrMapMode mode) {
   switch (mode) {
     case AddrMapMode::LowInterleave: return "low_interleave";
@@ -294,6 +368,9 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("link_fail_threshold", u64{dc.link_fail_threshold});
     json.kv("sim_threads", u64{sim.sim_threads()});
     json.kv("fast_forward", dc.fast_forward);
+    json.kv("self_profile", dc.self_profile);
+    json.kv("telemetry_interval_cycles", u64{dc.telemetry_interval_cycles});
+    json.kv("flight_recorder_depth", u64{dc.flight_recorder_depth});
     json.end_object();
 
     json.key("totals");
@@ -345,6 +422,11 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     }
     if (extras.sampler != nullptr) {
       write_samples(json, *extras.sampler);
+    }
+    if (sim.profiler() != nullptr) write_profile(json, *sim.profiler());
+    if (sim.telemetry() != nullptr) write_telemetry(json, *sim.telemetry());
+    if (sim.flight_recorder() != nullptr) {
+      write_flight_recorder(json, *sim.flight_recorder());
     }
   }
 

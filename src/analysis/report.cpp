@@ -100,6 +100,95 @@ std::string format_latency_breakdown(const LifecycleSink& sink) {
   return os.str();
 }
 
+std::string format_profile_table(const Simulator& sim) {
+  const StageProfiler* prof = sim.profiler();
+  if (prof == nullptr) return {};
+  const u64 total_ns = prof->total_ns();
+  const u64 cycles = prof->staged_cycles() + prof->fast_cycles();
+  std::ostringstream os;
+  os << "Self-Profile (clock-engine wall time)\n";
+  os << std::left << std::setw(20) << "Stage" << std::right << std::setw(14)
+     << "Time(ms)" << std::setw(8) << "%" << std::setw(12) << "ns/cycle"
+     << '\n';
+  const auto row = [&](std::string_view label, u64 ns) {
+    os << std::left << std::setw(20) << label << std::right << std::setw(14)
+       << std::fixed << std::setprecision(3)
+       << static_cast<double>(ns) / 1e6 << std::setw(8)
+       << std::setprecision(1)
+       << (total_ns == 0 ? 0.0
+                         : 100.0 * static_cast<double>(ns) /
+                               static_cast<double>(total_ns))
+       << std::setw(12) << std::setprecision(1)
+       << (cycles == 0 ? 0.0
+                       : static_cast<double>(ns) / static_cast<double>(cycles))
+       << '\n';
+  };
+  for (usize s = 0; s < kProfileStageCount; ++s) {
+    const auto stage = static_cast<ProfileStage>(s);
+    row(profile_stage_name(stage), prof->stage_ns(stage));
+  }
+  row("total", total_ns);
+  os << "staged cycles: " << prof->staged_cycles()
+     << "   fast cycles: " << prof->fast_cycles()
+     << "   skip spans: " << prof->skip_spans() << '\n';
+
+  os << '\n' << "Per-device shard time (ms)\n";
+  os << std::left << std::setw(6) << "Dev" << std::right << std::setw(14)
+     << "stage1_xbar" << std::setw(14) << "stage2_xbar" << std::setw(14)
+     << "vaults(sum)" << std::setw(16) << "hottest vault" << '\n';
+  for (u32 d = 0; d < prof->num_devices(); ++d) {
+    u64 vault_sum = 0, hot_ns = 0;
+    u32 hot_vault = 0;
+    for (u32 v = 0; v < prof->vaults_per_device(); ++v) {
+      const u64 ns = prof->vault_ns(d, v);
+      vault_sum += ns;
+      if (ns > hot_ns) {
+        hot_ns = ns;
+        hot_vault = v;
+      }
+    }
+    os << std::left << std::setw(6) << d << std::right << std::setw(14)
+       << std::fixed << std::setprecision(3)
+       << static_cast<double>(prof->device_ns(ProfileStage::Stage1Xbar, d)) /
+              1e6
+       << std::setw(14)
+       << static_cast<double>(
+              prof->device_ns(ProfileStage::Stage2RootXbar, d)) /
+              1e6
+       << std::setw(14) << static_cast<double>(vault_sum) / 1e6
+       << std::setw(10) << static_cast<double>(hot_ns) / 1e6 << " (v"
+       << hot_vault << ")\n";
+  }
+  return os.str();
+}
+
+std::string format_telemetry_table(const Simulator& sim) {
+  const Telemetry* tel = sim.telemetry();
+  if (tel == nullptr || tel->sample_passes() == 0) return {};
+  std::ostringstream os;
+  os << "Occupancy Telemetry (" << tel->sample_passes()
+     << " sample passes)\n";
+  os << std::left << std::setw(20) << "Track" << std::right << std::setw(6)
+     << "Dev" << std::setw(12) << "HighWater" << std::setw(12) << "Mean"
+     << std::setw(12) << "Samples" << '\n';
+  const auto row = [&](std::string_view label, std::string_view dev,
+                       const OccupancyTrack& t) {
+    os << std::left << std::setw(20) << label << std::right << std::setw(6)
+       << dev << std::setw(12) << t.high_water << std::setw(12) << std::fixed
+       << std::setprecision(2) << t.mean() << std::setw(12) << t.samples
+       << '\n';
+  };
+  for (u32 d = 0; d < tel->num_devices(); ++d) {
+    const std::string dev = std::to_string(d);
+    for (usize t = 0; t < kTelemetryTrackCount; ++t) {
+      const auto track = static_cast<TelemetryTrack>(t);
+      row(telemetry_track_name(track), dev, tel->track(track, d));
+    }
+  }
+  row("host_tags", "-", tel->host_tags());
+  return os.str();
+}
+
 double effective_bandwidth_gbs(u64 bytes, Cycle cycles, double clock_ghz) {
   if (cycles == 0) return 0.0;
   return static_cast<double>(bytes) / static_cast<double>(cycles) * clock_ghz;

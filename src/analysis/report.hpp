@@ -82,6 +82,17 @@ struct LinkUtilization {
 /// sink observed no packets.
 [[nodiscard]] std::string format_latency_breakdown(const LifecycleSink& sink);
 
+/// Render the self-profiler as a fixed-width text table: one row per clock
+/// stage with wall time, share of the total, and ns per executed cycle,
+/// followed by a per-device breakdown (crossbar-stage shard time plus the
+/// summed and hottest vault).  Empty string when profiling is off.
+[[nodiscard]] std::string format_profile_table(const Simulator& sim);
+
+/// Render occupancy telemetry as a fixed-width text table: high-water mark
+/// and mean occupancy per track per device, plus the host tag table.  Empty
+/// string when telemetry is off or never sampled.
+[[nodiscard]] std::string format_telemetry_table(const Simulator& sim);
+
 /// Jain's fairness index over per-vault retirement counts, in (0, 1]:
 /// 1.0 means every vault served the same number of requests, 1/num_vaults
 /// means one vault served everything.  The quantitative form of the

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/json.hpp"
+#include "analysis/report.hpp"
 #include "core/simulator.hpp"
 
 namespace {
@@ -526,6 +527,62 @@ int hmcsim_dump_stats_json(struct hmcsim_t* hmc, FILE* out) {
   write_stats_json(os, shim->sim);
   os.flush();
   return 0;
+}
+
+int hmcsim_profile_enable(struct hmcsim_t* hmc) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen) return -1;
+  shim->config.device.self_profile = true;
+  return 0;
+}
+
+int hmcsim_telemetry_interval(struct hmcsim_t* hmc, uint32_t cycles) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen) return -1;
+  shim->config.device.telemetry_interval_cycles = cycles;
+  return 0;
+}
+
+int hmcsim_flight_recorder_depth(struct hmcsim_t* hmc, uint32_t depth) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen) return -1;
+  shim->config.device.flight_recorder_depth = depth;
+  return 0;
+}
+
+int hmcsim_dump_profile(struct hmcsim_t* hmc, FILE* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || out == nullptr) return -1;
+  if (!shim->frozen || shim->sim.profiler() == nullptr) return -1;
+  shim->sim.flush_observability();
+  std::string text = format_profile_table(shim->sim);
+  const std::string telemetry = format_telemetry_table(shim->sim);
+  if (!telemetry.empty()) {
+    text += '\n';
+    text += telemetry;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  return 0;
+}
+
+int hmcsim_dump_flight_recorder(struct hmcsim_t* hmc, FILE* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || out == nullptr || !shim->frozen) return -1;
+  FileStreambuf buf(out);
+  std::ostream os(&buf);
+  const bool dumped = shim->sim.dump_flight_recorder(os);
+  os.flush();
+  return dumped ? 0 : -1;
+}
+
+int hmcsim_dump_flight_recorder_chrome(struct hmcsim_t* hmc, FILE* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || out == nullptr || !shim->frozen) return -1;
+  FileStreambuf buf(out);
+  std::ostream os(&buf);
+  const bool dumped = shim->sim.dump_flight_recorder_chrome(os);
+  os.flush();
+  return dumped ? 0 : -1;
 }
 
 int hmcsim_register_cmc(struct hmcsim_t* hmc, uint8_t raw_cmd,

@@ -275,6 +275,30 @@ int hmcsim_dump_stats_json(struct hmcsim_t* hmc, FILE* out);
 int hmcsim_watchdog_fired(struct hmcsim_t* hmc, FILE* out);
 
 /*
+ * Observability: self-profiling, occupancy telemetry, and the post-mortem
+ * flight recorder (docs/OBSERVABILITY.md).  The three knobs must be set
+ * after hmcsim_init and before the topology freezes (first
+ * send/recv/clock).  All three are pure observation: simulation results
+ * are bit-identical with them on or off.
+ */
+/* Enable steady-clock wall-time attribution for the clock stages. */
+int hmcsim_profile_enable(struct hmcsim_t* hmc);
+/* Sample queue/token/tag occupancy every `cycles` clocks (0 disables). */
+int hmcsim_telemetry_interval(struct hmcsim_t* hmc, uint32_t cycles);
+/* Keep a per-device ring of the last `depth` structured events
+ * (0 disables). */
+int hmcsim_flight_recorder_depth(struct hmcsim_t* hmc, uint32_t depth);
+
+/* Print the per-stage wall-time table (and, when telemetry is on, the
+ * occupancy table) to `out`.  -1 when profiling was never enabled. */
+int hmcsim_dump_profile(struct hmcsim_t* hmc, FILE* out);
+/* Dump the flight-recorder rings to `out`: chronological text, or Chrome
+ * trace-event JSON (about:tracing / Perfetto).  -1 when the recorder is
+ * off. */
+int hmcsim_dump_flight_recorder(struct hmcsim_t* hmc, FILE* out);
+int hmcsim_dump_flight_recorder_chrome(struct hmcsim_t* hmc, FILE* out);
+
+/*
  * Custom memory cube (CMC) commands.
  *
  * Register `handler` under a reserved 6-bit CMD encoding; the handler runs

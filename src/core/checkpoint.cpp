@@ -603,10 +603,18 @@ Status Simulator::restore_checkpoint(std::istream& is) {
 
   // sim_threads and fast_forward are not serialized (checkpoints are
   // agnostic to the execution strategy); a restored simulator keeps the
-  // parallelism and skip setting it already had.
+  // parallelism and skip setting it already had.  The observability knobs
+  // (self_profile / telemetry_interval_cycles / flight_recorder_depth) are
+  // likewise pure observation: checkpoint bytes are identical with them on
+  // or off, and a restore keeps the current simulator's settings.
   if (initialized()) {
     config.device.sim_threads = config_.device.sim_threads;
     config.device.fast_forward = config_.device.fast_forward;
+    config.device.self_profile = config_.device.self_profile;
+    config.device.telemetry_interval_cycles =
+        config_.device.telemetry_interval_cycles;
+    config.device.flight_recorder_depth =
+        config_.device.flight_recorder_depth;
   }
   const Status init_status = init(config, std::move(topo));
   if (!ok(init_status)) return init_status;

@@ -199,6 +199,23 @@ struct DeviceConfig {
   /// checkpoints.
   bool fast_forward{true};
 
+  // ---- observability (execution knobs, never serialized) ------------------
+  /// Time the six clock stages with the monotonic clock, attributed per
+  /// device and per vault (src/profile/profiler.hpp).  Pure observation:
+  /// simulation results are bit-identical with the knob on or off.  Like
+  /// sim_threads, not serialized into checkpoints.
+  bool self_profile{false};
+  /// Sample queue/token/retry-buffer occupancy into high-water marks and
+  /// histograms every this-many clocks (src/profile/telemetry.hpp); 0
+  /// disables.  Sampling rides the stage-6 dispatch point and bounds the
+  /// fast-forward skip window (like the cycle hook).  Not serialized.
+  u32 telemetry_interval_cycles{0};
+  /// Retain the last N structured events per device in a post-mortem ring
+  /// buffer (src/profile/flight_recorder.hpp); 0 disables.  The retained
+  /// window dumps into the watchdog diagnostic report and on demand.  Not
+  /// serialized.
+  u32 flight_recorder_depth{0};
+
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return
   /// zeros).  Benches disable data to keep multi-GB random-access runs

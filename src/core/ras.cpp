@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/link_layer.hpp"
 #include "core/simulator.hpp"
 #include "mem/ecc.hpp"
 
@@ -48,8 +49,14 @@ bool Simulator::ras_check_read(Device& dev, u32 vault_index, PhysAddr addr,
   inject_dram_fault(dev, vault_index, addr, bytes);
   const SparseStore::FaultSummary sum = dev.store.check_and_repair(addr, bytes);
   ctx.stats->dram_sbes += sum.corrected;
+  if (sum.corrected != 0) {
+    record_event(ctx, FlightEventType::RasSbe, dev.id(), 4,
+                 static_cast<u16>(vault_index), sum.corrected);
+  }
   if (sum.uncorrectable == 0) return false;
   ctx.stats->dram_dbes += sum.uncorrectable;
+  record_event(ctx, FlightEventType::RasDbe, dev.id(), 4,
+               static_cast<u16>(vault_index), sum.uncorrectable);
   ctx.last_error_addr = addr;
   ctx.last_error_stat = static_cast<u8>(ErrStat::DramDbe);
   ctx.has_last_error = true;
@@ -73,6 +80,9 @@ void Simulator::note_vault_uncorrectable(Device& dev, u32 vault_index,
     trace_to(ctx, TraceEvent::ErrorResponse, 4, dev.id(), kNoCoord,
              dev.quad_of_vault(vault_index), vault_index, kNoCoord, 0, 0,
              Command::Error);
+    record_event(ctx, FlightEventType::VaultFailed, dev.id(), 4,
+                 static_cast<u16>(vault_index),
+                 dev.ras.vault_uncorrectable[vault_index]);
   }
 }
 
@@ -148,8 +158,16 @@ void Simulator::check_watchdog() {
     watchdog_stall_cycles_ = 0;
     return;
   }
-  if (++watchdog_stall_cycles_ >= config_.device.watchdog_cycles) {
+  if (++watchdog_stall_cycles_ == 1) {
+    // Stall onset: the watchdog is now counting toward the threshold.
+    record_watchdog_event(FlightEventType::WatchdogArm,
+                          config_.device.watchdog_cycles);
+  }
+  if (watchdog_stall_cycles_ >= config_.device.watchdog_cycles) {
     watchdog_fired_ = true;
+    ff_close_skip_span();
+    record_watchdog_event(FlightEventType::WatchdogFire,
+                          watchdog_stall_cycles_);
     watchdog_report_ = build_watchdog_report();
   }
 }
@@ -185,6 +203,30 @@ std::string Simulator::build_watchdog_report() const {
        << " errors=" << dev.stats.error_responses
        << " failed_vaults=0x" << std::hex << dev.ras.failed_vaults << std::dec
        << " mode_rsp=" << dev.mode_rsp.size() << '\n';
+    if (dev.config().link_protocol) {
+      // Link-layer protocol state: a wedged machine is often a token leak,
+      // a stuck replay, or a permanently retraining link — all visible here.
+      const u32 pool = resolved_link_tokens(dev.config());
+      for (u32 l = 0; l < dev.config().num_links; ++l) {
+        const LinkProtoState& st = dev.links[l].proto;
+        os << "  dev " << dev.id() << " link " << l << " proto:"
+           << " tokens=" << st.tokens << '/' << pool
+           << " debited=" << st.tokens_debited
+           << " returned=" << st.tokens_returned
+           << " retry_buf_flits=" << st.retry_buf_flits
+           << " frp=" << static_cast<u32>(st.tx_frp)
+           << " rrp=" << static_cast<u32>(st.rx_rrp)
+           << " seq=" << static_cast<u32>(st.tx_seq) << '/'
+           << static_cast<u32>(st.rx_seq)
+           << " replay_pending=" << (st.replay_pending ? 1 : 0)
+           << " fail_count=" << st.fail_count;
+        if (st.retrain_until > cycle_) {
+          os << " retraining_until=" << st.retrain_until;
+        }
+        if (st.dead) os << " DEAD";
+        os << '\n';
+      }
+    }
     for (u32 l = 0; l < dev.config().num_links; ++l) {
       const LinkState& link = dev.links[l];
       if (link.rqst.empty() && link.rsp.empty()) continue;
@@ -211,6 +253,13 @@ std::string Simulator::build_watchdog_report() const {
     }
   }
   if (listed >= kMaxListed) os << "  ... (listing truncated)\n";
+  if (recorder_) {
+    // Post-mortem tail: the last flight-recorder events leading up to the
+    // stall.  The callers close any open fast-forward skip span and record
+    // the WATCHDOG_FIRE event before building this report.
+    os << "flight recorder tail:\n";
+    recorder_->dump_text(os);
+  }
   return os.str();
 }
 

@@ -105,6 +105,25 @@ Status Simulator::init(const SimConfig& config, Topology topo,
   failed_snapshot_.assign(config.num_devices, 0);
   bounce_mark_.assign(usize{config.num_devices} * links, 0);
   bounced_.clear();
+
+  // Self-observation layer: all pure observation, so (like sim_threads and
+  // fast_forward) these knobs never change simulated state or checkpoint
+  // bytes — the observability axis of the differential harness proves it.
+  profiler_.reset();
+  telemetry_.reset();
+  recorder_.reset();
+  if (config.device.self_profile) {
+    profiler_ = std::make_unique<StageProfiler>(config.num_devices, vaults);
+  }
+  if (config.device.telemetry_interval_cycles != 0) {
+    telemetry_ = std::make_unique<Telemetry>(config.num_devices);
+  }
+  if (config.device.flight_recorder_depth != 0) {
+    recorder_ = std::make_unique<FlightRecorder>(
+        config.num_devices, config.device.flight_recorder_depth);
+  }
+  ff_span_len_ = 0;
+  fr_dead_logged_.assign(config.num_devices, 0);
   return Status::Ok;
 }
 
@@ -127,6 +146,11 @@ void Simulator::reset(bool clear_memory) {
   watchdog_report_.clear();
   cycles_skipped_ = 0;
   ff_armed_ = false;
+  if (profiler_) profiler_->reset();
+  if (telemetry_) telemetry_->reset();
+  if (recorder_) recorder_->clear();
+  ff_span_len_ = 0;
+  std::fill(fr_dead_logged_.begin(), fr_dead_logged_.end(), u64{0});
 }
 
 DeviceStats Simulator::total_stats() const {
@@ -249,10 +273,13 @@ Status Simulator::send(u32 dev, u32 link, const PacketBuffer& packet) {
     ShardCtx ctx;
     ctx.stats = &d.stats;  // host context is serial
     switch (LinkLayer::arrive(d, link, entry, cycle_)) {
-      case LinkArrival::Accepted:
       case LinkArrival::Corrupted:
         // Corrupted still counts as a successful injection: the wire event
         // is the link layer's to recover (replay) or escalate.
+        record_event_direct(FlightEventType::LinkIrtry, dev, 0,
+                            static_cast<u16>(link), tag);
+        break;
+      case LinkArrival::Accepted:
         break;
       case LinkArrival::TokenStall:
         ++d.stats.send_stalls;
@@ -429,16 +456,139 @@ void Simulator::clock() {
   // without executing the stages.  Bit-identical to the staged path — see
   // ff_arm() for the eligibility proof and docs/INTERNALS.md for the
   // horizon construction.
-  if (config_.device.fast_forward && (ff_armed_ || ff_arm()) &&
-      ff_fast_cycle()) {
-    return;
+  if (config_.device.fast_forward) {
+    if (profiler_) {
+      const u64 t0 = StageProfiler::now_ns();
+      const bool skipped = (ff_armed_ || ff_arm()) && ff_fast_cycle();
+      profiler_->add_stage(ProfileStage::FastForward,
+                           StageProfiler::now_ns() - t0);
+      if (skipped) return;
+    } else if ((ff_armed_ || ff_arm()) && ff_fast_cycle()) {
+      return;
+    }
   }
-  stage1_child_xbar();
-  stage2_root_xbar();
-  stage3_and_4_vaults();
-  stage5_responses();
-  stage6_clock_update();
+  // The staged path is about to run: any open skip span ends here.
+  if (ff_span_len_ != 0) ff_close_skip_span();
+  if (profiler_) {
+    profiler_->note_staged_cycle();
+    u64 t0 = StageProfiler::now_ns();
+    stage1_child_xbar();
+    u64 t1 = StageProfiler::now_ns();
+    profiler_->add_stage(ProfileStage::Stage1Xbar, t1 - t0);
+    stage2_root_xbar();
+    t0 = StageProfiler::now_ns();
+    profiler_->add_stage(ProfileStage::Stage2RootXbar, t0 - t1);
+    stage3_and_4_vaults();
+    t1 = StageProfiler::now_ns();
+    profiler_->add_stage(ProfileStage::Stage34Vaults, t1 - t0);
+    stage5_responses();
+    t0 = StageProfiler::now_ns();
+    profiler_->add_stage(ProfileStage::Stage5Responses, t0 - t1);
+    stage6_clock_update();
+    t1 = StageProfiler::now_ns();
+    profiler_->add_stage(ProfileStage::Stage6Clock, t1 - t0);
+  } else {
+    stage1_child_xbar();
+    stage2_root_xbar();
+    stage3_and_4_vaults();
+    stage5_responses();
+    stage6_clock_update();
+  }
   if (config_.device.watchdog_cycles != 0) check_watchdog();
+}
+
+void Simulator::ff_close_skip_span() {
+  if (ff_span_len_ == 0) return;
+  if (profiler_) profiler_->note_skip_span();
+  if (recorder_) {
+    // Spans are global (the whole device set was idle); record once, on
+    // device 0's ring.  cycle_ is the first cycle after the span.
+    FlightEvent ev;
+    ev.cycle = cycle_;
+    ev.arg = ff_span_len_;
+    ev.type = FlightEventType::FfSkipSpan;
+    recorder_->record(0, ev);
+  }
+  ff_span_len_ = 0;
+}
+
+bool Simulator::dump_flight_recorder(std::ostream& os) {
+  if (!recorder_) return false;
+  ff_close_skip_span();
+  recorder_->dump_text(os);
+  return true;
+}
+
+bool Simulator::dump_flight_recorder_chrome(std::ostream& os) {
+  if (!recorder_) return false;
+  ff_close_skip_span();
+  recorder_->dump_chrome(os);
+  return true;
+}
+
+void Simulator::record_event(ShardCtx& ctx, FlightEventType type, u32 dev,
+                             u8 stage, u16 unit, u64 arg) {
+  if (!recorder_) return;
+  FlightEvent ev;
+  ev.cycle = cycle_;
+  ev.arg = arg;
+  ev.dev = dev;
+  ev.unit = unit;
+  ev.stage = stage;
+  ev.type = type;
+  if (ctx.events != nullptr) {
+    ctx.events->push_back(ev);
+  } else {
+    recorder_->record(dev, ev);
+  }
+}
+
+void Simulator::record_event_direct(FlightEventType type, u32 dev, u8 stage,
+                                    u16 unit, u64 arg) {
+  if (!recorder_) return;
+  FlightEvent ev;
+  ev.cycle = cycle_;
+  ev.arg = arg;
+  ev.dev = dev;
+  ev.unit = unit;
+  ev.stage = stage;
+  ev.type = type;
+  recorder_->record(dev, ev);
+}
+
+void Simulator::record_watchdog_event(FlightEventType type, u64 arg) {
+  if (!recorder_) return;
+  // The watchdog is a whole-simulator condition: every device's post-mortem
+  // window should show the transition.
+  for (u32 d = 0; d < num_devices(); ++d) {
+    record_event_direct(type, d, 0, 0, arg);
+  }
+}
+
+void Simulator::sample_telemetry() {
+  const DeviceConfig& cfg = config_.device;
+  const i64 pool = cfg.link_protocol ? resolved_link_tokens(cfg) : 0;
+  for (u32 d = 0; d < num_devices(); ++d) {
+    const Device& dev = *devices_[d];
+    for (u32 l = 0; l < cfg.num_links; ++l) {
+      const LinkState& link = dev.links[l];
+      telemetry_->sample(TelemetryTrack::XbarRqst, d, link.rqst.size());
+      telemetry_->sample(TelemetryTrack::XbarRsp, d, link.rsp.size());
+      if (cfg.link_protocol) {
+        // Deficit view: 0 = full credit pool, pool-size = fully drawn.
+        const i64 deficit = pool - link.proto.tokens;
+        telemetry_->sample(TelemetryTrack::LinkTokens, d,
+                           deficit > 0 ? static_cast<u64>(deficit) : 0);
+        telemetry_->sample(TelemetryTrack::LinkRetryBuf, d,
+                           link.proto.retry_buf_flits);
+      }
+    }
+    for (const VaultState& vault : dev.vaults) {
+      telemetry_->sample(TelemetryTrack::VaultRqst, d, vault.rqst.size());
+      telemetry_->sample(TelemetryTrack::VaultRsp, d, vault.rsp.size());
+    }
+  }
+  telemetry_->note_sample_pass();
 }
 
 bool Simulator::ff_queues_idle() const {
@@ -514,6 +664,14 @@ bool Simulator::ff_arm() {
     const Cycle h = hook_interval_;
     stop = std::min(stop, ((cycle_ + 1 + h - 1) / h) * h - 1);
   }
+  // Telemetry sampling rides the same stage-6 dispatch point as the hook
+  // and must keep its cadence through a skip.  This shortens skip spans
+  // when telemetry is on, but sampling reads state the skip leaves frozen,
+  // so simulated bytes stay identical.
+  if (telemetry_ && cfg.telemetry_interval_cycles != 0) {
+    const Cycle h = cfg.telemetry_interval_cycles;
+    stop = std::min(stop, ((cycle_ + 1 + h - 1) / h) * h - 1);
+  }
   if (cfg.refresh_interval_cycles != 0) {
     const Cycle interval = cfg.refresh_interval_cycles;
     for (u32 v = 0; v < cfg.num_vaults(); ++v) {
@@ -545,6 +703,10 @@ bool Simulator::ff_fast_cycle() {
   }
   ++cycle_;
   ++cycles_skipped_;
+  if (profiler_ || recorder_) {
+    if (profiler_) profiler_->note_fast_cycle();
+    ++ff_span_len_;
+  }
   // check_watchdog(), verbatim, against the frozen arm-time facts.  Host
   // responses awaiting recv() keep quiescence false with a constant
   // fingerprint, so the stall count must keep climbing during a skip —
@@ -556,10 +718,19 @@ bool Simulator::ff_fast_cycle() {
     } else if (watchdog_fingerprint_ != ff_fingerprint_) {
       watchdog_fingerprint_ = ff_fingerprint_;
       watchdog_stall_cycles_ = 0;
-    } else if (++watchdog_stall_cycles_ >= config_.device.watchdog_cycles) {
-      watchdog_fired_ = true;
-      watchdog_report_ = build_watchdog_report();
-      ff_armed_ = false;
+    } else {
+      if (++watchdog_stall_cycles_ == 1) {
+        record_watchdog_event(FlightEventType::WatchdogArm,
+                              config_.device.watchdog_cycles);
+      }
+      if (watchdog_stall_cycles_ >= config_.device.watchdog_cycles) {
+        watchdog_fired_ = true;
+        ff_close_skip_span();
+        record_watchdog_event(FlightEventType::WatchdogFire,
+                              watchdog_stall_cycles_);
+        watchdog_report_ = build_watchdog_report();
+        ff_armed_ = false;
+      }
     }
   }
   return true;
@@ -592,21 +763,37 @@ void Simulator::run_xbar_stage(const std::vector<u32>& devs, u8 stage) {
     }
   }
   auto shard = [&](u32 s) {
+    const u64 t0 = profiler_ ? StageProfiler::now_ns() : 0;
     Device& dev = *devices_[devs[s]];
     XbarScratch& sc = xbar_scratch_[s];
     sc.trace.clear();
+    sc.events.clear();
     sc.outbox.clear();
     if (multi_device) std::fill(sc.staged.begin(), sc.staged.end(), 0u);
     ShardCtx ctx;
     ctx.stats = &dev.stats;  // shard == device: counters are exclusive
     ctx.trace = &sc.trace;
+    ctx.events = &sc.events;
     process_xbar(dev, stage, ctx, sc);
+    if (profiler_) {
+      // The shard IS the device, so the accounting slot is exclusive.
+      profiler_->add_device(stage == 1 ? ProfileStage::Stage1Xbar
+                                       : ProfileStage::Stage2RootXbar,
+                            devs[s], StageProfiler::now_ns() - t0);
+    }
   };
   run_shards(static_cast<u32>(devs.size()), shard);
-  // Barrier merge: emit the buffered trace records in fixed shard order.
+  // Barrier merge: emit the buffered trace records (and flight-recorder
+  // events) in fixed shard order.
   for (usize s = 0; s < devs.size(); ++s) {
     for (const TraceRecord& rec : xbar_scratch_[s].trace) tracer_.emit(rec);
     xbar_scratch_[s].trace.clear();
+    if (recorder_) {
+      for (const FlightEvent& ev : xbar_scratch_[s].events) {
+        recorder_->record(ev.dev, ev);
+      }
+    }
+    xbar_scratch_[s].events.clear();
   }
   if (multi_device) flush_outboxes(devs, stage);
 }
@@ -639,8 +826,11 @@ void Simulator::flush_outboxes(const std::vector<u32>& devs, u8 stage) {
           // pointer before arrive() re-stamps the tail for the peer.
           const u8 src_frp = fwd.entry.req.frp;
           switch (LinkLayer::arrive(peer, fwd.dst_link, fwd.entry, cycle_)) {
-            case LinkArrival::Accepted:
             case LinkArrival::Corrupted:
+              record_event_direct(FlightEventType::LinkIrtry, fwd.dst_dev,
+                                  stage, static_cast<u16>(fwd.dst_link), tag);
+              [[fallthrough]];
+            case LinkArrival::Accepted:
               // Either way the transmission left this device — a corrupted
               // hop is now the peer's error-abort machine's to recover.
               committed = consumed = true;
@@ -676,6 +866,9 @@ void Simulator::flush_outboxes(const std::vector<u32>& devs, u8 stage) {
         ++src.stats.xbar_rqst_stalls;
         trace(TraceEvent::XbarRqstStall, stage, src.id(), fwd.src_link,
               kNoCoord, kNoCoord, kNoCoord, addr, tag, cmd);
+        record_event_direct(FlightEventType::Backpressure, src.id(), stage,
+                            static_cast<u16>(fwd.src_link),
+                            /*kind: cross-device bounce*/ 2);
         // Restore the ingress fields the parallel phase rewrote for the
         // destination; the consumed link budget stays consumed (the wasted
         // transmission time is the cost of the lost arbitration).
@@ -712,6 +905,9 @@ Simulator::LegacyFault Simulator::legacy_link_fault(Device& dev,
     ++entry.retries;
     ++dev.stats.link_retries;
     link_state.rqst_budget -= entry.pkt.flits;  // wasted link time
+    record_event(ctx, FlightEventType::LinkRetry, dev.id(), stage,
+                 static_cast<u16>(&link_state - dev.links.data()),
+                 entry.retries);
     return LegacyFault::Replay;
   }
   if (emit_error_response(dev, entry, ErrStat::CrcFailure, stage, ctx)) {
@@ -726,6 +922,14 @@ bool Simulator::step_link_protocol(Device& dev, u32 link, u8 stage,
   LinkState& link_state = dev.links[link];
   LinkProtoState& st = link_state.proto;
   if (st.dead) {
+    // First sighting of the escalation: one LINK_FAILED event per link.
+    // (LinkProtoState is checkpointed, so the logged bit lives simulator-
+    // side in fr_dead_logged_; the shard owns its device's mask.)
+    if (recorder_ && (fr_dead_logged_[dev.id()] >> link & 1) == 0) {
+      fr_dead_logged_[dev.id()] |= u64{1} << link;
+      record_event(ctx, FlightEventType::LinkFailed, dev.id(), stage,
+                   static_cast<u16>(link), st.fail_count);
+    }
     // Dead-link drain: every queued request was accepted (tokens debited)
     // before escalation, so completion returns its credits and the
     // conservation identity debited == returned + in-flight survives.
@@ -744,6 +948,14 @@ bool Simulator::step_link_protocol(Device& dev, u32 link, u8 stage,
   if (LinkLayer::retraining(dev, link, cycle_) &&
       (st.replay_pending || !link_state.rqst.empty())) {
     ++dev.stats.link_retrain_cycles;
+    // Record the window-open edge only (a loaded retraining window can
+    // last hundreds of cycles; one event per window keeps the ring useful).
+    if (recorder_ &&
+        (cycle_ == 0 || !LinkLayer::retraining(dev, link, cycle_ - 1))) {
+      record_event(ctx, FlightEventType::LinkRetrain, dev.id(), stage,
+                   static_cast<u16>(link),
+                   st.retrain_until > cycle_ ? st.retrain_until - cycle_ : 0);
+    }
   }
   if (st.replay_pending && !dev.mode_rsp.full()) {
     RequestEntry failed;
@@ -851,6 +1063,8 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
           trace_to(ctx, TraceEvent::XbarRqstStall, stage, dev.id(), link,
                    kNoCoord, kNoCoord, kNoCoord, entry.req.addr,
                    entry.req.tag, entry.req.cmd);
+          record_event(ctx, FlightEventType::Backpressure, dev.id(), stage,
+                       static_cast<u16>(link), /*kind: peer reserve full*/ 0);
           blocked_links |= 1u << out_link;
           ++i;
           continue;
@@ -1025,6 +1239,8 @@ void Simulator::process_xbar(Device& dev, u8 stage, ShardCtx& ctx,
         trace_to(ctx, TraceEvent::XbarRqstStall, stage, dev.id(), link,
                  dev.quad_of_vault(vault), vault, kNoCoord, entry.req.addr,
                  entry.req.tag, entry.req.cmd);
+        record_event(ctx, FlightEventType::Backpressure, dev.id(), stage,
+                     static_cast<u16>(link), /*kind: vault queue full*/ 1);
         blocked_vaults |= u64{1} << vault;
         ++i;
         continue;
@@ -1081,16 +1297,24 @@ void Simulator::stage3_and_4_vaults() {
   for (usize d = 0; d < devices_.size(); ++d) {
     failed_snapshot_[d] = devices_[d]->ras.failed_vaults;
   }
+  // Per-vault attribution is sampled 1 cycle in 16: two clock reads per
+  // vault per cycle would dominate the profiler's own cost on many-vault
+  // devices, and the per-vault table only needs relative weights.  The
+  // sampling key is the deterministic cycle counter, never wall time.
+  const bool time_vaults = profiler_ != nullptr && (cycle_ & 0xF) == 0;
   auto shard = [&](u32 s) {
+    const u64 t0 = time_vaults ? StageProfiler::now_ns() : 0;
     const u32 d = s / vaults;
     const u32 v = s % vaults;
     Device& dev = *devices_[d];
     VaultScratch& sc = vault_scratch_[s];
     sc.stats = DeviceStats{};
     sc.trace.clear();
+    sc.events.clear();
     ShardCtx ctx;
     ctx.stats = &sc.stats;
     ctx.trace = &sc.trace;
+    ctx.events = &sc.events;
     // Stage 3 scans every vault's conflict window (failed vaults
     // included, as the serial engine did); stage 4 then retires on the
     // same shard.  All state both touch is per-vault, and for one vault
@@ -1101,16 +1325,23 @@ void Simulator::stage3_and_4_vaults() {
     sc.last_error_addr = ctx.last_error_addr;
     sc.last_error_stat = ctx.last_error_stat;
     sc.has_last_error = ctx.has_last_error;
+    // The shard IS the (device, vault) pair: the slot is exclusive.
+    if (time_vaults) profiler_->add_vault(d, v, StageProfiler::now_ns() - t0);
   };
   run_shards(total, shard);
   // Barrier merge in fixed (device, vault) shard order, independent of
-  // thread count: stats, trace records, failure bits, the RAS error log.
+  // thread count: stats, trace records, flight-recorder events, failure
+  // bits, the RAS error log.
   for (u32 s = 0; s < total; ++s) {
     Device& dev = *devices_[s / vaults];
     VaultScratch& sc = vault_scratch_[s];
     dev.stats += sc.stats;
     for (const TraceRecord& rec : sc.trace) tracer_.emit(rec);
     sc.trace.clear();
+    if (recorder_) {
+      for (const FlightEvent& ev : sc.events) recorder_->record(ev.dev, ev);
+    }
+    sc.events.clear();
     dev.ras.failed_vaults |= sc.pending_failed_vaults;
     if (sc.has_last_error) {
       dev.ras.last_error_addr = sc.last_error_addr;
@@ -1187,6 +1418,9 @@ void Simulator::process_vault(Device& dev, u32 vault_index, ShardCtx& ctx) {
         trace_to(ctx, TraceEvent::VaultRspStall, 4, dev.id(), kNoCoord,
                  dev.quad_of_vault(vault_index), vault_index, bank,
                  entry.req.addr, entry.req.tag, entry.req.cmd);
+        record_event(ctx, FlightEventType::Backpressure, dev.id(), 4,
+                     static_cast<u16>(vault_index),
+                     /*kind: vault rsp full*/ 3);
         rsp_stalled_logged = true;
       }
       if (strict) break;
@@ -1607,6 +1841,10 @@ void Simulator::stage6_clock_update() {
   }
   for (auto& dev : devices_) dev->regs.clock_edge();
   ++cycle_;
+  if (telemetry_ && config_.device.telemetry_interval_cycles != 0 &&
+      cycle_ % config_.device.telemetry_interval_cycles == 0) {
+    sample_telemetry();
+  }
   if (hook_interval_ != 0 && cycle_ % hook_interval_ == 0 && cycle_hook_) {
     cycle_hook_(*this);
   }

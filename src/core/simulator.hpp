@@ -44,6 +44,9 @@
 #include "common/thread_pool.hpp"
 #include "core/custom_command.hpp"
 #include "core/device.hpp"
+#include "profile/flight_recorder.hpp"
+#include "profile/profiler.hpp"
+#include "profile/telemetry.hpp"
 #include "topo/topology.hpp"
 #include "trace/lifecycle.hpp"
 #include "trace/tracer.hpp"
@@ -167,6 +170,31 @@ class Simulator {
   /// has drained to the host or died as an error response).
   [[nodiscard]] bool quiescent() const;
 
+  // ---- self-observation (src/profile/; all off by default) -----------------
+
+  /// Stage wall-time profiler; null unless DeviceConfig::self_profile.
+  [[nodiscard]] const StageProfiler* profiler() const {
+    return profiler_.get();
+  }
+  /// Occupancy telemetry; null unless telemetry_interval_cycles != 0.
+  [[nodiscard]] Telemetry* telemetry() { return telemetry_.get(); }
+  [[nodiscard]] const Telemetry* telemetry() const { return telemetry_.get(); }
+  /// Flight recorder; null unless flight_recorder_depth != 0.
+  [[nodiscard]] const FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+  /// Close any open fast-forward skip span so profiler span counts and the
+  /// recorder's FF_SKIP_SPAN events reflect skipping up to now().  Call
+  /// before reading the profiler/recorder at end of run; the clock engine
+  /// closes spans itself whenever the staged path resumes.
+  void flush_observability() { ff_close_skip_span(); }
+
+  /// Text dump of the flight recorder (oldest events first).  Returns false
+  /// when the recorder is off.
+  bool dump_flight_recorder(std::ostream& os);
+  /// Chrome-trace (Trace Event Format) dump of the flight recorder.
+  bool dump_flight_recorder_chrome(std::ostream& os);
+
   // ---- forward-progress watchdog -------------------------------------------
 
   /// True once the watchdog has tripped: `watchdog_cycles` consecutive
@@ -225,6 +253,10 @@ class Simulator {
     /// Null: emit trace records directly (serial context).  Non-null:
     /// buffer; the stage merge emits buffers in shard order.
     std::vector<TraceRecord>* trace{nullptr};
+    /// Flight-recorder events, following the same buffering discipline as
+    /// `trace`: null = record into the ring directly (serial context),
+    /// non-null = buffer and merge in fixed shard order at the barrier.
+    std::vector<FlightEvent>* events{nullptr};
     /// Vault-failure bits discovered this stage; OR-merged into
     /// RasState::failed_vaults at the barrier.
     u64 pending_failed_vaults{0};
@@ -255,6 +287,7 @@ class Simulator {
   /// Per-device scratch for the stage 1-2 parallel phase.
   struct XbarScratch {
     std::vector<TraceRecord> trace;
+    std::vector<FlightEvent> events;
     std::vector<StagedForward> outbox;
     /// Forwards staged toward each global (device, link) request queue,
     /// checked against the pre-stage free-slot snapshot `xbar_free_`.
@@ -265,6 +298,7 @@ class Simulator {
   struct VaultScratch {
     DeviceStats stats;
     std::vector<TraceRecord> trace;
+    std::vector<FlightEvent> events;
     u64 pending_failed_vaults{0};
     u64 last_error_addr{0};
     u8 last_error_stat{0};
@@ -380,6 +414,23 @@ class Simulator {
   void check_watchdog();
   [[nodiscard]] std::string build_watchdog_report() const;
 
+  // ---- observability helpers (src/profile/ wiring) -------------------------
+
+  /// Record one flight-recorder event through the shard context (buffered in
+  /// parallel contexts, direct otherwise).  No-op when the recorder is off.
+  void record_event(ShardCtx& ctx, FlightEventType type, u32 dev, u8 stage,
+                    u16 unit, u64 arg);
+  /// As record_event() from serial / device-exclusive contexts.
+  void record_event_direct(FlightEventType type, u32 dev, u8 stage, u16 unit,
+                           u64 arg);
+  /// One telemetry sampling pass over every device's queues/token pools.
+  void sample_telemetry();
+  /// Close an open fast-forward skip span: bump the profiler span count and
+  /// record the FF_SKIP_SPAN event (on device 0's ring — spans are global).
+  void ff_close_skip_span();
+  /// Record the watchdog transition on every device's ring.
+  void record_watchdog_event(FlightEventType type, u64 arg);
+
   // ---- idle-cycle fast-forward engine (core/simulator.cpp) -----------------
 
   /// Arm the fast path: prove that a full six-stage pass over the current
@@ -453,6 +504,19 @@ class Simulator {
   /// those invalidate), letting the watchdog emulation run in O(1).
   bool ff_quiescent_{false};
   u64 ff_fingerprint_{0};
+  /// Self-observation layer (src/profile/); all null unless the matching
+  /// DeviceConfig knob enables them.  Pure observation: none of these may
+  /// influence simulated state (differential-proven).
+  std::unique_ptr<StageProfiler> profiler_;
+  std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  /// Fast cycles in the currently open skip span (0 = no open span); only
+  /// tracked when the profiler or recorder is on.
+  u64 ff_span_len_{0};
+  /// Per-device bitmask of links whose dead-escalation event has been
+  /// recorded (LinkProtoState itself is checkpointed and must not grow a
+  /// bookkeeping field).
+  std::vector<u64> fr_dead_logged_;
 };
 
 /// Build a compliant, CRC-sealed memory request packet (paper Figure 4's

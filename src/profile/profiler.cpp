@@ -1,0 +1,53 @@
+#include "profile/profiler.hpp"
+
+#include <chrono>
+
+namespace hmcsim {
+
+const char* profile_stage_name(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::Stage1Xbar:
+      return "stage1_child_xbar";
+    case ProfileStage::Stage2RootXbar:
+      return "stage2_root_xbar";
+    case ProfileStage::Stage34Vaults:
+      return "stage3_4_vaults";
+    case ProfileStage::Stage5Responses:
+      return "stage5_responses";
+    case ProfileStage::Stage6Clock:
+      return "stage6_clock_update";
+    case ProfileStage::FastForward:
+      return "fast_forward";
+  }
+  return "unknown";
+}
+
+StageProfiler::StageProfiler(u32 num_devices, u32 vaults_per_device)
+    : num_devices_(num_devices), vaults_per_device_(vaults_per_device) {
+  for (auto& v : device_ns_) v.assign(num_devices_, 0);
+  vault_ns_.assign(usize{num_devices_} * vaults_per_device_, 0);
+}
+
+u64 StageProfiler::now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+u64 StageProfiler::total_ns() const {
+  u64 total = 0;
+  for (const u64 ns : stage_ns_) total += ns;
+  return total;
+}
+
+void StageProfiler::reset() {
+  for (u64& ns : stage_ns_) ns = 0;
+  staged_cycles_ = 0;
+  fast_cycles_ = 0;
+  skip_spans_ = 0;
+  for (auto& v : device_ns_) v.assign(num_devices_, 0);
+  vault_ns_.assign(usize{num_devices_} * vaults_per_device_, 0);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,34 @@
+#include "profile/telemetry.hpp"
+
+namespace hmcsim {
+
+const char* telemetry_track_name(TelemetryTrack track) {
+  switch (track) {
+    case TelemetryTrack::VaultRqst:
+      return "vault_rqst";
+    case TelemetryTrack::VaultRsp:
+      return "vault_rsp";
+    case TelemetryTrack::XbarRqst:
+      return "xbar_rqst";
+    case TelemetryTrack::XbarRsp:
+      return "xbar_rsp";
+    case TelemetryTrack::LinkTokens:
+      return "link_token_deficit";
+    case TelemetryTrack::LinkRetryBuf:
+      return "link_retry_buf";
+  }
+  return "unknown";
+}
+
+Telemetry::Telemetry(u32 num_devices) {
+  for (auto& family : tracks_) family.assign(num_devices, OccupancyTrack{});
+}
+
+void Telemetry::reset() {
+  const u32 devices = num_devices();
+  for (auto& family : tracks_) family.assign(devices, OccupancyTrack{});
+  host_tags_ = OccupancyTrack{};
+  sample_passes_ = 0;
+}
+
+}  // namespace hmcsim

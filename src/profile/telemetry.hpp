@@ -1,0 +1,106 @@
+// Occupancy telemetry: high-water marks and log2 occupancy histograms for
+// the structures whose fill levels explain throughput — vault queues,
+// crossbar slots, the host tag table, link token pools, and link retry
+// buffers.
+//
+// The simulator samples its queues every DeviceConfig::
+// telemetry_interval_cycles clocks at the stage-6 dispatch point (the same
+// place the user cycle hook fires); the host driver feeds the tag-table
+// track once per drive-loop iteration.  Sampling is pure observation —
+// reads of queue sizes folded into counters — so runs with telemetry on
+// are bit-identical to runs with it off.  (The fast-forward engine bounds
+// its skip at the next sample cycle, exactly as it does for the cycle
+// hook, so sampling cadence survives skipping; this shortens skip *spans*
+// but never changes simulated state.)
+//
+// Histograms use power-of-two buckets of the sampled value: bucket 0 holds
+// zero samples, bucket i>=1 holds values in [2^(i-1), 2^i).  That spans
+// 0..65535 in 17 buckets — deep enough for every queue the simulator owns
+// — and makes "mostly empty, occasionally slammed" distributions legible
+// at a glance.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hmcsim {
+
+inline constexpr usize kOccupancyBuckets = 17;
+
+/// Running occupancy aggregate for one structure (or one per-device
+/// aggregation of homogeneous structures — e.g. all vault request queues of
+/// a cube sample into one track).
+struct OccupancyTrack {
+  u64 high_water{0};
+  u64 samples{0};
+  u64 sum{0};
+  u64 buckets[kOccupancyBuckets]{};
+
+  void sample(u64 value) {
+    if (value > high_water) high_water = value;
+    ++samples;
+    sum += value;
+    usize b = 0;
+    while (value != 0) {
+      ++b;
+      value >>= 1;
+    }
+    if (b >= kOccupancyBuckets) b = kOccupancyBuckets - 1;
+    ++buckets[b];
+  }
+
+  [[nodiscard]] double mean() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(samples);
+  }
+};
+
+/// Per-device track families the simulator feeds.
+enum class TelemetryTrack : u8 {
+  VaultRqst,     ///< vault request-queue occupancy (per vault sample)
+  VaultRsp,      ///< vault response-queue occupancy (per vault sample)
+  XbarRqst,      ///< crossbar request-queue occupancy (per link sample)
+  XbarRsp,       ///< crossbar response-queue occupancy (per link sample)
+  LinkTokens,    ///< link token-pool *deficit* in FLITs (per link sample)
+  LinkRetryBuf,  ///< link retry-buffer fill in FLITs (per link sample)
+};
+
+inline constexpr usize kTelemetryTrackCount = 6;
+
+[[nodiscard]] const char* telemetry_track_name(TelemetryTrack track);
+
+class Telemetry {
+ public:
+  explicit Telemetry(u32 num_devices);
+
+  [[nodiscard]] u32 num_devices() const {
+    return static_cast<u32>(tracks_[0].size());
+  }
+
+  void sample(TelemetryTrack track, u32 dev, u64 value) {
+    tracks_[static_cast<usize>(track)][dev].sample(value);
+  }
+  /// Host-side tag-table occupancy (outstanding tags across all ports);
+  /// fed by HostDriver once per drive-loop iteration.
+  void sample_host_tags(u64 outstanding) { host_tags_.sample(outstanding); }
+
+  [[nodiscard]] const OccupancyTrack& track(TelemetryTrack track,
+                                            u32 dev) const {
+    return tracks_[static_cast<usize>(track)][dev];
+  }
+  [[nodiscard]] const OccupancyTrack& host_tags() const { return host_tags_; }
+
+  /// Occupancy-sampling passes taken (one per telemetry interval).
+  [[nodiscard]] u64 sample_passes() const { return sample_passes_; }
+  void note_sample_pass() { ++sample_passes_; }
+
+  void reset();
+
+ private:
+  std::vector<OccupancyTrack> tracks_[kTelemetryTrackCount];
+  OccupancyTrack host_tags_;
+  u64 sample_passes_{0};
+};
+
+}  // namespace hmcsim

@@ -220,6 +220,14 @@ bool HostDriver::step(DriverResult& result) {
   inject(result);
   sim_.clock();
   result.cycles = sim_.now();
+  // Host-tag occupancy rides the simulator's sampling cadence: one sample
+  // per telemetry interval, on the same cycles the device queues sample.
+  if (Telemetry* tel = sim_.telemetry()) {
+    const u32 interval = sim_.config().device.telemetry_interval_cycles;
+    if (interval != 0 && sim_.now() % interval == 0) {
+      tel->sample_host_tags(outstanding_total());
+    }
+  }
   if (sim_.watchdog_fired()) {
     result.watchdog_fired = true;
     return false;

@@ -102,6 +102,14 @@ class HostDriver {
   [[nodiscard]] Status save(std::ostream& os) const;
   [[nodiscard]] Status restore(std::istream& is);
 
+  /// In-flight (tag-table) occupancy summed over every host port.  Feeds the
+  /// host-tag occupancy telemetry track.
+  [[nodiscard]] u32 outstanding_total() const {
+    u32 n = 0;
+    for (const PortState& p : ports_) n += p.outstanding;
+    return n;
+  }
+
  private:
   /// Book-keeping for one allocated tag.
   struct InFlight {

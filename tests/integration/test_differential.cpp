@@ -181,6 +181,10 @@ struct RunCfg {
   /// mid-traffic.  Pure execution pacing: the clock advances identically
   /// whether or not the skip engine is on.
   bool idle_windows{false};
+  /// Turn the whole observability layer on (profiler + telemetry + flight
+  /// recorder).  All three are pure observation, so every simulation
+  /// observable must stay bit-identical to an observability-off run.
+  bool observability{false};
 };
 
 Status build_sim(const Scenario& s, const RunCfg& cfg, Simulator& sim,
@@ -188,6 +192,12 @@ Status build_sim(const Scenario& s, const RunCfg& cfg, Simulator& sim,
   DeviceConfig dc = scenario_device(s);
   dc.sim_threads = cfg.threads;
   dc.fast_forward = cfg.fast_forward;
+  if (cfg.observability) {
+    dc.self_profile = true;
+    // An odd interval stresses the fast-forward stop-bound arithmetic.
+    dc.telemetry_interval_cycles = 7;
+    dc.flight_recorder_depth = 64;
+  }
   if (s.devices == 1) return sim.init_simple(dc, diag);
   SimConfig sc;
   sc.num_devices = s.devices;
@@ -234,6 +244,15 @@ Outcome run_scenario(const Scenario& s, const RunCfg& cfg) {
     r = driver.run();
   }
 
+  if (cfg.observability) {
+    // Non-vacuousness: the observability layer must actually be observing,
+    // or the equivalence below proves nothing.
+    sim.flush_observability();
+    EXPECT_NE(sim.profiler(), nullptr);
+    EXPECT_GT(sim.profiler()->staged_cycles(), 0u);
+    EXPECT_GT(sim.telemetry()->sample_passes(), 0u);
+  }
+
   out.cycles = r.cycles;
   out.cycles_skipped = sim.cycles_skipped();
   out.sent = r.sent;
@@ -257,7 +276,8 @@ Outcome run_scenario(const Scenario& s, const RunCfg& cfg) {
 
 std::string describe(const RunCfg& cfg) {
   return std::to_string(cfg.threads) + " threads, fast_forward " +
-         (cfg.fast_forward ? "on" : "off");
+         (cfg.fast_forward ? "on" : "off") + ", observability " +
+         (cfg.observability ? "on" : "off");
 }
 
 /// Failure diagnostics: re-run configuration `a` vs `b` in lockstep,
@@ -422,6 +442,34 @@ TEST_P(Differential, FastForwardMatchesStagedExactly) {
          "equivalence above is vacuous";
 }
 
+TEST_P(Differential, ObservabilityOnMatchesOffExactly) {
+  // The observability axis: profiler + telemetry + flight recorder all on
+  // versus all off.  Every simulation observable — stats, checkpoint
+  // bytes, lifecycle histograms, finish cycle — must match exactly on the
+  // staged path (serial and parallel) and on the fast-forward path, where
+  // telemetry sampling bounds the skip spans.  (cycles_skipped is NOT an
+  // observable: sampling legitimately splits skip spans.)
+  const Scenario& s = GetParam();
+  const RunCfg ref_cfg{};
+  const Outcome ref = run_scenario(s, ref_cfg);
+  ASSERT_EQ(ref.completed, s.requests);
+
+  for (const u32 threads : {1u, saturated_threads()}) {
+    RunCfg got_cfg{threads};
+    got_cfg.observability = true;
+    expect_equivalent(s, ref_cfg, got_cfg, ref, run_scenario(s, got_cfg));
+  }
+
+  const RunCfg ff_ref{1, /*fast_forward=*/true, /*idle_windows=*/true};
+  const Outcome ff_off = run_scenario(s, ff_ref);
+  RunCfg ff_got{1, /*fast_forward=*/true, /*idle_windows=*/true};
+  ff_got.observability = true;
+  const Outcome ff_on = run_scenario(s, ff_got);
+  expect_equivalent(s, ff_ref, ff_got, ff_off, ff_on);
+  EXPECT_GT(ff_on.cycles_skipped, 0u)
+      << "telemetry sampling must shorten skip spans, not disable skipping";
+}
+
 TEST_P(Differential, SerialRerunIsBitIdentical) {
   // Harness self-check: two identical serial runs must agree, otherwise
   // the scenario itself is nondeterministic and the parallel comparison
@@ -505,6 +553,51 @@ TEST(DifferentialExtras, CheckpointBytesOmitFastForward) {
   std::ostringstream os2;
   ASSERT_EQ(restored.save_checkpoint(os2), Status::Ok);
   EXPECT_EQ(std::move(os2).str(), staged);
+}
+
+TEST(DifferentialExtras, CheckpointBytesOmitObservability) {
+  // The observability knobs are execution-strategy state, never simulated
+  // state: a checkpoint from an instrumented run must byte-match one from
+  // a bare run at the same cycle, and restore cleanly across the knob
+  // boundary without disturbing the restoring simulator's own attachments.
+  auto run_to = [](bool observability, u32 cycles, std::string* bytes) {
+    DeviceConfig dc = test::small_device();
+    dc.fast_forward = false;
+    if (observability) {
+      dc.self_profile = true;
+      dc.telemetry_interval_cycles = 3;
+      dc.flight_recorder_depth = 16;
+    }
+    Simulator sim;
+    ASSERT_EQ(sim.init_simple(dc), Status::Ok);
+    test::send_request(sim, 0, 0, Command::Wr64, 0x1000, 7);
+    for (u32 i = 0; i < cycles; ++i) sim.clock();
+    std::ostringstream os;
+    ASSERT_EQ(sim.save_checkpoint(os), Status::Ok);
+    *bytes = std::move(os).str();
+  };
+  std::string bare;
+  std::string instrumented;
+  run_to(false, 300, &bare);
+  run_to(true, 300, &instrumented);
+  EXPECT_EQ(bare, instrumented);
+
+  Simulator restored;
+  DeviceConfig dc = test::small_device();
+  dc.self_profile = true;
+  dc.telemetry_interval_cycles = 3;
+  dc.flight_recorder_depth = 16;
+  ASSERT_EQ(restored.init_simple(dc), Status::Ok);
+  std::istringstream is(bare);
+  ASSERT_EQ(restored.restore_checkpoint(is), Status::Ok);
+  // The restoring simulator keeps its own observability attachments...
+  EXPECT_NE(restored.profiler(), nullptr);
+  EXPECT_NE(restored.telemetry(), nullptr);
+  EXPECT_NE(restored.flight_recorder(), nullptr);
+  // ...and re-saving reproduces the identical bytes.
+  std::ostringstream os2;
+  ASSERT_EQ(restored.save_checkpoint(os2), Status::Ok);
+  EXPECT_EQ(std::move(os2).str(), bare);
 }
 
 }  // namespace

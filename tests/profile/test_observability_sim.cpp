@@ -1,0 +1,237 @@
+// Simulator-level observability tests: lifecycle of the profiler /
+// telemetry / flight-recorder attachments, sampling cadence, fast-forward
+// skip accounting, the watchdog post-mortem dump, and the JSON report
+// sections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/simulator.hpp"
+#include "helpers.hpp"
+
+namespace hmcsim {
+namespace {
+
+using test::await_response;
+using test::make_simple_sim;
+using test::send_request;
+using test::small_device;
+
+bool has_event(const std::vector<FlightEvent>& events, FlightEventType type) {
+  return std::any_of(events.begin(), events.end(), [type](const FlightEvent& e) {
+    return e.type == type;
+  });
+}
+
+TEST(ObservabilitySim, AccessorsNullWhenOff) {
+  Simulator sim = make_simple_sim();
+  EXPECT_EQ(sim.profiler(), nullptr);
+  EXPECT_EQ(sim.telemetry(), nullptr);
+  EXPECT_EQ(sim.flight_recorder(), nullptr);
+  std::ostringstream os;
+  EXPECT_FALSE(sim.dump_flight_recorder(os));
+  EXPECT_FALSE(sim.dump_flight_recorder_chrome(os));
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(ObservabilitySim, ProfilerCountsStagedCycles) {
+  DeviceConfig dc = small_device();
+  dc.self_profile = true;
+  dc.fast_forward = false;
+  Simulator sim = make_simple_sim(dc);
+  ASSERT_NE(sim.profiler(), nullptr);
+  EXPECT_EQ(sim.profiler()->num_devices(), 1u);
+  EXPECT_EQ(sim.profiler()->vaults_per_device(), dc.num_vaults());
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x1000, 1), Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  EXPECT_EQ(sim.profiler()->staged_cycles(), sim.now());
+  EXPECT_EQ(sim.profiler()->fast_cycles(), 0u);
+}
+
+TEST(ObservabilitySim, ProfilerAccountsFastForwardSkips) {
+  DeviceConfig dc = small_device();
+  dc.self_profile = true;
+  ASSERT_TRUE(dc.fast_forward);
+  Simulator sim = make_simple_sim(dc);
+  ASSERT_NE(sim.profiler(), nullptr);
+
+  for (u32 i = 0; i < 200; ++i) sim.clock();
+  sim.flush_observability();
+  const StageProfiler& prof = *sim.profiler();
+  EXPECT_EQ(prof.staged_cycles() + prof.fast_cycles(), sim.now());
+  EXPECT_GT(prof.fast_cycles(), 0u);
+  EXPECT_GE(prof.skip_spans(), 1u);
+}
+
+TEST(ObservabilitySim, TelemetrySamplesAtConfiguredInterval) {
+  DeviceConfig dc = small_device();
+  dc.telemetry_interval_cycles = 4;
+  dc.fast_forward = false;
+  Simulator sim = make_simple_sim(dc);
+  ASSERT_NE(sim.telemetry(), nullptr);
+
+  for (u32 i = 0; i < 20; ++i) sim.clock();
+  EXPECT_EQ(sim.telemetry()->sample_passes(), 5u);  // cycles 4,8,12,16,20
+  // Idle queues: every sampled occupancy is zero.
+  const OccupancyTrack& t = sim.telemetry()->track(TelemetryTrack::VaultRqst, 0);
+  EXPECT_GT(t.samples, 0u);
+  EXPECT_EQ(t.high_water, 0u);
+}
+
+TEST(ObservabilitySim, TelemetrySamplingSurvivesFastForward) {
+  DeviceConfig dc = small_device();
+  dc.telemetry_interval_cycles = 8;
+  ASSERT_TRUE(dc.fast_forward);
+  Simulator sim = make_simple_sim(dc);
+
+  for (u32 i = 0; i < 64; ++i) sim.clock();
+  // Fast-forward must stop at every sample cycle: 8,16,...,64 -> 8 passes.
+  EXPECT_EQ(sim.telemetry()->sample_passes(), 8u);
+}
+
+TEST(ObservabilitySim, TelemetryObservesBusyQueues) {
+  DeviceConfig dc = small_device();
+  dc.telemetry_interval_cycles = 1;
+  dc.bank_busy_cycles = 16;  // keep requests queued across samples
+  Simulator sim = make_simple_sim(dc);
+
+  for (u32 i = 0; i < 8; ++i) {
+    ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, PhysAddr{0x1000} * (i + 1),
+                           static_cast<Tag>(i + 1)),
+              Status::Ok);
+  }
+  test::drain_all(sim);
+  const Telemetry& tel = *sim.telemetry();
+  const u64 vault_hw = tel.track(TelemetryTrack::VaultRqst, 0).high_water;
+  const u64 xbar_hw = tel.track(TelemetryTrack::XbarRqst, 0).high_water;
+  EXPECT_GT(vault_hw + xbar_hw, 0u);
+}
+
+TEST(ObservabilitySim, FlightRecorderCapturesSkipSpans) {
+  DeviceConfig dc = small_device();
+  dc.flight_recorder_depth = 16;
+  ASSERT_TRUE(dc.fast_forward);
+  Simulator sim = make_simple_sim(dc);
+  ASSERT_NE(sim.flight_recorder(), nullptr);
+  EXPECT_EQ(sim.flight_recorder()->depth(), 16u);
+
+  for (u32 i = 0; i < 100; ++i) sim.clock();
+  sim.flush_observability();
+  const std::vector<FlightEvent> events = sim.flight_recorder()->snapshot(0);
+  ASSERT_TRUE(has_event(events, FlightEventType::FfSkipSpan));
+  for (const FlightEvent& ev : events) {
+    if (ev.type != FlightEventType::FfSkipSpan) continue;
+    EXPECT_GT(ev.arg, 0u);          // span length
+    EXPECT_LE(ev.cycle, sim.now());  // stamped at span end
+  }
+}
+
+TEST(ObservabilitySim, WatchdogFireRecordsArmAndFireAndDumpsTail) {
+  DeviceConfig dc = small_device();
+  dc.watchdog_cycles = 50;
+  dc.flight_recorder_depth = 64;
+  dc.link_protocol = true;
+  dc.link_retry_limit = 8;
+  dc.fast_forward = false;
+  Simulator sim = make_simple_sim(dc);
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x1000, 1), Status::Ok);
+  // Wedge every bank in every vault so the request can never retire.
+  for (VaultState& vault : sim.device(0).vaults) {
+    for (Cycle& busy : vault.bank_busy_until) busy = ~Cycle{0};
+  }
+  for (u32 i = 0; i < 500 && !sim.watchdog_fired(); ++i) sim.clock();
+  ASSERT_TRUE(sim.watchdog_fired());
+
+  const std::vector<FlightEvent> events = sim.flight_recorder()->snapshot(0);
+  EXPECT_TRUE(has_event(events, FlightEventType::WatchdogArm));
+  EXPECT_TRUE(has_event(events, FlightEventType::WatchdogFire));
+
+  const std::string& report = sim.watchdog_report();
+  EXPECT_NE(report.find("flight recorder tail"), std::string::npos);
+  EXPECT_NE(report.find("WATCHDOG_FIRE"), std::string::npos);
+  // Satellite: link-protocol state rides along in the diagnostic.
+  EXPECT_NE(report.find("proto:"), std::string::npos);
+  EXPECT_NE(report.find("retry_buf_flits="), std::string::npos);
+}
+
+TEST(ObservabilitySim, WatchdogEmulationUnderFastForwardMatchesStaged) {
+  DeviceConfig dc = small_device();
+  dc.watchdog_cycles = 50;
+  dc.flight_recorder_depth = 64;
+
+  auto run = [&dc](bool fast_forward) {
+    dc.fast_forward = fast_forward;
+    Simulator sim = make_simple_sim(dc);
+    EXPECT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x1000, 1), Status::Ok);
+    for (VaultState& vault : sim.device(0).vaults) {
+      for (Cycle& busy : vault.bank_busy_until) busy = ~Cycle{0};
+    }
+    for (u32 i = 0; i < 500 && !sim.watchdog_fired(); ++i) sim.clock();
+    EXPECT_TRUE(sim.watchdog_fired());
+    return sim.now();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ObservabilitySim, JsonReportHasObservabilitySections) {
+  DeviceConfig dc = small_device();
+  dc.self_profile = true;
+  dc.telemetry_interval_cycles = 4;
+  dc.flight_recorder_depth = 32;
+  Simulator sim = make_simple_sim(dc);
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x1000, 1), Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  sim.flush_observability();
+
+  std::ostringstream os;
+  write_stats_json(os, sim);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage1_child_xbar\""), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"vault_rqst\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(json.find("\"self_profile\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry_interval_cycles\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"flight_recorder_depth\":32"), std::string::npos);
+}
+
+TEST(ObservabilitySim, JsonReportOmitsSectionsWhenOff) {
+  Simulator sim = make_simple_sim();
+  std::ostringstream os;
+  write_stats_json(os, sim);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("\"profile\""), std::string::npos);
+  EXPECT_EQ(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_EQ(json.find("\"flight_recorder\""), std::string::npos);
+  // The config keys still report the off state.
+  EXPECT_NE(json.find("\"self_profile\":false"), std::string::npos);
+}
+
+TEST(ObservabilitySim, ResetClearsObservability) {
+  DeviceConfig dc = small_device();
+  dc.self_profile = true;
+  dc.telemetry_interval_cycles = 2;
+  dc.flight_recorder_depth = 8;
+  Simulator sim = make_simple_sim(dc);
+
+  ASSERT_EQ(send_request(sim, 0, 0, Command::Rd32, 0x1000, 1), Status::Ok);
+  ASSERT_TRUE(await_response(sim, 0, 0).has_value());
+  ASSERT_GT(sim.profiler()->staged_cycles(), 0u);
+
+  sim.reset();
+  ASSERT_NE(sim.profiler(), nullptr);
+  EXPECT_EQ(sim.profiler()->staged_cycles(), 0u);
+  EXPECT_EQ(sim.telemetry()->sample_passes(), 0u);
+  EXPECT_EQ(sim.flight_recorder()->recorded(0), 0u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,89 @@
+// StageProfiler unit tests: accumulation slots, cycle counters, reset, and
+// the monotonic time source.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "profile/profiler.hpp"
+
+namespace hmcsim {
+namespace {
+
+TEST(StageProfiler, AccumulatesPerStage) {
+  StageProfiler prof(2, 4);
+  prof.add_stage(ProfileStage::Stage1Xbar, 10);
+  prof.add_stage(ProfileStage::Stage1Xbar, 5);
+  prof.add_stage(ProfileStage::Stage5Responses, 7);
+  EXPECT_EQ(prof.stage_ns(ProfileStage::Stage1Xbar), 15u);
+  EXPECT_EQ(prof.stage_ns(ProfileStage::Stage5Responses), 7u);
+  EXPECT_EQ(prof.stage_ns(ProfileStage::Stage6Clock), 0u);
+  EXPECT_EQ(prof.total_ns(), 22u);
+}
+
+TEST(StageProfiler, DeviceAndVaultSlotsAreIndependent) {
+  StageProfiler prof(2, 4);
+  prof.add_device(ProfileStage::Stage1Xbar, 0, 3);
+  prof.add_device(ProfileStage::Stage2RootXbar, 1, 4);
+  prof.add_vault(0, 3, 11);
+  prof.add_vault(1, 0, 13);
+  prof.add_vault(1, 0, 2);
+  EXPECT_EQ(prof.device_ns(ProfileStage::Stage1Xbar, 0), 3u);
+  EXPECT_EQ(prof.device_ns(ProfileStage::Stage1Xbar, 1), 0u);
+  EXPECT_EQ(prof.device_ns(ProfileStage::Stage2RootXbar, 1), 4u);
+  EXPECT_EQ(prof.vault_ns(0, 3), 11u);
+  EXPECT_EQ(prof.vault_ns(1, 0), 15u);
+  EXPECT_EQ(prof.vault_ns(0, 0), 0u);
+  // Shard-side attribution is not double-counted into the stage totals.
+  EXPECT_EQ(prof.total_ns(), 0u);
+}
+
+TEST(StageProfiler, CycleCountersTrackSeparately) {
+  StageProfiler prof(1, 1);
+  prof.note_staged_cycle();
+  prof.note_staged_cycle();
+  prof.note_fast_cycle();
+  prof.note_skip_span();
+  EXPECT_EQ(prof.staged_cycles(), 2u);
+  EXPECT_EQ(prof.fast_cycles(), 1u);
+  EXPECT_EQ(prof.skip_spans(), 1u);
+}
+
+TEST(StageProfiler, ResetZeroesEverything) {
+  StageProfiler prof(1, 2);
+  prof.add_stage(ProfileStage::Stage34Vaults, 9);
+  prof.add_device(ProfileStage::Stage1Xbar, 0, 1);
+  prof.add_vault(0, 1, 5);
+  prof.note_staged_cycle();
+  prof.note_fast_cycle();
+  prof.note_skip_span();
+  prof.reset();
+  EXPECT_EQ(prof.total_ns(), 0u);
+  EXPECT_EQ(prof.device_ns(ProfileStage::Stage1Xbar, 0), 0u);
+  EXPECT_EQ(prof.vault_ns(0, 1), 0u);
+  EXPECT_EQ(prof.staged_cycles(), 0u);
+  EXPECT_EQ(prof.fast_cycles(), 0u);
+  EXPECT_EQ(prof.skip_spans(), 0u);
+}
+
+TEST(StageProfiler, StageNamesAreDistinctAndStable) {
+  EXPECT_STREQ(profile_stage_name(ProfileStage::Stage1Xbar),
+               "stage1_child_xbar");
+  EXPECT_STREQ(profile_stage_name(ProfileStage::Stage34Vaults),
+               "stage3_4_vaults");
+  EXPECT_STREQ(profile_stage_name(ProfileStage::FastForward), "fast_forward");
+  for (usize a = 0; a < kProfileStageCount; ++a) {
+    for (usize b = a + 1; b < kProfileStageCount; ++b) {
+      EXPECT_STRNE(profile_stage_name(static_cast<ProfileStage>(a)),
+                   profile_stage_name(static_cast<ProfileStage>(b)));
+    }
+  }
+}
+
+TEST(StageProfiler, NowNsIsMonotonic) {
+  const u64 a = StageProfiler::now_ns();
+  const u64 b = StageProfiler::now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace hmcsim

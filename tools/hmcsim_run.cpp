@@ -52,9 +52,31 @@
 //     --retries <n>         host resend budget per timed-out request
 //     --backoff <n>         host backoff before the first resend, cycles
 //
+//   Observability (see docs/OBSERVABILITY.md):
+//     --profile             self-profile the clock engine; print the
+//                           per-stage wall-time table after the summary
+//     --telemetry-interval <n>    sample queue/token/tag occupancy
+//                           high-water marks and histograms every n cycles
+//     --flight-recorder <file>    dump the flight-recorder event ring as
+//                           text at exit (enables a 256-deep ring if
+//                           --flight-recorder-depth is not given)
+//     --flight-recorder-chrome <file>  ditto, as Chrome trace-event JSON
+//     --flight-recorder-depth <n>      per-device ring capacity, events
+//     --wedge-vaults <mask> mark every bank of the masked vaults busy
+//                           forever (deterministic stall injection for
+//                           watchdog / flight-recorder testing)
+//
+//   Every option also accepts the --flag=value spelling; numeric values are
+//   parsed strictly (trailing junk is a usage error).
+//
 //   Exit status: 0 success, 1 incomplete run, 2 usage error, 3 watchdog
-//   fired (diagnostic dump on stderr).
+//   fired (diagnostic dump on stderr, including link-protocol state and
+//   the flight-recorder tail when enabled).
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -116,6 +138,13 @@ struct Args {
   u64 timeout = 0;
   u32 retries = 0;
   u64 backoff = 0;
+  // Observability.
+  bool profile = false;
+  std::string flight_recorder_out;
+  std::string flight_recorder_chrome;
+  u64 flight_recorder_depth = 0;
+  u64 telemetry_interval = 0;
+  u64 wedge_vaults = 0;
 };
 
 void usage(const char* argv0) {
@@ -128,130 +157,222 @@ void usage(const char* argv0) {
                "[--fig5-csv FILE] [--trace-out FILE]\n"
                "       [--chrome-trace FILE] [--metrics-interval N] "
                "[--metrics-csv FILE] [--seed N] [--threads N] "
-               "[--no-fast-forward]\n",
+               "[--no-fast-forward]\n"
+               "       [--profile] [--telemetry-interval N] "
+               "[--flight-recorder FILE] [--flight-recorder-chrome FILE]\n"
+               "       [--flight-recorder-depth N] [--wedge-vaults MASK]\n",
                argv0);
 }
 
+// Strict value parsing: the whole token must convert — no trailing junk, no
+// silent negative-to-huge-unsigned wrap, no out-of-range values.  A typo'd
+// value aborts the run instead of silently changing the experiment.
+bool value_error(const std::string& flag, const char* v, const char* what) {
+  std::fprintf(stderr, "error: option '%s' expects %s, got '%s'\n",
+               flag.c_str(), what, v);
+  return false;
+}
+
+bool parse_u64_strict(const std::string& flag, const char* v, u64& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 0);
+  if (v[0] == '\0' || v[0] == '-' || end == v || *end != '\0' ||
+      errno == ERANGE) {
+    return value_error(flag, v, "an unsigned number");
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_u32_strict(const std::string& flag, const char* v, u32& out) {
+  u64 wide = 0;
+  if (!parse_u64_strict(flag, v, wide)) return false;
+  if (wide > 0xffffffffULL) return value_error(flag, v, "a 32-bit number");
+  out = static_cast<u32>(wide);
+  return true;
+}
+
+bool parse_double_strict(const std::string& flag, const char* v, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (v[0] == '\0' || end == v || *end != '\0' || errno == ERANGE) {
+    return value_error(flag, v, "a number");
+  }
+  out = parsed;
+  return true;
+}
+
 bool parse_args(int argc, char** argv, Args& args) {
+  // Value-taking options, grouped by target type.  Both `--flag value` and
+  // `--flag=value` are accepted; boolean switches reject an `=value` suffix.
+  struct StrOpt { const char* flag; std::string Args::* field; };
+  struct U64Opt { const char* flag; u64 Args::* field; };
+  struct U32Opt { const char* flag; u32 Args::* field; };
+  struct I64Opt { const char* flag; i64 Args::* field; };
+  static constexpr StrOpt kStrOpts[] = {
+      {"--config", &Args::config_file},
+      {"--topology", &Args::topology},
+      {"--workload", &Args::workload},
+      {"--trace-in", &Args::trace_in},
+      {"--json", &Args::json_out},
+      {"--fig5-csv", &Args::fig5_csv},
+      {"--trace-out", &Args::trace_out},
+      {"--chrome-trace", &Args::chrome_trace},
+      {"--metrics-csv", &Args::metrics_csv},
+      {"--flight-recorder", &Args::flight_recorder_out},
+      {"--flight-recorder-chrome", &Args::flight_recorder_chrome},
+  };
+  static constexpr U64Opt kU64Opts[] = {
+      {"--requests", &Args::requests},
+      {"--metrics-interval", &Args::metrics_interval},
+      {"--timeout", &Args::timeout},
+      {"--backoff", &Args::backoff},
+      {"--telemetry-interval", &Args::telemetry_interval},
+      {"--flight-recorder-depth", &Args::flight_recorder_depth},
+      {"--wedge-vaults", &Args::wedge_vaults},
+  };
+  static constexpr U32Opt kU32Opts[] = {
+      {"--request-bytes", &Args::request_bytes},
+      {"--seed", &Args::seed},
+      {"--retries", &Args::retries},
+  };
+  // RAS / link overrides share the -1 "leave the config value" sentinel.
+  static constexpr I64Opt kI64Opts[] = {
+      {"--threads", &Args::threads},
+      {"--dram-sbe-ppm", &Args::dram_sbe_ppm},
+      {"--dram-dbe-ppm", &Args::dram_dbe_ppm},
+      {"--scrub-interval", &Args::scrub_interval},
+      {"--scrub-window", &Args::scrub_window},
+      {"--vault-fail-threshold", &Args::vault_fail_threshold},
+      {"--failed-vaults", &Args::failed_vaults},
+      {"--vault-remap", &Args::vault_remap},
+      {"--watchdog", &Args::watchdog},
+      {"--link-error-ppm", &Args::link_error_ppm},
+      {"--link-retry-limit", &Args::link_retry_limit},
+      {"--link-protocol", &Args::link_protocol},
+      {"--link-tokens", &Args::link_tokens},
+      {"--link-retry-latency", &Args::link_retry_latency},
+      {"--link-burst", &Args::link_burst},
+      {"--link-stuck-interval", &Args::link_stuck_interval},
+      {"--link-stuck-window", &Args::link_stuck_window},
+      {"--link-fail-threshold", &Args::link_fail_threshold},
+  };
+
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    // Boolean switches (no value) come first.
-    if (flag == "--no-fast-forward") {
-      args.no_fast_forward = true;
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (flag.size() > 2 && flag.compare(0, 2, "--") == 0) {
+      const auto eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
+
+    // Boolean switches.
+    if (flag == "--no-fast-forward" || flag == "--profile") {
+      if (has_inline) {
+        std::fprintf(stderr, "error: option '%s' takes no value\n",
+                     flag.c_str());
+        return false;
+      }
+      (flag == "--no-fast-forward" ? args.no_fast_forward : args.profile) =
+          true;
       continue;
     }
-    // Every remaining option takes a value; an unrecognized option (or a
-    // recognized one with its value missing) is a hard error so typos
-    // cannot silently change an experiment.
-    const bool known =
-        flag == "--config" || flag == "--preset" || flag == "--topology" ||
-        flag == "--workload" || flag == "--trace-in" || flag == "--requests" ||
-        flag == "--read-fraction" || flag == "--request-bytes" ||
-        flag == "--policy" || flag == "--json" || flag == "--fig5-csv" ||
-        flag == "--trace-out" || flag == "--chrome-trace" ||
-        flag == "--metrics-interval" || flag == "--metrics-csv" ||
-        flag == "--seed" || flag == "--threads" || flag == "--dram-sbe-ppm" ||
-        flag == "--dram-dbe-ppm" || flag == "--scrub-interval" ||
-        flag == "--scrub-window" || flag == "--vault-fail-threshold" ||
-        flag == "--failed-vaults" || flag == "--vault-remap" ||
-        flag == "--watchdog" || flag == "--link-error-ppm" ||
-        flag == "--link-retry-limit" || flag == "--link-protocol" ||
-        flag == "--link-tokens" || flag == "--link-retry-latency" ||
-        flag == "--link-burst" || flag == "--link-stuck-interval" ||
-        flag == "--link-stuck-window" || flag == "--link-fail-threshold" ||
-        flag == "--timeout" || flag == "--retries" || flag == "--backoff";
-    if (!known) {
-      std::fprintf(stderr, "error: unknown option '%s'\n", flag.c_str());
-      usage(argv[0]);
-      return false;
+
+    // Fetch the value for a value-taking option; null means it is missing.
+    const auto take_value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option '%s' requires a value\n",
+                     flag.c_str());
+        usage(argv[0]);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+
+    bool handled = false;
+    for (const StrOpt& opt : kStrOpts) {
+      if (flag != opt.flag) continue;
+      const char* v = take_value();
+      if (v == nullptr) return false;
+      args.*opt.field = v;
+      handled = true;
+      break;
     }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: option '%s' requires a value\n",
-                   flag.c_str());
-      usage(argv[0]);
-      return false;
+    if (handled) continue;
+    for (const U64Opt& opt : kU64Opts) {
+      if (flag != opt.flag) continue;
+      const char* v = take_value();
+      if (v == nullptr || !parse_u64_strict(flag, v, args.*opt.field)) {
+        return false;
+      }
+      handled = true;
+      break;
     }
-    const char* v = argv[++i];
-    if (flag == "--config") {
-      args.config_file = v;
-    } else if (flag == "--preset") {
+    if (handled) continue;
+    for (const U32Opt& opt : kU32Opts) {
+      if (flag != opt.flag) continue;
+      const char* v = take_value();
+      if (v == nullptr || !parse_u32_strict(flag, v, args.*opt.field)) {
+        return false;
+      }
+      handled = true;
+      break;
+    }
+    if (handled) continue;
+    for (const I64Opt& opt : kI64Opts) {
+      if (flag != opt.flag) continue;
+      const char* v = take_value();
+      u64 parsed = 0;
+      if (v == nullptr || !parse_u64_strict(flag, v, parsed)) return false;
+      if (parsed > static_cast<u64>(INT64_MAX)) {
+        return value_error(flag, v, "a smaller number");
+      }
+      args.*opt.field = static_cast<i64>(parsed);
+      handled = true;
+      break;
+    }
+    if (handled) continue;
+
+    if (flag == "--preset") {
+      const char* v = take_value();
+      if (v == nullptr) return false;
+      if (std::strlen(v) != 1) return value_error(flag, v, "one of a|b|c|d");
       args.preset = static_cast<char>(std::tolower(v[0]));
-    } else if (flag == "--topology") {
-      args.topology = v;
-    } else if (flag == "--workload") {
-      args.workload = v;
-    } else if (flag == "--trace-in") {
-      args.trace_in = v;
-    } else if (flag == "--requests") {
-      args.requests = std::strtoull(v, nullptr, 0);
-    } else if (flag == "--read-fraction") {
-      args.read_fraction = std::strtod(v, nullptr);
-    } else if (flag == "--request-bytes") {
-      args.request_bytes = static_cast<u32>(std::strtoul(v, nullptr, 0));
-    } else if (flag == "--policy") {
-      args.policy = std::strcmp(v, "local") == 0
-                        ? InjectionPolicy::LocalityAware
-                        : InjectionPolicy::RoundRobin;
-    } else if (flag == "--json") {
-      args.json_out = v;
-    } else if (flag == "--fig5-csv") {
-      args.fig5_csv = v;
-    } else if (flag == "--trace-out") {
-      args.trace_out = v;
-    } else if (flag == "--chrome-trace") {
-      args.chrome_trace = v;
-    } else if (flag == "--metrics-interval") {
-      args.metrics_interval = std::strtoull(v, nullptr, 0);
-    } else if (flag == "--metrics-csv") {
-      args.metrics_csv = v;
-    } else if (flag == "--seed") {
-      args.seed = static_cast<u32>(std::strtoul(v, nullptr, 0));
-    } else if (flag == "--threads") {
-      args.threads = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--dram-sbe-ppm") {
-      args.dram_sbe_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--dram-dbe-ppm") {
-      args.dram_dbe_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--scrub-interval") {
-      args.scrub_interval = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--scrub-window") {
-      args.scrub_window = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--vault-fail-threshold") {
-      args.vault_fail_threshold =
-          static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--failed-vaults") {
-      args.failed_vaults = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--vault-remap") {
-      args.vault_remap = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--watchdog") {
-      args.watchdog = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-error-ppm") {
-      args.link_error_ppm = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-retry-limit") {
-      args.link_retry_limit = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-protocol") {
-      args.link_protocol = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-tokens") {
-      args.link_tokens = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-retry-latency") {
-      args.link_retry_latency = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-burst") {
-      args.link_burst = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-stuck-interval") {
-      args.link_stuck_interval =
-          static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-stuck-window") {
-      args.link_stuck_window = static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--link-fail-threshold") {
-      args.link_fail_threshold =
-          static_cast<i64>(std::strtoull(v, nullptr, 0));
-    } else if (flag == "--timeout") {
-      args.timeout = std::strtoull(v, nullptr, 0);
-    } else if (flag == "--retries") {
-      args.retries = static_cast<u32>(std::strtoul(v, nullptr, 0));
-    } else if (flag == "--backoff") {
-      args.backoff = std::strtoull(v, nullptr, 0);
+      continue;
     }
+    if (flag == "--policy") {
+      const char* v = take_value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "local") == 0) {
+        args.policy = InjectionPolicy::LocalityAware;
+      } else if (std::strcmp(v, "rr") == 0) {
+        args.policy = InjectionPolicy::RoundRobin;
+      } else {
+        return value_error(flag, v, "rr or local");
+      }
+      continue;
+    }
+    if (flag == "--read-fraction") {
+      const char* v = take_value();
+      if (v == nullptr || !parse_double_strict(flag, v, args.read_fraction)) {
+        return false;
+      }
+      continue;
+    }
+
+    // An unrecognized option is a hard error so typos cannot silently
+    // change an experiment.
+    std::fprintf(stderr, "error: unknown option '%s'\n", flag.c_str());
+    usage(argv[0]);
+    return false;
   }
   return true;
 }
@@ -384,6 +505,19 @@ int main(int argc, char** argv) {
     }
     if (args.threads >= 0) dc.sim_threads = static_cast<u32>(args.threads);
     if (args.no_fast_forward) dc.fast_forward = false;
+    // Observability knobs (pure observation; see docs/OBSERVABILITY.md).
+    if (args.profile) dc.self_profile = true;
+    if (args.telemetry_interval != 0) {
+      dc.telemetry_interval_cycles = static_cast<u32>(args.telemetry_interval);
+    }
+    if (args.flight_recorder_depth != 0) {
+      dc.flight_recorder_depth = static_cast<u32>(args.flight_recorder_depth);
+    }
+    if ((!args.flight_recorder_out.empty() ||
+         !args.flight_recorder_chrome.empty()) &&
+        dc.flight_recorder_depth == 0) {
+      dc.flight_recorder_depth = 256;  // a dump was asked for: default ring
+    }
     // The DRAM fault domain lives in the data store; injection and
     // scrubbing need it present.
     if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
@@ -436,6 +570,19 @@ int main(int argc, char** argv) {
   if (!ok(sim.init(config, std::move(topo), &diag))) {
     std::fprintf(stderr, "init failed: %s\n", diag.c_str());
     return 1;
+  }
+
+  if (args.wedge_vaults != 0) {
+    // Deterministic stall injection: every bank of the masked vaults stays
+    // busy forever (refresh only extends busy windows, never shortens them),
+    // so their requests never retire and the watchdog must eventually fire.
+    for (u32 d = 0; d < sim.num_devices(); ++d) {
+      Device& dev = sim.device(d);
+      for (u32 v = 0; v < config.device.num_vaults(); ++v) {
+        if ((args.wedge_vaults >> v & 1) == 0) continue;
+        for (Cycle& busy : dev.vaults[v].bank_busy_until) busy = ~Cycle{0};
+      }
+    }
   }
 
   // ---- sinks --------------------------------------------------------------
@@ -494,6 +641,7 @@ int main(int argc, char** argv) {
   HostDriver driver(sim, *gen, dcfg);
   const DriverResult r = driver.run();
   sim.tracer().flush();
+  sim.flush_observability();
 
   // ---- report ---------------------------------------------------------------
   const DeviceStats s = sim.total_stats();
@@ -551,6 +699,11 @@ int main(int argc, char** argv) {
   if (lifecycle->completed() != 0) {
     std::printf("%s", format_latency_breakdown(*lifecycle).c_str());
   }
+  if (args.profile) {
+    std::printf("%s", format_profile_table(sim).c_str());
+    const std::string tel = format_telemetry_table(sim);
+    if (!tel.empty()) std::printf("\n%s", tel.c_str());
+  }
 
   ReportExtras extras;
   extras.lifecycle = lifecycle.get();
@@ -595,6 +748,27 @@ int main(int argc, char** argv) {
   }
   if (trace_file.is_open()) {
     std::printf("trace     : %s\n", args.trace_out.c_str());
+  }
+  if (!args.flight_recorder_out.empty()) {
+    std::ofstream out(args.flight_recorder_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   args.flight_recorder_out.c_str());
+      return 1;
+    }
+    sim.dump_flight_recorder(out);
+    std::printf("flight rec: %s\n", args.flight_recorder_out.c_str());
+  }
+  if (!args.flight_recorder_chrome.empty()) {
+    std::ofstream out(args.flight_recorder_chrome);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   args.flight_recorder_chrome.c_str());
+      return 1;
+    }
+    sim.dump_flight_recorder_chrome(out);
+    std::printf("flight rec: %s (chrome trace)\n",
+                args.flight_recorder_chrome.c_str());
   }
   if (r.watchdog_fired) {
     std::fprintf(stderr, "%s", sim.watchdog_report().c_str());
