@@ -6,17 +6,20 @@
 #
 # Usage:
 #   scripts/run_benches.sh                 # writes BENCH_fastforward.json,
-#                                          #   BENCH_linkretry.json and
-#                                          #   BENCH_profile.json
+#                                          #   BENCH_linkretry.json,
+#                                          #   BENCH_profile.json and
+#                                          #   BENCH_checkpoint.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # write elsewhere
 #
 # Acceptance gates: fast-forward must be >= 5x on the sparse (~1%
 # occupancy) GUPS workload with every run pair bit-identical
 # (bench_fast_forward exits nonzero otherwise), the link-layer retry
 # protocol must cost ~0 when switched off (bench_link_retry gates its two
-# protocol-off runs within 10% of each other; see docs/LINK_LAYER.md), and
-# the observability layer (docs/OBSERVABILITY.md) must cost < 2% when all
-# off and < 10% fully on (bench_profile_overhead gates both itself).
+# protocol-off runs within 10% of each other; see docs/LINK_LAYER.md), the
+# observability layer (docs/OBSERVABILITY.md) must cost < 2% when all
+# off and < 10% fully on (bench_profile_overhead gates both itself), and
+# periodic auto-checkpointing (docs/FORMATS.md §5) must cost < 5% at the
+# default 10k-cycle cadence (bench_checkpoint gates itself).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +27,7 @@ BUILD=${BUILD:-build-release}
 OUT=${OUT:-BENCH_fastforward.json}
 OUT_LINK=${OUT_LINK:-BENCH_linkretry.json}
 OUT_PROFILE=${OUT_PROFILE:-BENCH_profile.json}
+OUT_CKPT=${OUT_CKPT:-BENCH_checkpoint.json}
 GEN=()
 command -v ninja >/dev/null && GEN=(-G Ninja)
 
@@ -31,7 +35,7 @@ echo "== configure & build ($BUILD, Release) =="
 cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target \
   bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry \
-  bench_profile_overhead
+  bench_profile_overhead bench_checkpoint
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -44,6 +48,9 @@ echo "== bench_link_retry =="
 
 echo "== bench_profile_overhead =="
 "$BUILD"/bench/bench_profile_overhead --json "$OUT_PROFILE"
+
+echo "== bench_checkpoint =="
+"$BUILD"/bench/bench_checkpoint --json "$OUT_CKPT"
 
 echo "== bench_sim_speed =="
 "$BUILD"/bench/bench_sim_speed \
@@ -97,3 +104,15 @@ if ! jq -e '.observability_off_overhead_pct < 2 and
   exit 1
 fi
 echo "wrote $OUT_PROFILE"
+
+ckpt_on=$(jq -r '.checkpoint_on_overhead_pct' "$OUT_CKPT")
+save_ms=$(jq -r '.save_ms' "$OUT_CKPT")
+restore_ms=$(jq -r '.restore_ms' "$OUT_CKPT")
+echo "auto-checkpoint overhead at 10k-cycle cadence: ${ckpt_on}% (gate: < 5%)"
+echo "checkpoint save: ${save_ms} ms, restore: ${restore_ms} ms"
+if ! jq -e '.checkpoint_off_overhead_pct < 2 and
+            .checkpoint_on_overhead_pct < 5' "$OUT_CKPT" >/dev/null; then
+  echo "FAIL: auto-checkpoint overhead above the acceptance gates" >&2
+  exit 1
+fi
+echo "wrote $OUT_CKPT"

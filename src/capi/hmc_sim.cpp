@@ -625,6 +625,65 @@ int hmcsim_build_custom_request(struct hmcsim_t* hmc, uint8_t cub,
   return 0;
 }
 
+namespace {
+
+/// Backing store for hmcsim_last_error.  Thread-local so concurrent
+/// simulators on different threads cannot clobber each other's reason.
+thread_local std::string g_last_error;
+
+}  // namespace
+
+int hmcsim_checkpoint_save(struct hmcsim_t* hmc, const char* path) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || path == nullptr) {
+    g_last_error = "invalid handle or path";
+    return -1;
+  }
+  if (!ok(shim->freeze())) {
+    g_last_error = "simulator bring-up failed";
+    return -1;
+  }
+  CheckpointError err;
+  if (!ok(shim->sim.save_checkpoint_file(path, &err))) {
+    g_last_error = err.message();
+    return -1;
+  }
+  g_last_error.clear();
+  return 0;
+}
+
+int hmcsim_checkpoint_restore(struct hmcsim_t* hmc, const char* path) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || path == nullptr) {
+    g_last_error = "invalid handle or path";
+    return -1;
+  }
+  CheckpointError err;
+  if (!ok(shim->sim.restore_checkpoint_file(path, &err))) {
+    g_last_error = err.message();
+    return -1;
+  }
+  // The restored simulator is initialized: mirror its configuration into
+  // the shim and freeze the topology, wiring the deferred trace/lifecycle
+  // hooks exactly as the first send/clock would have.
+  shim->config = shim->sim.config();
+  if (!shim->frozen) {
+    shim->sim.tracer().set_level(shim->pending_level);
+    if (shim->trace_stream) {
+      shim->sim.tracer().add_sink(
+          std::make_shared<TextSink>(*shim->trace_stream));
+    }
+    if (shim->lifecycle) shim->sim.add_lifecycle_observer(shim->lifecycle);
+    shim->frozen = true;
+  }
+  hmc->num_devs = shim->config.num_devices;
+  hmc->num_links = shim->config.device.num_links;
+  g_last_error.clear();
+  return 0;
+}
+
+const char* hmcsim_last_error(void) { return g_last_error.c_str(); }
+
 int hmcsim_free(struct hmcsim_t* hmc) {
   Shim* shim = shim_of(hmc);
   if (shim == nullptr) return -1;

@@ -322,6 +322,30 @@ int hmcsim_build_custom_request(struct hmcsim_t* hmc, uint8_t cub,
                                 uint8_t link, const uint64_t* payload,
                                 uint64_t* packet);
 
+/*
+ * Crash-consistent checkpointing (docs/FORMATS.md section 5).
+ *
+ * hmcsim_checkpoint_save writes the complete simulator state to `path`
+ * atomically (temp file + fsync + rename): an interrupted save can never
+ * tear an existing checkpoint.  Implicitly freezes the topology, like the
+ * first send/clock.
+ *
+ * hmcsim_checkpoint_restore rebuilds the simulator from `path`.  Every
+ * failure mode — missing file, truncation, bit-rot (per-section CRC),
+ * impossible field values, unknown version — returns -1 with a
+ * human-readable reason available from hmcsim_last_error(); no input can
+ * crash the process.  On success the topology is frozen and the run
+ * continues cycle-for-cycle identically to the saved one.
+ */
+int hmcsim_checkpoint_save(struct hmcsim_t* hmc, const char* path);
+int hmcsim_checkpoint_restore(struct hmcsim_t* hmc, const char* path);
+
+/* One-line description of why the most recent checkpoint save/restore on
+ * this thread failed ("" when it succeeded), e.g.
+ * "section crc mismatch in section DEVC at byte 4242".  The pointer stays
+ * valid until the next checkpoint call on the same thread. */
+const char* hmcsim_last_error(void);
+
 /* Section A (teardown): release the devices. */
 int hmcsim_free(struct hmcsim_t* hmc);
 

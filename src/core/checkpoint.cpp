@@ -1,31 +1,51 @@
 // Checkpoint serialization for Simulator (see simulator.hpp for the API
-// contract).  Versioned little-endian binary format:
+// contract and checkpoint.hpp for the robustness layer).  Versioned
+// little-endian binary format; since v6 the body is section-framed:
 //
 //   magic "HMCSIMCK" | version u32
-//   SimConfig fields
-//   topology: devices u32, links u32, endpoints[devices*links]
-//   clock u64
-//   per device:
-//     stats (fixed u64 array)
-//     register snapshot (values + self-clear flags)
-//     memory pages: count u64, then (index u64, 4096 raw bytes)*
-//     link queues, vault queues (+ bank timing), mode staging queue
+//   section*:  type u32 | payload_len u64 | payload crc32k u32 | payload
+//   trailer magic "HMCSIMEN"
+//
+// Mandatory section order: CFG, TOPO, CLK, DEVC (once per device), WDOG,
+// then an optional HOST blob, then the trailer.  Section payloads:
+//
+//   CFG   SimConfig fields
+//   TOPO  devices u32, links u32, endpoints[devices*links]
+//   CLK   clock u64
+//   DEVC  stats, register snapshot, memory pages (count u64, then
+//         (index u64, 4096 raw bytes)*), link queues + protocol state,
+//         vault queues (+ bank timing + rng), mode staging queue, RAS block
+//   WDOG  forward-progress watchdog state
+//   HOST  opaque host-driver blob (workload/driver.hpp), passed through
 //
 // Queue entries serialize the raw packet plus routing metadata; decoded
 // request fields are re-derived on load so the packet remains the single
 // source of truth.
+//
+// Restore is hostile-input safe: every failure mode — bad magic, short
+// read, CRC mismatch, impossible field value, unknown version — becomes a
+// typed CheckpointError, and no input can make it allocate unboundedly
+// (section lengths are capped and payloads are read in bounded chunks, so
+// a forged length only ever costs the bytes actually present).
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "io/atomic_file.hpp"
+#include "packet/crc32.hpp"
 
 namespace hmcsim {
 namespace {
 
 constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
+constexpr char kTrailer[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'E', 'N'};
 // Version 2 added per-entry PacketLifecycle stamps to both queue records.
 // Version 3 added the RAS subsystem: new config knobs and stats counters,
 // the fault-injection RNG state (previously lost across restore, so
@@ -43,6 +63,13 @@ constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // (token pool, retry pointers, SEQ, error-abort machine including a
 // possibly-held replay packet).
 //
+// Version 6 changed the container, not the payload encoding: the body is
+// now split into sections, each framed with a type, byte length, and
+// CRC-32K, and the file ends with a trailer magic.  Truncation and bit-rot
+// are therefore *detected* instead of being misparsed, which is what makes
+// crash-consistent auto-checkpointing (checkpoint.hpp) safe.  v6 also
+// introduced the optional HOST section carrying opaque host-driver state.
+//
 // Restore accepts every version back to 2 (the oldest format any released
 // tool wrote).  Fields a version lacks keep their init() values: v2/v3
 // restores keep the deterministic init-seeded per-vault DRAM RNGs, v2
@@ -52,7 +79,7 @@ constexpr char kMagic[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'C', 'K'};
 // the current version.  Committed fixtures for every readable version live
 // under tests/golden/checkpoints/ and are replayed by
 // test_checkpoint_compat.
-constexpr u32 kVersion = 5;
+constexpr u32 kVersion = 6;
 constexpr u32 kMinVersion = 2;
 // Registers that existed in version 2 (enum prefix through Rvid); the RAS
 // error-log block was appended in version 3 and the two link-layer RAS
@@ -63,6 +90,15 @@ constexpr usize kV3RegCount = 49;
 // appended the 8 RAS counters, version 5 the 13 link-layer counters.
 constexpr usize kV2StatsCount = 25;
 constexpr usize kV3StatsCount = 33;
+
+constexpr u64 le_word(const char (&bytes)[8]) {
+  u64 w = 0;
+  for (int i = 0; i < 8; ++i) {
+    w |= static_cast<u64>(static_cast<u8>(bytes[i])) << (8 * i);
+  }
+  return w;
+}
+constexpr u64 kTrailerWord = le_word(kTrailer);
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -106,6 +142,11 @@ bool get_u8(std::istream& is, u8& v) {
   if (!get_u64(is, wide) || wide > 0xffull) return false;
   v = static_cast<u8>(wide);
   return true;
+}
+
+u32 payload_crc(const std::string& payload) {
+  return crc::crc32k(std::span<const u8>(
+      reinterpret_cast<const u8*>(payload.data()), payload.size()));
 }
 
 // ---- aggregate writers/readers --------------------------------------------
@@ -455,119 +496,396 @@ bool get_link_proto(std::istream& is, LinkProtoState& st,
   return true;
 }
 
+// ---- whole-device block (shared by the legacy stream and DEVC sections) ----
+
+void put_device_block(std::ostream& os, const Device& dev) {
+  put_stats(os, dev.stats);
+
+  const RegisterFile::Snapshot regs = dev.regs.snapshot();
+  for (const u64 v : regs.values) put_u64(os, v);
+  for (const bool b : regs.pending_self_clear) put_u8(os, b ? 1 : 0);
+
+  // Pages are emitted in ascending index order so that checkpoints are
+  // deterministic (byte-identical for identical state) regardless of the
+  // hash map's insertion history.
+  std::vector<u64> page_indices;
+  page_indices.reserve(dev.store.resident_pages());
+  dev.store.for_each_page([&](u64 index, std::span<const u8>) {
+    page_indices.push_back(index);
+  });
+  std::sort(page_indices.begin(), page_indices.end());
+  put_u64(os, page_indices.size());
+  std::vector<u8> page_bytes(SparseStore::kPageBytes);
+  for (const u64 index : page_indices) {
+    put_u64(os, index);
+    (void)dev.store.read(index * SparseStore::kPageBytes, page_bytes);
+    put_bytes(os, page_bytes.data(), page_bytes.size());
+  }
+
+  for (const LinkState& link : dev.links) {
+    put_request_queue(os, link.rqst);
+    put_response_queue(os, link.rsp);
+    put_u64(os, link.rqst_flits_forwarded);
+    put_u64(os, link.rsp_flits_forwarded);
+    put_u64(os, static_cast<u64>(link.rqst_budget));
+    put_u64(os, static_cast<u64>(link.rsp_budget));
+    put_link_proto(os, link.proto);  // v5
+  }
+  for (const VaultState& vault : dev.vaults) {
+    put_request_queue(os, vault.rqst);
+    put_response_queue(os, vault.rsp);
+    for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
+    for (const u64 row : vault.open_row) put_u64(os, row);
+    put_u64(os, vault.dram_rng.state());  // v4
+  }
+  put_response_queue(os, dev.mode_rsp);
+
+  // RAS state (v3): RNG, fault sidecar (ascending order by construction),
+  // degradation, error log, scrub cursor.
+  put_u64(os, dev.fault_rng.state());
+  put_u64(os, dev.store.fault_count());
+  dev.store.for_each_fault([&](u64 word, u64 data_flips, u8 check_flips) {
+    put_u64(os, word);
+    put_u64(os, data_flips);
+    put_u8(os, check_flips);
+  });
+  put_u64(os, dev.ras.failed_vaults);
+  for (const u32 count : dev.ras.vault_uncorrectable) put_u32(os, count);
+  put_u64(os, dev.ras.scrub_cursor);
+  put_u64(os, dev.ras.scrub_passes);
+  put_u64(os, dev.ras.last_error_addr);
+  put_u8(os, dev.ras.last_error_stat);
+}
+
+/// Mirror of put_device_block with version gating.  On failure `*what`
+/// names the sub-record that could not be decoded.
+bool get_device_block(std::istream& is, Device& dev, u32 version,
+                      const CustomCommandSet& custom, const char** what) {
+  *what = "device stats";
+  if (!get_stats(is, dev.stats, version)) return false;
+
+  // Older versions serialized only the register prefix that existed then;
+  // the appended RAS error-log (v3) and link-layer (v5) registers keep
+  // their init() values (they are live views recomputed from device state
+  // anyway).
+  *what = "register snapshot";
+  RegisterFile::Snapshot regs = dev.regs.snapshot();
+  const usize reg_count = version >= 5   ? regs.values.size()
+                          : version >= 3 ? kV3RegCount
+                                         : kV2RegCount;
+  for (usize r = 0; r < reg_count; ++r) {
+    if (!get_u64(is, regs.values[r])) return false;
+  }
+  for (usize r = 0; r < reg_count; ++r) {
+    u8 flag = 0;
+    if (!get_u8(is, flag)) return false;
+    regs.pending_self_clear[r] = flag != 0;
+  }
+  dev.regs.restore(regs);
+
+  *what = "memory page";
+  u64 pages = 0;
+  if (!get_u64(is, pages)) return false;
+  std::vector<u8> page(SparseStore::kPageBytes);
+  for (u64 p = 0; p < pages; ++p) {
+    u64 index = 0;
+    if (!get_u64(is, index) || !get_bytes(is, page.data(), page.size()) ||
+        !dev.store.restore_page(index, page)) {
+      return false;
+    }
+  }
+
+  for (LinkState& link : dev.links) {
+    *what = "link queue";
+    if (!get_request_queue(is, link.rqst, custom) ||
+        !get_response_queue(is, link.rsp)) {
+      return false;
+    }
+    *what = "link budgets";
+    u64 rqst_budget = 0, rsp_budget = 0;
+    if (!get_u64(is, link.rqst_flits_forwarded) ||
+        !get_u64(is, link.rsp_flits_forwarded) ||
+        !get_u64(is, rqst_budget) || !get_u64(is, rsp_budget)) {
+      return false;
+    }
+    link.rqst_budget = static_cast<i64>(rqst_budget);
+    link.rsp_budget = static_cast<i64>(rsp_budget);
+    *what = "link protocol state";
+    if (version >= 5 && !get_link_proto(is, link.proto, custom)) {
+      return false;
+    }
+    // Pre-v5 checkpoints keep the reset (quiescent) link protocol state.
+  }
+  for (VaultState& vault : dev.vaults) {
+    *what = "vault queue";
+    if (!get_request_queue(is, vault.rqst, custom) ||
+        !get_response_queue(is, vault.rsp)) {
+      return false;
+    }
+    *what = "bank timing";
+    for (Cycle& busy : vault.bank_busy_until) {
+      if (!get_u64(is, busy)) return false;
+    }
+    for (u64& row : vault.open_row) {
+      if (!get_u64(is, row)) return false;
+    }
+    if (version >= 4) {
+      *what = "vault rng";
+      u64 dram_rng_state = 0;
+      if (!get_u64(is, dram_rng_state)) return false;
+      vault.dram_rng = SplitMix64(dram_rng_state);
+    }
+    // Pre-v4 checkpoints keep the deterministic init-seeded vault RNGs.
+  }
+  *what = "mode response queue";
+  if (!get_response_queue(is, dev.mode_rsp)) return false;
+
+  if (version < 3) return true;  // no RAS block: init() state stands
+
+  *what = "fault sidecar";
+  u64 rng_state = 0, fault_count = 0;
+  if (!get_u64(is, rng_state) || !get_u64(is, fault_count)) return false;
+  dev.fault_rng = SplitMix64(rng_state);
+  for (u64 f = 0; f < fault_count; ++f) {
+    u64 word = 0, data_flips = 0;
+    u8 check_flips = 0;
+    if (!get_u64(is, word) || !get_u64(is, data_flips) ||
+        !get_u8(is, check_flips) ||
+        !dev.store.restore_fault(word, data_flips, check_flips)) {
+      return false;
+    }
+  }
+  *what = "ras counters";
+  if (!get_u64(is, dev.ras.failed_vaults)) return false;
+  for (u32& count : dev.ras.vault_uncorrectable) {
+    if (!get_u32(is, count)) return false;
+  }
+  if (!get_u64(is, dev.ras.scrub_cursor) ||
+      !get_u64(is, dev.ras.scrub_passes) ||
+      !get_u64(is, dev.ras.last_error_addr) ||
+      !get_u8(is, dev.ras.last_error_stat)) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
+// ---- error rendering -------------------------------------------------------
+
+const char* to_string(CheckpointErrorCode code) {
+  switch (code) {
+    case CheckpointErrorCode::None: return "ok";
+    case CheckpointErrorCode::IoError: return "io error";
+    case CheckpointErrorCode::BadMagic: return "bad magic";
+    case CheckpointErrorCode::UnsupportedVersion:
+      return "unsupported version";
+    case CheckpointErrorCode::ShortRead: return "short read";
+    case CheckpointErrorCode::BadSectionType: return "bad section type";
+    case CheckpointErrorCode::SectionTooLarge: return "section too large";
+    case CheckpointErrorCode::SectionCrcMismatch:
+      return "section crc mismatch";
+    case CheckpointErrorCode::TrailerMissing: return "trailer missing";
+    case CheckpointErrorCode::BadFieldValue: return "bad field value";
+    case CheckpointErrorCode::BadHostState: return "bad host state";
+    case CheckpointErrorCode::WriteFailed: return "write failed";
+  }
+  return "unknown error";
+}
+
+std::string CheckpointError::message() const {
+  if (code == CheckpointErrorCode::None) return "ok";
+  std::string m = to_string(code);
+  if (section != 0) {
+    m += " in section ";
+    m += ckpt::section_name(section);
+  }
+  if (offset != 0) m += " at byte " + std::to_string(offset);
+  if (!detail.empty()) m += ": " + detail;
+  return m;
+}
+
+namespace ckpt {
+
+const char* section_name(u32 type) {
+  switch (type) {
+    case kSectionConfig: return "CFG";
+    case kSectionTopology: return "TOPO";
+    case kSectionClock: return "CLK";
+    case kSectionDevice: return "DEVC";
+    case kSectionWatchdog: return "WDOG";
+    case kSectionHost: return "HOST";
+    default: return "?";
+  }
+}
+
+}  // namespace ckpt
+
+// ---- save ------------------------------------------------------------------
+
 Status Simulator::save_checkpoint(std::ostream& os) const {
-  if (!initialized()) return Status::InvalidArgument;
+  return save_checkpoint(os, nullptr, {});
+}
+
+Status Simulator::save_checkpoint(std::ostream& os, CheckpointError* err,
+                                  std::string_view host_blob) const {
+  if (err != nullptr) *err = CheckpointError{};
+  if (!initialized()) {
+    if (err != nullptr) {
+      err->code = CheckpointErrorCode::BadFieldValue;
+      err->detail = "simulator not initialized";
+    }
+    return Status::InvalidArgument;
+  }
+
   put_bytes(os, kMagic, sizeof kMagic);
   put_u32(os, kVersion);
 
-  put_u32(os, config_.num_devices);
-  put_device_config(os, config_.device);
+  std::ostringstream sec;
+  const auto emit = [&](u32 type) {
+    const std::string payload = sec.str();
+    put_u32(os, type);
+    put_u64(os, payload.size());
+    put_u32(os, payload_crc(payload));
+    put_bytes(os, payload.data(), payload.size());
+    sec.str(std::string{});
+    sec.clear();
+  };
 
-  // Topology endpoints.
-  put_u32(os, topo_.num_devices());
-  put_u32(os, topo_.links_per_device());
+  put_u32(sec, config_.num_devices);
+  put_device_config(sec, config_.device);
+  emit(ckpt::kSectionConfig);
+
+  put_u32(sec, topo_.num_devices());
+  put_u32(sec, topo_.links_per_device());
   for (u32 d = 0; d < topo_.num_devices(); ++d) {
     for (u32 l = 0; l < topo_.links_per_device(); ++l) {
       const LinkEndpoint& e = topo_.endpoint(CubeId{d}, LinkId{l});
-      put_u8(os, static_cast<u8>(e.kind));
-      put_u32(os, e.peer_dev);
-      put_u32(os, e.peer_link);
+      put_u8(sec, static_cast<u8>(e.kind));
+      put_u32(sec, e.peer_dev);
+      put_u32(sec, e.peer_link);
     }
   }
+  emit(ckpt::kSectionTopology);
 
-  put_u64(os, cycle_);
+  put_u64(sec, cycle_);
+  emit(ckpt::kSectionClock);
 
   for (const auto& dev_ptr : devices_) {
-    const Device& dev = *dev_ptr;
-    put_stats(os, dev.stats);
-
-    const RegisterFile::Snapshot regs = dev.regs.snapshot();
-    for (const u64 v : regs.values) put_u64(os, v);
-    for (const bool b : regs.pending_self_clear) put_u8(os, b ? 1 : 0);
-
-    // Pages are emitted in ascending index order so that checkpoints are
-    // deterministic (byte-identical for identical state) regardless of the
-    // hash map's insertion history.
-    std::vector<u64> page_indices;
-    page_indices.reserve(dev.store.resident_pages());
-    dev.store.for_each_page([&](u64 index, std::span<const u8>) {
-      page_indices.push_back(index);
-    });
-    std::sort(page_indices.begin(), page_indices.end());
-    put_u64(os, page_indices.size());
-    std::vector<u8> page_bytes(SparseStore::kPageBytes);
-    for (const u64 index : page_indices) {
-      put_u64(os, index);
-      (void)dev.store.read(index * SparseStore::kPageBytes, page_bytes);
-      put_bytes(os, page_bytes.data(), page_bytes.size());
-    }
-
-    for (const LinkState& link : dev.links) {
-      put_request_queue(os, link.rqst);
-      put_response_queue(os, link.rsp);
-      put_u64(os, link.rqst_flits_forwarded);
-      put_u64(os, link.rsp_flits_forwarded);
-      put_u64(os, static_cast<u64>(link.rqst_budget));
-      put_u64(os, static_cast<u64>(link.rsp_budget));
-      put_link_proto(os, link.proto);  // v5
-    }
-    for (const VaultState& vault : dev.vaults) {
-      put_request_queue(os, vault.rqst);
-      put_response_queue(os, vault.rsp);
-      for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
-      for (const u64 row : vault.open_row) put_u64(os, row);
-      put_u64(os, vault.dram_rng.state());  // v4
-    }
-    put_response_queue(os, dev.mode_rsp);
-
-    // RAS state (v3): RNG, fault sidecar (ascending order by construction),
-    // degradation, error log, scrub cursor.
-    put_u64(os, dev.fault_rng.state());
-    put_u64(os, dev.store.fault_count());
-    dev.store.for_each_fault([&](u64 word, u64 data_flips, u8 check_flips) {
-      put_u64(os, word);
-      put_u64(os, data_flips);
-      put_u8(os, check_flips);
-    });
-    put_u64(os, dev.ras.failed_vaults);
-    for (const u32 count : dev.ras.vault_uncorrectable) put_u32(os, count);
-    put_u64(os, dev.ras.scrub_cursor);
-    put_u64(os, dev.ras.scrub_passes);
-    put_u64(os, dev.ras.last_error_addr);
-    put_u8(os, dev.ras.last_error_stat);
+    put_device_block(sec, *dev_ptr);
+    emit(ckpt::kSectionDevice);
   }
 
   // Forward-progress watchdog (v3).  The report is rebuilt on restore.
-  put_u8(os, watchdog_fired_ ? 1 : 0);
-  put_u32(os, watchdog_stall_cycles_);
-  put_u64(os, watchdog_fingerprint_);
+  put_u8(sec, watchdog_fired_ ? 1 : 0);
+  put_u32(sec, watchdog_stall_cycles_);
+  put_u64(sec, watchdog_fingerprint_);
+  emit(ckpt::kSectionWatchdog);
+
+  if (!host_blob.empty()) {
+    put_bytes(sec, host_blob.data(), host_blob.size());
+    emit(ckpt::kSectionHost);
+  }
+
+  put_bytes(os, kTrailer, sizeof kTrailer);
 
   os.flush();
-  return os ? Status::Ok : Status::Internal;
+  if (!os) {
+    if (err != nullptr) {
+      err->code = CheckpointErrorCode::WriteFailed;
+      err->detail = "checkpoint stream write failed";
+    }
+    return Status::Internal;
+  }
+  return Status::Ok;
 }
 
+// ---- restore ---------------------------------------------------------------
+
 Status Simulator::restore_checkpoint(std::istream& is) {
-  char magic[8];
-  u32 version = 0;
-  if (!get_bytes(is, magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0 ||
-      !get_u32(is, version) || version < kMinVersion || version > kVersion) {
+  return restore_checkpoint(is, nullptr, nullptr);
+}
+
+Status Simulator::restore_checkpoint(std::istream& is, CheckpointError* err,
+                                     std::string* host_blob_out) {
+  if (err != nullptr) *err = CheckpointError{};
+  if (host_blob_out != nullptr) host_blob_out->clear();
+
+  const auto preamble_fail = [&](CheckpointErrorCode code, u64 offset,
+                                 std::string detail) {
+    if (err != nullptr) {
+      err->code = code;
+      err->offset = offset;
+      err->section = 0;
+      err->detail = std::move(detail);
+    }
     return Status::MalformedPacket;
+  };
+
+  char magic[8];
+  if (!get_bytes(is, magic, sizeof magic)) {
+    return preamble_fail(CheckpointErrorCode::ShortRead, 0,
+                         "stream ended inside magic");
   }
+  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return preamble_fail(CheckpointErrorCode::BadMagic, 0,
+                         "not a checkpoint stream");
+  }
+  u64 version_word = 0;
+  if (!get_u64(is, version_word)) {
+    return preamble_fail(CheckpointErrorCode::ShortRead, 8,
+                         "stream ended inside version");
+  }
+  if (version_word < kMinVersion || version_word > kVersion) {
+    return preamble_fail(CheckpointErrorCode::UnsupportedVersion, 8,
+                         "version " + std::to_string(version_word) +
+                             " outside [" + std::to_string(kMinVersion) +
+                             ", " + std::to_string(kVersion) + "]");
+  }
+  const u32 version = static_cast<u32>(version_word);
+  if (version >= 6) return restore_checkpoint_v6_(is, err, host_blob_out);
+  return restore_checkpoint_legacy_(is, version, err);
+}
+
+// Pre-v6 checkpoints are one continuous unframed stream; damage is only
+// detectable as a decode failure.  Errors are therefore coarser than the
+// v6 path: no section attribution and no byte offsets.
+Status Simulator::restore_checkpoint_legacy_(std::istream& is, u32 version,
+                                             CheckpointError* err) {
+  const auto fail = [&](Status st, CheckpointErrorCode code,
+                        std::string detail) {
+    if (err != nullptr) {
+      err->code = code;
+      err->offset = 0;
+      err->section = 0;
+      err->detail = std::move(detail);
+    }
+    return st;
+  };
 
   SimConfig config;
   if (!get_u32(is, config.num_devices) ||
       !get_device_config(is, config.device, version)) {
-    return Status::MalformedPacket;
+    return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                "config block");
+  }
+  // Validate before sizing anything from file-supplied values: a hostile
+  // device count must not reach the Topology/Device allocators.
+  std::string diag;
+  if (!ok(config.validate(&diag))) {
+    return fail(Status::InvalidConfig, CheckpointErrorCode::BadFieldValue,
+                diag);
   }
 
   u32 topo_devices = 0, topo_links = 0;
-  if (!get_u32(is, topo_devices) || !get_u32(is, topo_links) ||
-      topo_devices != config.num_devices ||
+  if (!get_u32(is, topo_devices) || !get_u32(is, topo_links)) {
+    return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                "topology header");
+  }
+  if (topo_devices != config.num_devices ||
       topo_links != config.device.num_links) {
-    return Status::InvalidConfig;
+    return fail(Status::InvalidConfig, CheckpointErrorCode::BadFieldValue,
+                "topology shape disagrees with config");
   }
   Topology topo(topo_devices, topo_links);
   for (u32 d = 0; d < topo_devices; ++d) {
@@ -576,14 +894,17 @@ Status Simulator::restore_checkpoint(std::istream& is) {
       u32 peer_dev = 0, peer_link = 0;
       if (!get_u8(is, kind) || !get_u32(is, peer_dev) ||
           !get_u32(is, peer_link)) {
-        return Status::MalformedPacket;
+        return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                    "topology endpoint");
       }
       switch (static_cast<EndpointKind>(kind)) {
         case EndpointKind::Unconnected:
           break;
         case EndpointKind::Host:
           if (!ok(topo.connect_host(CubeId{d}, LinkId{l}))) {
-            return Status::InvalidConfig;
+            return fail(Status::InvalidConfig,
+                        CheckpointErrorCode::BadFieldValue,
+                        "host endpoint rejected");
           }
           break;
         case EndpointKind::Device:
@@ -591,12 +912,16 @@ Status Simulator::restore_checkpoint(std::istream& is) {
           if (d < peer_dev || (d == peer_dev && l < peer_link)) {
             if (!ok(topo.connect(CubeId{d}, LinkId{l}, CubeId{peer_dev},
                                  LinkId{peer_link}))) {
-              return Status::InvalidConfig;
+              return fail(Status::InvalidConfig,
+                          CheckpointErrorCode::BadFieldValue,
+                          "device endpoint rejected");
             }
           }
           break;
         default:
-          return Status::MalformedPacket;
+          return fail(Status::MalformedPacket,
+                      CheckpointErrorCode::BadFieldValue,
+                      "unknown endpoint kind");
       }
     }
   }
@@ -606,7 +931,9 @@ Status Simulator::restore_checkpoint(std::istream& is) {
   // parallelism and skip setting it already had.  The observability knobs
   // (self_profile / telemetry_interval_cycles / flight_recorder_depth) are
   // likewise pure observation: checkpoint bytes are identical with them on
-  // or off, and a restore keeps the current simulator's settings.
+  // or off, and a restore keeps the current simulator's settings.  The
+  // checkpoint_interval_cycles knob follows the same rule: how often a run
+  // snapshots itself must not leak into the snapshot.
   if (initialized()) {
     config.device.sim_threads = config_.device.sim_threads;
     config.device.fast_forward = config_.device.fast_forward;
@@ -615,108 +942,25 @@ Status Simulator::restore_checkpoint(std::istream& is) {
         config_.device.telemetry_interval_cycles;
     config.device.flight_recorder_depth =
         config_.device.flight_recorder_depth;
+    config.device.checkpoint_interval_cycles =
+        config_.device.checkpoint_interval_cycles;
   }
   const Status init_status = init(config, std::move(topo));
-  if (!ok(init_status)) return init_status;
+  if (!ok(init_status)) {
+    return fail(init_status, CheckpointErrorCode::BadFieldValue,
+                "init rejected restored configuration");
+  }
 
-  if (!get_u64(is, cycle_)) return Status::MalformedPacket;
+  if (!get_u64(is, cycle_)) {
+    return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                "clock");
+  }
 
   for (auto& dev_ptr : devices_) {
-    Device& dev = *dev_ptr;
-    if (!get_stats(is, dev.stats, version)) return Status::MalformedPacket;
-
-    // Older versions serialized only the register prefix that existed then;
-    // the appended RAS error-log (v3) and link-layer (v5) registers keep
-    // their init() values (they are live views recomputed from device state
-    // anyway).
-    RegisterFile::Snapshot regs = dev.regs.snapshot();
-    const usize reg_count = version >= 5   ? regs.values.size()
-                            : version >= 3 ? kV3RegCount
-                                           : kV2RegCount;
-    for (usize r = 0; r < reg_count; ++r) {
-      if (!get_u64(is, regs.values[r])) return Status::MalformedPacket;
-    }
-    for (usize r = 0; r < reg_count; ++r) {
-      u8 flag = 0;
-      if (!get_u8(is, flag)) return Status::MalformedPacket;
-      regs.pending_self_clear[r] = flag != 0;
-    }
-    dev.regs.restore(regs);
-
-    u64 pages = 0;
-    if (!get_u64(is, pages)) return Status::MalformedPacket;
-    std::vector<u8> page(SparseStore::kPageBytes);
-    for (u64 p = 0; p < pages; ++p) {
-      u64 index = 0;
-      if (!get_u64(is, index) || !get_bytes(is, page.data(), page.size()) ||
-          !dev.store.restore_page(index, page)) {
-        return Status::MalformedPacket;
-      }
-    }
-
-    for (LinkState& link : dev.links) {
-      if (!get_request_queue(is, link.rqst, custom_) ||
-          !get_response_queue(is, link.rsp)) {
-        return Status::MalformedPacket;
-      }
-      u64 rqst_budget = 0, rsp_budget = 0;
-      if (!get_u64(is, link.rqst_flits_forwarded) ||
-          !get_u64(is, link.rsp_flits_forwarded) ||
-          !get_u64(is, rqst_budget) || !get_u64(is, rsp_budget)) {
-        return Status::MalformedPacket;
-      }
-      link.rqst_budget = static_cast<i64>(rqst_budget);
-      link.rsp_budget = static_cast<i64>(rsp_budget);
-      if (version >= 5 && !get_link_proto(is, link.proto, custom_)) {
-        return Status::MalformedPacket;
-      }
-      // Pre-v5 checkpoints keep the reset (quiescent) link protocol state.
-    }
-    for (VaultState& vault : dev.vaults) {
-      if (!get_request_queue(is, vault.rqst, custom_) ||
-          !get_response_queue(is, vault.rsp)) {
-        return Status::MalformedPacket;
-      }
-      for (Cycle& busy : vault.bank_busy_until) {
-        if (!get_u64(is, busy)) return Status::MalformedPacket;
-      }
-      for (u64& row : vault.open_row) {
-        if (!get_u64(is, row)) return Status::MalformedPacket;
-      }
-      if (version >= 4) {
-        u64 dram_rng_state = 0;
-        if (!get_u64(is, dram_rng_state)) return Status::MalformedPacket;
-        vault.dram_rng = SplitMix64(dram_rng_state);
-      }
-      // Pre-v4 checkpoints keep the deterministic init-seeded vault RNGs.
-    }
-    if (!get_response_queue(is, dev.mode_rsp)) return Status::MalformedPacket;
-
-    if (version < 3) continue;  // no RAS block: init() state stands
-
-    u64 rng_state = 0, fault_count = 0;
-    if (!get_u64(is, rng_state) || !get_u64(is, fault_count)) {
-      return Status::MalformedPacket;
-    }
-    dev.fault_rng = SplitMix64(rng_state);
-    for (u64 f = 0; f < fault_count; ++f) {
-      u64 word = 0, data_flips = 0;
-      u8 check_flips = 0;
-      if (!get_u64(is, word) || !get_u64(is, data_flips) ||
-          !get_u8(is, check_flips) ||
-          !dev.store.restore_fault(word, data_flips, check_flips)) {
-        return Status::MalformedPacket;
-      }
-    }
-    if (!get_u64(is, dev.ras.failed_vaults)) return Status::MalformedPacket;
-    for (u32& count : dev.ras.vault_uncorrectable) {
-      if (!get_u32(is, count)) return Status::MalformedPacket;
-    }
-    if (!get_u64(is, dev.ras.scrub_cursor) ||
-        !get_u64(is, dev.ras.scrub_passes) ||
-        !get_u64(is, dev.ras.last_error_addr) ||
-        !get_u8(is, dev.ras.last_error_stat)) {
-      return Status::MalformedPacket;
+    const char* what = "device block";
+    if (!get_device_block(is, *dev_ptr, version, custom_, &what)) {
+      return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                  what);
     }
   }
 
@@ -725,12 +969,426 @@ Status Simulator::restore_checkpoint(std::istream& is) {
   u8 fired = 0;
   if (!get_u8(is, fired) || !get_u32(is, watchdog_stall_cycles_) ||
       !get_u64(is, watchdog_fingerprint_)) {
-    return Status::MalformedPacket;
+    return fail(Status::MalformedPacket, CheckpointErrorCode::ShortRead,
+                "watchdog tail");
   }
   watchdog_fired_ = fired != 0;
   watchdog_report_ = watchdog_fired_ ? build_watchdog_report() : std::string{};
 
   return Status::Ok;
+}
+
+Status Simulator::restore_checkpoint_v6_(std::istream& is,
+                                         CheckpointError* err,
+                                         std::string* host_blob_out) {
+  // Byte offset of the next unread stream byte (magic + version consumed).
+  u64 offset = 16;
+  u32 cur_section = 0;
+  const auto fail = [&](CheckpointErrorCode code, u64 at,
+                        std::string detail) {
+    if (err != nullptr) {
+      err->code = code;
+      err->offset = at;
+      err->section = cur_section;
+      err->detail = std::move(detail);
+    }
+    return code == CheckpointErrorCode::BadFieldValue
+               ? Status::InvalidConfig
+               : Status::MalformedPacket;
+  };
+
+  std::string payload;
+  u64 payload_off = 0;
+  Status frame_status = Status::Ok;
+
+  // Read length + CRC + payload for the section whose type word has
+  // already been consumed.  Payload bytes are pulled in bounded chunks so
+  // a forged length never drives a huge up-front allocation — memory grows
+  // only with bytes actually present in the stream.
+  const auto read_frame_body = [&]() -> bool {
+    u64 len = 0;
+    if (!get_u64(is, len)) {
+      frame_status = fail(CheckpointErrorCode::ShortRead, offset,
+                          "stream ended inside section length");
+      return false;
+    }
+    if (len > ckpt::kMaxSectionBytes) {
+      frame_status =
+          fail(CheckpointErrorCode::SectionTooLarge, offset,
+               std::to_string(len) + " bytes exceeds section cap");
+      return false;
+    }
+    offset += 8;
+    u64 crc_word = 0;
+    if (!get_u64(is, crc_word)) {
+      frame_status = fail(CheckpointErrorCode::ShortRead, offset,
+                          "stream ended inside section crc");
+      return false;
+    }
+    if (crc_word > 0xffffffffull) {
+      frame_status = fail(CheckpointErrorCode::BadFieldValue, offset,
+                          "crc word out of range");
+      return false;
+    }
+    offset += 8;
+    payload_off = offset;
+    payload.clear();
+    u64 got = 0;
+    while (got < len) {
+      constexpr u64 kChunk = u64{1} << 20;
+      const usize chunk = static_cast<usize>(std::min(len - got, kChunk));
+      const usize old_size = payload.size();
+      payload.resize(old_size + chunk);
+      is.read(payload.data() + old_size,
+              static_cast<std::streamsize>(chunk));
+      const u64 n = static_cast<u64>(is.gcount());
+      if (n < chunk) {
+        frame_status = fail(CheckpointErrorCode::ShortRead,
+                            payload_off + got + n,
+                            "stream ended inside section payload");
+        return false;
+      }
+      got += n;
+    }
+    offset += len;
+    if (payload_crc(payload) != static_cast<u32>(crc_word)) {
+      frame_status = fail(CheckpointErrorCode::SectionCrcMismatch,
+                          payload_off, "payload fails its crc32k");
+      return false;
+    }
+    return true;
+  };
+
+  // Read one mandatory section: type word, then frame body.
+  const auto read_section = [&](u32 expected) -> bool {
+    u64 type_word = 0;
+    if (!get_u64(is, type_word)) {
+      cur_section = expected;
+      frame_status = fail(CheckpointErrorCode::ShortRead, offset,
+                          "stream ended at section header");
+      return false;
+    }
+    if (type_word != expected) {
+      cur_section = expected;
+      const char* found =
+          type_word <= 0xffffffffull
+              ? ckpt::section_name(static_cast<u32>(type_word))
+              : "?";
+      frame_status = fail(CheckpointErrorCode::BadSectionType, offset,
+                          std::string("expected ") +
+                              ckpt::section_name(expected) + ", found " +
+                              found);
+      return false;
+    }
+    cur_section = expected;
+    offset += 8;
+    return read_frame_body();
+  };
+
+  std::istringstream ps;
+  const auto open_payload = [&]() {
+    ps.clear();
+    ps.str(payload);
+  };
+  // A failure while decoding a CRC-verified payload is never stream
+  // truncation of the container; distinguish a payload that ran out of
+  // bytes (ShortRead) from a decoded value that failed validation.
+  const auto payload_fail = [&](const char* what) {
+    const auto pos = ps.tellg();
+    const u64 at =
+        payload_off + (pos >= 0 ? static_cast<u64>(pos) : payload.size());
+    const CheckpointErrorCode code = ps.eof()
+                                         ? CheckpointErrorCode::ShortRead
+                                         : CheckpointErrorCode::BadFieldValue;
+    return fail(code, at, what);
+  };
+  const auto payload_drained = [&]() {
+    return ps.peek() == std::istringstream::traits_type::eof();
+  };
+
+  // CFG ----------------------------------------------------------------
+  if (!read_section(ckpt::kSectionConfig)) return frame_status;
+  open_payload();
+  SimConfig config;
+  if (!get_u32(ps, config.num_devices) ||
+      !get_device_config(ps, config.device, kVersion)) {
+    return payload_fail("config block");
+  }
+  if (!payload_drained()) return payload_fail("trailing bytes after config");
+  // Validate before sizing anything from file-supplied values: a hostile
+  // device count must not reach the Topology/Device allocators.
+  std::string diag;
+  if (!ok(config.validate(&diag))) {
+    return fail(CheckpointErrorCode::BadFieldValue, payload_off, diag);
+  }
+
+  // TOPO ---------------------------------------------------------------
+  if (!read_section(ckpt::kSectionTopology)) return frame_status;
+  open_payload();
+  u32 topo_devices = 0, topo_links = 0;
+  if (!get_u32(ps, topo_devices) || !get_u32(ps, topo_links)) {
+    return payload_fail("topology header");
+  }
+  if (topo_devices != config.num_devices ||
+      topo_links != config.device.num_links) {
+    return fail(CheckpointErrorCode::BadFieldValue, payload_off,
+                "topology shape disagrees with config");
+  }
+  Topology topo(topo_devices, topo_links);
+  for (u32 d = 0; d < topo_devices; ++d) {
+    for (u32 l = 0; l < topo_links; ++l) {
+      u8 kind = 0;
+      u32 peer_dev = 0, peer_link = 0;
+      if (!get_u8(ps, kind) || !get_u32(ps, peer_dev) ||
+          !get_u32(ps, peer_link)) {
+        return payload_fail("topology endpoint");
+      }
+      switch (static_cast<EndpointKind>(kind)) {
+        case EndpointKind::Unconnected:
+          break;
+        case EndpointKind::Host:
+          if (!ok(topo.connect_host(CubeId{d}, LinkId{l}))) {
+            return fail(CheckpointErrorCode::BadFieldValue, payload_off,
+                        "host endpoint rejected");
+          }
+          break;
+        case EndpointKind::Device:
+          // connect() wires both directions; only apply the "forward" edge.
+          if (d < peer_dev || (d == peer_dev && l < peer_link)) {
+            if (!ok(topo.connect(CubeId{d}, LinkId{l}, CubeId{peer_dev},
+                                 LinkId{peer_link}))) {
+              return fail(CheckpointErrorCode::BadFieldValue, payload_off,
+                          "device endpoint rejected");
+            }
+          }
+          break;
+        default:
+          return fail(CheckpointErrorCode::BadFieldValue, payload_off,
+                      "unknown endpoint kind");
+      }
+    }
+  }
+  if (!payload_drained()) {
+    return payload_fail("trailing bytes after topology");
+  }
+
+  // Execution/observability knobs are never serialized; a restored
+  // simulator keeps its own (see restore_checkpoint_legacy_ for the full
+  // rationale).
+  if (initialized()) {
+    config.device.sim_threads = config_.device.sim_threads;
+    config.device.fast_forward = config_.device.fast_forward;
+    config.device.self_profile = config_.device.self_profile;
+    config.device.telemetry_interval_cycles =
+        config_.device.telemetry_interval_cycles;
+    config.device.flight_recorder_depth =
+        config_.device.flight_recorder_depth;
+    config.device.checkpoint_interval_cycles =
+        config_.device.checkpoint_interval_cycles;
+  }
+  const Status init_status = init(config, std::move(topo));
+  if (!ok(init_status)) {
+    (void)fail(CheckpointErrorCode::BadFieldValue, payload_off,
+               "init rejected restored configuration");
+    return init_status;
+  }
+
+  // CLK ----------------------------------------------------------------
+  if (!read_section(ckpt::kSectionClock)) return frame_status;
+  open_payload();
+  if (!get_u64(ps, cycle_)) return payload_fail("clock");
+  if (!payload_drained()) return payload_fail("trailing bytes after clock");
+
+  // DEVC × num_devices -------------------------------------------------
+  for (auto& dev_ptr : devices_) {
+    if (!read_section(ckpt::kSectionDevice)) return frame_status;
+    open_payload();
+    const char* what = "device block";
+    if (!get_device_block(ps, *dev_ptr, kVersion, custom_, &what)) {
+      return payload_fail(what);
+    }
+    if (!payload_drained()) {
+      return payload_fail("trailing bytes after device block");
+    }
+  }
+
+  // WDOG ---------------------------------------------------------------
+  if (!read_section(ckpt::kSectionWatchdog)) return frame_status;
+  open_payload();
+  u8 fired = 0;
+  if (!get_u8(ps, fired) || !get_u32(ps, watchdog_stall_cycles_) ||
+      !get_u64(ps, watchdog_fingerprint_)) {
+    return payload_fail("watchdog tail");
+  }
+  if (!payload_drained()) {
+    return payload_fail("trailing bytes after watchdog");
+  }
+  watchdog_fired_ = fired != 0;
+  watchdog_report_ = watchdog_fired_ ? build_watchdog_report() : std::string{};
+
+  // Optional HOST, then trailer ----------------------------------------
+  cur_section = 0;
+  u64 tail_word = 0;
+  if (!get_u64(is, tail_word)) {
+    return fail(CheckpointErrorCode::TrailerMissing, offset,
+                "stream ended before trailer");
+  }
+  if (tail_word == ckpt::kSectionHost) {
+    cur_section = ckpt::kSectionHost;
+    offset += 8;
+    if (!read_frame_body()) return frame_status;
+    if (host_blob_out != nullptr) *host_blob_out = payload;
+    cur_section = 0;
+    if (!get_u64(is, tail_word)) {
+      return fail(CheckpointErrorCode::TrailerMissing, offset,
+                  "stream ended before trailer");
+    }
+  }
+  if (tail_word != kTrailerWord) {
+    return fail(CheckpointErrorCode::TrailerMissing, offset,
+                "expected trailer magic");
+  }
+
+  return Status::Ok;
+}
+
+// ---- file entry points -----------------------------------------------------
+
+Status Simulator::save_checkpoint_file(const std::string& path,
+                                       CheckpointError* err,
+                                       std::string_view host_blob) const {
+  std::ostringstream os;
+  const Status st = save_checkpoint(os, err, host_blob);
+  if (!ok(st)) return st;
+  const std::string bytes = os.str();
+  std::string io_detail;
+  if (!io::atomic_write_file(path, bytes.data(), bytes.size(),
+                             &io_detail)) {
+    if (err != nullptr) {
+      *err = CheckpointError{};
+      err->code = CheckpointErrorCode::WriteFailed;
+      err->detail = path + ": " + io_detail;
+    }
+    return Status::Internal;
+  }
+  return Status::Ok;
+}
+
+Status Simulator::restore_checkpoint_file(const std::string& path,
+                                          CheckpointError* err,
+                                          std::string* host_blob_out) {
+  std::string bytes;
+  std::string io_detail;
+  // The cap only bounds what we buffer; restore itself enforces the
+  // per-section limits.
+  if (!io::read_file(path, bytes, u64{1} << 33, &io_detail)) {
+    if (err != nullptr) {
+      *err = CheckpointError{};
+      err->code = CheckpointErrorCode::IoError;
+      err->detail = path + ": " + io_detail;
+    }
+    return Status::Internal;
+  }
+  std::istringstream is(std::move(bytes));
+  return restore_checkpoint(is, err, host_blob_out);
+}
+
+// ---- generation directories ------------------------------------------------
+
+std::string checkpoint_generation_path(const std::string& dir, u64 gen) {
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt-%012llu.bin",
+                static_cast<unsigned long long>(gen));
+  return dir + "/" + name;
+}
+
+std::vector<CheckpointGeneration> list_checkpoint_generations(
+    const std::string& dir) {
+  std::vector<CheckpointGeneration> gens;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return gens;
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "ckpt-";
+    constexpr std::string_view kSuffix = ".bin";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (digits.empty() || digits.size() > 20 ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') continue;
+    gens.push_back(CheckpointGeneration{static_cast<u64>(gen),
+                                        entry.path().string()});
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const CheckpointGeneration& a, const CheckpointGeneration& b) {
+              return a.gen < b.gen;
+            });
+  return gens;
+}
+
+void prune_checkpoint_generations(const std::string& dir, u32 keep) {
+  if (keep == 0) return;
+  const std::vector<CheckpointGeneration> gens =
+      list_checkpoint_generations(dir);
+  if (gens.size() <= keep) return;
+  for (usize i = 0; i + keep < gens.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(gens[i].path, ec);
+  }
+}
+
+Status resume_from_directory(Simulator& sim, const std::string& dir,
+                             u64* gen_out, std::string* host_blob_out,
+                             CheckpointError* err) {
+  const std::vector<CheckpointGeneration> gens =
+      list_checkpoint_generations(dir);
+  if (gens.empty()) {
+    if (err != nullptr) {
+      *err = CheckpointError{};
+      err->code = CheckpointErrorCode::IoError;
+      err->detail = "no checkpoint generations in " + dir;
+    }
+    return Status::NoResponse;
+  }
+  CheckpointError newest_err;
+  Status newest_status = Status::MalformedPacket;
+  bool newest = true;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    CheckpointError gen_err;
+    std::string blob;
+    const Status st = sim.restore_checkpoint_file(it->path, &gen_err, &blob);
+    if (ok(st)) {
+      if (gen_out != nullptr) *gen_out = it->gen;
+      if (host_blob_out != nullptr) *host_blob_out = std::move(blob);
+      if (err != nullptr) *err = CheckpointError{};
+      return Status::Ok;
+    }
+    if (newest) {
+      newest_err = std::move(gen_err);
+      newest_err.detail =
+          it->path + ": " +
+          (newest_err.detail.empty() ? to_string(newest_err.code)
+                                     : newest_err.detail);
+      newest_status = st;
+      newest = false;
+    }
+  }
+  if (err != nullptr) *err = std::move(newest_err);
+  return newest_status;
 }
 
 }  // namespace hmcsim

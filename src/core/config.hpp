@@ -215,6 +215,13 @@ struct DeviceConfig {
   /// window dumps into the watchdog diagnostic report and on demand.  Not
   /// serialized.
   u32 flight_recorder_depth{0};
+  /// Write a rotated checkpoint generation every this-many clocks when a
+  /// run harness supplies a checkpoint directory (tools/hmcsim_run.cpp);
+  /// 0 disables.  Like the other knobs in this block it describes how the
+  /// run is supervised, not device state, and is never serialized: a
+  /// checkpoint must be byte-identical whether or not the run that wrote
+  /// it was auto-checkpointing.
+  u32 checkpoint_interval_cycles{0};
 
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return

@@ -186,6 +186,11 @@ ConfigParseResult parse_config(std::istream& in) {
     } else if (key == "watchdog_cycles") {
       if (!is_number) return fail(line_no, "watchdog_cycles needs a number");
       dc.watchdog_cycles = static_cast<u32>(number);
+    } else if (key == "checkpoint_interval_cycles") {
+      if (!is_number) {
+        return fail(line_no, "checkpoint_interval_cycles needs a number");
+      }
+      dc.checkpoint_interval_cycles = static_cast<u32>(number);
     } else if (key == "refresh_interval_cycles") {
       if (!is_number) {
         return fail(line_no, "refresh_interval_cycles needs a number");
@@ -314,6 +319,8 @@ void write_config(std::ostream& os, const SimConfig& config) {
   os << "failed_vault_mask = " << dc.failed_vault_mask << '\n';
   os << "vault_remap = " << (dc.vault_remap ? "true" : "false") << '\n';
   os << "watchdog_cycles = " << dc.watchdog_cycles << '\n';
+  os << "checkpoint_interval_cycles = " << dc.checkpoint_interval_cycles
+     << '\n';
   os << "refresh_interval_cycles = " << dc.refresh_interval_cycles << '\n';
   os << "refresh_busy_cycles = " << dc.refresh_busy_cycles << '\n';
   os << "row_policy = "

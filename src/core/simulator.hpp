@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/checkpoint.hpp"
 #include "core/custom_command.hpp"
 #include "core/device.hpp"
 #include "profile/flight_recorder.hpp"
@@ -229,17 +230,47 @@ class Simulator {
 
   /// Serialize the complete simulator state — configuration, topology,
   /// clock, every queue entry and in-flight packet, registers, bank timing
-  /// and memory contents — to a versioned binary stream.  A restored
-  /// simulator continues cycle-for-cycle identically.  Host-side state
-  /// (outstanding-tag bookkeeping in drivers) is the caller's to save.
+  /// and memory contents — to a versioned binary stream (format v6:
+  /// per-section length + CRC-32K framing and a trailer magic; see
+  /// docs/FORMATS.md §5).  A restored simulator continues cycle-for-cycle
+  /// identically.  Host-side state (outstanding-tag bookkeeping in
+  /// drivers) rides in the optional HOST section: pass it as `host_blob`.
   Status save_checkpoint(std::ostream& os) const;
+  Status save_checkpoint(std::ostream& os, CheckpointError* err,
+                         std::string_view host_blob) const;
 
   /// Rebuild this simulator from a checkpoint stream.  Any existing state
-  /// is discarded.  Fails with MalformedPacket on magic/version mismatch
-  /// and InvalidConfig on inconsistent content.
+  /// is discarded.  Accepts every version back to v2; every failure —
+  /// bad magic, short read, section CRC mismatch, impossible field value,
+  /// unknown version — is converted into a typed CheckpointError (never an
+  /// abort or out-of-bounds access, whatever the input).  Status mapping:
+  /// MalformedPacket for structural damage, InvalidConfig for impossible
+  /// decoded values.  A v6 HOST section, when present, is handed back
+  /// verbatim through `host_blob_out`.
   Status restore_checkpoint(std::istream& is);
+  Status restore_checkpoint(std::istream& is, CheckpointError* err,
+                            std::string* host_blob_out);
+
+  /// File entry points: save writes atomically (temp + fsync + rename via
+  /// io/atomic_file.hpp) so an interrupted save can never tear an existing
+  /// checkpoint; restore memory-buffers the file.  Both surface typed
+  /// errors through `err`.
+  Status save_checkpoint_file(const std::string& path,
+                              CheckpointError* err = nullptr,
+                              std::string_view host_blob = {}) const;
+  Status restore_checkpoint_file(const std::string& path,
+                                 CheckpointError* err = nullptr,
+                                 std::string* host_blob_out = nullptr);
 
  private:
+  // Version-dispatched restore bodies (core/checkpoint.cpp).  The legacy
+  // path parses the pre-v6 continuous stream; the v6 path walks the
+  // section frames.
+  Status restore_checkpoint_legacy_(std::istream& is, u32 version,
+                                    CheckpointError* err);
+  Status restore_checkpoint_v6_(std::istream& is, CheckpointError* err,
+                                std::string* host_blob_out);
+
   /// Per-shard mutable context for one parallel stage execution.  Stage
   /// code funnels every update to logically-shared state through this so
   /// that (a) no two shards write the same cache line and (b) the merge at

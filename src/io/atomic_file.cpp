@@ -1,0 +1,135 @@
+#include "io/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "io/failpoint.hpp"
+
+namespace hmcsim::io {
+namespace {
+
+void set_error(std::string* error, const char* op, int err) {
+  if (error == nullptr) return;
+  *error = std::string(op) + ": " + std::strerror(err);
+}
+
+/// Write the whole buffer through the failpoint shim.  Returns false with
+/// errno-style context on any failure (including injected ones).
+bool write_all(int fd, const u8* data, usize size, std::string* error) {
+  usize done = 0;
+  while (done < size) {
+    int injected = 0;
+    const usize allowed = failpoint_clamp_write(size - done, &injected);
+    if (allowed == 0) {
+      set_error(error, "write", injected != 0 ? injected : EIO);
+      return false;
+    }
+    const ssize_t n = ::write(fd, data + done, allowed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "write", errno);
+      return false;
+    }
+    failpoint_note_written(static_cast<usize>(n));
+    done += static_cast<usize>(n);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so a completed rename survives a
+/// crash.  Best-effort: some filesystems refuse directory fsync.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const void* data, usize size,
+                       std::string* error) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    set_error(error, "open", errno);
+    return false;
+  }
+  if (!write_all(fd, static_cast<const u8*>(data), size, error)) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync", errno);
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close", errno);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename", errno);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out, u64 max_bytes,
+               std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, "open", errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, "fstat", errno);
+    (void)::close(fd);
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    set_error(error, "open", EINVAL);
+    (void)::close(fd);
+    return false;
+  }
+  if (static_cast<u64>(st.st_size) > max_bytes) {
+    set_error(error, "size", EFBIG);
+    (void)::close(fd);
+    return false;
+  }
+  out.clear();
+  out.resize(static_cast<usize>(st.st_size));
+  usize done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + done, out.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "read", errno);
+      (void)::close(fd);
+      return false;
+    }
+    if (n == 0) break;  // truncated under us; return what exists
+    done += static_cast<usize>(n);
+  }
+  out.resize(done);
+  (void)::close(fd);
+  return true;
+}
+
+}  // namespace hmcsim::io

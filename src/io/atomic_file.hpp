@@ -1,0 +1,35 @@
+// Crash-safe whole-file writes: temp file + fsync + rename.
+//
+// atomic_write_file() guarantees that a reader of `path` sees either the
+// complete previous contents or the complete new contents — never a torn
+// mixture — no matter where the writing process dies.  The payload lands
+// in `<path>.tmp.<pid>` first, is fsync'd, and only then renamed over the
+// destination (rename(2) is atomic within a filesystem); finally the
+// parent directory is fsync'd so the rename itself is durable.
+//
+// All writes flow through the failpoint shim (io/failpoint.hpp), so every
+// failure branch — short write, ENOSPC, EIO, death mid-write — is
+// deterministically reachable from tests.  On any failure the temporary
+// file is unlinked (except after a simulated crash, which by design leaves
+// it: the generation scanner must ignore `*.tmp.*` debris).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hmcsim::io {
+
+/// Write `size` bytes to `path` atomically.  Returns true on success; on
+/// failure fills `*error` (when non-null) with "op: strerror" context and
+/// removes the temporary file.
+bool atomic_write_file(const std::string& path, const void* data, usize size,
+                       std::string* error = nullptr);
+
+/// Read the whole of `path` into `out`.  Returns true on success; fills
+/// `*error` with context otherwise.  Rejects files larger than
+/// `max_bytes` (hostile-input guard) without reading them.
+bool read_file(const std::string& path, std::string& out,
+               u64 max_bytes = u64{1} << 32, std::string* error = nullptr);
+
+}  // namespace hmcsim::io

@@ -1,0 +1,68 @@
+// Deterministic I/O failpoints (simulator-level RAS; see docs/RAS.md).
+//
+// Crash-consistency code is only trustworthy when every failure path has
+// been executed.  A Failpoint makes the checkpoint writer's failure modes
+// deterministic and unit-testable: once armed, the byte stream flowing
+// through AtomicFileWriter is counted, and the write that crosses the
+// configured trigger offset fails in the configured way — a short write, a
+// full-disk error, a generic I/O error, or a hard process exit that leaves
+// a torn temporary file behind exactly as `kill -9` would.
+//
+// Failpoints are process-global (checkpointing is single-threaded by
+// contract) and disarm after firing, so a test arms one failure, observes
+// it, and continues clean.  For out-of-process testing the environment
+// variable HMCSIM_FAILPOINT arms the same machinery in tools:
+//
+//   HMCSIM_FAILPOINT=short:4096    write crossing byte 4096 truncates, EIO
+//   HMCSIM_FAILPOINT=enospc:4096   write crossing byte 4096 fails ENOSPC
+//   HMCSIM_FAILPOINT=eio:4096      write crossing byte 4096 fails EIO
+//   HMCSIM_FAILPOINT=crash:4096    _exit(9) once byte 4096 has been written
+//
+// The byte counter is cumulative across every failpoint-observed write in
+// the process, so one trigger offset interrupts a run of many checkpoint
+// generations at a reproducible point.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hmcsim::io {
+
+enum class FailMode : u8 {
+  None,       ///< disarmed: writes pass through untouched
+  ShortWrite, ///< the crossing write stops at the trigger byte, then EIO
+  Enospc,     ///< the crossing write fails with ENOSPC
+  Eio,        ///< the crossing write fails with EIO
+  Crash,      ///< _exit(9) once the trigger byte has reached the kernel
+};
+
+/// Arm the process-global failpoint: the observed write that would move the
+/// cumulative byte counter past `trigger_bytes` fails with `mode`.  Re-arms
+/// over any previous setting; resets the cumulative counter.
+void arm_failpoint(FailMode mode, u64 trigger_bytes);
+
+/// Disarm and reset the counter.
+void disarm_failpoint();
+
+/// True while a failpoint is armed and has not fired yet.
+[[nodiscard]] bool failpoint_armed();
+
+/// Parse HMCSIM_FAILPOINT from the environment and arm it.  Returns false
+/// (disarmed) when the variable is unset; malformed values are reported on
+/// stderr and ignored.  Called once by tools that opt in.
+bool arm_failpoint_from_env();
+
+/// Clamp a write of `want` bytes against the armed failpoint.  The error
+/// modes allow the prefix up to the trigger byte through; the call that
+/// finds no budget left sets `*injected_errno` (EIO, or ENOSPC for the
+/// Enospc mode), fires, and disarms.  Returns the number of bytes the
+/// caller may write now.  None/Crash modes pass `want` through untouched.
+usize failpoint_clamp_write(usize want, int* injected_errno);
+
+/// Record `n` bytes as durably handed to the kernel.  The Crash mode
+/// _exit(9)s here — after the trigger byte is on disk, before any fsync or
+/// rename — leaving exactly the torn temporary file a SIGKILL would.
+void failpoint_note_written(usize n);
+
+}  // namespace hmcsim::io

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 namespace hmcsim {
 namespace {
@@ -245,10 +246,14 @@ DriverResult HostDriver::run() {
 
   while (step(result)) {
   }
+  finish(result);
+  return result;
+}
+
+void HostDriver::finish(DriverResult& result) {
   // Collect any responses registered on the final cycle.
   drain_responses(result);
   result.cycles = sim_.now();
-  return result;
 }
 
 Status HostDriver::save(std::ostream& os) const {
@@ -358,11 +363,92 @@ Status HostDriver::restore(std::istream& is) {
   pending_cub_ = static_cast<u32>(pcub);
   pending_attempts_ = static_cast<u32>(pattempts);
   pending_is_retry_ = pretry != 0;
+  // The generator is drawn once per fresh request (retries reuse their
+  // descriptor), so a legitimate count can never exceed the request budget
+  // plus the held pending draw; a forged count must not drive the replay
+  // loop below unbounded.
+  if (gen_calls > cfg_.total_requests + 1) return Status::MalformedPacket;
   // Re-synchronize the (freshly re-seeded) generator by replaying the
   // recorded number of draws.
   gen_calls_ = 0;
   for (u64 i = 0; i < gen_calls; ++i) gen_.next();
   gen_calls_ = gen_calls;
+  return Status::Ok;
+}
+
+// ---- host blob (checkpoint HOST section) -----------------------------------
+
+namespace {
+
+// Distinct magic so a driver-state stream can never be confused with a
+// full host blob (which embeds one).
+constexpr u64 kHostBlobMagic = 0x31424c42484d4348ull;  // "HCMHBLB1" LE
+
+void put_result(std::ostream& os, const DriverResult& r) {
+  put_u64(os, r.cycles);
+  put_u64(os, r.sent);
+  put_u64(os, r.completed);
+  put_u64(os, r.errors);
+  put_u64(os, r.send_stalls);
+  put_u64(os, r.timeouts);
+  put_u64(os, r.retries);
+  put_u64(os, r.abandoned);
+  put_u64(os, r.hit_cycle_cap ? 1 : 0);
+  put_u64(os, r.watchdog_fired ? 1 : 0);
+  put_u64(os, r.latency.count);
+  put_u64(os, r.latency.sum);
+  put_u64(os, r.latency.min);
+  put_u64(os, r.latency.max);
+  for (const u64 bucket : r.latency.log2_buckets) put_u64(os, bucket);
+}
+
+bool get_result(std::istream& is, DriverResult& r) {
+  u64 cap = 0, fired = 0;
+  if (!get_u64(is, r.cycles) || !get_u64(is, r.sent) ||
+      !get_u64(is, r.completed) || !get_u64(is, r.errors) ||
+      !get_u64(is, r.send_stalls) || !get_u64(is, r.timeouts) ||
+      !get_u64(is, r.retries) || !get_u64(is, r.abandoned) ||
+      !get_u64(is, cap) || !get_u64(is, fired) ||
+      !get_u64(is, r.latency.count) || !get_u64(is, r.latency.sum) ||
+      !get_u64(is, r.latency.min) || !get_u64(is, r.latency.max)) {
+    return false;
+  }
+  r.hit_cycle_cap = cap != 0;
+  r.watchdog_fired = fired != 0;
+  for (u64& bucket : r.latency.log2_buckets) {
+    if (!get_u64(is, bucket)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string save_host_state(const HostDriver& driver,
+                            const DriverResult& result) {
+  std::ostringstream os;
+  put_u64(os, kHostBlobMagic);
+  put_result(os, result);
+  if (!ok(driver.save(os))) return std::string{};
+  return os.str();
+}
+
+Status restore_host_state(const std::string& blob, HostDriver& driver,
+                          DriverResult& result) {
+  std::istringstream is(blob);
+  u64 magic = 0;
+  if (!get_u64(is, magic) || magic != kHostBlobMagic) {
+    return Status::MalformedPacket;
+  }
+  DriverResult r;
+  if (!get_result(is, r)) return Status::MalformedPacket;
+  const Status st = driver.restore(is);
+  if (!ok(st)) return st;
+  // Reject trailing garbage: the blob must be exactly one result + one
+  // driver state.
+  if (is.peek() != std::istringstream::traits_type::eof()) {
+    return Status::MalformedPacket;
+  }
+  result = r;
   return Status::Ok;
 }
 

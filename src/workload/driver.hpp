@@ -95,6 +95,12 @@ class HostDriver {
   /// the caller-owned result so a run can be checkpointed mid-flight.
   bool step(DriverResult& result);
 
+  /// Final response collection after an external step() loop ends — run()
+  /// is exactly `while (step(r)) {}` followed by finish(r).  Harnesses
+  /// that drive step() themselves (e.g. to interleave periodic
+  /// checkpoints, tools/hmcsim_run.cpp) must call this once afterwards.
+  void finish(DriverResult& result);
+
   /// Serialize tag/retry/progress state so a run can resume after a
   /// simulator checkpoint restore.  The caller re-creates the driver over
   /// an identically-seeded generator; restore() replays the generator by
@@ -168,5 +174,21 @@ class HostDriver {
   bool pending_is_retry_{false};
   u64 gen_calls_{0};  ///< generator invocations, for restore replay
 };
+
+/// Bundle the driver's tag/retry/progress state together with the
+/// caller-owned accumulated DriverResult (which driver.save alone does not
+/// cover — latency histograms and counters live with the caller) into one
+/// opaque blob.  This is what rides in a checkpoint's HOST section so an
+/// interrupted run resumes bit-identical to an uninterrupted one.
+[[nodiscard]] std::string save_host_state(const HostDriver& driver,
+                                          const DriverResult& result);
+
+/// Inverse of save_host_state.  `driver` must be freshly constructed over
+/// the restored simulator and an identically-seeded generator (restore
+/// replays the generator to re-synchronize it).  Hostile-input safe: any
+/// malformed blob yields a non-Ok status, never an abort or OOB access.
+[[nodiscard]] Status restore_host_state(const std::string& blob,
+                                        HostDriver& driver,
+                                        DriverResult& result);
 
 }  // namespace hmcsim

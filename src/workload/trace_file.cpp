@@ -10,8 +10,12 @@
 namespace hmcsim {
 
 bool parse_trace_request(const std::string& line, RequestDesc& out,
-                         bool* is_comment) {
+                         bool* is_comment, std::string* why) {
   if (is_comment != nullptr) *is_comment = false;
+  const auto fail = [why](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
   std::istringstream fields(line);
   std::string op;
   if (!(fields >> op)) {
@@ -22,10 +26,12 @@ bool parse_trace_request(const std::string& line, RequestDesc& out,
     if (is_comment != nullptr) *is_comment = true;
     return false;
   }
-  if (op != "R" && op != "W" && op != "A") return false;
+  if (op != "R" && op != "W" && op != "A") {
+    return fail("unknown op '" + op + "' (want R, W, or A)");
+  }
 
   std::string addr_text;
-  if (!(fields >> addr_text)) return false;
+  if (!(fields >> addr_text)) return fail("missing address");
   u64 addr = 0;
   {
     std::string_view sv = addr_text;
@@ -36,21 +42,26 @@ bool parse_trace_request(const std::string& line, RequestDesc& out,
     }
     const auto [ptr, ec] =
         std::from_chars(sv.data(), sv.data() + sv.size(), addr, base);
-    if (ec != std::errc{} || ptr != sv.data() + sv.size()) return false;
+    if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
+      return fail("bad address '" + addr_text + "'");
+    }
   }
-  if (addr > spec::kAddrMask) return false;
+  if (addr > spec::kAddrMask) {
+    return fail("address '" + addr_text + "' above the 34-bit device space");
+  }
 
   u32 bytes = 16;
   if (op != "A") {
-    if (!(fields >> bytes)) return false;
+    if (!(fields >> bytes)) return fail("missing or non-numeric size");
     if (bytes < 16 || bytes > spec::kMaxPayloadBytes || bytes % 16 != 0) {
-      return false;
+      return fail("bad size " + std::to_string(bytes) +
+                  " (want 16..128 in multiples of 16)");
     }
   }
 
   // Trailing garbage invalidates the line (catches column mistakes).
   std::string rest;
-  if (fields >> rest) return false;
+  if (fields >> rest) return fail("trailing garbage '" + rest + "'");
 
   out.addr = addr;
   out.cmd = op == "R"   ? read_command_for(bytes)
@@ -73,13 +84,20 @@ void write_request_trace(std::ostream& os,
 
 TraceFileGenerator::TraceFileGenerator(std::istream& in) {
   std::string line;
+  usize line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     RequestDesc desc;
     bool comment = false;
-    if (parse_trace_request(line, desc, &comment)) {
+    std::string why;
+    if (parse_trace_request(line, desc, &comment, &why)) {
       requests_.push_back(desc);
     } else if (!comment) {
       ++malformed_;
+      if (first_error_line_ == 0) {
+        first_error_line_ = line_no;
+        first_error_ = why;
+      }
     }
   }
 }

@@ -26,9 +26,13 @@
 namespace hmcsim {
 
 /// Parse one trace line.  Returns false for malformed lines; comments and
-/// blank lines return false with `is_comment` set.
+/// blank lines return false with `is_comment` set.  For malformed lines
+/// `why` (when non-null) receives the reason — "unknown op 'X'",
+/// "bad address", "bad size", "trailing garbage" — so loaders can name
+/// exactly what is wrong and where instead of skipping it silently.
 bool parse_trace_request(const std::string& line, RequestDesc& out,
-                         bool* is_comment = nullptr);
+                         bool* is_comment = nullptr,
+                         std::string* why = nullptr);
 
 /// Serialize requests in the canonical text form (inverse of the parser).
 void write_request_trace(std::ostream& os,
@@ -48,12 +52,21 @@ class TraceFileGenerator final : public Generator {
   [[nodiscard]] usize size() const { return requests_.size(); }
   [[nodiscard]] usize malformed_lines() const { return malformed_; }
 
+  /// Context for the first malformed line: 1-based line number and the
+  /// parser's reason.  Zero/empty when the whole trace parsed cleanly.
+  [[nodiscard]] usize first_error_line() const { return first_error_line_; }
+  [[nodiscard]] const std::string& first_error() const {
+    return first_error_;
+  }
+
   RequestDesc next() override;
   [[nodiscard]] const char* name() const override { return "trace_file"; }
 
  private:
   std::vector<RequestDesc> requests_;
   usize malformed_{0};
+  usize first_error_line_{0};
+  std::string first_error_;
   usize pos_{0};
 };
 

@@ -9,8 +9,11 @@
 //                      but the DRAM fault RNG is still device-wide
 //   checkpoint_v4.bin  per-vault DRAM RNG, but no link-layer protocol
 //                      records
-//   checkpoint_v5.bin  current format (link-layer config/stats/registers
-//                      and per-link retry/token state)
+//   checkpoint_v5.bin  link-layer config/stats/registers and per-link
+//                      retry/token state, still one continuous stream
+//   checkpoint_v6.bin  current container: same records, framed into
+//                      sections with per-section length + CRC-32K and a
+//                      trailer magic
 //
 // Each fixture snapshots a mid-flight workload — requests in crossbar and
 // vault queues, banks busy, memory pages resident — so restore exercises
@@ -135,9 +138,16 @@ void put_stats(std::ostream& os, const DeviceStats& s, u32 version) {
                         s.send_stalls, s.recvs, s.flow_packets,
                         s.dram_sbes, s.dram_dbes, s.scrub_steps,
                         s.scrub_corrections, s.scrub_uncorrectables,
-                        s.vault_failures, s.vault_remaps, s.degraded_drops};
-  static_assert(std::size(fields) == kV3StatsCount);
-  const usize count = version >= 3 ? kV3StatsCount : kV2StatsCount;
+                        s.vault_failures, s.vault_remaps, s.degraded_drops,
+                        s.link_crc_errors, s.link_seq_errors,
+                        s.link_abort_entries, s.link_irtry_tx,
+                        s.link_irtry_rx, s.link_pret_tx, s.link_tret_tx,
+                        s.link_replayed_flits, s.link_token_stalls,
+                        s.link_retrain_cycles, s.link_failures,
+                        s.link_tokens_debited, s.link_tokens_returned};
+  const usize count = version >= 5   ? std::size(fields)
+                      : version >= 3 ? kV3StatsCount
+                                     : kV2StatsCount;
   for (usize i = 0; i < count; ++i) put_u64(os, fields[i]);
 }
 
@@ -175,12 +185,48 @@ void put_device_config(std::ostream& os, const DeviceConfig& c, u32 version) {
     put_u8(os, c.vault_remap ? 1 : 0);
     put_u32(os, c.watchdog_cycles);
   }
+  if (version >= 5) {
+    put_u8(os, c.link_protocol ? 1 : 0);
+    put_u32(os, c.link_tokens);
+    put_u32(os, c.link_retry_buffer_flits);
+    put_u32(os, c.link_retry_latency);
+    put_u32(os, c.link_error_burst_len);
+    put_u32(os, c.link_stuck_interval_cycles);
+    put_u32(os, c.link_stuck_window_cycles);
+    put_u32(os, c.link_fail_threshold);
+  }
 }
 
-/// Serialize `sim` in a historical checkpoint format (version 2, 3 or 4).
-/// Mirrors what those writers emitted: the register prefix of the era, no
-/// link-layer records, per-vault RNG only from v4, and (for v2) no RAS or
-/// watchdog records.
+void put_link_proto(std::ostream& os, const LinkProtoState& st) {
+  put_u64(os, static_cast<u64>(st.tokens));
+  put_u64(os, st.tokens_debited);
+  put_u64(os, st.tokens_returned);
+  put_u32(os, st.retry_buf_flits);
+  put_u8(os, st.tx_frp);
+  put_u8(os, st.rx_rrp);
+  put_u8(os, st.tx_seq);
+  put_u8(os, st.rx_seq);
+  put_u64(os, st.retrain_until);
+  put_u32(os, st.burst_remaining);
+  put_u32(os, st.fail_count);
+  put_u8(os, st.dead ? 1 : 0);
+  put_u8(os, st.replay_pending ? 1 : 0);
+  if (st.replay_pending) {
+    put_packet(os, st.replay.pkt);
+    put_u64(os, st.replay.ready_cycle);
+    put_u32(os, st.replay.home_dev);
+    put_u32(os, st.replay.home_link);
+    put_u32(os, st.replay.ingress_link);
+    put_u8(os, st.replay.penalty_applied ? 1 : 0);
+    put_u8(os, st.replay.retries);
+    put_lifecycle(os, st.replay.life);
+  }
+}
+
+/// Serialize `sim` in a historical checkpoint format (version 2..5).
+/// Mirrors what those writers emitted: one continuous unframed stream, the
+/// register prefix of the era, link-layer records only from v5, per-vault
+/// RNG only from v4, and (for v2) no RAS or watchdog records.
 void write_legacy_checkpoint(const Simulator& sim, u32 version,
                              std::ostream& os) {
   os.write(kMagic, sizeof kMagic);
@@ -207,7 +253,9 @@ void write_legacy_checkpoint(const Simulator& sim, u32 version,
     put_stats(os, dev.stats, version);
 
     const RegisterFile::Snapshot regs = dev.regs.snapshot();
-    const usize reg_count = version >= 3 ? kV3RegCount : kV2RegCount;
+    const usize reg_count = version >= 5   ? regs.values.size()
+                            : version >= 3 ? kV3RegCount
+                                           : kV2RegCount;
     for (usize r = 0; r < reg_count; ++r) put_u64(os, regs.values[r]);
     for (usize r = 0; r < reg_count; ++r) {
       put_u8(os, regs.pending_self_clear[r] ? 1 : 0);
@@ -235,6 +283,7 @@ void write_legacy_checkpoint(const Simulator& sim, u32 version,
       put_u64(os, link.rsp_flits_forwarded);
       put_u64(os, static_cast<u64>(link.rqst_budget));
       put_u64(os, static_cast<u64>(link.rsp_budget));
+      if (version >= 5) put_link_proto(os, link.proto);
     }
     for (const VaultState& vault : dev.vaults) {
       put_request_queue(os, vault.rqst);
@@ -322,7 +371,7 @@ void regenerate_fixture(u32 version) {
   std::ofstream out(fixture_path(version), std::ios::binary);
   ASSERT_TRUE(out) << "cannot write " << fixture_path(version)
                    << " (does tests/golden/checkpoints/ exist?)";
-  if (version >= 5) {
+  if (version >= 6) {
     ASSERT_EQ(sim.save_checkpoint(out), Status::Ok);
   } else {
     write_legacy_checkpoint(sim, version, out);
@@ -345,7 +394,7 @@ TEST(CheckpointCompat, RegenerateFixtures) {
   if (std::getenv("HMCSIM_UPDATE_GOLDEN") == nullptr) {
     GTEST_SKIP() << "set HMCSIM_UPDATE_GOLDEN=1 to rewrite fixtures";
   }
-  for (const u32 version : {2u, 3u, 4u, 5u}) {
+  for (const u32 version : {2u, 3u, 4u, 5u, 6u}) {
     SCOPED_TRACE("v" + std::to_string(version));
     regenerate_fixture(version);
   }
@@ -429,11 +478,11 @@ TEST_P(CheckpointCompatVersions, ResaveUpgradesToCurrentVersion) {
   ASSERT_EQ(again.save_checkpoint(resaved2), Status::Ok);
   EXPECT_EQ(std::move(resaved2).str(), upgraded);
 
-  if (version == 5) {
+  if (version == 6) {
     // Same-version fixtures must survive restore→save byte-identically.
     EXPECT_EQ(upgraded, bytes);
   } else {
-    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v5 stream";
+    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v6 stream";
   }
 }
 
@@ -442,7 +491,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
   // cleanly rather than misparsing fields at shifted offsets.
   const std::string bytes = read_fixture(4);
   ASSERT_GT(bytes.size(), 16u);
-  for (const u64 bad_version : {0ull, 1ull, 6ull, 255ull}) {
+  for (const u64 bad_version : {0ull, 1ull, 7ull, 255ull}) {
     std::string mutated = bytes;
     for (int i = 0; i < 8; ++i) {
       mutated[8 + i] = static_cast<char>(bad_version >> (8 * i));
@@ -455,7 +504,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVersions, CheckpointCompatVersions,
-                         ::testing::Values(2u, 3u, 4u, 5u),
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });

@@ -1,0 +1,250 @@
+// Kill-mid-write resume proof: a run interrupted at an arbitrary point in
+// its checkpoint schedule must resume bit-identical to a run that was
+// never interrupted — same final checkpoint bytes, same driver counters,
+// same latency histogram, and the same bytes for every generation written
+// after the resume point.
+//
+// The harness replays >=50 randomized interruption scenarios against one
+// uninterrupted reference: a clean kill between generations, a torn
+// (truncated or bit-flipped) newest generation that resume must fall back
+// past, and `*.tmp.*` debris that the scanner must ignore — exactly the
+// disk states a SIGKILL inside io::atomic_write_file can leave.  The
+// out-of-process variant (HMCSIM_FAILPOINT=crash:<bytes> against
+// tools/hmcsim_run) is exercised by the CI crash-recovery job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/random.hpp"
+#include "core/simulator.hpp"
+#include "tests/core/helpers.hpp"
+#include "workload/driver.hpp"
+
+namespace hmcsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr u64 kRequests = 3000;
+constexpr u64 kInterval = 16;  // cycles between generations
+
+DeviceConfig harness_device() {
+  DeviceConfig dc = test::small_device();
+  dc.watchdog_cycles = 0;
+  return dc;
+}
+
+GeneratorConfig harness_generator() {
+  GeneratorConfig gc;
+  gc.capacity_bytes = 1u << 22;
+  gc.seed = 11;
+  return gc;
+}
+
+DriverConfig harness_driver() {
+  DriverConfig dcfg;
+  dcfg.total_requests = kRequests;
+  return dcfg;
+}
+
+/// Mirror of the tools/hmcsim_run drive loop: step, and at every interval
+/// boundary write generation `next_gen` into `dir`.  Returns the final
+/// accumulated result.
+DriverResult drive_with_checkpoints(Simulator& sim, HostDriver& driver,
+                                    DriverResult r, const std::string& dir,
+                                    u64 next_gen) {
+  u64 next_ckpt = (sim.now() / kInterval + 1) * kInterval;
+  while (driver.step(r)) {
+    if (sim.now() < next_ckpt) continue;
+    CheckpointError err;
+    EXPECT_EQ(sim.save_checkpoint_file(
+                  checkpoint_generation_path(dir, next_gen), &err,
+                  save_host_state(driver, r)),
+              Status::Ok)
+        << err.message();
+    ++next_gen;
+    next_ckpt = (sim.now() / kInterval + 1) * kInterval;
+  }
+  driver.finish(r);
+  return r;
+}
+
+std::string slurp(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Final-state fingerprint: the complete checkpoint bytes (device state,
+/// stats, registers, memory) plus the driver-side result, which carries
+/// the latency histogram.
+std::string fingerprint(const Simulator& sim, const HostDriver& driver,
+                        const DriverResult& r) {
+  std::ostringstream os;
+  EXPECT_EQ(sim.save_checkpoint(os, nullptr, save_host_state(driver, r)),
+            Status::Ok);
+  return os.str();
+}
+
+class CrashResume : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("hmcsim_crash_" + std::to_string(::getpid()));
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  fs::path root_;
+};
+
+TEST_F(CrashResume, FiftyRandomizedInterruptionPointsResumeBitIdentical) {
+  // ---- the uninterrupted reference ----------------------------------------
+  const std::string ref_dir = (root_ / "ref").string();
+  fs::create_directories(ref_dir);
+  Simulator ref_sim;
+  std::string diag;
+  ASSERT_EQ(ref_sim.init_simple(harness_device(), &diag), Status::Ok)
+      << diag;
+  GeneratorConfig gc = harness_generator();
+  RandomAccessGenerator ref_gen(gc);
+  HostDriver ref_driver(ref_sim, ref_gen, harness_driver());
+  const DriverResult ref_result = drive_with_checkpoints(
+      ref_sim, ref_driver, DriverResult{}, ref_dir, 0);
+  ASSERT_EQ(ref_result.completed, kRequests);
+  const std::string ref_final =
+      fingerprint(ref_sim, ref_driver, ref_result);
+
+  const std::vector<CheckpointGeneration> gens =
+      list_checkpoint_generations(ref_dir);
+  ASSERT_GE(gens.size(), 4u) << "reference run produced too few "
+                                "generations for a meaningful harness";
+  std::map<u64, std::string> gen_bytes;
+  for (const CheckpointGeneration& g : gens) {
+    gen_bytes[g.gen] = slurp(g.path);
+  }
+
+  // ---- randomized interruption scenarios ----------------------------------
+  SplitMix64 rng(0xDEAD);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string dir =
+        (root_ / ("trial" + std::to_string(trial))).string();
+    fs::create_directories(dir);
+
+    // The run died somewhere after generation `g` landed.
+    const u64 g = rng.next_below(gens.size());
+    for (u64 i = 0; i <= g; ++i) {
+      spit(checkpoint_generation_path(dir, i), gen_bytes[i]);
+    }
+    // In 2 of 3 trials the death was mid-write of generation g+1: leave a
+    // torn or bit-rotted next file (resume must fall back past it) or
+    // `.tmp.` debris (the scanner must ignore it).
+    const u64 scenario = rng.next_below(3);
+    if (scenario == 1 && g + 1 < gens.size()) {
+      std::string torn = gen_bytes[g + 1];
+      if (rng.next_below(2) == 0) {
+        torn.resize(rng.next_below(torn.size()));  // truncated
+      } else {
+        torn[rng.next_below(torn.size())] ^= 0x40;  // bit-rotted
+      }
+      spit(checkpoint_generation_path(dir, g + 1), torn);
+    } else if (scenario == 2) {
+      spit(dir + "/ckpt-000000000099.bin.tmp.12345", "torn temp debris");
+    }
+
+    // ---- resume ------------------------------------------------------------
+    Simulator sim;
+    u64 resumed_gen = 0;
+    std::string host_blob;
+    CheckpointError err;
+    ASSERT_EQ(resume_from_directory(sim, dir, &resumed_gen, &host_blob,
+                                    &err),
+              Status::Ok)
+        << "trial " << trial << ": " << err.message();
+    ASSERT_EQ(resumed_gen, g) << "trial " << trial
+                              << ": resumed the wrong generation";
+
+    RandomAccessGenerator gen2(gc);
+    HostDriver driver(sim, gen2, harness_driver());
+    DriverResult r;
+    ASSERT_EQ(restore_host_state(host_blob, driver, r), Status::Ok)
+        << "trial " << trial;
+
+    const DriverResult final_r =
+        drive_with_checkpoints(sim, driver, r, dir, g + 1);
+
+    // ---- bit-identity ------------------------------------------------------
+    EXPECT_EQ(final_r.completed, ref_result.completed) << "trial " << trial;
+    EXPECT_EQ(final_r.errors, ref_result.errors) << "trial " << trial;
+    EXPECT_EQ(final_r.cycles, ref_result.cycles) << "trial " << trial;
+    EXPECT_EQ(final_r.latency.count, ref_result.latency.count);
+    EXPECT_EQ(final_r.latency.sum, ref_result.latency.sum);
+    EXPECT_EQ(final_r.latency.min, ref_result.latency.min);
+    EXPECT_EQ(final_r.latency.max, ref_result.latency.max);
+    ASSERT_EQ(fingerprint(sim, driver, final_r), ref_final)
+        << "trial " << trial << " diverged after resuming generation " << g;
+
+    // Every generation re-written after the resume point must match the
+    // reference bytes: the interrupted schedule converges onto the
+    // uninterrupted one, not merely onto an equivalent end state.
+    for (const CheckpointGeneration& after :
+         list_checkpoint_generations(dir)) {
+      if (after.gen <= g) continue;
+      ASSERT_NE(gen_bytes.find(after.gen), gen_bytes.end())
+          << "trial " << trial << " wrote unexpected generation "
+          << after.gen;
+      EXPECT_EQ(slurp(after.path), gen_bytes[after.gen])
+          << "trial " << trial << " generation " << after.gen;
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+TEST_F(CrashResume, ResumeFromEmptyDirectoryReportsNoResponse) {
+  const std::string dir = (root_ / "empty").string();
+  fs::create_directories(dir);
+  Simulator sim;
+  CheckpointError err;
+  EXPECT_EQ(resume_from_directory(sim, dir, nullptr, nullptr, &err),
+            Status::NoResponse);
+  // Ditto for a directory that does not exist at all.
+  EXPECT_EQ(resume_from_directory(sim, (root_ / "nope").string()),
+            Status::NoResponse);
+}
+
+TEST_F(CrashResume, AllGenerationsDamagedSurfacesNewestError) {
+  const std::string dir = (root_ / "alldead").string();
+  fs::create_directories(dir);
+  spit(checkpoint_generation_path(dir, 0), "not a checkpoint");
+  spit(checkpoint_generation_path(dir, 1), "also not a checkpoint");
+  Simulator sim;
+  CheckpointError err;
+  const Status st = resume_from_directory(sim, dir, nullptr, nullptr, &err);
+  EXPECT_FALSE(ok(st));
+  EXPECT_NE(st, Status::NoResponse);
+  EXPECT_EQ(err.code, CheckpointErrorCode::BadMagic);
+  // The message names the file that was tried (the newest generation).
+  EXPECT_NE(err.message().find("ckpt-000000000001.bin"), std::string::npos)
+      << err.message();
+}
+
+}  // namespace
+}  // namespace hmcsim

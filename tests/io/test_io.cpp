@@ -1,0 +1,157 @@
+// Atomic-file and failpoint unit tests: every failure branch of the
+// checkpoint writer must be deterministically reachable, and a failed
+// write must never tear the destination file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "io/atomic_file.hpp"
+#include "io/failpoint.hpp"
+
+namespace hmcsim::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hmcsim_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    disarm_failpoint();
+  }
+  void TearDown() override {
+    disarm_failpoint();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  /// Number of directory entries, temp debris included.
+  [[nodiscard]] usize entries() const {
+    usize n = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) ++n;
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, AtomicWriteRoundTrips) {
+  const std::string payload(100000, 'x');
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), payload.data(), payload.size(),
+                                &error))
+      << error;
+  EXPECT_EQ(slurp(path("a.bin")), payload);
+  EXPECT_EQ(entries(), 1u);  // no temp debris after success
+}
+
+TEST_F(IoTest, AtomicWriteReplacesWholeFile) {
+  const std::string v1(5000, 'a');
+  const std::string v2(10, 'b');
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), v1.data(), v1.size()));
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), v2.data(), v2.size()));
+  EXPECT_EQ(slurp(path("a.bin")), v2);  // no stale tail from v1
+}
+
+TEST_F(IoTest, ShortWriteFailpointPreservesOldContents) {
+  const std::string v1 = "the good old contents";
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), v1.data(), v1.size()));
+
+  const std::string v2(8192, 'n');
+  arm_failpoint(FailMode::ShortWrite, 1000);
+  std::string error;
+  EXPECT_FALSE(
+      atomic_write_file(path("a.bin"), v2.data(), v2.size(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(failpoint_armed());  // fired and disarmed
+  // Old contents intact, temp unlinked.
+  EXPECT_EQ(slurp(path("a.bin")), v1);
+  EXPECT_EQ(entries(), 1u);
+}
+
+TEST_F(IoTest, EnospcAndEioFailpointsReportTheirErrno) {
+  const std::string payload(4096, 'p');
+  arm_failpoint(FailMode::Enospc, 100);
+  std::string error;
+  EXPECT_FALSE(
+      atomic_write_file(path("a.bin"), payload.data(), payload.size(),
+                        &error));
+  EXPECT_NE(error.find("No space"), std::string::npos) << error;
+
+  arm_failpoint(FailMode::Eio, 100);
+  error.clear();
+  EXPECT_FALSE(
+      atomic_write_file(path("b.bin"), payload.data(), payload.size(),
+                        &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(entries(), 0u);  // both temps unlinked, nothing renamed
+}
+
+TEST_F(IoTest, FailpointAllowsPrefixThroughBeforeFiring) {
+  // The trigger byte is cumulative: a write fully below it passes, and the
+  // one crossing it fails.  That is what lets one env setting interrupt a
+  // run of many checkpoint generations at a reproducible point.
+  const std::string small(100, 's');
+  const std::string big(8192, 'b');
+  arm_failpoint(FailMode::Eio, 4096);
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), small.data(), small.size()));
+  EXPECT_TRUE(failpoint_armed());
+  EXPECT_FALSE(atomic_write_file(path("b.bin"), big.data(), big.size()));
+  EXPECT_FALSE(failpoint_armed());
+}
+
+TEST_F(IoTest, ReadFileRoundTripsAndEnforcesCap) {
+  const std::string payload(10000, 'r');
+  ASSERT_TRUE(atomic_write_file(path("a.bin"), payload.data(),
+                                payload.size()));
+  std::string out;
+  std::string error;
+  ASSERT_TRUE(read_file(path("a.bin"), out, u64{1} << 32, &error)) << error;
+  EXPECT_EQ(out, payload);
+
+  // Hostile-input guard: an over-cap file is rejected without reading.
+  out.clear();
+  EXPECT_FALSE(read_file(path("a.bin"), out, 100, &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(read_file(path("missing.bin"), out, 100, &error));
+}
+
+TEST_F(IoTest, ArmFromEnvParsesEveryModeAndRejectsGarbage) {
+  ::setenv("HMCSIM_FAILPOINT", "eio:1234", 1);
+  EXPECT_TRUE(arm_failpoint_from_env());
+  EXPECT_TRUE(failpoint_armed());
+  disarm_failpoint();
+
+  ::setenv("HMCSIM_FAILPOINT", "bogus:12", 1);
+  EXPECT_FALSE(arm_failpoint_from_env());
+  EXPECT_FALSE(failpoint_armed());
+
+  ::setenv("HMCSIM_FAILPOINT", "eio:notanumber", 1);
+  EXPECT_FALSE(arm_failpoint_from_env());
+
+  ::unsetenv("HMCSIM_FAILPOINT");
+  EXPECT_FALSE(arm_failpoint_from_env());
+}
+
+}  // namespace
+}  // namespace hmcsim::io

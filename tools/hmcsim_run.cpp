@@ -52,6 +52,21 @@
 //     --retries <n>         host resend budget per timed-out request
 //     --backoff <n>         host backoff before the first resend, cycles
 //
+//   Crash-consistent checkpointing (see docs/FORMATS.md §5):
+//     --checkpoint-dir <dir>      write rotated checkpoint generations
+//                           (ckpt-<gen>.bin) into <dir>; each write is
+//                           atomic (temp + fsync + rename)
+//     --checkpoint-interval <n>   cycles between generations (default:
+//                           the config checkpoint_interval_cycles, else
+//                           10000 when --checkpoint-dir is given)
+//     --checkpoint-keep <n> generations retained (default 3; 0 = all)
+//     --resume              scan --checkpoint-dir newest-first, restore
+//                           the first valid generation (falling back past
+//                           torn/corrupt files), and continue the run
+//                           bit-identical to one that was never
+//                           interrupted.  An empty/missing directory
+//                           starts fresh.
+//
 //   Observability (see docs/OBSERVABILITY.md):
 //     --profile             self-profile the clock engine; print the
 //                           per-stage wall-time table after the summary
@@ -71,23 +86,28 @@
 //
 //   Exit status: 0 success, 1 incomplete run, 2 usage error, 3 watchdog
 //   fired (diagnostic dump on stderr, including link-protocol state and
-//   the flight-recorder tail when enabled).
+//   the flight-recorder tail when enabled), 4 --resume found checkpoints
+//   but none restored cleanly, 5 a periodic checkpoint write failed.
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <system_error>
 
 #include "analysis/json.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sampler.hpp"
 #include "core/config_file.hpp"
 #include "core/simulator.hpp"
+#include "io/failpoint.hpp"
 #include "trace/chrome.hpp"
 #include "trace/lifecycle.hpp"
 #include "trace/series.hpp"
@@ -138,6 +158,11 @@ struct Args {
   u64 timeout = 0;
   u32 retries = 0;
   u64 backoff = 0;
+  // Crash-consistent checkpointing.
+  std::string checkpoint_dir;
+  u64 checkpoint_interval = 0;  ///< 0: config value, else 10000 when dir set
+  u64 checkpoint_keep = 3;      ///< generations retained (0 = keep all)
+  bool resume = false;
   // Observability.
   bool profile = false;
   std::string flight_recorder_out;
@@ -160,7 +185,9 @@ void usage(const char* argv0) {
                "[--no-fast-forward]\n"
                "       [--profile] [--telemetry-interval N] "
                "[--flight-recorder FILE] [--flight-recorder-chrome FILE]\n"
-               "       [--flight-recorder-depth N] [--wedge-vaults MASK]\n",
+               "       [--flight-recorder-depth N] [--wedge-vaults MASK]\n"
+               "       [--checkpoint-dir DIR] [--checkpoint-interval N] "
+               "[--checkpoint-keep N] [--resume]\n",
                argv0);
 }
 
@@ -223,6 +250,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       {"--metrics-csv", &Args::metrics_csv},
       {"--flight-recorder", &Args::flight_recorder_out},
       {"--flight-recorder-chrome", &Args::flight_recorder_chrome},
+      {"--checkpoint-dir", &Args::checkpoint_dir},
   };
   static constexpr U64Opt kU64Opts[] = {
       {"--requests", &Args::requests},
@@ -232,6 +260,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       {"--telemetry-interval", &Args::telemetry_interval},
       {"--flight-recorder-depth", &Args::flight_recorder_depth},
       {"--wedge-vaults", &Args::wedge_vaults},
+      {"--checkpoint-interval", &Args::checkpoint_interval},
+      {"--checkpoint-keep", &Args::checkpoint_keep},
   };
   static constexpr U32Opt kU32Opts[] = {
       {"--request-bytes", &Args::request_bytes},
@@ -274,14 +304,20 @@ bool parse_args(int argc, char** argv, Args& args) {
     }
 
     // Boolean switches.
-    if (flag == "--no-fast-forward" || flag == "--profile") {
+    if (flag == "--no-fast-forward" || flag == "--profile" ||
+        flag == "--resume") {
       if (has_inline) {
         std::fprintf(stderr, "error: option '%s' takes no value\n",
                      flag.c_str());
         return false;
       }
-      (flag == "--no-fast-forward" ? args.no_fast_forward : args.profile) =
-          true;
+      if (flag == "--no-fast-forward") {
+        args.no_fast_forward = true;
+      } else if (flag == "--profile") {
+        args.profile = true;
+      } else {
+        args.resume = true;
+      }
       continue;
     }
 
@@ -406,6 +442,17 @@ std::unique_ptr<Generator> make_generator(const Args& args,
       return nullptr;
     }
     auto gen = std::make_unique<TraceFileGenerator>(in);
+    if (gen->malformed_lines() != 0) {
+      // Strict by policy: a malformed line means the trace is not what the
+      // user thinks it is, so name the first offender and refuse to run.
+      std::fprintf(stderr, "%s:%llu: %s (%llu malformed line%s total)\n",
+                   args.trace_in.c_str(),
+                   static_cast<unsigned long long>(gen->first_error_line()),
+                   gen->first_error().c_str(),
+                   static_cast<unsigned long long>(gen->malformed_lines()),
+                   gen->malformed_lines() == 1 ? "" : "s");
+      return nullptr;
+    }
     if (!gen->valid()) {
       std::fprintf(stderr, "trace %s holds no requests\n",
                    args.trace_in.c_str());
@@ -422,6 +469,14 @@ std::unique_ptr<Generator> make_generator(const Args& args,
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return 2;
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    usage(argv[0]);
+    return 2;
+  }
+  // HMCSIM_FAILPOINT=<short|enospc|eio|crash>:<bytes> makes checkpoint-write
+  // failure modes reproducible out of process (the CI crash harness).
+  io::arm_failpoint_from_env();
 
   // ---- configuration -------------------------------------------------------
   SimConfig config;
@@ -505,6 +560,16 @@ int main(int argc, char** argv) {
     }
     if (args.threads >= 0) dc.sim_threads = static_cast<u32>(args.threads);
     if (args.no_fast_forward) dc.fast_forward = false;
+    // Checkpoint cadence: the flag wins over the config file value; a
+    // --checkpoint-dir with neither falls back to every 10000 cycles.  An
+    // execution knob like sim_threads — never serialized into checkpoints.
+    if (args.checkpoint_interval != 0) {
+      dc.checkpoint_interval_cycles = static_cast<u32>(
+          std::min<u64>(args.checkpoint_interval, 0xffffffffULL));
+    } else if (!args.checkpoint_dir.empty() &&
+               dc.checkpoint_interval_cycles == 0) {
+      dc.checkpoint_interval_cycles = 10000;
+    }
     // Observability knobs (pure observation; see docs/OBSERVABILITY.md).
     if (args.profile) dc.self_profile = true;
     if (args.telemetry_interval != 0) {
@@ -570,6 +635,28 @@ int main(int argc, char** argv) {
   if (!ok(sim.init(config, std::move(topo), &diag))) {
     std::fprintf(stderr, "init failed: %s\n", diag.c_str());
     return 1;
+  }
+
+  // ---- resume ---------------------------------------------------------------
+  // Before any sinks attach: a restore rebuilds the device array, so wedge
+  // injection and observers must come after it.  The restored checkpoint
+  // keeps this invocation's execution knobs (threads, fast-forward, cadence).
+  u64 resumed_gen = 0;
+  bool resumed = false;
+  std::string resumed_host_blob;
+  if (args.resume) {
+    CheckpointError rerr;
+    const Status rst = resume_from_directory(
+        sim, args.checkpoint_dir, &resumed_gen, &resumed_host_blob, &rerr);
+    if (ok(rst)) {
+      resumed = true;
+    } else if (rst == Status::NoResponse) {
+      std::fprintf(stderr, "resume: no checkpoints in %s; starting fresh\n",
+                   args.checkpoint_dir.c_str());
+    } else {
+      std::fprintf(stderr, "resume failed: %s\n", rerr.message().c_str());
+      return 4;
+    }
   }
 
   if (args.wedge_vaults != 0) {
@@ -639,7 +726,62 @@ int main(int argc, char** argv) {
   dcfg.retry_limit = args.retries;
   dcfg.retry_backoff_cycles = args.backoff;
   HostDriver driver(sim, *gen, dcfg);
-  const DriverResult r = driver.run();
+  DriverResult r;
+  if (resumed) {
+    if (!ok(restore_host_state(resumed_host_blob, driver, r))) {
+      std::fprintf(stderr,
+                   "resume failed: generation %llu has no usable host state\n",
+                   static_cast<unsigned long long>(resumed_gen));
+      return 4;
+    }
+    std::printf("resumed   : generation %llu at cycle %llu\n",
+                static_cast<unsigned long long>(resumed_gen),
+                static_cast<unsigned long long>(sim.now()));
+  }
+
+  // ---- drive ----------------------------------------------------------------
+  const u64 ckpt_interval = args.checkpoint_dir.empty()
+                                ? 0
+                                : config.device.checkpoint_interval_cycles;
+  if (ckpt_interval == 0) {
+    while (driver.step(r)) {}
+    driver.finish(r);
+  } else {
+    // Periodic generations: the trigger is "now() reached the next interval
+    // boundary" rather than an exact modulus, so fast-forwarded cycles
+    // cannot jump over it — and a resumed run recomputes the same boundary
+    // from the restored cycle, keeping the generation sequence (numbering
+    // and bytes) identical to a run that was never interrupted.
+    std::error_code ec;
+    std::filesystem::create_directories(args.checkpoint_dir, ec);
+    u64 next_gen = resumed_gen + 1;
+    if (!resumed) {
+      // Continue numbering past any debris so rotation stays monotonic.
+      const auto existing = list_checkpoint_generations(args.checkpoint_dir);
+      next_gen = existing.empty() ? 0 : existing.back().gen + 1;
+    }
+    u64 next_ckpt = (sim.now() / ckpt_interval + 1) * ckpt_interval;
+    bool write_failed = false;
+    while (driver.step(r)) {
+      if (sim.now() < next_ckpt) continue;
+      CheckpointError werr;
+      if (!ok(sim.save_checkpoint_file(
+              checkpoint_generation_path(args.checkpoint_dir, next_gen),
+              &werr, save_host_state(driver, r)))) {
+        std::fprintf(stderr, "checkpoint write failed: %s\n",
+                     werr.message().c_str());
+        write_failed = true;
+        break;
+      }
+      ++next_gen;
+      prune_checkpoint_generations(
+          args.checkpoint_dir,
+          static_cast<u32>(std::min<u64>(args.checkpoint_keep, 0xffffffffULL)));
+      next_ckpt = (sim.now() / ckpt_interval + 1) * ckpt_interval;
+    }
+    driver.finish(r);
+    if (write_failed) return 5;
+  }
   sim.tracer().flush();
   sim.flush_observability();
 
