@@ -11,6 +11,10 @@
 #                                          #   BENCH_checkpoint.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # write elsewhere
 #
+# BENCH_backend.json records the vault timing-backend costs: the
+# hmc_dram virtual-dispatch premium (gated < 2% of end-to-end run time;
+# see docs/BACKENDS.md) and per-backend throughput.
+#
 # Acceptance gates: fast-forward must be >= 5x on the sparse (~1%
 # occupancy) GUPS workload with every run pair bit-identical
 # (bench_fast_forward exits nonzero otherwise), the link-layer retry
@@ -28,6 +32,7 @@ OUT=${OUT:-BENCH_fastforward.json}
 OUT_LINK=${OUT_LINK:-BENCH_linkretry.json}
 OUT_PROFILE=${OUT_PROFILE:-BENCH_profile.json}
 OUT_CKPT=${OUT_CKPT:-BENCH_checkpoint.json}
+OUT_BACKEND=${OUT_BACKEND:-BENCH_backend.json}
 GEN=()
 command -v ninja >/dev/null && GEN=(-G Ninja)
 
@@ -35,7 +40,7 @@ echo "== configure & build ($BUILD, Release) =="
 cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target \
   bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry \
-  bench_profile_overhead bench_checkpoint
+  bench_profile_overhead bench_checkpoint bench_backend
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -51,6 +56,9 @@ echo "== bench_profile_overhead =="
 
 echo "== bench_checkpoint =="
 "$BUILD"/bench/bench_checkpoint --json "$OUT_CKPT"
+
+echo "== bench_backend =="
+"$BUILD"/bench/bench_backend --json "$OUT_BACKEND"
 
 echo "== bench_sim_speed =="
 "$BUILD"/bench/bench_sim_speed \
@@ -116,3 +124,11 @@ if ! jq -e '.checkpoint_off_overhead_pct < 2 and
   exit 1
 fi
 echo "wrote $OUT_CKPT"
+
+dispatch=$(jq -r '.hmc_dram_dispatch_overhead_pct' "$OUT_BACKEND")
+echo "hmc_dram backend dispatch overhead: ${dispatch}% (gate: < 2%)"
+if ! jq -e '.hmc_dram_dispatch_overhead_pct < 2' "$OUT_BACKEND" >/dev/null; then
+  echo "FAIL: backend dispatch overhead above the 2% acceptance gate" >&2
+  exit 1
+fi
+echo "wrote $OUT_BACKEND"

@@ -163,6 +163,7 @@ void write_device_stats(JsonWriter& json, const DeviceStats& s) {
   json.kv("link_failures", s.link_failures);
   json.kv("link_tokens_debited", s.link_tokens_debited);
   json.kv("link_tokens_returned", s.link_tokens_returned);
+  json.kv("pcm_write_throttle_stalls", s.pcm_write_throttle_stalls);
   json.end_object();
 }
 
@@ -371,6 +372,22 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("self_profile", dc.self_profile);
     json.kv("telemetry_interval_cycles", u64{dc.telemetry_interval_cycles});
     json.kv("flight_recorder_depth", u64{dc.flight_recorder_depth});
+    json.kv("timing_backend", to_string(dc.timing_backend));
+    json.key("vault_backends").begin_array();
+    for (const auto& [vault, backend] : dc.vault_backends) {
+      json.begin_object();
+      json.kv("vault", u64{vault});
+      json.kv("backend", to_string(backend));
+      json.end_object();
+    }
+    json.end_array();
+    json.kv("ddr_tcl", u64{dc.ddr_tcl});
+    json.kv("ddr_trcd", u64{dc.ddr_trcd});
+    json.kv("ddr_trp", u64{dc.ddr_trp});
+    json.kv("ddr_tras", u64{dc.ddr_tras});
+    json.kv("pcm_read_cycles", u64{dc.pcm_read_cycles});
+    json.kv("pcm_write_cycles", u64{dc.pcm_write_cycles});
+    json.kv("pcm_write_gap_cycles", u64{dc.pcm_write_gap_cycles});
     json.end_object();
 
     json.key("totals");

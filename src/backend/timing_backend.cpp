@@ -1,0 +1,196 @@
+#include "backend/timing_backend.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "core/device.hpp"
+#include "core/stats.hpp"
+
+namespace hmcsim {
+
+namespace {
+
+// Checkpoint word primitives, matching the container's convention
+// (core/checkpoint.cpp): every integer rides in an 8-byte LE word.
+void put_word(std::ostream& os, u64 v) {
+  u8 bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<u8>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(bytes), 8);
+}
+
+bool get_word(std::istream& is, u64* v) {
+  u8 bytes[8];
+  if (!is.read(reinterpret_cast<char*>(bytes), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= u64{bytes[i]} << (8 * i);
+  return true;
+}
+
+/// The paper's DRAM model, verbatim: under ClosedPage every access
+/// occupies the bank for bank_busy_cycles; under OpenPage a row-buffer hit
+/// costs row_hit_cycles and a miss (precharge + activate) costs
+/// row_miss_cycles and leaves the new row open.  Stateless beyond the
+/// shared arrays — bit-identical to the pre-refactor inline code.
+class HmcDramBackend final : public VaultTimingBackend {
+ public:
+  explicit HmcDramBackend(const DeviceConfig& config) : config_(&config) {}
+
+  TimingBackend kind() const override { return TimingBackend::HmcDram; }
+
+  void reset() override {}
+
+  BankGate gate(const VaultState& vault, u32 bank, AccessClass /*access*/,
+                Cycle now) const override {
+    return vault.bank_busy_until[bank] > now ? BankGate::Busy
+                                             : BankGate::Ready;
+  }
+
+  void issue(VaultState& vault, u32 bank, u64 row, AccessClass /*access*/,
+             Cycle now, DeviceStats& stats) override {
+    if (config_->row_policy == RowPolicy::OpenPage) {
+      if (vault.open_row[bank] == row) {
+        vault.bank_busy_until[bank] = now + config_->row_hit_cycles;
+        ++stats.row_hits;
+      } else {
+        vault.bank_busy_until[bank] = now + config_->row_miss_cycles;
+        vault.open_row[bank] = row;
+        ++stats.row_misses;
+      }
+    } else {
+      vault.bank_busy_until[bank] = now + config_->bank_busy_cycles;
+    }
+  }
+
+ private:
+  const DeviceConfig* config_;
+};
+
+/// Parameterized DDR-style timing: a row-buffer hit costs tCL; a miss (or
+/// any access under ClosedPage, where every row closes immediately) costs
+/// max(tRCD + tCL, tRAS) + tRP — activate-to-read plus the column latency,
+/// floored by the row-active minimum, plus the precharge.  With
+/// tRCD = tRP = tRAS = 0 this degenerates to a flat tCL busy window,
+/// which is how the hmc_dram ClosedPage equivalence mapping works.
+class GenericDdrBackend final : public VaultTimingBackend {
+ public:
+  explicit GenericDdrBackend(const DeviceConfig& config) : config_(&config) {}
+
+  TimingBackend kind() const override { return TimingBackend::GenericDdr; }
+
+  void reset() override {}
+
+  BankGate gate(const VaultState& vault, u32 bank, AccessClass /*access*/,
+                Cycle now) const override {
+    return vault.bank_busy_until[bank] > now ? BankGate::Busy
+                                             : BankGate::Ready;
+  }
+
+  void issue(VaultState& vault, u32 bank, u64 row, AccessClass /*access*/,
+             Cycle now, DeviceStats& stats) override {
+    const Cycle miss_cost =
+        std::max<Cycle>(Cycle{config_->ddr_trcd} + config_->ddr_tcl,
+                        config_->ddr_tras) +
+        config_->ddr_trp;
+    if (config_->row_policy == RowPolicy::OpenPage) {
+      if (vault.open_row[bank] == row) {
+        vault.bank_busy_until[bank] = now + config_->ddr_tcl;
+        ++stats.row_hits;
+      } else {
+        vault.bank_busy_until[bank] = now + miss_cost;
+        vault.open_row[bank] = row;
+        ++stats.row_misses;
+      }
+    } else {
+      vault.bank_busy_until[bank] = now + miss_cost;
+    }
+  }
+
+ private:
+  const DeviceConfig* config_;
+};
+
+/// Phase-change-memory-style timing (HybridSim's PCMSim shape): reads and
+/// writes occupy the bank asymmetrically (writes are several times
+/// slower), and a vault-wide write gap throttles sustained write
+/// bandwidth: after any write issues, further writes to the same vault
+/// wait until now + pcm_write_gap_cycles.  The throttle is a gate, not a
+/// bank occupancy — reads flow past a throttled write — and gated issue
+/// attempts are counted in pcm_write_throttle_stalls.  Row buffers are
+/// not modeled (PCM reads are non-destructive); open_row stays at
+/// kNoOpenRow.
+class PcmLikeBackend final : public VaultTimingBackend {
+ public:
+  explicit PcmLikeBackend(const DeviceConfig& config) : config_(&config) {}
+
+  TimingBackend kind() const override { return TimingBackend::PcmLike; }
+
+  void reset() override { write_ok_ = 0; }
+
+  BankGate gate(const VaultState& vault, u32 bank, AccessClass access,
+                Cycle now) const override {
+    if (vault.bank_busy_until[bank] > now) return BankGate::Busy;
+    if (access != AccessClass::Read && write_ok_ > now) {
+      return BankGate::Throttled;
+    }
+    return BankGate::Ready;
+  }
+
+  void issue(VaultState& vault, u32 bank, u64 /*row*/, AccessClass access,
+             Cycle now, DeviceStats& /*stats*/) override {
+    if (access == AccessClass::Read) {
+      vault.bank_busy_until[bank] = now + config_->pcm_read_cycles;
+    } else {
+      vault.bank_busy_until[bank] = now + config_->pcm_write_cycles;
+      if (config_->pcm_write_gap_cycles != 0) {
+        write_ok_ = now + config_->pcm_write_gap_cycles;
+      }
+    }
+  }
+
+  void serialize(std::ostream& os) const override { put_word(os, write_ok_); }
+
+  bool restore(std::istream& is, u64 len) override {
+    if (len != 8) return false;
+    u64 v = 0;
+    if (!get_word(is, &v)) return false;
+    write_ok_ = v;
+    return true;
+  }
+
+ private:
+  const DeviceConfig* config_;
+  /// Earliest cycle the next write may issue (vault-wide write throttle).
+  Cycle write_ok_{0};
+};
+
+}  // namespace
+
+void VaultTimingBackend::refresh(VaultState& vault, Cycle now,
+                                 u32 busy_cycles) {
+  const Cycle until = now + busy_cycles;
+  for (Cycle& busy : vault.bank_busy_until) busy = std::max(busy, until);
+  // Refresh precharges every bank: open rows close.
+  std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
+}
+
+void VaultTimingBackend::serialize(std::ostream& /*os*/) const {}
+
+bool VaultTimingBackend::restore(std::istream& /*is*/, u64 len) {
+  return len == 0;
+}
+
+std::unique_ptr<VaultTimingBackend> make_timing_backend(
+    const DeviceConfig& config, u32 vault) {
+  switch (config.backend_for_vault(vault)) {
+    case TimingBackend::HmcDram:
+      return std::make_unique<HmcDramBackend>(config);
+    case TimingBackend::GenericDdr:
+      return std::make_unique<GenericDdrBackend>(config);
+    case TimingBackend::PcmLike:
+      return std::make_unique<PcmLikeBackend>(config);
+  }
+  return std::make_unique<HmcDramBackend>(config);
+}
+
+}  // namespace hmcsim

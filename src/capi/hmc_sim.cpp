@@ -302,6 +302,31 @@ int hmcsim_util_set_max_blocksize(struct hmcsim_t* hmc, uint32_t dev,
   return ok(shim->config.validate()) ? 0 : -1;
 }
 
+int hmcsim_timing_backend(struct hmcsim_t* hmc, const char* name) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen || name == nullptr) return -1;
+  TimingBackend backend;
+  if (!timing_backend_from_string(name, &backend)) return -1;
+  shim->config.device.timing_backend = backend;
+  return ok(shim->config.validate()) ? 0 : -1;
+}
+
+int hmcsim_vault_timing_backend(struct hmcsim_t* hmc, uint32_t vault,
+                                const char* name) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen || name == nullptr) return -1;
+  TimingBackend backend;
+  if (!timing_backend_from_string(name, &backend)) return -1;
+  auto& overrides = shim->config.device.vault_backends;
+  const auto saved = overrides;
+  std::erase_if(overrides,
+                [&](const auto& e) { return e.first == vault; });
+  overrides.emplace_back(vault, backend);
+  if (ok(shim->config.validate())) return 0;
+  overrides = saved;  // e.g. vault out of range: leave the config usable
+  return -1;
+}
+
 int hmcsim_util_get_max_blocksize(struct hmcsim_t* hmc, uint32_t dev,
                                   uint32_t* bsize) {
   Shim* shim = shim_of(hmc);
@@ -401,6 +426,9 @@ int hmcsim_get_stat(struct hmcsim_t* hmc, uint32_t dev, const char* name,
   else if (key == "link_failures") *value = s.link_failures;
   else if (key == "link_tokens_debited") *value = s.link_tokens_debited;
   else if (key == "link_tokens_returned") *value = s.link_tokens_returned;
+  else if (key == "pcm_write_throttle_stalls") {
+    *value = s.pcm_write_throttle_stalls;
+  }
   else if (key == "sim_threads") *value = shim->sim.sim_threads();
   else if (key == "cycles_skipped") *value = shim->sim.cycles_skipped();
   else return -1;
@@ -460,6 +488,7 @@ int hmcsim_get_stats(struct hmcsim_t* hmc, uint32_t dev,
   out->link_failures = s.link_failures;
   out->link_tokens_debited = s.link_tokens_debited;
   out->link_tokens_returned = s.link_tokens_returned;
+  out->pcm_write_throttle_stalls = s.pcm_write_throttle_stalls;
   return 0;
 }
 

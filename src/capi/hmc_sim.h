@@ -153,6 +153,19 @@ int hmcsim_util_set_max_blocksize(struct hmcsim_t* hmc, uint32_t dev,
                                   uint32_t bsize);
 int hmcsim_util_get_max_blocksize(struct hmcsim_t* hmc, uint32_t dev,
                                   uint32_t* bsize);
+
+/*
+ * Vault timing-backend selection (docs/BACKENDS.md).  `name` is one of
+ * "hmc_dram" (default), "generic_ddr", "pcm_like".  The device-wide form
+ * applies to every vault; the per-vault form overrides one vault (a
+ * repeated call for the same vault replaces the earlier choice).  Both
+ * must be called before the topology freezes (first send/recv/clock) and
+ * return -1 on an unknown name, a frozen topology, or parameters the
+ * configuration validator rejects.
+ */
+int hmcsim_timing_backend(struct hmcsim_t* hmc, const char* name);
+int hmcsim_vault_timing_backend(struct hmcsim_t* hmc, uint32_t vault,
+                                const char* name);
 int hmcsim_util_decode_vault(struct hmcsim_t* hmc, uint64_t addr,
                              uint32_t* vault);
 int hmcsim_util_decode_bank(struct hmcsim_t* hmc, uint64_t addr,
@@ -220,6 +233,9 @@ struct hmcsim_stats {
   uint64_t link_failures;
   uint64_t link_tokens_debited;
   uint64_t link_tokens_returned;
+  /* Timing-backend counter (zero unless the pcm_like backend with a write
+   * gap is configured). */
+  uint64_t pcm_write_throttle_stalls;
 };
 
 /* Fill `out` with device `dev`'s current counters. */

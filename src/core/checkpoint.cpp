@@ -14,7 +14,8 @@
 //   CLK   clock u64
 //   DEVC  stats, register snapshot, memory pages (count u64, then
 //         (index u64, 4096 raw bytes)*), link queues + protocol state,
-//         vault queues (+ bank timing + rng), mode staging queue, RAS block
+//         vault queues (+ bank timing + rng + backend state frame), mode
+//         staging queue, RAS block
 //   WDOG  forward-progress watchdog state
 //   HOST  opaque host-driver blob (workload/driver.hpp), passed through
 //
@@ -70,16 +71,23 @@ constexpr char kTrailer[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'E', 'N'};
 // crash-consistent auto-checkpointing (checkpoint.hpp) safe.  v6 also
 // introduced the optional HOST section carrying opaque host-driver state.
 //
+// Version 7 added pluggable vault timing backends: the backend selection
+// and parameter config knobs (device-wide kind, per-vault overrides, the
+// generic_ddr and pcm_like timing parameters), one stats counter
+// (pcm_write_throttle_stalls), and a per-vault backend-private state frame
+// (kind + length + opaque blob) after the vault RNG.
+//
 // Restore accepts every version back to 2 (the oldest format any released
 // tool wrote).  Fields a version lacks keep their init() values: v2/v3
 // restores keep the deterministic init-seeded per-vault DRAM RNGs, v2
 // restores additionally keep default RAS config, zeroed RAS counters, the
-// init fault RNG, and a quiet watchdog, and pre-v5 restores keep the link
-// protocol off with quiescent (reset) per-link state.  Save always writes
-// the current version.  Committed fixtures for every readable version live
-// under tests/golden/checkpoints/ and are replayed by
-// test_checkpoint_compat.
-constexpr u32 kVersion = 6;
+// init fault RNG, and a quiet watchdog, pre-v5 restores keep the link
+// protocol off with quiescent (reset) per-link state, and pre-v7 restores
+// keep the default hmc_dram backend with power-on (reset) backend state.
+// Save always writes the current version.  Committed fixtures for every
+// readable version live under tests/golden/checkpoints/ and are replayed
+// by test_checkpoint_compat.
+constexpr u32 kVersion = 7;
 constexpr u32 kMinVersion = 2;
 // Registers that existed in version 2 (enum prefix through Rvid); the RAS
 // error-log block was appended in version 3 and the two link-layer RAS
@@ -87,9 +95,16 @@ constexpr u32 kMinVersion = 2;
 constexpr usize kV2RegCount = 43;
 constexpr usize kV3RegCount = 49;
 // DeviceStats fields in version 2 (through flow_packets); version 3
-// appended the 8 RAS counters, version 5 the 13 link-layer counters.
+// appended the 8 RAS counters, version 5 the 13 link-layer counters,
+// version 7 the backend counter.
 constexpr usize kV2StatsCount = 25;
 constexpr usize kV3StatsCount = 33;
+constexpr usize kV5StatsCount = 46;
+// Per-vault backend override list cap (config_file caps indices below 64,
+// so more entries can never validate) and backend-private blob cap: both
+// bound what a forged CFG/DEVC payload can make restore allocate.
+constexpr u64 kMaxVaultOverrides = 64;
+constexpr u64 kMaxBackendBlobBytes = 4096;
 
 constexpr u64 le_word(const char (&bytes)[8]) {
   u64 w = 0;
@@ -323,7 +338,8 @@ void put_stats(std::ostream& os, const DeviceStats& s) {
                         s.link_irtry_rx, s.link_pret_tx, s.link_tret_tx,
                         s.link_replayed_flits, s.link_token_stalls,
                         s.link_retrain_cycles, s.link_failures,
-                        s.link_tokens_debited, s.link_tokens_returned};
+                        s.link_tokens_debited, s.link_tokens_returned,
+                        s.pcm_write_throttle_stalls};
   for (const u64 f : fields) put_u64(os, f);
 }
 
@@ -345,8 +361,9 @@ bool get_stats(std::istream& is, DeviceStats& s, u32 version) {
                    &s.link_pret_tx, &s.link_tret_tx, &s.link_replayed_flits,
                    &s.link_token_stalls, &s.link_retrain_cycles,
                    &s.link_failures, &s.link_tokens_debited,
-                   &s.link_tokens_returned};
-  const usize count = version >= 5 ? std::size(fields)
+                   &s.link_tokens_returned, &s.pcm_write_throttle_stalls};
+  const usize count = version >= 7   ? std::size(fields)
+                      : version >= 5 ? kV5StatsCount
                       : version >= 3 ? kV3StatsCount
                                      : kV2StatsCount;
   for (usize i = 0; i < count; ++i) {
@@ -395,6 +412,29 @@ void put_device_config(std::ostream& os, const DeviceConfig& c) {
   put_u32(os, c.link_stuck_interval_cycles);
   put_u32(os, c.link_stuck_window_cycles);
   put_u32(os, c.link_fail_threshold);
+  // v7: timing-backend selection and parameters.
+  put_u8(os, static_cast<u8>(c.timing_backend));
+  put_u32(os, c.ddr_tcl);
+  put_u32(os, c.ddr_trcd);
+  put_u32(os, c.ddr_trp);
+  put_u32(os, c.ddr_tras);
+  put_u32(os, c.pcm_read_cycles);
+  put_u32(os, c.pcm_write_cycles);
+  put_u32(os, c.pcm_write_gap_cycles);
+  put_u64(os, c.vault_backends.size());
+  for (const auto& [vault, backend] : c.vault_backends) {
+    put_u32(os, vault);
+    put_u8(os, static_cast<u8>(backend));
+  }
+}
+
+bool get_timing_backend(std::istream& is, TimingBackend& out) {
+  u8 kind = 0;
+  if (!get_u8(is, kind) || kind > static_cast<u8>(TimingBackend::PcmLike)) {
+    return false;
+  }
+  out = static_cast<TimingBackend>(kind);
+  return true;
 }
 
 bool get_device_config(std::istream& is, DeviceConfig& c, u32 version) {
@@ -445,6 +485,29 @@ bool get_device_config(std::istream& is, DeviceConfig& c, u32 version) {
       return false;
     }
     c.link_protocol = link_protocol != 0;
+  }
+  if (version >= 7) {
+    // Pre-v7 checkpoints predate pluggable backends; restores keep the
+    // default hmc_dram selection and parameter defaults.
+    u64 overrides = 0;
+    if (!get_timing_backend(is, c.timing_backend) ||
+        !get_u32(is, c.ddr_tcl) || !get_u32(is, c.ddr_trcd) ||
+        !get_u32(is, c.ddr_trp) || !get_u32(is, c.ddr_tras) ||
+        !get_u32(is, c.pcm_read_cycles) || !get_u32(is, c.pcm_write_cycles) ||
+        !get_u32(is, c.pcm_write_gap_cycles) || !get_u64(is, overrides) ||
+        overrides > kMaxVaultOverrides) {
+      return false;
+    }
+    c.vault_backends.clear();
+    c.vault_backends.reserve(static_cast<usize>(overrides));
+    for (u64 i = 0; i < overrides; ++i) {
+      u32 vault = 0;
+      TimingBackend backend;
+      if (!get_u32(is, vault) || !get_timing_backend(is, backend)) {
+        return false;
+      }
+      c.vault_backends.emplace_back(vault, backend);
+    }
   }
   c.xbar_depth = static_cast<usize>(xbar);
   c.vault_depth = static_cast<usize>(vault);
@@ -537,6 +600,14 @@ void put_device_block(std::ostream& os, const Device& dev) {
     for (const Cycle busy : vault.bank_busy_until) put_u64(os, busy);
     for (const u64 row : vault.open_row) put_u64(os, row);
     put_u64(os, vault.dram_rng.state());  // v4
+    // v7: backend-private state frame (kind, length, opaque blob).  The
+    // shared bank arrays above stay in the container's own encoding.
+    put_u8(os, static_cast<u8>(vault.timing->kind()));
+    std::ostringstream blob;
+    vault.timing->serialize(blob);
+    const std::string bytes = blob.str();
+    put_u64(os, bytes.size());
+    put_bytes(os, bytes.data(), bytes.size());
   }
   put_response_queue(os, dev.mode_rsp);
 
@@ -636,6 +707,20 @@ bool get_device_block(std::istream& is, Device& dev, u32 version,
       vault.dram_rng = SplitMix64(dram_rng_state);
     }
     // Pre-v4 checkpoints keep the deterministic init-seeded vault RNGs.
+    if (version >= 7) {
+      // The backend was already constructed from the restored config, so
+      // the frame's kind must agree; the blob is the backend's own state.
+      *what = "vault backend state";
+      u8 kind = 0;
+      u64 blob_len = 0;
+      if (!get_u8(is, kind) ||
+          kind != static_cast<u8>(vault.timing->kind()) ||
+          !get_u64(is, blob_len) || blob_len > kMaxBackendBlobBytes ||
+          !vault.timing->restore(is, blob_len)) {
+        return false;
+      }
+    }
+    // Pre-v7 checkpoints keep the power-on (reset) backend state.
   }
   *what = "mode response queue";
   if (!get_response_queue(is, dev.mode_rsp)) return false;
@@ -843,7 +928,9 @@ Status Simulator::restore_checkpoint(std::istream& is, CheckpointError* err,
                              ", " + std::to_string(kVersion) + "]");
   }
   const u32 version = static_cast<u32>(version_word);
-  if (version >= 6) return restore_checkpoint_v6_(is, err, host_blob_out);
+  if (version >= 6) {
+    return restore_checkpoint_v6_(is, version, err, host_blob_out);
+  }
   return restore_checkpoint_legacy_(is, version, err);
 }
 
@@ -978,7 +1065,7 @@ Status Simulator::restore_checkpoint_legacy_(std::istream& is, u32 version,
   return Status::Ok;
 }
 
-Status Simulator::restore_checkpoint_v6_(std::istream& is,
+Status Simulator::restore_checkpoint_v6_(std::istream& is, u32 version,
                                          CheckpointError* err,
                                          std::string* host_blob_out) {
   // Byte offset of the next unread stream byte (magic + version consumed).
@@ -1111,7 +1198,7 @@ Status Simulator::restore_checkpoint_v6_(std::istream& is,
   open_payload();
   SimConfig config;
   if (!get_u32(ps, config.num_devices) ||
-      !get_device_config(ps, config.device, kVersion)) {
+      !get_device_config(ps, config.device, version)) {
     return payload_fail("config block");
   }
   if (!payload_drained()) return payload_fail("trailing bytes after config");
@@ -1204,7 +1291,7 @@ Status Simulator::restore_checkpoint_v6_(std::istream& is,
     if (!read_section(ckpt::kSectionDevice)) return frame_status;
     open_payload();
     const char* what = "device block";
-    if (!get_device_block(ps, *dev_ptr, kVersion, custom_, &what)) {
+    if (!get_device_block(ps, *dev_ptr, version, custom_, &what)) {
       return payload_fail(what);
     }
     if (!payload_drained()) {

@@ -6,6 +6,39 @@
 
 namespace hmcsim {
 
+const char* to_string(TimingBackend backend) {
+  switch (backend) {
+    case TimingBackend::HmcDram: return "hmc_dram";
+    case TimingBackend::GenericDdr: return "generic_ddr";
+    case TimingBackend::PcmLike: return "pcm_like";
+  }
+  return "hmc_dram";
+}
+
+bool timing_backend_from_string(std::string_view name, TimingBackend* out) {
+  if (name == "hmc_dram") *out = TimingBackend::HmcDram;
+  else if (name == "generic_ddr") *out = TimingBackend::GenericDdr;
+  else if (name == "pcm_like") *out = TimingBackend::PcmLike;
+  else return false;
+  return true;
+}
+
+bool DeviceConfig::uses_backend(TimingBackend backend) const {
+  if (timing_backend == backend) return true;
+  for (const auto& [vault, override] : vault_backends) {
+    (void)vault;
+    if (override == backend) return true;
+  }
+  return false;
+}
+
+TimingBackend DeviceConfig::backend_for_vault(u32 vault) const {
+  for (const auto& [index, override] : vault_backends) {
+    if (index == vault) return override;
+  }
+  return timing_backend;
+}
+
 AddressMap DeviceConfig::make_address_map() const {
   switch (map_mode) {
     case AddrMapMode::LowInterleave:
@@ -60,6 +93,37 @@ Status DeviceConfig::validate(std::string* diagnostic) const {
   if (bank_busy_cycles == 0) {
     os << "bank_busy_cycles must be nonzero";
     return fail(Status::InvalidConfig);
+  }
+  for (usize i = 0; i < vault_backends.size(); ++i) {
+    const u32 index = vault_backends[i].first;
+    if (index >= num_vaults()) {
+      os << "vault_backend index " << index << " is beyond the device's "
+         << num_vaults() << " vaults";
+      return fail(Status::InvalidConfig);
+    }
+    for (usize j = 0; j < i; ++j) {
+      if (vault_backends[j].first == index) {
+        os << "vault_backend index " << index << " is listed twice";
+        return fail(Status::InvalidConfig);
+      }
+    }
+  }
+  if (uses_backend(TimingBackend::GenericDdr) && ddr_tcl == 0) {
+    os << "generic_ddr requires ddr_tcl >= 1 (a command must occupy the "
+          "bank for at least one cycle)";
+    return fail(Status::InvalidConfig);
+  }
+  if (uses_backend(TimingBackend::PcmLike)) {
+    if (pcm_read_cycles == 0) {
+      os << "pcm_like requires pcm_read_cycles >= 1";
+      return fail(Status::InvalidConfig);
+    }
+    if (pcm_write_cycles < pcm_read_cycles) {
+      os << "pcm_like requires pcm_write_cycles (" << pcm_write_cycles
+         << ") >= pcm_read_cycles (" << pcm_read_cycles
+         << "): PCM writes are never faster than reads";
+      return fail(Status::InvalidConfig);
+    }
   }
   if (!model_data && (dram_sbe_rate_ppm != 0 || dram_dbe_rate_ppm != 0 ||
                       scrub_interval_cycles != 0)) {

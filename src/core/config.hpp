@@ -11,6 +11,9 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/limits.hpp"
 #include "common/status.hpp"
@@ -45,6 +48,22 @@ enum class VaultSchedule : u8 {
   BankReady,   ///< retire any queued request whose bank is free (default)
   StrictFifo,  ///< retire in strict arrival order only
 };
+
+/// Vault bank-timing backend (see docs/BACKENDS.md).  The backend decides
+/// when a bank can accept a command and how long it stays busy; everything
+/// else — queues, crossbar, refresh scheduling, RAS — is backend-agnostic.
+enum class TimingBackend : u8 {
+  HmcDram,     ///< the paper's DRAM model (bank_busy_cycles / row policy)
+  GenericDdr,  ///< parameterized tCL/tRCD/tRP/tRAS timing
+  PcmLike,     ///< asymmetric read/write latency + write throttling
+};
+
+/// Canonical config-file / CLI spelling of a backend ("hmc_dram",
+/// "generic_ddr", "pcm_like").
+const char* to_string(TimingBackend backend);
+/// Parse a backend name; returns false (and leaves `out` alone) on an
+/// unknown spelling.
+bool timing_backend_from_string(std::string_view name, TimingBackend* out);
 
 struct DeviceConfig {
   // ---- structural (the paper's init parameters) ------------------------
@@ -94,6 +113,38 @@ struct DeviceConfig {
   u32 row_miss_cycles{22};
   /// Vault retirement order (see VaultSchedule).
   VaultSchedule vault_schedule{VaultSchedule::BankReady};
+  /// Bank-timing backend for every vault (see TimingBackend and
+  /// docs/BACKENDS.md); individual vaults may override via
+  /// `vault_backends`.
+  TimingBackend timing_backend{TimingBackend::HmcDram};
+  /// Per-vault backend overrides: pairs of (vault index, backend).  Vaults
+  /// not listed use `timing_backend`.  Indices must be unique and below
+  /// num_vaults().
+  std::vector<std::pair<u32, TimingBackend>> vault_backends;
+  /// generic_ddr timing knobs, in device clocks.  A row-buffer hit costs
+  /// tCL; a miss (or any access under ClosedPage) costs
+  /// max(tRCD + tCL, tRAS) + tRP.  With ddr_trcd = ddr_trp = ddr_tras = 0
+  /// the model degenerates to a flat ddr_tcl busy window.  The defaults
+  /// reproduce the hmc_dram default (bank_busy_cycles = 16):
+  /// max(5 + 6, 11) + 5 = 16.
+  u32 ddr_tcl{6};
+  u32 ddr_trcd{5};
+  u32 ddr_trp{5};
+  u32 ddr_tras{11};
+  /// pcm_like timing knobs, in device clocks.  Reads occupy the bank for
+  /// pcm_read_cycles; writes (and atomics, which are read-modify-writes)
+  /// for pcm_write_cycles.  pcm_write_gap_cycles additionally throttles
+  /// write bandwidth vault-wide: after any write issues, further writes to
+  /// the same vault wait that many cycles (0 = no throttle); stalled
+  /// cycles are counted in the pcm_write_throttle_stalls statistic.
+  u32 pcm_read_cycles{16};
+  u32 pcm_write_cycles{48};
+  u32 pcm_write_gap_cycles{0};
+  /// True when `vault` (or any vault, with kAllVaults) resolves to
+  /// `backend` under timing_backend + vault_backends.
+  bool uses_backend(TimingBackend backend) const;
+  /// The backend vault `vault` resolves to.
+  TimingBackend backend_for_vault(u32 vault) const;
 
   // ---- fault injection ---------------------------------------------------
   /// Probability, in parts per million, that a request packet crossing a

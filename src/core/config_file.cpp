@@ -245,6 +245,79 @@ ConfigParseResult parse_config(std::istream& in) {
         return fail(line_no,
                     "map_mode must be low_interleave/bank_first/linear");
       }
+    } else if (key == "timing_backend") {
+      TimingBackend backend;
+      if (!timing_backend_from_string(value, &backend)) {
+        return fail(line_no, "unknown timing_backend '" + value +
+                                 "' (hmc_dram/generic_ddr/pcm_like)");
+      }
+      dc.timing_backend = backend;
+    } else if (key == "vault_backend") {
+      // Repeatable per-vault override: "<index>:<name>" or
+      // "<lo>-<hi>:<name>".
+      const auto colon = value.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= value.size()) {
+        return fail(line_no,
+                    "vault_backend needs <vault|lo-hi>:<backend name>");
+      }
+      const std::string range = trim(value.substr(0, colon));
+      const std::string name = trim(value.substr(colon + 1));
+      TimingBackend backend;
+      if (!timing_backend_from_string(name, &backend)) {
+        return fail(line_no, "unknown vault_backend '" + name +
+                                 "' (hmc_dram/generic_ddr/pcm_like)");
+      }
+      u64 lo = 0;
+      u64 hi = 0;
+      const auto dash = range.find('-');
+      if (dash == std::string::npos) {
+        if (!parse_number(range, lo)) {
+          return fail(line_no, "vault_backend needs a vault index");
+        }
+        hi = lo;
+      } else {
+        if (!parse_number(range.substr(0, dash), lo) ||
+            !parse_number(range.substr(dash + 1), hi) || hi < lo) {
+          return fail(line_no, "vault_backend range must be <lo>-<hi>");
+        }
+      }
+      if (hi >= 64) {
+        return fail(line_no, "vault_backend index " + std::to_string(hi) +
+                                 " is beyond any device geometry");
+      }
+      for (u64 v = lo; v <= hi; ++v) {
+        for (const auto& existing : dc.vault_backends) {
+          if (existing.first == v) {
+            return fail(line_no, "vault_backend index " + std::to_string(v) +
+                                     " is listed twice");
+          }
+        }
+        dc.vault_backends.emplace_back(static_cast<u32>(v), backend);
+      }
+    } else if (key == "ddr_tcl") {
+      if (!is_number) return fail(line_no, "ddr_tcl needs a number");
+      dc.ddr_tcl = static_cast<u32>(number);
+    } else if (key == "ddr_trcd") {
+      if (!is_number) return fail(line_no, "ddr_trcd needs a number");
+      dc.ddr_trcd = static_cast<u32>(number);
+    } else if (key == "ddr_trp") {
+      if (!is_number) return fail(line_no, "ddr_trp needs a number");
+      dc.ddr_trp = static_cast<u32>(number);
+    } else if (key == "ddr_tras") {
+      if (!is_number) return fail(line_no, "ddr_tras needs a number");
+      dc.ddr_tras = static_cast<u32>(number);
+    } else if (key == "pcm_read_cycles") {
+      if (!is_number) return fail(line_no, "pcm_read_cycles needs a number");
+      dc.pcm_read_cycles = static_cast<u32>(number);
+    } else if (key == "pcm_write_cycles") {
+      if (!is_number) return fail(line_no, "pcm_write_cycles needs a number");
+      dc.pcm_write_cycles = static_cast<u32>(number);
+    } else if (key == "pcm_write_gap_cycles") {
+      if (!is_number) {
+        return fail(line_no, "pcm_write_gap_cycles needs a number");
+      }
+      dc.pcm_write_gap_cycles = static_cast<u32>(number);
     } else if (key == "vault_schedule") {
       if (value == "bank_ready") {
         dc.vault_schedule = VaultSchedule::BankReady;
@@ -328,6 +401,17 @@ void write_config(std::ostream& os, const SimConfig& config) {
      << '\n';
   os << "row_hit_cycles = " << dc.row_hit_cycles << '\n';
   os << "row_miss_cycles = " << dc.row_miss_cycles << '\n';
+  os << "timing_backend = " << to_string(dc.timing_backend) << '\n';
+  for (const auto& [vault, backend] : dc.vault_backends) {
+    os << "vault_backend = " << vault << ':' << to_string(backend) << '\n';
+  }
+  os << "ddr_tcl = " << dc.ddr_tcl << '\n';
+  os << "ddr_trcd = " << dc.ddr_trcd << '\n';
+  os << "ddr_trp = " << dc.ddr_trp << '\n';
+  os << "ddr_tras = " << dc.ddr_tras << '\n';
+  os << "pcm_read_cycles = " << dc.pcm_read_cycles << '\n';
+  os << "pcm_write_cycles = " << dc.pcm_write_cycles << '\n';
+  os << "pcm_write_gap_cycles = " << dc.pcm_write_gap_cycles << '\n';
   os << "sim_threads = " << dc.sim_threads << '\n';
   os << "fast_forward = " << (dc.fast_forward ? "true" : "false") << '\n';
   os << "model_data = " << (dc.model_data ? "true" : "false") << '\n';

@@ -36,6 +36,9 @@ Device::Device(u32 cube_id, const DeviceConfig& config)
     vault.bank_busy_until.assign(config.banks_per_vault, 0);
     vault.open_row.assign(config.banks_per_vault, kNoOpenRow);
     vault.dram_rng = vault_rng(config.fault_seed, cube_id, v);
+    // The backend references the device's own config copy (config_), whose
+    // address is stable for the device's lifetime.
+    vault.timing = make_timing_backend(config_, v);
     vaults.push_back(std::move(vault));
   }
   mode_rsp = BoundedQueue<ResponseEntry>(config.xbar_depth);
@@ -65,6 +68,7 @@ void Device::reset(bool clear_memory) {
     std::fill(vault.bank_busy_until.begin(), vault.bank_busy_until.end(), 0);
     std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
     vault.dram_rng = vault_rng(config_.fault_seed, id_, v++);
+    vault.timing->reset();
   }
   mode_rsp.clear();
   regs.reset();

@@ -17,8 +17,10 @@
 // of the original simulator, kept intact for traceability to the paper.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "backend/timing_backend.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
 #include "core/config.hpp"
@@ -139,6 +141,11 @@ struct VaultState {
   /// pattern — depending on thread count.  Seeded from (fault_seed, device,
   /// vault); checkpointed.
   SplitMix64 dram_rng{0};
+  /// Bank-timing backend (src/backend/): decides when banks accept
+  /// commands and how long they stay busy.  Owns only backend-private
+  /// state; the shared arrays above remain the source of truth for bank
+  /// occupancy.
+  std::unique_ptr<VaultTimingBackend> timing;
 };
 
 /// Per-device RAS runtime state: the error log the 0x2E register block

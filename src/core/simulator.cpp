@@ -1365,17 +1365,13 @@ void Simulator::process_vault(Device& dev, u32 vault_index, ShardCtx& ctx) {
   VaultState& vault = dev.vaults[vault_index];
 
   // DRAM refresh: when this vault's (staggered) refresh slot comes due,
-  // every bank goes busy for the refresh window and nothing retires.
+  // the timing backend takes every bank offline for the refresh window and
+  // nothing retires.
   if (cfg.refresh_interval_cycles != 0) {
     const Cycle offset = Cycle{vault_index} * cfg.refresh_interval_cycles /
                          cfg.num_vaults();
     if ((cycle_ + offset) % cfg.refresh_interval_cycles == 0) {
-      const Cycle until = cycle_ + cfg.refresh_busy_cycles;
-      for (Cycle& busy : vault.bank_busy_until) {
-        busy = std::max(busy, until);
-      }
-      // Refresh precharges every bank: open rows close.
-      std::fill(vault.open_row.begin(), vault.open_row.end(), kNoOpenRow);
+      vault.timing->refresh(vault, cycle_, cfg.refresh_busy_cycles);
       ++ctx.stats->refreshes;
     }
   }
@@ -1401,8 +1397,21 @@ void Simulator::process_vault(Device& dev, u32 vault_index, ShardCtx& ctx) {
     }
     const u32 bank = dev.address_map().bank_of(entry.req.addr);
     const u32 bit = 1u << bank;
-    if ((blocked_banks & bit) || (used_banks & bit) ||
-        vault.bank_busy_until[bank] > cycle_) {
+    // Ordering gates (blocked/used) are the engine's; bank readiness is
+    // the timing backend's.  Atomics and custom commands run at the vault
+    // as read-modify-writes.
+    const AccessClass access =
+        entry.custom != nullptr || is_atomic(entry.req.cmd)
+            ? AccessClass::Rmw
+            : (is_write(entry.req.cmd) ? AccessClass::Write
+                                       : AccessClass::Read);
+    const BankGate gate = (blocked_banks & bit) || (used_banks & bit)
+                              ? BankGate::Busy
+                              : vault.timing->gate(vault, bank, access, cycle_);
+    if (gate != BankGate::Ready) {
+      if (gate == BankGate::Throttled) {
+        ++ctx.stats->pcm_write_throttle_stalls;
+      }
       if (strict) break;
       blocked_banks |= bit;
       ++i;
@@ -1435,21 +1444,8 @@ void Simulator::process_vault(Device& dev, u32 vault_index, ShardCtx& ctx) {
       continue;
     }
     used_banks |= bit;
-    if (cfg.row_policy == RowPolicy::OpenPage) {
-      // Row-buffer timing: hits reuse the open row, misses pay
-      // precharge + activate and leave the new row open.
-      const u64 row = dev.address_map().row_of(entry.req.addr);
-      if (vault.open_row[bank] == row) {
-        vault.bank_busy_until[bank] = cycle_ + cfg.row_hit_cycles;
-        ++ctx.stats->row_hits;
-      } else {
-        vault.bank_busy_until[bank] = cycle_ + cfg.row_miss_cycles;
-        vault.open_row[bank] = row;
-        ++ctx.stats->row_misses;
-      }
-    } else {
-      vault.bank_busy_until[bank] = cycle_ + cfg.bank_busy_cycles;
-    }
+    vault.timing->issue(vault, bank, dev.address_map().row_of(entry.req.addr),
+                        access, cycle_, *ctx.stats);
     vault.rqst.remove(i);
     ++retired;
   }

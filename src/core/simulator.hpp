@@ -268,7 +268,8 @@ class Simulator {
   // section frames.
   Status restore_checkpoint_legacy_(std::istream& is, u32 version,
                                     CheckpointError* err);
-  Status restore_checkpoint_v6_(std::istream& is, CheckpointError* err,
+  Status restore_checkpoint_v6_(std::istream& is, u32 version,
+                                CheckpointError* err,
                                 std::string* host_blob_out);
 
   /// Per-shard mutable context for one parallel stage execution.  Stage

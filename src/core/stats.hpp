@@ -72,6 +72,11 @@ struct DeviceStats {
   u64 row_hits{0};
   u64 row_misses{0};
 
+  // Backend-specific timing (zero unless the pcm_like backend with a
+  // write gap is configured): issue attempts gated by the vault-wide
+  // write-bandwidth throttle while the bank itself was free.
+  u64 pcm_write_throttle_stalls{0};
+
   // Host-edge traffic.
   u64 sends{0};
   u64 send_stalls{0};
@@ -121,6 +126,7 @@ struct DeviceStats {
     refreshes += o.refreshes;
     row_hits += o.row_hits;
     row_misses += o.row_misses;
+    pcm_write_throttle_stalls += o.pcm_write_throttle_stalls;
     sends += o.sends;
     send_stalls += o.send_stalls;
     recvs += o.recvs;

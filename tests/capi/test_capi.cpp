@@ -230,6 +230,36 @@ TEST_F(HmcFixture, UtilityBlockSizeAndDecode) {
   EXPECT_EQ(hmcsim_util_set_max_blocksize(&hmc, 0, 128), -1);
 }
 
+TEST_F(HmcFixture, TimingBackendSelection) {
+  // Pre-freeze: selections are accepted; a repeat replaces the earlier one.
+  ASSERT_EQ(hmcsim_timing_backend(&hmc, "pcm_like"), 0);
+  ASSERT_EQ(hmcsim_timing_backend(&hmc, "generic_ddr"), 0);
+  ASSERT_EQ(hmcsim_vault_timing_backend(&hmc, 3, "pcm_like"), 0);
+  ASSERT_EQ(hmcsim_vault_timing_backend(&hmc, 3, "hmc_dram"), 0);
+  // Unknown names and out-of-range vaults are rejected — and leave the
+  // configuration usable.
+  EXPECT_EQ(hmcsim_timing_backend(&hmc, "nvdimm"), -1);
+  EXPECT_EQ(hmcsim_timing_backend(&hmc, nullptr), -1);
+  EXPECT_EQ(hmcsim_vault_timing_backend(&hmc, 99, "pcm_like"), -1);
+
+  uint64_t packet[HMC_MAX_UQ_PACKET];
+  ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x100, 1, HMC_RD16, 0, nullptr,
+                                    nullptr, nullptr, packet),
+            0);
+  ASSERT_EQ(hmcsim_send(&hmc, packet), 0);
+  for (int i = 0; i < 32; ++i) ASSERT_EQ(hmcsim_clock(&hmc), 0);
+  uint64_t v = ~0ull;
+  EXPECT_EQ(hmcsim_get_stat(&hmc, 0, "pcm_write_throttle_stalls", &v), 0);
+  EXPECT_EQ(v, 0u);  // read-only traffic never trips the write throttle
+  hmcsim_stats stats{};
+  ASSERT_EQ(hmcsim_get_stats(&hmc, 0, &stats), 0);
+  EXPECT_EQ(stats.pcm_write_throttle_stalls, 0u);
+
+  // Post-freeze selections are rejected like every topology-time setter.
+  EXPECT_EQ(hmcsim_timing_backend(&hmc, "hmc_dram"), -1);
+  EXPECT_EQ(hmcsim_vault_timing_backend(&hmc, 0, "hmc_dram"), -1);
+}
+
 TEST_F(HmcFixture, StatCounters) {
   uint64_t packet[HMC_MAX_UQ_PACKET];
   ASSERT_EQ(hmcsim_build_memrequest(&hmc, 0, 0x40, 1, HMC_RD16, 0, nullptr,

@@ -163,5 +163,94 @@ TEST(ConfigFile, FaultKnobsParse) {
   EXPECT_EQ(r.config.device.refresh_interval_cycles, 9750u);
 }
 
+TEST(ConfigFile, TimingBackendKnobsParse) {
+  const auto r = parse_config_string(
+      "timing_backend = generic_ddr\n"
+      "ddr_tcl = 7\n"
+      "ddr_trcd = 4\n"
+      "ddr_trp = 4\n"
+      "ddr_tras = 12\n"
+      "vault_backend = 3:pcm_like\n"
+      "vault_backend = 8-10:hmc_dram\n"
+      "pcm_read_cycles = 20\n"
+      "pcm_write_cycles = 60\n"
+      "pcm_write_gap_cycles = 9\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const DeviceConfig& dc = r.config.device;
+  EXPECT_EQ(dc.timing_backend, TimingBackend::GenericDdr);
+  EXPECT_EQ(dc.ddr_tcl, 7u);
+  EXPECT_EQ(dc.ddr_tras, 12u);
+  EXPECT_EQ(dc.pcm_write_cycles, 60u);
+  EXPECT_EQ(dc.pcm_write_gap_cycles, 9u);
+  ASSERT_EQ(dc.vault_backends.size(), 4u);
+  EXPECT_EQ(dc.backend_for_vault(3), TimingBackend::PcmLike);
+  EXPECT_EQ(dc.backend_for_vault(9), TimingBackend::HmcDram);
+  EXPECT_EQ(dc.backend_for_vault(0), TimingBackend::GenericDdr);
+}
+
+TEST(ConfigFile, UnknownBackendNameIsAnErrorWithLineNumber) {
+  const auto r =
+      parse_config_string("num_links = 4\ntiming_backend = nvdimm\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("2:"), std::string::npos);
+  EXPECT_NE(r.error.find("nvdimm"), std::string::npos);
+  // The diagnostic names the valid choices.
+  EXPECT_NE(r.error.find("pcm_like"), std::string::npos);
+}
+
+TEST(ConfigFile, MalformedVaultBackendSpecsAreErrors) {
+  EXPECT_FALSE(parse_config_string("vault_backend = pcm_like").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = 3:").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = :pcm_like").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = three:pcm_like").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = 3:nvdimm").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = 99:pcm_like").ok);
+  EXPECT_FALSE(parse_config_string("vault_backend = 5-3:pcm_like").ok);
+  // Duplicate index, whether listed twice or covered by two ranges.
+  const auto dup = parse_config_string(
+      "vault_backend = 3:pcm_like\nvault_backend = 1-4:generic_ddr\n");
+  ASSERT_FALSE(dup.ok);
+  EXPECT_NE(dup.error.find("twice"), std::string::npos);
+}
+
+TEST(ConfigFile, InvalidBackendParamsAreRejected) {
+  // Parseable but semantically invalid: zero CAS latency, zero read
+  // latency, and a write latency below the read latency.
+  EXPECT_FALSE(
+      parse_config_string("timing_backend = generic_ddr\nddr_tcl = 0\n").ok);
+  EXPECT_FALSE(
+      parse_config_string("timing_backend = pcm_like\npcm_read_cycles = 0\n")
+          .ok);
+  EXPECT_FALSE(parse_config_string("timing_backend = pcm_like\n"
+                                   "pcm_read_cycles = 30\n"
+                                   "pcm_write_cycles = 10\n")
+                   .ok);
+}
+
+TEST(ConfigFile, VaultBackendSelectionRoundTrips) {
+  SimConfig original;
+  original.device.timing_backend = TimingBackend::PcmLike;
+  original.device.vault_backends = {{0, TimingBackend::HmcDram},
+                                    {5, TimingBackend::GenericDdr},
+                                    {15, TimingBackend::PcmLike}};
+  original.device.ddr_tcl = 8;
+  original.device.pcm_read_cycles = 18;
+  original.device.pcm_write_cycles = 50;
+  original.device.pcm_write_gap_cycles = 4;
+
+  std::ostringstream os;
+  write_config(os, original);
+  const auto r = parse_config_string(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  const DeviceConfig& a = original.device;
+  const DeviceConfig& b = r.config.device;
+  EXPECT_EQ(a.timing_backend, b.timing_backend);
+  EXPECT_EQ(a.vault_backends, b.vault_backends);
+  EXPECT_EQ(a.ddr_tcl, b.ddr_tcl);
+  EXPECT_EQ(a.pcm_read_cycles, b.pcm_read_cycles);
+  EXPECT_EQ(a.pcm_write_cycles, b.pcm_write_cycles);
+  EXPECT_EQ(a.pcm_write_gap_cycles, b.pcm_write_gap_cycles);
+}
+
 }  // namespace
 }  // namespace hmcsim

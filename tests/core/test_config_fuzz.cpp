@@ -62,6 +62,8 @@ TEST(ConfigFuzz, RandomKeyValueShapedLinesNeverCrash) {
       "link_retry_latency", "link_error_burst_len",
       "link_stuck_interval_cycles", "link_stuck_window_cycles",
       "link_fail_threshold",
+      "timing_backend", "vault_backend", "ddr_tcl", "ddr_tras",
+      "pcm_read_cycles", "pcm_write_cycles", "pcm_write_gap_cycles",
       "not_a_real_key"};
   for (int i = 0; i < 20000; ++i) {
     std::string text;
@@ -69,12 +71,20 @@ TEST(ConfigFuzz, RandomKeyValueShapedLinesNeverCrash) {
     for (usize l = 0; l < lines; ++l) {
       text += kKeys[rng.next_below(std::size(kKeys))];
       text += " = ";
-      // Values: plain numbers, huge numbers, negatives, junk words.
-      switch (rng.next_below(5)) {
+      // Values: plain numbers, huge numbers, negatives, junk words, plus
+      // vault_backend's "<index>:<name>" / "<lo>-<hi>:<name>" shapes (well
+      // formed, out of range, and malformed).
+      switch (rng.next_below(9)) {
         case 0: text += std::to_string(rng.next_below(1u << 20)); break;
         case 1: text += "99999999999999999999999"; break;
         case 2: text += "-5"; break;
         case 3: text += random_text(rng, 12); break;
+        case 4: text += "pcm_like"; break;
+        case 5:
+          text += std::to_string(rng.next_below(80)) + ":generic_ddr";
+          break;
+        case 6: text += "0-63:pcm_like"; break;
+        case 7: text += ":" + random_text(rng, 8); break;
         default: text += "bank_ready"; break;
       }
       text += '\n';
@@ -91,6 +101,11 @@ TEST(ConfigFuzz, MutatedValidFilesNeverMisparse) {
   sc.device.num_links = 8;
   sc.device.sim_threads = 4;
   sc.device.dram_sbe_rate_ppm = 100;
+  // Non-default backend state so the timing_backend / vault_backend /
+  // ddr_* / pcm_* lines exist in the serialized base and get mutated too.
+  sc.device.timing_backend = TimingBackend::GenericDdr;
+  sc.device.vault_backends = {{2, TimingBackend::PcmLike}};
+  sc.device.pcm_write_gap_cycles = 12;
   std::ostringstream os;
   write_config(os, sc);
   const std::string base = std::move(os).str();

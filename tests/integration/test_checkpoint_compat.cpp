@@ -11,9 +11,14 @@
 //                      records
 //   checkpoint_v5.bin  link-layer config/stats/registers and per-link
 //                      retry/token state, still one continuous stream
-//   checkpoint_v6.bin  current container: same records, framed into
+//   checkpoint_v6.bin  framed container: same records, split into
 //                      sections with per-section length + CRC-32K and a
-//                      trailer magic
+//                      trailer magic — but no timing-backend records
+//   checkpoint_v7.bin  current: adds the backend config knobs, the
+//                      pcm_write_throttle_stalls counter, and a per-vault
+//                      backend-private state frame (this fixture runs
+//                      pcm_like/generic_ddr vault overrides so the frames
+//                      carry real state)
 //
 // Each fixture snapshots a mid-flight workload — requests in crossbar and
 // vault queues, banks busy, memory pages resident — so restore exercises
@@ -339,6 +344,13 @@ DeviceConfig fixture_device(u32 version) {
     dc.link_retry_latency = 6;
     dc.link_error_burst_len = 2;
   }
+  if (version >= 7) {
+    // Mixed per-vault backends with a write gap so the v7 fixture's
+    // backend-state frames hold live (nonzero) private state.
+    dc.vault_backends = {{1, TimingBackend::PcmLike},
+                         {2, TimingBackend::GenericDdr}};
+    dc.pcm_write_gap_cycles = 12;
+  }
   return dc;
 }
 
@@ -394,7 +406,10 @@ TEST(CheckpointCompat, RegenerateFixtures) {
   if (std::getenv("HMCSIM_UPDATE_GOLDEN") == nullptr) {
     GTEST_SKIP() << "set HMCSIM_UPDATE_GOLDEN=1 to rewrite fixtures";
   }
-  for (const u32 version : {2u, 3u, 4u, 5u, 6u}) {
+  // v6 is deliberately absent: save_checkpoint now writes v7, so the
+  // committed v6 fixture is frozen — regenerating it would silently turn
+  // it into a v7 stream and lose the coverage.
+  for (const u32 version : {2u, 3u, 4u, 5u, 7u}) {
     SCOPED_TRACE("v" + std::to_string(version));
     regenerate_fixture(version);
   }
@@ -478,11 +493,11 @@ TEST_P(CheckpointCompatVersions, ResaveUpgradesToCurrentVersion) {
   ASSERT_EQ(again.save_checkpoint(resaved2), Status::Ok);
   EXPECT_EQ(std::move(resaved2).str(), upgraded);
 
-  if (version == 6) {
+  if (version == 7) {
     // Same-version fixtures must survive restore→save byte-identically.
     EXPECT_EQ(upgraded, bytes);
   } else {
-    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v6 stream";
+    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v7 stream";
   }
 }
 
@@ -491,7 +506,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
   // cleanly rather than misparsing fields at shifted offsets.
   const std::string bytes = read_fixture(4);
   ASSERT_GT(bytes.size(), 16u);
-  for (const u64 bad_version : {0ull, 1ull, 7ull, 255ull}) {
+  for (const u64 bad_version : {0ull, 1ull, 8ull, 255ull}) {
     std::string mutated = bytes;
     for (int i = 0; i < 8; ++i) {
       mutated[8 + i] = static_cast<char>(bad_version >> (8 * i));
@@ -504,7 +519,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVersions, CheckpointCompatVersions,
-                         ::testing::Values(2u, 3u, 4u, 5u, 6u),
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });

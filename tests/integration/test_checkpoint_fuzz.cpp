@@ -23,8 +23,15 @@ namespace {
 
 /// A mid-flight simulator with host-driver state attached: every section
 /// type (CFG, TOPO, CLK, DEVC, WDOG, HOST) is present in the base stream.
+/// Mixed per-vault timing backends put non-empty v7 backend-state frames
+/// (kind + length + blob) and the CFG override list in the mutator's
+/// blast radius too.
 std::string make_base_checkpoint() {
-  Simulator sim = test::make_simple_sim();
+  DeviceConfig dc = test::small_device();
+  dc.vault_backends = {{1, TimingBackend::PcmLike},
+                       {2, TimingBackend::GenericDdr}};
+  dc.pcm_write_gap_cycles = 12;
+  Simulator sim = test::make_simple_sim(dc);
   GeneratorConfig gc;
   gc.capacity_bytes = 1u << 20;
   gc.seed = 7;

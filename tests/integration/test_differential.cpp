@@ -64,6 +64,10 @@ struct Scenario {
   bool ras;     ///< DRAM faults + scrubber + vault degradation + link errors
   u64 requests;
   LinkStorm storm{LinkStorm::None};
+  /// Vault timing backend (simulation-visible; must match between any two
+  /// compared runs).  The base scenarios all use the default hmc_dram;
+  /// NonDefaultBackends* re-runs them under the other backends.
+  TimingBackend backend{TimingBackend::HmcDram};
 };
 
 // Keep runtimes modest: each scenario runs 3x (plus 2x more on failure).
@@ -115,6 +119,27 @@ DeviceConfig scenario_device(const Scenario& s) {
       case LinkStorm::None:
         break;
     }
+  }
+  switch (s.backend) {
+    case TimingBackend::HmcDram:
+      break;
+    case TimingBackend::GenericDdr:
+      // Parameters scaled to the small-device busy window, chosen so the
+      // row-cycle floor (tRAS) and precharge paths all fire.
+      dc.timing_backend = TimingBackend::GenericDdr;
+      dc.ddr_tcl = 3;
+      dc.ddr_trcd = 2;
+      dc.ddr_trp = 2;
+      dc.ddr_tras = 6;
+      break;
+    case TimingBackend::PcmLike:
+      // Asymmetric enough that write queues back up and the vault-wide
+      // write gap gates issues (pcm_write_throttle_stalls > 0).
+      dc.timing_backend = TimingBackend::PcmLike;
+      dc.pcm_read_cycles = 4;
+      dc.pcm_write_cycles = 12;
+      dc.pcm_write_gap_cycles = 6;
+      break;
   }
   return dc;
 }
@@ -410,6 +435,40 @@ TEST_P(Differential, ParallelMatchesSerialExactly) {
   for (const u32 threads : {2u, saturated_threads()}) {
     const RunCfg got_cfg{threads};
     expect_equivalent(s, ref_cfg, got_cfg, ref, run_scenario(s, got_cfg));
+  }
+}
+
+TEST_P(Differential, NonDefaultBackendsParallelMatchSerialExactly) {
+  // The backend axis: every scenario re-run under the generic_ddr and
+  // pcm_like vault timing backends, serial reference vs 2 threads and a
+  // saturated worker count, with the same lockstep first-divergence
+  // diagnosis on mismatch.  (The default hmc_dram backend is what every
+  // other test in this file runs under.)  Backends keep per-vault private
+  // state (e.g. pcm_like's write-gap deadline), so this is the proof that
+  // the sharded stage-3/4 schedule never races that state either.
+  for (const TimingBackend backend :
+       {TimingBackend::GenericDdr, TimingBackend::PcmLike}) {
+    Scenario s = GetParam();
+    s.backend = backend;
+    SCOPED_TRACE(std::string("backend ") + to_string(backend));
+    const RunCfg ref_cfg{};
+    const Outcome ref = run_scenario(s, ref_cfg);
+    ASSERT_EQ(ref.sent, s.requests);
+    ASSERT_EQ(ref.completed, s.requests);
+    ASSERT_FALSE(ref.checkpoint.empty());
+    if (backend == TimingBackend::PcmLike) {
+      u64 throttle = 0;
+      for (const DeviceStats& st : ref.stats) {
+        throttle += st.pcm_write_throttle_stalls;
+      }
+      EXPECT_GT(throttle, 0u)
+          << "pcm_like run never hit the write-bandwidth throttle; the "
+             "backend-state race coverage is weaker than intended";
+    }
+    for (const u32 threads : {2u, saturated_threads()}) {
+      const RunCfg got_cfg{threads};
+      expect_equivalent(s, ref_cfg, got_cfg, ref, run_scenario(s, got_cfg));
+    }
   }
 }
 

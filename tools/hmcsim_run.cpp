@@ -52,6 +52,19 @@
 //     --retries <n>         host resend budget per timed-out request
 //     --backoff <n>         host backoff before the first resend, cycles
 //
+//   Vault timing backends (see docs/BACKENDS.md):
+//     --backend <name>      device-wide bank-timing model:
+//                           hmc_dram (default) | generic_ddr | pcm_like
+//     --vault-backend <i:name>    per-vault override, repeatable; wins
+//                           over any config-file vault_backend entry
+//     --ddr-tcl <n>         generic_ddr column latency, cycles
+//     --ddr-trcd <n>        generic_ddr RAS-to-CAS delay, cycles
+//     --ddr-trp <n>         generic_ddr precharge, cycles
+//     --ddr-tras <n>        generic_ddr row-active minimum, cycles
+//     --pcm-read <n>        pcm_like read occupancy, cycles
+//     --pcm-write <n>       pcm_like write occupancy, cycles
+//     --pcm-write-gap <n>   pcm_like vault-wide write throttle gap, cycles
+//
 //   Crash-consistent checkpointing (see docs/FORMATS.md §5):
 //     --checkpoint-dir <dir>      write rotated checkpoint generations
 //                           (ckpt-<gen>.bin) into <dir>; each write is
@@ -101,6 +114,7 @@
 #include <memory>
 #include <string>
 #include <system_error>
+#include <vector>
 
 #include "analysis/json.hpp"
 #include "analysis/report.hpp"
@@ -155,6 +169,16 @@ struct Args {
   i64 link_stuck_interval = -1;
   i64 link_stuck_window = -1;
   i64 link_fail_threshold = -1;
+  // Timing backend selection (docs/BACKENDS.md); empty = config value.
+  std::string backend;
+  std::vector<std::string> vault_backends;  ///< repeatable "idx:name"
+  i64 ddr_tcl = -1;
+  i64 ddr_trcd = -1;
+  i64 ddr_trp = -1;
+  i64 ddr_tras = -1;
+  i64 pcm_read = -1;
+  i64 pcm_write = -1;
+  i64 pcm_write_gap = -1;
   u64 timeout = 0;
   u32 retries = 0;
   u64 backoff = 0;
@@ -186,6 +210,11 @@ void usage(const char* argv0) {
                "       [--profile] [--telemetry-interval N] "
                "[--flight-recorder FILE] [--flight-recorder-chrome FILE]\n"
                "       [--flight-recorder-depth N] [--wedge-vaults MASK]\n"
+               "       [--backend hmc_dram|generic_ddr|pcm_like] "
+               "[--vault-backend IDX:NAME]...\n"
+               "       [--ddr-tcl N] [--ddr-trcd N] [--ddr-trp N] "
+               "[--ddr-tras N]\n"
+               "       [--pcm-read N] [--pcm-write N] [--pcm-write-gap N]\n"
                "       [--checkpoint-dir DIR] [--checkpoint-interval N] "
                "[--checkpoint-keep N] [--resume]\n",
                argv0);
@@ -240,6 +269,7 @@ bool parse_args(int argc, char** argv, Args& args) {
   struct I64Opt { const char* flag; i64 Args::* field; };
   static constexpr StrOpt kStrOpts[] = {
       {"--config", &Args::config_file},
+      {"--backend", &Args::backend},
       {"--topology", &Args::topology},
       {"--workload", &Args::workload},
       {"--trace-in", &Args::trace_in},
@@ -288,6 +318,13 @@ bool parse_args(int argc, char** argv, Args& args) {
       {"--link-stuck-interval", &Args::link_stuck_interval},
       {"--link-stuck-window", &Args::link_stuck_window},
       {"--link-fail-threshold", &Args::link_fail_threshold},
+      {"--ddr-tcl", &Args::ddr_tcl},
+      {"--ddr-trcd", &Args::ddr_trcd},
+      {"--ddr-trp", &Args::ddr_trp},
+      {"--ddr-tras", &Args::ddr_tras},
+      {"--pcm-read", &Args::pcm_read},
+      {"--pcm-write", &Args::pcm_write},
+      {"--pcm-write-gap", &Args::pcm_write_gap},
   };
 
   for (int i = 1; i < argc; ++i) {
@@ -377,6 +414,13 @@ bool parse_args(int argc, char** argv, Args& args) {
     }
     if (handled) continue;
 
+    if (flag == "--vault-backend") {
+      // Repeatable; each occurrence adds one "<vault>:<name>" override.
+      const char* v = take_value();
+      if (v == nullptr) return false;
+      args.vault_backends.emplace_back(v);
+      continue;
+    }
     if (flag == "--preset") {
       const char* v = take_value();
       if (v == nullptr) return false;
@@ -588,6 +632,51 @@ int main(int argc, char** argv) {
     if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
         dc.scrub_interval_cycles != 0) {
       dc.model_data = true;
+    }
+    // Timing backend overrides (docs/BACKENDS.md).  The flags win over
+    // config-file values; a --vault-backend replaces any file-supplied
+    // override for the same vault.
+    if (!args.backend.empty() &&
+        !timing_backend_from_string(args.backend, &dc.timing_backend)) {
+      std::fprintf(stderr,
+                   "error: unknown --backend '%s' "
+                   "(hmc_dram/generic_ddr/pcm_like)\n",
+                   args.backend.c_str());
+      return 2;
+    }
+    for (const std::string& spec : args.vault_backends) {
+      const auto colon = spec.find(':');
+      u64 vault = 0;
+      TimingBackend backend;
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= spec.size() ||
+          !parse_u64_strict("--vault-backend", spec.substr(0, colon).c_str(),
+                            vault) ||
+          vault >= 64 ||
+          !timing_backend_from_string(spec.substr(colon + 1), &backend)) {
+        std::fprintf(stderr,
+                     "error: --vault-backend expects "
+                     "<vault>:<hmc_dram|generic_ddr|pcm_like>, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      std::erase_if(dc.vault_backends, [&](const auto& e) {
+        return e.first == static_cast<u32>(vault);
+      });
+      dc.vault_backends.emplace_back(static_cast<u32>(vault), backend);
+    }
+    if (args.ddr_tcl >= 0) dc.ddr_tcl = static_cast<u32>(args.ddr_tcl);
+    if (args.ddr_trcd >= 0) dc.ddr_trcd = static_cast<u32>(args.ddr_trcd);
+    if (args.ddr_trp >= 0) dc.ddr_trp = static_cast<u32>(args.ddr_trp);
+    if (args.ddr_tras >= 0) dc.ddr_tras = static_cast<u32>(args.ddr_tras);
+    if (args.pcm_read >= 0) {
+      dc.pcm_read_cycles = static_cast<u32>(args.pcm_read);
+    }
+    if (args.pcm_write >= 0) {
+      dc.pcm_write_cycles = static_cast<u32>(args.pcm_write);
+    }
+    if (args.pcm_write_gap >= 0) {
+      dc.pcm_write_gap_cycles = static_cast<u32>(args.pcm_write_gap);
     }
   }
 
