@@ -21,9 +21,12 @@
 # protocol must cost ~0 when switched off (bench_link_retry gates its two
 # protocol-off runs within 10% of each other; see docs/LINK_LAYER.md), the
 # observability layer (docs/OBSERVABILITY.md) must cost < 2% when all
-# off and < 10% fully on (bench_profile_overhead gates both itself), and
+# off and < 10% fully on (bench_profile_overhead gates both itself),
 # periodic auto-checkpointing (docs/FORMATS.md §5) must cost < 5% at the
-# default 10k-cycle cadence (bench_checkpoint gates itself).
+# default 10k-cycle cadence (bench_checkpoint gates itself), and the chaos
+# invariant checker (docs/CHAOS.md) must cost < 2% when off and < 5% at
+# the default 1024-cycle cadence (bench_chaos gates itself, recorded in
+# BENCH_chaos.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +36,7 @@ OUT_LINK=${OUT_LINK:-BENCH_linkretry.json}
 OUT_PROFILE=${OUT_PROFILE:-BENCH_profile.json}
 OUT_CKPT=${OUT_CKPT:-BENCH_checkpoint.json}
 OUT_BACKEND=${OUT_BACKEND:-BENCH_backend.json}
+OUT_CHAOS=${OUT_CHAOS:-BENCH_chaos.json}
 GEN=()
 command -v ninja >/dev/null && GEN=(-G Ninja)
 
@@ -40,7 +44,7 @@ echo "== configure & build ($BUILD, Release) =="
 cmake -B "$BUILD" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target \
   bench_sim_speed bench_parallel_speedup bench_fast_forward bench_link_retry \
-  bench_profile_overhead bench_checkpoint bench_backend
+  bench_profile_overhead bench_checkpoint bench_backend bench_chaos
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -59,6 +63,9 @@ echo "== bench_checkpoint =="
 
 echo "== bench_backend =="
 "$BUILD"/bench/bench_backend --json "$OUT_BACKEND"
+
+echo "== bench_chaos =="
+"$BUILD"/bench/bench_chaos --json "$OUT_CHAOS"
 
 echo "== bench_sim_speed =="
 "$BUILD"/bench/bench_sim_speed \
@@ -132,3 +139,14 @@ if ! jq -e '.hmc_dram_dispatch_overhead_pct < 2' "$OUT_BACKEND" >/dev/null; then
   exit 1
 fi
 echo "wrote $OUT_BACKEND"
+
+chaos_off=$(jq -r '.chaos_off_overhead_pct' "$OUT_CHAOS")
+chaos_on=$(jq -r '.chaos_checker_overhead_pct' "$OUT_CHAOS")
+echo "chaos subsystem off-path overhead: ${chaos_off}% (gate: < 2%)"
+echo "chaos checker overhead at 1024-cycle cadence: ${chaos_on}% (gate: < 5%)"
+if ! jq -e '.chaos_off_overhead_pct < 2 and
+            .chaos_checker_overhead_pct < 5' "$OUT_CHAOS" >/dev/null; then
+  echo "FAIL: chaos checker overhead above the acceptance gates" >&2
+  exit 1
+fi
+echo "wrote $OUT_CHAOS"

@@ -372,6 +372,7 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     json.kv("self_profile", dc.self_profile);
     json.kv("telemetry_interval_cycles", u64{dc.telemetry_interval_cycles});
     json.kv("flight_recorder_depth", u64{dc.flight_recorder_depth});
+    json.kv("chaos_invariants", u64{dc.chaos_invariants});
     json.kv("timing_backend", to_string(dc.timing_backend));
     json.key("vault_backends").begin_array();
     for (const auto& [vault, backend] : dc.vault_backends) {
@@ -444,6 +445,19 @@ void write_stats_json(std::ostream& os, const Simulator& sim,
     if (sim.telemetry() != nullptr) write_telemetry(json, *sim.telemetry());
     if (sim.flight_recorder() != nullptr) {
       write_flight_recorder(json, *sim.flight_recorder());
+    }
+    if (const ChaosEngine* chaos = sim.chaos()) {
+      json.key("chaos").begin_object();
+      json.kv("plan_events", u64{chaos->plan().events.size()});
+      json.kv("cursor", chaos->cursor());
+      json.kv("events_applied", chaos->events_applied());
+      json.kv("invariant_checks", chaos->invariant_checks());
+      json.kv("violated", chaos->violated());
+      if (chaos->violated()) {
+        json.kv("violation_invariant", chaos->violation().invariant);
+        json.kv("violation_cycle", chaos->violation().cycle);
+      }
+      json.end_object();
     }
   }
 

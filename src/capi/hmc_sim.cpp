@@ -579,6 +579,43 @@ int hmcsim_flight_recorder_depth(struct hmcsim_t* hmc, uint32_t depth) {
   return 0;
 }
 
+int hmcsim_chaos_invariants(struct hmcsim_t* hmc, uint32_t cadence) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || shim->frozen) return -1;
+  shim->config.device.chaos_invariants = cadence;
+  return 0;
+}
+
+int hmcsim_chaos_plan(struct hmcsim_t* hmc, const char* plan, FILE* err) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr || plan == nullptr) return -1;
+  const auto report = [err](const std::string& diag) {
+    if (err != nullptr && !diag.empty()) {
+      std::fprintf(err, "%s\n", diag.c_str());
+    }
+    return -1;
+  };
+  ChaosPlanParseResult parsed = parse_chaos_plan_string(plan);
+  if (!parsed.ok) return report(parsed.error);
+  if (!ok(shim->freeze())) return report("topology rejected");
+  std::string diag;
+  if (!ok(shim->sim.set_chaos_plan(std::move(parsed.plan), &diag))) {
+    return report(diag);
+  }
+  return 0;
+}
+
+int hmcsim_chaos_violated(struct hmcsim_t* hmc, FILE* out) {
+  Shim* shim = shim_of(hmc);
+  if (shim == nullptr) return -1;
+  if (!shim->sim.chaos_violated()) return 0;
+  if (out != nullptr) {
+    const std::string& report = shim->sim.chaos_report();
+    std::fwrite(report.data(), 1, report.size(), out);
+  }
+  return 1;
+}
+
 int hmcsim_dump_profile(struct hmcsim_t* hmc, FILE* out) {
   Shim* shim = shim_of(hmc);
   if (shim == nullptr || out == nullptr) return -1;

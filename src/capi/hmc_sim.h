@@ -315,6 +315,23 @@ int hmcsim_dump_flight_recorder(struct hmcsim_t* hmc, FILE* out);
 int hmcsim_dump_flight_recorder_chrome(struct hmcsim_t* hmc, FILE* out);
 
 /*
+ * Chaos orchestration (docs/CHAOS.md): deterministic fault campaigns plus
+ * a live invariant checker.
+ */
+/* Run the invariant suite every `cadence` cycles (0 disables).  Must be
+ * set after hmcsim_init and before the topology freezes. */
+int hmcsim_chaos_invariants(struct hmcsim_t* hmc, uint32_t cadence);
+/* Compile the chaos plan text in `plan` (the docs/CHAOS.md directive
+ * grammar) and arm it; freezes the topology.  Returns 0 on success, -1 on
+ * a bad handle or a plan the compiler/validator rejects (the diagnostic is
+ * written to `err` when non-NULL). */
+int hmcsim_chaos_plan(struct hmcsim_t* hmc, const char* plan, FILE* err);
+/* Returns 1 when an invariant violation froze the machine (the post-mortem
+ * report is written to `out` when non-NULL), 0 when it has not, -1 on a
+ * bad handle. */
+int hmcsim_chaos_violated(struct hmcsim_t* hmc, FILE* out);
+
+/*
  * Custom memory cube (CMC) commands.
  *
  * Register `handler` under a reserved 6-bit CMD encoding; the handler runs

@@ -1,0 +1,120 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+
+namespace hmcsim {
+namespace {
+
+/// The shrink predicate: the candidate must reproduce the exact violation,
+/// not just any violation — shrinking toward a different bug would hand the
+/// user a reproducer for something else.
+bool same_violation(const ChaosOracleResult& got,
+                    const ChaosOracleResult& target) {
+  return got.tripped && got.invariant == target.invariant &&
+         got.cycle == target.cycle;
+}
+
+ChaosPlan plan_from(const std::vector<ChaosEvent>& events) {
+  ChaosPlan p;
+  p.events = events;
+  return p;
+}
+
+}  // namespace
+
+ChaosShrinkResult shrink_chaos_plan(const ChaosPlan& plan,
+                                    const ChaosOracleResult& target,
+                                    const ChaosOracle& oracle, u32 max_runs) {
+  ChaosShrinkResult result;
+  result.repro = target;
+
+  std::vector<ChaosEvent> current = plan.events;
+  u32 runs = 0;
+  const auto probe = [&](const std::vector<ChaosEvent>& events,
+                         ChaosOracleResult* out) {
+    if (runs >= max_runs) return false;
+    ++runs;
+    const ChaosOracleResult got = oracle(plan_from(events));
+    if (out != nullptr) *out = got;
+    return same_violation(got, target);
+  };
+
+  // Phase 1: ddmin over the event list.  Partition into n chunks; try each
+  // chunk alone, then each complement; on success recurse into the reduced
+  // list, otherwise double the granularity until chunks are single events.
+  usize n = 2;
+  while (current.size() >= 2 && runs < max_runs) {
+    n = std::min(n, current.size());
+    const usize chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    // Subsets first: a single chunk is the biggest possible cut.
+    for (usize start = 0; start < current.size() && !reduced; start += chunk) {
+      const usize stop = std::min(start + chunk, current.size());
+      std::vector<ChaosEvent> subset(current.begin() + start,
+                                     current.begin() + stop);
+      if (subset.size() == current.size()) break;
+      if (probe(subset, nullptr)) {
+        current = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    // Complements: drop one chunk at a time.
+    for (usize start = 0; start < current.size() && !reduced; start += chunk) {
+      const usize stop = std::min(start + chunk, current.size());
+      std::vector<ChaosEvent> rest;
+      rest.reserve(current.size() - (stop - start));
+      rest.insert(rest.end(), current.begin(), current.begin() + start);
+      rest.insert(rest.end(), current.begin() + stop, current.end());
+      if (rest.empty() || rest.size() == current.size()) continue;
+      if (probe(rest, nullptr)) {
+        current = std::move(rest);
+        n = std::max<usize>(2, n - 1);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    if (n >= current.size()) break;  // 1-minimal at single-event granularity
+    n = std::min(current.size(), n * 2);
+  }
+
+  // Phase 2: magnitude minimization.  For each surviving rate event,
+  // binary-search the smallest `a` that still reproduces.
+  for (usize i = 0; i < current.size() && runs < max_runs; ++i) {
+    ChaosEvent& ev = current[i];
+    if (!chaos_action_has_magnitude(ev.action) || ev.restore || ev.a == 0) {
+      continue;
+    }
+    u64 lo = 0;       // exclusive: known (or assumed) not to reproduce
+    u64 hi = ev.a;    // inclusive: known to reproduce
+    while (hi - lo > 1 && runs < max_runs) {
+      const u64 mid = lo + (hi - lo) / 2;
+      std::vector<ChaosEvent> candidate = current;
+      candidate[i].a = mid;
+      if (probe(candidate, nullptr)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    ev.a = hi;
+  }
+
+  // Re-verify the final plan so result.repro reflects what it actually
+  // trips (and so a probe-budget exhaustion can never hand back an
+  // unverified candidate).
+  ChaosOracleResult final_check;
+  ++runs;
+  final_check = oracle(plan_from(current));
+  if (same_violation(final_check, target)) {
+    result.plan = plan_from(current);
+    result.repro = final_check;
+  } else {
+    result.plan = plan;  // fall back to the known-tripping original
+  }
+  result.oracle_runs = runs;
+  return result;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,45 @@
+// Automatic chaos-scenario shrinking (docs/CHAOS.md).
+//
+// When a plan trips an invariant, the full campaign is rarely the smallest
+// reproducer.  shrink_chaos_plan() runs classic ddmin delta-debugging over
+// the compiled event list — repeatedly re-running the simulation through a
+// caller-supplied oracle — to find a 1-minimal subset of events that still
+// trips the SAME invariant at the SAME first-violation cycle, then
+// binary-searches each surviving rate magnitude down to the smallest value
+// that still reproduces.  The result replays bit-identically: the oracle
+// runs a fresh simulator per candidate, so no state leaks between probes.
+#pragma once
+
+#include <functional>
+
+#include "chaos/plan.hpp"
+
+namespace hmcsim {
+
+/// What one oracle run of a candidate plan observed.
+struct ChaosOracleResult {
+  bool tripped{false};
+  std::string invariant;  ///< violated invariant name ("" when clean)
+  Cycle cycle{0};         ///< first-violation cycle
+};
+
+/// Runs the workload under `plan` in a fresh simulator and reports whether
+/// an invariant tripped.  Must be deterministic.
+using ChaosOracle = std::function<ChaosOracleResult(const ChaosPlan&)>;
+
+struct ChaosShrinkResult {
+  ChaosPlan plan;        ///< minimal reproducer (events in cycle order)
+  ChaosOracleResult repro;  ///< what the minimal plan trips
+  u32 oracle_runs{0};    ///< probes spent (diagnostics)
+};
+
+/// Shrink `plan` against `target` (the violation the full plan produced).
+/// Every candidate the search keeps reproduces target.invariant at
+/// target.cycle exactly; if nothing smaller reproduces, the original plan
+/// comes back unchanged.  `max_runs` bounds the probe budget.
+[[nodiscard]] ChaosShrinkResult shrink_chaos_plan(const ChaosPlan& plan,
+                                                  const ChaosOracleResult& target,
+                                                  const ChaosOracle& oracle,
+                                                  u32 max_runs = 512);
+
+}  // namespace hmcsim

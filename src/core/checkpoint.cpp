@@ -7,7 +7,8 @@
 //   trailer magic "HMCSIMEN"
 //
 // Mandatory section order: CFG, TOPO, CLK, DEVC (once per device), WDOG,
-// then an optional HOST blob, then the trailer.  Section payloads:
+// CHAO (mandatory since v8), an optional HOST blob, then the trailer.
+// Section payloads:
 //
 //   CFG   SimConfig fields
 //   TOPO  devices u32, links u32, endpoints[devices*links]
@@ -17,6 +18,8 @@
 //         vault queues (+ bank timing + rng + backend state frame), mode
 //         staging queue, RAS block
 //   WDOG  forward-progress watchdog state
+//   CHAO  chaos campaign: plan CRC, cursor/progress counters, host-timeout
+//         override, the restore baselines, then the compiled event list
 //   HOST  opaque host-driver blob (workload/driver.hpp), passed through
 //
 // Queue entries serialize the raw packet plus routing metadata; decoded
@@ -77,6 +80,18 @@ constexpr char kTrailer[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'E', 'N'};
 // (pcm_write_throttle_stalls), and a per-vault backend-private state frame
 // (kind + length + opaque blob) after the vault RNG.
 //
+// Version 8 added the CHAO section: a mid-campaign chaos
+// checkpoint carries the compiled plan (so the resumed run needs nothing
+// but the same plan file, verified by CRC), the event cursor and progress
+// counters, any live host-timeout override, and the four fault-rate
+// baselines `restore` events re-arm (the live config in CFG already holds
+// the mid-campaign mutated rates, so the originals must travel
+// separately).  The section is written even with no campaign armed (a
+// fixed pristine payload): a v8 stream must never parse as v7 under a
+// relabeled version word.  The chaos_invariants cadence knob is
+// deliberately NOT serialized — it is an observability knob like
+// telemetry_interval_cycles.
+//
 // Restore accepts every version back to 2 (the oldest format any released
 // tool wrote).  Fields a version lacks keep their init() values: v2/v3
 // restores keep the deterministic init-seeded per-vault DRAM RNGs, v2
@@ -87,7 +102,7 @@ constexpr char kTrailer[8] = {'H', 'M', 'C', 'S', 'I', 'M', 'E', 'N'};
 // Save always writes the current version.  Committed fixtures for every
 // readable version live under tests/golden/checkpoints/ and are replayed
 // by test_checkpoint_compat.
-constexpr u32 kVersion = 7;
+constexpr u32 kVersion = 8;
 constexpr u32 kMinVersion = 2;
 // Registers that existed in version 2 (enum prefix through Rvid); the RAS
 // error-log block was appended in version 3 and the two link-layer RAS
@@ -799,6 +814,7 @@ const char* section_name(u32 type) {
     case kSectionClock: return "CLK";
     case kSectionDevice: return "DEVC";
     case kSectionWatchdog: return "WDOG";
+    case kSectionChaos: return "CHAO";
     case kSectionHost: return "HOST";
     default: return "?";
   }
@@ -866,6 +882,50 @@ Status Simulator::save_checkpoint(std::ostream& os, CheckpointError* err,
   put_u32(sec, watchdog_stall_cycles_);
   put_u64(sec, watchdog_fingerprint_);
   emit(ckpt::kSectionWatchdog);
+
+  // Chaos campaign (v8).  The section is self-contained (plan bytes travel
+  // with the cursor) so a resume needs no side files, and the CRC lets a
+  // re-passed --chaos-plan be verified against the checkpointed campaign.
+  // With no campaign armed the payload is a fixed pristine form (empty-plan
+  // CRC, zero counters) rather than being omitted: every v8 stream then
+  // carries bytes a v7 parser cannot consume, so relabeling the version
+  // word can never turn one valid stream into another.
+  if (chaos_ != nullptr && !chaos_->plan().empty()) {
+    const ChaosPlan& plan = chaos_->plan();
+    put_u64(sec, chaos_->plan_crc());
+    put_u64(sec, chaos_->cursor());
+    put_u64(sec, chaos_->events_applied());
+    put_u64(sec, chaos_->invariant_checks());
+    put_u8(sec, chaos_->host_timeout_active() ? 1 : 0);
+    put_u64(sec, chaos_->host_timeout_value());
+    const DeviceConfig& base = chaos_->baseline();
+    put_u32(sec, base.link_error_rate_ppm);
+    put_u32(sec, base.link_error_burst_len);
+    put_u32(sec, base.dram_sbe_rate_ppm);
+    put_u32(sec, base.dram_dbe_rate_ppm);
+    put_u64(sec, plan.events.size());
+    for (const ChaosEvent& ev : plan.events) {
+      put_u64(sec, ev.cycle);
+      put_u8(sec, static_cast<u8>(ev.action));
+      put_u64(sec, ev.a);
+      put_u64(sec, ev.b);
+      put_u8(sec, ev.restore ? 1 : 0);
+      put_u32(sec, ev.line);
+    }
+  } else {
+    put_u64(sec, chaos_plan_crc(ChaosPlan{}));
+    put_u64(sec, 0);  // cursor
+    put_u64(sec, 0);  // events applied
+    put_u64(sec, 0);  // invariant checks
+    put_u8(sec, 0);   // host-timeout inactive
+    put_u64(sec, 0);  // host-timeout value
+    put_u32(sec, 0);  // baseline rates (unused without a campaign)
+    put_u32(sec, 0);
+    put_u32(sec, 0);
+    put_u32(sec, 0);
+    put_u64(sec, 0);  // event count
+  }
+  emit(ckpt::kSectionChaos);
 
   if (!host_blob.empty()) {
     put_bytes(sec, host_blob.data(), host_blob.size());
@@ -1020,7 +1080,8 @@ Status Simulator::restore_checkpoint_legacy_(std::istream& is, u32 version,
   // likewise pure observation: checkpoint bytes are identical with them on
   // or off, and a restore keeps the current simulator's settings.  The
   // checkpoint_interval_cycles knob follows the same rule: how often a run
-  // snapshots itself must not leak into the snapshot.
+  // snapshots itself must not leak into the snapshot, and neither does the
+  // chaos_invariants check cadence (the campaign itself travels in CHAO).
   if (initialized()) {
     config.device.sim_threads = config_.device.sim_threads;
     config.device.fast_forward = config_.device.fast_forward;
@@ -1031,6 +1092,7 @@ Status Simulator::restore_checkpoint_legacy_(std::istream& is, u32 version,
         config_.device.flight_recorder_depth;
     config.device.checkpoint_interval_cycles =
         config_.device.checkpoint_interval_cycles;
+    config.device.chaos_invariants = config_.device.chaos_invariants;
   }
   const Status init_status = init(config, std::move(topo));
   if (!ok(init_status)) {
@@ -1272,6 +1334,7 @@ Status Simulator::restore_checkpoint_v6_(std::istream& is, u32 version,
         config_.device.flight_recorder_depth;
     config.device.checkpoint_interval_cycles =
         config_.device.checkpoint_interval_cycles;
+    config.device.chaos_invariants = config_.device.chaos_invariants;
   }
   const Status init_status = init(config, std::move(topo));
   if (!ok(init_status)) {
@@ -1313,12 +1376,102 @@ Status Simulator::restore_checkpoint_v6_(std::istream& is, u32 version,
   watchdog_fired_ = fired != 0;
   watchdog_report_ = watchdog_fired_ ? build_watchdog_report() : std::string{};
 
-  // Optional HOST, then trailer ----------------------------------------
+  // CHAO (mandatory in v8), optional HOST, then trailer -----------------
   cur_section = 0;
   u64 tail_word = 0;
   if (!get_u64(is, tail_word)) {
     return fail(CheckpointErrorCode::TrailerMissing, offset,
                 "stream ended before trailer");
+  }
+  if (version >= 8 && tail_word != ckpt::kSectionChaos) {
+    return fail(CheckpointErrorCode::BadSectionType, offset,
+                "v8 stream is missing its chaos section");
+  }
+  // Version-gated both ways: a pre-v8 stream carrying a CHAO section is a
+  // forgery (e.g. a relabeled version word), not a legal layout.
+  if (version >= 8 && tail_word == ckpt::kSectionChaos) {
+    cur_section = ckpt::kSectionChaos;
+    offset += 8;
+    if (!read_frame_body()) return frame_status;
+    open_payload();
+    u64 stored_crc = 0, cursor = 0, events_applied = 0, invariant_checks = 0;
+    u8 ht_active = 0;
+    u64 ht_value = 0;
+    u32 base_ppm = 0, base_burst = 0, base_sbe = 0, base_dbe = 0;
+    u64 event_count = 0;
+    if (!get_u64(ps, stored_crc) || !get_u64(ps, cursor) ||
+        !get_u64(ps, events_applied) || !get_u64(ps, invariant_checks) ||
+        !get_u8(ps, ht_active) || !get_u64(ps, ht_value) ||
+        !get_u32(ps, base_ppm) || !get_u32(ps, base_burst) ||
+        !get_u32(ps, base_sbe) || !get_u32(ps, base_dbe) ||
+        !get_u64(ps, event_count)) {
+      return payload_fail("chaos campaign header");
+    }
+    if (event_count > kMaxChaosEvents) {
+      return payload_fail("chaos event count out of range");
+    }
+    if (cursor > event_count) {
+      return payload_fail("chaos cursor runs past the plan");
+    }
+    ChaosPlan plan;
+    plan.events.reserve(static_cast<usize>(event_count));
+    for (u64 i = 0; i < event_count; ++i) {
+      ChaosEvent ev;
+      u8 action = 0, restore_flag = 0;
+      if (!get_u64(ps, ev.cycle) || !get_u8(ps, action) ||
+          !get_u64(ps, ev.a) || !get_u64(ps, ev.b) ||
+          !get_u8(ps, restore_flag) || !get_u32(ps, ev.line)) {
+        return payload_fail("chaos event record");
+      }
+      if (action > static_cast<u8>(ChaosAction::BreakInvariant)) {
+        return payload_fail("unknown chaos action");
+      }
+      if (restore_flag > 1) {
+        return payload_fail("chaos restore flag out of range");
+      }
+      ev.action = static_cast<ChaosAction>(action);
+      ev.restore = restore_flag != 0;
+      plan.events.push_back(ev);
+    }
+    if (!payload_drained()) {
+      return payload_fail("trailing bytes after chaos campaign");
+    }
+    if (chaos_plan_crc(plan) != stored_crc) {
+      return payload_fail("chaos plan fails its own crc");
+    }
+    if (event_count == 0) {
+      // No campaign was armed at save time.  The payload is a fixed
+      // pristine form; anything else is bit damage, not a legal state.
+      if (events_applied != 0 || invariant_checks != 0 || ht_active != 0 ||
+          ht_value != 0 || base_ppm != 0 || base_burst != 0 ||
+          base_sbe != 0 || base_dbe != 0) {
+        return payload_fail("empty chaos campaign is not pristine");
+      }
+      // No engine to rebuild: the checker (if chaos_invariants is set on
+      // the live config) was already instantiated by init.
+    } else {
+      // Rebuild the engine self-contained.  arm() re-validates structural
+      // indices against the restored configuration, and the baselines are
+      // overwritten afterwards because the live config restored from CFG
+      // already carries mid-campaign mutated rates.
+      chaos_ = std::make_unique<ChaosEngine>(config_.device);
+      chaos_->restore_baseline(base_ppm, base_burst, base_sbe, base_dbe);
+      std::string chaos_diag;
+      if (!ok(chaos_->arm(std::move(plan), config_.device, &chaos_diag))) {
+        return fail(CheckpointErrorCode::BadFieldValue, payload_off,
+                    "chaos plan rejected: " + chaos_diag);
+      }
+      if (!ok(chaos_->restore_progress(cursor, events_applied,
+                                       invariant_checks, ht_active != 0,
+                                       ht_value))) {
+        return payload_fail("chaos campaign progress rejected");
+      }
+    }
+    cur_section = 0;
+    if (!get_u64(is, tail_word)) {
+      return fail(CheckpointErrorCode::TrailerMissing, offset,
+                  "stream ended before trailer");
+    }
   }
   if (tail_word == ckpt::kSectionHost) {
     cur_section = ckpt::kSectionHost;

@@ -75,12 +75,14 @@ constexpr u32 fourcc(char a, char b, char c, char d) {
 }
 
 /// Section types, in their mandatory order.  DEVC repeats once per device;
+/// CHAO (v8) is optional (present when a chaos campaign is armed) and
 /// HOST is optional (present when the saver attached host-side state).
 constexpr u32 kSectionConfig = fourcc('C', 'F', 'G', ' ');
 constexpr u32 kSectionTopology = fourcc('T', 'O', 'P', 'O');
 constexpr u32 kSectionClock = fourcc('C', 'L', 'K', ' ');
 constexpr u32 kSectionDevice = fourcc('D', 'E', 'V', 'C');
 constexpr u32 kSectionWatchdog = fourcc('W', 'D', 'O', 'G');
+constexpr u32 kSectionChaos = fourcc('C', 'H', 'A', 'O');
 constexpr u32 kSectionHost = fourcc('H', 'O', 'S', 'T');
 
 /// Hostile-input guard: no legitimate section approaches this (a maximal

@@ -273,6 +273,13 @@ struct DeviceConfig {
   /// checkpoint must be byte-identical whether or not the run that wrote
   /// it was auto-checkpointing.
   u32 checkpoint_interval_cycles{0};
+  /// Run the chaos live invariant checker (closed-form conservation
+  /// identities, queue bounds, watchdog liveness; src/chaos/engine.cpp)
+  /// every this-many clocks; 0 disables.  The check cadence rides the
+  /// stage-6 dispatch point and bounds the fast-forward skip window.  An
+  /// execution knob like the rest of this block: checks read simulated
+  /// state but never change it, and the knob is never serialized.
+  u32 chaos_invariants{0};
 
   // ---- data model ---------------------------------------------------------
   /// When false, memory payloads are not stored/fetched (reads return

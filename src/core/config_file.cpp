@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/bounded_line.hpp"
+
 namespace hmcsim {
 namespace {
 
@@ -36,8 +38,14 @@ ConfigParseResult parse_config(std::istream& in) {
   std::string raw;
   usize line_no = 0;
 
-  while (std::getline(in, raw)) {
+  for (;;) {
+    const io::LineRead lr = io::getline_bounded(in, raw);
+    if (lr == io::LineRead::Eof) break;
     ++line_no;
+    if (lr == io::LineRead::TooLong) {
+      return fail(line_no, "line exceeds " +
+                               std::to_string(io::kMaxLineBytes) + " bytes");
+    }
     // Strip comments and whitespace.
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
@@ -191,6 +199,11 @@ ConfigParseResult parse_config(std::istream& in) {
         return fail(line_no, "checkpoint_interval_cycles needs a number");
       }
       dc.checkpoint_interval_cycles = static_cast<u32>(number);
+    } else if (key == "chaos_invariants") {
+      if (!is_number) {
+        return fail(line_no, "chaos_invariants needs a number");
+      }
+      dc.chaos_invariants = static_cast<u32>(number);
     } else if (key == "refresh_interval_cycles") {
       if (!is_number) {
         return fail(line_no, "refresh_interval_cycles needs a number");
@@ -394,6 +407,7 @@ void write_config(std::ostream& os, const SimConfig& config) {
   os << "watchdog_cycles = " << dc.watchdog_cycles << '\n';
   os << "checkpoint_interval_cycles = " << dc.checkpoint_interval_cycles
      << '\n';
+  os << "chaos_invariants = " << dc.chaos_invariants << '\n';
   os << "refresh_interval_cycles = " << dc.refresh_interval_cycles << '\n';
   os << "refresh_busy_cycles = " << dc.refresh_busy_cycles << '\n';
   os << "row_policy = "

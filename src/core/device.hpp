@@ -176,6 +176,9 @@ class Device {
 
   [[nodiscard]] u32 id() const { return id_; }
   [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  /// Chaos campaigns retarget fault-rate knobs mid-run (chaos/engine.cpp);
+  /// everyone else treats the configuration as immutable after construction.
+  [[nodiscard]] DeviceConfig& mutable_config() { return config_; }
   [[nodiscard]] const AddressMap& address_map() const { return map_; }
 
   [[nodiscard]] u32 quad_of_vault(u32 vault) const {

@@ -175,7 +175,15 @@ void Simulator::check_watchdog() {
 std::string Simulator::build_watchdog_report() const {
   std::ostringstream os;
   os << "forward-progress watchdog fired at cycle " << cycle_ << " after "
-     << watchdog_stall_cycles_ << " stalled cycles\n";
+     << watchdog_stall_cycles_ << " stalled cycles\n"
+     << build_state_dump();
+  return os.str();
+}
+
+// Post-mortem machine snapshot shared by the watchdog report and the chaos
+// invariant-violation report (chaos/engine.cpp).
+std::string Simulator::build_state_dump() const {
+  std::ostringstream os;
   usize listed = 0;
   constexpr usize kMaxListed = 64;
   const auto list_request = [&](const char* where, u32 index,

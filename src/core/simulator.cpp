@@ -124,6 +124,13 @@ Status Simulator::init(const SimConfig& config, Topology topo,
   }
   ff_span_len_ = 0;
   fr_dead_logged_.assign(config.num_devices, 0);
+  // Live invariant checking without a plan is a valid configuration (the
+  // checker is useful against organic bugs, not only injected chaos); a
+  // plan armed later through set_chaos_plan() creates the engine itself.
+  chaos_.reset();
+  if (config.device.chaos_invariants != 0) {
+    chaos_ = std::make_unique<ChaosEngine>(config.device);
+  }
   return Status::Ok;
 }
 
@@ -151,6 +158,21 @@ void Simulator::reset(bool clear_memory) {
   if (recorder_) recorder_->clear();
   ff_span_len_ = 0;
   std::fill(fr_dead_logged_.begin(), fr_dead_logged_.end(), u64{0});
+  if (chaos_) {
+    chaos_->reset_progress();
+    // Re-arm the baseline fault rates the campaign may have retargeted
+    // (Device::reset keeps the construction-time config, which rate events
+    // mutate in place).
+    const DeviceConfig& base = chaos_->baseline();
+    const auto restore_rate = [&](u32 DeviceConfig::*field) {
+      config_.device.*field = base.*field;
+      for (auto& dev : devices_) dev->mutable_config().*field = base.*field;
+    };
+    restore_rate(&DeviceConfig::link_error_rate_ppm);
+    restore_rate(&DeviceConfig::link_error_burst_len);
+    restore_rate(&DeviceConfig::dram_sbe_rate_ppm);
+    restore_rate(&DeviceConfig::dram_dbe_rate_ppm);
+  }
 }
 
 DeviceStats Simulator::total_stats() const {
@@ -449,9 +471,17 @@ Status Simulator::jtag_reg_write(u32 dev, u32 phys_index, u64 value) {
 // ---------------------------------------------------------------------------
 
 void Simulator::clock() {
-  // Once the watchdog has tripped the machine is frozen for post-mortem
-  // inspection; further clocks are refused.
+  // Once the watchdog has tripped — or a chaos invariant check has failed —
+  // the machine is frozen for post-mortem inspection; further clocks are
+  // refused.
   if (watchdog_fired_) return;
+  if (chaos_) {
+    if (chaos_->violated()) return;
+    // Chaos events apply before any dispatch so they land at their exact
+    // cycle on the staged and the fast-forward path alike (the fast path
+    // advances one cycle per clock() and an applied event invalidates it).
+    chaos_->apply_due(*this);
+  }
   // Idle fast-forward: when the device set is provably idle, advance time
   // without executing the stages.  Bit-identical to the staged path — see
   // ff_arm() for the eligibility proof and docs/INTERNALS.md for the
@@ -678,6 +708,20 @@ bool Simulator::ff_arm() {
       const Cycle offset = Cycle{v} * interval / cfg.num_vaults();
       const Cycle rem = (cycle_ + offset) % interval;
       stop = std::min(stop, rem == 0 ? cycle_ : cycle_ + (interval - rem));
+    }
+  }
+  if (chaos_) {
+    // Pending plan events are event-horizon entries: the skip must hand
+    // the clock at an event's cycle back to clock(), which applies it and
+    // re-proves eligibility against the mutated state.
+    stop = std::min(stop, chaos_->next_event_cycle());
+    // Invariant-check cadence rides the stage-6 post-increment dispatch
+    // like the cycle hook, so cadence cycles must execute staged — both to
+    // keep the check count deterministic across execution modes and to
+    // detect a violation at the same first cycle the staged path would.
+    if (cfg.chaos_invariants != 0) {
+      const Cycle h = cfg.chaos_invariants;
+      stop = std::min(stop, ((cycle_ + 1 + h - 1) / h) * h - 1);
     }
   }
   if (stop <= cycle_) return false;  // this very call has a bounded event
@@ -1844,6 +1888,27 @@ void Simulator::stage6_clock_update() {
   if (hook_interval_ != 0 && cycle_ % hook_interval_ == 0 && cycle_hook_) {
     cycle_hook_(*this);
   }
+  if (chaos_) chaos_->check_cadence(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos orchestration (engine in src/chaos/engine.cpp).
+// ---------------------------------------------------------------------------
+
+Status Simulator::set_chaos_plan(ChaosPlan plan, std::string* diagnostic) {
+  if (!initialized()) {
+    if (diagnostic) *diagnostic = "simulator is not initialized";
+    return Status::InvalidArgument;
+  }
+  if (!chaos_) chaos_ = std::make_unique<ChaosEngine>(config_.device);
+  const Status s = chaos_->arm(std::move(plan), config_.device, diagnostic);
+  if (ok(s)) ff_invalidate();  // the plan bounds the fast-forward horizon
+  return s;
+}
+
+const std::string& Simulator::chaos_report() const {
+  static const std::string kEmpty;
+  return chaos_ ? chaos_->report() : kEmpty;
 }
 
 }  // namespace hmcsim

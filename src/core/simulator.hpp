@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/engine.hpp"
 #include "common/thread_pool.hpp"
 #include "core/checkpoint.hpp"
 #include "core/custom_command.hpp"
@@ -210,6 +211,31 @@ class Simulator {
   [[nodiscard]] const std::string& watchdog_report() const {
     return watchdog_report_;
   }
+
+  // ---- chaos orchestration (src/chaos/; docs/CHAOS.md) ---------------------
+
+  /// Arm a compiled chaos plan: events apply deterministically from the
+  /// clock loop at their exact cycles, on the staged and the fast-forward
+  /// path alike.  Structural indices are validated against the
+  /// configuration; on a checkpoint resume, re-passing the same plan is a
+  /// no-op (the restored cursor survives) while a different plan is
+  /// rejected.  Requires an initialized simulator.
+  Status set_chaos_plan(ChaosPlan plan, std::string* diagnostic = nullptr);
+
+  /// The engine; null unless a plan was armed or chaos_invariants != 0.
+  [[nodiscard]] ChaosEngine* chaos() { return chaos_.get(); }
+  [[nodiscard]] const ChaosEngine* chaos() const { return chaos_.get(); }
+
+  /// True once a live invariant check has failed.  Like the watchdog, the
+  /// machine freezes at the first violation: further clock() calls are
+  /// ignored so the state can be inspected post-mortem.
+  [[nodiscard]] bool chaos_violated() const {
+    return chaos_ != nullptr && chaos_->violated();
+  }
+
+  /// Violation + machine state dump captured at the first failing check
+  /// ("" until chaos_violated()).
+  [[nodiscard]] const std::string& chaos_report() const;
 
   /// Reset devices and the clock to the power-on state (topology intact).
   void reset(bool clear_memory = true);
@@ -445,6 +471,10 @@ class Simulator {
   [[nodiscard]] u64 progress_fingerprint() const;
   void check_watchdog();
   [[nodiscard]] std::string build_watchdog_report() const;
+  /// Machine snapshot (queues, link protocol state, in-flight entries,
+  /// flight-recorder tail) shared by the watchdog report and the chaos
+  /// invariant-violation report.
+  [[nodiscard]] std::string build_state_dump() const;
 
   // ---- observability helpers (src/profile/ wiring) -------------------------
 
@@ -549,6 +579,13 @@ class Simulator {
   /// recorded (LinkProtoState itself is checkpointed and must not grow a
   /// bookkeeping field).
   std::vector<u64> fr_dead_logged_;
+  /// Chaos-orchestration engine (src/chaos/engine.cpp); created by init()
+  /// when chaos_invariants != 0, by set_chaos_plan(), or by a checkpoint
+  /// restore that carries a CHAO section.  The engine applies plan events
+  /// and runs invariant checks from inside the clock loop, so it needs the
+  /// same private access the stages have.
+  std::unique_ptr<ChaosEngine> chaos_;
+  friend class ChaosEngine;
 };
 
 /// Build a compliant, CRC-sealed memory request packet (paper Figure 4's

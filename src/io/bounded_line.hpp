@@ -1,0 +1,63 @@
+// Bounded line reading for the text loaders (config, trace, chaos plans).
+//
+// std::getline buffers an arbitrarily long line before the caller can see
+// its size, so a pathological input (one multi-gigabyte "line") turns into
+// unbounded allocation.  getline_bounded stops buffering at the cap,
+// discards the remainder of the offending line, and reports it as TooLong
+// so the loader can emit a typed file:line error and keep its line
+// numbering intact.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hmcsim::io {
+
+/// Longest line any hmcsim text loader accepts.
+inline constexpr usize kMaxLineBytes = usize{64} * 1024;
+
+enum class LineRead {
+  Ok,       ///< `out` holds the next line (without its terminator)
+  Eof,      ///< no more input; `out` is empty
+  TooLong,  ///< the line exceeded `max_bytes`; its tail was discarded
+};
+
+/// Read one '\n'-terminated line into `out`, buffering at most `max_bytes`
+/// of it.  A final line without a terminator still counts as a line; any
+/// trailing '\r' (CRLF input) is left for the caller's trim step.  On
+/// TooLong the stream is advanced past the rest of the line so subsequent
+/// reads and line numbers stay correct.
+inline LineRead getline_bounded(std::istream& in, std::string& out,
+                                usize max_bytes = kMaxLineBytes) {
+  out.clear();
+  std::streambuf* sb = in.rdbuf();
+  if (sb == nullptr || !in.good()) return LineRead::Eof;
+  constexpr int kEof = std::char_traits<char>::eof();
+  bool saw_any = false;
+  for (;;) {
+    const int c = sb->sbumpc();
+    if (c == kEof) {
+      in.setstate(std::ios::eofbit);
+      return saw_any ? LineRead::Ok : LineRead::Eof;
+    }
+    saw_any = true;
+    if (c == '\n') return LineRead::Ok;
+    if (out.size() >= max_bytes) {
+      // Drain the oversized line without buffering it.
+      for (;;) {
+        const int d = sb->sbumpc();
+        if (d == kEof) {
+          in.setstate(std::ios::eofbit);
+          break;
+        }
+        if (d == '\n') break;
+      }
+      return LineRead::TooLong;
+    }
+    out.push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace hmcsim::io

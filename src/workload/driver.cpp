@@ -233,6 +233,9 @@ bool HostDriver::step(DriverResult& result) {
     result.watchdog_fired = true;
     return false;
   }
+  // A chaos invariant violation froze the machine; stop driving it so the
+  // post-mortem state dump reflects the violating cycle.
+  if (sim_.chaos_violated()) return false;
   if (cfg_.max_cycles != 0 && sim_.now() >= cfg_.max_cycles) {
     result.hit_cycle_cap = true;
     return false;
@@ -254,6 +257,55 @@ void HostDriver::finish(DriverResult& result) {
   // Collect any responses registered on the final cycle.
   drain_responses(result);
   result.cycles = sim_.now();
+}
+
+bool HostDriver::invariants_ok(const DriverResult& result,
+                               std::string* detail) const {
+  const auto fail = [detail](std::string msg) {
+    if (detail != nullptr) *detail = std::move(msg);
+    return false;
+  };
+  const u64 cap = std::min<u32>(cfg_.max_outstanding_per_port, 512);
+  u64 outstanding = 0;
+  u64 zombies = 0;
+  for (usize i = 0; i < ports_.size(); ++i) {
+    const PortState& p = ports_[i];
+    if (p.free_tags.size() + p.outstanding != cap) {
+      return fail("port " + std::to_string(i) + ": free tags " +
+                  std::to_string(p.free_tags.size()) + " + outstanding " +
+                  std::to_string(p.outstanding) + " != tag pool " +
+                  std::to_string(cap));
+    }
+    u64 port_zombies = 0;
+    for (const InFlight& fl : p.inflight) {
+      if (fl.zombie) ++port_zombies;
+    }
+    if (port_zombies > p.outstanding) {
+      return fail("port " + std::to_string(i) + ": " +
+                  std::to_string(port_zombies) + " zombie tags exceed " +
+                  std::to_string(p.outstanding) + " outstanding");
+    }
+    outstanding += p.outstanding;
+    zombies += port_zombies;
+  }
+  if (result.sent < result.completed) {
+    return fail("completed " + std::to_string(result.completed) +
+                " exceeds sent " + std::to_string(result.sent));
+  }
+  // Every sent-but-incomplete request is live under exactly one tag, queued
+  // for a resend, or staged as the pending retry.  Zombie tags are excluded:
+  // their request already completed (abandoned) or moved to the retry queue.
+  const u64 live = outstanding - zombies + retry_queue_.size() +
+                   ((have_pending_ && pending_is_retry_) ? u64{1} : u64{0});
+  if (result.sent - result.completed != live) {
+    return fail("sent " + std::to_string(result.sent) + " - completed " +
+                std::to_string(result.completed) + " != live in-flight " +
+                std::to_string(live) + " (outstanding " +
+                std::to_string(outstanding) + ", zombies " +
+                std::to_string(zombies) + ", retry queue " +
+                std::to_string(retry_queue_.size()) + ")");
+  }
+  return true;
 }
 
 Status HostDriver::save(std::ostream& os) const {

@@ -116,6 +116,26 @@ class HostDriver {
     return n;
   }
 
+  /// Retarget the response deadline mid-run (chaos host_timeout events).
+  /// Applies to sends from the next injection on; deadlines already armed
+  /// keep the value they were stamped with.
+  void set_response_timeout(Cycle cycles) {
+    cfg_.response_timeout_cycles = cycles;
+  }
+  [[nodiscard]] Cycle response_timeout() const {
+    return cfg_.response_timeout_cycles;
+  }
+
+  /// Host-side conservation identities, checked against the caller-owned
+  /// accumulated result: per-port tag-pool conservation (free + outstanding
+  /// == capacity), zombie-tag accounting (zombies never exceed outstanding)
+  /// and logical request conservation (sent − completed == live in-flight +
+  /// queued retries).  The chaos invariant checker consults this through
+  /// ChaosEngine::set_host_probe.  Returns false and describes the first
+  /// broken identity in `detail`.
+  [[nodiscard]] bool invariants_ok(const DriverResult& result,
+                                   std::string* detail) const;
+
  private:
   /// Book-keeping for one allocated tag.
   struct InFlight {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/limits.hpp"
+#include "io/bounded_line.hpp"
 
 namespace hmcsim {
 
@@ -85,8 +86,19 @@ void write_request_trace(std::ostream& os,
 TraceFileGenerator::TraceFileGenerator(std::istream& in) {
   std::string line;
   usize line_no = 0;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const io::LineRead lr = io::getline_bounded(in, line);
+    if (lr == io::LineRead::Eof) break;
     ++line_no;
+    if (lr == io::LineRead::TooLong) {
+      ++malformed_;
+      if (first_error_line_ == 0) {
+        first_error_line_ = line_no;
+        first_error_ = "line exceeds " + std::to_string(io::kMaxLineBytes) +
+                       " bytes";
+      }
+      continue;
+    }
     RequestDesc desc;
     bool comment = false;
     std::string why;

@@ -1,0 +1,279 @@
+// Chaos-plan compiler (src/chaos/plan.cpp): grammar, expansion directives,
+// typed "<line>: <message>" rejections, the event-count cap, the reproducer
+// round-trip, and the CRC identity the checkpoint CHAO section keys off.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "chaos/plan.hpp"
+
+namespace hmcsim {
+namespace {
+
+ChaosPlan must_parse(const std::string& text) {
+  ChaosPlanParseResult r = parse_chaos_plan_string(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return std::move(r.plan);
+}
+
+std::string must_fail(const std::string& text) {
+  ChaosPlanParseResult r = parse_chaos_plan_string(text);
+  EXPECT_FALSE(r.ok) << "accepted: " << text;
+  EXPECT_FALSE(r.error.empty());
+  return r.error;
+}
+
+TEST(ChaosPlan, AtDirectivesCompileSorted) {
+  const ChaosPlan plan = must_parse(
+      "at 300 dram_sbe_ppm 9000\n"
+      "# comment line\n"
+      "at 100 link_error_ppm 5000   # trailing comment\n"
+      "at 200 link_retrain 1 64\n");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].cycle, 100u);
+  EXPECT_EQ(plan.events[0].action, ChaosAction::LinkErrorPpm);
+  EXPECT_EQ(plan.events[0].a, 5000u);
+  EXPECT_EQ(plan.events[1].cycle, 200u);
+  EXPECT_EQ(plan.events[1].action, ChaosAction::LinkRetrain);
+  EXPECT_EQ(plan.events[1].a, 1u);
+  EXPECT_EQ(plan.events[1].b, 64u);
+  EXPECT_EQ(plan.events[2].cycle, 300u);
+  // Diagnostics carry the source line.
+  EXPECT_EQ(plan.events[0].line, 3u);
+  EXPECT_EQ(plan.events[2].action, ChaosAction::DramSbePpm);
+}
+
+TEST(ChaosPlan, SameCycleEventsKeepFileOrder) {
+  const ChaosPlan plan = must_parse(
+      "at 50 wedge 1\n"
+      "at 50 kill_link 0\n"
+      "at 50 unwedge 1\n");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].action, ChaosAction::Wedge);
+  EXPECT_EQ(plan.events[1].action, ChaosAction::KillLink);
+  EXPECT_EQ(plan.events[2].action, ChaosAction::Unwedge);
+}
+
+TEST(ChaosPlan, HexNumbersAccepted) {
+  const ChaosPlan plan = must_parse("at 0x40 link_burst 0x10\n");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].cycle, 0x40u);
+  EXPECT_EQ(plan.events[0].a, 0x10u);
+}
+
+TEST(ChaosPlan, RestoreDirectiveMarksClosingEdge) {
+  const ChaosPlan plan = must_parse("at 500 restore link_error_ppm\n");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_TRUE(plan.events[0].restore);
+  EXPECT_EQ(plan.events[0].action, ChaosAction::LinkErrorPpm);
+  EXPECT_EQ(plan.events[0].a, 0u);
+  // Only rate actions have a baseline to restore to.
+  EXPECT_NE(must_fail("at 10 restore kill_link\n").find("rate actions"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10 restore break_invariant\n").find("rate actions"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10 restore link_error_ppm 5\n")
+                .find("no arguments"),
+            std::string::npos);
+}
+
+TEST(ChaosPlan, EveryExpandsThroughInclusiveBound) {
+  // Fires at from, from+period, ... up to and including `until` when the
+  // period lands on it exactly.
+  const ChaosPlan a = must_parse("every 10 from 100 until 130 link_burst 2\n");
+  ASSERT_EQ(a.events.size(), 4u);
+  EXPECT_EQ(a.events[0].cycle, 100u);
+  EXPECT_EQ(a.events[3].cycle, 130u);
+  // Without `from` the train starts at cycle 0; a misaligned `until` stops
+  // short.
+  const ChaosPlan b = must_parse("every 7 until 20 dram_dbe_ppm 50\n");
+  ASSERT_EQ(b.events.size(), 3u);
+  EXPECT_EQ(b.events[0].cycle, 0u);
+  EXPECT_EQ(b.events[1].cycle, 7u);
+  EXPECT_EQ(b.events[2].cycle, 14u);
+}
+
+TEST(ChaosPlan, RampInterpolatesInclusive) {
+  const ChaosPlan up = must_parse("ramp 100 200 4 link_error_ppm 0 1000\n");
+  ASSERT_EQ(up.events.size(), 5u);  // steps+1 points, both ends included
+  EXPECT_EQ(up.events.front().cycle, 100u);
+  EXPECT_EQ(up.events.front().a, 0u);
+  EXPECT_EQ(up.events[2].cycle, 150u);
+  EXPECT_EQ(up.events[2].a, 500u);
+  EXPECT_EQ(up.events.back().cycle, 200u);
+  EXPECT_EQ(up.events.back().a, 1000u);
+  // Descending ramps interpolate downward.
+  const ChaosPlan down = must_parse("ramp 0 10 2 dram_sbe_ppm 100 0\n");
+  ASSERT_EQ(down.events.size(), 3u);
+  EXPECT_EQ(down.events[0].a, 100u);
+  EXPECT_EQ(down.events[1].a, 50u);
+  EXPECT_EQ(down.events[2].a, 0u);
+}
+
+TEST(ChaosPlan, StormEmitsClosingEdges) {
+  const ChaosPlan plan = must_parse(
+      "storm 50 80\n"
+      "  wedge 1\n"
+      "  kill_link 0\n"
+      "  link_error_ppm 5000\n"
+      "  link_retrain 1 16\n"
+      "  break_invariant 3\n"
+      "end\n");
+  // Five opening events at 50; wedge/kill_link/link_error_ppm each close at
+  // 80 (inverse or baseline restore); the retrain window self-expires and
+  // the test hook is one-shot, so neither closes.
+  ASSERT_EQ(plan.events.size(), 8u);
+  u32 opens = 0;
+  u32 closes = 0;
+  bool saw_unwedge = false;
+  bool saw_revive = false;
+  bool saw_restore_rate = false;
+  for (const ChaosEvent& ev : plan.events) {
+    if (ev.cycle == 50) ++opens;
+    if (ev.cycle == 80) {
+      ++closes;
+      saw_unwedge |= ev.action == ChaosAction::Unwedge;
+      saw_revive |= ev.action == ChaosAction::ReviveLink;
+      saw_restore_rate |= ev.action == ChaosAction::LinkErrorPpm && ev.restore;
+    }
+  }
+  EXPECT_EQ(opens, 5u);
+  EXPECT_EQ(closes, 3u);
+  EXPECT_TRUE(saw_unwedge);
+  EXPECT_TRUE(saw_revive);
+  EXPECT_TRUE(saw_restore_rate);
+}
+
+TEST(ChaosPlan, QuietZeroesEveryFaultRate) {
+  const ChaosPlan plan = must_parse("quiet 1000 2000\n");
+  ASSERT_EQ(plan.events.size(), 6u);
+  for (const ChaosEvent& ev : plan.events) {
+    if (ev.cycle == 1000) {
+      EXPECT_FALSE(ev.restore);
+      EXPECT_EQ(ev.a, 0u);
+    } else {
+      EXPECT_EQ(ev.cycle, 2000u);
+      EXPECT_TRUE(ev.restore);
+    }
+  }
+}
+
+TEST(ChaosPlan, RejectionsAreTypedWithLineNumbers) {
+  // Every rejection is "<line>: <message>" — scripts parse the prefix.
+  EXPECT_EQ(must_fail("at 10 link_burst 1\nbogus 5\n").substr(0, 2), "2:");
+  EXPECT_NE(must_fail("bogus 5\n").find("unknown directive"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at abc link_burst 1\n").find("bad cycle"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10\n").find("at needs"), std::string::npos);
+  EXPECT_NE(must_fail("at 10 melt_cube 1\n").find("unknown action"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10 link_retrain 1\n").find("takes 2 arguments"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10 wedge 1 2\n").find("takes 1 argument"),
+            std::string::npos);
+  EXPECT_NE(must_fail("at 10 link_burst 1x\n").find("bad number"),
+            std::string::npos);
+  EXPECT_NE(must_fail("every 0 until 10 link_burst 1\n")
+                .find("nonzero period"),
+            std::string::npos);
+  EXPECT_NE(must_fail("every 5 from 20 until 10 link_burst 1\n")
+                .find("must not precede"),
+            std::string::npos);
+  EXPECT_NE(must_fail("ramp 20 10 2 link_error_ppm 0 5\n")
+                .find("end must follow start"),
+            std::string::npos);
+  EXPECT_NE(must_fail("ramp 0 10 0 link_error_ppm 0 5\n")
+                .find("nonzero step count"),
+            std::string::npos);
+  EXPECT_NE(must_fail("ramp 0 10 2 kill_link 0 5\n").find("rate action"),
+            std::string::npos);
+  EXPECT_NE(must_fail("storm 10 10\nend\n").find("end must follow start"),
+            std::string::npos);
+  EXPECT_NE(must_fail("storm 10 20\nat 5 wedge 1\nend\n")
+                .find("not valid inside a storm"),
+            std::string::npos);
+  EXPECT_NE(must_fail("storm 10 20\nrestore link_error_ppm\nend\n")
+                .find("not valid here"),
+            std::string::npos);
+  EXPECT_NE(must_fail("end\n").find("without a matching storm"),
+            std::string::npos);
+  EXPECT_NE(must_fail("storm 10 20\nwedge 1\n").find("unterminated storm"),
+            std::string::npos);
+}
+
+TEST(ChaosPlan, OverlongLinesAreRefused) {
+  std::string text = "at 10 link_burst 1\nat 20 link_burst ";
+  text.append(70000, '1');
+  text += "\n";
+  const std::string err = must_fail(text);
+  EXPECT_EQ(err.substr(0, 2), "2:");
+  EXPECT_NE(err.find("65536"), std::string::npos);
+}
+
+TEST(ChaosPlan, EventCapIsEnforced) {
+  // `every 1` over 100k cycles would expand past kMaxChaosEvents.
+  const std::string err =
+      must_fail("every 1 until 100000 link_burst 1\n");
+  EXPECT_NE(err.find("expands past"), std::string::npos);
+  // Exactly at the cap is fine.
+  std::ostringstream big;
+  big << "every 1 until " << (kMaxChaosEvents - 1) << " link_burst 1\n";
+  EXPECT_TRUE(parse_chaos_plan_string(big.str()).ok);
+}
+
+TEST(ChaosPlan, WriterRoundTripsTheCompiledList) {
+  const ChaosPlan plan = must_parse(
+      "at 100 link_error_ppm 5000\n"
+      "at 200 restore link_error_ppm\n"
+      "at 300 link_retrain 1 64\n"
+      "storm 400 500\n"
+      "  wedge 2\n"
+      "end\n");
+  std::ostringstream os;
+  write_chaos_plan(os, plan);
+  const ChaosPlan again = must_parse(os.str());
+  ASSERT_EQ(again.events.size(), plan.events.size());
+  for (usize i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].cycle, plan.events[i].cycle) << i;
+    EXPECT_EQ(again.events[i].action, plan.events[i].action) << i;
+    EXPECT_EQ(again.events[i].a, plan.events[i].a) << i;
+    EXPECT_EQ(again.events[i].b, plan.events[i].b) << i;
+    EXPECT_EQ(again.events[i].restore, plan.events[i].restore) << i;
+  }
+  EXPECT_EQ(chaos_plan_crc(again), chaos_plan_crc(plan));
+}
+
+TEST(ChaosPlan, CrcCoversSemanticsNotDiagnostics) {
+  const ChaosPlan a = must_parse("at 100 link_error_ppm 5000\n");
+  // Same semantics, different source line: identical identity.
+  const ChaosPlan b = must_parse("# pushed down a line\nat 100 link_error_ppm 5000\n");
+  EXPECT_NE(a.events[0].line, b.events[0].line);
+  EXPECT_EQ(chaos_plan_crc(a), chaos_plan_crc(b));
+  // Any semantic change moves the CRC.
+  const ChaosPlan c = must_parse("at 100 link_error_ppm 5001\n");
+  const ChaosPlan d = must_parse("at 101 link_error_ppm 5000\n");
+  const ChaosPlan e = must_parse("at 100 restore link_error_ppm\n");
+  EXPECT_NE(chaos_plan_crc(c), chaos_plan_crc(a));
+  EXPECT_NE(chaos_plan_crc(d), chaos_plan_crc(a));
+  EXPECT_NE(chaos_plan_crc(e), chaos_plan_crc(a));
+  // The empty plan and a one-event plan differ (count is folded in).
+  EXPECT_NE(chaos_plan_crc(ChaosPlan{}), chaos_plan_crc(a));
+}
+
+TEST(ChaosPlan, ActionTableIsSelfConsistent) {
+  for (u8 v = 0; v <= static_cast<u8>(ChaosAction::BreakInvariant); ++v) {
+    const auto action = static_cast<ChaosAction>(v);
+    ChaosAction back{};
+    ASSERT_TRUE(chaos_action_from_string(to_string(action), &back));
+    EXPECT_EQ(back, action);
+    EXPECT_GE(chaos_action_arity(action), 1u);
+    EXPECT_LE(chaos_action_arity(action), 2u);
+  }
+  ChaosAction out{};
+  EXPECT_FALSE(chaos_action_from_string("not_an_action", &out));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,159 @@
+// Robustness fuzzing for the chaos-plan compiler, mirroring
+// tests/core/test_config_fuzz.cpp: arbitrary text soup, structure-aware
+// directive soup, and single-character mutations of valid plans must never
+// crash parse_chaos_plan_string — only a clean accept (whose compiled list
+// round-trips through the writer) or a clean reject with a line-numbered
+// diagnostic.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "chaos/plan.hpp"
+#include "common/random.hpp"
+
+namespace hmcsim {
+namespace {
+
+const std::string kAlphabet =
+    "abcdefghijklmnopqrstuvwxyz_0123456789 #\t-+x\n\"\\";
+
+std::string random_text(SplitMix64& rng, usize max_len) {
+  std::string text;
+  const usize len = rng.next_below(max_len);
+  for (usize i = 0; i < len; ++i) {
+    text += kAlphabet[rng.next_below(kAlphabet.size())];
+  }
+  return text;
+}
+
+void expect_clean_outcome(const std::string& text) {
+  const ChaosPlanParseResult r = parse_chaos_plan_string(text);
+  if (r.ok) {
+    // Accepted plans are sorted, within the cap, and writer-stable.
+    ASSERT_LE(r.plan.events.size(), kMaxChaosEvents);
+    for (usize i = 1; i < r.plan.events.size(); ++i) {
+      ASSERT_LE(r.plan.events[i - 1].cycle, r.plan.events[i].cycle);
+    }
+    std::ostringstream os;
+    write_chaos_plan(os, r.plan);
+    const ChaosPlanParseResult round = parse_chaos_plan_string(os.str());
+    ASSERT_TRUE(round.ok) << "accepted plan failed to round-trip: "
+                          << round.error;
+    ASSERT_EQ(chaos_plan_crc(round.plan), chaos_plan_crc(r.plan));
+  } else {
+    ASSERT_FALSE(r.error.empty()) << "rejection without a diagnostic";
+    // Typed "<line>: <message>" shape.
+    const auto colon = r.error.find(':');
+    ASSERT_NE(colon, std::string::npos) << r.error;
+    ASSERT_GT(colon, 0u);
+  }
+}
+
+TEST(ChaosPlanFuzz, RandomTextNeverCrashesTheParser) {
+  SplitMix64 rng(0xC4A05);
+  for (int i = 0; i < 20000; ++i) {
+    expect_clean_outcome(random_text(rng, 200));
+  }
+}
+
+/// Structure-aware soup: lines shaped like real directives with randomized
+/// keywords, cycle bounds, action names, arities, and block nesting, so the
+/// expansion paths (every/ramp/storm/quiet) and their range checks get hit,
+/// not just the tokenizer.
+std::string random_directive_soup(SplitMix64& rng) {
+  static constexpr const char* kHeads[] = {"at",    "every", "ramp", "storm",
+                                           "quiet", "end",   "restore"};
+  static constexpr const char* kActions[] = {
+      "link_error_ppm", "link_burst",  "link_retrain",  "kill_link",
+      "revive_link",    "dram_sbe_ppm", "dram_dbe_ppm", "vault_fail",
+      "vault_unfail",   "wedge",        "unwedge",      "host_timeout",
+      "break_invariant", "melt_cube",   "from",         "until"};
+  std::string text;
+  const usize lines = 1 + rng.next_below(12);
+  for (usize l = 0; l < lines; ++l) {
+    std::string line = kHeads[rng.next_below(std::size(kHeads))];
+    const usize words = rng.next_below(6);
+    for (usize w = 0; w < words; ++w) {
+      line += ' ';
+      switch (rng.next_below(4)) {
+        case 0:
+          line += kActions[rng.next_below(std::size(kActions))];
+          break;
+        case 1:
+          line += std::to_string(rng.next_below(100000));
+          break;
+        case 2:
+          line += "restore";
+          break;
+        default:
+          line += std::to_string(rng.next_below(20));
+          break;
+      }
+    }
+    if (rng.next_below(8) == 0) line += " # chaff";
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(ChaosPlanFuzz, DirectiveShapedSoupNeverCrashes) {
+  SplitMix64 rng(0x5702);
+  for (int i = 0; i < 20000; ++i) {
+    expect_clean_outcome(random_directive_soup(rng));
+  }
+}
+
+TEST(ChaosPlanFuzz, MutationsOfAValidPlanNeverCrash) {
+  const std::string seed_plan =
+      "at 100 link_error_ppm 5000\n"
+      "at 150 link_retrain 1 64\n"
+      "every 50 from 200 until 400 dram_sbe_ppm 9000\n"
+      "ramp 500 600 4 link_burst 1 8\n"
+      "storm 700 900\n"
+      "  wedge 1\n"
+      "  kill_link 0\n"
+      "  host_timeout 500\n"
+      "end\n"
+      "quiet 1000 1100\n"
+      "at 1200 restore link_error_ppm\n";
+  ASSERT_TRUE(parse_chaos_plan_string(seed_plan).ok);
+  SplitMix64 rng(0xD00D);
+  for (int i = 0; i < 20000; ++i) {
+    std::string mutated = seed_plan;
+    const usize edits = 1 + rng.next_below(4);
+    for (usize e = 0; e < edits; ++e) {
+      const usize pos = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          mutated[pos] = kAlphabet[rng.next_below(kAlphabet.size())];
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.next_below(8));
+          break;
+        default:
+          mutated.insert(pos, 1, kAlphabet[rng.next_below(kAlphabet.size())]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    expect_clean_outcome(mutated);
+  }
+}
+
+TEST(ChaosPlanFuzz, TruncationsOfAValidPlanNeverCrash) {
+  const std::string seed_plan =
+      "at 100 link_error_ppm 5000\n"
+      "storm 700 900\n"
+      "  wedge 1\n"
+      "end\n"
+      "quiet 1000 1100\n";
+  for (usize len = 0; len <= seed_plan.size(); ++len) {
+    expect_clean_outcome(seed_plan.substr(0, len));
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -227,6 +227,32 @@ TEST(ConfigFile, InvalidBackendParamsAreRejected) {
                    .ok);
 }
 
+TEST(ConfigFile, ChaosInvariantsKnobParsesAndRoundTrips) {
+  const auto r = parse_config_string("chaos_invariants = 512\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.device.chaos_invariants, 512u);
+  std::ostringstream os;
+  write_config(os, r.config);
+  const auto round = parse_config_string(os.str());
+  ASSERT_TRUE(round.ok) << round.error;
+  EXPECT_EQ(round.config.device.chaos_invariants, 512u);
+  const auto bad = parse_config_string("chaos_invariants = lots\n");
+  ASSERT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("needs a number"), std::string::npos);
+}
+
+TEST(ConfigFile, OverlongLinesAreRefusedWithALineNumber) {
+  // A hostile or corrupt file must not balloon memory line by line: any
+  // line past the 64 KiB bound is a typed error, not a silent read.
+  std::string text = "num_links = 4\nsim_threads = ";
+  text.append(70000, '1');
+  text += "\n";
+  const auto r = parse_config_string(text);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.substr(0, 2), "2:");
+  EXPECT_NE(r.error.find("65536"), std::string::npos);
+}
+
 TEST(ConfigFile, VaultBackendSelectionRoundTrips) {
   SimConfig original;
   original.device.timing_backend = TimingBackend::PcmLike;

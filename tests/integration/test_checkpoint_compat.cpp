@@ -14,11 +14,15 @@
 //   checkpoint_v6.bin  framed container: same records, split into
 //                      sections with per-section length + CRC-32K and a
 //                      trailer magic — but no timing-backend records
-//   checkpoint_v7.bin  current: adds the backend config knobs, the
+//   checkpoint_v7.bin  adds the backend config knobs, the
 //                      pcm_write_throttle_stalls counter, and a per-vault
 //                      backend-private state frame (this fixture runs
 //                      pcm_like/generic_ddr vault overrides so the frames
 //                      carry real state)
+//   checkpoint_v8.bin  current: adds the optional CHAO section (this
+//                      fixture freezes a machine mid-chaos-storm, events
+//                      applied AND still pending, so the campaign cursor,
+//                      baselines, and plan bytes are all exercised)
 //
 // Each fixture snapshots a mid-flight workload — requests in crossbar and
 // vault queues, banks busy, memory pages resident — so restore exercises
@@ -45,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/plan.hpp"
 #include "tests/core/helpers.hpp"
 #include "topo/topology.hpp"
 #include "workload/driver.hpp"
@@ -358,6 +363,24 @@ DeviceConfig fixture_device(u32 version) {
 /// crossbar and vault queues so the fixture exercises every record type.
 void build_fixture_state(u32 version, Simulator& sim) {
   ASSERT_EQ(sim.init_simple(fixture_device(version)), Status::Ok);
+  if (version >= 8) {
+    // Freeze mid-campaign: some events already applied (the storm is open
+    // when the fixture snapshots), one far-future event still pending, so
+    // the CHAO cursor sits strictly inside the plan.
+    const char* kPlan =
+        "at 10 link_error_ppm 3000\n"
+        "at 30 dram_sbe_ppm 9000\n"
+        "storm 40 50000\n"
+        "  wedge 1\n"
+        "  host_timeout 500\n"
+        "end\n"
+        "at 100000 link_burst 4\n";
+    ChaosPlanParseResult parsed = parse_chaos_plan_string(kPlan);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::string diag;
+    ASSERT_EQ(sim.set_chaos_plan(std::move(parsed.plan), &diag), Status::Ok)
+        << diag;
+  }
   GeneratorConfig gc;
   // Confine traffic to a 256 KiB window: the low-interleave map still
   // spreads it across every vault and bank, but the resident-page count is
@@ -406,10 +429,10 @@ TEST(CheckpointCompat, RegenerateFixtures) {
   if (std::getenv("HMCSIM_UPDATE_GOLDEN") == nullptr) {
     GTEST_SKIP() << "set HMCSIM_UPDATE_GOLDEN=1 to rewrite fixtures";
   }
-  // v6 is deliberately absent: save_checkpoint now writes v7, so the
-  // committed v6 fixture is frozen — regenerating it would silently turn
-  // it into a v7 stream and lose the coverage.
-  for (const u32 version : {2u, 3u, 4u, 5u, 7u}) {
+  // v6 and v7 are deliberately absent: save_checkpoint now writes v8, so
+  // the committed v6/v7 fixtures are frozen — regenerating them would
+  // silently turn them into v8 streams and lose the coverage.
+  for (const u32 version : {2u, 3u, 4u, 5u, 8u}) {
     SCOPED_TRACE("v" + std::to_string(version));
     regenerate_fixture(version);
   }
@@ -493,11 +516,11 @@ TEST_P(CheckpointCompatVersions, ResaveUpgradesToCurrentVersion) {
   ASSERT_EQ(again.save_checkpoint(resaved2), Status::Ok);
   EXPECT_EQ(std::move(resaved2).str(), upgraded);
 
-  if (version == 7) {
+  if (version == 8) {
     // Same-version fixtures must survive restore→save byte-identically.
     EXPECT_EQ(upgraded, bytes);
   } else {
-    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v7 stream";
+    EXPECT_NE(upgraded, bytes) << "legacy stream cannot equal a v8 stream";
   }
 }
 
@@ -506,7 +529,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
   // cleanly rather than misparsing fields at shifted offsets.
   const std::string bytes = read_fixture(4);
   ASSERT_GT(bytes.size(), 16u);
-  for (const u64 bad_version : {0ull, 1ull, 8ull, 255ull}) {
+  for (const u64 bad_version : {0ull, 1ull, 9ull, 255ull}) {
     std::string mutated = bytes;
     for (int i = 0; i < 8; ++i) {
       mutated[8 + i] = static_cast<char>(bad_version >> (8 * i));
@@ -519,7 +542,7 @@ TEST(CheckpointCompat, UnknownVersionsStillRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVersions, CheckpointCompatVersions,
-                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u),
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u),
                          [](const auto& info) {
                            return "v" + std::to_string(info.param);
                          });

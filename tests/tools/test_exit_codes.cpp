@@ -1,16 +1,18 @@
 // The hmcsim_run exit-code contract (documented in the tool header and
 // README): 0 success, 1 incomplete/bad input, 2 usage error, 3 watchdog,
-// 4 resume failure, 5 checkpoint-write failure — plus the out-of-process
-// kill-mid-write path (HMCSIM_FAILPOINT=crash) that the in-process
-// harness cannot exercise.  Scripts and CI key off these values, so they
-// are pinned here against the real binary (HMCSIM_TOOL_PATH, injected by
-// the build as $<TARGET_FILE:hmcsim_run>).
+// 4 resume failure, 5 checkpoint-write failure, 6 chaos invariant
+// violation — plus the out-of-process kill-mid-write path
+// (HMCSIM_FAILPOINT=crash) that the in-process harness cannot exercise.
+// Scripts and CI key off these values, so they are pinned here against
+// the real binary (HMCSIM_TOOL_PATH, injected by the build as
+// $<TARGET_FILE:hmcsim_run>).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -84,9 +86,62 @@ TEST_F(ExitCodes, TwoOnUsageErrors) {
 
 TEST_F(ExitCodes, ThreeOnWatchdog) {
   EXPECT_EQ(run(tool() +
-                " --preset a --requests 64 --wedge-vaults 0xffffffff"
+                " --preset a --requests 64 --wedge-vaults 0xffff"
                 " --watchdog 2000"),
             3);
+}
+
+TEST_F(ExitCodes, TwoOnWedgeMaskBeyondVaultCount) {
+  // Preset a has 16 vaults; naming vault 16 is a typo'd experiment and must
+  // be refused as a usage error before anything runs.
+  EXPECT_EQ(run(tool() +
+                " --preset a --requests 64 --wedge-vaults 0x10000"
+                " --watchdog 2000"),
+            2);
+}
+
+TEST_F(ExitCodes, SixOnChaosInvariantViolation) {
+  // The break_invariant test hook corrupts the link-token ledger; the
+  // live checker must catch it and pin the dedicated exit code.
+  std::ofstream(path("broken.plan")) << "at 200 break_invariant 7\n";
+  EXPECT_EQ(run(tool() +
+                " --preset a --requests 4096 --link-protocol 1"
+                " --link-retry-limit 8 --chaos-invariants 64 --chaos-plan " +
+                path("broken.plan")),
+            6);
+}
+
+TEST_F(ExitCodes, TwoOnChaosPlanErrors) {
+  EXPECT_EQ(run(tool() + " --chaos-plan " + path("missing.plan")), 2);
+  std::ofstream(path("bad.plan")) << "at 10 melt_cube 1\n";
+  EXPECT_EQ(run(tool() + " --chaos-plan " + path("bad.plan")), 2);
+  // Structural indices are validated against the configured geometry.
+  std::ofstream(path("range.plan")) << "at 10 kill_link 99\n";
+  EXPECT_EQ(run(tool() + " --preset a --chaos-plan " + path("range.plan")), 2);
+  // --chaos-shrink without a campaign to shrink is a usage error.
+  EXPECT_EQ(run(tool() + " --chaos-shrink " + path("out.plan")), 2);
+}
+
+TEST_F(ExitCodes, ChaosShrinkEmitsAReplayableReproducer) {
+  // A noisy campaign around one real corruption: the shrinker must write a
+  // reproducer that trips the same violation standalone (exit 6 again).
+  std::ofstream(path("noisy.plan"))
+      << "at 50 link_error_ppm 2000\n"
+      << "at 100 link_burst 2\n"
+      << "at 200 break_invariant 7\n"
+      << "at 400 dram_sbe_ppm 500\n";
+  const std::string base = " --preset a --requests 4096 --link-protocol 1"
+                           " --link-retry-limit 8 --chaos-invariants 64";
+  EXPECT_EQ(run(tool() + base + " --chaos-plan " + path("noisy.plan") +
+                " --chaos-shrink " + path("min.plan")),
+            6);
+  std::ifstream min(path("min.plan"));
+  ASSERT_TRUE(min.good()) << "shrinker wrote no reproducer";
+  std::stringstream contents;
+  contents << min.rdbuf();
+  EXPECT_NE(contents.str().find("break_invariant"), std::string::npos);
+  // The minimal plan replays the violation on its own.
+  EXPECT_EQ(run(tool() + base + " --chaos-plan " + path("min.plan")), 6);
 }
 
 TEST_F(ExitCodes, FourOnResumeFailure) {

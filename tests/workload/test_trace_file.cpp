@@ -84,6 +84,21 @@ TEST(TraceFileGenerator, CountsMalformedAndSkips) {
   EXPECT_EQ(gen.malformed_lines(), 1u);
 }
 
+TEST(TraceFileGenerator, OverlongLinesCountAsMalformed) {
+  // One hostile 70000-byte line among valid requests: the loader must skip
+  // it as malformed (with a diagnostic naming the bound), keep the valid
+  // lines, and never buffer the oversized line whole.
+  std::string text = "R 0x40 64\nW ";
+  text.append(70000, '8');
+  text += " 64\nW 0x80 32\n";
+  std::istringstream is(text);
+  TraceFileGenerator gen(is);
+  EXPECT_TRUE(gen.valid());
+  EXPECT_EQ(gen.size(), 2u);
+  EXPECT_EQ(gen.malformed_lines(), 1u);
+  EXPECT_NE(gen.first_error().find("65536"), std::string::npos);
+}
+
 TEST(TraceFileGenerator, EmptyTraceIsInvalid) {
   std::istringstream is("# nothing but comments\n");
   TraceFileGenerator gen(is);

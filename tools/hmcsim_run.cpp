@@ -92,7 +92,21 @@
 //     --flight-recorder-depth <n>      per-device ring capacity, events
 //     --wedge-vaults <mask> mark every bank of the masked vaults busy
 //                           forever (deterministic stall injection for
-//                           watchdog / flight-recorder testing)
+//                           watchdog / flight-recorder testing); the mask
+//                           must not name vaults beyond the configured
+//                           vault count
+//
+//   Chaos orchestration (see docs/CHAOS.md):
+//     --chaos-plan <file>   arm a deterministic fault campaign (at/every/
+//                           ramp/storm/quiet directives); events fire from
+//                           the clock loop at exact cycles, bit-identical
+//                           for every thread count and with fast-forward
+//     --chaos-invariants <n>      run the live invariant suite every n
+//                           cycles (defaults to 1024 when a plan is armed;
+//                           0 disables)
+//     --chaos-shrink <file> after an invariant violation, ddmin the plan to
+//                           a minimal reproducer tripping the same
+//                           invariant at the same cycle and write it here
 //
 //   Every option also accepts the --flag=value spelling; numeric values are
 //   parsed strictly (trailing junk is a usage error).
@@ -100,7 +114,10 @@
 //   Exit status: 0 success, 1 incomplete run, 2 usage error, 3 watchdog
 //   fired (diagnostic dump on stderr, including link-protocol state and
 //   the flight-recorder tail when enabled), 4 --resume found checkpoints
-//   but none restored cleanly, 5 a periodic checkpoint write failed.
+//   but none restored cleanly, 5 a periodic checkpoint write failed,
+//   6 a chaos invariant violation froze the machine (post-mortem dump on
+//   stderr; the shrunken reproducer is written when --chaos-shrink is
+//   given).
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -119,6 +136,8 @@
 #include "analysis/json.hpp"
 #include "analysis/report.hpp"
 #include "analysis/sampler.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/shrink.hpp"
 #include "core/config_file.hpp"
 #include "core/simulator.hpp"
 #include "io/failpoint.hpp"
@@ -194,6 +213,10 @@ struct Args {
   u64 flight_recorder_depth = 0;
   u64 telemetry_interval = 0;
   u64 wedge_vaults = 0;
+  // Chaos orchestration (docs/CHAOS.md).
+  std::string chaos_plan;
+  std::string chaos_shrink;
+  u64 chaos_invariants = 0;  ///< 0: default (1024 when a plan is armed)
 };
 
 void usage(const char* argv0) {
@@ -216,7 +239,9 @@ void usage(const char* argv0) {
                "[--ddr-tras N]\n"
                "       [--pcm-read N] [--pcm-write N] [--pcm-write-gap N]\n"
                "       [--checkpoint-dir DIR] [--checkpoint-interval N] "
-               "[--checkpoint-keep N] [--resume]\n",
+               "[--checkpoint-keep N] [--resume]\n"
+               "       [--chaos-plan FILE] [--chaos-invariants N] "
+               "[--chaos-shrink FILE]\n",
                argv0);
 }
 
@@ -281,6 +306,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       {"--flight-recorder", &Args::flight_recorder_out},
       {"--flight-recorder-chrome", &Args::flight_recorder_chrome},
       {"--checkpoint-dir", &Args::checkpoint_dir},
+      {"--chaos-plan", &Args::chaos_plan},
+      {"--chaos-shrink", &Args::chaos_shrink},
   };
   static constexpr U64Opt kU64Opts[] = {
       {"--requests", &Args::requests},
@@ -292,6 +319,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       {"--wedge-vaults", &Args::wedge_vaults},
       {"--checkpoint-interval", &Args::checkpoint_interval},
       {"--checkpoint-keep", &Args::checkpoint_keep},
+      {"--chaos-invariants", &Args::chaos_invariants},
   };
   static constexpr U32Opt kU32Opts[] = {
       {"--request-bytes", &Args::request_bytes},
@@ -508,6 +536,35 @@ std::unique_ptr<Generator> make_generator(const Args& args,
   return nullptr;
 }
 
+/// Build the requested topology; empty (num_devices() == 0) on failure with
+/// the reason in `diag`.  Factored out so the chaos shrinker's oracle can
+/// rebuild an identical topology for every candidate replay.
+Topology build_topology(const Args& args, const DeviceConfig& dc,
+                        std::string* diag) {
+  const std::string& spec = args.topology;
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  u32 n = 0, rows = 0, cols = 0;
+  if (colon != std::string::npos) {
+    const std::string dims = spec.substr(colon + 1);
+    const auto x = dims.find('x');
+    if (x != std::string::npos) {
+      rows = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
+      cols = static_cast<u32>(std::strtoul(dims.c_str() + x + 1, nullptr, 0));
+    } else {
+      n = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
+    }
+  }
+  const u32 links = dc.num_links;
+  if (kind == "simple") return make_simple(links, diag);
+  if (kind == "chain") return make_chain(n, links, 2, 1, diag);
+  if (kind == "ring") return make_ring(n, links, 2, diag);
+  if (kind == "mesh") return make_mesh(rows, cols, links, 2, diag);
+  if (kind == "torus") return make_torus2d(rows, cols, links, 2, diag);
+  if (diag != nullptr) *diag = "unknown topology '" + spec + "'";
+  return Topology{};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -549,6 +606,30 @@ int main(int argc, char** argv) {
         return 1;
     }
     config.device.model_data = false;
+  }
+
+  // ---- chaos plan -----------------------------------------------------------
+  ChaosPlan chaos_plan;
+  const bool chaos_armed = !args.chaos_plan.empty();
+  if (!args.chaos_shrink.empty() && !chaos_armed) {
+    std::fprintf(stderr, "error: --chaos-shrink requires --chaos-plan\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (chaos_armed) {
+    std::ifstream in(args.chaos_plan);
+    if (!in) {
+      std::fprintf(stderr, "cannot open chaos plan %s\n",
+                   args.chaos_plan.c_str());
+      return 2;
+    }
+    ChaosPlanParseResult parsed = parse_chaos_plan(in);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s:%s\n", args.chaos_plan.c_str(),
+                   parsed.error.c_str());
+      return 2;
+    }
+    chaos_plan = std::move(parsed.plan);
   }
 
   // ---- RAS overrides --------------------------------------------------------
@@ -627,6 +708,22 @@ int main(int argc, char** argv) {
         dc.flight_recorder_depth == 0) {
       dc.flight_recorder_depth = 256;  // a dump was asked for: default ring
     }
+    // Chaos campaigns: the cadence defaults on when a plan is armed, and a
+    // plan that retargets DRAM fault rates needs the data model present
+    // (those injectors live in the data store).
+    if (args.chaos_invariants != 0) {
+      dc.chaos_invariants = static_cast<u32>(
+          std::min<u64>(args.chaos_invariants, 0xffffffffULL));
+    } else if (chaos_armed && dc.chaos_invariants == 0) {
+      dc.chaos_invariants = 1024;
+    }
+    for (const ChaosEvent& ev : chaos_plan.events) {
+      if (ev.action == ChaosAction::DramSbePpm ||
+          ev.action == ChaosAction::DramDbePpm) {
+        dc.model_data = true;
+        break;
+      }
+    }
     // The DRAM fault domain lives in the data store; injection and
     // scrubbing need it present.
     if (dc.dram_sbe_rate_ppm != 0 || dc.dram_dbe_rate_ppm != 0 ||
@@ -680,47 +777,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A wedge mask naming vaults beyond the configured count is a typo'd
+  // experiment, not a quieter one — reject it before anything runs.
+  if (args.wedge_vaults != 0) {
+    const u32 nv = config.device.num_vaults();
+    if (nv < 64 && (args.wedge_vaults >> nv) != 0) {
+      std::fprintf(stderr,
+                   "error: --wedge-vaults mask 0x%llx names vaults beyond "
+                   "the configured %u\n",
+                   static_cast<unsigned long long>(args.wedge_vaults), nv);
+      return 2;
+    }
+  }
+
   // ---- topology -------------------------------------------------------------
   Simulator sim;
   std::string diag;
-  Topology topo;
-  {
-    const std::string& spec = args.topology;
-    const auto colon = spec.find(':');
-    const std::string kind = spec.substr(0, colon);
-    u32 n = 0, rows = 0, cols = 0;
-    if (colon != std::string::npos) {
-      const std::string dims = spec.substr(colon + 1);
-      const auto x = dims.find('x');
-      if (x != std::string::npos) {
-        rows = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
-        cols = static_cast<u32>(
-            std::strtoul(dims.c_str() + x + 1, nullptr, 0));
-      } else {
-        n = static_cast<u32>(std::strtoul(dims.c_str(), nullptr, 0));
-      }
-    }
-    const u32 links = config.device.num_links;
-    if (kind == "simple") {
-      topo = make_simple(links, &diag);
-    } else if (kind == "chain") {
-      topo = make_chain(n, links, 2, 1, &diag);
-    } else if (kind == "ring") {
-      topo = make_ring(n, links, 2, &diag);
-    } else if (kind == "mesh") {
-      topo = make_mesh(rows, cols, links, 2, &diag);
-    } else if (kind == "torus") {
-      topo = make_torus2d(rows, cols, links, 2, &diag);
-    } else {
-      std::fprintf(stderr, "unknown topology '%s'\n", spec.c_str());
-      return 1;
-    }
-    if (topo.num_devices() == 0) {
-      std::fprintf(stderr, "topology build failed: %s\n", diag.c_str());
-      return 1;
-    }
-    config.num_devices = topo.num_devices();
+  Topology topo = build_topology(args, config.device, &diag);
+  if (topo.num_devices() == 0) {
+    std::fprintf(stderr, "topology build failed: %s\n", diag.c_str());
+    return 1;
   }
+  config.num_devices = topo.num_devices();
   if (!ok(sim.init(config, std::move(topo), &diag))) {
     std::fprintf(stderr, "init failed: %s\n", diag.c_str());
     return 1;
@@ -745,6 +823,19 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "resume failed: %s\n", rerr.message().c_str());
       return 4;
+    }
+  }
+
+  // ---- chaos arming ---------------------------------------------------------
+  // After a possible resume: re-passing the plan file against a restored
+  // mid-campaign checkpoint is a CRC-verified no-op that keeps the cursor,
+  // while a different plan is rejected instead of silently restarting.
+  if (chaos_armed) {
+    std::string cdiag;
+    if (!ok(sim.set_chaos_plan(chaos_plan, &cdiag))) {
+      std::fprintf(stderr, "%s: %s\n", args.chaos_plan.c_str(),
+                   cdiag.c_str());
+      return 2;
     }
   }
 
@@ -826,6 +917,19 @@ int main(int argc, char** argv) {
     std::printf("resumed   : generation %llu at cycle %llu\n",
                 static_cast<unsigned long long>(resumed_gen),
                 static_cast<unsigned long long>(sim.now()));
+  }
+
+  // Chaos host-side wiring: host_timeout events retarget the driver's
+  // response deadline, and the invariant suite gains the host tag-pool /
+  // conservation probe.  Installed after the host-state restore so a live
+  // override from a checkpointed campaign re-applies to this driver.
+  if (ChaosEngine* chaos = sim.chaos()) {
+    chaos->set_host_timeout_hook(
+        [&driver](u64 cycles) { driver.set_response_timeout(cycles); },
+        dcfg.response_timeout_cycles);
+    chaos->set_host_probe([&driver, &r](std::string* detail) {
+      return driver.invariants_ok(r, detail);
+    });
   }
 
   // ---- drive ----------------------------------------------------------------
@@ -1000,6 +1104,75 @@ int main(int argc, char** argv) {
     sim.dump_flight_recorder_chrome(out);
     std::printf("flight rec: %s (chrome trace)\n",
                 args.flight_recorder_chrome.c_str());
+  }
+  if (const ChaosEngine* chaos = sim.chaos();
+      chaos != nullptr && !chaos->plan().empty()) {
+    std::printf("chaos     : %llu/%llu events applied, %llu invariant "
+                "passes\n",
+                static_cast<unsigned long long>(chaos->events_applied()),
+                static_cast<unsigned long long>(chaos->plan().events.size()),
+                static_cast<unsigned long long>(chaos->invariant_checks()));
+  }
+  if (sim.chaos_violated()) {
+    std::fprintf(stderr, "%s", sim.chaos_report().c_str());
+    if (!args.chaos_shrink.empty()) {
+      const ChaosViolation& v = sim.chaos()->violation();
+      ChaosOracleResult target;
+      target.tripped = true;
+      target.invariant = v.invariant;
+      target.cycle = v.cycle;
+      // Each probe replays a candidate plan on a fresh, identically
+      // configured stack, so no state leaks between candidates and the
+      // shrunken plan reproduces bit-identically from the command line.
+      const auto oracle = [&](const ChaosPlan& candidate) {
+        ChaosOracleResult out;
+        Simulator osim;
+        std::string odiag;
+        Topology otopo = build_topology(args, config.device, &odiag);
+        if (otopo.num_devices() == 0) return out;
+        if (!ok(osim.init(config, std::move(otopo), &odiag))) return out;
+        if (!ok(osim.set_chaos_plan(candidate, &odiag))) return out;
+        const std::unique_ptr<Generator> ogen =
+            make_generator(args, config.device);
+        if (!ogen) return out;
+        HostDriver odriver(osim, *ogen, dcfg);
+        DriverResult orr;
+        if (ChaosEngine* oc = osim.chaos()) {
+          oc->set_host_timeout_hook(
+              [&odriver](u64 cycles) { odriver.set_response_timeout(cycles); },
+              dcfg.response_timeout_cycles);
+          oc->set_host_probe([&odriver, &orr](std::string* detail) {
+            return odriver.invariants_ok(orr, detail);
+          });
+        }
+        while (odriver.step(orr)) {}
+        odriver.finish(orr);
+        if (osim.chaos_violated()) {
+          out.tripped = true;
+          out.invariant = osim.chaos()->violation().invariant;
+          out.cycle = osim.chaos()->violation().cycle;
+        }
+        return out;
+      };
+      const ChaosShrinkResult shrunk =
+          shrink_chaos_plan(chaos_plan, target, oracle);
+      std::ofstream out(args.chaos_shrink);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", args.chaos_shrink.c_str());
+      } else {
+        write_chaos_plan(out, shrunk.plan);
+        std::fprintf(
+            stderr,
+            "chaos shrink: %llu of %llu events reproduce %s at cycle %llu "
+            "(%u oracle runs) -> %s\n",
+            static_cast<unsigned long long>(shrunk.plan.events.size()),
+            static_cast<unsigned long long>(chaos_plan.events.size()),
+            shrunk.repro.invariant.c_str(),
+            static_cast<unsigned long long>(shrunk.repro.cycle),
+            shrunk.oracle_runs, args.chaos_shrink.c_str());
+      }
+    }
+    return 6;
   }
   if (r.watchdog_fired) {
     std::fprintf(stderr, "%s", sim.watchdog_report().c_str());
